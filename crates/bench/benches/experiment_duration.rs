@@ -1,0 +1,93 @@
+//! P-3 (§V-D): per-experiment duration.
+//!
+//! Paper: "It took between 10s and 120s (worst case of a 'hang'
+//! failure) to run a single experiment on Python-etcd, and about 30
+//! min to run all of the tests of this section."
+//!
+//! Our substrate runs on virtual time, so the *shape* to reproduce is:
+//! ordinary experiments cluster at a short duration, hang/timeout
+//! experiments are dominated by the round budget (the worst case), and
+//! the total campaign cost is the sum. The bench prints the virtual
+//! duration distribution per campaign and benchmarks wall-clock cost
+//! of a representative experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use profipy::case_study::{campaign_a, campaign_b, campaign_c};
+use std::hint::black_box;
+
+fn summarize(name: &str, durations: &mut [f64]) {
+    durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    if durations.is_empty() {
+        return;
+    }
+    let total: f64 = durations.iter().sum();
+    let p = |q: f64| durations[((durations.len() - 1) as f64 * q) as usize];
+    eprintln!(
+        "P-3 {name}: n={} min={:.2}s p50={:.2}s p90={:.2}s max={:.2}s total={:.1}s (virtual)",
+        durations.len(),
+        durations[0],
+        p(0.5),
+        p(0.9),
+        durations[durations.len() - 1],
+        total
+    );
+}
+
+fn bench_experiment_duration(c: &mut Criterion) {
+    for campaign in [campaign_a(), campaign_b(), campaign_c()] {
+        let outcome = campaign
+            .workflow
+            .run_campaign(&campaign.filter, campaign.prune_by_coverage)
+            .expect("campaign runs");
+        let mut durations: Vec<f64> = outcome.results.iter().map(|r| r.duration).collect();
+        summarize(&campaign.name, &mut durations);
+    }
+
+    // Wall-clock cost of one experiment (deploy + 2 rounds + teardown).
+    let campaign = campaign_b();
+    let points = campaign.workflow.scan();
+    let plan = campaign.workflow.plan(&points, &campaign.filter);
+    let point = plan.entries[0].clone();
+    c.bench_function("single_experiment_wall_clock", |b| {
+        b.iter(|| black_box(campaign.workflow.run_experiment(&point)));
+    });
+
+    // The timeout worst case: a mutant that hangs burns the full fuel
+    // budget (the paper's 120 s "hang" ceiling).
+    let hang_model = faultdsl::FaultModel {
+        name: "hang".into(),
+        description: "replace a call with an infinite retry loop".into(),
+        specs: vec![faultdsl::SpecSource {
+            name: "HANG".into(),
+            description: String::new(),
+            dsl: concat!(
+                "change {\n",
+                "    $VAR#r = $CALL{name=urllib.request}($STRING{val=GET}, ...)\n",
+                "} into {\n",
+                "    $VAR#r = None\n",
+                "    while True:\n",
+                "        $VAR#r = None\n",
+                "}"
+            )
+            .into(),
+        }],
+    };
+    let wf = profipy::case_study::case_study_workflow(hang_model, 9);
+    let points = wf.scan();
+    assert!(!points.is_empty());
+    let hang_point = points[0].clone();
+    let result = wf.run_experiment(&hang_point);
+    eprintln!(
+        "P-3 hang worst case: round1={:?} virtual duration={:.1}s (round budget dominates)",
+        result.round1.status, result.duration
+    );
+    let mut group = c.benchmark_group("hang_experiment");
+    group.sample_size(10);
+    group.bench_function("wall_clock", |b| {
+        b.iter(|| black_box(wf.run_experiment(&hang_point)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_duration);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! P-4 (§IV-B / §V-D): parallel experiment execution.
+//!
+//! Paper: experiments run in up to N−1 parallel containers on an
+//! N-core host (following "No PAIN, no gain?" [52]), backing off under
+//! memory/IO pressure; the scan itself is "embarrassingly parallel".
+//!
+//! The bench measures campaign throughput at several worker counts —
+//! the shape to reproduce is near-linear speedup up to the N−1 cap —
+//! plus the DESIGN.md §8 ablation of the memory back-off threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use profipy::case_study::campaign_c;
+use sandbox::ParallelExecutor;
+use std::hint::black_box;
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let campaign = campaign_c();
+    let points = campaign.workflow.scan();
+    let plan = campaign
+        .workflow
+        .plan(&points, &campaign.filter.clone().sample(16));
+    let entries = plan.entries.clone();
+    eprintln!("P-4: {} experiments per batch", entries.len());
+
+    let mut group = c.benchmark_group("campaign_batch");
+    group.sample_size(10);
+    for cores in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cores", cores),
+            &cores,
+            |b, &cores| {
+                let executor = ParallelExecutor::new(cores);
+                b.iter(|| {
+                    let results = executor.run(entries.len(), |i| {
+                        campaign.workflow.run_experiment(&entries[i])
+                    });
+                    black_box(results.len())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation: memory back-off reduces effective workers.
+    let mut constrained = ParallelExecutor::new(16);
+    constrained.mem_mb_total = 1024;
+    constrained.mem_mb_per_container = 512;
+    eprintln!(
+        "P-4 ablation: 16-core host, unconstrained workers = {}, with 1 GB memory cap = {}",
+        ParallelExecutor::new(16).effective_workers(64),
+        constrained.effective_workers(64)
+    );
+    let mut group = c.benchmark_group("memory_backoff_ablation");
+    group.sample_size(10);
+    for (label, executor) in [
+        ("unconstrained", ParallelExecutor::new(16)),
+        ("memory_capped", constrained),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let results = executor.run(entries.len(), |i| {
+                    campaign.workflow.run_experiment(&entries[i])
+                });
+                black_box(results.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_speedup);
+criterion_main!(benches);

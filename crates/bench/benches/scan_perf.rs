@@ -1,0 +1,63 @@
+//! P-1 (§V-D): scan + mutate latency on the python-etcd-sized target.
+//!
+//! Paper: "It took less than one minute to scan and mutate Python-etcd
+//! on an 8-core Intel Xeon." Our target is the same order of size; the
+//! bench verifies scan+mutate completes orders of magnitude inside
+//! that budget and reports throughput.
+//!
+//! Also benches the DESIGN.md §8 ablation: direct vs trigger-wrapped
+//! (EDFI-style) mutation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use injector::{MutationMode, Mutator, Scanner};
+use std::hint::black_box;
+
+fn bench_scan_perf(c: &mut Criterion) {
+    let model = faultdsl::predefined_models();
+    let specs = model.compile().expect("predefined model compiles");
+    let module = pysrc::parse_module(targets::CLIENT_SOURCE, "etcd").expect("client parses");
+    let modules = vec![module.clone()];
+
+    let scanner = Scanner::new(specs.clone());
+    let points = scanner.scan(&modules);
+    eprintln!(
+        "P-1: python-etcd-like target: {} LoC, {} predefined specs, {} injection points",
+        targets::CLIENT_SOURCE.lines().count(),
+        specs.len(),
+        points.len()
+    );
+
+    c.bench_function("scan_python_etcd_predefined_model", |b| {
+        b.iter(|| black_box(scanner.scan(black_box(&modules))));
+    });
+
+    // Mutate every point (the paper's "scan and mutate" combination).
+    let mut group = c.benchmark_group("mutate_all_points");
+    for (mode, label) in [
+        (MutationMode::Direct, "direct"),
+        (MutationMode::Triggered, "triggered_edfi"),
+    ] {
+        let mutator = Mutator::new(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut produced = 0usize;
+                for p in &points {
+                    let spec = scanner.spec(&p.spec_name).expect("spec exists");
+                    if let Ok(m) = mutator.apply(&module, spec, p) {
+                        produced += pysrc::unparse::unparse_module(&m).len();
+                    }
+                }
+                black_box(produced)
+            });
+        });
+    }
+    group.finish();
+
+    // DSL compilation itself (the "DSL compiler" box of Fig. 2).
+    c.bench_function("compile_predefined_fault_model", |b| {
+        b.iter(|| black_box(model.compile().expect("compiles")));
+    });
+}
+
+criterion_group!(benches, bench_scan_perf);
+criterion_main!(benches);

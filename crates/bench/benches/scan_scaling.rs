@@ -1,0 +1,96 @@
+//! P-2 (§V-D): large-project scan scaling.
+//!
+//! Paper: "ProFIPy takes about 20 min to identify 17488 injectable
+//! locations using 120 different DSL patterns" on ~400 kLoC of
+//! OpenStack. We scan synthetic corpora (DESIGN.md substitution) with
+//! a ~120-pattern model and report how the injectable-location count
+//! and scan time scale with corpus size — the claim being *linear*
+//! scaling in LoC × patterns ("embarrassingly parallel" per §V-D).
+//!
+//! Output to compare with the paper: the one-shot table printed before
+//! the Criterion groups (points found and wall time per corpus size,
+//! plus the projected 400 kLoC time).
+
+use bench::{corpus_loc, large_pattern_model};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use injector::Scanner;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn one_shot_table(scanner: &Scanner) {
+    eprintln!("P-2 scan-scaling table (paper: 400 kLoC / 120 patterns -> 17488 points, ~20 min):");
+    let mut last_rate = None;
+    for target_loc in [5_000usize, 20_000, 60_000] {
+        let corpus = targets::generate_corpus(42, target_loc);
+        let loc = corpus_loc(&corpus);
+        let modules: Vec<pysrc::Module> = corpus
+            .iter()
+            .map(|(name, text)| pysrc::parse_module(text, name).expect("synth parses"))
+            .collect();
+        let t0 = Instant::now();
+        let points = scanner.scan(&modules);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let rate = elapsed / loc as f64;
+        eprintln!(
+            "  {loc:>7} LoC -> {:>6} points in {elapsed:>7.2}s ({:.1} us/LoC){}",
+            points.len(),
+            rate * 1e6,
+            match last_rate {
+                Some(prev) => format!(
+                    "  [rate ratio vs previous: {:.2} — ~1.0 = linear]",
+                    rate / prev
+                ),
+                None => String::new(),
+            }
+        );
+        last_rate = Some(rate);
+        if loc >= 60_000 {
+            eprintln!(
+                "  projected 400 kLoC scan: ~{:.1} min (paper: ~20 min on an 8-core Xeon)",
+                rate * 400_000.0 / 60.0
+            );
+        }
+    }
+}
+
+fn bench_scan_scaling(c: &mut Criterion) {
+    let model = large_pattern_model();
+    let specs = model.compile().expect("model compiles");
+    eprintln!("P-2: {} DSL patterns (paper: 120)", specs.len());
+    let scanner = Scanner::new(specs.clone());
+    one_shot_table(&scanner);
+
+    let mut group = c.benchmark_group("scan_scaling");
+    group.sample_size(10);
+    for target_loc in [2_000usize, 6_000] {
+        let corpus = targets::generate_corpus(42, target_loc);
+        let loc = corpus_loc(&corpus);
+        let modules: Vec<pysrc::Module> = corpus
+            .iter()
+            .map(|(name, text)| pysrc::parse_module(text, name).expect("synth parses"))
+            .collect();
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(loc), &modules, |b, modules| {
+            b.iter(|| black_box(scanner.scan(black_box(modules))));
+        });
+    }
+    group.finish();
+
+    // Parse throughput feeds the same pipeline (the AST box of Fig. 2).
+    let corpus = targets::generate_corpus(7, 20_000);
+    let loc = corpus_loc(&corpus);
+    let mut parse_group = c.benchmark_group("parse_corpus");
+    parse_group.sample_size(10);
+    parse_group.throughput(Throughput::Elements(loc as u64));
+    parse_group.bench_function("20k_loc", |b| {
+        b.iter(|| {
+            for (name, text) in &corpus {
+                black_box(pysrc::parse_module(text, name).expect("parses"));
+            }
+        });
+    });
+    parse_group.finish();
+}
+
+criterion_group!(benches, bench_scan_scaling);
+criterion_main!(benches);

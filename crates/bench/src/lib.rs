@@ -1,0 +1,67 @@
+//! Shared helpers for the benchmark harness (paper §V evaluation).
+
+use faultdsl::{FaultModel, SpecSource};
+
+/// Builds a ~120-pattern fault model for the §V-D large-project scan
+/// (the paper uses "120 different DSL patterns" on OpenStack).
+///
+/// The model combines the predefined G-SWFIT-style specs with
+/// name-specialized variants over the verb×noun API surface the
+/// synthetic corpus generator emits.
+pub fn large_pattern_model() -> FaultModel {
+    let mut specs = faultdsl::predefined_models().specs;
+    let verbs = ["create", "delete", "update", "attach", "detach", "sync"];
+    let nouns = ["port", "server", "subnet", "snapshot", "flavor", "quota"];
+    for verb in verbs {
+        for noun in nouns {
+            let name = format!("{verb}_{noun}");
+            specs.push(SpecSource {
+                name: format!("OMIT-{name}"),
+                description: format!("omit calls to {name}"),
+                dsl: format!(
+                    "change {{\n    $CALL{{name=*{name}}}(...)\n}} into {{\n    pass\n}}"
+                ),
+            });
+            specs.push(SpecSource {
+                name: format!("EXC-{name}"),
+                description: format!("raise at {name} call sites"),
+                dsl: format!(
+                    "change {{\n    $VAR#r = $CALL{{name=*.{verb}}}($VAR#i, $EXPR#s)\n}} into {{\n    raise RuntimeError('injected {noun} fault')\n}}"
+                ),
+            });
+            specs.push(SpecSource {
+                name: format!("HOG-{name}"),
+                description: format!("hog after {name}"),
+                dsl: format!(
+                    "change {{\n    $VAR#r = $CALL#c{{name=*{name}}}(...)\n}} into {{\n    $VAR#r = $CALL#c(...)\n    $HOG\n}}"
+                ),
+            });
+        }
+    }
+    FaultModel {
+        name: "large-scan-model".into(),
+        description: format!("{} patterns for the scan-scaling benchmark", specs.len()),
+        specs,
+    }
+}
+
+/// Counts lines of a corpus.
+pub fn corpus_loc(corpus: &[(String, String)]) -> usize {
+    corpus.iter().map(|(_, s)| s.lines().count()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_model_has_about_120_patterns() {
+        let model = large_pattern_model();
+        assert!(
+            (110..=135).contains(&model.specs.len()),
+            "got {}",
+            model.specs.len()
+        );
+        model.compile().expect("every generated pattern compiles");
+    }
+}

@@ -1,0 +1,105 @@
+//! etcd protocol error codes (subset of the real etcd v2 API).
+
+use std::fmt;
+
+/// An etcd API-level error, as returned in response bodies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EtcdError {
+    /// `errorCode 100` — key not found.
+    KeyNotFound(String),
+    /// `errorCode 101` — compare-and-swap precondition failed.
+    TestFailed {
+        /// Expected previous value.
+        expected: String,
+        /// Actual stored value.
+        actual: String,
+    },
+    /// `errorCode 102` — operated on a directory as if it were a key.
+    NotAFile(String),
+    /// `errorCode 104` — operated on a key as if it were a directory.
+    NotADir(String),
+    /// `errorCode 105` — node already exists.
+    NodeExist(String),
+    /// `errorCode 108` — directory not empty.
+    DirNotEmpty(String),
+    /// HTTP 400 — malformed request (e.g. non-ASCII key, bad form).
+    BadRequest(String),
+    /// HTTP 500 — server is in a wedged state.
+    ServerError(String),
+}
+
+impl EtcdError {
+    /// The etcd `errorCode` (0 for pure-HTTP errors).
+    pub fn code(&self) -> u32 {
+        match self {
+            EtcdError::KeyNotFound(_) => 100,
+            EtcdError::TestFailed { .. } => 101,
+            EtcdError::NotAFile(_) => 102,
+            EtcdError::NotADir(_) => 104,
+            EtcdError::NodeExist(_) => 105,
+            EtcdError::DirNotEmpty(_) => 108,
+            EtcdError::BadRequest(_) => 209,
+            EtcdError::ServerError(_) => 300,
+        }
+    }
+
+    /// The HTTP status this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            EtcdError::KeyNotFound(_) => 404,
+            EtcdError::TestFailed { .. }
+            | EtcdError::NotAFile(_)
+            | EtcdError::NotADir(_)
+            | EtcdError::NodeExist(_)
+            | EtcdError::DirNotEmpty(_) => 412,
+            EtcdError::BadRequest(_) => 400,
+            EtcdError::ServerError(_) => 500,
+        }
+    }
+
+    /// Renders the line-oriented error body the simulated server returns.
+    pub fn body(&self) -> String {
+        format!("ERROR {} {}", self.code(), self)
+    }
+}
+
+impl fmt::Display for EtcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtcdError::KeyNotFound(k) => write!(f, "Key not found: {k}"),
+            EtcdError::TestFailed { expected, actual } => {
+                write!(f, "Compare failed: [{expected} != {actual}]")
+            }
+            EtcdError::NotAFile(k) => write!(f, "Not a file: {k}"),
+            EtcdError::NotADir(k) => write!(f, "Not a directory: {k}"),
+            EtcdError::NodeExist(k) => write!(f, "Key already exists: {k}"),
+            EtcdError::DirNotEmpty(k) => write!(f, "Directory not empty: {k}"),
+            EtcdError::BadRequest(m) => write!(f, "Bad Request: {m}"),
+            EtcdError::ServerError(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EtcdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_statuses() {
+        assert_eq!(EtcdError::KeyNotFound("/x".into()).code(), 100);
+        assert_eq!(EtcdError::KeyNotFound("/x".into()).http_status(), 404);
+        assert_eq!(EtcdError::BadRequest("bad".into()).http_status(), 400);
+        assert_eq!(
+            EtcdError::ServerError("member has already been bootstrapped".into()).http_status(),
+            500
+        );
+    }
+
+    #[test]
+    fn body_is_line_oriented() {
+        let b = EtcdError::KeyNotFound("/q".into()).body();
+        assert_eq!(b, "ERROR 100 Key not found: /q");
+    }
+}

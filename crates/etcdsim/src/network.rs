@@ -1,0 +1,191 @@
+//! Simulated host network: TCP port table with TIME_WAIT-style leak
+//! semantics.
+//!
+//! This is the substrate behind the paper's §V-A *reconnection failure*
+//! mode: "the etcd server was unable to bind to a TCP/IP port. Thus,
+//! restarting etcd does not suffice to recover from the fault, but the
+//! port needs to be explicitly freed."
+
+use std::collections::BTreeMap;
+
+/// State of one TCP port.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PortState {
+    /// Bound by a listening process.
+    Listening {
+        /// Owner label (e.g. `"etcd"`).
+        owner: String,
+    },
+    /// Held by an unreleased client connection; a new `bind` fails
+    /// until the connection is explicitly freed.
+    Held {
+        /// Connection id that holds the port.
+        conn_id: u64,
+    },
+}
+
+/// The port table of the simulated host.
+#[derive(Debug, Default)]
+pub struct Network {
+    ports: BTreeMap<u16, PortState>,
+    connections: BTreeMap<u64, u16>,
+    next_conn: u64,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Binds a listening port.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with an `EADDRINUSE`-style message if the port is
+    /// listening or held by a stale connection.
+    pub fn bind(&mut self, port: u16, owner: &str) -> Result<(), String> {
+        match self.ports.get(&port) {
+            None => {
+                self.ports.insert(
+                    port,
+                    PortState::Listening {
+                        owner: owner.to_string(),
+                    },
+                );
+                Ok(())
+            }
+            Some(PortState::Listening { owner: o }) => {
+                Err(format!("bind: address already in use (port {port} owned by {o})"))
+            }
+            Some(PortState::Held { conn_id }) => Err(format!(
+                "bind: address already in use (port {port} held by stale connection #{conn_id})"
+            )),
+        }
+    }
+
+    /// Releases a listening port. Ports held by stale connections stay
+    /// held — that is the leak.
+    pub fn unbind(&mut self, port: u16) {
+        if matches!(self.ports.get(&port), Some(PortState::Listening { .. })) {
+            self.ports.remove(&port);
+        }
+    }
+
+    /// True if a listener owns the port.
+    pub fn is_listening(&self, port: u16) -> bool {
+        matches!(self.ports.get(&port), Some(PortState::Listening { .. }))
+    }
+
+    /// Opens a client connection to a listening port, returning a
+    /// connection id. The connection *holds* the port: if the listener
+    /// later goes away while the connection is still open, the port
+    /// transitions to [`PortState::Held`].
+    ///
+    /// # Errors
+    ///
+    /// Connection refused when nothing is listening.
+    pub fn connect(&mut self, port: u16) -> Result<u64, String> {
+        if !self.is_listening(port) {
+            return Err(format!("connect: connection refused (port {port})"));
+        }
+        self.next_conn += 1;
+        self.connections.insert(self.next_conn, port);
+        Ok(self.next_conn)
+    }
+
+    /// Closes a client connection, releasing any hold it has.
+    pub fn disconnect(&mut self, conn_id: u64) {
+        if let Some(port) = self.connections.remove(&conn_id) {
+            if matches!(self.ports.get(&port), Some(PortState::Held { conn_id: c }) if *c == conn_id)
+            {
+                self.ports.remove(&port);
+            }
+        }
+    }
+
+    /// Called when a listener dies (crash or stop): open connections to
+    /// its port leave the port in the [`PortState::Held`] state, so a
+    /// restart cannot bind until the connections are closed.
+    pub fn listener_died(&mut self, port: u16) {
+        self.ports.remove(&port);
+        if let Some((conn_id, _)) = self
+            .connections
+            .iter()
+            .find(|(_, p)| **p == port)
+            .map(|(c, p)| (*c, *p))
+        {
+            self.ports.insert(port, PortState::Held { conn_id });
+        }
+    }
+
+    /// Force-releases every hold on a port (the paper's "the port needs
+    /// to be explicitly freed" — our container cleanup / `etcd-cleanup`).
+    pub fn force_free(&mut self, port: u16) {
+        self.ports.remove(&port);
+        self.connections.retain(|_, p| *p != port);
+    }
+
+    /// Open connection count (diagnostics).
+    pub fn open_connections(&self) -> usize {
+        self.connections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_conflict() {
+        let mut n = Network::new();
+        n.bind(2379, "etcd").unwrap();
+        assert!(n.bind(2379, "etcd").is_err());
+        n.unbind(2379);
+        n.bind(2379, "etcd").unwrap();
+    }
+
+    #[test]
+    fn connect_requires_listener() {
+        let mut n = Network::new();
+        assert!(n.connect(2379).is_err());
+        n.bind(2379, "etcd").unwrap();
+        assert!(n.connect(2379).is_ok());
+    }
+
+    #[test]
+    fn stale_connection_holds_port_after_listener_death() {
+        let mut n = Network::new();
+        n.bind(2379, "etcd").unwrap();
+        let conn = n.connect(2379).unwrap();
+        // Listener dies with the connection still open.
+        n.listener_died(2379);
+        // Restart cannot bind: the paper's reconnection failure.
+        assert!(n.bind(2379, "etcd").is_err());
+        // Closing the stale connection frees the port.
+        n.disconnect(conn);
+        assert!(n.bind(2379, "etcd").is_ok());
+    }
+
+    #[test]
+    fn clean_shutdown_releases_port() {
+        let mut n = Network::new();
+        n.bind(2379, "etcd").unwrap();
+        let conn = n.connect(2379).unwrap();
+        n.disconnect(conn);
+        n.listener_died(2379);
+        assert!(n.bind(2379, "etcd").is_ok());
+    }
+
+    #[test]
+    fn force_free_clears_holds() {
+        let mut n = Network::new();
+        n.bind(2379, "etcd").unwrap();
+        n.connect(2379).unwrap();
+        n.listener_died(2379);
+        assert!(n.bind(2379, "etcd").is_err());
+        n.force_free(2379);
+        assert!(n.bind(2379, "etcd").is_ok());
+        assert_eq!(n.open_connections(), 0);
+    }
+}

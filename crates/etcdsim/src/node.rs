@@ -1,0 +1,161 @@
+//! The etcd server process model: lifecycle, cluster-membership
+//! bootstrap state, and wedging.
+
+use crate::errors::EtcdError;
+use crate::network::Network;
+use crate::store::EtcdStore;
+
+/// Default etcd client port.
+pub const ETCD_PORT: u16 = 2379;
+
+/// Lifecycle state of the simulated server process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Not running.
+    Stopped,
+    /// Running and serving requests.
+    Running,
+    /// Running but rejecting requests with a 500 (`member has already
+    /// been bootstrapped`) — the paper's §V-A second failure mode.
+    Wedged,
+}
+
+/// The simulated etcd server.
+#[derive(Debug)]
+pub struct EtcdNode {
+    /// Lifecycle state.
+    pub state: NodeState,
+    /// The key-value store (persists across restarts, like a data dir).
+    pub store: EtcdStore,
+    /// Whether the member has been bootstrapped into the cluster.
+    pub bootstrapped: bool,
+    /// Listening port.
+    pub port: u16,
+}
+
+impl Default for EtcdNode {
+    fn default() -> Self {
+        EtcdNode::new()
+    }
+}
+
+impl EtcdNode {
+    /// Creates a stopped node with an empty store.
+    pub fn new() -> EtcdNode {
+        EtcdNode {
+            state: NodeState::Stopped,
+            store: EtcdStore::new(),
+            bootstrapped: false,
+            port: ETCD_PORT,
+        }
+    }
+
+    /// Starts the server, binding its port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure when the port is occupied (the
+    /// reconnection-failure substrate).
+    pub fn start(&mut self, net: &mut Network) -> Result<(), String> {
+        if self.state != NodeState::Stopped {
+            return Ok(());
+        }
+        net.bind(self.port, "etcd")?;
+        self.state = NodeState::Running;
+        Ok(())
+    }
+
+    /// Gracefully stops the server, releasing its port. Open client
+    /// connections keep holding the port (see
+    /// [`Network::listener_died`]).
+    pub fn stop(&mut self, net: &mut Network) {
+        if self.state != NodeState::Stopped {
+            net.listener_died(self.port);
+            self.state = NodeState::Stopped;
+        }
+    }
+
+    /// Bootstraps this member into the cluster.
+    ///
+    /// # Errors
+    ///
+    /// A second bootstrap without a member removal wedges the server
+    /// and returns the paper's §V-A error.
+    pub fn bootstrap(&mut self) -> Result<(), EtcdError> {
+        if self.bootstrapped {
+            self.state = NodeState::Wedged;
+            return Err(EtcdError::ServerError(
+                "member has already been bootstrapped".into(),
+            ));
+        }
+        self.bootstrapped = true;
+        Ok(())
+    }
+
+    /// Removes the member from the cluster (the "dynamic configuration
+    /// API" recovery the paper recommends), unwedging the server.
+    pub fn remove_member(&mut self) {
+        self.bootstrapped = false;
+        if self.state == NodeState::Wedged {
+            self.state = NodeState::Running;
+        }
+    }
+
+    /// Is the server able to serve requests?
+    pub fn serving(&self) -> bool {
+        self.state == NodeState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_stop_rebind() {
+        let mut net = Network::new();
+        let mut node = EtcdNode::new();
+        node.start(&mut net).unwrap();
+        assert!(node.serving());
+        node.stop(&mut net);
+        assert!(!node.serving());
+        node.start(&mut net).unwrap();
+        assert!(node.serving());
+    }
+
+    #[test]
+    fn double_bootstrap_wedges() {
+        let mut node = EtcdNode::new();
+        node.bootstrap().unwrap();
+        let err = node.bootstrap().unwrap_err();
+        assert!(err.to_string().contains("member has already been bootstrapped"));
+        assert_eq!(node.state, NodeState::Wedged);
+        assert!(!node.serving());
+        node.remove_member();
+        assert_eq!(node.state, NodeState::Running);
+    }
+
+    #[test]
+    fn restart_fails_when_port_held() {
+        let mut net = Network::new();
+        let mut node = EtcdNode::new();
+        node.start(&mut net).unwrap();
+        let _conn = net.connect(ETCD_PORT).unwrap();
+        node.stop(&mut net);
+        // Stale connection still holds the port.
+        assert!(node.start(&mut net).is_err());
+        net.force_free(ETCD_PORT);
+        node.start(&mut net).unwrap();
+    }
+
+    #[test]
+    fn store_survives_restart() {
+        let mut net = Network::new();
+        let mut node = EtcdNode::new();
+        node.start(&mut net).unwrap();
+        node.store.set("/k", Some("v"), None, false, 0.0).unwrap();
+        node.stop(&mut net);
+        node.start(&mut net).unwrap();
+        assert_eq!(node.store.len(), 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! The hierarchical key-value store (etcd v2 data model: directories,
+//! TTLs, compare-and-swap, modification indices).
+
+use crate::errors::EtcdError;
+use std::collections::BTreeMap;
+
+/// One stored node: either a value leaf or a directory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Full key path (`/a/b`).
+    pub key: String,
+    /// Value for leaves; `None` for directories.
+    pub value: Option<String>,
+    /// Directory flag.
+    pub dir: bool,
+    /// Absolute virtual expiry time, if a TTL was set.
+    pub expires_at: Option<f64>,
+    /// Index of the write that created the node.
+    pub created_index: u64,
+    /// Index of the last write touching the node.
+    pub modified_index: u64,
+}
+
+/// The etcd v2 data model.
+#[derive(Debug, Default)]
+pub struct EtcdStore {
+    nodes: BTreeMap<String, Node>,
+    index: u64,
+}
+
+fn normalize(key: &str) -> Result<String, EtcdError> {
+    if key.is_empty() {
+        return Err(EtcdError::BadRequest("empty key".into()));
+    }
+    if !key.is_ascii() {
+        // The paper's §V-B "EtcdException: Bad response: 400 Bad
+        // Request" on corrupted non-ASCII inputs.
+        return Err(EtcdError::BadRequest(format!(
+            "key contains non-ASCII characters: {key:?}"
+        )));
+    }
+    let mut k = key.to_string();
+    if !k.starts_with('/') {
+        k.insert(0, '/');
+    }
+    while k.len() > 1 && k.ends_with('/') {
+        k.pop();
+    }
+    Ok(k)
+}
+
+fn parent_of(key: &str) -> Option<String> {
+    if key == "/" {
+        return None;
+    }
+    match key.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(key[..i].to_string()),
+        None => None,
+    }
+}
+
+impl EtcdStore {
+    /// Creates an empty store.
+    pub fn new() -> EtcdStore {
+        EtcdStore::default()
+    }
+
+    /// Number of live nodes (ignores TTL expiry).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current write index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    fn expire(&mut self, now: f64) {
+        self.nodes
+            .retain(|_, n| n.expires_at.is_none_or(|t| t > now));
+    }
+
+    fn ensure_parents(&mut self, key: &str) -> Result<(), EtcdError> {
+        let mut missing = Vec::new();
+        let mut cur = parent_of(key);
+        while let Some(p) = cur {
+            if p == "/" {
+                break;
+            }
+            match self.nodes.get(&p) {
+                Some(n) if n.dir => break,
+                Some(_) => return Err(EtcdError::NotADir(p)),
+                None => missing.push(p.clone()),
+            }
+            cur = parent_of(&p);
+        }
+        for p in missing.into_iter().rev() {
+            self.index += 1;
+            self.nodes.insert(
+                p.clone(),
+                Node {
+                    key: p,
+                    value: None,
+                    dir: true,
+                    expires_at: None,
+                    created_index: self.index,
+                    modified_index: self.index,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Reads a node. Directories return their immediate children
+    /// (recursively if `recursive`).
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::KeyNotFound`] if the key does not exist (or has
+    /// expired); [`EtcdError::BadRequest`] for malformed keys.
+    pub fn get(&mut self, key: &str, now: f64, recursive: bool) -> Result<Vec<Node>, EtcdError> {
+        self.expire(now);
+        let key = normalize(key)?;
+        let node = self
+            .nodes
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| EtcdError::KeyNotFound(key.clone()))?;
+        if !node.dir {
+            return Ok(vec![node]);
+        }
+        let prefix = if key == "/" { "/".to_string() } else { format!("{key}/") };
+        let mut out = vec![node];
+        for (k, n) in &self.nodes {
+            if !k.starts_with(&prefix) || k == &key {
+                continue;
+            }
+            let rel = &k[prefix.len()..];
+            if recursive || !rel.contains('/') {
+                out.push(n.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a key (or creates a directory when `dir`).
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::NotAFile`] when overwriting a directory with a
+    /// value; [`EtcdError::BadRequest`] for malformed keys/values.
+    pub fn set(
+        &mut self,
+        key: &str,
+        value: Option<&str>,
+        ttl: Option<f64>,
+        dir: bool,
+        now: f64,
+    ) -> Result<Node, EtcdError> {
+        self.expire(now);
+        let key = normalize(key)?;
+        if let Some(v) = value {
+            if !v.is_ascii() {
+                return Err(EtcdError::BadRequest(format!(
+                    "value contains non-ASCII characters: {v:?}"
+                )));
+            }
+        }
+        if let Some(existing) = self.nodes.get(&key) {
+            if existing.dir && !dir {
+                return Err(EtcdError::NotAFile(key));
+            }
+        }
+        self.ensure_parents(&key)?;
+        self.index += 1;
+        let created = self
+            .nodes
+            .get(&key)
+            .map(|n| n.created_index)
+            .unwrap_or(self.index);
+        let node = Node {
+            key: key.clone(),
+            value: if dir { None } else { Some(value.unwrap_or("").to_string()) },
+            dir,
+            expires_at: ttl.map(|t| now + t),
+            created_index: created,
+            modified_index: self.index,
+        };
+        self.nodes.insert(key, node.clone());
+        Ok(node)
+    }
+
+    /// Creates a directory, failing if it already exists.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::NodeExist`] if the key exists.
+    pub fn mkdir(&mut self, key: &str, ttl: Option<f64>, now: f64) -> Result<Node, EtcdError> {
+        self.expire(now);
+        let key = normalize(key)?;
+        if self.nodes.contains_key(&key) {
+            return Err(EtcdError::NodeExist(key));
+        }
+        self.set(&key, None, ttl, true, now)
+    }
+
+    /// Deletes a key (or directory, with `recursive` for non-empty).
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::KeyNotFound`]; [`EtcdError::DirNotEmpty`] for a
+    /// non-empty directory without `recursive`.
+    pub fn delete(&mut self, key: &str, recursive: bool, now: f64) -> Result<Node, EtcdError> {
+        self.expire(now);
+        let key = normalize(key)?;
+        let node = self
+            .nodes
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| EtcdError::KeyNotFound(key.clone()))?;
+        if node.dir {
+            let prefix = format!("{key}/");
+            let has_children = self.nodes.keys().any(|k| k.starts_with(&prefix));
+            if has_children && !recursive {
+                return Err(EtcdError::DirNotEmpty(key));
+            }
+            self.nodes.retain(|k, _| !k.starts_with(&prefix));
+        }
+        self.nodes.remove(&key);
+        self.index += 1;
+        Ok(node)
+    }
+
+    /// Compare-and-swap: writes `value` only if the current value
+    /// equals `prev_value`.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::TestFailed`] on mismatch; [`EtcdError::KeyNotFound`]
+    /// for missing keys; [`EtcdError::NotAFile`] for directories.
+    pub fn test_and_set(
+        &mut self,
+        key: &str,
+        value: &str,
+        prev_value: &str,
+        now: f64,
+    ) -> Result<Node, EtcdError> {
+        self.expire(now);
+        let norm = normalize(key)?;
+        let current = self
+            .nodes
+            .get(&norm)
+            .cloned()
+            .ok_or_else(|| EtcdError::KeyNotFound(norm.clone()))?;
+        if current.dir {
+            return Err(EtcdError::NotAFile(norm));
+        }
+        let actual = current.value.clone().unwrap_or_default();
+        if actual != prev_value {
+            return Err(EtcdError::TestFailed {
+                expected: prev_value.to_string(),
+                actual,
+            });
+        }
+        self.set(key, Some(value), None, false, now)
+    }
+
+    /// All live keys in order (testing/analysis helper).
+    pub fn keys(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = EtcdStore::new();
+        s.set("/a", Some("1"), None, false, 0.0).unwrap();
+        let nodes = s.get("/a", 0.0, false).unwrap();
+        assert_eq!(nodes[0].value.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn missing_key_is_not_found() {
+        let mut s = EtcdStore::new();
+        assert!(matches!(
+            s.get("/nope", 0.0, false),
+            Err(EtcdError::KeyNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn non_ascii_key_is_bad_request() {
+        let mut s = EtcdStore::new();
+        assert!(matches!(
+            s.set("/ключ", Some("v"), None, false, 0.0),
+            Err(EtcdError::BadRequest(_))
+        ));
+        assert!(matches!(
+            s.set("/k", Some("значение"), None, false, 0.0),
+            Err(EtcdError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn ttl_expires_by_virtual_time() {
+        let mut s = EtcdStore::new();
+        s.set("/tmp", Some("x"), Some(5.0), false, 0.0).unwrap();
+        assert!(s.get("/tmp", 4.9, false).is_ok());
+        assert!(matches!(
+            s.get("/tmp", 5.1, false),
+            Err(EtcdError::KeyNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn directories_and_children() {
+        let mut s = EtcdStore::new();
+        s.set("/dir/a", Some("1"), None, false, 0.0).unwrap();
+        s.set("/dir/b", Some("2"), None, false, 0.0).unwrap();
+        s.set("/dir/sub/c", Some("3"), None, false, 0.0).unwrap();
+        let direct = s.get("/dir", 0.0, false).unwrap();
+        // dir itself + a + b + sub (not sub/c)
+        assert_eq!(direct.len(), 4);
+        let rec = s.get("/dir", 0.0, true).unwrap();
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn implicit_parent_directories() {
+        let mut s = EtcdStore::new();
+        s.set("/a/b/c", Some("v"), None, false, 0.0).unwrap();
+        assert!(s.get("/a", 0.0, false).unwrap()[0].dir);
+        assert!(s.get("/a/b", 0.0, false).unwrap()[0].dir);
+    }
+
+    #[test]
+    fn mkdir_fails_on_existing() {
+        let mut s = EtcdStore::new();
+        s.mkdir("/d", None, 0.0).unwrap();
+        assert!(matches!(s.mkdir("/d", None, 0.0), Err(EtcdError::NodeExist(_))));
+    }
+
+    #[test]
+    fn cannot_overwrite_dir_with_value() {
+        let mut s = EtcdStore::new();
+        s.mkdir("/d", None, 0.0).unwrap();
+        assert!(matches!(
+            s.set("/d", Some("v"), None, false, 0.0),
+            Err(EtcdError::NotAFile(_))
+        ));
+    }
+
+    #[test]
+    fn delete_dir_requires_recursive() {
+        let mut s = EtcdStore::new();
+        s.set("/d/k", Some("v"), None, false, 0.0).unwrap();
+        assert!(matches!(
+            s.delete("/d", false, 0.0),
+            Err(EtcdError::DirNotEmpty(_))
+        ));
+        s.delete("/d", true, 0.0).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn test_and_set_swaps_only_on_match() {
+        let mut s = EtcdStore::new();
+        s.set("/k", Some("old"), None, false, 0.0).unwrap();
+        assert!(matches!(
+            s.test_and_set("/k", "new", "wrong", 0.0),
+            Err(EtcdError::TestFailed { .. })
+        ));
+        s.test_and_set("/k", "new", "old", 0.0).unwrap();
+        assert_eq!(
+            s.get("/k", 0.0, false).unwrap()[0].value.as_deref(),
+            Some("new")
+        );
+    }
+
+    #[test]
+    fn modified_index_increases() {
+        let mut s = EtcdStore::new();
+        let n1 = s.set("/k", Some("1"), None, false, 0.0).unwrap();
+        let n2 = s.set("/k", Some("2"), None, false, 0.0).unwrap();
+        assert!(n2.modified_index > n1.modified_index);
+        assert_eq!(n1.created_index, n2.created_index);
+    }
+}

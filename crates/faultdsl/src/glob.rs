@@ -1,0 +1,77 @@
+//! Minimal glob matching for DSL attribute values (`name=delete_*`,
+//! `val=*-*`): `*` matches any run of characters, `?` matches one.
+
+/// Returns true if `text` matches the glob `pattern`.
+///
+/// # Example
+///
+/// ```
+/// assert!(faultdsl::glob_match("delete_*", "delete_port"));
+/// assert!(faultdsl::glob_match("*-*", "--dport 2379"));
+/// assert!(!faultdsl::glob_match("delete_*", "create_port"));
+/// ```
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative two-pointer algorithm with star backtracking.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        // `*` must be tested before the literal branch so that a `*`
+        // character in the text cannot shadow the wildcard.
+        if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(!glob_match("abc", "abcd"));
+    }
+
+    #[test]
+    fn star_matches_runs() {
+        assert!(glob_match("delete_*", "delete_network"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b", "ac"));
+    }
+
+    #[test]
+    fn question_matches_one() {
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert!(glob_match("delete_*", "delete_port"));
+        assert!(glob_match("utils.execute", "utils.execute"));
+        assert!(glob_match("*-*", "--retry"));
+        assert!(glob_match("*-*", "a-b"));
+        assert!(!glob_match("*-*", "plain"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Predefined fault models (paper §IV-A: "ProFIPy provides pre-defined
+//! fault models based on previous fault injection studies").
+//!
+//! The generic model covers the G-SWFIT-derived fault types of §II/§III
+//! plus the extended types listed at the end of §III (exception
+//! injection, None returns, omitted optional parameters, AND/OR clause
+//! omission, wrong initialization, resource hogs, delays).
+//!
+//! The three `campaign_*_model` functions reproduce Table I: the fault
+//! classes requested by the industrial partner for the python-etcd
+//! case study.
+
+use crate::model_io::{FaultModel, SpecSource};
+
+fn spec(name: &str, description: &str, dsl: &str) -> SpecSource {
+    SpecSource {
+        name: name.to_string(),
+        description: description.to_string(),
+        dsl: dsl.trim_start_matches('\n').to_string(),
+    }
+}
+
+/// The generic, G-SWFIT-style predefined fault model.
+pub fn predefined_models() -> FaultModel {
+    FaultModel {
+        name: "gswfit-extended".to_string(),
+        description: "Generic software fault model: G-SWFIT fault types adapted to Python \
+                      plus the ProFIPy extended types (paper §III)"
+            .to_string(),
+        specs: vec![
+            spec(
+                "MFC",
+                "Missing function call (Fig. 1a): omit a call statement that is \
+                 preceded and followed by other statements",
+                r#"
+change {
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=*}(...)
+    $BLOCK{tag=b2; stmts=1,*}
+} into {
+    $BLOCK{tag=b1}
+    $BLOCK{tag=b2}
+}"#,
+            ),
+            spec(
+                "MIFS",
+                "Missing IF construct plus statements (Fig. 1b): delete a small \
+                 guarded block",
+                r#"
+change {
+    if $EXPR:
+        $BLOCK{stmts=1,4}
+} into {
+}"#,
+            ),
+            spec(
+                "WPF",
+                "Wrong parameter in function call (Fig. 1c): corrupt a string \
+                 argument that looks like a UNIX utility flag",
+                r#"
+change {
+    $CALL#c{name=*}(..., $STRING#s{val=*-*}, ...)
+} into {
+    $CALL#c(..., $CORRUPT($STRING#s), ...)
+}"#,
+            ),
+            spec(
+                "MPFC",
+                "Missing parameter in function call: drop trailing arguments so \
+                 the callee falls back to defaults",
+                r#"
+change {
+    $CALL#c{name=*}($EXPR#a, $EXPR#b, ...)
+} into {
+    $CALL#c($EXPR#a)
+}"#,
+            ),
+            spec(
+                "EXC",
+                "Throw exception at a call site (error-handler coverage, §III)",
+                r#"
+change {
+    $BLOCK{tag=b1; stmts=1,*}
+    $CALL{name=*}(...)
+} into {
+    $BLOCK{tag=b1}
+    raise RuntimeError('injected exception')
+}"#,
+            ),
+            spec(
+                "NONE_RET",
+                "None returned from a library call (§III): tests IF-based error \
+                 handling after the call",
+                r#"
+change {
+    $VAR#r = $CALL{name=*}(...)
+} into {
+    $VAR#r = None
+}"#,
+            ),
+            spec(
+                "WVAV",
+                "Wrong value assigned to variable: corrupt a numeric initialization",
+                r#"
+change {
+    $VAR#x = $NUM#n
+} into {
+    $VAR#x = $CORRUPT($NUM#n)
+}"#,
+            ),
+            spec(
+                "MBCA",
+                "Missing AND clause in an IF condition (§III)",
+                r#"
+change {
+    if $EXPR#a and $EXPR#b:
+        $BLOCK{tag=body; stmts=1,*}
+} into {
+    if $EXPR#a:
+        $BLOCK{tag=body}
+}"#,
+            ),
+            spec(
+                "MBCO",
+                "Missing OR clause in an IF condition (§III)",
+                r#"
+change {
+    if $EXPR#a or $EXPR#b:
+        $BLOCK{tag=body; stmts=1,*}
+} into {
+    if $EXPR#a:
+        $BLOCK{tag=body}
+}"#,
+            ),
+            spec(
+                "MIA",
+                "Missing IF construct around statements: keep the body, drop the guard",
+                r#"
+change {
+    if $EXPR#cond:
+        $BLOCK{tag=body; stmts=1,4}
+} into {
+    $BLOCK{tag=body}
+}"#,
+            ),
+            spec(
+                "CDI",
+                "Corrupt dictionary initialization (wrong key-value literal, §III)",
+                r#"
+change {
+    $VAR#d = {$STRING#k: $EXPR#v}
+} into {
+    $VAR#d = {$CORRUPT($STRING#k): $EXPR#v}
+}"#,
+            ),
+            spec(
+                "MLPA",
+                "Missing small part of the algorithm: remove a loop body",
+                r#"
+change {
+    for $VAR#i in $EXPR#seq:
+        $BLOCK{stmts=2,*}
+} into {
+    pass
+}"#,
+            ),
+            spec(
+                "HOG",
+                "High resource consumption via $HOG (§III): stale CPU-hog thread \
+                 after a call",
+                r#"
+change {
+    $VAR#r = $CALL#c{name=*}(...)
+} into {
+    $VAR#r = $CALL#c(...)
+    $HOG
+}"#,
+            ),
+            spec(
+                "DELAY",
+                "Artificial time delay via $TIMEOUT (§III)",
+                r#"
+change {
+    $VAR#r = $CALL#c{name=*}(...)
+} into {
+    $TIMEOUT{secs=5}
+    $VAR#r = $CALL#c(...)
+}"#,
+            ),
+        ],
+    }
+}
+
+/// Campaign A (Table I row 1): failures when calling external library
+/// APIs — exceptions, None objects, omitted calls, wrong calls on the
+/// `urllib` and `os` modules.
+pub fn campaign_a_model() -> FaultModel {
+    FaultModel {
+        name: "campaign-a-external-apis".to_string(),
+        description: "Failures when calling external library APIs (urllib, os): \
+                      Throw Exception, Missing Function Call, Missing Parameters (§V-A)"
+            .to_string(),
+        specs: vec![
+            spec(
+                "A-THROW-URLLIB",
+                "Raise ConnectTimeoutError instead of the urllib call (per-API \
+                 exception list, §V-A Throw Exception)",
+                r#"
+change {
+    $VAR#r = $CALL{name=urllib.request}(...)
+} into {
+    raise urllib.ConnectTimeoutError('injected: connection timed out')
+}"#,
+            ),
+            spec(
+                "A-NONE-URLLIB",
+                "Return a None object from a urllib GET (per-API list, §V-A)",
+                r#"
+change {
+    $VAR#r = $CALL{name=urllib.request}($STRING{val=GET}, ...)
+} into {
+    $VAR#r = None
+}"#,
+            ),
+            spec(
+                "A-OMIT-OS",
+                "Missing Function Call: omit an os.* call statement (replaced \
+                 with pass, §V-A)",
+                r#"
+change {
+    $CALL{name=os.*}(...)
+} into {
+    pass
+}"#,
+            ),
+            spec(
+                "A-OMIT-URLLIB-STMT",
+                "Missing Function Call: omit a statement-level urllib call",
+                r#"
+change {
+    $CALL{name=urllib.request}(...)
+} into {
+    pass
+}"#,
+            ),
+            spec(
+                "A-THROW-OS",
+                "Raise IOError at an os.* call (§V-A Throw Exception)",
+                r#"
+change {
+    $VAR#r = $CALL{name=os.*}(...)
+} into {
+    raise IOError('injected: I/O error')
+}"#,
+            ),
+            spec(
+                "A-MISSING-PARAMS",
+                "Missing Parameters: call a urllib PUT/POST with omitted trailing \
+                 parameters so defaults are used (§V-A)",
+                r#"
+change {
+    $VAR#r = $CALL#c{name=urllib.request}($STRING#m{val=P*}, $EXPR#u, ...)
+} into {
+    $VAR#r = $CALL#c($STRING#m, $EXPR#u)
+}"#,
+            ),
+        ],
+    }
+}
+
+/// Campaign B (Table I row 2): wrong inputs to the python-etcd API —
+/// string corruptions, None values, negative integers.
+pub fn campaign_b_model() -> FaultModel {
+    FaultModel {
+        name: "campaign-b-wrong-inputs".to_string(),
+        description: "Wrong inputs in Python-etcd API (set/get/test_and_set/...): \
+                      string corruptions, None values, negative integers (§V-B)"
+            .to_string(),
+        specs: vec![
+            spec(
+                "B-CORRUPT-KEY",
+                "Corrupt the first (key) argument of a client API call",
+                r#"
+change {
+    $CALL#c{name=*client.set}($EXPR#k, ...)
+} into {
+    $CALL#c($CORRUPT($EXPR#k), ...)
+}"#,
+            ),
+            spec(
+                "B-CORRUPT-KEY-GET",
+                "Corrupt the key passed to get()",
+                r#"
+change {
+    $VAR#r = $CALL#c{name=*client.get}($EXPR#k, ...)
+} into {
+    $VAR#r = $CALL#c($CORRUPT($EXPR#k), ...)
+}"#,
+            ),
+            spec(
+                "B-NONE-KEY",
+                "Pass None instead of the key to delete()/mkdir() (NoneType \
+                 propagation, §V-B)",
+                r#"
+change {
+    $CALL#c{name=*client.delete}($EXPR#k, ...)
+} into {
+    $CALL#c(None, ...)
+}"#,
+            ),
+            spec(
+                "B-NONE-KEY-MKDIR",
+                "Pass None instead of the key to mkdir()",
+                r#"
+change {
+    $CALL#c{name=*client.mkdir}($EXPR#k, ...)
+} into {
+    $CALL#c(None, ...)
+}"#,
+            ),
+            spec(
+                "B-CORRUPT-VALUE",
+                "Corrupt the value argument of set()/test_and_set()",
+                r#"
+change {
+    $CALL#c{name=*client.*set*}($EXPR#k, $EXPR#v, ...)
+} into {
+    $CALL#c($EXPR#k, $CORRUPT($EXPR#v), ...)
+}"#,
+            ),
+            spec(
+                "B-NEGATIVE-TTL",
+                "Negative integer instead of a numeric argument (§V-B)",
+                r#"
+change {
+    $CALL#c{name=*client.*}($EXPR#k, $EXPR#v, $NUM#t, ...)
+} into {
+    $CALL#c($EXPR#k, $EXPR#v, -1, ...)
+}"#,
+            ),
+        ],
+    }
+}
+
+/// Campaign C (Table I row 3): resource-management bugs — stale hog
+/// threads inside the methods of python-etcd.
+pub fn campaign_c_model() -> FaultModel {
+    FaultModel {
+        name: "campaign-c-resource-hogs".to_string(),
+        description: "Resource management bugs: CPU hog threads injected after \
+                      method calls inside Python-etcd (§V-C)"
+            .to_string(),
+        specs: vec![
+            spec(
+                "C-HOG-AFTER-CALL",
+                "Spawn a stale CPU-hog thread after an assigned call",
+                r#"
+change {
+    $VAR#r = $CALL#c{name=*}(...)
+} into {
+    $VAR#r = $CALL#c(...)
+    $HOG
+}"#,
+            ),
+            spec(
+                "C-HOG-AFTER-STMT-CALL",
+                "Spawn a stale CPU-hog thread after a statement-level call",
+                r#"
+change {
+    $CALL#c{name=self.*}(...)
+} into {
+    $CALL#c(...)
+    $HOG
+}"#,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_predefined_specs_compile() {
+        for model in [
+            predefined_models(),
+            campaign_a_model(),
+            campaign_b_model(),
+            campaign_c_model(),
+        ] {
+            let compiled = model.compile().unwrap_or_else(|e| {
+                panic!("model {} failed to compile: {e}", model.name)
+            });
+            assert_eq!(compiled.len(), model.specs.len());
+        }
+    }
+
+    #[test]
+    fn predefined_model_covers_paper_fault_types() {
+        let names: Vec<String> = predefined_models()
+            .specs
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for required in ["MFC", "MIFS", "WPF", "EXC", "NONE_RET", "HOG", "DELAY"] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
+    }
+}

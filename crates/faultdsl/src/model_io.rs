@@ -1,0 +1,97 @@
+//! Fault-model persistence (paper §IV-A: "The fault model is stored in
+//! a JSON file, and users can save and import fault models of previous
+//! fault injection campaigns").
+
+use crate::spec::{parse_spec, BugSpec, DslError};
+use serde::{Deserialize, Serialize};
+
+/// One named bug specification in DSL source form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecSource {
+    /// Specification name (e.g. `"MFC"`).
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The `change { ... } into { ... }` DSL text.
+    pub dsl: String,
+}
+
+/// A fault model: a named set of bug specifications.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Model name.
+    pub name: String,
+    /// What this model emulates.
+    pub description: String,
+    /// The specifications.
+    pub specs: Vec<SpecSource>,
+}
+
+impl FaultModel {
+    /// Serializes the model to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the model contains only strings.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault models are plain strings")
+    }
+
+    /// Parses a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message.
+    pub fn from_json(json: &str) -> Result<FaultModel, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Compiles every specification to its meta-model.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DslError`] encountered, prefixed with the spec name.
+    pub fn compile(&self) -> Result<Vec<BugSpec>, DslError> {
+        self.specs
+            .iter()
+            .map(|s| {
+                parse_spec(&s.dsl, &s.name).map_err(|e| DslError {
+                    message: format!("{}: {}", s.name, e.message),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let model = crate::library::predefined_models();
+        let json = model.to_json();
+        let back = FaultModel::from_json(&json).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn bad_json_is_error() {
+        assert!(FaultModel::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn compile_reports_spec_name() {
+        let model = FaultModel {
+            name: "broken".into(),
+            description: String::new(),
+            specs: vec![SpecSource {
+                name: "BAD".into(),
+                description: String::new(),
+                dsl: "change {\n    $NOPE\n} into {\n}".into(),
+            }],
+        };
+        let err = model.compile().unwrap_err();
+        assert!(err.message.contains("BAD"));
+    }
+}

@@ -1,0 +1,773 @@
+//! The meta-model matcher: interprets a [`BugSpec`] pattern against a
+//! window of statements in a target block.
+//!
+//! Matching semantics:
+//!
+//! * The pattern's top-level elements match a **contiguous window** of
+//!   statements within one block. `$BLOCK{stmts=min,max}` elements are
+//!   variable-length and matched **lazily** (shortest first), so every
+//!   distinct "core" (the statements matched by non-`$BLOCK` elements)
+//!   is discovered exactly once by the scanner.
+//! * Nested bodies (the body of a pattern `if`/`for`/`while`) must
+//!   match the target body **exactly** (anchored at both ends).
+//! * Argument lists match sequence-wise; `...` is a lazy wildcard run.
+//! * Tags bind matched statements/expressions for reuse by the
+//!   replacement builder.
+
+use faultdsl::spec::{BugSpec, ELLIPSIS};
+use faultdsl::{glob_match, DirectiveKind};
+use pysrc::ast::*;
+use std::collections::HashMap;
+
+/// Everything a successful match binds.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    /// `$BLOCK` tags → matched statement runs.
+    pub blocks: HashMap<String, Vec<Stmt>>,
+    /// Expression tags (`$CALL#c`, `$STRING#s`, ...) → matched exprs.
+    pub exprs: HashMap<String, Expr>,
+    /// For tagged calls with explicit argument patterns: pattern
+    /// explicit-element order → matched argument index in the target.
+    pub call_arg_map: HashMap<String, Vec<usize>>,
+}
+
+/// A successful match of a pattern at a window.
+#[derive(Clone, Debug)]
+pub struct WindowMatch {
+    /// Number of statements the window covers.
+    pub len: usize,
+    /// Ids of statements matched by non-`$BLOCK` elements (dedupe key).
+    pub core_ids: Vec<NodeId>,
+    /// Tag bindings.
+    pub bindings: Bindings,
+}
+
+enum Element<'p> {
+    /// `$BLOCK{stmts=min,max}`.
+    VarBlock {
+        tag: Option<String>,
+        min: usize,
+        max: Option<usize>,
+    },
+    /// Any other pattern statement.
+    Single(&'p Stmt),
+}
+
+fn classify<'p>(spec: &BugSpec, pattern: &'p [Stmt]) -> Vec<Element<'p>> {
+    pattern
+        .iter()
+        .map(|s| {
+            if let StmtKind::Expr(e) = &s.kind {
+                if let ExprKind::Name(n) = &e.kind {
+                    if let Some(d) = spec.directive(n) {
+                        if let DirectiveKind::Block { min, max } = d.kind {
+                            return Element::VarBlock {
+                                tag: d.tag.clone(),
+                                min,
+                                max,
+                            };
+                        }
+                    }
+                }
+            }
+            Element::Single(s)
+        })
+        .collect()
+}
+
+/// Attempts to match the spec's pattern as a window starting at
+/// `block[start]`. Returns the lazily-shortest match.
+pub fn match_at(spec: &BugSpec, block: &[Stmt], start: usize) -> Option<WindowMatch> {
+    let elements = classify(spec, &spec.pattern);
+    let mut bindings = Bindings::default();
+    let mut core_ids = Vec::new();
+    let end = seq_match(
+        spec,
+        &elements,
+        block,
+        start,
+        false,
+        &mut bindings,
+        &mut core_ids,
+    )?;
+    Some(WindowMatch {
+        len: end - start,
+        core_ids,
+        bindings,
+    })
+}
+
+/// Matches a full body (anchored at both ends) — used for nested
+/// pattern bodies.
+fn body_match(
+    spec: &BugSpec,
+    pattern: &[Stmt],
+    body: &[Stmt],
+    bindings: &mut Bindings,
+    core_ids: &mut Vec<NodeId>,
+) -> bool {
+    let elements = classify(spec, pattern);
+    matches!(
+        seq_match(spec, &elements, body, 0, true, bindings, core_ids),
+        Some(end) if end == body.len()
+    )
+}
+
+/// Sequence matcher with lazy variable blocks. When `anchored`, the
+/// final element must land exactly at the end of `block` (enforced by
+/// the caller re-checking the returned end).
+#[allow(clippy::too_many_arguments)]
+fn seq_match(
+    spec: &BugSpec,
+    elements: &[Element<'_>],
+    block: &[Stmt],
+    pos: usize,
+    anchored: bool,
+    bindings: &mut Bindings,
+    core_ids: &mut Vec<NodeId>,
+) -> Option<usize> {
+    let Some((first, rest)) = elements.split_first() else {
+        return Some(pos);
+    };
+    match first {
+        Element::VarBlock { tag, min, max } => {
+            let remaining = block.len().saturating_sub(pos);
+            let cap = max.unwrap_or(remaining).min(remaining);
+            // Lazy: shortest run first. When this is the LAST element of
+            // an anchored body, it must absorb everything left.
+            let counts: Vec<usize> = if anchored && rest.is_empty() {
+                if remaining >= *min && remaining <= cap {
+                    vec![remaining]
+                } else {
+                    vec![]
+                }
+            } else {
+                (*min..=cap).collect()
+            };
+            for take in counts {
+                let mut trial_bindings = bindings.clone();
+                let mut trial_core = core_ids.clone();
+                if let Some(tag) = tag {
+                    trial_bindings
+                        .blocks
+                        .insert(tag.clone(), block[pos..pos + take].to_vec());
+                }
+                if let Some(end) = seq_match(
+                    spec,
+                    rest,
+                    block,
+                    pos + take,
+                    anchored,
+                    &mut trial_bindings,
+                    &mut trial_core,
+                ) {
+                    if anchored && rest.is_empty() && end != block.len() {
+                        continue;
+                    }
+                    *bindings = trial_bindings;
+                    *core_ids = trial_core;
+                    return Some(end);
+                }
+            }
+            None
+        }
+        Element::Single(pat) => {
+            let prog = block.get(pos)?;
+            let mut trial_bindings = bindings.clone();
+            let mut trial_core = core_ids.clone();
+            if match_stmt(spec, pat, prog, &mut trial_bindings, &mut trial_core) {
+                trial_core.push(prog.id);
+                if let Some(end) = seq_match(
+                    spec,
+                    rest,
+                    block,
+                    pos + 1,
+                    anchored,
+                    &mut trial_bindings,
+                    &mut trial_core,
+                ) {
+                    *bindings = trial_bindings;
+                    *core_ids = trial_core;
+                    return Some(end);
+                }
+            }
+            None
+        }
+    }
+}
+
+fn match_stmt(
+    spec: &BugSpec,
+    pat: &Stmt,
+    prog: &Stmt,
+    bindings: &mut Bindings,
+    core_ids: &mut Vec<NodeId>,
+) -> bool {
+    match (&pat.kind, &prog.kind) {
+        (StmtKind::Expr(pe), StmtKind::Expr(ge)) => match_expr(spec, pe, ge, bindings),
+        (
+            StmtKind::Assign {
+                targets: pt,
+                value: pv,
+            },
+            StmtKind::Assign {
+                targets: gt,
+                value: gv,
+            },
+        ) => {
+            pt.len() == gt.len()
+                && pt
+                    .iter()
+                    .zip(gt)
+                    .all(|(p, g)| match_expr(spec, p, g, bindings))
+                && match_expr(spec, pv, gv, bindings)
+        }
+        (
+            StmtKind::AugAssign {
+                target: pt,
+                op: po,
+                value: pv,
+            },
+            StmtKind::AugAssign {
+                target: gt,
+                op: go,
+                value: gv,
+            },
+        ) => po == go && match_expr(spec, pt, gt, bindings) && match_expr(spec, pv, gv, bindings),
+        (StmtKind::Return(pv), StmtKind::Return(gv)) => match (pv, gv) {
+            (None, None) => true,
+            (Some(p), Some(g)) => match_expr(spec, p, g, bindings),
+            _ => false,
+        },
+        (StmtKind::Pass, StmtKind::Pass)
+        | (StmtKind::Break, StmtKind::Break)
+        | (StmtKind::Continue, StmtKind::Continue) => true,
+        (
+            StmtKind::Raise {
+                exc: pe,
+                cause: pc,
+            },
+            StmtKind::Raise {
+                exc: ge,
+                cause: gc,
+            },
+        ) => {
+            let exc_ok = match (pe, ge) {
+                (None, None) => true,
+                (Some(p), Some(g)) => match_expr(spec, p, g, bindings),
+                _ => false,
+            };
+            let cause_ok = match (pc, gc) {
+                (None, None) => true,
+                (Some(p), Some(g)) => match_expr(spec, p, g, bindings),
+                _ => false,
+            };
+            exc_ok && cause_ok
+        }
+        (
+            StmtKind::If {
+                branches: pb,
+                orelse: po,
+            },
+            StmtKind::If {
+                branches: gb,
+                orelse: go,
+            },
+        ) => {
+            // Strict structure: same number of branches, both with or
+            // without an else.
+            pb.len() == gb.len()
+                && po.is_empty() == go.is_empty()
+                && pb.iter().zip(gb).all(|((pc, pbody), (gc, gbody))| {
+                    match_expr(spec, pc, gc, bindings)
+                        && body_match(spec, pbody, gbody, bindings, core_ids)
+                })
+                && (po.is_empty() || body_match(spec, po, go, bindings, core_ids))
+        }
+        (
+            StmtKind::While {
+                test: pt,
+                body: pbody,
+                orelse: po,
+            },
+            StmtKind::While {
+                test: gt,
+                body: gbody,
+                orelse: go,
+            },
+        ) => {
+            match_expr(spec, pt, gt, bindings)
+                && po.is_empty() == go.is_empty()
+                && body_match(spec, pbody, gbody, bindings, core_ids)
+                && (po.is_empty() || body_match(spec, po, go, bindings, core_ids))
+        }
+        (
+            StmtKind::For {
+                target: ptg,
+                iter: pit,
+                body: pbody,
+                orelse: po,
+            },
+            StmtKind::For {
+                target: gtg,
+                iter: git,
+                body: gbody,
+                orelse: go,
+            },
+        ) => {
+            match_expr(spec, ptg, gtg, bindings)
+                && match_expr(spec, pit, git, bindings)
+                && po.is_empty() == go.is_empty()
+                && body_match(spec, pbody, gbody, bindings, core_ids)
+                && (po.is_empty() || body_match(spec, po, go, bindings, core_ids))
+        }
+        _ => false,
+    }
+}
+
+/// Does a placeholder directive match this expression? Binds tags.
+fn match_placeholder(
+    spec: &BugSpec,
+    placeholder: &str,
+    prog: &Expr,
+    bindings: &mut Bindings,
+) -> bool {
+    let Some(d) = spec.directive(placeholder) else {
+        return false;
+    };
+    let ok = match &d.kind {
+        DirectiveKind::Expr { var } => match var {
+            None => true,
+            Some(glob) => {
+                // The expression must reference a variable matching the glob.
+                let mut found = false;
+                pysrc::visit::walk_expr(prog, &mut |e| {
+                    if let ExprKind::Name(n) = &e.kind {
+                        if glob_match(glob, n) {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            }
+        },
+        DirectiveKind::Var { name } => match &prog.kind {
+            ExprKind::Name(n) => name.as_deref().is_none_or(|g| glob_match(g, n)),
+            _ => false,
+        },
+        DirectiveKind::Str { val } => match &prog.kind {
+            ExprKind::Str(s) => val.as_deref().is_none_or(|g| glob_match(g, s)),
+            _ => false,
+        },
+        DirectiveKind::Num => matches!(prog.kind, ExprKind::Num(_)),
+        DirectiveKind::Call { name } => match &prog.kind {
+            ExprKind::Call { func, .. } => func
+                .dotted_path()
+                .is_some_and(|p| name.as_deref().is_none_or(|g| glob_match(g, &p))),
+            _ => false,
+        },
+        // Replacement-side directives never match.
+        DirectiveKind::Block { .. }
+        | DirectiveKind::Corrupt
+        | DirectiveKind::Hog
+        | DirectiveKind::Timeout { .. } => false,
+    };
+    if ok {
+        if let Some(tag) = &d.tag {
+            bindings.exprs.insert(tag.clone(), prog.clone());
+        }
+    }
+    ok
+}
+
+/// Expression matching (pattern may contain placeholders anywhere).
+pub fn match_expr(spec: &BugSpec, pat: &Expr, prog: &Expr, bindings: &mut Bindings) -> bool {
+    // Placeholder name?
+    if let ExprKind::Name(n) = &pat.kind {
+        if spec.directive(n).is_some() {
+            return match_placeholder(spec, n, prog, bindings);
+        }
+    }
+    // `$CALL{..}(args)` — placeholder in callee position.
+    if let ExprKind::Call {
+        func: pfunc,
+        args: pargs,
+    } = &pat.kind
+    {
+        if let ExprKind::Name(n) = &pfunc.kind {
+            if let Some(d) = spec.directive(n) {
+                if let DirectiveKind::Call { name } = &d.kind {
+                    let ExprKind::Call {
+                        func: gfunc,
+                        args: gargs,
+                    } = &prog.kind
+                    else {
+                        return false;
+                    };
+                    let callee_ok = gfunc
+                        .dotted_path()
+                        .is_some_and(|p| name.as_deref().is_none_or(|g| glob_match(g, &p)));
+                    if !callee_ok {
+                        return false;
+                    }
+                    let mut arg_map = Vec::new();
+                    if !match_args(spec, pargs, gargs, bindings, &mut arg_map) {
+                        return false;
+                    }
+                    if let Some(tag) = &d.tag {
+                        bindings.exprs.insert(tag.clone(), prog.clone());
+                        bindings.call_arg_map.insert(tag.clone(), arg_map);
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+    match (&pat.kind, &prog.kind) {
+        (ExprKind::Num(a), ExprKind::Num(b)) => match (a, b) {
+            (Number::Int(x), Number::Int(y)) => x == y,
+            (Number::Float(x), Number::Float(y)) => x == y,
+            _ => false,
+        },
+        (ExprKind::Str(a), ExprKind::Str(b)) => a == b,
+        (ExprKind::Bool(a), ExprKind::Bool(b)) => a == b,
+        (ExprKind::NoneLit, ExprKind::NoneLit) => true,
+        (ExprKind::Name(a), ExprKind::Name(b)) => a == b,
+        (
+            ExprKind::Attribute {
+                value: pv,
+                attr: pa,
+            },
+            ExprKind::Attribute {
+                value: gv,
+                attr: ga,
+            },
+        ) => pa == ga && match_expr(spec, pv, gv, bindings),
+        (
+            ExprKind::Subscript {
+                value: pv,
+                index: pi,
+            },
+            ExprKind::Subscript {
+                value: gv,
+                index: gi,
+            },
+        ) => match_expr(spec, pv, gv, bindings) && match_expr(spec, pi, gi, bindings),
+        (
+            ExprKind::Call {
+                func: pf,
+                args: pa,
+            },
+            ExprKind::Call {
+                func: gf,
+                args: ga,
+            },
+        ) => {
+            let mut ignored = Vec::new();
+            match_expr(spec, pf, gf, bindings) && match_args(spec, pa, ga, bindings, &mut ignored)
+        }
+        (
+            ExprKind::Unary {
+                op: po,
+                operand: pv,
+            },
+            ExprKind::Unary {
+                op: go,
+                operand: gv,
+            },
+        ) => po == go && match_expr(spec, pv, gv, bindings),
+        (
+            ExprKind::Binary {
+                left: pl,
+                op: po,
+                right: pr,
+            },
+            ExprKind::Binary {
+                left: gl,
+                op: go,
+                right: gr,
+            },
+        ) => po == go && match_expr(spec, pl, gl, bindings) && match_expr(spec, pr, gr, bindings),
+        (
+            ExprKind::BoolOp {
+                op: po,
+                values: pv,
+            },
+            ExprKind::BoolOp {
+                op: go,
+                values: gv,
+            },
+        ) => {
+            po == go
+                && pv.len() == gv.len()
+                && pv
+                    .iter()
+                    .zip(gv)
+                    .all(|(p, g)| match_expr(spec, p, g, bindings))
+        }
+        (
+            ExprKind::Compare {
+                left: pl,
+                ops: po,
+                comparators: pc,
+            },
+            ExprKind::Compare {
+                left: gl,
+                ops: go,
+                comparators: gc,
+            },
+        ) => {
+            po == go
+                && match_expr(spec, pl, gl, bindings)
+                && pc.len() == gc.len()
+                && pc
+                    .iter()
+                    .zip(gc)
+                    .all(|(p, g)| match_expr(spec, p, g, bindings))
+        }
+        (ExprKind::Tuple(pa), ExprKind::Tuple(ga))
+        | (ExprKind::List(pa), ExprKind::List(ga))
+        | (ExprKind::Set(pa), ExprKind::Set(ga)) => {
+            pa.len() == ga.len()
+                && pa
+                    .iter()
+                    .zip(ga)
+                    .all(|(p, g)| match_expr(spec, p, g, bindings))
+        }
+        (ExprKind::Dict(pp), ExprKind::Dict(gp)) => {
+            pp.len() == gp.len()
+                && pp.iter().zip(gp).all(|((pk, pv), (gk, gv))| {
+                    match_expr(spec, pk, gk, bindings) && match_expr(spec, pv, gv, bindings)
+                })
+        }
+        (
+            ExprKind::IfExp {
+                test: pt,
+                body: pb,
+                orelse: po,
+            },
+            ExprKind::IfExp {
+                test: gt,
+                body: gb,
+                orelse: go,
+            },
+        ) => {
+            match_expr(spec, pt, gt, bindings)
+                && match_expr(spec, pb, gb, bindings)
+                && match_expr(spec, po, go, bindings)
+        }
+        (ExprKind::Starred(p), ExprKind::Starred(g)) => match_expr(spec, p, g, bindings),
+        _ => false,
+    }
+}
+
+fn is_ellipsis_arg(arg: &Arg) -> bool {
+    matches!(arg, Arg::Pos(e) if matches!(&e.kind, ExprKind::Name(n) if n == ELLIPSIS))
+}
+
+/// Argument-list matching with lazy `...` wildcards. `arg_map` records,
+/// for each explicit pattern element in order, the index of the target
+/// argument it matched.
+fn match_args(
+    spec: &BugSpec,
+    pattern: &[Arg],
+    prog: &[Arg],
+    bindings: &mut Bindings,
+    arg_map: &mut Vec<usize>,
+) -> bool {
+    fn rec(
+        spec: &BugSpec,
+        pattern: &[Arg],
+        prog: &[Arg],
+        pi: usize,
+        gi: usize,
+        bindings: &mut Bindings,
+        arg_map: &mut Vec<usize>,
+    ) -> bool {
+        if pi == pattern.len() {
+            return gi == prog.len();
+        }
+        let pat = &pattern[pi];
+        if is_ellipsis_arg(pat) {
+            // Lazy wildcard: try consuming 0..rest.
+            for take in 0..=(prog.len() - gi) {
+                let mut trial = bindings.clone();
+                let mut trial_map = arg_map.clone();
+                if rec(spec, pattern, prog, pi + 1, gi + take, &mut trial, &mut trial_map) {
+                    *bindings = trial;
+                    *arg_map = trial_map;
+                    return true;
+                }
+            }
+            return false;
+        }
+        let Some(g) = prog.get(gi) else { return false };
+        let element_ok = match (pat, g) {
+            (Arg::Pos(p), Arg::Pos(v)) => match_expr(spec, p, v, bindings),
+            (Arg::Kw(pn, p), Arg::Kw(gn, v)) => pn == gn && match_expr(spec, p, v, bindings),
+            (Arg::Star(p), Arg::Star(v)) | (Arg::DoubleStar(p), Arg::DoubleStar(v)) => {
+                match_expr(spec, p, v, bindings)
+            }
+            _ => false,
+        };
+        if !element_ok {
+            return false;
+        }
+        arg_map.push(gi);
+        rec(spec, pattern, prog, pi + 1, gi + 1, bindings, arg_map)
+    }
+    rec(spec, pattern, prog, 0, 0, bindings, arg_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultdsl::parse_spec;
+
+    fn block_of(src: &str) -> Vec<Stmt> {
+        pysrc::parse_module(src, "t.py").unwrap().body
+    }
+
+    #[test]
+    fn mfc_matches_surrounded_call() {
+        let spec = parse_spec(
+            "change {\n    $BLOCK{tag=b1; stmts=1,*}\n    $CALL{name=delete_*}(...)\n    $BLOCK{tag=b2; stmts=1,*}\n} into {\n    $BLOCK{tag=b1}\n    $BLOCK{tag=b2}\n}",
+            "MFC",
+        )
+        .unwrap();
+        let block = block_of("a = 1\ndelete_port(x)\nb = 2\n");
+        let m = match_at(&spec, &block, 0).expect("should match");
+        assert_eq!(m.len, 3);
+        assert_eq!(m.bindings.blocks["b1"].len(), 1);
+        assert_eq!(m.bindings.blocks["b2"].len(), 1);
+        // A call that is the only statement must NOT match (paper: the
+        // call must be surrounded).
+        let lonely = block_of("delete_port(x)\n");
+        assert!(match_at(&spec, &lonely, 0).is_none());
+        // Wrong name must not match.
+        let wrong = block_of("a = 1\ncreate_port(x)\nb = 2\n");
+        assert!(match_at(&spec, &wrong, 0).is_none());
+    }
+
+    #[test]
+    fn mifs_matches_if_with_continue() {
+        let spec = parse_spec(
+            "change {\n    if $EXPR{var=node}:\n        $BLOCK{stmts=1,4}\n        continue\n} into {\n}",
+            "MIFS",
+        )
+        .unwrap();
+        let block = block_of(
+            "for node in nodes:\n    if not node:\n        log(node)\n        continue\n",
+        );
+        // The if is nested in the for body.
+        let StmtKind::For { body, .. } = &block[0].kind else {
+            panic!()
+        };
+        let m = match_at(&spec, body, 0).expect("if should match");
+        assert_eq!(m.len, 1);
+        // A different variable name must not match.
+        let other = block_of("if not cfg:\n    log(cfg)\n    continue\n");
+        assert!(match_at(&spec, &other, 0).is_none());
+        // Body without continue must not match.
+        let nocont = block_of("if not node:\n    log(node)\n");
+        assert!(match_at(&spec, &nocont, 0).is_none());
+    }
+
+    #[test]
+    fn wpf_matches_flag_string_argument() {
+        let spec = parse_spec(
+            "change {\n    $CALL#c{name=utils.execute}(..., $STRING#s{val=*-*}, ...)\n} into {\n    $CALL#c(..., $CORRUPT($STRING#s), ...)\n}",
+            "WPF",
+        )
+        .unwrap();
+        let block = block_of("utils.execute('iptables', '--dport 2379', key)\n");
+        let m = match_at(&spec, &block, 0).expect("should match");
+        assert!(m.bindings.exprs.contains_key("c"));
+        assert!(m.bindings.exprs.contains_key("s"));
+        // The string arg index is recorded (position 1).
+        assert_eq!(m.bindings.call_arg_map["c"], vec![1]);
+        // No flag-looking string → no match.
+        let plain = block_of("utils.execute('iptables', 'oops', key)\n");
+        assert!(match_at(&spec, &plain, 0).is_none());
+    }
+
+    #[test]
+    fn assignment_call_pattern() {
+        let spec = parse_spec(
+            "change {\n    $VAR#r = $CALL#c{name=urllib.request}(...)\n} into {\n    $VAR#r = None\n}",
+            "NONE",
+        )
+        .unwrap();
+        let block = block_of("resp = urllib.request('GET', url)\n");
+        let m = match_at(&spec, &block, 0).unwrap();
+        assert!(m.bindings.exprs.contains_key("r"));
+        // Statement-level call (no assignment) must not match.
+        let stmt = block_of("urllib.request('GET', url)\n");
+        assert!(match_at(&spec, &stmt, 0).is_none());
+    }
+
+    #[test]
+    fn kwarg_and_method_chains_match() {
+        let spec = parse_spec(
+            "change {\n    $CALL#c{name=self.client.set}($EXPR#k, ...)\n} into {\n    $CALL#c($CORRUPT($EXPR#k), ...)\n}",
+            "X",
+        )
+        .unwrap();
+        let block = block_of("self.client.set(key, value, ttl=30)\n");
+        let m = match_at(&spec, &block, 0).unwrap();
+        assert_eq!(m.bindings.call_arg_map["c"], vec![0]);
+    }
+
+    #[test]
+    fn boolean_clause_pattern() {
+        let spec = parse_spec(
+            "change {\n    if $EXPR#a and $EXPR#b:\n        $BLOCK{tag=body; stmts=1,*}\n} into {\n    if $EXPR#a:\n        $BLOCK{tag=body}\n}",
+            "MBCA",
+        )
+        .unwrap();
+        let block = block_of("if ready and node is not None:\n    go(node)\n");
+        let m = match_at(&spec, &block, 0).unwrap();
+        assert!(m.bindings.exprs.contains_key("a"));
+        assert!(m.bindings.exprs.contains_key("b"));
+        // `or` must not match an `and` pattern.
+        let or_block = block_of("if ready or node:\n    go(node)\n");
+        assert!(match_at(&spec, &or_block, 0).is_none());
+    }
+
+    #[test]
+    fn lazy_blocks_find_first_call() {
+        let spec = parse_spec(
+            "change {\n    $BLOCK{tag=b1; stmts=1,*}\n    $CALL{name=delete_*}(...)\n    $BLOCK{tag=b2; stmts=1,*}\n} into {\n    $BLOCK{tag=b1}\n    $BLOCK{tag=b2}\n}",
+            "MFC",
+        )
+        .unwrap();
+        let block = block_of("a = 1\ndelete_a(x)\nmid = 2\ndelete_b(y)\nz = 3\n");
+        let m = match_at(&spec, &block, 0).unwrap();
+        // Lazy matching finds the first call with minimal b1/b2.
+        assert_eq!(m.core_ids.len(), 1);
+        assert_eq!(m.core_ids[0], block[1].id);
+    }
+
+    #[test]
+    fn num_and_string_placeholders() {
+        let spec = parse_spec(
+            "change {\n    $VAR#x = $NUM#n\n} into {\n    $VAR#x = $CORRUPT($NUM#n)\n}",
+            "WVAV",
+        )
+        .unwrap();
+        assert!(match_at(&spec, &block_of("retries = 3\n"), 0).is_some());
+        assert!(match_at(&spec, &block_of("retries = get()\n"), 0).is_none());
+        assert!(match_at(&spec, &block_of("self.x = 3\n"), 0).is_none());
+    }
+
+    #[test]
+    fn dict_literal_pattern() {
+        let spec = parse_spec(
+            "change {\n    $VAR#d = {$STRING#k: $EXPR#v}\n} into {\n    $VAR#d = {$CORRUPT($STRING#k): $EXPR#v}\n}",
+            "CDI",
+        )
+        .unwrap();
+        assert!(match_at(&spec, &block_of("opts = {'ttl': 30}\n"), 0).is_some());
+        assert!(match_at(&spec, &block_of("opts = {'a': 1, 'b': 2}\n"), 0).is_none());
+    }
+}

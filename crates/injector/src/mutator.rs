@@ -1,0 +1,632 @@
+//! The source-code mutator (paper §IV-B): generates mutated versions
+//! of the target from injection points.
+//!
+//! Two modes:
+//!
+//! * [`MutationMode::Direct`] — splice the replacement over the matched
+//!   window.
+//! * [`MutationMode::Triggered`] — EDFI-style switchable mutation: the
+//!   window becomes
+//!   `if profipy_rt.trigger(): <replacement> else: <original>`, so the
+//!   sandbox can enable/disable the fault between workload rounds by
+//!   writing the shared trigger cell (§IV-B).
+//!
+//! The mutator also provides the coverage instrumentation pre-pass of
+//! §IV-D: a fault-free copy of the target with `profipy_rt.cov(id)`
+//! probes at every injection point.
+
+use crate::matcher::{match_at, Bindings};
+use crate::scanner::InjectionPoint;
+use faultdsl::spec::ELLIPSIS;
+use faultdsl::{BugSpec, DirectiveKind};
+use pysrc::ast::*;
+use pysrc::visit::walk_blocks_mut;
+
+/// How the fault is spliced into the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MutationMode {
+    /// Replace the window outright.
+    Direct,
+    /// Wrap in `if profipy_rt.trigger(): faulty else: original`.
+    #[default]
+    Triggered,
+}
+
+/// The mutator.
+#[derive(Debug, Default)]
+pub struct Mutator {
+    mode: MutationMode,
+}
+
+/// Error applying a mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mutation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl Mutator {
+    /// Creates a mutator with the given mode.
+    pub fn new(mode: MutationMode) -> Mutator {
+        Mutator { mode }
+    }
+
+    /// Produces the mutated version of `module` for one injection
+    /// point. The input module is cloned; node identity of the window
+    /// start is used to re-locate the match.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the point's window can no longer be located or
+    /// re-matched (e.g. the point belongs to a different module).
+    pub fn apply(
+        &self,
+        module: &Module,
+        spec: &BugSpec,
+        point: &InjectionPoint,
+    ) -> Result<Module, MutateError> {
+        if module.name != point.module {
+            return Err(MutateError {
+                message: format!(
+                    "point {} targets module {}, got {}",
+                    point.id, point.module, module.name
+                ),
+            });
+        }
+        let mut mutated = module.clone();
+        let mut applied = false;
+        let mode = self.mode;
+        walk_blocks_mut(&mut mutated, &mut |block| {
+            if applied {
+                return;
+            }
+            let Some(start) = block.iter().position(|s| s.id == point.start_stmt_id) else {
+                return;
+            };
+            let Some(m) = match_at(spec, block, start) else {
+                return;
+            };
+            let replacement = instantiate(spec, &spec.replacement, &m.bindings);
+            let window: Vec<Stmt> = block.drain(start..start + m.len).collect();
+            let spliced = match mode {
+                MutationMode::Direct => replacement,
+                MutationMode::Triggered => vec![trigger_wrap(replacement, window)],
+            };
+            for (idx, s) in (start..).zip(spliced) {
+                block.insert(idx, s);
+            }
+            applied = true;
+        });
+        if !applied {
+            return Err(MutateError {
+                message: format!(
+                    "could not re-locate window for point {} (spec {})",
+                    point.id, point.spec_name
+                ),
+            });
+        }
+        ensure_profipy_import(&mut mutated);
+        Ok(mutated)
+    }
+
+    /// Builds the fault-free, coverage-instrumented copy of a module
+    /// (paper §IV-D): inserts `profipy_rt.cov(<point id>)` immediately
+    /// before the window of every point that lives in this module.
+    pub fn instrument_coverage(&self, module: &Module, points: &[InjectionPoint]) -> Module {
+        let mut instrumented = module.clone();
+        walk_blocks_mut(&mut instrumented, &mut |block| {
+            // Gather (index, point id) pairs, then insert back-to-front
+            // so indices stay valid.
+            let mut inserts: Vec<(usize, u64)> = Vec::new();
+            for p in points {
+                if p.module != module.name {
+                    continue;
+                }
+                if let Some(idx) = block.iter().position(|s| s.id == p.start_stmt_id) {
+                    inserts.push((idx, p.id));
+                }
+            }
+            inserts.sort_by(|a, b| b.cmp(a));
+            for (idx, id) in inserts {
+                block.insert(idx, cov_probe(id));
+            }
+        });
+        ensure_profipy_import(&mut instrumented);
+        instrumented
+    }
+}
+
+/// `profipy_rt.cov(<id>)` statement.
+fn cov_probe(id: u64) -> Stmt {
+    Stmt::synth(StmtKind::Expr(rt_call("cov", vec![Expr::int(id as i64)])))
+}
+
+/// `profipy_rt.<name>(args)` expression.
+fn rt_call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::synth(ExprKind::Call {
+        func: Box::new(Expr::synth(ExprKind::Attribute {
+            value: Box::new(Expr::name("profipy_rt")),
+            attr: name.to_string(),
+        })),
+        args: args.into_iter().map(Arg::Pos).collect(),
+    })
+}
+
+/// `if profipy_rt.trigger(): <faulty> else: <original>`.
+fn trigger_wrap(mut faulty: Vec<Stmt>, original: Vec<Stmt>) -> Stmt {
+    if faulty.is_empty() {
+        faulty.push(Stmt::synth(StmtKind::Pass));
+    }
+    Stmt::synth(StmtKind::If {
+        branches: vec![(rt_call("trigger", vec![]), faulty)],
+        orelse: original,
+    })
+}
+
+/// Adds `import profipy_rt` at the top of the module if missing.
+fn ensure_profipy_import(module: &mut Module) {
+    let has_import = module.body.iter().any(|s| {
+        matches!(&s.kind, StmtKind::Import(aliases) if aliases.iter().any(|a| a.name == "profipy_rt"))
+    });
+    if !has_import {
+        module.body.insert(
+            0,
+            Stmt::synth(StmtKind::Import(vec![ImportAlias {
+                name: "profipy_rt".to_string(),
+                alias: None,
+            }])),
+        );
+    }
+}
+
+/// Instantiates replacement statements against bindings, producing
+/// fresh-id AST nodes.
+pub fn instantiate(spec: &BugSpec, replacement: &[Stmt], bindings: &Bindings) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for stmt in replacement {
+        instantiate_stmt(spec, stmt, bindings, &mut out);
+    }
+    out
+}
+
+fn instantiate_stmt(spec: &BugSpec, stmt: &Stmt, bindings: &Bindings, out: &mut Vec<Stmt>) {
+    // Placeholder-statement forms: $BLOCK / $HOG / $TIMEOUT / tagged exprs.
+    if let StmtKind::Expr(e) = &stmt.kind {
+        if let ExprKind::Name(n) = &e.kind {
+            if let Some(d) = spec.directive(n) {
+                match &d.kind {
+                    DirectiveKind::Block { .. } => {
+                        if let Some(tag) = &d.tag {
+                            if let Some(stmts) = bindings.blocks.get(tag) {
+                                out.extend(stmts.iter().map(refresh_stmt));
+                            }
+                        }
+                        return;
+                    }
+                    DirectiveKind::Hog => {
+                        out.push(Stmt::synth(StmtKind::Expr(rt_call("hog", vec![]))));
+                        return;
+                    }
+                    DirectiveKind::Timeout { secs } => {
+                        out.push(Stmt::synth(StmtKind::Expr(rt_call(
+                            "delay",
+                            vec![Expr::synth(ExprKind::Num(Number::Float(*secs)))],
+                        ))));
+                        return;
+                    }
+                    _ => {
+                        // Tagged expression as a statement.
+                        let inst = instantiate_expr(spec, e, bindings);
+                        out.push(Stmt::synth(StmtKind::Expr(inst)));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    // Ordinary statement: clone with instantiated expressions and
+    // recursively instantiated bodies.
+    let kind = match &stmt.kind {
+        StmtKind::Expr(e) => StmtKind::Expr(instantiate_expr(spec, e, bindings)),
+        StmtKind::Assign { targets, value } => StmtKind::Assign {
+            targets: targets
+                .iter()
+                .map(|t| instantiate_expr(spec, t, bindings))
+                .collect(),
+            value: instantiate_expr(spec, value, bindings),
+        },
+        StmtKind::AugAssign { target, op, value } => StmtKind::AugAssign {
+            target: instantiate_expr(spec, target, bindings),
+            op: *op,
+            value: instantiate_expr(spec, value, bindings),
+        },
+        StmtKind::Return(v) => {
+            StmtKind::Return(v.as_ref().map(|e| instantiate_expr(spec, e, bindings)))
+        }
+        StmtKind::Raise { exc, cause } => StmtKind::Raise {
+            exc: exc.as_ref().map(|e| instantiate_expr(spec, e, bindings)),
+            cause: cause.as_ref().map(|e| instantiate_expr(spec, e, bindings)),
+        },
+        StmtKind::If { branches, orelse } => StmtKind::If {
+            branches: branches
+                .iter()
+                .map(|(c, body)| {
+                    (
+                        instantiate_expr(spec, c, bindings),
+                        instantiate(spec, body, bindings),
+                    )
+                })
+                .collect(),
+            orelse: instantiate(spec, orelse, bindings),
+        },
+        StmtKind::While { test, body, orelse } => StmtKind::While {
+            test: instantiate_expr(spec, test, bindings),
+            body: instantiate(spec, body, bindings),
+            orelse: instantiate(spec, orelse, bindings),
+        },
+        StmtKind::For {
+            target,
+            iter,
+            body,
+            orelse,
+        } => StmtKind::For {
+            target: instantiate_expr(spec, target, bindings),
+            iter: instantiate_expr(spec, iter, bindings),
+            body: instantiate(spec, body, bindings),
+            orelse: instantiate(spec, orelse, bindings),
+        },
+        other => other.clone(),
+    };
+    out.push(Stmt::synth(kind));
+}
+
+/// Deep-clones a bound statement with fresh node ids (so a statement
+/// reused in both trigger branches keeps unique identity).
+fn refresh_stmt(stmt: &Stmt) -> Stmt {
+    let mut s = stmt.clone();
+    s.id = NodeId::fresh();
+    s
+}
+
+fn instantiate_expr(spec: &BugSpec, expr: &Expr, bindings: &Bindings) -> Expr {
+    // Placeholder reference?
+    if let ExprKind::Name(n) = &expr.kind {
+        if let Some(d) = spec.directive(n) {
+            if let Some(tag) = &d.tag {
+                if let Some(bound) = bindings.exprs.get(tag) {
+                    return bound.clone();
+                }
+            }
+        }
+    }
+    match &expr.kind {
+        ExprKind::Call { func, args } => {
+            // `$CORRUPT(x)` → profipy_rt.corrupt(x)
+            if let ExprKind::Name(n) = &func.kind {
+                if let Some(d) = spec.directive(n) {
+                    match &d.kind {
+                        DirectiveKind::Corrupt => {
+                            let inner = args
+                                .first()
+                                .map(|a| instantiate_expr(spec, a.value(), bindings))
+                                .unwrap_or_else(|| Expr::synth(ExprKind::NoneLit));
+                            return rt_call("corrupt", vec![inner]);
+                        }
+                        DirectiveKind::Call { .. } => {
+                            if let Some(tag) = &d.tag {
+                                return rebuild_call(spec, tag, args, bindings);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Expr::synth(ExprKind::Call {
+                func: Box::new(instantiate_expr(spec, func, bindings)),
+                args: args
+                    .iter()
+                    .map(|a| instantiate_arg(spec, a, bindings))
+                    .collect(),
+            })
+        }
+        ExprKind::Attribute { value, attr } => Expr::synth(ExprKind::Attribute {
+            value: Box::new(instantiate_expr(spec, value, bindings)),
+            attr: attr.clone(),
+        }),
+        ExprKind::Subscript { value, index } => Expr::synth(ExprKind::Subscript {
+            value: Box::new(instantiate_expr(spec, value, bindings)),
+            index: Box::new(instantiate_expr(spec, index, bindings)),
+        }),
+        ExprKind::Unary { op, operand } => Expr::synth(ExprKind::Unary {
+            op: *op,
+            operand: Box::new(instantiate_expr(spec, operand, bindings)),
+        }),
+        ExprKind::Binary { left, op, right } => Expr::synth(ExprKind::Binary {
+            left: Box::new(instantiate_expr(spec, left, bindings)),
+            op: *op,
+            right: Box::new(instantiate_expr(spec, right, bindings)),
+        }),
+        ExprKind::BoolOp { op, values } => Expr::synth(ExprKind::BoolOp {
+            op: *op,
+            values: values
+                .iter()
+                .map(|v| instantiate_expr(spec, v, bindings))
+                .collect(),
+        }),
+        ExprKind::Compare {
+            left,
+            ops,
+            comparators,
+        } => Expr::synth(ExprKind::Compare {
+            left: Box::new(instantiate_expr(spec, left, bindings)),
+            ops: ops.clone(),
+            comparators: comparators
+                .iter()
+                .map(|c| instantiate_expr(spec, c, bindings))
+                .collect(),
+        }),
+        ExprKind::Tuple(items) => Expr::synth(ExprKind::Tuple(
+            items
+                .iter()
+                .map(|i| instantiate_expr(spec, i, bindings))
+                .collect(),
+        )),
+        ExprKind::List(items) => Expr::synth(ExprKind::List(
+            items
+                .iter()
+                .map(|i| instantiate_expr(spec, i, bindings))
+                .collect(),
+        )),
+        ExprKind::Set(items) => Expr::synth(ExprKind::Set(
+            items
+                .iter()
+                .map(|i| instantiate_expr(spec, i, bindings))
+                .collect(),
+        )),
+        ExprKind::Dict(pairs) => Expr::synth(ExprKind::Dict(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        instantiate_expr(spec, k, bindings),
+                        instantiate_expr(spec, v, bindings),
+                    )
+                })
+                .collect(),
+        )),
+        ExprKind::IfExp { test, body, orelse } => Expr::synth(ExprKind::IfExp {
+            test: Box::new(instantiate_expr(spec, test, bindings)),
+            body: Box::new(instantiate_expr(spec, body, bindings)),
+            orelse: Box::new(instantiate_expr(spec, orelse, bindings)),
+        }),
+        ExprKind::Starred(inner) => Expr::synth(ExprKind::Starred(Box::new(instantiate_expr(
+            spec, inner, bindings,
+        )))),
+        _ => {
+            let mut e = expr.clone();
+            e.id = NodeId::fresh();
+            e
+        }
+    }
+}
+
+fn instantiate_arg(spec: &BugSpec, arg: &Arg, bindings: &Bindings) -> Arg {
+    match arg {
+        Arg::Pos(e) => Arg::Pos(instantiate_expr(spec, e, bindings)),
+        Arg::Kw(n, e) => Arg::Kw(n.clone(), instantiate_expr(spec, e, bindings)),
+        Arg::Star(e) => Arg::Star(instantiate_expr(spec, e, bindings)),
+        Arg::DoubleStar(e) => Arg::DoubleStar(instantiate_expr(spec, e, bindings)),
+    }
+}
+
+/// Rebuilds a tagged call: `$CALL#c(<arg pattern>)` in the replacement
+/// takes the *original* matched call and rewrites its arguments.
+///
+/// * No `...` in the replacement arg pattern → the arguments are
+///   exactly the instantiated explicit elements (parameter dropping).
+/// * With `...` → original arguments pass through, except that the
+///   argument matched by the k-th explicit *pattern* element is
+///   replaced by the instantiated k-th explicit *replacement* element.
+fn rebuild_call(spec: &BugSpec, tag: &str, rep_args: &[Arg], bindings: &Bindings) -> Expr {
+    let Some(original) = bindings.exprs.get(tag) else {
+        return Expr::synth(ExprKind::NoneLit);
+    };
+    let ExprKind::Call {
+        func: orig_func,
+        args: orig_args,
+    } = &original.kind
+    else {
+        return original.clone();
+    };
+    let is_ellipsis = |a: &Arg| {
+        matches!(a, Arg::Pos(e) if matches!(&e.kind, ExprKind::Name(n) if n == ELLIPSIS))
+    };
+    let has_ellipsis = rep_args.iter().any(is_ellipsis);
+    let new_args: Vec<Arg> = if !has_ellipsis {
+        rep_args
+            .iter()
+            .map(|a| instantiate_arg(spec, a, bindings))
+            .collect()
+    } else {
+        let explicit: Vec<&Arg> = rep_args.iter().filter(|a| !is_ellipsis(a)).collect();
+        let map = bindings
+            .call_arg_map
+            .get(tag)
+            .cloned()
+            .unwrap_or_default();
+        let mut out = Vec::with_capacity(orig_args.len());
+        for (i, orig) in orig_args.iter().enumerate() {
+            match map.iter().position(|&m| m == i) {
+                Some(k) if k < explicit.len() => {
+                    out.push(instantiate_arg(spec, explicit[k], bindings));
+                }
+                _ => out.push(orig.clone()),
+            }
+        }
+        out
+    };
+    Expr::synth(ExprKind::Call {
+        func: orig_func.clone(),
+        args: new_args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::Scanner;
+    use faultdsl::parse_spec;
+    use pysrc::unparse::unparse_module;
+
+    fn mutate_one(dsl: &str, src: &str, mode: MutationMode) -> String {
+        let spec = parse_spec(dsl, "S").unwrap();
+        let module = pysrc::parse_module(src, "m.py").unwrap();
+        let scanner = Scanner::new(vec![spec.clone()]);
+        let points = scanner.scan(std::slice::from_ref(&module));
+        assert!(!points.is_empty(), "no injection points found");
+        let mutated = Mutator::new(mode)
+            .apply(&module, &spec, &points[0])
+            .unwrap();
+        unparse_module(&mutated)
+    }
+
+    #[test]
+    fn direct_mfc_removes_call() {
+        let out = mutate_one(
+            "change {\n    $BLOCK{tag=b1; stmts=1,*}\n    $CALL{name=delete_*}(...)\n    $BLOCK{tag=b2; stmts=1,*}\n} into {\n    $BLOCK{tag=b1}\n    $BLOCK{tag=b2}\n}",
+            "def f(x):\n    a = 1\n    delete_port(x)\n    b = 2\n",
+            MutationMode::Direct,
+        );
+        assert!(!out.contains("delete_port"));
+        assert!(out.contains("a = 1"));
+        assert!(out.contains("b = 2"));
+        assert!(out.starts_with("import profipy_rt\n"));
+    }
+
+    #[test]
+    fn triggered_mutation_keeps_original_in_else() {
+        let out = mutate_one(
+            "change {\n    $CALL{name=delete_*}(...)\n} into {\n    pass\n}",
+            "def f(x):\n    delete_port(x)\n",
+            MutationMode::Triggered,
+        );
+        assert!(out.contains("if profipy_rt.trigger():"));
+        assert!(out.contains("pass"));
+        assert!(out.contains("else:"));
+        assert!(out.contains("delete_port(x)"));
+        // The mutated module still parses.
+        pysrc::parse_module(&out, "check.py").unwrap();
+    }
+
+    #[test]
+    fn wpf_corrupts_only_flag_argument() {
+        let out = mutate_one(
+            "change {\n    $CALL#c{name=utils.execute}(..., $STRING#s{val=*-*}, ...)\n} into {\n    $CALL#c(..., $CORRUPT($STRING#s), ...)\n}",
+            "utils.execute('iptables', '--dport 2379', table)\n",
+            MutationMode::Direct,
+        );
+        assert!(out.contains("utils.execute('iptables', profipy_rt.corrupt('--dport 2379'), table)"));
+    }
+
+    #[test]
+    fn missing_parameter_drops_trailing_args() {
+        let out = mutate_one(
+            "change {\n    $VAR#r = $CALL#c{name=urllib.request}($EXPR#m, $EXPR#u, ...)\n} into {\n    $VAR#r = $CALL#c($EXPR#m, $EXPR#u)\n}",
+            "resp = urllib.request('PUT', url, body, timeout=5)\n",
+            MutationMode::Direct,
+        );
+        assert!(out.contains("resp = urllib.request('PUT', url)\n"));
+    }
+
+    #[test]
+    fn hog_is_appended_after_call() {
+        let out = mutate_one(
+            "change {\n    $VAR#r = $CALL#c{name=*}(...)\n} into {\n    $VAR#r = $CALL#c(...)\n    $HOG\n}",
+            "r = client.set(k, v)\n",
+            MutationMode::Direct,
+        );
+        assert!(out.contains("r = client.set(k, v)\nprofipy_rt.hog()\n"));
+    }
+
+    #[test]
+    fn timeout_injects_delay() {
+        let out = mutate_one(
+            "change {\n    $VAR#r = $CALL#c{name=*}(...)\n} into {\n    $TIMEOUT{secs=5}\n    $VAR#r = $CALL#c(...)\n}",
+            "r = get()\n",
+            MutationMode::Direct,
+        );
+        assert!(out.contains("profipy_rt.delay(5.0)\nr = get()\n"));
+    }
+
+    #[test]
+    fn mifs_deletes_guarded_block() {
+        let out = mutate_one(
+            "change {\n    if $EXPR{var=node}:\n        $BLOCK{stmts=1,4}\n        continue\n} into {\n}",
+            "for node in nodes:\n    if not node:\n        skip(node)\n        continue\n    work(node)\n",
+            MutationMode::Direct,
+        );
+        assert!(!out.contains("skip(node)"));
+        assert!(out.contains("work(node)"));
+        pysrc::parse_module(&out, "check.py").unwrap();
+    }
+
+    #[test]
+    fn empty_replacement_under_trigger_becomes_pass() {
+        let out = mutate_one(
+            "change {\n    if $EXPR{var=node}:\n        $BLOCK{stmts=1,4}\n        continue\n} into {\n}",
+            "for node in nodes:\n    if not node:\n        skip(node)\n        continue\n    work(node)\n",
+            MutationMode::Triggered,
+        );
+        assert!(out.contains("if profipy_rt.trigger():\n        pass\n"));
+        assert!(out.contains("skip(node)")); // original kept in else
+        pysrc::parse_module(&out, "check.py").unwrap();
+    }
+
+    #[test]
+    fn coverage_instrumentation_inserts_probes() {
+        let spec = parse_spec(
+            "change {\n    $CALL{name=f}(...)\n} into {\n    pass\n}",
+            "S",
+        )
+        .unwrap();
+        let module = pysrc::parse_module("f(1)\nx = 2\nf(3)\n", "m.py").unwrap();
+        let scanner = Scanner::new(vec![spec]);
+        let points = scanner.scan(std::slice::from_ref(&module));
+        assert_eq!(points.len(), 2);
+        let instrumented = Mutator::default().instrument_coverage(&module, &points);
+        let out = unparse_module(&instrumented);
+        assert!(out.contains("profipy_rt.cov(0)\nf(1)\n"));
+        assert!(out.contains("profipy_rt.cov(1)\nf(3)\n"));
+        pysrc::parse_module(&out, "check.py").unwrap();
+    }
+
+    #[test]
+    fn mutated_module_roundtrips_through_parser() {
+        for mode in [MutationMode::Direct, MutationMode::Triggered] {
+            let out = mutate_one(
+                "change {\n    $CALL#c{name=self.client.set}($EXPR#k, ...)\n} into {\n    $CALL#c($CORRUPT($EXPR#k), ...)\n}",
+                "class W:\n    def go(self):\n        self.client.set(key, val, ttl=30)\n",
+                mode,
+            );
+            pysrc::parse_module(&out, "check.py").unwrap();
+        }
+    }
+
+    #[test]
+    fn apply_rejects_wrong_module() {
+        let spec = parse_spec("change {\n    $CALL{name=f}(...)\n} into {\n    pass\n}", "S")
+            .unwrap();
+        let m1 = pysrc::parse_module("f(1)\n", "a.py").unwrap();
+        let m2 = pysrc::parse_module("f(1)\n", "b.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&m1));
+        assert!(Mutator::default().apply(&m2, &spec, &points[0]).is_err());
+    }
+}

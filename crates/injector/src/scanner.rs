@@ -1,0 +1,188 @@
+//! The source-code scanner (paper §IV-A): enumerates fault-injection
+//! points across the target modules.
+
+use crate::matcher::{match_at, WindowMatch};
+use faultdsl::BugSpec;
+use pysrc::ast::{Module, NodeId, Stmt};
+use pysrc::error::Span;
+use pysrc::visit::walk_blocks;
+use std::collections::HashSet;
+
+/// One fault-injection point: a deduplicated match of one spec at one
+/// program location.
+#[derive(Clone, Debug)]
+pub struct InjectionPoint {
+    /// Stable, scanner-assigned id (also used by coverage probes).
+    pub id: u64,
+    /// Name of the matching bug specification.
+    pub spec_name: String,
+    /// Module the point lives in.
+    pub module: String,
+    /// Enclosing scope (`Class.method` or `<module>`).
+    pub scope: String,
+    /// Source span of the first core statement.
+    pub span: Span,
+    /// Id of the first statement of the matched window.
+    pub start_stmt_id: NodeId,
+    /// Window length in statements.
+    pub window_len: usize,
+    /// Ids of the statements matched by non-`$BLOCK` elements.
+    pub core_ids: Vec<NodeId>,
+}
+
+/// The scanner: compiled specs + scan state.
+pub struct Scanner {
+    specs: Vec<BugSpec>,
+}
+
+impl Scanner {
+    /// Creates a scanner for the given compiled specifications.
+    pub fn new(specs: Vec<BugSpec>) -> Scanner {
+        Scanner { specs }
+    }
+
+    /// The specs this scanner applies.
+    pub fn specs(&self) -> &[BugSpec] {
+        &self.specs
+    }
+
+    /// Finds the spec with a given name.
+    pub fn spec(&self, name: &str) -> Option<&BugSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Scans the modules, returning every deduplicated injection point
+    /// in deterministic order (module, block, position, spec).
+    pub fn scan(&self, modules: &[Module]) -> Vec<InjectionPoint> {
+        let mut points = Vec::new();
+        let mut next_id = 0u64;
+        for module in modules {
+            walk_blocks(module, &mut |block, ctx| {
+                for spec in &self.specs {
+                    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+                    for start in 0..block.len() {
+                        if let Some(m) = match_at(spec, block, start) {
+                            if seen.insert(m.core_ids.clone()) {
+                                points.push(make_point(
+                                    &mut next_id,
+                                    spec,
+                                    module,
+                                    ctx.dotted(),
+                                    block,
+                                    start,
+                                    &m,
+                                ));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        points
+    }
+}
+
+fn make_point(
+    next_id: &mut u64,
+    spec: &BugSpec,
+    module: &Module,
+    scope: String,
+    block: &[Stmt],
+    start: usize,
+    m: &WindowMatch,
+) -> InjectionPoint {
+    let id = *next_id;
+    *next_id += 1;
+    let span = m
+        .core_ids
+        .first()
+        .and_then(|cid| block.iter().find(|s| s.id == *cid))
+        .map(|s| s.span)
+        .unwrap_or(block[start].span);
+    InjectionPoint {
+        id,
+        spec_name: spec.name.clone(),
+        module: module.name.clone(),
+        scope,
+        span,
+        start_stmt_id: block[start].id,
+        window_len: m.len,
+        core_ids: m.core_ids.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultdsl::parse_spec;
+
+    fn scan_src(dsl: &str, src: &str) -> Vec<InjectionPoint> {
+        let spec = parse_spec(dsl, "S").unwrap();
+        let module = pysrc::parse_module(src, "m.py").unwrap();
+        Scanner::new(vec![spec]).scan(&[module])
+    }
+
+    #[test]
+    fn finds_all_calls_across_scopes() {
+        let points = scan_src(
+            "change {\n    $CALL{name=log*}(...)\n} into {\n    pass\n}",
+            concat!(
+                "log_init()\n",
+                "def f():\n",
+                "    log_f()\n",
+                "class C:\n",
+                "    def m(self):\n",
+                "        log_m()\n",
+            ),
+        );
+        assert_eq!(points.len(), 3);
+        let scopes: Vec<&str> = points.iter().map(|p| p.scope.as_str()).collect();
+        assert!(scopes.contains(&"<module>"));
+        assert!(scopes.contains(&"f"));
+        assert!(scopes.contains(&"C.m"));
+    }
+
+    #[test]
+    fn dedupes_overlapping_windows() {
+        // Both delete calls in one block found exactly once each.
+        let points = scan_src(
+            "change {\n    $BLOCK{tag=b1; stmts=1,*}\n    $CALL{name=delete_*}(...)\n    $BLOCK{tag=b2; stmts=1,*}\n} into {\n    $BLOCK{tag=b1}\n    $BLOCK{tag=b2}\n}",
+            "a = 1\ndelete_a(x)\nmid = 2\ndelete_b(y)\nz = 3\n",
+        );
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn points_have_stable_ordering_and_ids() {
+        let src = "f(1)\nf(2)\nf(3)\n";
+        let p1 = scan_src("change {\n    $CALL{name=f}(...)\n} into {\n    pass\n}", src);
+        assert_eq!(p1.len(), 3);
+        assert_eq!(p1[0].id, 0);
+        assert_eq!(p1[1].id, 1);
+        assert!(p1[0].span.lo < p1[1].span.lo);
+    }
+
+    #[test]
+    fn multiple_specs_multiply_points() {
+        let s1 = parse_spec("change {\n    $CALL{name=f}(...)\n} into {\n    pass\n}", "S1")
+            .unwrap();
+        let s2 = parse_spec(
+            "change {\n    $CALL#c{name=f}(...)\n} into {\n    $CALL#c(...)\n    $HOG\n}",
+            "S2",
+        )
+        .unwrap();
+        let module = pysrc::parse_module("f(1)\n", "m.py").unwrap();
+        let points = Scanner::new(vec![s1, s2]).scan(&[module]);
+        assert_eq!(points.len(), 2);
+        assert_ne!(points[0].spec_name, points[1].spec_name);
+    }
+
+    #[test]
+    fn nested_blocks_are_scanned() {
+        let points = scan_src(
+            "change {\n    $CALL{name=g}(...)\n} into {\n    pass\n}",
+            "for i in xs:\n    if i:\n        g(i)\n",
+        );
+        assert_eq!(points.len(), 1);
+    }
+}

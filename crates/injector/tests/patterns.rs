@@ -1,0 +1,189 @@
+//! Extended matcher/mutator coverage: structural strictness, argument
+//! wildcards, nested compounds, and mutation window reconstruction.
+
+use injector::scanner::Scanner;
+use injector::{match_at, MutationMode, Mutator};
+
+fn spec(dsl: &str) -> faultdsl::BugSpec {
+    faultdsl::parse_spec(dsl, "T").expect("spec parses")
+}
+
+fn block(src: &str) -> Vec<pysrc::ast::Stmt> {
+    pysrc::parse_module(src, "t.py").unwrap().body
+}
+
+fn mutate(dsl: &str, src: &str) -> String {
+    let s = spec(dsl);
+    let m = pysrc::parse_module(src, "t.py").unwrap();
+    let points = Scanner::new(vec![s.clone()]).scan(std::slice::from_ref(&m));
+    assert!(!points.is_empty(), "no points for:\n{src}");
+    let mutated = Mutator::new(MutationMode::Direct)
+        .apply(&m, &s, &points[0])
+        .expect("applies");
+    pysrc::unparse::unparse_module(&mutated)
+}
+
+#[test]
+fn while_pattern_matches_and_rewrites() {
+    let out = mutate(
+        "change {\n    while $EXPR#cond:\n        $BLOCK{tag=body; stmts=1,*}\n} into {\n    if $EXPR#cond:\n        $BLOCK{tag=body}\n}",
+        "def pump(q):\n    while q.has_items():\n        item = q.pop()\n        handle(item)\n",
+    );
+    // The loop became a single-shot if — a classic "loop executes once"
+    // algorithm bug.
+    assert!(out.contains("if q.has_items():"));
+    assert!(!out.contains("while"));
+    pysrc::parse_module(&out, "check.py").unwrap();
+}
+
+#[test]
+fn if_with_else_does_not_match_no_else_pattern() {
+    let s = spec("change {\n    if $EXPR#c:\n        $BLOCK{stmts=1,4}\n} into {\n}");
+    let with_else = block("if a:\n    f()\nelse:\n    g()\n");
+    assert!(match_at(&s, &with_else, 0).is_none(), "strict else matching");
+    let plain = block("if a:\n    f()\n");
+    assert!(match_at(&s, &plain, 0).is_some());
+}
+
+#[test]
+fn elif_counts_as_branch_structure() {
+    let s = spec("change {\n    if $EXPR#c:\n        $BLOCK{stmts=1,4}\n} into {\n}");
+    let with_elif = block("if a:\n    f()\nelif b:\n    g()\n");
+    assert!(match_at(&s, &with_elif, 0).is_none(), "elif must not match single-branch pattern");
+}
+
+#[test]
+fn keyword_argument_patterns_match_by_name() {
+    let s = spec("change {\n    $CALL#c{name=connect}($EXPR#h, timeout=$NUM#t)\n} into {\n    $CALL#c($EXPR#h, timeout=60)\n}");
+    assert!(match_at(&s, &block("connect(host, timeout=5)\n"), 0).is_some());
+    assert!(match_at(&s, &block("connect(host, retries=5)\n"), 0).is_none());
+    assert!(match_at(&s, &block("connect(host, timeout=n)\n"), 0).is_none(), "$NUM needs a literal");
+}
+
+#[test]
+fn keyword_rewrite_changes_value() {
+    let out = mutate(
+        "change {\n    $CALL#c{name=connect}($EXPR#h, timeout=$NUM#t)\n} into {\n    $CALL#c($EXPR#h, timeout=3600)\n}",
+        "connect(primary_host, timeout=5)\n",
+    );
+    assert!(out.contains("connect(primary_host, timeout=3600)"));
+}
+
+#[test]
+fn ellipsis_matches_empty_argument_run() {
+    let s = spec("change {\n    $CALL{name=go}(..., $STRING#s{val=-*}, ...)\n} into {\n    pass\n}");
+    // The flag may be first, last, middle, or the only argument.
+    for src in [
+        "go('-v')\n",
+        "go('-v', x)\n",
+        "go(x, '-v')\n",
+        "go(x, '-v', y)\n",
+    ] {
+        assert!(match_at(&s, &block(src), 0).is_some(), "{src}");
+    }
+    assert!(match_at(&s, &block("go(x, y)\n"), 0).is_none());
+}
+
+#[test]
+fn dotted_name_glob_matches_attribute_chains() {
+    let s = spec("change {\n    $CALL{name=self.api.*}(...)\n} into {\n    pass\n}");
+    assert!(match_at(&s, &block("self.api.submit(x)\n"), 0).is_some());
+    assert!(match_at(&s, &block("self.backup.submit(x)\n"), 0).is_none());
+    // Calls whose callee is not a plain dotted path never match.
+    assert!(match_at(&s, &block("factories[0].submit(x)\n"), 0).is_none());
+}
+
+#[test]
+fn var_directive_requires_bare_name() {
+    let s = spec("change {\n    $VAR#x = $NUM#n\n} into {\n    $VAR#x = 0\n}");
+    assert!(match_at(&s, &block("retries = 3\n"), 0).is_some());
+    assert!(match_at(&s, &block("self.retries = 3\n"), 0).is_none());
+    assert!(match_at(&s, &block("a, b = 3\n"), 0).is_none());
+}
+
+#[test]
+fn expr_var_constraint_matches_references_anywhere_in_expr() {
+    let s = spec("change {\n    if $EXPR{var=node}:\n        $BLOCK{stmts=1,2}\n} into {\n}");
+    assert!(match_at(&s, &block("if node:\n    f()\n"), 0).is_some());
+    assert!(match_at(&s, &block("if not node.ready:\n    f()\n"), 0).is_some());
+    assert!(match_at(&s, &block("if len(nodes_by_rack[node]) > 0:\n    f()\n"), 0).is_some());
+    assert!(match_at(&s, &block("if cfg:\n    f()\n"), 0).is_none());
+}
+
+#[test]
+fn scanner_dedupes_across_distinct_blocks_only() {
+    let s = spec("change {\n    $CALL{name=ping}(...)\n} into {\n    pass\n}");
+    let m = pysrc::parse_module(
+        "def a():\n    ping()\ndef b():\n    ping()\n",
+        "m.py",
+    )
+    .unwrap();
+    let points = Scanner::new(vec![s]).scan(std::slice::from_ref(&m));
+    assert_eq!(points.len(), 2, "one per function");
+}
+
+#[test]
+fn mfc_window_reconstruction_preserves_context() {
+    // The b1/b2 blocks around the deleted call must survive verbatim.
+    let out = mutate(
+        "change {\n    $BLOCK{tag=b1; stmts=1,*}\n    $CALL{name=drop_*}(...)\n    $BLOCK{tag=b2; stmts=1,*}\n} into {\n    $BLOCK{tag=b1}\n    $BLOCK{tag=b2}\n}",
+        "def f():\n    a = prepare()\n    b = validate(a)\n    drop_table(b)\n    commit(b)\n    report(b)\n",
+    );
+    for kept in ["a = prepare()", "b = validate(a)", "commit(b)", "report(b)"] {
+        assert!(out.contains(kept), "missing {kept} in:\n{out}");
+    }
+    assert!(!out.contains("drop_table"));
+}
+
+#[test]
+fn reordering_blocks_via_tags() {
+    // §III: "using the tagging syntax in the change block, to change
+    // the order of statements in the into block".
+    let out = mutate(
+        "change {\n    $VAR#a = $CALL#c1{name=first}(...)\n    $VAR#b = $CALL#c2{name=second}(...)\n} into {\n    $VAR#b = $CALL#c2(...)\n    $VAR#a = $CALL#c1(...)\n}",
+        "def f():\n    x = first()\n    y = second()\n    return x + y\n",
+    );
+    let x_pos = out.find("x = first()").expect("x kept");
+    let y_pos = out.find("y = second()").expect("y kept");
+    assert!(y_pos < x_pos, "statements must be swapped:\n{out}");
+}
+
+#[test]
+fn triggered_mode_duplicates_window_into_both_branches() {
+    let s = spec("change {\n    $CALL{name=audit}(...)\n} into {\n    pass\n}");
+    let m = pysrc::parse_module("def f(x):\n    audit(x)\n    return x\n", "m.py").unwrap();
+    let points = Scanner::new(vec![s.clone()]).scan(std::slice::from_ref(&m));
+    let out = Mutator::new(MutationMode::Triggered)
+        .apply(&m, &s, &points[0])
+        .expect("applies");
+    let text = pysrc::unparse::unparse_module(&out);
+    assert!(text.contains("if profipy_rt.trigger():"));
+    assert!(text.contains("audit(x)"), "original kept in else branch");
+    // The mutant must execute identically with the trigger off.
+    let program = format!("def audit(v):\n    pass\n{text}\nprint(f(21))\n");
+    let module = pysrc::parse_module(&program, "check.py").expect("mutant program parses");
+    let mut vm = pyrt::Vm::new();
+    vm.run_module(&module).expect("mutant runs clean with trigger off");
+    assert_eq!(vm.stdout(), "21\n");
+}
+
+#[test]
+fn corrupt_wraps_numeric_literals() {
+    let out = mutate(
+        "change {\n    $VAR#x = $NUM#n\n} into {\n    $VAR#x = $CORRUPT($NUM#n)\n}",
+        "retries = 3\nuse(retries)\n",
+    );
+    assert!(out.contains("retries = profipy_rt.corrupt(3)"));
+}
+
+#[test]
+fn multiple_specs_scan_in_deterministic_order() {
+    let s1 = spec("change {\n    $CALL{name=a}(...)\n} into {\n    pass\n}");
+    let s2 = spec("change {\n    $CALL{name=b}(...)\n} into {\n    pass\n}");
+    let m = pysrc::parse_module("a()\nb()\n", "m.py").unwrap();
+    let p1 = Scanner::new(vec![s1.clone(), s2.clone()]).scan(std::slice::from_ref(&m));
+    let p2 = Scanner::new(vec![s1, s2]).scan(std::slice::from_ref(&m));
+    let ids1: Vec<_> = p1.iter().map(|p| (p.id, p.spec_name.clone())).collect();
+    let ids2: Vec<_> = p2.iter().map(|p| (p.id, p.spec_name.clone())).collect();
+    assert_eq!(ids1, ids2);
+}

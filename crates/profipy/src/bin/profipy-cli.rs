@@ -1,0 +1,165 @@
+//! `profipy-cli` — command-line front end for the ProFIPy service,
+//! operating on the built-in §V case-study target (the python-etcd-like
+//! client + workload).
+//!
+//! ```text
+//! profipy-cli models                       list predefined fault models
+//! profipy-cli export <model>               print a fault model as JSON
+//! profipy-cli scan <model>                 scan the case-study target
+//! profipy-cli scan-dsl <file.dsl>          scan with a custom bug spec
+//! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
+//! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
+//! ```
+
+use profipy::case_study::{campaign_a, campaign_b, campaign_c, case_study_workflow, Campaign};
+use profipy::report::CampaignReport;
+use std::process::ExitCode;
+
+fn models() -> Vec<faultdsl::FaultModel> {
+    vec![
+        faultdsl::predefined_models(),
+        faultdsl::campaign_a_model(),
+        faultdsl::campaign_b_model(),
+        faultdsl::campaign_c_model(),
+    ]
+}
+
+fn find_model(name: &str) -> Option<faultdsl::FaultModel> {
+    models().into_iter().find(|m| m.name == name)
+}
+
+fn campaign_by_letter(letter: &str) -> Option<Campaign> {
+    match letter.to_ascii_uppercase().as_str() {
+        "A" => Some(campaign_a()),
+        "B" => Some(campaign_b()),
+        "C" => Some(campaign_c()),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: profipy-cli <command>\n\
+         \n\
+         commands:\n\
+         models                        list predefined fault models\n\
+         export <model-name>           print a fault model as JSON\n\
+         scan <model-name>             scan the case-study target, list points\n\
+         scan-dsl <file.dsl>           scan with a custom `change{{}}into{{}}` spec\n\
+         campaign <A|B|C> [--no-prune] run a paper §V campaign\n\
+         viz <A|B|C> <point-id>        run one experiment, render its timeline"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            for m in models() {
+                println!("{:32} {:2} specs  {}", m.name, m.specs.len(), m.description.lines().next().unwrap_or(""));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("export") => {
+            let Some(name) = args.get(1) else { return usage() };
+            match find_model(name) {
+                Some(m) => {
+                    println!("{}", m.to_json());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown model '{name}' (try `profipy-cli models`)");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("scan") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(model) = find_model(name) else {
+                eprintln!("unknown model '{name}'");
+                return ExitCode::FAILURE;
+            };
+            scan_with(model)
+        }
+        Some("scan-dsl") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let model = faultdsl::FaultModel {
+                name: format!("custom:{path}"),
+                description: "user-provided specification".into(),
+                specs: vec![faultdsl::SpecSource {
+                    name: "CUSTOM".into(),
+                    description: String::new(),
+                    dsl: text,
+                }],
+            };
+            scan_with(model)
+        }
+        Some("campaign") => {
+            let Some(letter) = args.get(1) else { return usage() };
+            let Some(campaign) = campaign_by_letter(letter) else {
+                eprintln!("unknown campaign '{letter}' (A, B or C)");
+                return ExitCode::FAILURE;
+            };
+            let prune = campaign.prune_by_coverage && !args.iter().any(|a| a == "--no-prune");
+            match campaign.workflow.run_campaign(&campaign.filter, prune) {
+                Ok(outcome) => {
+                    let report =
+                        CampaignReport::from_outcome(&campaign.name, &outcome, &campaign.classifier);
+                    println!("{}", report.render_text());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("viz") => {
+            let (Some(letter), Some(id)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(campaign) = campaign_by_letter(letter) else {
+                eprintln!("unknown campaign '{letter}'");
+                return ExitCode::FAILURE;
+            };
+            let Ok(id) = id.parse::<u64>() else {
+                eprintln!("point id must be a number");
+                return ExitCode::FAILURE;
+            };
+            let points = campaign.workflow.scan();
+            let Some(point) = points.iter().find(|p| p.id == id) else {
+                eprintln!("no injection point #{id} (scan found {})", points.len());
+                return ExitCode::FAILURE;
+            };
+            let result = campaign.workflow.run_experiment(point);
+            println!(
+                "experiment #{id} ({} @ {}): round1={:?} round2={:?}\n",
+                result.spec_name, result.scope, result.round1.status, result.round2.status
+            );
+            println!("{}", trace::render_timeline(&result.timeline(), 72));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn scan_with(model: faultdsl::FaultModel) -> ExitCode {
+    let workflow = case_study_workflow(model, 0);
+    let points = workflow.scan();
+    println!("{} injection point(s):", points.len());
+    for p in &points {
+        println!(
+            "  [{:>3}] {:24} {}::{} at {}",
+            p.id, p.spec_name, p.module, p.scope, p.span
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,195 @@
+//! Fault-injection plans (paper §IV-A: "After obtaining a set of fault
+//! injection points, the user can select a subset of such locations
+//! according to their needs" — per-component filtering, random
+//! sampling, or everything).
+
+use faultdsl::glob_match;
+use injector::InjectionPoint;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Selection criteria applied to scanned injection points.
+#[derive(Clone, Debug, Default)]
+pub struct PlanFilter {
+    /// Keep only points in modules matching one of these globs
+    /// (empty = all).
+    pub modules: Vec<String>,
+    /// Keep only points in scopes matching one of these globs
+    /// (empty = all).
+    pub scopes: Vec<String>,
+    /// Keep only points from these specs (empty = all).
+    pub specs: Vec<String>,
+    /// Randomly sample at most this many points (0 = no limit), using
+    /// the campaign seed.
+    pub sample: usize,
+}
+
+impl PlanFilter {
+    /// A filter that keeps everything.
+    pub fn all() -> PlanFilter {
+        PlanFilter::default()
+    }
+
+    /// Restricts to modules matching the glob (builder-style).
+    pub fn module(mut self, glob: &str) -> PlanFilter {
+        self.modules.push(glob.to_string());
+        self
+    }
+
+    /// Restricts to scopes matching the glob (builder-style).
+    pub fn scope(mut self, glob: &str) -> PlanFilter {
+        self.scopes.push(glob.to_string());
+        self
+    }
+
+    /// Restricts to one spec (builder-style).
+    pub fn spec(mut self, name: &str) -> PlanFilter {
+        self.specs.push(name.to_string());
+        self
+    }
+
+    /// Enables random sampling (builder-style).
+    pub fn sample(mut self, n: usize) -> PlanFilter {
+        self.sample = n;
+        self
+    }
+
+    fn accepts(&self, p: &InjectionPoint) -> bool {
+        let module_ok =
+            self.modules.is_empty() || self.modules.iter().any(|g| glob_match(g, &p.module));
+        let scope_ok = self.scopes.is_empty() || self.scopes.iter().any(|g| glob_match(g, &p.scope));
+        let spec_ok = self.specs.is_empty() || self.specs.iter().any(|s| s == &p.spec_name);
+        module_ok && scope_ok && spec_ok
+    }
+}
+
+/// The set of experiments to run (paper: "The set of injections
+/// defines the fault injection plan").
+#[derive(Clone, Debug, Default)]
+pub struct InjectionPlan {
+    /// Selected points, in deterministic order.
+    pub entries: Vec<InjectionPoint>,
+}
+
+impl InjectionPlan {
+    /// Builds a plan from scanned points and a filter. Sampling uses
+    /// the given seed (deterministic).
+    pub fn build(points: &[InjectionPoint], filter: &PlanFilter, seed: u64) -> InjectionPlan {
+        let mut entries: Vec<InjectionPoint> = points
+            .iter()
+            .filter(|p| filter.accepts(p))
+            .cloned()
+            .collect();
+        if filter.sample > 0 && entries.len() > filter.sample {
+            let mut rng = StdRng::seed_from_u64(seed);
+            entries.shuffle(&mut rng);
+            entries.truncate(filter.sample);
+            entries.sort_by_key(|p| p.id);
+        }
+        InjectionPlan { entries }
+    }
+
+    /// Number of planned experiments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Coverage pruning (paper §IV-D): keeps only points whose probe
+    /// fired in the fault-free coverage run, returning the reduced
+    /// plan.
+    pub fn prune_by_coverage(&self, covered: &BTreeSet<u64>) -> InjectionPlan {
+        InjectionPlan {
+            entries: self
+                .entries
+                .iter()
+                .filter(|p| covered.contains(&p.id))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pysrc::ast::NodeId;
+    use pysrc::error::Span;
+
+    fn point(id: u64, spec: &str, module: &str, scope: &str) -> InjectionPoint {
+        InjectionPoint {
+            id,
+            spec_name: spec.to_string(),
+            module: module.to_string(),
+            scope: scope.to_string(),
+            span: Span::default(),
+            start_stmt_id: NodeId::DUMMY,
+            window_len: 1,
+            core_ids: vec![],
+        }
+    }
+
+    fn sample_points() -> Vec<InjectionPoint> {
+        vec![
+            point(0, "MFC", "etcd", "Client.set"),
+            point(1, "MFC", "etcd", "Client.get"),
+            point(2, "EXC", "etcd", "Client.watch"),
+            point(3, "EXC", "workload", "<module>"),
+        ]
+    }
+
+    #[test]
+    fn empty_filter_keeps_all() {
+        let plan = InjectionPlan::build(&sample_points(), &PlanFilter::all(), 0);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn module_and_scope_filters() {
+        let plan = InjectionPlan::build(
+            &sample_points(),
+            &PlanFilter::all().module("etcd"),
+            0,
+        );
+        assert_eq!(plan.len(), 3);
+        let plan = InjectionPlan::build(
+            &sample_points(),
+            &PlanFilter::all().scope("Client.*"),
+            0,
+        );
+        assert_eq!(plan.len(), 3);
+        let plan = InjectionPlan::build(&sample_points(), &PlanFilter::all().spec("EXC"), 0);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let filter = PlanFilter::all().sample(2);
+        let a = InjectionPlan::build(&sample_points(), &filter, 42);
+        let b = InjectionPlan::build(&sample_points(), &filter, 42);
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a.entries.iter().map(|p| p.id).collect::<Vec<_>>(),
+            b.entries.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+        let c = InjectionPlan::build(&sample_points(), &filter, 43);
+        // Different seed may pick a different subset (not asserted
+        // strictly, but both must be valid subsets).
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn coverage_pruning() {
+        let plan = InjectionPlan::build(&sample_points(), &PlanFilter::all(), 0);
+        let covered: BTreeSet<u64> = [0u64, 2].into_iter().collect();
+        let reduced = plan.prune_by_coverage(&covered);
+        assert_eq!(reduced.len(), 2);
+        assert!(reduced.entries.iter().all(|p| covered.contains(&p.id)));
+    }
+}

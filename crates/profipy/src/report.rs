@@ -1,0 +1,194 @@
+//! Campaign reports: the aggregate the user drills into (paper §IV-C).
+
+use crate::analysis::{
+    failure_logging, failure_propagation, persistent_failures, service_availability,
+    FailureClassifier,
+};
+use crate::result::ExperimentResult;
+use crate::workflow::CampaignOutcome;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated results of one campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Injection points found by the scan (after plan filtering).
+    pub planned_points: usize,
+    /// Points covered by the workload (if a coverage pre-run happened,
+    /// this counts planned ∩ covered).
+    pub covered_points: Option<usize>,
+    /// Experiments executed.
+    pub executed: usize,
+    /// Experiments with a round-1 service failure.
+    pub failures: usize,
+    /// Failure-mode distribution (label → count).
+    pub mode_distribution: BTreeMap<String, usize>,
+    /// §IV-C service availability (round-2 available fraction).
+    pub availability: f64,
+    /// Failures persisting into round 2.
+    pub persistent: usize,
+    /// §IV-D failure-logging metric.
+    pub logging: f64,
+    /// §IV-D failure-propagation metric.
+    pub propagation: f64,
+    /// Per-spec failure counts (spec → (executed, failed)).
+    pub per_spec: BTreeMap<String, (usize, usize)>,
+    /// Total virtual time across experiments.
+    pub total_virtual_secs: f64,
+}
+
+impl CampaignReport {
+    /// Builds the report from a campaign outcome.
+    pub fn from_outcome(
+        name: &str,
+        outcome: &CampaignOutcome,
+        classifier: &FailureClassifier,
+    ) -> CampaignReport {
+        Self::from_results(
+            name,
+            outcome.plan.len(),
+            outcome.covered.as_ref().map(|cov| {
+                outcome
+                    .plan
+                    .entries
+                    .iter()
+                    .filter(|p| cov.contains(&p.id))
+                    .count()
+            }),
+            &outcome.results,
+            classifier,
+        )
+    }
+
+    /// Builds the report from raw results.
+    pub fn from_results(
+        name: &str,
+        planned_points: usize,
+        covered_points: Option<usize>,
+        results: &[ExperimentResult],
+        classifier: &FailureClassifier,
+    ) -> CampaignReport {
+        let failures = results.iter().filter(|r| r.failed_round1()).count();
+        let mut per_spec: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for r in results {
+            let entry = per_spec.entry(r.spec_name.clone()).or_insert((0, 0));
+            entry.0 += 1;
+            if r.failed_round1() {
+                entry.1 += 1;
+            }
+        }
+        CampaignReport {
+            name: name.to_string(),
+            planned_points,
+            covered_points,
+            executed: results.len(),
+            failures,
+            mode_distribution: classifier.distribution(results),
+            availability: service_availability(results),
+            persistent: persistent_failures(results),
+            logging: failure_logging(results),
+            propagation: failure_propagation(results, |c| {
+                c.split('.').next().unwrap_or(c).to_string()
+            }),
+            per_spec,
+            total_virtual_secs: results.iter().map(|r| r.duration).sum(),
+        }
+    }
+
+    /// Renders the report as a fixed-width text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Campaign: {} ===", self.name);
+        let _ = writeln!(out, "injection points (planned) : {}", self.planned_points);
+        if let Some(c) = self.covered_points {
+            let _ = writeln!(out, "covered by workload        : {c}");
+        }
+        let _ = writeln!(out, "experiments executed       : {}", self.executed);
+        let _ = writeln!(out, "round-1 service failures   : {}", self.failures);
+        let _ = writeln!(
+            out,
+            "service availability (r2)  : {:.1}%",
+            self.availability * 100.0
+        );
+        let _ = writeln!(out, "persistent failures (r2)   : {}", self.persistent);
+        let _ = writeln!(out, "failure logging metric     : {:.1}%", self.logging * 100.0);
+        let _ = writeln!(
+            out,
+            "failure propagation metric : {:.1}%",
+            self.propagation * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "total virtual time         : {:.1}s",
+            self.total_virtual_secs
+        );
+        let _ = writeln!(out, "--- failure modes ---");
+        for (mode, count) in &self.mode_distribution {
+            let _ = writeln!(out, "{mode:28} {count:5}");
+        }
+        let _ = writeln!(out, "--- per fault type ---");
+        for (spec, (executed, failed)) in &self.per_spec {
+            let _ = writeln!(out, "{spec:28} {executed:4} run {failed:4} failed");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandbox::{RoundOutcome, RoundStatus};
+
+    fn result(spec: &str, fail: bool) -> ExperimentResult {
+        ExperimentResult {
+            point_id: 0,
+            spec_name: spec.into(),
+            module: "etcd".into(),
+            scope: "Client.set".into(),
+            round1: RoundOutcome {
+                status: if fail {
+                    RoundStatus::Failed {
+                        exc_class: "EtcdException".into(),
+                        message: "Bad response: 400 Bad Request".into(),
+                    }
+                } else {
+                    RoundStatus::Ok
+                },
+                duration: 5.0,
+            },
+            round2: RoundOutcome {
+                status: RoundStatus::Ok,
+                duration: 5.0,
+            },
+            logs: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            duration: 10.0,
+            deploy_error: None,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let results = vec![result("A", true), result("A", false), result("B", true)];
+        let report = CampaignReport::from_results(
+            "test",
+            10,
+            Some(5),
+            &results,
+            &FailureClassifier::case_study(),
+        );
+        assert_eq!(report.executed, 3);
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.per_spec["A"], (2, 1));
+        assert_eq!(report.per_spec["B"], (1, 1));
+        assert_eq!(report.mode_distribution["bad-request-400"], 2);
+        assert!((report.total_virtual_secs - 30.0).abs() < 1e-9);
+        let text = report.render_text();
+        assert!(text.contains("Campaign: test"));
+        assert!(text.contains("bad-request-400"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The software-as-a-service façade (paper title: "Programmable
+//! Software Fault Injection as-a-Service").
+//!
+//! Models the hosted-tool surface: named user sessions, a store of
+//! saved fault models ("users can save and import fault models of
+//! previous fault injection campaigns", §IV-A), and campaign
+//! submission.
+
+use crate::analysis::FailureClassifier;
+use crate::plan::PlanFilter;
+use crate::report::CampaignReport;
+use crate::workflow::{Workflow, WorkflowError};
+use faultdsl::FaultModel;
+use std::collections::BTreeMap;
+
+/// A user session: uploaded target, saved models, past reports.
+#[derive(Default)]
+pub struct Session {
+    saved_models: BTreeMap<String, String>,
+    reports: Vec<CampaignReport>,
+}
+
+/// The service façade.
+#[derive(Default)]
+pub struct ProfipyService {
+    sessions: BTreeMap<String, Session>,
+}
+
+/// Service-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ProfipyService {
+    /// Creates an empty service.
+    pub fn new() -> ProfipyService {
+        ProfipyService::default()
+    }
+
+    /// Opens (or returns) a user session.
+    pub fn session(&mut self, user: &str) -> &mut Session {
+        self.sessions.entry(user.to_string()).or_default()
+    }
+
+    /// Lists known users.
+    pub fn users(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+}
+
+impl Session {
+    /// Saves a fault model under a name (serialized to JSON, §IV-A).
+    pub fn save_model(&mut self, name: &str, model: &FaultModel) {
+        self.saved_models
+            .insert(name.to_string(), model.to_json());
+    }
+
+    /// Imports a previously saved model.
+    ///
+    /// # Errors
+    ///
+    /// Unknown name or corrupt JSON.
+    pub fn load_model(&self, name: &str) -> Result<FaultModel, ServiceError> {
+        let json = self.saved_models.get(name).ok_or_else(|| ServiceError {
+            message: format!("no saved fault model named '{name}'"),
+        })?;
+        FaultModel::from_json(json).map_err(|e| ServiceError { message: e })
+    }
+
+    /// Names of saved models.
+    pub fn model_names(&self) -> Vec<String> {
+        self.saved_models.keys().cloned().collect()
+    }
+
+    /// Runs a campaign and stores the report in the session history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workflow failures (bad sources, broken coverage run).
+    pub fn run_campaign(
+        &mut self,
+        name: &str,
+        workflow: &Workflow,
+        filter: &PlanFilter,
+        classifier: &FailureClassifier,
+        prune_by_coverage: bool,
+    ) -> Result<CampaignReport, WorkflowError> {
+        let outcome = workflow.run_campaign(filter, prune_by_coverage)?;
+        let report = CampaignReport::from_outcome(name, &outcome, classifier);
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Past reports, oldest first.
+    pub fn reports(&self) -> &[CampaignReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_models() {
+        let mut svc = ProfipyService::new();
+        let session = svc.session("alice");
+        let model = faultdsl::predefined_models();
+        session.save_model("default", &model);
+        let loaded = session.load_model("default").unwrap();
+        assert_eq!(loaded.name, model.name);
+        assert_eq!(session.model_names(), vec!["default".to_string()]);
+        assert!(session.load_model("missing").is_err());
+    }
+
+    #[test]
+    fn sessions_are_per_user() {
+        let mut svc = ProfipyService::new();
+        svc.session("alice")
+            .save_model("m", &faultdsl::campaign_a_model());
+        assert!(svc.session("bob").model_names().is_empty());
+        assert_eq!(svc.users(), vec!["alice".to_string(), "bob".to_string()]);
+    }
+}

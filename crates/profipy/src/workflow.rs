@@ -1,0 +1,306 @@
+//! The ProFIPy workflow (paper Fig. 2): Scan → Execution → Data
+//! Analysis.
+
+use crate::plan::{InjectionPlan, PlanFilter};
+use crate::result::ExperimentResult;
+use faultdsl::{BugSpec, FaultModel};
+use injector::{InjectionPoint, MutationMode, Mutator, Scanner};
+use pyrt::HostApi;
+use pysrc::Module;
+use sandbox::{Container, ContainerImage, ParallelExecutor, RoundOutcome, RoundStatus};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Creates one fresh simulated host per experiment (the per-container
+/// environment). Receives a per-experiment seed.
+pub type HostFactory = Arc<dyn Fn(u64) -> Rc<dyn HostApi> + Send + Sync>;
+
+/// Campaign-wide configuration.
+#[derive(Clone)]
+pub struct WorkflowConfig {
+    /// Base RNG seed (experiments derive per-experiment seeds).
+    pub seed: u64,
+    /// Mutation mode (EDFI-style triggered by default).
+    pub mode: MutationMode,
+    /// Virtual-time budget per workload round.
+    pub round_timeout: f64,
+    /// Interpreter step budget per round.
+    pub fuel_per_round: u64,
+    /// Setup commands run at deploy (e.g. `etcd-start`).
+    pub setup: Vec<Vec<String>>,
+    /// Parallel executor model.
+    pub executor: ParallelExecutor,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            seed: 0,
+            mode: MutationMode::Triggered,
+            round_timeout: 120.0,
+            fuel_per_round: 8_000_000,
+            setup: Vec::new(),
+            executor: ParallelExecutor::default(),
+        }
+    }
+}
+
+/// A configured fault-injection campaign.
+pub struct Workflow {
+    /// Target sources: `(import name, source text)`.
+    sources: Vec<(String, String)>,
+    /// Parsed target modules (same order as `sources`).
+    modules: Vec<Module>,
+    /// The workload module text.
+    workload: String,
+    /// Compiled bug specifications.
+    specs: Vec<BugSpec>,
+    /// The fault model they came from.
+    pub model: FaultModel,
+    /// Host factory.
+    host_factory: HostFactory,
+    /// Configuration.
+    pub config: WorkflowConfig,
+}
+
+/// Error building a workflow.
+#[derive(Clone, Debug)]
+pub struct WorkflowError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workflow error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl Workflow {
+    /// Builds a workflow: parses the target sources and compiles the
+    /// fault model.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError`] for unparsable sources or DSL errors.
+    pub fn new(
+        sources: Vec<(String, String)>,
+        workload: String,
+        model: FaultModel,
+        host_factory: HostFactory,
+        config: WorkflowConfig,
+    ) -> Result<Workflow, WorkflowError> {
+        let mut modules = Vec::with_capacity(sources.len());
+        for (name, text) in &sources {
+            let module = pysrc::parse_module(text, name).map_err(|e| WorkflowError {
+                message: format!("target source {name}: {e}"),
+            })?;
+            modules.push(module);
+        }
+        let specs = model.compile().map_err(|e| WorkflowError {
+            message: e.message,
+        })?;
+        Ok(Workflow {
+            sources,
+            modules,
+            workload,
+            specs,
+            model,
+            host_factory,
+            config,
+        })
+    }
+
+    /// The parsed target modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The compiled specs.
+    pub fn specs(&self) -> &[BugSpec] {
+        &self.specs
+    }
+
+    /// **Scan phase** (§IV-A): finds every injection point.
+    pub fn scan(&self) -> Vec<InjectionPoint> {
+        Scanner::new(self.specs.clone()).scan(&self.modules)
+    }
+
+    /// Builds a plan from scanned points.
+    pub fn plan(&self, points: &[InjectionPoint], filter: &PlanFilter) -> InjectionPlan {
+        InjectionPlan::build(points, filter, self.config.seed)
+    }
+
+    /// **Coverage pre-run** (§IV-D): executes the workload once against
+    /// the fault-free target instrumented with coverage probes, and
+    /// returns the set of covered point ids.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError`] if the fault-free run cannot even be deployed —
+    /// that indicates a broken campaign configuration, not an injected
+    /// failure.
+    pub fn coverage_run(&self, points: &[InjectionPoint]) -> Result<BTreeSet<u64>, WorkflowError> {
+        let mutator = Mutator::new(self.config.mode);
+        let mut image = ContainerImage::new("coverage")
+            .workload(&self.workload)
+            .round_timeout(self.config.round_timeout)
+            .fuel(self.config.fuel_per_round);
+        image.setup = self.config.setup.clone();
+        for module in &self.modules {
+            let instrumented = mutator.instrument_coverage(module, points);
+            image.sources.push(sandbox::SourceFile {
+                import_name: module.name.clone(),
+                text: pysrc::unparse::unparse_module(&instrumented),
+            });
+        }
+        let host = (self.host_factory)(self.config.seed);
+        let mut container = Container::deploy(&image, host, self.config.seed).map_err(|e| {
+            WorkflowError {
+                message: format!("coverage run deploy failed: {e}"),
+            }
+        })?;
+        let outcome = container.run_round(1, false);
+        if !outcome.status.is_ok() {
+            return Err(WorkflowError {
+                message: format!(
+                    "fault-free coverage run failed: {:?} (stderr: {})",
+                    outcome.status,
+                    container.stderr()
+                ),
+            });
+        }
+        let covered = container.coverage();
+        container.teardown();
+        Ok(covered)
+    }
+
+    /// **Execution phase** (§IV-B): runs one experiment per plan entry,
+    /// in parallel containers (at most N−1).
+    pub fn execute(&self, plan: &InjectionPlan) -> Vec<ExperimentResult> {
+        let entries = &plan.entries;
+        self.config
+            .executor
+            .run(entries.len(), |i| self.run_experiment(&entries[i]))
+    }
+
+    /// Runs a single experiment: mutate → deploy → round 1 (fault on) →
+    /// round 2 (fault off) → teardown.
+    pub fn run_experiment(&self, point: &InjectionPoint) -> ExperimentResult {
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(point.id);
+        let not_run = RoundOutcome {
+            status: RoundStatus::NotRun,
+            duration: 0.0,
+        };
+        let mut result = ExperimentResult {
+            point_id: point.id,
+            spec_name: point.spec_name.clone(),
+            module: point.module.clone(),
+            scope: point.scope.clone(),
+            round1: not_run.clone(),
+            round2: not_run,
+            logs: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            duration: 0.0,
+            deploy_error: None,
+            events: Vec::new(),
+        };
+        let Some(spec) = self.specs.iter().find(|s| s.name == point.spec_name) else {
+            result.deploy_error = Some(format!("unknown spec {}", point.spec_name));
+            return result;
+        };
+        let mutator = Mutator::new(self.config.mode);
+        let mut image = ContainerImage::new(format!("exp-{}", point.id))
+            .workload(&self.workload)
+            .round_timeout(self.config.round_timeout)
+            .fuel(self.config.fuel_per_round);
+        image.setup = self.config.setup.clone();
+        for module in &self.modules {
+            let text = if module.name == point.module {
+                match mutator.apply(module, spec, point) {
+                    Ok(mutated) => pysrc::unparse::unparse_module(&mutated),
+                    Err(e) => {
+                        result.deploy_error = Some(e.to_string());
+                        return result;
+                    }
+                }
+            } else {
+                self.sources
+                    .iter()
+                    .find(|(n, _)| n == &module.name)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_default()
+            };
+            image.sources.push(sandbox::SourceFile {
+                import_name: module.name.clone(),
+                text,
+            });
+        }
+        let host = (self.host_factory)(seed);
+        let mut container = match Container::deploy(&image, host, seed) {
+            Ok(c) => c,
+            Err(e) => {
+                result.deploy_error = Some(e.to_string());
+                return result;
+            }
+        };
+        result.round1 = container.run_round(1, true);
+        result.round2 = container.run_round(2, false);
+        result.logs = container.logs();
+        result.stdout = container.stdout();
+        result.stderr = container.stderr();
+        result.duration = container.now();
+        result.events = container.trace_events();
+        container.teardown();
+        result
+    }
+
+    /// Convenience: scan → (optional coverage pruning) → execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coverage-run configuration failures.
+    pub fn run_campaign(
+        &self,
+        filter: &PlanFilter,
+        prune_by_coverage: bool,
+    ) -> Result<CampaignOutcome, WorkflowError> {
+        let points = self.scan();
+        let plan = self.plan(&points, filter);
+        let (covered, plan_run) = if prune_by_coverage {
+            let covered = self.coverage_run(&points)?;
+            let pruned = plan.prune_by_coverage(&covered);
+            (Some(covered), pruned)
+        } else {
+            (None, plan.clone())
+        };
+        let results = self.execute(&plan_run);
+        Ok(CampaignOutcome {
+            points,
+            plan,
+            covered,
+            results,
+        })
+    }
+}
+
+/// Everything produced by a full campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// All scanned points (before filtering).
+    pub points: Vec<InjectionPoint>,
+    /// The filtered plan (before coverage pruning).
+    pub plan: InjectionPlan,
+    /// Covered point ids, if a coverage pre-run was performed.
+    pub covered: Option<BTreeSet<u64>>,
+    /// One result per executed experiment.
+    pub results: Vec<ExperimentResult>,
+}

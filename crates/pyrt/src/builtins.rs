@@ -1,0 +1,482 @@
+//! Built-in functions installed into every VM.
+
+use crate::exc::PyExc;
+use crate::interp::{call_value, iter_values};
+use crate::value::*;
+use crate::vm::Vm;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Registers a native function into a scope.
+pub fn native(
+    scope: &ScopeRef,
+    name: &str,
+    imp: impl Fn(&mut Vm, Vec<Value>, Vec<(String, Value)>) -> Result<Value, PyExc> + 'static,
+) {
+    scope.borrow_mut().set(
+        name,
+        Value::Native(Rc::new(NativeFn {
+            name: name.to_string(),
+            imp: Box::new(imp),
+        })),
+    );
+}
+
+/// Creates a standalone native function value.
+pub fn native_value(
+    name: &str,
+    imp: impl Fn(&mut Vm, Vec<Value>, Vec<(String, Value)>) -> Result<Value, PyExc> + 'static,
+) -> Value {
+    Value::Native(Rc::new(NativeFn {
+        name: name.to_string(),
+        imp: Box::new(imp),
+    }))
+}
+
+fn arity_error(name: &str, expected: &str, got: usize) -> PyExc {
+    PyExc::type_error(format!("{name}() takes {expected} arguments ({got} given)"))
+}
+
+fn one_arg(name: &'static str, mut args: Vec<Value>) -> Result<Value, PyExc> {
+    if args.len() != 1 {
+        return Err(arity_error(name, "exactly 1", args.len()));
+    }
+    Ok(args.remove(0))
+}
+
+/// Installs the builtin namespace into a freshly created VM.
+pub fn install(vm: &Vm) {
+    let b = &vm.builtins;
+
+    native(b, "print", |vm, args, kwargs| {
+        let sep = kwargs
+            .iter()
+            .find(|(n, _)| n == "sep")
+            .map(|(_, v)| v.to_display())
+            .unwrap_or_else(|| " ".to_string());
+        let end = kwargs
+            .iter()
+            .find(|(n, _)| n == "end")
+            .map(|(_, v)| v.to_display())
+            .unwrap_or_else(|| "\n".to_string());
+        let line: Vec<String> = args.iter().map(Value::to_display).collect();
+        vm.write_stdout(&(line.join(&sep) + &end));
+        Ok(Value::None)
+    });
+
+    native(b, "len", |_vm, args, _| {
+        let v = one_arg("len", args)?;
+        let n = match &v {
+            Value::Str(s) => s.chars().count(),
+            Value::List(l) => l.borrow().len(),
+            Value::Tuple(t) => t.len(),
+            Value::Dict(d) => d.borrow().len(),
+            Value::Set(s) => s.borrow().len(),
+            other => {
+                return Err(PyExc::type_error(format!(
+                    "object of type '{}' has no len()",
+                    other.type_name()
+                )))
+            }
+        };
+        Ok(Value::Int(n as i64))
+    });
+
+    native(b, "range", |_vm, args, _| {
+        let (start, stop, step) = match args.len() {
+            1 => (0, int_of(&args[0], "range")?, 1),
+            2 => (int_of(&args[0], "range")?, int_of(&args[1], "range")?, 1),
+            3 => (
+                int_of(&args[0], "range")?,
+                int_of(&args[1], "range")?,
+                int_of(&args[2], "range")?,
+            ),
+            n => return Err(arity_error("range", "1 to 3", n)),
+        };
+        if step == 0 {
+            return Err(PyExc::value_error("range() arg 3 must not be zero"));
+        }
+        // Materialized range; corpus ranges are small, and huge ranges
+        // are bounded by the VM fuel anyway.
+        const MAX_RANGE: i64 = 4_000_000;
+        let mut out = Vec::new();
+        let mut i = start;
+        while (step > 0 && i < stop) || (step < 0 && i > stop) {
+            out.push(Value::Int(i));
+            if out.len() as i64 > MAX_RANGE {
+                return Err(PyExc::value_error("range too large for this VM"));
+            }
+            i += step;
+        }
+        Ok(Value::list(out))
+    });
+
+    native(b, "str", |_vm, args, _| {
+        if args.is_empty() {
+            return Ok(Value::str(""));
+        }
+        Ok(Value::str(one_arg("str", args)?.to_display()))
+    });
+
+    native(b, "repr", |_vm, args, _| {
+        Ok(Value::str(one_arg("repr", args)?.repr()))
+    });
+
+    native(b, "int", |_vm, args, _| {
+        if args.is_empty() {
+            return Ok(Value::Int(0));
+        }
+        let v = one_arg("int", args)?;
+        match &v {
+            Value::Int(_) => Ok(v),
+            Value::Bool(x) => Ok(Value::Int(*x as i64)),
+            Value::Float(f) => Ok(Value::Int(*f as i64)),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| PyExc::value_error(format!(
+                    "invalid literal for int() with base 10: '{s}'"
+                ))),
+            other => Err(PyExc::type_error(format!(
+                "int() argument must be a string or a number, not '{}'",
+                other.type_name()
+            ))),
+        }
+    });
+
+    native(b, "float", |_vm, args, _| {
+        let v = one_arg("float", args)?;
+        match &v {
+            Value::Float(_) => Ok(v),
+            Value::Int(i) => Ok(Value::Float(*i as f64)),
+            Value::Bool(x) => Ok(Value::Float(*x as i64 as f64)),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| PyExc::value_error(format!("could not convert string to float: '{s}'"))),
+            other => Err(PyExc::type_error(format!(
+                "float() argument must be a string or a number, not '{}'",
+                other.type_name()
+            ))),
+        }
+    });
+
+    native(b, "bool", |_vm, args, _| {
+        if args.is_empty() {
+            return Ok(Value::Bool(false));
+        }
+        Ok(Value::Bool(one_arg("bool", args)?.truthy()))
+    });
+
+    native(b, "list", |_vm, args, _| {
+        if args.is_empty() {
+            return Ok(Value::list(vec![]));
+        }
+        Ok(Value::list(iter_values(&one_arg("list", args)?)?))
+    });
+
+    native(b, "tuple", |_vm, args, _| {
+        if args.is_empty() {
+            return Ok(Value::Tuple(Rc::new(vec![])));
+        }
+        Ok(Value::Tuple(Rc::new(iter_values(&one_arg("tuple", args)?)?)))
+    });
+
+    native(b, "dict", |_vm, args, kwargs| {
+        let mut d = DictObj::new();
+        if let Some(v) = args.first() {
+            match v {
+                Value::Dict(src) => {
+                    for (k, val) in src.borrow().iter() {
+                        d.set(k.clone(), val.clone());
+                    }
+                }
+                other => {
+                    for pair in iter_values(other)? {
+                        let items = iter_values(&pair)?;
+                        if items.len() != 2 {
+                            return Err(PyExc::value_error(
+                                "dictionary update sequence element is not a pair",
+                            ));
+                        }
+                        d.set(items[0].clone(), items[1].clone());
+                    }
+                }
+            }
+        }
+        for (k, v) in kwargs {
+            d.set(Value::str(k), v);
+        }
+        Ok(Value::Dict(Rc::new(RefCell::new(d))))
+    });
+
+    native(b, "set", |_vm, args, _| {
+        let mut out: Vec<Value> = Vec::new();
+        if let Some(v) = args.first() {
+            for item in iter_values(v)? {
+                if !out.iter().any(|x| values_eq(x, &item)) {
+                    out.push(item);
+                }
+            }
+        }
+        Ok(Value::Set(Rc::new(RefCell::new(out))))
+    });
+
+    native(b, "isinstance", |_vm, args, _| {
+        if args.len() != 2 {
+            return Err(arity_error("isinstance", "exactly 2", args.len()));
+        }
+        fn check(v: &Value, ty: &Value) -> Result<bool, PyExc> {
+            match ty {
+                Value::Class(c) => Ok(match v {
+                    Value::Instance(i) => i.class.isa(c),
+                    _ => false,
+                }),
+                Value::Native(n) => {
+                    // type constructors double as type objects:
+                    // isinstance(x, str) etc.
+                    Ok(matches!(
+                        (n.name.as_str(), v),
+                        ("str", Value::Str(_))
+                            | ("int", Value::Int(_) | Value::Bool(_))
+                            | ("float", Value::Float(_))
+                            | ("bool", Value::Bool(_))
+                            | ("list", Value::List(_))
+                            | ("tuple", Value::Tuple(_))
+                            | ("dict", Value::Dict(_))
+                            | ("set", Value::Set(_))
+                    ))
+                }
+                Value::Tuple(types) => {
+                    for t in types.iter() {
+                        if check(v, t)? {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+                other => Err(PyExc::type_error(format!(
+                    "isinstance() arg 2 must be a type, not {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Ok(Value::Bool(check(&args[0], &args[1])?))
+    });
+
+    native(b, "type", |_vm, args, _| {
+        let v = one_arg("type", args)?;
+        Ok(Value::str(match &v {
+            Value::Instance(i) => i.class.name.clone(),
+            other => other.type_name().to_string(),
+        }))
+    });
+
+    native(b, "abs", |_vm, args, _| {
+        match one_arg("abs", args)? {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            other => Err(PyExc::type_error(format!(
+                "bad operand type for abs(): '{}'",
+                other.type_name()
+            ))),
+        }
+    });
+
+    native(b, "min", |_vm, args, _| {
+        minmax("min", args, std::cmp::Ordering::Less)
+    });
+    native(b, "max", |_vm, args, _| {
+        minmax("max", args, std::cmp::Ordering::Greater)
+    });
+
+    native(b, "sum", |_vm, args, _| {
+        let items = iter_values(args.first().ok_or_else(|| arity_error("sum", "at least 1", 0))?)?;
+        let mut acc = Value::Int(0);
+        for item in items {
+            acc = match (acc, item) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                (Value::Int(a), Value::Float(b)) => Value::Float(a as f64 + b),
+                (Value::Float(a), Value::Int(b)) => Value::Float(a + b as f64),
+                (Value::Float(a), Value::Float(b)) => Value::Float(a + b),
+                (_, other) => {
+                    return Err(PyExc::type_error(format!(
+                        "unsupported operand type for sum: '{}'",
+                        other.type_name()
+                    )))
+                }
+            };
+        }
+        Ok(acc)
+    });
+
+    native(b, "sorted", |vm, mut args, kwargs| {
+        if args.is_empty() {
+            return Err(arity_error("sorted", "at least 1", 0));
+        }
+        let mut items = iter_values(&args.remove(0))?;
+        let key = kwargs.iter().find(|(n, _)| n == "key").map(|(_, v)| v.clone());
+        let reverse = kwargs
+            .iter()
+            .find(|(n, _)| n == "reverse")
+            .map(|(_, v)| v.truthy())
+            .unwrap_or(false);
+        // Decorate-sort-undecorate so key functions run through the VM.
+        let mut decorated: Vec<(Value, Value)> = Vec::with_capacity(items.len());
+        for item in items.drain(..) {
+            let k = match &key {
+                Some(f) => call_value(vm, f.clone(), vec![item.clone()], vec![])?,
+                None => item.clone(),
+            };
+            decorated.push((k, item));
+        }
+        // Insertion sort: values_cmp may be partial; error on incomparable.
+        for i in 1..decorated.len() {
+            let mut j = i;
+            while j > 0 {
+                let ord = values_cmp(&decorated[j - 1].0, &decorated[j].0).ok_or_else(|| {
+                    PyExc::type_error("'<' not supported between sort keys")
+                })?;
+                if ord == std::cmp::Ordering::Greater {
+                    decorated.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut out: Vec<Value> = decorated.into_iter().map(|(_, v)| v).collect();
+        if reverse {
+            out.reverse();
+        }
+        Ok(Value::list(out))
+    });
+
+    native(b, "enumerate", |_vm, args, _| {
+        let items = iter_values(&one_arg("enumerate", args)?)?;
+        Ok(Value::list(
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| Value::Tuple(Rc::new(vec![Value::Int(i as i64), v])))
+                .collect(),
+        ))
+    });
+
+    native(b, "zip", |_vm, args, _| {
+        let mut columns = Vec::new();
+        for a in &args {
+            columns.push(iter_values(a)?);
+        }
+        let n = columns.iter().map(Vec::len).min().unwrap_or(0);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(Value::Tuple(Rc::new(
+                columns.iter().map(|c| c[i].clone()).collect(),
+            )));
+        }
+        Ok(Value::list(out))
+    });
+
+    native(b, "getattr", |vm, args, _| {
+        match args.len() {
+            2 => crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "getattr")?),
+            3 => Ok(
+                crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "getattr")?)
+                    .unwrap_or_else(|_| args[2].clone()),
+            ),
+            n => Err(arity_error("getattr", "2 or 3", n)),
+        }
+    });
+
+    native(b, "hasattr", |vm, args, _| {
+        if args.len() != 2 {
+            return Err(arity_error("hasattr", "exactly 2", args.len()));
+        }
+        Ok(Value::Bool(
+            crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "hasattr")?).is_ok(),
+        ))
+    });
+
+    native(b, "setattr", |_vm, args, _| {
+        if args.len() != 3 {
+            return Err(arity_error("setattr", "exactly 3", args.len()));
+        }
+        match &args[0] {
+            Value::Instance(i) => {
+                i.set_attr(&string_of(&args[1], "setattr")?, args[2].clone());
+                Ok(Value::None)
+            }
+            other => Err(PyExc::type_error(format!(
+                "setattr target must be an instance, not {}",
+                other.type_name()
+            ))),
+        }
+    });
+
+    native(b, "callable", |_vm, args, _| {
+        Ok(Value::Bool(matches!(
+            one_arg("callable", args)?,
+            Value::Func(_) | Value::BoundMethod(..) | Value::Native(_) | Value::Class(_)
+        )))
+    });
+}
+
+fn minmax(name: &'static str, args: Vec<Value>, want: std::cmp::Ordering) -> Result<Value, PyExc> {
+    let items = if args.len() == 1 {
+        iter_values(&args[0])?
+    } else {
+        args
+    };
+    let mut best: Option<Value> = None;
+    for item in items {
+        best = Some(match best {
+            None => item,
+            Some(cur) => {
+                let ord = values_cmp(&item, &cur)
+                    .ok_or_else(|| PyExc::type_error(format!("{name}(): incomparable types")))?;
+                if ord == want {
+                    item
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    best.ok_or_else(|| PyExc::value_error(format!("{name}() arg is an empty sequence")))
+}
+
+pub(crate) fn int_of(v: &Value, ctx: &str) -> Result<i64, PyExc> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::Bool(b) => Ok(*b as i64),
+        other => Err(PyExc::type_error(format!(
+            "{ctx}: expected int, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+pub(crate) fn float_of(v: &Value, ctx: &str) -> Result<f64, PyExc> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::Bool(b) => Ok(*b as i64 as f64),
+        other => Err(PyExc::type_error(format!(
+            "{ctx}: expected number, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+pub(crate) fn string_of(v: &Value, ctx: &str) -> Result<String, PyExc> {
+    match v {
+        Value::Str(s) => Ok(s.to_string()),
+        other => Err(PyExc::type_error(format!(
+            "{ctx}: expected str, got {}",
+            other.type_name()
+        ))),
+    }
+}

@@ -1,0 +1,156 @@
+//! Virtual time and execution fuel.
+//!
+//! Every interpreter step advances the virtual clock by a fixed
+//! per-step cost, multiplied by the number of active CPU hogs (the
+//! `$HOG` fault model injects hog threads that starve the program, as
+//! in the paper's §V-C campaign). The sandbox sets a virtual deadline;
+//! exceeding it — or exhausting the step budget — is reported as the
+//! *timeout* failure mode.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Seconds of virtual time consumed by one interpreter step with no
+/// hogs active.
+pub const STEP_COST_SECS: f64 = 2e-6;
+
+/// A shareable virtual clock.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: Rc<Cell<f64>>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at t=0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now.get()
+    }
+
+    /// Advances the clock.
+    pub fn advance(&self, secs: f64) {
+        self.now.set(self.now.get() + secs.max(0.0));
+    }
+
+    /// Sets the clock to an absolute time (used when resuming a target
+    /// across workload rounds).
+    pub fn set(&self, secs: f64) {
+        self.now.set(secs);
+    }
+}
+
+/// Step budget and hog accounting.
+#[derive(Clone, Debug)]
+pub struct Fuel {
+    remaining: Rc<Cell<u64>>,
+    hogs: Rc<Cell<u32>>,
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel::new(u64::MAX)
+    }
+}
+
+impl Fuel {
+    /// Creates a budget of `steps` interpreter steps.
+    pub fn new(steps: u64) -> Fuel {
+        Fuel {
+            remaining: Rc::new(Cell::new(steps)),
+            hogs: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Remaining steps.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.get()
+    }
+
+    /// Resets the budget.
+    pub fn refill(&self, steps: u64) {
+        self.remaining.set(steps);
+    }
+
+    /// Consumes one step; returns `false` when exhausted.
+    /// Active hogs consume extra budget per step (starvation), capped
+    /// so that even heavily-hogged runs terminate by deadline rather
+    /// than by instant fuel exhaustion.
+    #[must_use]
+    pub fn tick(&self) -> bool {
+        let cost = 1 + 4 * self.hogs.get().min(8) as u64;
+        let r = self.remaining.get();
+        if r < cost {
+            self.remaining.set(0);
+            false
+        } else {
+            self.remaining.set(r - cost);
+            true
+        }
+    }
+
+    /// Number of active CPU hogs.
+    pub fn hogs(&self) -> u32 {
+        self.hogs.get()
+    }
+
+    /// Registers a CPU hog thread (never unregisters — the paper's
+    /// stale threads persist until the container is torn down).
+    pub fn add_hog(&self) {
+        self.hogs.set(self.hogs.get().saturating_add(1));
+    }
+
+    /// Clears hogs (container teardown).
+    pub fn clear_hogs(&self) {
+        self.hogs.set(0);
+    }
+
+    /// Virtual-time cost of one step with the current hog load
+    /// (capped like [`Fuel::tick`]).
+    pub fn step_cost_secs(&self) -> f64 {
+        STEP_COST_SECS * (1.0 + 4.0 * self.hogs.get().min(8) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(-3.0); // negative advances are clamped
+        assert_eq!(c.now(), 1.5);
+    }
+
+    #[test]
+    fn fuel_exhausts() {
+        let f = Fuel::new(2);
+        assert!(f.tick());
+        assert!(f.tick());
+        assert!(!f.tick());
+        assert_eq!(f.remaining(), 0);
+    }
+
+    #[test]
+    fn hogs_multiply_step_cost() {
+        let f = Fuel::new(100);
+        let base = f.step_cost_secs();
+        f.add_hog();
+        assert!(f.step_cost_secs() > 4.0 * base);
+        assert!(f.tick());
+        assert_eq!(f.remaining(), 95); // 1 + 4*1 consumed
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = Fuel::new(10);
+        let g = f.clone();
+        assert!(f.tick());
+        assert_eq!(g.remaining(), 9);
+    }
+}

@@ -1,0 +1,1574 @@
+//! The tree-walking evaluator.
+
+use crate::exc::{Flow, PyExc};
+use crate::methods;
+use crate::value::*;
+use crate::vm::Vm;
+use pysrc::ast::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Maximum Python call depth before `RuntimeError: maximum recursion
+/// depth exceeded`. Kept small both so runaway mutants fail fast and so
+/// the tree-walking evaluator (which consumes multiple Rust frames per
+/// Python frame) stays inside a 2 MB test-thread stack in debug builds.
+const MAX_DEPTH: u32 = 32;
+
+/// An activation record.
+pub struct Frame {
+    /// Module globals.
+    pub globals: ScopeRef,
+    /// Function locals (`None` at module level where locals==globals).
+    pub locals: Option<ScopeRef>,
+    /// Names that are local to this function (assignment analysis).
+    pub local_names: Rc<Vec<String>>,
+    /// Names declared `global`.
+    pub global_decls: Rc<Vec<String>>,
+    /// Captured enclosing scopes, innermost last.
+    pub captured: Vec<ScopeRef>,
+    /// Name for tracebacks.
+    pub func_name: String,
+}
+
+impl Frame {
+    /// A module-level frame.
+    pub fn module(globals: ScopeRef) -> Frame {
+        Frame {
+            globals,
+            locals: None,
+            local_names: Rc::new(Vec::new()),
+            global_decls: Rc::new(Vec::new()),
+            captured: Vec::new(),
+            func_name: "<module>".to_string(),
+        }
+    }
+}
+
+/// Collects the names a function body assigns (its locals), without
+/// descending into nested `def`/`class` bodies.
+pub fn collect_assigned_names(body: &[Stmt]) -> Vec<String> {
+    let mut names = Vec::new();
+    fn add(names: &mut Vec<String>, n: &str) {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    }
+    fn target_names(e: &Expr, names: &mut Vec<String>) {
+        match &e.kind {
+            ExprKind::Name(n) => add(names, n),
+            ExprKind::Tuple(items) | ExprKind::List(items) => {
+                for i in items {
+                    target_names(i, names);
+                }
+            }
+            ExprKind::Starred(inner) => target_names(inner, names),
+            // Attribute/subscript targets assign into objects, not names.
+            _ => {}
+        }
+    }
+    fn walk(body: &[Stmt], names: &mut Vec<String>) {
+        for s in body {
+            match &s.kind {
+                StmtKind::Assign { targets, .. } => {
+                    for t in targets {
+                        target_names(t, names);
+                    }
+                }
+                StmtKind::AugAssign { target, .. } => target_names(target, names),
+                StmtKind::For {
+                    target,
+                    body,
+                    orelse,
+                    ..
+                } => {
+                    target_names(target, names);
+                    walk(body, names);
+                    walk(orelse, names);
+                }
+                StmtKind::While { body, orelse, .. } => {
+                    walk(body, names);
+                    walk(orelse, names);
+                }
+                StmtKind::If { branches, orelse } => {
+                    for (_, b) in branches {
+                        walk(b, names);
+                    }
+                    walk(orelse, names);
+                }
+                StmtKind::Try {
+                    body,
+                    handlers,
+                    orelse,
+                    finalbody,
+                } => {
+                    walk(body, names);
+                    for h in handlers {
+                        if let Some(n) = &h.name {
+                            add(names, n);
+                        }
+                        walk(&h.body, names);
+                    }
+                    walk(orelse, names);
+                    walk(finalbody, names);
+                }
+                StmtKind::With { items, body } => {
+                    for (_, t) in items {
+                        if let Some(t) = t {
+                            target_names(t, names);
+                        }
+                    }
+                    walk(body, names);
+                }
+                StmtKind::FuncDef { name, .. } | StmtKind::ClassDef { name, .. } => {
+                    add(names, name);
+                }
+                StmtKind::Import(aliases) => {
+                    for a in aliases {
+                        let bound = a
+                            .alias
+                            .clone()
+                            .unwrap_or_else(|| a.name.split('.').next().unwrap_or("").to_string());
+                        add(names, &bound);
+                    }
+                }
+                StmtKind::FromImport { names: ns, .. } => {
+                    for a in ns {
+                        add(names, a.alias.as_deref().unwrap_or(&a.name));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(body, &mut names);
+    names
+}
+
+/// Collects `global` declarations in a function body (not descending
+/// into nested functions).
+pub fn collect_global_decls(body: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(body: &[Stmt], out: &mut Vec<String>) {
+        for s in body {
+            match &s.kind {
+                StmtKind::Global(names) => {
+                    for n in names {
+                        if !out.iter().any(|x| x == n) {
+                            out.push(n.clone());
+                        }
+                    }
+                }
+                StmtKind::If { branches, orelse } => {
+                    for (_, b) in branches {
+                        walk(b, out);
+                    }
+                    walk(orelse, out);
+                }
+                StmtKind::For { body, orelse, .. } | StmtKind::While { body, orelse, .. } => {
+                    walk(body, out);
+                    walk(orelse, out);
+                }
+                StmtKind::Try {
+                    body,
+                    handlers,
+                    orelse,
+                    finalbody,
+                } => {
+                    walk(body, out);
+                    for h in handlers {
+                        walk(&h.body, out);
+                    }
+                    walk(orelse, out);
+                    walk(finalbody, out);
+                }
+                StmtKind::With { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(body, &mut out);
+    out
+}
+
+/// Executes a statement block.
+///
+/// # Errors
+///
+/// Propagates any raised [`PyExc`].
+pub fn exec_block(vm: &mut Vm, frame: &mut Frame, stmts: &[Stmt]) -> Result<Flow, PyExc> {
+    for stmt in stmts {
+        match exec_stmt(vm, frame, stmt)? {
+            Flow::Normal => {}
+            other => return Ok(other),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc> {
+    vm.tick()?;
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            eval(vm, frame, e)?;
+            Ok(Flow::Normal)
+        }
+        StmtKind::Assign { targets, value } => {
+            let v = eval(vm, frame, value)?;
+            for t in targets {
+                assign_target(vm, frame, t, v.clone())?;
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::AugAssign { target, op, value } => {
+            let old = eval(vm, frame, target)?;
+            let rhs = eval(vm, frame, value)?;
+            let new = binary_op(vm, *op, old, rhs)?;
+            assign_target(vm, frame, target, new)?;
+            Ok(Flow::Normal)
+        }
+        StmtKind::Return(v) => {
+            let value = match v {
+                Some(e) => eval(vm, frame, e)?,
+                None => Value::None,
+            };
+            Ok(Flow::Return(value))
+        }
+        StmtKind::Pass => Ok(Flow::Normal),
+        StmtKind::Break => Ok(Flow::Break),
+        StmtKind::Continue => Ok(Flow::Continue),
+        StmtKind::Del(targets) => {
+            for t in targets {
+                del_target(vm, frame, t)?;
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::Assert { test, msg } => {
+            let v = eval(vm, frame, test)?;
+            if !v.truthy() {
+                let message = match msg {
+                    Some(m) => eval(vm, frame, m)?.to_display(),
+                    None => String::new(),
+                };
+                return Err(PyExc::new("AssertionError", message));
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::Global(_) => Ok(Flow::Normal), // handled by analysis
+        StmtKind::Import(aliases) => {
+            for a in aliases {
+                let module = vm.import_module(&a.name)?;
+                let bound = a
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| a.name.split('.').next().unwrap_or(&a.name).to_string());
+                // For dotted imports without alias, Python binds the top
+                // package; our flat registry binds the imported module
+                // under the top segment.
+                write_name(frame, &bound, Value::Module(module));
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::FromImport { module, names } => {
+            let ns = vm.import_module(module)?;
+            for a in names {
+                let v = ns.get(&a.name).ok_or_else(|| {
+                    PyExc::new(
+                        "ImportError",
+                        format!("cannot import name '{}' from '{}'", a.name, module),
+                    )
+                })?;
+                write_name(frame, a.alias.as_deref().unwrap_or(&a.name), v);
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::If { branches, orelse } => {
+            for (test, body) in branches {
+                if eval(vm, frame, test)?.truthy() {
+                    return exec_block(vm, frame, body);
+                }
+            }
+            exec_block(vm, frame, orelse)
+        }
+        StmtKind::While { test, body, orelse } => {
+            let mut broke = false;
+            while eval(vm, frame, test)?.truthy() {
+                match exec_block(vm, frame, body)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => {
+                        broke = true;
+                        break;
+                    }
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            }
+            if !broke {
+                if let Flow::Return(v) = exec_block(vm, frame, orelse)? {
+                    return Ok(Flow::Return(v));
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::For {
+            target,
+            iter,
+            body,
+            orelse,
+        } => {
+            let iterable = eval(vm, frame, iter)?;
+            let items = iter_values(&iterable)?;
+            let mut broke = false;
+            for item in items {
+                assign_target(vm, frame, target, item)?;
+                match exec_block(vm, frame, body)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => {
+                        broke = true;
+                        break;
+                    }
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            }
+            if !broke {
+                if let Flow::Return(v) = exec_block(vm, frame, orelse)? {
+                    return Ok(Flow::Return(v));
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        StmtKind::FuncDef { name, params, body } => {
+            let func = make_function(vm, frame, name, params, body)?;
+            write_name(frame, name, func);
+            Ok(Flow::Normal)
+        }
+        StmtKind::ClassDef { name, bases, body } => {
+            let base = match bases.first() {
+                Some(b) => match eval(vm, frame, b)? {
+                    Value::Class(c) => Some(c),
+                    other => {
+                        return Err(PyExc::type_error(format!(
+                            "cannot inherit from {}",
+                            other.type_name()
+                        )))
+                    }
+                },
+                None => None,
+            };
+            // Execute the class body in its own scope.
+            let class_scope = Scope::new_ref();
+            {
+                let mut class_frame = Frame {
+                    globals: frame.globals.clone(),
+                    locals: Some(class_scope.clone()),
+                    local_names: Rc::new(collect_assigned_names(body)),
+                    global_decls: Rc::new(collect_global_decls(body)),
+                    captured: frame.captured.clone(),
+                    func_name: name.clone(),
+                };
+                exec_block(vm, &mut class_frame, body)?;
+            }
+            let is_exception = base.as_ref().is_some_and(|b| b.is_exception);
+            let class = Rc::new(ClassObj {
+                name: name.clone(),
+                base,
+                attrs: RefCell::new(class_scope.borrow().bindings_vec()),
+                is_exception,
+            });
+            if is_exception {
+                vm.register_exception_class(class.clone());
+            }
+            write_name(frame, name, Value::Class(class));
+            Ok(Flow::Normal)
+        }
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
+            let result = exec_block(vm, frame, body);
+            let outcome = match result {
+                Ok(flow) => {
+                    // `else` runs only if no exception occurred.
+                    match flow {
+                        Flow::Normal => exec_block(vm, frame, orelse),
+                        other => Ok(other),
+                    }
+                }
+                Err(exc) => {
+                    // Fuel exhaustion must not be caught by `except`.
+                    if exc.class_name == "ProfipyFuelExhausted" {
+                        Err(exc)
+                    } else {
+                        handle_exception(vm, frame, exc, handlers)
+                    }
+                }
+            };
+            // `finally` always runs; its exceptional/return flow wins.
+            match exec_block(vm, frame, finalbody)? {
+                Flow::Normal => outcome,
+                other => Ok(other),
+            }
+        }
+        StmtKind::Raise { exc, cause: _ } => {
+            let e = match exc {
+                Some(expr) => {
+                    let v = eval(vm, frame, expr)?;
+                    exception_from_value(vm, frame, v)?
+                }
+                None => match vm.handling.borrow().last() {
+                    Some(e) => e.clone(),
+                    None => PyExc::new("RuntimeError", "No active exception to re-raise"),
+                },
+            };
+            Err(e.with_frame(&frame.func_name))
+        }
+        StmtKind::With { items, body } => {
+            let mut exits = Vec::new();
+            for (ctx_expr, target) in items {
+                let ctx = eval(vm, frame, ctx_expr)?;
+                let entered = match get_attr(vm, &ctx, "__enter__") {
+                    Ok(enter) => call_value(vm, enter, vec![], vec![])?,
+                    Err(_) => ctx.clone(),
+                };
+                if let Ok(exit) = get_attr(vm, &ctx, "__exit__") {
+                    exits.push(exit);
+                }
+                if let Some(t) = target {
+                    assign_target(vm, frame, t, entered)?;
+                }
+            }
+            let result = exec_block(vm, frame, body);
+            for exit in exits.into_iter().rev() {
+                call_value(vm, exit, vec![], vec![])?;
+            }
+            result
+        }
+    }
+}
+
+fn handle_exception(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    exc: PyExc,
+    handlers: &[ExceptHandler],
+) -> Result<Flow, PyExc> {
+    for handler in handlers {
+        let matches = match &handler.exc_type {
+            None => true,
+            Some(type_expr) => {
+                let type_value = eval(vm, frame, type_expr)?;
+                exception_matches(vm, &exc, &type_value)?
+            }
+        };
+        if matches {
+            if let Some(name) = &handler.name {
+                let obj = exception_object(vm, &exc);
+                write_name(frame, name, obj);
+            }
+            vm.handling.borrow_mut().push(exc);
+            let result = exec_block(vm, frame, &handler.body);
+            vm.handling.borrow_mut().pop();
+            return result;
+        }
+    }
+    Err(exc)
+}
+
+/// Does `exc` match an `except <type_value>` clause?
+fn exception_matches(vm: &Vm, exc: &PyExc, type_value: &Value) -> Result<bool, PyExc> {
+    match type_value {
+        Value::Class(c) => {
+            let exc_class = match &exc.value {
+                Some(Value::Instance(i)) => i.class.clone(),
+                _ => match vm.exception_class(&exc.class_name) {
+                    Some(c) => c,
+                    None => return Ok(exc.class_name == c.name),
+                },
+            };
+            Ok(exc_class.isa(c))
+        }
+        Value::Tuple(types) => {
+            for t in types.iter() {
+                if exception_matches(vm, exc, t)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        other => Err(PyExc::type_error(format!(
+            "catching classes that do not inherit from BaseException is not allowed (got {})",
+            other.type_name()
+        ))),
+    }
+}
+
+/// The Python object bound by `except E as e`.
+fn exception_object(vm: &Vm, exc: &PyExc) -> Value {
+    if let Some(v) = &exc.value {
+        return v.clone();
+    }
+    let class = vm
+        .exception_class(&exc.class_name)
+        .or_else(|| vm.exception_class("Exception"))
+        .expect("Exception class always registered");
+    let inst = Rc::new(InstanceObj {
+        class,
+        attrs: RefCell::new(vec![(
+            "message".to_string(),
+            Value::str(exc.message.clone()),
+        )]),
+    });
+    Value::Instance(inst)
+}
+
+/// Converts a raised value (`raise X`) into a [`PyExc`].
+fn exception_from_value(vm: &mut Vm, _frame: &mut Frame, v: Value) -> Result<PyExc, PyExc> {
+    match v {
+        Value::Class(c) if c.is_exception => {
+            // `raise E` instantiates with no arguments.
+            let inst = instantiate_exception(vm, &c, Vec::new())?;
+            Ok(PyExc {
+                class_name: c.name.clone(),
+                message: String::new(),
+                value: Some(inst),
+                traceback: Vec::new(),
+            })
+        }
+        Value::Instance(i) if i.class.is_exception => {
+            let message = match i.get_attr("message") {
+                Some(m) => m.to_display(),
+                None => String::new(),
+            };
+            Ok(PyExc {
+                class_name: i.class.name.clone(),
+                message,
+                value: Some(Value::Instance(i)),
+                traceback: Vec::new(),
+            })
+        }
+        other => Err(PyExc::type_error(format!(
+            "exceptions must derive from BaseException (got {})",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Instantiates an exception class with positional args.
+pub fn instantiate_exception(
+    vm: &mut Vm,
+    class: &Rc<ClassObj>,
+    args: Vec<Value>,
+) -> Result<Value, PyExc> {
+    let inst = Rc::new(InstanceObj {
+        class: class.clone(),
+        attrs: RefCell::new(Vec::new()),
+    });
+    if let Some(Value::Func(init)) = class.lookup("__init__") {
+        call_function(vm, &init, {
+            let mut a = vec![Value::Instance(inst.clone())];
+            a.extend(args);
+            a
+        }, vec![])?;
+    } else {
+        let message = match args.len() {
+            0 => Value::str(""),
+            1 => args[0].clone(),
+            _ => Value::Tuple(Rc::new(args.clone())),
+        };
+        inst.set_attr("message", message);
+        if let Some(first) = args.first() {
+            inst.set_attr("args", Value::Tuple(Rc::new(vec![first.clone()])));
+        }
+    }
+    Ok(Value::Instance(inst))
+}
+
+fn make_function(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    name: &str,
+    params: &[Param],
+    body: &[Stmt],
+) -> Result<Value, PyExc> {
+    let mut defaults = Vec::with_capacity(params.len());
+    for p in params {
+        defaults.push(match &p.default {
+            Some(d) => Some(eval(vm, frame, d)?),
+            None => None,
+        });
+    }
+    let mut captured = frame.captured.clone();
+    if let Some(locals) = &frame.locals {
+        captured.push(locals.clone());
+    }
+    let mut local_names = collect_assigned_names(body);
+    for p in params {
+        if !local_names.iter().any(|n| n == &p.name) {
+            local_names.push(p.name.clone());
+        }
+    }
+    Ok(Value::Func(Rc::new(FuncObj {
+        name: name.to_string(),
+        params: params.to_vec(),
+        defaults,
+        body: Rc::new(body.to_vec()),
+        local_names,
+        global_names: collect_global_decls(body),
+        globals: frame.globals.clone(),
+        captured,
+    })))
+}
+
+fn write_name(frame: &mut Frame, name: &str, value: Value) {
+    if frame.global_decls.iter().any(|n| n == name) {
+        frame.globals.borrow_mut().set(name, value);
+        return;
+    }
+    match &frame.locals {
+        Some(locals) => locals.borrow_mut().set(name, value),
+        None => frame.globals.borrow_mut().set(name, value),
+    }
+}
+
+fn read_name(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc> {
+    if frame.global_decls.iter().any(|n| n == name) {
+        if let Some(v) = frame.globals.borrow().get(name) {
+            return Ok(v);
+        }
+        if let Some(v) = vm.builtins.borrow().get(name) {
+            return Ok(v);
+        }
+        return Err(PyExc::name_error(name));
+    }
+    if let Some(locals) = &frame.locals {
+        if frame.local_names.iter().any(|n| n == name) {
+            return match locals.borrow().get(name) {
+                Some(v) => Ok(v),
+                // Local by analysis but not yet bound: the paper's §V-C
+                // UnboundLocalError.
+                None => Err(PyExc::unbound_local(name)),
+            };
+        }
+        for scope in frame.captured.iter().rev() {
+            if let Some(v) = scope.borrow().get(name) {
+                return Ok(v);
+            }
+        }
+    }
+    if let Some(v) = frame.globals.borrow().get(name) {
+        return Ok(v);
+    }
+    if let Some(v) = vm.builtins.borrow().get(name) {
+        return Ok(v);
+    }
+    Err(PyExc::name_error(name))
+}
+
+fn assign_target(vm: &mut Vm, frame: &mut Frame, target: &Expr, value: Value) -> Result<(), PyExc> {
+    match &target.kind {
+        ExprKind::Name(n) => {
+            write_name(frame, n, value);
+            Ok(())
+        }
+        ExprKind::Attribute { value: obj, attr } => {
+            let o = eval(vm, frame, obj)?;
+            set_attr(&o, attr, value)
+        }
+        ExprKind::Subscript { value: obj, index } => {
+            let o = eval(vm, frame, obj)?;
+            let i = eval(vm, frame, index)?;
+            set_item(&o, i, value)
+        }
+        ExprKind::Tuple(items) | ExprKind::List(items) => {
+            let values = iter_values(&value)?;
+            if values.len() != items.len() {
+                return Err(PyExc::value_error(format!(
+                    "cannot unpack {} values into {} targets",
+                    values.len(),
+                    items.len()
+                )));
+            }
+            for (t, v) in items.iter().zip(values) {
+                assign_target(vm, frame, t, v)?;
+            }
+            Ok(())
+        }
+        _ => Err(PyExc::new("SyntaxError", "cannot assign to expression")),
+    }
+}
+
+fn del_target(vm: &mut Vm, frame: &mut Frame, target: &Expr) -> Result<(), PyExc> {
+    match &target.kind {
+        ExprKind::Name(n) => {
+            let removed = match &frame.locals {
+                Some(locals) => locals.borrow_mut().unset(n),
+                None => frame.globals.borrow_mut().unset(n),
+            };
+            if removed {
+                Ok(())
+            } else {
+                Err(PyExc::name_error(n))
+            }
+        }
+        ExprKind::Subscript { value: obj, index } => {
+            let o = eval(vm, frame, obj)?;
+            let i = eval(vm, frame, index)?;
+            match &o {
+                Value::Dict(d) => {
+                    d.borrow_mut()
+                        .remove(&i)
+                        .ok_or_else(|| PyExc::key_error(&i))?;
+                    Ok(())
+                }
+                Value::List(l) => {
+                    let idx = as_index(&i, l.borrow().len())?;
+                    l.borrow_mut().remove(idx);
+                    Ok(())
+                }
+                other => Err(PyExc::type_error(format!(
+                    "'{}' object does not support item deletion",
+                    other.type_name()
+                ))),
+            }
+        }
+        _ => Err(PyExc::new("SyntaxError", "cannot delete expression")),
+    }
+}
+
+/// Evaluates an expression.
+///
+/// # Errors
+///
+/// Propagates any raised [`PyExc`].
+pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc> {
+    vm.tick()?;
+    match &expr.kind {
+        ExprKind::Num(Number::Int(v)) => Ok(Value::Int(*v)),
+        ExprKind::Num(Number::Float(v)) => Ok(Value::Float(*v)),
+        ExprKind::Str(s) => Ok(Value::str(s.clone())),
+        ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+        ExprKind::NoneLit => Ok(Value::None),
+        ExprKind::Name(n) => read_name(vm, frame, n),
+        ExprKind::Attribute { value, attr } => {
+            let obj = eval(vm, frame, value)?;
+            get_attr(vm, &obj, attr)
+        }
+        ExprKind::Subscript { value, index } => {
+            let obj = eval(vm, frame, value)?;
+            let idx = eval(vm, frame, index)?;
+            get_item(&obj, &idx)
+        }
+        ExprKind::Slice { lower, upper, step } => {
+            // Bare slice object (only meaningful inside subscripts; we
+            // represent it as a tuple marker).
+            let l = opt_eval(vm, frame, lower)?;
+            let u = opt_eval(vm, frame, upper)?;
+            let s = opt_eval(vm, frame, step)?;
+            Ok(Value::Tuple(Rc::new(vec![
+                Value::str("__slice__"),
+                l,
+                u,
+                s,
+            ])))
+        }
+        ExprKind::Call { func, args } => {
+            let callee = eval(vm, frame, func)?;
+            let mut pos = Vec::new();
+            let mut kw = Vec::new();
+            for a in args {
+                match a {
+                    Arg::Pos(e) => pos.push(eval(vm, frame, e)?),
+                    Arg::Kw(n, e) => kw.push((n.clone(), eval(vm, frame, e)?)),
+                    Arg::Star(e) => {
+                        let v = eval(vm, frame, e)?;
+                        pos.extend(iter_values(&v)?);
+                    }
+                    Arg::DoubleStar(e) => {
+                        let v = eval(vm, frame, e)?;
+                        match v {
+                            Value::Dict(d) => {
+                                for (k, val) in d.borrow().iter() {
+                                    kw.push((k.to_display(), val.clone()));
+                                }
+                            }
+                            other => {
+                                return Err(PyExc::type_error(format!(
+                                    "argument after ** must be a mapping, not {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+            call_value(vm, callee, pos, kw)
+        }
+        ExprKind::Unary { op, operand } => {
+            let v = eval(vm, frame, operand)?;
+            match op {
+                UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Bool(b) => Ok(Value::Int(-(b as i64))),
+                    other => Err(PyExc::type_error(format!(
+                        "bad operand type for unary -: '{}'",
+                        other.type_name()
+                    ))),
+                },
+                UnaryOp::Pos => match v {
+                    Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
+                    other => Err(PyExc::type_error(format!(
+                        "bad operand type for unary +: '{}'",
+                        other.type_name()
+                    ))),
+                },
+                UnaryOp::Invert => match v {
+                    Value::Int(i) => Ok(Value::Int(!i)),
+                    Value::Bool(b) => Ok(Value::Int(!(b as i64))),
+                    other => Err(PyExc::type_error(format!(
+                        "bad operand type for unary ~: '{}'",
+                        other.type_name()
+                    ))),
+                },
+            }
+        }
+        ExprKind::Binary { left, op, right } => {
+            let l = eval(vm, frame, left)?;
+            let r = eval(vm, frame, right)?;
+            binary_op(vm, *op, l, r)
+        }
+        ExprKind::BoolOp { op, values } => {
+            let mut last = Value::None;
+            for (i, v) in values.iter().enumerate() {
+                last = eval(vm, frame, v)?;
+                let t = last.truthy();
+                let short_circuit = match op {
+                    BoolOpKind::And => !t,
+                    BoolOpKind::Or => t,
+                };
+                if short_circuit && i < values.len() - 1 {
+                    return Ok(last);
+                }
+                if short_circuit {
+                    return Ok(last);
+                }
+            }
+            Ok(last)
+        }
+        ExprKind::Compare {
+            left,
+            ops,
+            comparators,
+        } => {
+            let mut lhs = eval(vm, frame, left)?;
+            for (op, comp) in ops.iter().zip(comparators) {
+                let rhs = eval(vm, frame, comp)?;
+                if !compare(vm, *op, &lhs, &rhs)? {
+                    return Ok(Value::Bool(false));
+                }
+                lhs = rhs;
+            }
+            Ok(Value::Bool(true))
+        }
+        ExprKind::Lambda { params, body } => {
+            let ret = Stmt::synth(StmtKind::Return(Some((**body).clone())));
+            make_function_from_parts(vm, frame, "<lambda>", params, Rc::new(vec![ret]))
+        }
+        ExprKind::IfExp { test, body, orelse } => {
+            if eval(vm, frame, test)?.truthy() {
+                eval(vm, frame, body)
+            } else {
+                eval(vm, frame, orelse)
+            }
+        }
+        ExprKind::Tuple(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(eval(vm, frame, i)?);
+            }
+            Ok(Value::Tuple(Rc::new(out)))
+        }
+        ExprKind::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(eval(vm, frame, i)?);
+            }
+            Ok(Value::list(out))
+        }
+        ExprKind::Dict(pairs) => {
+            let mut d = DictObj::new();
+            for (k, v) in pairs {
+                let key = eval(vm, frame, k)?;
+                let value = eval(vm, frame, v)?;
+                d.set(key, value);
+            }
+            Ok(Value::Dict(Rc::new(RefCell::new(d))))
+        }
+        ExprKind::Set(items) => {
+            let mut out: Vec<Value> = Vec::new();
+            for i in items {
+                let v = eval(vm, frame, i)?;
+                if !out.iter().any(|x| values_eq(x, &v)) {
+                    out.push(v);
+                }
+            }
+            Ok(Value::Set(Rc::new(RefCell::new(out))))
+        }
+        ExprKind::ListComp {
+            elt,
+            target,
+            iter,
+            ifs,
+        } => {
+            let iterable = eval(vm, frame, iter)?;
+            let mut out = Vec::new();
+            'outer: for item in iter_values(&iterable)? {
+                assign_target(vm, frame, target, item)?;
+                for cond in ifs {
+                    if !eval(vm, frame, cond)?.truthy() {
+                        continue 'outer;
+                    }
+                }
+                out.push(eval(vm, frame, elt)?);
+            }
+            Ok(Value::list(out))
+        }
+        ExprKind::Starred(_) => Err(PyExc::new(
+            "SyntaxError",
+            "starred expression outside call/assignment",
+        )),
+    }
+}
+
+fn opt_eval(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    e: &Option<Box<Expr>>,
+) -> Result<Value, PyExc> {
+    match e {
+        Some(e) => eval(vm, frame, e),
+        None => Ok(Value::None),
+    }
+}
+
+fn make_function_from_parts(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    name: &str,
+    params: &[Param],
+    body: Rc<Vec<Stmt>>,
+) -> Result<Value, PyExc> {
+    let mut defaults = Vec::with_capacity(params.len());
+    for p in params {
+        defaults.push(match &p.default {
+            Some(d) => Some(eval(vm, frame, d)?),
+            None => None,
+        });
+    }
+    let mut captured = frame.captured.clone();
+    if let Some(locals) = &frame.locals {
+        captured.push(locals.clone());
+    }
+    let mut local_names = collect_assigned_names(&body);
+    for p in params {
+        if !local_names.iter().any(|n| n == &p.name) {
+            local_names.push(p.name.clone());
+        }
+    }
+    Ok(Value::Func(Rc::new(FuncObj {
+        name: name.to_string(),
+        params: params.to_vec(),
+        defaults,
+        body,
+        local_names,
+        global_names: collect_global_decls(&[]),
+        globals: frame.globals.clone(),
+        captured,
+    })))
+}
+
+/// Calls any callable value.
+///
+/// # Errors
+///
+/// `TypeError` for non-callables; propagates exceptions from the callee.
+pub fn call_value(
+    vm: &mut Vm,
+    callee: Value,
+    args: Vec<Value>,
+    kwargs: Vec<(String, Value)>,
+) -> Result<Value, PyExc> {
+    match callee {
+        Value::Native(n) => (n.imp)(vm, args, kwargs),
+        Value::Func(f) => call_function(vm, &f, args, kwargs),
+        Value::BoundMethod(f, recv) => {
+            let mut all = vec![*recv];
+            all.extend(args);
+            call_value(vm, *f, all, kwargs)
+        }
+        Value::Class(c) => {
+            if c.is_exception {
+                return instantiate_exception(vm, &c, args);
+            }
+            let inst = Rc::new(InstanceObj {
+                class: c.clone(),
+                attrs: RefCell::new(Vec::new()),
+            });
+            match c.lookup("__init__") {
+                Some(init @ (Value::Func(_) | Value::Native(_))) => {
+                    let mut all = vec![Value::Instance(inst.clone())];
+                    all.extend(args);
+                    call_value(vm, init, all, kwargs)?;
+                }
+                _ => {
+                    if !args.is_empty() || !kwargs.is_empty() {
+                        return Err(PyExc::type_error(format!(
+                            "{}() takes no arguments",
+                            c.name
+                        )));
+                    }
+                }
+            }
+            Ok(Value::Instance(inst))
+        }
+        other => Err(PyExc::type_error(format!(
+            "'{}' object is not callable",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Calls a user-defined function with bound arguments.
+pub fn call_function(
+    vm: &mut Vm,
+    func: &Rc<FuncObj>,
+    args: Vec<Value>,
+    kwargs: Vec<(String, Value)>,
+) -> Result<Value, PyExc> {
+    if vm.depth.get() >= MAX_DEPTH {
+        return Err(PyExc::new(
+            "RuntimeError",
+            "maximum recursion depth exceeded",
+        ));
+    }
+    let locals = Scope::new_ref();
+    bind_params(vm, func, args, kwargs, &locals)?;
+    let mut frame = Frame {
+        globals: func.globals.clone(),
+        locals: Some(locals),
+        local_names: Rc::new(func.local_names.clone()),
+        global_decls: Rc::new(func.global_names.clone()),
+        captured: func.captured.clone(),
+        func_name: func.name.clone(),
+    };
+    vm.depth.set(vm.depth.get() + 1);
+    let result = exec_block(vm, &mut frame, &func.body);
+    vm.depth.set(vm.depth.get() - 1);
+    match result {
+        Ok(Flow::Return(v)) => Ok(v),
+        Ok(_) => Ok(Value::None),
+        Err(e) => Err(e.with_frame(&func.name)),
+    }
+}
+
+fn bind_params(
+    _vm: &mut Vm,
+    func: &FuncObj,
+    mut args: Vec<Value>,
+    mut kwargs: Vec<(String, Value)>,
+    locals: &ScopeRef,
+) -> Result<(), PyExc> {
+    let mut locals = locals.borrow_mut();
+    let mut arg_iter = args.drain(..);
+    for (i, p) in func.params.iter().enumerate() {
+        match p.kind {
+            pysrc::ast::ParamKind::Normal => {
+                if let Some(v) = arg_iter.next() {
+                    // Positional wins; a duplicate keyword is an error.
+                    if kwargs.iter().any(|(n, _)| n == &p.name) {
+                        return Err(PyExc::type_error(format!(
+                            "{}() got multiple values for argument '{}'",
+                            func.name, p.name
+                        )));
+                    }
+                    locals.set(&p.name, v);
+                } else if let Some(pos) = kwargs.iter().position(|(n, _)| n == &p.name) {
+                    let (_, v) = kwargs.remove(pos);
+                    locals.set(&p.name, v);
+                } else if let Some(Some(d)) = func.defaults.get(i) {
+                    locals.set(&p.name, d.clone());
+                } else {
+                    return Err(PyExc::type_error(format!(
+                        "{}() missing required argument: '{}'",
+                        func.name, p.name
+                    )));
+                }
+            }
+            pysrc::ast::ParamKind::Star => {
+                let rest: Vec<Value> = arg_iter.by_ref().collect();
+                locals.set(&p.name, Value::Tuple(Rc::new(rest)));
+            }
+            pysrc::ast::ParamKind::DoubleStar => {
+                let mut d = DictObj::new();
+                for (n, v) in kwargs.drain(..) {
+                    d.set(Value::str(n), v);
+                }
+                locals.set(&p.name, Value::Dict(Rc::new(RefCell::new(d))));
+            }
+        }
+    }
+    let leftover: Vec<Value> = arg_iter.collect();
+    if !leftover.is_empty() {
+        return Err(PyExc::type_error(format!(
+            "{}() takes {} positional arguments but more were given",
+            func.name,
+            func.params.len()
+        )));
+    }
+    if !kwargs.is_empty() {
+        return Err(PyExc::type_error(format!(
+            "{}() got an unexpected keyword argument '{}'",
+            func.name, kwargs[0].0
+        )));
+    }
+    Ok(())
+}
+
+/// Attribute lookup with Python semantics (including the canonical
+/// `AttributeError: 'NoneType' object has no attribute ...`).
+pub fn get_attr(vm: &Vm, obj: &Value, attr: &str) -> Result<Value, PyExc> {
+    match obj {
+        Value::Instance(i) => {
+            if let Some(v) = i.get_attr(attr) {
+                return Ok(v);
+            }
+            if let Some(v) = i.class.lookup(attr) {
+                return Ok(match v {
+                    f @ (Value::Func(_) | Value::Native(_)) => {
+                        Value::BoundMethod(Box::new(f), Box::new(obj.clone()))
+                    }
+                    other => other,
+                });
+            }
+            Err(PyExc::attribute_error(&i.class.name, attr))
+        }
+        Value::Class(c) => c
+            .lookup(attr)
+            .ok_or_else(|| PyExc::attribute_error(&c.name, attr)),
+        Value::Module(m) => m.get(attr).ok_or_else(|| {
+            PyExc::new(
+                "AttributeError",
+                format!("module '{}' has no attribute '{attr}'", m.name),
+            )
+        }),
+        other => {
+            if let Some(v) = methods::builtin_method(vm, other, attr) {
+                Ok(v)
+            } else {
+                Err(PyExc::attribute_error(other.type_name(), attr))
+            }
+        }
+    }
+}
+
+fn set_attr(obj: &Value, attr: &str, value: Value) -> Result<(), PyExc> {
+    match obj {
+        Value::Instance(i) => {
+            i.set_attr(attr, value);
+            Ok(())
+        }
+        Value::Class(c) => {
+            let mut attrs = c.attrs.borrow_mut();
+            if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == attr) {
+                slot.1 = value;
+            } else {
+                attrs.push((attr.to_string(), value));
+            }
+            Ok(())
+        }
+        Value::Module(m) => {
+            m.set(attr, value);
+            Ok(())
+        }
+        other => Err(PyExc::attribute_error(other.type_name(), attr)),
+    }
+}
+
+fn as_index(v: &Value, len: usize) -> Result<usize, PyExc> {
+    let i = match v {
+        Value::Int(i) => *i,
+        Value::Bool(b) => *b as i64,
+        other => {
+            return Err(PyExc::type_error(format!(
+                "indices must be integers, not {}",
+                other.type_name()
+            )))
+        }
+    };
+    let adjusted = if i < 0 { i + len as i64 } else { i };
+    if adjusted < 0 || adjusted as usize >= len {
+        Err(PyExc::index_error("sequence"))
+    } else {
+        Ok(adjusted as usize)
+    }
+}
+
+fn slice_bounds(len: usize, lower: &Value, upper: &Value, step: &Value) -> Result<(usize, usize), PyExc> {
+    if !matches!(step, Value::None) {
+        if let Value::Int(s) = step {
+            if *s != 1 {
+                return Err(PyExc::value_error("only step 1 slices are supported"));
+            }
+        }
+    }
+    let clamp = |v: &Value, default: usize| -> usize {
+        match v {
+            Value::Int(i) => {
+                let adj = if *i < 0 { *i + len as i64 } else { *i };
+                adj.clamp(0, len as i64) as usize
+            }
+            _ => default,
+        }
+    };
+    let lo = clamp(lower, 0);
+    let hi = clamp(upper, len).max(lo);
+    Ok((lo, hi))
+}
+
+/// `obj[index]`.
+pub fn get_item(obj: &Value, index: &Value) -> Result<Value, PyExc> {
+    // Slice marker?
+    if let Value::Tuple(t) = index {
+        if t.len() == 4 {
+            if let Value::Str(tag) = &t[0] {
+                if tag.as_str() == "__slice__" {
+                    return get_slice(obj, &t[1], &t[2], &t[3]);
+                }
+            }
+        }
+    }
+    match obj {
+        Value::List(l) => {
+            let list = l.borrow();
+            let i = as_index(index, list.len()).map_err(|_| {
+                if matches!(index, Value::Int(_) | Value::Bool(_)) {
+                    PyExc::index_error("list")
+                } else {
+                    PyExc::type_error(format!(
+                        "list indices must be integers, not {}",
+                        index.type_name()
+                    ))
+                }
+            })?;
+            Ok(list[i].clone())
+        }
+        Value::Tuple(t) => {
+            let i = as_index(index, t.len())?;
+            Ok(t[i].clone())
+        }
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let i = as_index(index, chars.len())
+                .map_err(|e| if e.class_name == "IndexError" { PyExc::index_error("string") } else { e })?;
+            Ok(Value::str(chars[i].to_string()))
+        }
+        Value::Dict(d) => d
+            .borrow()
+            .get(index)
+            .cloned()
+            .ok_or_else(|| PyExc::key_error(index)),
+        other => Err(PyExc::type_error(format!(
+            "'{}' object is not subscriptable",
+            other.type_name()
+        ))),
+    }
+}
+
+fn get_slice(obj: &Value, lower: &Value, upper: &Value, step: &Value) -> Result<Value, PyExc> {
+    match obj {
+        Value::List(l) => {
+            let list = l.borrow();
+            let (lo, hi) = slice_bounds(list.len(), lower, upper, step)?;
+            Ok(Value::list(list[lo..hi].to_vec()))
+        }
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let (lo, hi) = slice_bounds(chars.len(), lower, upper, step)?;
+            Ok(Value::str(chars[lo..hi].iter().collect::<String>()))
+        }
+        Value::Tuple(t) => {
+            let (lo, hi) = slice_bounds(t.len(), lower, upper, step)?;
+            Ok(Value::Tuple(Rc::new(t[lo..hi].to_vec())))
+        }
+        other => Err(PyExc::type_error(format!(
+            "'{}' object is not sliceable",
+            other.type_name()
+        ))),
+    }
+}
+
+fn set_item(obj: &Value, index: Value, value: Value) -> Result<(), PyExc> {
+    match obj {
+        Value::List(l) => {
+            let len = l.borrow().len();
+            let i = as_index(&index, len)?;
+            l.borrow_mut()[i] = value;
+            Ok(())
+        }
+        Value::Dict(d) => {
+            d.borrow_mut().set(index, value);
+            Ok(())
+        }
+        other => Err(PyExc::type_error(format!(
+            "'{}' object does not support item assignment",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Materializes an iterable into values (lists, tuples, dicts iterate
+/// keys, strings iterate characters, sets iterate elements).
+pub fn iter_values(v: &Value) -> Result<Vec<Value>, PyExc> {
+    match v {
+        Value::List(l) => Ok(l.borrow().clone()),
+        Value::Tuple(t) => Ok(t.to_vec()),
+        Value::Set(s) => Ok(s.borrow().clone()),
+        Value::Dict(d) => Ok(d.borrow().iter().map(|(k, _)| k.clone()).collect()),
+        Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
+        other => Err(PyExc::type_error(format!(
+            "'{}' object is not iterable",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Applies a binary operator.
+pub fn binary_op(vm: &mut Vm, op: BinOp, l: Value, r: Value) -> Result<Value, PyExc> {
+    use BinOp::*;
+    let type_err = |l: &Value, r: &Value, sym: &str| {
+        PyExc::type_error(format!(
+            "unsupported operand type(s) for {sym}: '{}' and '{}'",
+            l.type_name(),
+            r.type_name()
+        ))
+    };
+    // Promote bools to ints for arithmetic.
+    let norm = |v: Value| match v {
+        Value::Bool(b) => Value::Int(b as i64),
+        other => other,
+    };
+    let (l, r) = (norm(l), norm(r));
+    match (op, &l, &r) {
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+        (Add, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a + b)),
+        (Add, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 + b)),
+        (Add, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a + *b as f64)),
+        (Add, Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+        (Add, Value::List(a), Value::List(b)) => {
+            let mut out = a.borrow().clone();
+            out.extend(b.borrow().iter().cloned());
+            Ok(Value::list(out))
+        }
+        (Add, Value::Tuple(a), Value::Tuple(b)) => {
+            let mut out = a.to_vec();
+            out.extend(b.iter().cloned());
+            Ok(Value::Tuple(Rc::new(out)))
+        }
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (Sub, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a - b)),
+        (Sub, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 - b)),
+        (Sub, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a - *b as f64)),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        (Mul, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a * b)),
+        (Mul, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 * b)),
+        (Mul, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a * *b as f64)),
+        (Mul, Value::Str(s), Value::Int(n)) | (Mul, Value::Int(n), Value::Str(s)) => {
+            Ok(Value::str(s.repeat((*n).max(0) as usize)))
+        }
+        (Mul, Value::List(xs), Value::Int(n)) | (Mul, Value::Int(n), Value::List(xs)) => {
+            let items = xs.borrow();
+            let mut out = Vec::new();
+            for _ in 0..(*n).max(0) {
+                out.extend(items.iter().cloned());
+            }
+            Ok(Value::list(out))
+        }
+        (Div, _, _) => {
+            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "/"))?;
+            if b == 0.0 {
+                Err(PyExc::zero_division())
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        (FloorDiv, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(PyExc::zero_division())
+            } else {
+                Ok(Value::Int(a.div_euclid(*b)))
+            }
+        }
+        (FloorDiv, _, _) => {
+            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "//"))?;
+            if b == 0.0 {
+                Err(PyExc::zero_division())
+            } else {
+                Ok(Value::Float((a / b).floor()))
+            }
+        }
+        (Mod, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(PyExc::zero_division())
+            } else {
+                Ok(Value::Int(a.rem_euclid(*b)))
+            }
+        }
+        (Mod, Value::Str(fmt), _) => format_percent(vm, fmt, &r),
+        (Mod, _, _) => {
+            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "%"))?;
+            if b == 0.0 {
+                Err(PyExc::zero_division())
+            } else {
+                Ok(Value::Float(a.rem_euclid(b)))
+            }
+        }
+        (Pow, Value::Int(a), Value::Int(b)) if *b >= 0 => {
+            Ok(Value::Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32)))
+        }
+        (Pow, _, _) => {
+            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "**"))?;
+            Ok(Value::Float(a.powf(b)))
+        }
+        (BitAnd, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a & b)),
+        (BitOr, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a | b)),
+        (BitXor, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a ^ b)),
+        (Shl, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shl(*b as u32))),
+        (Shr, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shr(*b as u32))),
+        (op, _, _) => Err(type_err(&l, &r, op.as_str())),
+    }
+}
+
+fn float_pair(l: &Value, r: &Value) -> Option<(f64, f64)> {
+    let f = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Bool(b) => Some(*b as i64 as f64),
+        _ => None,
+    };
+    Some((f(l)?, f(r)?))
+}
+
+/// Minimal `%` string formatting: `%s`, `%d`, `%f`, `%r`, `%%`.
+fn format_percent(_vm: &Vm, fmt: &str, args: &Value) -> Result<Value, PyExc> {
+    let values: Vec<Value> = match args {
+        Value::Tuple(t) => t.to_vec(),
+        other => vec![other.clone()],
+    };
+    let mut out = String::new();
+    let mut it = fmt.chars().peekable();
+    let mut idx = 0;
+    while let Some(c) = it.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('%') => out.push('%'),
+            Some(spec) => {
+                let v = values.get(idx).ok_or_else(|| {
+                    PyExc::type_error("not enough arguments for format string")
+                })?;
+                idx += 1;
+                match spec {
+                    's' => out.push_str(&v.to_display()),
+                    'r' => out.push_str(&v.repr()),
+                    'd' | 'i' => match v {
+                        Value::Int(i) => out.push_str(&i.to_string()),
+                        Value::Float(f) => out.push_str(&(*f as i64).to_string()),
+                        Value::Bool(b) => out.push_str(&(*b as i64).to_string()),
+                        other => {
+                            return Err(PyExc::type_error(format!(
+                                "%d format: a number is required, not {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                    'f' => match v {
+                        Value::Int(i) => out.push_str(&format!("{:.6}", *i as f64)),
+                        Value::Float(f) => out.push_str(&format!("{f:.6}")),
+                        other => {
+                            return Err(PyExc::type_error(format!(
+                                "%f format: a number is required, not {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(PyExc::value_error(format!(
+                            "unsupported format character '{other}'"
+                        )))
+                    }
+                }
+            }
+            None => return Err(PyExc::value_error("incomplete format")),
+        }
+    }
+    if idx < values.len() {
+        return Err(PyExc::type_error(
+            "not all arguments converted during string formatting",
+        ));
+    }
+    Ok(Value::str(out))
+}
+
+/// Applies a comparison operator.
+pub fn compare(vm: &Vm, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyExc> {
+    use CmpOp::*;
+    match op {
+        Eq => Ok(values_eq(l, r)),
+        Ne => Ok(!values_eq(l, r)),
+        Is => Ok(values_is(l, r)),
+        IsNot => Ok(!values_is(l, r)),
+        In | NotIn => {
+            let found = membership(vm, l, r)?;
+            Ok(if op == In { found } else { !found })
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = values_cmp(l, r).ok_or_else(|| {
+                PyExc::type_error(format!(
+                    "'<' not supported between instances of '{}' and '{}'",
+                    l.type_name(),
+                    r.type_name()
+                ))
+            })?;
+            Ok(match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+fn membership(_vm: &Vm, needle: &Value, haystack: &Value) -> Result<bool, PyExc> {
+    match haystack {
+        Value::List(l) => Ok(l.borrow().iter().any(|v| values_eq(v, needle))),
+        Value::Tuple(t) => Ok(t.iter().any(|v| values_eq(v, needle))),
+        Value::Set(s) => Ok(s.borrow().iter().any(|v| values_eq(v, needle))),
+        Value::Dict(d) => Ok(d.borrow().iter().any(|(k, _)| values_eq(k, needle))),
+        Value::Str(s) => match needle {
+            Value::Str(sub) => Ok(s.contains(sub.as_str())),
+            other => Err(PyExc::type_error(format!(
+                "'in <string>' requires string as left operand, not {}",
+                other.type_name()
+            ))),
+        },
+        other => Err(PyExc::type_error(format!(
+            "argument of type '{}' is not iterable",
+            other.type_name()
+        ))),
+    }
+}

@@ -1,0 +1,388 @@
+//! Built-in methods on primitive values (`str`, `list`, `dict`, ...).
+//!
+//! Each lookup returns a freshly created native closure capturing the
+//! receiver, so `s.startswith` is a first-class value exactly like in
+//! Python.
+
+use crate::builtins::{int_of, native_value, string_of};
+use crate::exc::PyExc;
+use crate::interp::{call_value, iter_values};
+use crate::value::*;
+use crate::vm::Vm;
+use std::rc::Rc;
+
+/// Looks up a built-in method on a primitive receiver.
+pub fn builtin_method(_vm: &Vm, recv: &Value, name: &str) -> Option<Value> {
+    match recv {
+        Value::Str(_) => str_method(recv.clone(), name),
+        Value::List(_) => list_method(recv.clone(), name),
+        Value::Dict(_) => dict_method(recv.clone(), name),
+        Value::Set(_) => set_method(recv.clone(), name),
+        Value::Tuple(_) => tuple_method(recv.clone(), name),
+        _ => None,
+    }
+}
+
+fn recv_str(recv: &Value) -> Rc<String> {
+    match recv {
+        Value::Str(s) => s.clone(),
+        _ => unreachable!("receiver checked by caller"),
+    }
+}
+
+fn str_method(recv: Value, name: &str) -> Option<Value> {
+    let s = recv_str(&recv);
+    let method: Value = match name {
+        "startswith" => native_value("startswith", move |_vm, args, _| {
+            let prefix = string_of(args.first().ok_or_else(|| miss("startswith"))?, "startswith")?;
+            Ok(Value::Bool(s.starts_with(&prefix)))
+        }),
+        "endswith" => native_value("endswith", move |_vm, args, _| {
+            let suffix = string_of(args.first().ok_or_else(|| miss("endswith"))?, "endswith")?;
+            Ok(Value::Bool(s.ends_with(&suffix)))
+        }),
+        "split" => native_value("split", move |_vm, args, _| {
+            let parts: Vec<Value> = match args.first() {
+                Some(sep) => {
+                    let sep = string_of(sep, "split")?;
+                    s.split(sep.as_str()).map(Value::str).collect()
+                }
+                None => s.split_whitespace().map(Value::str).collect(),
+            };
+            Ok(Value::list(parts))
+        }),
+        "join" => native_value("join", move |_vm, args, _| {
+            let items = iter_values(args.first().ok_or_else(|| miss("join"))?)?;
+            let mut parts = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Value::Str(p) => parts.push(p.to_string()),
+                    other => {
+                        return Err(PyExc::type_error(format!(
+                            "sequence item: expected str instance, {} found",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(Value::str(parts.join(s.as_str())))
+        }),
+        "strip" => native_value("strip", move |_vm, _args, _| {
+            Ok(Value::str(s.trim().to_string()))
+        }),
+        "lstrip" => native_value("lstrip", move |_vm, _args, _| {
+            Ok(Value::str(s.trim_start().to_string()))
+        }),
+        "rstrip" => native_value("rstrip", move |_vm, _args, _| {
+            Ok(Value::str(s.trim_end().to_string()))
+        }),
+        "replace" => native_value("replace", move |_vm, args, _| {
+            if args.len() != 2 {
+                return Err(miss("replace"));
+            }
+            let from = string_of(&args[0], "replace")?;
+            let to = string_of(&args[1], "replace")?;
+            Ok(Value::str(s.replace(&from, &to)))
+        }),
+        "lower" => native_value("lower", move |_vm, _args, _| {
+            Ok(Value::str(s.to_lowercase()))
+        }),
+        "upper" => native_value("upper", move |_vm, _args, _| {
+            Ok(Value::str(s.to_uppercase()))
+        }),
+        "find" => native_value("find", move |_vm, args, _| {
+            let sub = string_of(args.first().ok_or_else(|| miss("find"))?, "find")?;
+            Ok(Value::Int(match s.find(&sub) {
+                Some(byte_idx) => s[..byte_idx].chars().count() as i64,
+                None => -1,
+            }))
+        }),
+        "format" => native_value("format", move |_vm, args, _| {
+            // Positional `{}` placeholders only.
+            let mut out = String::new();
+            let mut idx = 0usize;
+            let mut chars = s.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '{' && chars.peek() == Some(&'}') {
+                    chars.next();
+                    let v = args
+                        .get(idx)
+                        .ok_or_else(|| PyExc::new("IndexError", "format index out of range"))?;
+                    out.push_str(&v.to_display());
+                    idx += 1;
+                } else {
+                    out.push(c);
+                }
+            }
+            Ok(Value::str(out))
+        }),
+        "encode" | "decode" => native_value(name, move |_vm, _args, _| {
+            // Bytes are modeled as strings in this VM.
+            Ok(Value::Str(s.clone()))
+        }),
+        "isdigit" => native_value("isdigit", move |_vm, _args, _| {
+            Ok(Value::Bool(
+                !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+            ))
+        }),
+        "isalpha" => native_value("isalpha", move |_vm, _args, _| {
+            Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphabetic)))
+        }),
+        "count" => native_value("count", move |_vm, args, _| {
+            let sub = string_of(args.first().ok_or_else(|| miss("count"))?, "count")?;
+            if sub.is_empty() {
+                return Ok(Value::Int(s.chars().count() as i64 + 1));
+            }
+            Ok(Value::Int(s.matches(&sub).count() as i64))
+        }),
+        "zfill" => native_value("zfill", move |_vm, args, _| {
+            let width = int_of(args.first().ok_or_else(|| miss("zfill"))?, "zfill")? as usize;
+            let mut out = s.to_string();
+            while out.chars().count() < width {
+                out.insert(0, '0');
+            }
+            Ok(Value::str(out))
+        }),
+        _ => return None,
+    };
+    Some(method)
+}
+
+fn recv_list(recv: &Value) -> Rc<std::cell::RefCell<Vec<Value>>> {
+    match recv {
+        Value::List(l) => l.clone(),
+        _ => unreachable!("receiver checked by caller"),
+    }
+}
+
+fn list_method(recv: Value, name: &str) -> Option<Value> {
+    let l = recv_list(&recv);
+    let method: Value = match name {
+        "append" => native_value("append", move |_vm, mut args, _| {
+            if args.len() != 1 {
+                return Err(miss("append"));
+            }
+            l.borrow_mut().push(args.remove(0));
+            Ok(Value::None)
+        }),
+        "extend" => native_value("extend", move |_vm, args, _| {
+            let items = iter_values(args.first().ok_or_else(|| miss("extend"))?)?;
+            l.borrow_mut().extend(items);
+            Ok(Value::None)
+        }),
+        "insert" => native_value("insert", move |_vm, mut args, _| {
+            if args.len() != 2 {
+                return Err(miss("insert"));
+            }
+            let v = args.remove(1);
+            let idx = int_of(&args[0], "insert")?;
+            let mut list = l.borrow_mut();
+            let len = list.len() as i64;
+            let pos = if idx < 0 { (idx + len).max(0) } else { idx.min(len) };
+            list.insert(pos as usize, v);
+            Ok(Value::None)
+        }),
+        "pop" => native_value("pop", move |_vm, args, _| {
+            let mut list = l.borrow_mut();
+            if list.is_empty() {
+                return Err(PyExc::index_error("pop from empty list"));
+            }
+            let idx = match args.first() {
+                Some(v) => {
+                    let i = int_of(v, "pop")?;
+                    let len = list.len() as i64;
+                    let adj = if i < 0 { i + len } else { i };
+                    if adj < 0 || adj >= len {
+                        return Err(PyExc::index_error("pop"));
+                    }
+                    adj as usize
+                }
+                None => list.len() - 1,
+            };
+            Ok(list.remove(idx))
+        }),
+        "remove" => native_value("remove", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("remove"))?;
+            let mut list = l.borrow_mut();
+            match list.iter().position(|v| values_eq(v, needle)) {
+                Some(i) => {
+                    list.remove(i);
+                    Ok(Value::None)
+                }
+                None => Err(PyExc::value_error("list.remove(x): x not in list")),
+            }
+        }),
+        "index" => native_value("index", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("index"))?;
+            let list = l.borrow();
+            list.iter()
+                .position(|v| values_eq(v, needle))
+                .map(|i| Value::Int(i as i64))
+                .ok_or_else(|| PyExc::value_error("x not in list"))
+        }),
+        "count" => native_value("count", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("count"))?;
+            Ok(Value::Int(
+                l.borrow().iter().filter(|v| values_eq(v, needle)).count() as i64,
+            ))
+        }),
+        "reverse" => native_value("reverse", move |_vm, _args, _| {
+            l.borrow_mut().reverse();
+            Ok(Value::None)
+        }),
+        "sort" => native_value("sort", move |vm, _args, kwargs| {
+            let sorted_fn = vm
+                .builtins
+                .borrow()
+                .get("sorted")
+                .expect("sorted is always installed");
+            let out = call_value(vm, sorted_fn, vec![Value::List(l.clone())], kwargs)?;
+            if let Value::List(new) = out {
+                *l.borrow_mut() = new.borrow().clone();
+            }
+            Ok(Value::None)
+        }),
+        _ => return None,
+    };
+    Some(method)
+}
+
+fn recv_dict(recv: &Value) -> Rc<std::cell::RefCell<DictObj>> {
+    match recv {
+        Value::Dict(d) => d.clone(),
+        _ => unreachable!("receiver checked by caller"),
+    }
+}
+
+fn dict_method(recv: Value, name: &str) -> Option<Value> {
+    let d = recv_dict(&recv);
+    let method: Value = match name {
+        "get" => native_value("get", move |_vm, args, _| {
+            let key = args.first().ok_or_else(|| miss("get"))?;
+            Ok(d.borrow()
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| args.get(1).cloned().unwrap_or(Value::None)))
+        }),
+        "keys" => native_value("keys", move |_vm, _args, _| {
+            Ok(Value::list(
+                d.borrow().iter().map(|(k, _)| k.clone()).collect(),
+            ))
+        }),
+        "values" => native_value("values", move |_vm, _args, _| {
+            Ok(Value::list(
+                d.borrow().iter().map(|(_, v)| v.clone()).collect(),
+            ))
+        }),
+        "items" => native_value("items", move |_vm, _args, _| {
+            Ok(Value::list(
+                d.borrow()
+                    .iter()
+                    .map(|(k, v)| Value::Tuple(Rc::new(vec![k.clone(), v.clone()])))
+                    .collect(),
+            ))
+        }),
+        "pop" => native_value("pop", move |_vm, args, _| {
+            let key = args.first().ok_or_else(|| miss("pop"))?;
+            match d.borrow_mut().remove(key) {
+                Some(v) => Ok(v),
+                None => match args.get(1) {
+                    Some(default) => Ok(default.clone()),
+                    None => Err(PyExc::key_error(key)),
+                },
+            }
+        }),
+        "setdefault" => native_value("setdefault", move |_vm, args, _| {
+            let key = args.first().ok_or_else(|| miss("setdefault"))?;
+            let default = args.get(1).cloned().unwrap_or(Value::None);
+            let mut dict = d.borrow_mut();
+            if let Some(v) = dict.get(key) {
+                return Ok(v.clone());
+            }
+            dict.set(key.clone(), default.clone());
+            Ok(default)
+        }),
+        "update" => native_value("update", move |_vm, args, kwargs| {
+            if let Some(Value::Dict(src)) = args.first() {
+                let src = src.borrow();
+                let mut dst = d.borrow_mut();
+                for (k, v) in src.iter() {
+                    dst.set(k.clone(), v.clone());
+                }
+            }
+            let mut dst = d.borrow_mut();
+            for (k, v) in kwargs {
+                dst.set(Value::str(k), v);
+            }
+            Ok(Value::None)
+        }),
+        "clear" => native_value("clear", move |_vm, _args, _| {
+            *d.borrow_mut() = DictObj::new();
+            Ok(Value::None)
+        }),
+        "copy" => native_value("copy", move |_vm, _args, _| {
+            let mut out = DictObj::new();
+            for (k, v) in d.borrow().iter() {
+                out.set(k.clone(), v.clone());
+            }
+            Ok(Value::Dict(Rc::new(std::cell::RefCell::new(out))))
+        }),
+        _ => return None,
+    };
+    Some(method)
+}
+
+fn set_method(recv: Value, name: &str) -> Option<Value> {
+    let s = match &recv {
+        Value::Set(s) => s.clone(),
+        _ => unreachable!("receiver checked by caller"),
+    };
+    let method: Value = match name {
+        "add" => native_value("add", move |_vm, mut args, _| {
+            if args.len() != 1 {
+                return Err(miss("add"));
+            }
+            let v = args.remove(0);
+            let mut set = s.borrow_mut();
+            if !set.iter().any(|x| values_eq(x, &v)) {
+                set.push(v);
+            }
+            Ok(Value::None)
+        }),
+        "discard" => native_value("discard", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("discard"))?;
+            s.borrow_mut().retain(|x| !values_eq(x, needle));
+            Ok(Value::None)
+        }),
+        _ => return None,
+    };
+    Some(method)
+}
+
+fn tuple_method(recv: Value, name: &str) -> Option<Value> {
+    let t = match &recv {
+        Value::Tuple(t) => t.clone(),
+        _ => unreachable!("receiver checked by caller"),
+    };
+    let method: Value = match name {
+        "count" => native_value("count", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("count"))?;
+            Ok(Value::Int(
+                t.iter().filter(|v| values_eq(v, needle)).count() as i64
+            ))
+        }),
+        "index" => native_value("index", move |_vm, args, _| {
+            let needle = args.first().ok_or_else(|| miss("index"))?;
+            t.iter()
+                .position(|v| values_eq(v, needle))
+                .map(|i| Value::Int(i as i64))
+                .ok_or_else(|| PyExc::value_error("tuple.index(x): x not in tuple"))
+        }),
+        _ => return None,
+    };
+    Some(method)
+}
+
+fn miss(name: &str) -> PyExc {
+    PyExc::type_error(format!("{name}(): wrong number of arguments"))
+}

@@ -1,0 +1,504 @@
+//! Simulated standard-library modules available to the target program.
+//!
+//! These are the modules the paper's campaigns inject into (Table I:
+//! "API calls to the urllib and os Python modules") plus the support
+//! modules the corpus needs (`time`, `random`, `logging`, `threading`)
+//! and the ProFIPy runtime support module `profipy_rt` that the mutator
+//! links injected code against (`$CORRUPT`, `$HOG`, `$TIMEOUT`,
+//! trigger, coverage probes).
+
+use crate::builtins::{float_of, int_of, native_value, string_of};
+use crate::exc::PyExc;
+use crate::host::TransportError;
+use crate::interp::call_value;
+use crate::value::*;
+use crate::vm::{Severity, Vm};
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Instantiates a native module by import name, or `None` if the name
+/// is not a native module.
+pub fn instantiate_native(vm: &mut Vm, name: &str) -> Option<Rc<ModuleObj>> {
+    match name {
+        "os" => Some(os_module()),
+        "urllib" => Some(urllib_module(vm)),
+        "time" => Some(time_module()),
+        "random" => Some(random_module()),
+        "logging" => Some(logging_module()),
+        "threading" => Some(threading_module(vm)),
+        "profipy_rt" => Some(profipy_rt_module()),
+        _ => None,
+    }
+}
+
+fn module(name: &str) -> Rc<ModuleObj> {
+    Rc::new(ModuleObj {
+        name: name.to_string(),
+        attrs: RefCell::new(Vec::new()),
+    })
+}
+
+// ---------- os ----------
+
+fn os_module() -> Rc<ModuleObj> {
+    let m = module("os");
+    m.set(
+        "getenv",
+        native_value("getenv", |vm, args, _| {
+            let name = string_of(args.first().ok_or_else(|| arg_err("getenv"))?, "getenv")?;
+            Ok(match vm.host.getenv(&name) {
+                Some(v) => Value::str(v),
+                None => args.get(1).cloned().unwrap_or(Value::None),
+            })
+        }),
+    );
+    m.set(
+        "path_exists",
+        native_value("path_exists", |vm, args, _| {
+            let p = string_of(
+                args.first().ok_or_else(|| arg_err("path_exists"))?,
+                "path_exists",
+            )?;
+            Ok(Value::Bool(vm.host.path_exists(&p)))
+        }),
+    );
+    m.set(
+        "read_file",
+        native_value("read_file", |vm, args, _| {
+            let p = string_of(args.first().ok_or_else(|| arg_err("read_file"))?, "read_file")?;
+            match vm.host.read_file(&p) {
+                Ok(contents) => Ok(Value::str(contents)),
+                Err(msg) => Err(PyExc::new("IOError", msg)),
+            }
+        }),
+    );
+    m.set(
+        "write_file",
+        native_value("write_file", |vm, args, _| {
+            if args.len() < 2 {
+                return Err(arg_err("write_file"));
+            }
+            let p = string_of(&args[0], "write_file")?;
+            let data = args[1].to_display();
+            vm.host
+                .write_file(&p, &data)
+                .map_err(|msg| PyExc::new("IOError", msg))?;
+            Ok(Value::None)
+        }),
+    );
+    m.set(
+        "execute",
+        native_value("execute", |vm, args, _| {
+            // `os.execute(cmd, arg1, arg2, ...)` — the paper's §III WPF
+            // target (`utils.execute` invoking iptables/dnsmasq/e2fsck).
+            let mut argv = Vec::new();
+            for a in &args {
+                argv.push(a.to_display());
+            }
+            if argv.is_empty() {
+                return Err(arg_err("execute"));
+            }
+            let (code, out) = vm.host.execute(&argv);
+            if code != 0 {
+                return Err(PyExc::new(
+                    "OSError",
+                    format!("command '{}' failed with exit code {code}: {out}", argv[0]),
+                ));
+            }
+            Ok(Value::Tuple(Rc::new(vec![
+                Value::Int(code as i64),
+                Value::str(out),
+            ])))
+        }),
+    );
+    m
+}
+
+// ---------- urllib ----------
+
+fn urllib_module(vm: &mut Vm) -> Rc<ModuleObj> {
+    let m = module("urllib");
+    // Exception classes the simulated transport raises.
+    let os_error = vm
+        .exception_class("OSError")
+        .expect("OSError is a builtin exception");
+    for name in ["ConnectTimeoutError", "ProtocolError", "HTTPError"] {
+        let class = Rc::new(ClassObj {
+            name: name.to_string(),
+            base: Some(os_error.clone()),
+            attrs: RefCell::new(Vec::new()),
+            is_exception: true,
+        });
+        vm.register_exception_class(class.clone());
+        m.set(name, Value::Class(class));
+    }
+
+    m.set(
+        "request",
+        native_value("request", |vm, args, kwargs| {
+            // urllib.request(method, url, body='', timeout=5.0) -> response dict
+            if args.len() < 2 {
+                return Err(arg_err("request"));
+            }
+            let method = string_of(&args[0], "request")?;
+            let url = string_of(&args[1], "request")?;
+            let body = match args.get(2) {
+                Some(Value::Str(s)) => s.to_string(),
+                Some(Value::None) | None => String::new(),
+                Some(other) => other.to_display(),
+            };
+            let timeout = kwargs
+                .iter()
+                .find(|(n, _)| n == "timeout")
+                .map(|(_, v)| float_of(v, "timeout"))
+                .transpose()?
+                .unwrap_or(5.0);
+            http_request(vm, &method, &url, &body, timeout)
+        }),
+    );
+    m.set(
+        "quote",
+        native_value("quote", |_vm, args, _| {
+            let s = string_of(args.first().ok_or_else(|| arg_err("quote"))?, "quote")?;
+            let mut out = String::new();
+            for c in s.chars() {
+                if c.is_ascii_alphanumeric() || "-_.~/".contains(c) {
+                    out.push(c);
+                } else {
+                    for b in c.to_string().as_bytes() {
+                        out.push_str(&format!("%{b:02X}"));
+                    }
+                }
+            }
+            Ok(Value::str(out))
+        }),
+    );
+    m.set(
+        "urlencode",
+        native_value("urlencode", |_vm, args, _| {
+            let d = match args.first() {
+                Some(Value::Dict(d)) => d.clone(),
+                _ => return Err(arg_err("urlencode")),
+            };
+            let parts: Vec<String> = d
+                .borrow()
+                .iter()
+                .map(|(k, v)| format!("{}={}", k.to_display(), v.to_display()))
+                .collect();
+            Ok(Value::str(parts.join("&")))
+        }),
+    );
+    m
+}
+
+/// Performs a simulated HTTP request through the host, translating
+/// transport errors to the exception classes the paper's campaigns
+/// inject and observe.
+fn http_request(
+    vm: &mut Vm,
+    method: &str,
+    url: &str,
+    body: &str,
+    timeout: f64,
+) -> Result<Value, PyExc> {
+    let (result, elapsed) = vm
+        .host
+        .http_request(vm.clock.now(), method, url, body, timeout);
+    vm.clock.advance(elapsed);
+    match result {
+        Ok(resp) => {
+            let d = Value::dict(vec![
+                (Value::str("status"), Value::Int(resp.status as i64)),
+                (Value::str("data"), Value::str(resp.body)),
+            ]);
+            Ok(d)
+        }
+        Err(TransportError::Timeout) => Err(PyExc::new(
+            "ConnectTimeoutError",
+            format!("timed out after {timeout}s: {method} {url}"),
+        )),
+        Err(TransportError::ConnectionRefused) => Err(PyExc::new(
+            "ConnectionRefusedError",
+            format!("connection refused: {method} {url}"),
+        )),
+        Err(TransportError::Reset) => Err(PyExc::new(
+            "ProtocolError",
+            format!("connection reset during {method} {url}"),
+        )),
+    }
+}
+
+// ---------- time ----------
+
+fn time_module() -> Rc<ModuleObj> {
+    let m = module("time");
+    m.set(
+        "time",
+        native_value("time", |vm, _args, _| Ok(Value::Float(vm.clock.now()))),
+    );
+    m.set(
+        "monotonic",
+        native_value("monotonic", |vm, _args, _| Ok(Value::Float(vm.clock.now()))),
+    );
+    m.set(
+        "sleep",
+        native_value("sleep", |vm, args, _| {
+            let secs = float_of(args.first().ok_or_else(|| arg_err("sleep"))?, "sleep")?;
+            vm.clock.advance(secs.max(0.0));
+            // Sleeping still burns a little fuel so sleep loops terminate.
+            vm.tick()?;
+            Ok(Value::None)
+        }),
+    );
+    m
+}
+
+// ---------- random ----------
+
+fn random_module() -> Rc<ModuleObj> {
+    let m = module("random");
+    m.set(
+        "random",
+        native_value("random", |vm, _args, _| {
+            Ok(Value::Float(vm.rng.borrow_mut().gen::<f64>()))
+        }),
+    );
+    m.set(
+        "randint",
+        native_value("randint", |vm, args, _| {
+            if args.len() != 2 {
+                return Err(arg_err("randint"));
+            }
+            let a = int_of(&args[0], "randint")?;
+            let b = int_of(&args[1], "randint")?;
+            if a > b {
+                return Err(PyExc::value_error("empty range for randint()"));
+            }
+            Ok(Value::Int(vm.rng.borrow_mut().gen_range(a..=b)))
+        }),
+    );
+    m.set(
+        "choice",
+        native_value("choice", |vm, args, _| {
+            let items = crate::interp::iter_values(args.first().ok_or_else(|| arg_err("choice"))?)?;
+            if items.is_empty() {
+                return Err(PyExc::new("IndexError", "cannot choose from an empty sequence"));
+            }
+            let i = vm.rng.borrow_mut().gen_range(0..items.len());
+            Ok(items[i].clone())
+        }),
+    );
+    m.set(
+        "seed",
+        native_value("seed", |_vm, _args, _| Ok(Value::None)),
+    );
+    m
+}
+
+// ---------- logging ----------
+
+fn log_fn(name: &'static str, severity: Severity) -> Value {
+    native_value(name, move |vm, args, _| {
+        let msg = args.first().map(Value::to_display).unwrap_or_default();
+        vm.log(severity, msg);
+        Ok(Value::None)
+    })
+}
+
+fn logging_module() -> Rc<ModuleObj> {
+    let m = module("logging");
+    m.set("debug", log_fn("debug", Severity::Debug));
+    m.set("info", log_fn("info", Severity::Info));
+    m.set("warning", log_fn("warning", Severity::Warning));
+    m.set("error", log_fn("error", Severity::Error));
+    m.set("critical", log_fn("critical", Severity::Critical));
+    m.set(
+        "getLogger",
+        native_value("getLogger", |_vm, args, _| {
+            // Loggers attribute records to the component named at
+            // getLogger() time.
+            let component = match args.first() {
+                Some(Value::Str(s)) => s.to_string(),
+                _ => "root".to_string(),
+            };
+            let logger = Rc::new(ModuleObj {
+                name: format!("logger:{component}"),
+                attrs: RefCell::new(Vec::new()),
+            });
+            for (name, sev) in [
+                ("debug", Severity::Debug),
+                ("info", Severity::Info),
+                ("warning", Severity::Warning),
+                ("error", Severity::Error),
+                ("critical", Severity::Critical),
+            ] {
+                let component = component.clone();
+                logger.set(
+                    name,
+                    native_value(name, move |vm: &mut Vm, args: Vec<Value>, _| {
+                        let msg = args.first().map(Value::to_display).unwrap_or_default();
+                        let prev = std::mem::replace(
+                            &mut *vm.current_component.borrow_mut(),
+                            component.clone(),
+                        );
+                        vm.log(sev, msg);
+                        *vm.current_component.borrow_mut() = prev;
+                        Ok(Value::None)
+                    }),
+                );
+            }
+            Ok(Value::Module(logger))
+        }),
+    );
+    m
+}
+
+// ---------- threading ----------
+
+fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
+    let m = module("threading");
+    // Deterministic cooperative model: `Thread.start()` runs the target
+    // to completion synchronously. CPU hogs are modeled separately via
+    // `profipy_rt.hog()` which starves the *whole* VM — see DESIGN.md.
+    let thread_class = Rc::new(ClassObj {
+        name: "Thread".to_string(),
+        base: None,
+        attrs: RefCell::new(Vec::new()),
+        is_exception: false,
+    });
+    thread_class.attrs.borrow_mut().push((
+        "start".to_string(),
+        native_value("start", |vm, args, _| {
+            let recv = args.first().cloned().ok_or_else(|| arg_err("start"))?;
+            if let Value::Instance(inst) = &recv {
+                if let Some(target) = inst.get_attr("_target") {
+                    let call_args = match inst.get_attr("_args") {
+                        Some(Value::Tuple(t)) => t.to_vec(),
+                        Some(Value::List(l)) => l.borrow().clone(),
+                        _ => Vec::new(),
+                    };
+                    call_value(vm, target, call_args, vec![])?;
+                }
+                inst.set_attr("_started", Value::Bool(true));
+            }
+            Ok(Value::None)
+        }),
+    ));
+    thread_class.attrs.borrow_mut().push((
+        "join".to_string(),
+        native_value("join", |_vm, _args, _| Ok(Value::None)),
+    ));
+    thread_class.attrs.borrow_mut().push((
+        "__init__".to_string(),
+        native_value("__init__", |_vm, args, kwargs| {
+            let recv = args.first().cloned().ok_or_else(|| arg_err("Thread"))?;
+            if let Value::Instance(inst) = &recv {
+                for (n, v) in kwargs {
+                    match n.as_str() {
+                        "target" => inst.set_attr("_target", v),
+                        "args" => inst.set_attr("_args", v),
+                        "daemon" => inst.set_attr("daemon", v),
+                        _ => {}
+                    }
+                }
+            }
+            Ok(Value::None)
+        }),
+    ));
+    let _ = vm; // classes need no VM state at construction
+    m.set("Thread", Value::Class(thread_class));
+    m
+}
+
+// ---------- profipy_rt ----------
+
+/// Builds the ProFIPy runtime-support module. The mutator emits calls
+/// into this module:
+///
+/// * `profipy_rt.trigger()` — EDFI-style fault switch (paper §IV-B).
+/// * `profipy_rt.cov(id)` — coverage probe (paper §IV-D).
+/// * `profipy_rt.corrupt(v)` — `$CORRUPT` directive.
+/// * `profipy_rt.hog()` — `$HOG` directive (stale CPU-hog thread).
+/// * `profipy_rt.delay(secs)` — `$TIMEOUT` directive.
+fn profipy_rt_module() -> Rc<ModuleObj> {
+    let m = module("profipy_rt");
+    m.set(
+        "trigger",
+        native_value("trigger", |vm, _args, _| {
+            Ok(Value::Bool(vm.trigger.get()))
+        }),
+    );
+    m.set(
+        "cov",
+        native_value("cov", |vm, args, _| {
+            let id = int_of(args.first().ok_or_else(|| arg_err("cov"))?, "cov")?;
+            vm.mark_covered(id as u64);
+            Ok(Value::None)
+        }),
+    );
+    m.set(
+        "corrupt",
+        native_value("corrupt", |vm, args, _| {
+            let v = args.first().cloned().ok_or_else(|| arg_err("corrupt"))?;
+            Ok(corrupt_value(vm, v))
+        }),
+    );
+    m.set(
+        "hog",
+        native_value("hog", |vm, _args, _| {
+            vm.fuel.add_hog();
+            vm.host.note_hog();
+            Ok(Value::None)
+        }),
+    );
+    m.set(
+        "delay",
+        native_value("delay", |vm, args, _| {
+            let secs = float_of(args.first().ok_or_else(|| arg_err("delay"))?, "delay")?;
+            vm.clock.advance(secs.max(0.0));
+            vm.tick()?;
+            Ok(Value::None)
+        }),
+    );
+    m
+}
+
+/// `$CORRUPT` semantics: strings get characters randomly replaced
+/// (including non-ASCII substitutions — the paper's §V-B "non-ASCII
+/// string → 400 Bad Request" failure), ints become random negatives,
+/// everything else becomes `None`.
+pub fn corrupt_value(vm: &Vm, v: Value) -> Value {
+    let mut rng = vm.rng.borrow_mut();
+    match v {
+        Value::Str(s) => {
+            let mut chars: Vec<char> = s.chars().collect();
+            if chars.is_empty() {
+                chars.push('\u{00bf}');
+            }
+            // Corrupt one or two characters. A minority of the
+            // substitutions are non-ASCII — those are the inputs the
+            // paper's server rejects with 400 Bad Request; ASCII
+            // corruptions produce wrong-but-well-formed inputs whose
+            // failures surface later (missing keys, failed checks).
+            let n = rng.gen_range(1..=2.min(chars.len()));
+            for _ in 0..n {
+                let i = rng.gen_range(0..chars.len());
+                chars[i] = if rng.gen_bool(0.2) {
+                    char::from_u32(rng.gen_range(0xA1..0x17F)).unwrap_or('\u{00bf}')
+                } else {
+                    char::from(rng.gen_range(b'a'..=b'z'))
+                };
+            }
+            Value::str(chars.into_iter().collect::<String>())
+        }
+        Value::Int(_) => Value::Int(-(rng.gen_range(1..10_000i64))),
+        Value::Float(_) => Value::Float(-rng.gen::<f64>() * 1e6),
+        Value::Bool(b) => Value::Bool(!b),
+        _ => Value::None,
+    }
+}
+
+fn arg_err(name: &str) -> PyExc {
+    PyExc::type_error(format!("{name}(): missing required argument"))
+}

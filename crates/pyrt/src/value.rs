@@ -1,0 +1,539 @@
+//! Runtime values for the mini-Python interpreter.
+
+use pysrc::ast;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. Aggregate values use `Rc<RefCell<..>>` to get
+/// Python's reference/aliasing semantics in a single-threaded VM.
+#[derive(Clone)]
+pub enum Value {
+    /// `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Immutable string.
+    Str(Rc<String>),
+    /// Mutable list.
+    List(Rc<RefCell<Vec<Value>>>),
+    /// Immutable tuple.
+    Tuple(Rc<Vec<Value>>),
+    /// Insertion-ordered dictionary (linear probing is fine at corpus
+    /// scale and keeps iteration deterministic).
+    Dict(Rc<RefCell<DictObj>>),
+    /// Mutable set (represented as an ordered vec of unique values).
+    Set(Rc<RefCell<Vec<Value>>>),
+    /// User-defined function (or method before binding).
+    Func(Rc<FuncObj>),
+    /// A callable (user function or native) bound to a receiver.
+    BoundMethod(Box<Value>, Box<Value>),
+    /// A class object.
+    Class(Rc<ClassObj>),
+    /// A class instance.
+    Instance(Rc<InstanceObj>),
+    /// Native (Rust-implemented) function.
+    Native(Rc<NativeFn>),
+    /// A native module namespace.
+    Module(Rc<ModuleObj>),
+}
+
+/// Insertion-ordered dictionary object.
+#[derive(Default)]
+pub struct DictObj {
+    entries: Vec<(Value, Value)>,
+}
+
+impl DictObj {
+    /// Creates an empty dict.
+    pub fn new() -> DictObj {
+        DictObj::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key by Python equality.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| values_eq(k, key))
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces a key.
+    pub fn set(&mut self, key: Value, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| values_eq(k, &key)) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &Value) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| values_eq(k, key))?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Value, Value)> {
+        self.entries.iter()
+    }
+}
+
+/// A user-defined function.
+pub struct FuncObj {
+    /// Function name (for tracebacks).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<ast::Param>,
+    /// Default values, evaluated once at `def` time (Python semantics),
+    /// parallel to `params`.
+    pub defaults: Vec<Option<Value>>,
+    /// Body statements (shared with the module AST).
+    pub body: Rc<Vec<ast::Stmt>>,
+    /// Names assigned anywhere in the body (locals), precomputed for
+    /// `UnboundLocalError` semantics.
+    pub local_names: Vec<String>,
+    /// Names declared `global` in the body.
+    pub global_names: Vec<String>,
+    /// The module globals this function closes over.
+    pub globals: ScopeRef,
+    /// Enclosing local scopes captured by closures (innermost last).
+    pub captured: Vec<ScopeRef>,
+}
+
+/// A class object.
+pub struct ClassObj {
+    /// Class name.
+    pub name: String,
+    /// Single base class, if any.
+    pub base: Option<Rc<ClassObj>>,
+    /// Methods and class attributes.
+    pub attrs: RefCell<Vec<(String, Value)>>,
+    /// True for the built-in exception classes and user subclasses of
+    /// them (set at class creation by walking `base`).
+    pub is_exception: bool,
+}
+
+impl ClassObj {
+    /// Looks up an attribute through the inheritance chain.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        if let Some((_, v)) = self.attrs.borrow().iter().find(|(n, _)| n == name) {
+            return Some(v.clone());
+        }
+        self.base.as_ref().and_then(|b| b.lookup(name))
+    }
+
+    /// True if `self` is `other` or a subclass of it.
+    pub fn isa(&self, other: &ClassObj) -> bool {
+        if std::ptr::eq(self, other) || self.name == other.name {
+            return true;
+        }
+        self.base.as_ref().is_some_and(|b| b.isa(other))
+    }
+}
+
+/// A class instance.
+pub struct InstanceObj {
+    /// The instance's class.
+    pub class: Rc<ClassObj>,
+    /// Instance attributes.
+    pub attrs: RefCell<Vec<(String, Value)>>,
+}
+
+impl InstanceObj {
+    /// Reads an instance attribute (not falling back to the class).
+    pub fn get_attr(&self, name: &str) -> Option<Value> {
+        self.attrs
+            .borrow()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Writes an instance attribute.
+    pub fn set_attr(&self, name: &str, value: Value) {
+        let mut attrs = self.attrs.borrow_mut();
+        if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            attrs.push((name.to_string(), value));
+        }
+    }
+}
+
+/// A native module namespace (e.g. the simulated `os`, `urllib`).
+pub struct ModuleObj {
+    /// Module name.
+    pub name: String,
+    /// Module attributes.
+    pub attrs: RefCell<Vec<(String, Value)>>,
+}
+
+impl ModuleObj {
+    /// Reads a module attribute.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.attrs
+            .borrow()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Writes a module attribute.
+    pub fn set(&self, name: &str, value: Value) {
+        let mut attrs = self.attrs.borrow_mut();
+        if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            attrs.push((name.to_string(), value));
+        }
+    }
+}
+
+/// Signature of a native function: `(vm, positional args, keyword args)`.
+pub type NativeImpl =
+    dyn Fn(&mut crate::vm::Vm, Vec<Value>, Vec<(String, Value)>) -> Result<Value, crate::exc::PyExc>;
+
+/// A named native function.
+pub struct NativeFn {
+    /// Name (for error messages).
+    pub name: String,
+    /// Implementation.
+    pub imp: Box<NativeImpl>,
+}
+
+/// A mutable name→value scope shared by reference.
+pub type ScopeRef = Rc<RefCell<Scope>>;
+
+/// A flat name→value binding table.
+#[derive(Default)]
+pub struct Scope {
+    bindings: Vec<(String, Value)>,
+}
+
+impl Scope {
+    /// Creates an empty scope behind an `Rc<RefCell<..>>`.
+    pub fn new_ref() -> ScopeRef {
+        Rc::new(RefCell::new(Scope::default()))
+    }
+
+    /// Looks up a name.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Binds a name.
+    pub fn set(&mut self, name: &str, value: Value) {
+        if let Some(slot) = self.bindings.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.bindings.push((name.to_string(), value));
+        }
+    }
+
+    /// Removes a binding, returning whether it existed.
+    pub fn unset(&mut self, name: &str) -> bool {
+        let before = self.bindings.len();
+        self.bindings.retain(|(n, _)| n != name);
+        self.bindings.len() != before
+    }
+
+    /// True if the name is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bindings.iter().any(|(n, _)| n == name)
+    }
+
+    /// Snapshot of all bindings in insertion order.
+    pub fn bindings_vec(&self) -> Vec<(String, Value)> {
+        self.bindings.clone()
+    }
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// Creates a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Creates a dict value.
+    pub fn dict(pairs: Vec<(Value, Value)>) -> Value {
+        let mut d = DictObj::new();
+        for (k, v) in pairs {
+            d.set(k, v);
+        }
+        Value::Dict(Rc::new(RefCell::new(d)))
+    }
+
+    /// Python type name (`type(x).__name__`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "NoneType",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::Dict(_) => "dict",
+            Value::Set(_) => "set",
+            Value::Func(_) | Value::BoundMethod(..) | Value::Native(_) => "function",
+            Value::Class(_) => "type",
+            Value::Instance(_) => "instance",
+            Value::Module(_) => "module",
+        }
+    }
+
+    /// Python truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+            Value::Tuple(t) => !t.is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+            Value::Set(s) => !s.borrow().is_empty(),
+            _ => true,
+        }
+    }
+
+    /// `repr()` rendering.
+    pub fn repr(&self) -> String {
+        match self {
+            Value::None => "None".into(),
+            Value::Bool(true) => "True".into(),
+            Value::Bool(false) => "False".into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                let s = format!("{f}");
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Value::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+            Value::List(l) => {
+                let items: Vec<String> = l.borrow().iter().map(Value::repr).collect();
+                format!("[{}]", items.join(", "))
+            }
+            Value::Tuple(t) => {
+                let items: Vec<String> = t.iter().map(Value::repr).collect();
+                if items.len() == 1 {
+                    format!("({},)", items[0])
+                } else {
+                    format!("({})", items.join(", "))
+                }
+            }
+            Value::Dict(d) => {
+                let items: Vec<String> = d
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", k.repr(), v.repr()))
+                    .collect();
+                format!("{{{}}}", items.join(", "))
+            }
+            Value::Set(s) => {
+                let items: Vec<String> = s.borrow().iter().map(Value::repr).collect();
+                if items.is_empty() {
+                    "set()".into()
+                } else {
+                    format!("{{{}}}", items.join(", "))
+                }
+            }
+            Value::Func(f) => format!("<function {}>", f.name),
+            Value::BoundMethod(f, _) => match f.as_ref() {
+                Value::Func(f) => format!("<bound method {}>", f.name),
+                Value::Native(n) => format!("<bound method {}>", n.name),
+                other => format!("<bound method {}>", other.type_name()),
+            },
+            Value::Native(n) => format!("<built-in function {}>", n.name),
+            Value::Class(c) => format!("<class '{}'>", c.name),
+            Value::Instance(i) => format!("<{} instance>", i.class.name),
+            Value::Module(m) => format!("<module '{}'>", m.name),
+        }
+    }
+
+    /// `str()` rendering (strings print bare, exceptions show message).
+    pub fn to_display(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Instance(i) if i.class.is_exception => {
+                match i.get_attr("message") {
+                    Some(Value::Str(m)) => m.to_string(),
+                    Some(v) => v.to_display(),
+                    None => String::new(),
+                }
+            }
+            other => other.repr(),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr())
+    }
+}
+
+/// Python `==` equality (deep, numeric-coercing).
+pub fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::None, Value::None) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x == y,
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        (Value::Bool(x), Value::Int(y)) | (Value::Int(y), Value::Bool(x)) => (*x as i64) == *y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::List(x), Value::List(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(a, b)| values_eq(a, b))
+        }
+        (Value::Tuple(x), Value::Tuple(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(a, b)| values_eq(a, b))
+        }
+        (Value::Dict(x), Value::Dict(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            x.len() == y.len()
+                && x.iter()
+                    .all(|(k, v)| y.get(k).is_some_and(|w| values_eq(v, w)))
+        }
+        (Value::Set(x), Value::Set(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            x.len() == y.len() && x.iter().all(|v| y.iter().any(|w| values_eq(v, w)))
+        }
+        (Value::Class(x), Value::Class(y)) => Rc::ptr_eq(x, y),
+        (Value::Instance(x), Value::Instance(y)) => Rc::ptr_eq(x, y),
+        (Value::Func(x), Value::Func(y)) => Rc::ptr_eq(x, y),
+        (Value::Native(x), Value::Native(y)) => Rc::ptr_eq(x, y),
+        (Value::Module(x), Value::Module(y)) => Rc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+/// Identity (`is` operator).
+pub fn values_is(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::None, Value::None) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        // CPython interns small ints; our corpus relies only on
+        // `is None` / `is True`, but int identity is harmless.
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => Rc::ptr_eq(x, y) || x == y,
+        (Value::List(x), Value::List(y)) => Rc::ptr_eq(x, y),
+        (Value::Dict(x), Value::Dict(y)) => Rc::ptr_eq(x, y),
+        (Value::Set(x), Value::Set(y)) => Rc::ptr_eq(x, y),
+        (Value::Tuple(x), Value::Tuple(y)) => Rc::ptr_eq(x, y),
+        (Value::Instance(x), Value::Instance(y)) => Rc::ptr_eq(x, y),
+        (Value::Class(x), Value::Class(y)) => Rc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+/// Total ordering for `<`/`sorted()` on comparable values.
+/// Returns `None` for incomparable types (→ `TypeError`).
+pub fn values_cmp(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (Value::List(x), Value::List(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            for (a, b) in x.iter().zip(y.iter()) {
+                match values_cmp(a, b)? {
+                    Ordering::Equal => continue,
+                    other => return Some(other),
+                }
+            }
+            Some(x.len().cmp(&y.len()))
+        }
+        (Value::Tuple(x), Value::Tuple(y)) => {
+            for (a, b) in x.iter().zip(y.iter()) {
+                match values_cmp(a, b)? {
+                    Ordering::Equal => continue,
+                    other => return Some(other),
+                }
+            }
+            Some(x.len().cmp(&y.len()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+        assert!(Value::list(vec![Value::Int(1)]).truthy());
+    }
+
+    #[test]
+    fn equality_coerces_numbers() {
+        assert!(values_eq(&Value::Int(2), &Value::Float(2.0)));
+        assert!(values_eq(&Value::Bool(true), &Value::Int(1)));
+        assert!(!values_eq(&Value::Int(2), &Value::str("2")));
+    }
+
+    #[test]
+    fn dict_insertion_order_preserved() {
+        let mut d = DictObj::new();
+        d.set(Value::str("b"), Value::Int(1));
+        d.set(Value::str("a"), Value::Int(2));
+        d.set(Value::str("b"), Value::Int(3));
+        let keys: Vec<String> = d.iter().map(|(k, _)| k.to_display()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert!(values_eq(d.get(&Value::str("b")).unwrap(), &Value::Int(3)));
+    }
+
+    #[test]
+    fn repr_matches_python() {
+        assert_eq!(Value::list(vec![Value::Int(1), Value::str("a")]).repr(), "[1, 'a']");
+        assert_eq!(Value::Tuple(Rc::new(vec![Value::Int(1)])).repr(), "(1,)");
+        assert_eq!(Value::Float(2.0).repr(), "2.0");
+    }
+
+    #[test]
+    fn compare_orders_sequences_lexicographically() {
+        let a = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::list(vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(values_cmp(&a, &b), Some(std::cmp::Ordering::Less));
+        assert!(values_cmp(&Value::Int(1), &Value::str("x")).is_none());
+    }
+}

@@ -1,0 +1,419 @@
+//! The virtual machine: owns the clock, fuel, trigger, host interface,
+//! captured output, logs, coverage, and the module registry.
+
+use crate::builtins;
+use crate::clock::{Fuel, VirtualClock};
+use crate::exc::{Flow, PyExc, BUILTIN_EXCEPTIONS};
+use crate::host::{HostApi, NoopHost};
+use crate::interp::Frame;
+use crate::modules;
+use crate::value::{ClassObj, ModuleObj, Scope, ScopeRef, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Severity of a log record emitted by the interpreted program through
+/// the simulated `logging` module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// `logging.debug`
+    Debug,
+    /// `logging.info`
+    Info,
+    /// `logging.warning`
+    Warning,
+    /// `logging.error`
+    Error,
+    /// `logging.critical`
+    Critical,
+}
+
+impl Severity {
+    /// Upper-case rendering as it appears in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Error => "ERROR",
+            Severity::Critical => "CRITICAL",
+        }
+    }
+}
+
+/// One log line captured from the interpreted program.
+#[derive(Clone, Debug)]
+pub struct LogRecord {
+    /// Virtual timestamp.
+    pub time: f64,
+    /// Severity.
+    pub severity: Severity,
+    /// Component (module) that emitted the record.
+    pub component: String,
+    /// Message text.
+    pub message: String,
+}
+
+impl LogRecord {
+    /// Renders as a classic log line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:.6} {} [{}] {}",
+            self.time,
+            self.severity.as_str(),
+            self.component,
+            self.message
+        )
+    }
+}
+
+/// Result of running a module or calling an entry point.
+#[derive(Clone, Debug)]
+pub enum VmOutcome {
+    /// Completed without an uncaught exception.
+    Completed,
+    /// An uncaught exception terminated execution.
+    Uncaught(PyExc),
+}
+
+/// The interpreter state shared across modules of one target program.
+pub struct Vm {
+    /// Virtual clock.
+    pub clock: VirtualClock,
+    /// Step budget / hog accounting.
+    pub fuel: Fuel,
+    /// Virtual deadline (absolute clock value); exceeding it raises the
+    /// timeout pseudo-exception.
+    pub deadline: Cell<Option<f64>>,
+    /// The EDFI-style fault trigger shared with the sandbox.
+    pub trigger: Rc<Cell<bool>>,
+    /// Host services (network, filesystem, env).
+    pub host: Rc<dyn HostApi>,
+    /// Seeded RNG driving `$CORRUPT`, `random`, and race outcomes.
+    pub rng: RefCell<StdRng>,
+    stdout: RefCell<String>,
+    stderr: RefCell<String>,
+    logs: RefCell<Vec<LogRecord>>,
+    coverage: RefCell<BTreeSet<u64>>,
+    /// Builtin namespace.
+    pub(crate) builtins: ScopeRef,
+    /// Builtin + user exception classes by name.
+    pub(crate) exc_classes: RefCell<HashMap<String, Rc<ClassObj>>>,
+    /// Instantiated native/user module namespaces by import name.
+    pub(crate) modules: RefCell<HashMap<String, Rc<ModuleObj>>>,
+    /// Parsed user modules available for `import`.
+    user_sources: RefCell<HashMap<String, Rc<pysrc::Module>>>,
+    /// Component attribution for log records.
+    pub(crate) current_component: RefCell<String>,
+    /// Exception currently being handled (for bare `raise`).
+    pub(crate) handling: RefCell<Vec<PyExc>>,
+    /// Python call depth (recursion guard).
+    pub(crate) depth: Cell<u32>,
+    /// Modules currently being imported (cycle detection).
+    importing: RefCell<Vec<String>>,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Vm::new()
+    }
+}
+
+impl Vm {
+    /// Creates a VM with a [`NoopHost`], unlimited fuel and seed 0.
+    pub fn new() -> Vm {
+        Vm::with_host(Rc::new(NoopHost::new()), 0)
+    }
+
+    /// Creates a VM with the given host and RNG seed.
+    pub fn with_host(host: Rc<dyn HostApi>, seed: u64) -> Vm {
+        let vm = Vm {
+            clock: VirtualClock::new(),
+            fuel: Fuel::default(),
+            deadline: Cell::new(None),
+            trigger: Rc::new(Cell::new(false)),
+            host,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            stdout: RefCell::new(String::new()),
+            stderr: RefCell::new(String::new()),
+            logs: RefCell::new(Vec::new()),
+            coverage: RefCell::new(BTreeSet::new()),
+            builtins: Scope::new_ref(),
+            exc_classes: RefCell::new(HashMap::new()),
+            modules: RefCell::new(HashMap::new()),
+            user_sources: RefCell::new(HashMap::new()),
+            current_component: RefCell::new("<main>".to_string()),
+            handling: RefCell::new(Vec::new()),
+            depth: Cell::new(0),
+            importing: RefCell::new(Vec::new()),
+        };
+        vm.install_exception_classes();
+        builtins::install(&vm);
+        vm
+    }
+
+    fn install_exception_classes(&self) {
+        let mut classes = self.exc_classes.borrow_mut();
+        for (name, base) in BUILTIN_EXCEPTIONS {
+            let base_class = base.map(|b| classes.get(b).expect("bases precede subclasses").clone());
+            let class = Rc::new(ClassObj {
+                name: name.to_string(),
+                base: base_class,
+                attrs: RefCell::new(Vec::new()),
+                is_exception: true,
+            });
+            classes.insert(name.to_string(), class.clone());
+            self.builtins
+                .borrow_mut()
+                .set(name, Value::Class(class));
+        }
+    }
+
+    /// Registers an additional exception class (used by native modules
+    /// such as the simulated urllib, and by `class E(Exception)`).
+    pub fn register_exception_class(&self, class: Rc<ClassObj>) {
+        self.exc_classes
+            .borrow_mut()
+            .insert(class.name.clone(), class.clone());
+    }
+
+    /// Looks up an exception class by name.
+    pub fn exception_class(&self, name: &str) -> Option<Rc<ClassObj>> {
+        self.exc_classes.borrow().get(name).cloned()
+    }
+
+    /// Registers a parsed source module so the target can `import` it.
+    pub fn register_source(&self, import_name: &str, module: Rc<pysrc::Module>) {
+        self.user_sources
+            .borrow_mut()
+            .insert(import_name.to_string(), module);
+    }
+
+    /// Imports a module by name: native modules first, then registered
+    /// user sources (executed once and cached).
+    ///
+    /// # Errors
+    ///
+    /// Raises `ImportError` for unknown modules and propagates any
+    /// exception raised while executing a user module's top level.
+    pub fn import_module(&mut self, name: &str) -> Result<Rc<ModuleObj>, PyExc> {
+        if let Some(m) = self.modules.borrow().get(name) {
+            return Ok(m.clone());
+        }
+        if let Some(native) = modules::instantiate_native(self, name) {
+            self.modules
+                .borrow_mut()
+                .insert(name.to_string(), native.clone());
+            return Ok(native);
+        }
+        let source = self.user_sources.borrow().get(name).cloned();
+        if let Some(source) = source {
+            if self.importing.borrow().iter().any(|n| n == name) {
+                return Err(PyExc::new(
+                    "ImportError",
+                    format!("circular import of '{name}'"),
+                ));
+            }
+            self.importing.borrow_mut().push(name.to_string());
+            let result = self.execute_module_namespace(name, &source);
+            self.importing.borrow_mut().pop();
+            let namespace = result?;
+            self.modules
+                .borrow_mut()
+                .insert(name.to_string(), namespace.clone());
+            return Ok(namespace);
+        }
+        Err(PyExc::new(
+            "ImportError",
+            format!("No module named '{name}'"),
+        ))
+    }
+
+    fn execute_module_namespace(
+        &mut self,
+        name: &str,
+        source: &pysrc::Module,
+    ) -> Result<Rc<ModuleObj>, PyExc> {
+        let globals = Scope::new_ref();
+        let prev = std::mem::replace(&mut *self.current_component.borrow_mut(), name.to_string());
+        let result = {
+            let mut frame = Frame::module(globals.clone());
+            crate::interp::exec_block(self, &mut frame, &source.body)
+        };
+        *self.current_component.borrow_mut() = prev;
+        match result {
+            Ok(Flow::Return(_)) | Ok(Flow::Break) | Ok(Flow::Continue) | Ok(Flow::Normal) => {}
+            Err(e) => return Err(e),
+        }
+        let module = Rc::new(ModuleObj {
+            name: name.to_string(),
+            attrs: RefCell::new(Vec::new()),
+        });
+        for (n, v) in &globals.borrow().iter_bindings() {
+            module.set(n, v.clone());
+        }
+        Ok(module)
+    }
+
+    /// Runs a module as the `__main__` program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the uncaught [`PyExc`], with the traceback rendered to
+    /// the captured stderr (like CPython printing a traceback).
+    pub fn run_module(&mut self, module: &pysrc::Module) -> Result<(), PyExc> {
+        let globals = Scope::new_ref();
+        let prev = std::mem::replace(
+            &mut *self.current_component.borrow_mut(),
+            module.name.clone(),
+        );
+        let result = {
+            let mut frame = Frame::module(globals);
+            crate::interp::exec_block(self, &mut frame, &module.body)
+        };
+        *self.current_component.borrow_mut() = prev;
+        match result {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.stderr.borrow_mut().push_str(&format!(
+                    "Traceback (most recent call last):\n{}{}\n",
+                    e.traceback
+                        .iter()
+                        .rev()
+                        .map(|f| format!("  File \"<target>\", in {f}\n"))
+                        .collect::<String>(),
+                    e.one_line()
+                ));
+                Err(e)
+            }
+        }
+    }
+
+    /// Captured standard output.
+    pub fn stdout(&self) -> String {
+        self.stdout.borrow().clone()
+    }
+
+    /// Captured standard error.
+    pub fn stderr(&self) -> String {
+        self.stderr.borrow().clone()
+    }
+
+    /// Appends to captured stdout.
+    pub fn write_stdout(&self, text: &str) {
+        self.stdout.borrow_mut().push_str(text);
+    }
+
+    /// Appends to captured stderr.
+    pub fn write_stderr(&self, text: &str) {
+        self.stderr.borrow_mut().push_str(text);
+    }
+
+    /// Captured log records.
+    pub fn logs(&self) -> Vec<LogRecord> {
+        self.logs.borrow().clone()
+    }
+
+    /// Emits a log record attributed to the current component.
+    pub fn log(&self, severity: Severity, message: impl Into<String>) {
+        self.logs.borrow_mut().push(LogRecord {
+            time: self.clock.now(),
+            severity,
+            component: self.current_component.borrow().clone(),
+            message: message.into(),
+        });
+    }
+
+    /// Marks a fault-injection point as covered (coverage
+    /// instrumentation, paper §IV-D).
+    pub fn mark_covered(&self, point_id: u64) {
+        self.coverage.borrow_mut().insert(point_id);
+    }
+
+    /// The set of covered injection-point ids.
+    pub fn coverage(&self) -> BTreeSet<u64> {
+        self.coverage.borrow().clone()
+    }
+
+    /// Consumes one step of fuel, advancing the virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// Raises the timeout pseudo-exception when the budget is exhausted
+    /// or the virtual deadline has passed.
+    pub fn tick(&self) -> Result<(), PyExc> {
+        self.clock.advance(self.fuel.step_cost_secs());
+        if !self.fuel.tick() {
+            return Err(PyExc::timeout());
+        }
+        if let Some(deadline) = self.deadline.get() {
+            if self.clock.now() > deadline {
+                return Err(PyExc::new(
+                    "ProfipyFuelExhausted",
+                    "virtual deadline exceeded",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Scope {
+    /// Snapshot of all bindings (used when freezing a module namespace).
+    pub fn iter_bindings(&self) -> Vec<(String, Value)> {
+        self.bindings_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_simple_module() {
+        let m = pysrc::parse_module("x = 1 + 2\nprint(x)\n", "m.py").unwrap();
+        let mut vm = Vm::new();
+        vm.run_module(&m).unwrap();
+        assert_eq!(vm.stdout(), "3\n");
+    }
+
+    #[test]
+    fn uncaught_exception_prints_traceback() {
+        let m = pysrc::parse_module("raise ValueError('boom')\n", "m.py").unwrap();
+        let mut vm = Vm::new();
+        let err = vm.run_module(&m).unwrap_err();
+        assert_eq!(err.class_name, "ValueError");
+        assert!(vm.stderr().contains("ValueError: boom"));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_timeout() {
+        let m = pysrc::parse_module("while True:\n    pass\n", "m.py").unwrap();
+        let mut vm = Vm::new();
+        vm.fuel.refill(10_000);
+        let err = vm.run_module(&m).unwrap_err();
+        assert_eq!(err.class_name, "ProfipyFuelExhausted");
+    }
+
+    #[test]
+    fn import_error_for_unknown_module() {
+        let m = pysrc::parse_module("import nosuchmodule\n", "m.py").unwrap();
+        let mut vm = Vm::new();
+        let err = vm.run_module(&m).unwrap_err();
+        assert_eq!(err.class_name, "ImportError");
+    }
+
+    #[test]
+    fn user_module_import_executes_once() {
+        let lib = pysrc::parse_module("counter = 41\ndef inc():\n    return counter + 1\n", "lib.py")
+            .unwrap();
+        let main =
+            pysrc::parse_module("import mylib\nprint(mylib.inc())\n", "main.py").unwrap();
+        let mut vm = Vm::new();
+        vm.register_source("mylib", Rc::new(lib));
+        vm.run_module(&main).unwrap();
+        assert_eq!(vm.stdout(), "42\n");
+    }
+}

@@ -1,0 +1,85 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A position in a source file (1-based line, 0-based column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 0-based column (in characters).
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open span of source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start position (inclusive).
+    pub lo: Pos,
+    /// End position (exclusive).
+    pub hi: Pos,
+}
+
+impl Span {
+    /// Creates a span between two positions.
+    pub fn new(lo: Pos, hi: Pos) -> Self {
+        Span { lo, hi }
+    }
+
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+/// Error produced while lexing or parsing mini-Python source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+    /// File the error occurred in.
+    pub file: String,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(message: impl Into<String>, span: Span, file: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            file: file.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.span.lo, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

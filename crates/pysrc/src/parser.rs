@@ -1,0 +1,1456 @@
+//! Recursive-descent parser for the mini-Python subset.
+
+use crate::ast::*;
+use crate::error::{ParseError, Span};
+use crate::lexer::lex;
+use crate::token::{Keyword, Op, Token, TokenKind};
+
+/// Parses a source file into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic error.
+///
+/// # Example
+///
+/// ```
+/// let m = pysrc::parse_module("def f(x):\n    return x + 1\n", "m.py").unwrap();
+/// assert_eq!(m.body.len(), 1);
+/// ```
+pub fn parse_module(source: &str, file: &str) -> Result<Module, ParseError> {
+    let tokens = lex(source, file)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        file: file.to_string(),
+    };
+    let body = parser.parse_block_until_eof()?;
+    Ok(Module {
+        name: file.to_string(),
+        body,
+    })
+}
+
+/// Parses a single expression (used by the DSL compiler for literal
+/// pattern fragments).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the input is not exactly one expression.
+pub fn parse_expr(source: &str, file: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source, file)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        file: file.to_string(),
+    };
+    let e = parser.expr()?;
+    parser.eat_newlines();
+    parser.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    file: String,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_op(&self, op: Op) -> bool {
+        matches!(self.peek(), TokenKind::Op(o) if *o == op)
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat_op(&mut self, op: Op) -> bool {
+        if self.at_op(op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek_span(), &self.file)
+    }
+
+    fn expect_op(&mut self, op: Op) -> Result<Span, ParseError> {
+        if self.at_op(op) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{op}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<Span, ParseError> {
+        if self.at_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        // A semicolon also terminates a simple statement.
+        if self.eat_op(Op::Semicolon) {
+            let _ = matches!(self.peek(), TokenKind::Newline) && {
+                self.bump();
+                true
+            };
+            return Ok(());
+        }
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof | TokenKind::Dedent => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    fn eat_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn parse_block_until_eof(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        self.eat_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            body.push(self.statement()?);
+            self.eat_newlines();
+        }
+        Ok(body)
+    }
+
+    /// Parses an indented suite after a `:`, or a simple statement on
+    /// the same line (`if x: return`).
+    fn suite(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_op(Op::Colon)?;
+        if matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+            if !matches!(self.peek(), TokenKind::Indent) {
+                return Err(self.err("expected an indented block"));
+            }
+            self.bump();
+            let mut body = Vec::new();
+            self.eat_newlines();
+            while !matches!(self.peek(), TokenKind::Dedent | TokenKind::Eof) {
+                body.push(self.statement()?);
+                self.eat_newlines();
+            }
+            if matches!(self.peek(), TokenKind::Dedent) {
+                self.bump();
+            }
+            Ok(body)
+        } else {
+            // Inline suite: one or more simple statements separated by `;`.
+            let mut body = vec![self.simple_statement()?];
+            while !matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+                body.push(self.simple_statement()?);
+            }
+            if matches!(self.peek(), TokenKind::Newline) {
+                self.bump();
+            }
+            Ok(body)
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::If) => self.if_stmt(),
+            TokenKind::Keyword(Keyword::While) => self.while_stmt(),
+            TokenKind::Keyword(Keyword::For) => self.for_stmt(),
+            TokenKind::Keyword(Keyword::Def) => self.func_def(),
+            TokenKind::Keyword(Keyword::Class) => self.class_def(),
+            TokenKind::Keyword(Keyword::Try) => self.try_stmt(),
+            TokenKind::Keyword(Keyword::With) => self.with_stmt(),
+            _ => {
+                let s = self.simple_statement()?;
+                self.expect_newline()?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn simple_statement(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.peek_span();
+        let kind = match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                if matches!(
+                    self.peek(),
+                    TokenKind::Newline | TokenKind::Eof | TokenKind::Op(Op::Semicolon)
+                ) {
+                    StmtKind::Return(None)
+                } else {
+                    StmtKind::Return(Some(self.expr_or_tuple()?))
+                }
+            }
+            TokenKind::Keyword(Keyword::Pass) => {
+                self.bump();
+                StmtKind::Pass
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                StmtKind::Break
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                StmtKind::Continue
+            }
+            TokenKind::Keyword(Keyword::Del) => {
+                self.bump();
+                let mut targets = vec![self.expr()?];
+                while self.eat_op(Op::Comma) {
+                    targets.push(self.expr()?);
+                }
+                StmtKind::Del(targets)
+            }
+            TokenKind::Keyword(Keyword::Assert) => {
+                self.bump();
+                let test = self.expr()?;
+                let msg = if self.eat_op(Op::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                StmtKind::Assert { test, msg }
+            }
+            TokenKind::Keyword(Keyword::Global) => {
+                self.bump();
+                let mut names = vec![self.expect_ident()?];
+                while self.eat_op(Op::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                StmtKind::Global(names)
+            }
+            TokenKind::Keyword(Keyword::Raise) => {
+                self.bump();
+                if matches!(
+                    self.peek(),
+                    TokenKind::Newline | TokenKind::Eof | TokenKind::Op(Op::Semicolon)
+                ) {
+                    StmtKind::Raise {
+                        exc: None,
+                        cause: None,
+                    }
+                } else {
+                    let exc = self.expr()?;
+                    let cause = if self.eat_kw(Keyword::From) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    StmtKind::Raise {
+                        exc: Some(exc),
+                        cause,
+                    }
+                }
+            }
+            TokenKind::Keyword(Keyword::Import) => {
+                self.bump();
+                let mut modules = vec![self.import_alias()?];
+                while self.eat_op(Op::Comma) {
+                    modules.push(self.import_alias()?);
+                }
+                StmtKind::Import(modules)
+            }
+            TokenKind::Keyword(Keyword::From) => {
+                self.bump();
+                let module = self.dotted_name()?;
+                self.expect_kw(Keyword::Import)?;
+                let mut names = vec![self.import_alias()?];
+                while self.eat_op(Op::Comma) {
+                    names.push(self.import_alias()?);
+                }
+                StmtKind::FromImport { module, names }
+            }
+            _ => {
+                // Expression, assignment, or augmented assignment.
+                let first = self.expr_or_tuple()?;
+                if self.at_op(Op::Assign) {
+                    let mut targets = vec![first];
+                    let mut value = None;
+                    while self.eat_op(Op::Assign) {
+                        let next = self.expr_or_tuple()?;
+                        if self.at_op(Op::Assign) {
+                            targets.push(next);
+                        } else {
+                            value = Some(next);
+                        }
+                    }
+                    StmtKind::Assign {
+                        targets,
+                        value: value.expect("loop exits only after seeing a value"),
+                    }
+                } else if let Some(op) = self.aug_assign_op() {
+                    self.bump();
+                    let value = self.expr_or_tuple()?;
+                    StmtKind::AugAssign {
+                        target: first,
+                        op,
+                        value,
+                    }
+                } else {
+                    StmtKind::Expr(first)
+                }
+            }
+        };
+        let hi = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo.to(hi),
+            kind,
+        })
+    }
+
+    fn aug_assign_op(&self) -> Option<BinOp> {
+        match self.peek() {
+            TokenKind::Op(Op::PlusAssign) => Some(BinOp::Add),
+            TokenKind::Op(Op::MinusAssign) => Some(BinOp::Sub),
+            TokenKind::Op(Op::StarAssign) => Some(BinOp::Mul),
+            TokenKind::Op(Op::SlashAssign) => Some(BinOp::Div),
+            TokenKind::Op(Op::DoubleSlashAssign) => Some(BinOp::FloorDiv),
+            TokenKind::Op(Op::PercentAssign) => Some(BinOp::Mod),
+            _ => None,
+        }
+    }
+
+    fn import_alias(&mut self) -> Result<ImportAlias, ParseError> {
+        let name = self.dotted_name()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(ImportAlias { name, alias })
+    }
+
+    fn dotted_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.expect_ident()?;
+        while self.at_op(Op::Dot) {
+            self.bump();
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::If)?;
+        let mut branches = Vec::new();
+        let test = self.expr()?;
+        let body = self.suite()?;
+        branches.push((test, body));
+        let mut orelse = Vec::new();
+        loop {
+            self.eat_newlines();
+            if self.at_kw(Keyword::Elif) {
+                self.bump();
+                let test = self.expr()?;
+                let body = self.suite()?;
+                branches.push((test, body));
+            } else if self.at_kw(Keyword::Else) {
+                self.bump();
+                orelse = self.suite()?;
+                break;
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::If { branches, orelse },
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::While)?;
+        let test = self.expr()?;
+        let body = self.suite()?;
+        self.eat_newlines();
+        let orelse = if self.eat_kw(Keyword::Else) {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::While { test, body, orelse },
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::For)?;
+        let target = self.target_list()?;
+        self.expect_kw(Keyword::In)?;
+        let iter = self.expr_or_tuple()?;
+        let body = self.suite()?;
+        self.eat_newlines();
+        let orelse = if self.eat_kw(Keyword::Else) {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::For {
+                target,
+                iter,
+                body,
+                orelse,
+            },
+        })
+    }
+
+    /// `a` or `a, b` (loop targets); produces a tuple for multiple names.
+    fn target_list(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let first = self.postfix_expr()?;
+        if self.at_op(Op::Comma) {
+            let mut items = vec![first];
+            while self.eat_op(Op::Comma) {
+                if self.at_kw(Keyword::In) {
+                    break;
+                }
+                items.push(self.postfix_expr()?);
+            }
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Tuple(items),
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn func_def(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::Def)?;
+        let name = self.expect_ident()?;
+        self.expect_op(Op::LParen)?;
+        let params = self.param_list()?;
+        self.expect_op(Op::RParen)?;
+        let body = self.suite()?;
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::FuncDef { name, params, body },
+        })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, ParseError> {
+        let mut params = Vec::new();
+        while !self.at_op(Op::RParen) {
+            let kind = if self.eat_op(Op::DoubleStar) {
+                ParamKind::DoubleStar
+            } else if self.eat_op(Op::Star) {
+                ParamKind::Star
+            } else {
+                ParamKind::Normal
+            };
+            let name = self.expect_ident()?;
+            let default = if self.eat_op(Op::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            params.push(Param {
+                name,
+                default,
+                kind,
+            });
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn class_def(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::Class)?;
+        let name = self.expect_ident()?;
+        let mut bases = Vec::new();
+        if self.eat_op(Op::LParen) {
+            while !self.at_op(Op::RParen) {
+                bases.push(self.expr()?);
+                if !self.eat_op(Op::Comma) {
+                    break;
+                }
+            }
+            self.expect_op(Op::RParen)?;
+        }
+        let body = self.suite()?;
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::ClassDef { name, bases, body },
+        })
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::Try)?;
+        let body = self.suite()?;
+        let mut handlers = Vec::new();
+        let mut orelse = Vec::new();
+        let mut finalbody = Vec::new();
+        loop {
+            self.eat_newlines();
+            if self.at_kw(Keyword::Except) {
+                self.bump();
+                let (exc_type, name) = if self.at_op(Op::Colon) {
+                    (None, None)
+                } else {
+                    let e = self.expr()?;
+                    let name = if self.eat_kw(Keyword::As) {
+                        Some(self.expect_ident()?)
+                    } else {
+                        None
+                    };
+                    (Some(e), name)
+                };
+                let hbody = self.suite()?;
+                handlers.push(ExceptHandler {
+                    exc_type,
+                    name,
+                    body: hbody,
+                });
+            } else if self.at_kw(Keyword::Else) {
+                self.bump();
+                orelse = self.suite()?;
+            } else if self.at_kw(Keyword::Finally) {
+                self.bump();
+                finalbody = self.suite()?;
+                break;
+            } else {
+                break;
+            }
+        }
+        if handlers.is_empty() && finalbody.is_empty() {
+            return Err(self.err("`try` requires at least one `except` or `finally`"));
+        }
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            },
+        })
+    }
+
+    fn with_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lo = self.expect_kw(Keyword::With)?;
+        let mut items = Vec::new();
+        loop {
+            let ctx = self.expr()?;
+            let target = if self.eat_kw(Keyword::As) {
+                Some(self.postfix_expr()?)
+            } else {
+                None
+            };
+            items.push((ctx, target));
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        let body = self.suite()?;
+        Ok(Stmt {
+            id: NodeId::fresh(),
+            span: lo,
+            kind: StmtKind::With { items, body },
+        })
+    }
+
+    // ----- expressions -----
+
+    /// Expression possibly followed by `, expr ...` forming a tuple
+    /// (used in statement contexts: RHS of assignments, `return`).
+    fn expr_or_tuple(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let first = self.expr()?;
+        if self.at_op(Op::Comma) {
+            let mut items = vec![first];
+            while self.eat_op(Op::Comma) {
+                if matches!(
+                    self.peek(),
+                    TokenKind::Newline
+                        | TokenKind::Eof
+                        | TokenKind::Op(Op::Assign)
+                        | TokenKind::Op(Op::RParen)
+                        | TokenKind::Op(Op::Semicolon)
+                ) {
+                    break;
+                }
+                items.push(self.expr()?);
+            }
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Tuple(items),
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    /// Full expression (lambda / conditional level).
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at_kw(Keyword::Lambda) {
+            let lo = self.bump().span;
+            let mut params = Vec::new();
+            if !self.at_op(Op::Colon) {
+                loop {
+                    let name = self.expect_ident()?;
+                    let default = if self.eat_op(Op::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    params.push(Param {
+                        name,
+                        default,
+                        kind: ParamKind::Normal,
+                    });
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_op(Op::Colon)?;
+            let body = Box::new(self.expr()?);
+            return Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Lambda { params, body },
+            });
+        }
+        let lo = self.peek_span();
+        let body = self.or_expr()?;
+        if self.at_kw(Keyword::If) {
+            self.bump();
+            let test = Box::new(self.or_expr()?);
+            self.expect_kw(Keyword::Else)?;
+            let orelse = Box::new(self.expr()?);
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::IfExp {
+                    test,
+                    body: Box::new(body),
+                    orelse,
+                },
+            })
+        } else {
+            Ok(body)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let first = self.and_expr()?;
+        if self.at_kw(Keyword::Or) {
+            let mut values = vec![first];
+            while self.eat_kw(Keyword::Or) {
+                values.push(self.and_expr()?);
+            }
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::BoolOp {
+                    op: BoolOpKind::Or,
+                    values,
+                },
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let first = self.not_expr()?;
+        if self.at_kw(Keyword::And) {
+            let mut values = vec![first];
+            while self.eat_kw(Keyword::And) {
+                values.push(self.not_expr()?);
+            }
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::BoolOp {
+                    op: BoolOpKind::And,
+                    values,
+                },
+            })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at_kw(Keyword::Not) {
+            let lo = self.bump().span;
+            let operand = Box::new(self.not_expr()?);
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Unary {
+                    op: UnaryOp::Not,
+                    operand,
+                },
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Op(Op::Eq) => CmpOp::Eq,
+            TokenKind::Op(Op::Ne) => CmpOp::Ne,
+            TokenKind::Op(Op::Lt) => CmpOp::Lt,
+            TokenKind::Op(Op::Le) => CmpOp::Le,
+            TokenKind::Op(Op::Gt) => CmpOp::Gt,
+            TokenKind::Op(Op::Ge) => CmpOp::Ge,
+            TokenKind::Keyword(Keyword::In) => CmpOp::In,
+            TokenKind::Keyword(Keyword::Is) => {
+                self.bump();
+                if self.at_kw(Keyword::Not) {
+                    self.bump();
+                    return Some(CmpOp::IsNot);
+                }
+                return Some(CmpOp::Is);
+            }
+            TokenKind::Keyword(Keyword::Not) => {
+                // `not in`
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Keyword(Keyword::In))
+                ) {
+                    self.bump();
+                    self.bump();
+                    return Some(CmpOp::NotIn);
+                }
+                return None;
+            }
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let left = self.bitor()?;
+        let mut ops = Vec::new();
+        let mut comparators = Vec::new();
+        while let Some(op) = self.cmp_op() {
+            ops.push(op);
+            comparators.push(self.bitor()?);
+        }
+        if ops.is_empty() {
+            Ok(left)
+        } else {
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Compare {
+                    left: Box::new(left),
+                    ops,
+                    comparators,
+                },
+            })
+        }
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Parser) -> Result<Expr, ParseError>,
+        table: &[(Op, BinOp)],
+    ) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let mut left = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.at_op(*tok) {
+                    self.bump();
+                    let right = next(self)?;
+                    left = Expr {
+                        id: NodeId::fresh(),
+                        span: lo,
+                        kind: ExprKind::Binary {
+                            left: Box::new(left),
+                            op: *op,
+                            right: Box::new(right),
+                        },
+                    };
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(left)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Parser::bitxor, &[(Op::Pipe, BinOp::BitOr)])
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Parser::bitand, &[(Op::Caret, BinOp::BitXor)])
+    }
+
+    fn bitand(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Parser::shift, &[(Op::Amp, BinOp::BitAnd)])
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Parser::arith,
+            &[(Op::Shl, BinOp::Shl), (Op::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn arith(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Parser::term,
+            &[(Op::Plus, BinOp::Add), (Op::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Parser::factor,
+            &[
+                (Op::Star, BinOp::Mul),
+                (Op::Slash, BinOp::Div),
+                (Op::DoubleSlash, BinOp::FloorDiv),
+                (Op::Percent, BinOp::Mod),
+            ],
+        )
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let op = match self.peek() {
+            TokenKind::Op(Op::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Op(Op::Plus) => Some(UnaryOp::Pos),
+            TokenKind::Op(Op::Tilde) => Some(UnaryOp::Invert),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = Box::new(self.factor()?);
+            return Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Unary { op, operand },
+            });
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let base = self.postfix_expr()?;
+        if self.eat_op(Op::DoubleStar) {
+            // Right-associative.
+            let exp = self.factor()?;
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Binary {
+                    left: Box::new(base),
+                    op: BinOp::Pow,
+                    right: Box::new(exp),
+                },
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let mut e = self.atom()?;
+        loop {
+            if self.at_op(Op::Dot) {
+                self.bump();
+                let attr = self.expect_ident()?;
+                e = Expr {
+                    id: NodeId::fresh(),
+                    span: lo,
+                    kind: ExprKind::Attribute {
+                        value: Box::new(e),
+                        attr,
+                    },
+                };
+            } else if self.at_op(Op::LParen) {
+                self.bump();
+                let args = self.call_args()?;
+                self.expect_op(Op::RParen)?;
+                e = Expr {
+                    id: NodeId::fresh(),
+                    span: lo,
+                    kind: ExprKind::Call {
+                        func: Box::new(e),
+                        args,
+                    },
+                };
+            } else if self.at_op(Op::LBracket) {
+                self.bump();
+                let index = self.subscript_index()?;
+                self.expect_op(Op::RBracket)?;
+                e = Expr {
+                    id: NodeId::fresh(),
+                    span: lo,
+                    kind: ExprKind::Subscript {
+                        value: Box::new(e),
+                        index: Box::new(index),
+                    },
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Arg>, ParseError> {
+        let mut args = Vec::new();
+        while !self.at_op(Op::RParen) {
+            if self.eat_op(Op::DoubleStar) {
+                args.push(Arg::DoubleStar(self.expr()?));
+            } else if self.eat_op(Op::Star) {
+                args.push(Arg::Star(self.expr()?));
+            } else if matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Op(Op::Assign))
+                )
+            {
+                let name = self.expect_ident()?;
+                self.bump(); // `=`
+                args.push(Arg::Kw(name, self.expr()?));
+            } else {
+                args.push(Arg::Pos(self.expr()?));
+            }
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    fn subscript_index(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        // Slice forms: [:], [a:], [:b], [a:b], [a:b:c]
+        let lower = if self.at_op(Op::Colon) {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        if self.eat_op(Op::Colon) {
+            let upper = if self.at_op(Op::RBracket) || self.at_op(Op::Colon) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            let step = if self.eat_op(Op::Colon) {
+                if self.at_op(Op::RBracket) {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                }
+            } else {
+                None
+            };
+            Ok(Expr {
+                id: NodeId::fresh(),
+                span: lo,
+                kind: ExprKind::Slice { lower, upper, step },
+            })
+        } else {
+            let e = *lower.expect("non-slice subscript must have an index expression");
+            // Tuple index `d[a, b]`.
+            if self.at_op(Op::Comma) {
+                let mut items = vec![e];
+                while self.eat_op(Op::Comma) {
+                    if self.at_op(Op::RBracket) {
+                        break;
+                    }
+                    items.push(self.expr()?);
+                }
+                Ok(Expr {
+                    id: NodeId::fresh(),
+                    span: lo,
+                    kind: ExprKind::Tuple(items),
+                })
+            } else {
+                Ok(e)
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let lo = self.peek_span();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                ExprKind::Num(Number::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                ExprKind::Num(Number::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                // Adjacent string literal concatenation.
+                let mut out = s;
+                while let TokenKind::Str(next) = self.peek().clone() {
+                    out.push_str(&next);
+                    self.bump();
+                }
+                ExprKind::Str(out)
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            TokenKind::Keyword(Keyword::None) => {
+                self.bump();
+                ExprKind::NoneLit
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                ExprKind::Name(name)
+            }
+            TokenKind::Op(Op::Star) => {
+                self.bump();
+                let inner = self.postfix_expr()?;
+                ExprKind::Starred(Box::new(inner))
+            }
+            TokenKind::Op(Op::LParen) => {
+                self.bump();
+                if self.eat_op(Op::RParen) {
+                    ExprKind::Tuple(Vec::new())
+                } else {
+                    let first = self.expr()?;
+                    if self.at_op(Op::Comma) {
+                        let mut items = vec![first];
+                        while self.eat_op(Op::Comma) {
+                            if self.at_op(Op::RParen) {
+                                break;
+                            }
+                            items.push(self.expr()?);
+                        }
+                        self.expect_op(Op::RParen)?;
+                        ExprKind::Tuple(items)
+                    } else {
+                        self.expect_op(Op::RParen)?;
+                        // Parenthesized expression: transparent.
+                        return Ok(first);
+                    }
+                }
+            }
+            TokenKind::Op(Op::LBracket) => {
+                self.bump();
+                if self.eat_op(Op::RBracket) {
+                    ExprKind::List(Vec::new())
+                } else {
+                    let first = self.expr()?;
+                    if self.at_kw(Keyword::For) {
+                        self.bump();
+                        let target = Box::new(self.target_list()?);
+                        self.expect_kw(Keyword::In)?;
+                        // CPython parses the iterable and filters of a
+                        // comprehension at `or_test` level so a trailing
+                        // `if` starts a filter, not a conditional expr.
+                        let iter = Box::new(self.or_expr()?);
+                        let mut ifs = Vec::new();
+                        while self.eat_kw(Keyword::If) {
+                            ifs.push(self.or_expr()?);
+                        }
+                        self.expect_op(Op::RBracket)?;
+                        ExprKind::ListComp {
+                            elt: Box::new(first),
+                            target,
+                            iter,
+                            ifs,
+                        }
+                    } else {
+                        let mut items = vec![first];
+                        while self.eat_op(Op::Comma) {
+                            if self.at_op(Op::RBracket) {
+                                break;
+                            }
+                            items.push(self.expr()?);
+                        }
+                        self.expect_op(Op::RBracket)?;
+                        ExprKind::List(items)
+                    }
+                }
+            }
+            TokenKind::Op(Op::LBrace) => {
+                self.bump();
+                if self.eat_op(Op::RBrace) {
+                    ExprKind::Dict(Vec::new())
+                } else {
+                    let first_key = self.expr()?;
+                    if self.eat_op(Op::Colon) {
+                        let first_val = self.expr()?;
+                        let mut pairs = vec![(first_key, first_val)];
+                        while self.eat_op(Op::Comma) {
+                            if self.at_op(Op::RBrace) {
+                                break;
+                            }
+                            let k = self.expr()?;
+                            self.expect_op(Op::Colon)?;
+                            let v = self.expr()?;
+                            pairs.push((k, v));
+                        }
+                        self.expect_op(Op::RBrace)?;
+                        ExprKind::Dict(pairs)
+                    } else {
+                        let mut items = vec![first_key];
+                        while self.eat_op(Op::Comma) {
+                            if self.at_op(Op::RBrace) {
+                                break;
+                            }
+                            items.push(self.expr()?);
+                        }
+                        self.expect_op(Op::RBrace)?;
+                        ExprKind::Set(items)
+                    }
+                }
+            }
+            other => return Err(self.err(format!("expected expression, found {other}"))),
+        };
+        Ok(Expr {
+            id: NodeId::fresh(),
+            span: lo,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Module {
+        parse_module(src, "t.py").unwrap()
+    }
+
+    #[test]
+    fn parses_assignment_and_expression() {
+        let m = parse("x = 1 + 2 * 3\nf(x)\n");
+        assert_eq!(m.body.len(), 2);
+        assert!(matches!(m.body[0].kind, StmtKind::Assign { .. }));
+        assert!(matches!(m.body[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse("x = 1 + 2 * 3\n");
+        let StmtKind::Assign { value, .. } = &m.body[0].kind else {
+            panic!("expected assign")
+        };
+        let ExprKind::Binary { op, right, .. } = &value.kind else {
+            panic!("expected binary")
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(
+            right.kind,
+            ExprKind::Binary {
+                op: BinOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_function_with_defaults_and_star_args() {
+        let m = parse("def f(a, b=2, *args, **kwargs):\n    return a\n");
+        let StmtKind::FuncDef { params, .. } = &m.body[0].kind else {
+            panic!("expected funcdef")
+        };
+        assert_eq!(params.len(), 4);
+        assert!(params[1].default.is_some());
+        assert_eq!(params[2].kind, ParamKind::Star);
+        assert_eq!(params[3].kind, ParamKind::DoubleStar);
+    }
+
+    #[test]
+    fn parses_class_with_methods() {
+        let m = parse("class C(Base):\n    def m(self):\n        pass\n");
+        let StmtKind::ClassDef { name, bases, body } = &m.body[0].kind else {
+            panic!("expected classdef")
+        };
+        assert_eq!(name, "C");
+        assert_eq!(bases.len(), 1);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_try_except_else_finally() {
+        let m = parse(
+            "try:\n    f()\nexcept ValueError as e:\n    g(e)\nexcept:\n    pass\nelse:\n    h()\nfinally:\n    k()\n",
+        );
+        let StmtKind::Try {
+            handlers,
+            orelse,
+            finalbody,
+            ..
+        } = &m.body[0].kind
+        else {
+            panic!("expected try")
+        };
+        assert_eq!(handlers.len(), 2);
+        assert_eq!(handlers[0].name.as_deref(), Some("e"));
+        assert!(handlers[1].exc_type.is_none());
+        assert_eq!(orelse.len(), 1);
+        assert_eq!(finalbody.len(), 1);
+    }
+
+    #[test]
+    fn parses_if_elif_else() {
+        let m = parse("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+        let StmtKind::If { branches, orelse } = &m.body[0].kind else {
+            panic!("expected if")
+        };
+        assert_eq!(branches.len(), 2);
+        assert_eq!(orelse.len(), 1);
+    }
+
+    #[test]
+    fn parses_chained_comparison() {
+        let m = parse("r = 0 <= x < 10\n");
+        let StmtKind::Assign { value, .. } = &m.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Compare {
+            ops, comparators, ..
+        } = &value.kind
+        else {
+            panic!("expected comparison")
+        };
+        assert_eq!(ops, &[CmpOp::Le, CmpOp::Lt]);
+        assert_eq!(comparators.len(), 2);
+    }
+
+    #[test]
+    fn parses_call_with_keyword_and_star_args() {
+        let m = parse("f(1, key=2, *rest, **kw)\n");
+        let StmtKind::Expr(e) = &m.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { args, .. } = &e.kind else {
+            panic!("expected call")
+        };
+        assert!(matches!(args[0], Arg::Pos(_)));
+        assert!(matches!(args[1], Arg::Kw(ref n, _) if n == "key"));
+        assert!(matches!(args[2], Arg::Star(_)));
+        assert!(matches!(args[3], Arg::DoubleStar(_)));
+    }
+
+    #[test]
+    fn parses_for_with_tuple_target() {
+        let m = parse("for k, v in d.items():\n    print(k)\n");
+        let StmtKind::For { target, .. } = &m.body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(target.kind, ExprKind::Tuple(ref t) if t.len() == 2));
+    }
+
+    #[test]
+    fn parses_imports() {
+        let m = parse("import os\nimport urllib.request as req\nfrom etcd import Client\n");
+        assert!(matches!(m.body[0].kind, StmtKind::Import(_)));
+        let StmtKind::Import(aliases) = &m.body[1].kind else {
+            panic!()
+        };
+        assert_eq!(aliases[0].name, "urllib.request");
+        assert_eq!(aliases[0].alias.as_deref(), Some("req"));
+        assert!(matches!(m.body[2].kind, StmtKind::FromImport { .. }));
+    }
+
+    #[test]
+    fn parses_slices() {
+        let m = parse("a = s[1:2]\nb = s[:3]\nc = s[::2]\nd = s[i]\n");
+        assert_eq!(m.body.len(), 4);
+    }
+
+    #[test]
+    fn parses_dict_set_list_tuple() {
+        let m = parse("d = {'a': 1, 'b': 2}\ns = {1, 2}\nl = [1, 2]\nt = (1, 2)\ne = ()\n");
+        assert_eq!(m.body.len(), 5);
+    }
+
+    #[test]
+    fn parses_list_comprehension() {
+        let m = parse("xs = [x * 2 for x in range(10) if x > 1]\n");
+        let StmtKind::Assign { value, .. } = &m.body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::ListComp { .. }));
+    }
+
+    #[test]
+    fn parses_lambda_and_ifexp() {
+        let m = parse("f = lambda x, y=1: x + y\nv = a if c else b\n");
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_with_statement() {
+        let m = parse("with open('f') as fh:\n    fh.read()\n");
+        assert!(matches!(m.body[0].kind, StmtKind::With { .. }));
+    }
+
+    #[test]
+    fn parses_inline_suite() {
+        let m = parse("if x: return 1\n");
+        let StmtKind::If { branches, .. } = &m.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(branches[0].1.len(), 1);
+    }
+
+    #[test]
+    fn parses_aug_assign() {
+        let m = parse("x += 1\ny //= 2\n");
+        assert!(
+            matches!(m.body[0].kind, StmtKind::AugAssign { op: BinOp::Add, .. })
+        );
+        assert!(matches!(
+            m.body[1].kind,
+            StmtKind::AugAssign {
+                op: BinOp::FloorDiv,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_multi_target_assignment() {
+        let m = parse("a = b = 3\n");
+        let StmtKind::Assign { targets, .. } = &m.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn parses_raise_from() {
+        let m = parse("raise ValueError('x') from err\nraise\n");
+        assert!(matches!(
+            m.body[0].kind,
+            StmtKind::Raise {
+                exc: Some(_),
+                cause: Some(_)
+            }
+        ));
+        assert!(matches!(
+            m.body[1].kind,
+            StmtKind::Raise {
+                exc: None,
+                cause: None
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_not_in_and_is_not() {
+        let m = parse("a = x not in y\nb = x is not None\n");
+        for (i, expected) in [(0usize, CmpOp::NotIn), (1, CmpOp::IsNot)] {
+            let StmtKind::Assign { value, .. } = &m.body[i].kind else {
+                panic!()
+            };
+            let ExprKind::Compare { ops, .. } = &value.kind else {
+                panic!("expected compare")
+            };
+            assert_eq!(ops[0], expected);
+        }
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let m = parse("x = 1\ny = 2\n");
+        assert_ne!(m.body[0].id, m.body[1].id);
+    }
+
+    #[test]
+    fn error_on_bad_syntax() {
+        assert!(parse_module("def f(:\n    pass\n", "t.py").is_err());
+        assert!(parse_module("x = = 1\n", "t.py").is_err());
+        assert!(parse_module("try:\n    pass\n", "t.py").is_err());
+    }
+
+    #[test]
+    fn parse_single_expr() {
+        let e = super::parse_expr("a.b(1, x=2)", "t.py").unwrap();
+        assert!(matches!(e.kind, ExprKind::Call { .. }));
+        assert!(super::parse_expr("a b", "t.py").is_err());
+    }
+}

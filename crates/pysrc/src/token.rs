@@ -1,0 +1,188 @@
+//! Token definitions for the mini-Python lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source span the token covers.
+    pub span: Span,
+}
+
+/// The kind of a lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Reserved keyword.
+    Keyword(Keyword),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (decoded contents).
+    Str(String),
+    /// Operator or punctuation.
+    Op(Op),
+    /// Logical end of line.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Op(op) => write!(f, "`{op}`"),
+            TokenKind::Newline => write!(f, "newline"),
+            TokenKind::Indent => write!(f, "indent"),
+            TokenKind::Dedent => write!(f, "dedent"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Reserved words of the mini-Python subset.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub enum Keyword {
+            $(#[doc = $text] $variant),*
+        }
+
+        impl Keyword {
+            /// Looks up a keyword from its spelling.
+            pub fn from_text(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// The source spelling of the keyword.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)*
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    And => "and",
+    As => "as",
+    Assert => "assert",
+    Break => "break",
+    Class => "class",
+    Continue => "continue",
+    Def => "def",
+    Del => "del",
+    Elif => "elif",
+    Else => "else",
+    Except => "except",
+    False => "False",
+    Finally => "finally",
+    For => "for",
+    From => "from",
+    Global => "global",
+    If => "if",
+    Import => "import",
+    In => "in",
+    Is => "is",
+    Lambda => "lambda",
+    None => "None",
+    Not => "not",
+    Or => "or",
+    Pass => "pass",
+    Raise => "raise",
+    Return => "return",
+    True => "True",
+    Try => "try",
+    While => "while",
+    With => "with",
+}
+
+macro_rules! ops {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Operators and punctuation.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub enum Op {
+            $(#[doc = $text] $variant),*
+        }
+
+        impl Op {
+            /// The source spelling of the operator.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Op::$variant => $text,)*
+                }
+            }
+        }
+
+        impl fmt::Display for Op {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+ops! {
+    Plus => "+",
+    Minus => "-",
+    Star => "*",
+    DoubleStar => "**",
+    Slash => "/",
+    DoubleSlash => "//",
+    Percent => "%",
+    At => "@",
+    Amp => "&",
+    Pipe => "|",
+    Caret => "^",
+    Tilde => "~",
+    Shl => "<<",
+    Shr => ">>",
+    Lt => "<",
+    Gt => ">",
+    Le => "<=",
+    Ge => ">=",
+    Eq => "==",
+    Ne => "!=",
+    Assign => "=",
+    PlusAssign => "+=",
+    MinusAssign => "-=",
+    StarAssign => "*=",
+    SlashAssign => "/=",
+    DoubleSlashAssign => "//=",
+    PercentAssign => "%=",
+    LParen => "(",
+    RParen => ")",
+    LBracket => "[",
+    RBracket => "]",
+    LBrace => "{",
+    RBrace => "}",
+    Comma => ",",
+    Colon => ":",
+    Dot => ".",
+    Semicolon => ";",
+    Arrow => "->",
+}

@@ -1,0 +1,231 @@
+//! Property-based round-trip testing with *structured AST generators*:
+//! build random ASTs directly (not via source text), unparse them, and
+//! require parse(unparse(ast)) to be structurally identical.
+//!
+//! This catches precedence/parenthesization bugs the string-based
+//! corpus tests cannot reach (e.g. nested unary minus under `**`).
+
+use proptest::prelude::*;
+use pysrc::ast::*;
+use pysrc::error::Span;
+
+fn e(kind: ExprKind) -> Expr {
+    Expr {
+        id: NodeId::fresh(),
+        span: Span::default(),
+        kind,
+    }
+}
+
+fn s(kind: StmtKind) -> Stmt {
+    Stmt {
+        id: NodeId::fresh(),
+        span: Span::default(),
+        kind,
+    }
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |n| {
+        !matches!(
+            n.as_str(),
+            "if" | "else" | "elif" | "for" | "while" | "def" | "class" | "try" | "not"
+                | "and" | "or" | "in" | "is" | "del" | "pass" | "break" | "continue"
+                | "return" | "raise" | "import" | "from" | "as" | "global" | "assert"
+                | "lambda" | "with" | "except" | "finally"
+        )
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(|v| e(ExprKind::Num(Number::Int(v.abs())))),
+        "[a-zA-Z0-9 _.:/-]{0,10}".prop_map(|v| e(ExprKind::Str(v))),
+        any::<bool>().prop_map(|b| e(ExprKind::Bool(b))),
+        Just(e(ExprKind::NoneLit)),
+        arb_name().prop_map(|n| e(ExprKind::Name(n))),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        let binop = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::FloorDiv),
+            Just(BinOp::Mod),
+            Just(BinOp::Pow),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+        ];
+        let cmpop = prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+            Just(CmpOp::In),
+            Just(CmpOp::NotIn),
+            Just(CmpOp::Is),
+            Just(CmpOp::IsNot),
+        ];
+        let unaryop = prop_oneof![
+            Just(UnaryOp::Neg),
+            Just(UnaryOp::Pos),
+            Just(UnaryOp::Not),
+            Just(UnaryOp::Invert),
+        ];
+        prop_oneof![
+            // binary
+            (inner.clone(), binop, inner.clone()).prop_map(|(l, op, r)| e(ExprKind::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            })),
+            // unary
+            (unaryop, inner.clone()).prop_map(|(op, v)| e(ExprKind::Unary {
+                op,
+                operand: Box::new(v),
+            })),
+            // comparison (single op — chained comparisons re-associate)
+            (inner.clone(), cmpop, inner.clone()).prop_map(|(l, op, r)| e(ExprKind::Compare {
+                left: Box::new(l),
+                ops: vec![op],
+                comparators: vec![r],
+            })),
+            // boolean chain
+            (
+                prop_oneof![Just(BoolOpKind::And), Just(BoolOpKind::Or)],
+                proptest::collection::vec(inner.clone(), 2..4)
+            )
+                .prop_map(|(op, values)| e(ExprKind::BoolOp { op, values })),
+            // attribute
+            (inner.clone(), arb_name()).prop_map(|(v, attr)| e(ExprKind::Attribute {
+                value: Box::new(v),
+                attr,
+            })),
+            // subscript
+            (inner.clone(), inner.clone()).prop_map(|(v, i)| e(ExprKind::Subscript {
+                value: Box::new(v),
+                index: Box::new(i),
+            })),
+            // call with positional + keyword args
+            (
+                arb_name(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec((arb_name(), inner.clone()), 0..2)
+            )
+                .prop_map(|(f, pos, kw)| {
+                    let mut args: Vec<Arg> = pos.into_iter().map(Arg::Pos).collect();
+                    args.extend(kw.into_iter().map(|(n, v)| Arg::Kw(n, v)));
+                    e(ExprKind::Call {
+                        func: Box::new(e(ExprKind::Name(f))),
+                        args,
+                    })
+                }),
+            // conditional expression
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(t, b, o)| {
+                e(ExprKind::IfExp {
+                    test: Box::new(t),
+                    body: Box::new(b),
+                    orelse: Box::new(o),
+                })
+            }),
+            // displays
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| e(ExprKind::List(items))),
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|items| e(ExprKind::Tuple(items))),
+            proptest::collection::vec((inner.clone(), inner.clone()), 0..3)
+                .prop_map(|pairs| e(ExprKind::Dict(pairs))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        arb_expr().prop_map(|x| s(StmtKind::Expr(x))),
+        (arb_name(), arb_expr()).prop_map(|(n, v)| s(StmtKind::Assign {
+            targets: vec![e(ExprKind::Name(n))],
+            value: v,
+        })),
+        (arb_name(), arb_expr()).prop_map(|(n, v)| s(StmtKind::AugAssign {
+            target: e(ExprKind::Name(n)),
+            op: BinOp::Add,
+            value: v,
+        })),
+        proptest::option::of(arb_expr()).prop_map(|v| s(StmtKind::Return(v))),
+        Just(s(StmtKind::Pass)),
+        arb_expr().prop_map(|x| s(StmtKind::Raise {
+            exc: Some(x),
+            cause: None,
+        })),
+    ];
+    simple.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(test, body)| s(StmtKind::If {
+                    branches: vec![(test, body)],
+                    orelse: vec![],
+                })),
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 1..2)
+            )
+                .prop_map(|(test, body, orelse)| s(StmtKind::If {
+                    branches: vec![(test, body)],
+                    orelse,
+                })),
+            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(test, body)| s(StmtKind::While {
+                    test,
+                    body,
+                    orelse: vec![],
+                })
+            ),
+            (
+                arb_name(),
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(target, iter, body)| s(StmtKind::For {
+                    target: e(ExprKind::Name(target)),
+                    iter,
+                    body,
+                    orelse: vec![],
+                })),
+            (
+                arb_name(),
+                proptest::collection::vec(arb_name(), 0..3),
+                proptest::collection::vec(inner, 1..3)
+            )
+                .prop_map(|(name, params, body)| s(StmtKind::FuncDef {
+                    name,
+                    params: params.into_iter().map(Param::plain).collect(),
+                    body,
+                })),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn generated_ast_roundtrips(stmts in proptest::collection::vec(arb_stmt(), 1..5)) {
+        let module = Module { name: "gen.py".into(), body: stmts };
+        let printed = pysrc::unparse::unparse_module(&module);
+        let reparsed = pysrc::parse_module(&printed, "gen.py")
+            .map_err(|err| TestCaseError::fail(format!("reparse failed: {err}\n---\n{printed}")))?;
+        let printed2 = pysrc::unparse::unparse_module(&reparsed);
+        prop_assert_eq!(&printed, &printed2, "unparse not a fixpoint:\n{}", printed);
+        prop_assert!(
+            pysrc::ast::stmts_eq(&module.body, &reparsed.body),
+            "structural mismatch:\n{}",
+            printed
+        );
+    }
+}

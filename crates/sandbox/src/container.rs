@@ -1,0 +1,314 @@
+//! One deployed container: interpreter + host + trigger + lifecycle.
+
+use crate::image::ContainerImage;
+use pyrt::interp::call_value;
+use pyrt::{HostApi, PyExc, Value, Vm};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Deploy-time failure (unparsable source, failed setup command).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeployError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deploy error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// How one workload round ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoundStatus {
+    /// Workload completed without an exception.
+    Ok,
+    /// The workload/client raised an uncaught exception.
+    Failed {
+        /// Exception class (e.g. `"EtcdException"`).
+        exc_class: String,
+        /// Exception message.
+        message: String,
+    },
+    /// The round exceeded its virtual deadline or step budget
+    /// (the paper's *timeout* failure mode, including hangs).
+    Timeout,
+    /// The round was not executed (client process already dead).
+    NotRun,
+}
+
+impl RoundStatus {
+    /// Did the service behave correctly this round?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RoundStatus::Ok)
+    }
+}
+
+/// Result of one workload round.
+#[derive(Clone, Debug)]
+pub struct RoundOutcome {
+    /// Status.
+    pub status: RoundStatus,
+    /// Virtual seconds the round took.
+    pub duration: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ContainerState {
+    Deployed,
+    ClientDead,
+    TornDown,
+}
+
+/// One deployed experiment container (paper §IV-B: "for each fault to
+/// be injected, ProFIPy deploys a new container").
+pub struct Container {
+    vm: Vm,
+    state: ContainerState,
+    workload_imported: bool,
+    round_timeout: f64,
+    fuel_per_round: u64,
+}
+
+impl Container {
+    /// Deploys an image onto a host: parses and registers all sources,
+    /// runs the setup commands.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError`] if a source does not parse or a setup command
+    /// exits non-zero.
+    pub fn deploy(
+        image: &ContainerImage,
+        host: Rc<dyn HostApi>,
+        seed: u64,
+    ) -> Result<Container, DeployError> {
+        let vm = Vm::with_host(host.clone(), seed);
+        for src in &image.sources {
+            let module = pysrc::parse_module(&src.text, &src.import_name).map_err(|e| {
+                DeployError {
+                    message: format!("source {}: {e}", src.import_name),
+                }
+            })?;
+            vm.register_source(&src.import_name, Rc::new(module));
+        }
+        // A target source named `workload` (e.g. when faults are
+        // injected into the workload's API call sites, §V-B) takes
+        // precedence over the image-level workload text.
+        if !image.sources.iter().any(|s| s.import_name == "workload") {
+            let workload = pysrc::parse_module(&image.workload, "workload").map_err(|e| {
+                DeployError {
+                    message: format!("workload: {e}"),
+                }
+            })?;
+            vm.register_source("workload", Rc::new(workload));
+        }
+        for cmd in &image.setup {
+            let (code, out) = host.execute(cmd);
+            if code != 0 {
+                return Err(DeployError {
+                    message: format!("setup `{}` failed ({code}): {out}", cmd.join(" ")),
+                });
+            }
+        }
+        Ok(Container {
+            vm,
+            state: ContainerState::Deployed,
+            workload_imported: false,
+            round_timeout: image.round_timeout,
+            fuel_per_round: image.fuel_per_round,
+        })
+    }
+
+    /// Runs one workload round with the fault trigger set as given.
+    /// The target is **not** restarted between rounds (§IV-B); the
+    /// first round also executes the workload module's top level
+    /// (client initialization).
+    pub fn run_round(&mut self, round: i64, fault_enabled: bool) -> RoundOutcome {
+        if self.state != ContainerState::Deployed {
+            return RoundOutcome {
+                status: RoundStatus::NotRun,
+                duration: 0.0,
+            };
+        }
+        self.vm.trigger.set(fault_enabled);
+        self.vm.fuel.refill(self.fuel_per_round);
+        let start = self.vm.clock.now();
+        self.vm
+            .deadline
+            .set(Some(start + self.round_timeout));
+        let result = self.execute_round(round);
+        let duration = self.vm.clock.now() - start;
+        self.vm.deadline.set(None);
+        let status = match result {
+            Ok(()) => RoundStatus::Ok,
+            Err(e) if e.class_name == "ProfipyFuelExhausted" => RoundStatus::Timeout,
+            Err(e) => RoundStatus::Failed {
+                exc_class: e.class_name,
+                message: e.message,
+            },
+        };
+        RoundOutcome { status, duration }
+    }
+
+    fn execute_round(&mut self, round: i64) -> Result<(), PyExc> {
+        // Import (first round: executes client initialization). If the
+        // top level crashes, the client process is dead: later rounds
+        // are NotRun (paper §V-A: "the system was not available after
+        // disabling the fault").
+        let ns = match self.vm.import_module("workload") {
+            Ok(ns) => {
+                self.workload_imported = true;
+                ns
+            }
+            Err(e) => {
+                self.state = ContainerState::ClientDead;
+                return Err(e);
+            }
+        };
+        let run = ns.get("run").ok_or_else(|| {
+            PyExc::new("AttributeError", "workload module must define run(round)")
+        })?;
+        call_value(&mut self.vm, run, vec![Value::Int(round)], vec![]).map(|_| ())
+    }
+
+    /// Coverage ids observed so far (`profipy_rt.cov` probes).
+    pub fn coverage(&self) -> BTreeSet<u64> {
+        self.vm.coverage()
+    }
+
+    /// Captured log records.
+    pub fn logs(&self) -> Vec<pyrt::LogRecord> {
+        self.vm.logs()
+    }
+
+    /// Captured stdout.
+    pub fn stdout(&self) -> String {
+        self.vm.stdout()
+    }
+
+    /// Captured stderr (tracebacks).
+    pub fn stderr(&self) -> String {
+        self.vm.stderr()
+    }
+
+    /// Current virtual time inside the container.
+    pub fn now(&self) -> f64 {
+        self.vm.clock.now()
+    }
+
+    /// Traced host API invocations (paper §IV-D visualization).
+    pub fn trace_events(&self) -> Vec<pyrt::host::TraceEvent> {
+        self.vm.host.trace_events()
+    }
+
+    /// Tears the container down, reclaiming leaked resources (stale
+    /// hogs, held ports via the host's cleanup command) — §IV-B: "the
+    /// tool can also clean-up any resource leaked or corrupted because
+    /// of the injected fault".
+    pub fn teardown(mut self) {
+        self.vm.fuel.clear_hogs();
+        let _ = self.vm.host.execute(&["etcd-cleanup".to_string()]);
+        self.state = ContainerState::TornDown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ContainerImage;
+    use pyrt::NoopHost;
+
+    fn noop() -> Rc<dyn HostApi> {
+        Rc::new(NoopHost::new())
+    }
+
+    #[test]
+    fn deploy_and_run_two_rounds() {
+        let image = ContainerImage::new("t")
+            .source("lib", "def ping():\n    return 'pong'\n")
+            .workload("import lib\ndef run(round):\n    assert lib.ping() == 'pong'\n");
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert!(c.run_round(1, true).status.is_ok());
+        assert!(c.run_round(2, false).status.is_ok());
+        c.teardown();
+    }
+
+    #[test]
+    fn trigger_gates_fault() {
+        let image = ContainerImage::new("t").workload(concat!(
+            "import profipy_rt\n",
+            "def run(round):\n",
+            "    if profipy_rt.trigger():\n",
+            "        raise RuntimeError('injected')\n",
+        ));
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        let r1 = c.run_round(1, true);
+        assert!(matches!(
+            r1.status,
+            RoundStatus::Failed { ref exc_class, .. } if exc_class == "RuntimeError"
+        ));
+        // Round 2 with the fault disabled succeeds: error state did not
+        // persist.
+        assert!(c.run_round(2, false).status.is_ok());
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let image = ContainerImage::new("t")
+            .workload("def run(round):\n    while True:\n        pass\n")
+            .fuel(50_000);
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert_eq!(c.run_round(1, true).status, RoundStatus::Timeout);
+    }
+
+    #[test]
+    fn client_death_at_init_marks_later_rounds_not_run() {
+        let image = ContainerImage::new("t").workload(concat!(
+            "import profipy_rt\n",
+            "if profipy_rt.trigger():\n",
+            "    raise RuntimeError('dead at init')\n",
+            "def run(round):\n",
+            "    pass\n",
+        ));
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert!(matches!(c.run_round(1, true).status, RoundStatus::Failed { .. }));
+        assert_eq!(c.run_round(2, false).status, RoundStatus::NotRun);
+    }
+
+    #[test]
+    fn bad_source_fails_deploy() {
+        let image = ContainerImage::new("t").source("lib", "def broken(:\n");
+        assert!(Container::deploy(&image, noop(), 0).is_err());
+    }
+
+    #[test]
+    fn state_persists_between_rounds() {
+        let image = ContainerImage::new("t").workload(concat!(
+            "counter = {'n': 0}\n",
+            "def run(round):\n",
+            "    counter['n'] = counter['n'] + 1\n",
+            "    assert counter['n'] == round\n",
+        ));
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert!(c.run_round(1, true).status.is_ok());
+        assert!(c.run_round(2, false).status.is_ok());
+    }
+
+    #[test]
+    fn virtual_time_advances_across_rounds() {
+        let image = ContainerImage::new("t").workload(
+            "import time\ndef run(round):\n    time.sleep(3)\n",
+        );
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        let r1 = c.run_round(1, true);
+        assert!(r1.duration >= 3.0);
+        let t_after_r1 = c.now();
+        c.run_round(2, false);
+        assert!(c.now() >= t_after_r1 + 3.0);
+    }
+}

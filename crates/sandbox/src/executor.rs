@@ -1,0 +1,184 @@
+//! Parallel experiment execution (paper §IV-B: "run at most N − 1
+//! parallel containers at the same time, where N is the number of CPU
+//! cores ... the tool further reduces the number of parallel containers
+//! if it hits a threshold for memory and I/O utilization").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The parallel experiment executor.
+#[derive(Clone, Debug)]
+pub struct ParallelExecutor {
+    /// CPU cores of the (simulated) host.
+    pub cpu_cores: usize,
+    /// Total memory available for containers (MB).
+    pub mem_mb_total: u64,
+    /// Memory footprint of one container (MB).
+    pub mem_mb_per_container: u64,
+    /// I/O bandwidth cap expressed as a max number of concurrently
+    /// I/O-active containers.
+    pub io_parallel_limit: usize,
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> Self {
+        ParallelExecutor {
+            cpu_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            mem_mb_total: 16 * 1024,
+            mem_mb_per_container: 512,
+            io_parallel_limit: usize::MAX,
+        }
+    }
+}
+
+impl ParallelExecutor {
+    /// Creates an executor for a host with `cpu_cores` cores.
+    pub fn new(cpu_cores: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            cpu_cores,
+            ..ParallelExecutor::default()
+        }
+    }
+
+    /// Effective worker count: `min(N−1, memory cap, I/O cap, jobs)`,
+    /// at least 1.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let cpu_cap = self.cpu_cores.saturating_sub(1).max(1);
+        let mem_cap = match self.mem_mb_total.checked_div(self.mem_mb_per_container) {
+            Some(n) => (n as usize).max(1),
+            None => usize::MAX,
+        };
+        cpu_cap
+            .min(mem_cap)
+            .min(self.io_parallel_limit.max(1))
+            .min(jobs.max(1))
+    }
+
+    /// Runs `jobs` independent experiments in parallel, preserving
+    /// result order. Each worker thread gets a 32 MB stack (the
+    /// tree-walking interpreter is recursion-heavy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panics.
+    pub fn run<R, F>(&self, jobs: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.effective_workers(jobs);
+        if workers == 1 {
+            return (0..jobs).map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let tx = tx.clone();
+                scope
+                    .builder()
+                    .stack_size(32 * 1024 * 1024)
+                    .spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        let r = f(i);
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("spawn worker");
+            }
+            drop(tx);
+        })
+        .expect("no worker panicked");
+        let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job index produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_minus_one_rule() {
+        let ex = ParallelExecutor::new(8);
+        assert_eq!(ex.effective_workers(100), 7);
+        assert_eq!(ParallelExecutor::new(1).effective_workers(100), 1);
+        assert_eq!(ParallelExecutor::new(2).effective_workers(100), 1);
+    }
+
+    #[test]
+    fn memory_threshold_reduces_workers() {
+        let mut ex = ParallelExecutor::new(32);
+        ex.mem_mb_total = 2048;
+        ex.mem_mb_per_container = 512;
+        assert_eq!(ex.effective_workers(100), 4);
+    }
+
+    #[test]
+    fn io_limit_reduces_workers() {
+        let mut ex = ParallelExecutor::new(32);
+        ex.io_parallel_limit = 3;
+        assert_eq!(ex.effective_workers(100), 3);
+    }
+
+    #[test]
+    fn job_count_caps_workers() {
+        let ex = ParallelExecutor::new(16);
+        assert_eq!(ex.effective_workers(2), 2);
+        assert_eq!(ex.effective_workers(0), 1);
+    }
+
+    #[test]
+    fn results_preserve_order() {
+        let ex = ParallelExecutor::new(8);
+        let out = ex.run(64, |i| i * i);
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn serial_fallback_works() {
+        let ex = ParallelExecutor::new(1);
+        let out = ex.run(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let ex = ParallelExecutor::new(4);
+        let out: Vec<usize> = ex.run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_actually_run_vms() {
+        // Each job runs a tiny interpreter — exercises Send boundaries.
+        let ex = ParallelExecutor::new(4);
+        let outs = ex.run(8, |i| {
+            let m = pysrc::parse_module(&format!("print({i} * 2)\n"), "m.py").unwrap();
+            let mut vm = pyrt::Vm::new();
+            vm.run_module(&m).unwrap();
+            vm.stdout()
+        });
+        assert_eq!(outs[3], "6\n");
+    }
+}

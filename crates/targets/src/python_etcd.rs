@@ -1,0 +1,300 @@
+//! The python-etcd-like client library (mini-Python source).
+//!
+//! Anatomy mapped to the paper's observed failure modes:
+//!
+//! | Code path | Paper failure mode |
+//! |---|---|
+//! | `_key_path`: `key.startswith('/')` without a None check | §V-B `AttributeError: 'NoneType' object has no attribute 'startswith'` |
+//! | `_check`: 404 → `EtcdKeyNotFound`, 400 → `EtcdException: Bad response: 400 Bad Request` | §V-B exceptions |
+//! | `_guarded_request`: `resp` assigned only when `_healthy()` | §V-C `UnboundLocalError: local variable ... referenced before assignment` |
+//! | `delete_connection`: best-effort close swallowing errors | §V-A reconnection failure (leaked port holds the bind) |
+//! | `remove_member`/`register_member` | §V-A "member has already been bootstrapped" |
+
+/// The client library source, registered as importable module `etcd`.
+pub const CLIENT_SOURCE: &str = r#"
+import urllib
+import os
+import time
+import logging
+
+
+class EtcdException(Exception):
+    pass
+
+
+class EtcdKeyNotFound(EtcdException):
+    pass
+
+
+class EtcdConnectionFailed(EtcdException):
+    pass
+
+
+class Client:
+    def __init__(self, host='127.0.0.1', port=2379, timeout=5.0):
+        self._log = logging.getLogger('etcd.client')
+        env_host = os.getenv('ETCD_HOST', host)
+        env_port = os.getenv('ETCD_PORT', str(port))
+        self._base = 'http://' + env_host + ':' + env_port
+        self._timeout = timeout
+        self._health_timeout = 0.25
+        self._conn_id = None
+
+    def _key_path(self, key):
+        if not key.startswith('/'):
+            key = '/' + key
+        return '/v2/keys' + key
+
+    def _healthy(self):
+        try:
+            probe = urllib.request('GET', self._base + '/health', None, timeout=self._health_timeout)
+        except Exception:
+            return False
+        return probe['status'] == 200
+
+    def _request(self, method, path, body):
+        resp = urllib.request(method, self._base + path, body, timeout=self._timeout)
+        return resp
+
+    def _guarded_request(self, method, path, body):
+        if self._healthy():
+            resp = self._request(method, path, body)
+        return self._check(resp, path)
+
+    def _check(self, resp, path):
+        status = resp['status']
+        if status == 404:
+            self._log.error('key not found: ' + path)
+            raise EtcdKeyNotFound('Key not found: ' + path)
+        if status == 400:
+            self._log.error('bad request: ' + path)
+            raise EtcdException('Bad response: 400 Bad Request')
+        if status >= 500:
+            self._log.error('server error ' + str(status) + ': ' + path)
+            raise EtcdException('Bad response: ' + str(status) + ' ' + resp['data'])
+        return resp['data']
+
+    def _parse_value(self, data):
+        lines = data.split('\n')
+        for line in lines:
+            if line.startswith('VALUE '):
+                return line[6:]
+        return None
+
+    def _parse_keys(self, data):
+        keys = []
+        lines = data.split('\n')
+        for line in lines:
+            if line.startswith('KEY ') or line.startswith('DIR '):
+                keys.append(line[4:])
+        return keys
+
+    def set(self, key, value, ttl=None):
+        path = self._key_path(key)
+        body = 'value=' + urllib.quote(str(value))
+        if ttl is not None:
+            body = body + '&ttl=' + str(ttl)
+        data = self._guarded_request('PUT', path, body)
+        self._log.info('set ' + path)
+        return data
+
+    def get(self, key):
+        path = self._key_path(key)
+        resp = self._request('GET', path, None)
+        data = self._check(resp, path)
+        value = self._parse_value(data)
+        return value
+
+    def ls(self, key):
+        path = self._key_path(key)
+        resp = self._request('GET', path + '?recursive=true', None)
+        data = self._check(resp, path)
+        keys = self._parse_keys(data)
+        return keys
+
+    def delete(self, key, recursive=False):
+        path = self._key_path(key)
+        if recursive:
+            path = path + '?recursive=true'
+        resp = self._request('DELETE', path, None)
+        data = self._check(resp, path)
+        self._log.info('delete ' + path)
+        return data
+
+    def test_and_set(self, key, value, old_value):
+        path = self._key_path(key)
+        body = 'value=' + urllib.quote(str(value)) + '&prevValue=' + urllib.quote(str(old_value))
+        data = self._guarded_request('PUT', path, body)
+        return data
+
+    def mkdir(self, key, ttl=None):
+        path = self._key_path(key)
+        body = 'dir=true'
+        if ttl is not None:
+            body = body + '&ttl=' + str(ttl)
+        data = self._guarded_request('PUT', path, body)
+        return data
+
+    def connect(self):
+        resp = urllib.request('POST', self._base + '/v2/connection', None, timeout=self._timeout)
+        fields = resp['data'].split(' ')
+        self._conn_id = fields[1]
+        self._log.info('opened connection ' + self._conn_id)
+        return self._conn_id
+
+    def delete_connection(self):
+        if self._conn_id is not None:
+            try:
+                resp = urllib.request('DELETE', self._base + '/v2/connection/' + self._conn_id, None, timeout=self._timeout)
+            except Exception:
+                self._log.warning('failed to close connection ' + self._conn_id)
+            self._conn_id = None
+
+    def rotate_connection(self):
+        self.delete_connection()
+        self.connect()
+
+    def register_member(self):
+        resp = urllib.request('PUT', self._base + '/v2/members', None, timeout=self._timeout)
+        status = resp['status']
+        if status >= 500:
+            raise EtcdException('Bad response: ' + str(status) + ' ' + resp['data'])
+        self._log.info('member registered')
+        return status
+
+    def remove_member(self):
+        try:
+            resp = urllib.request('DELETE', self._base + '/v2/members', None, timeout=self._timeout)
+        except Exception:
+            self._log.warning('member removal failed')
+
+    def rejoin_cluster(self):
+        self.remove_member()
+        self.register_member()
+
+    def restart_server(self):
+        self.delete_connection()
+        result = os.execute('etcd-restart')
+        self.connect()
+        self._log.info('server restarted')
+
+    def machines(self):
+        resp = urllib.request('GET', self._base + '/v2/machines', None, timeout=self._timeout)
+        data = self._check(resp, '/v2/machines')
+        return data.split(',')
+
+    def stats(self):
+        resp = urllib.request('GET', self._base + '/v2/stats/self', None, timeout=self._timeout)
+        data = self._check(resp, '/v2/stats/self')
+        return data
+
+    def watch(self, key, wait_index=None):
+        path = self._key_path(key) + '?wait=true'
+        if wait_index is not None:
+            path = path + '&waitIndex=' + str(wait_index)
+        resp = urllib.request('GET', self._base + path, None, timeout=self._timeout)
+        data = self._check(resp, path)
+        value = self._parse_value(data)
+        return value
+
+    def leader(self):
+        resp = urllib.request('GET', self._base + '/v2/leader', None, timeout=self._timeout)
+        data = self._check(resp, '/v2/leader')
+        return data
+
+    def update_dir(self, key, ttl):
+        path = self._key_path(key)
+        body = 'dir=true&existing=true&ttl=' + str(ttl)
+        resp = urllib.request('PUT', self._base + path, body, timeout=self._timeout)
+        data = self._check(resp, path)
+        return data
+
+    def read_config(self, path):
+        data = os.read_file(path)
+        settings = {}
+        lines = data.split('\n')
+        for line in lines:
+            if '=' in line:
+                parts = line.split('=')
+                settings[parts[0]] = parts[1]
+        return settings
+
+    def save_snapshot(self, path):
+        keys = self.ls('/')
+        payload = '\n'.join(keys)
+        os.write_file(path, payload)
+        self._log.info('snapshot saved to ' + path)
+
+    def purge_snapshots(self, path):
+        os.write_file(path, '')
+        self._log.info('snapshots purged')
+"#;
+
+/// Scopes exercised by the basic workload — used as the campaign C
+/// plan filter ("the same methods of the second campaign", §V-C).
+pub const COVERED_SCOPES: &[&str] = &[
+    "Client.__init__",
+    "Client._key_path",
+    "Client._healthy",
+    "Client._request",
+    "Client._guarded_request",
+    "Client._check",
+    "Client._parse_value",
+    "Client._parse_keys",
+    "Client.set",
+    "Client.get",
+    "Client.ls",
+    "Client.delete",
+    "Client.test_and_set",
+    "Client.mkdir",
+    "Client.connect",
+    "Client.delete_connection",
+    "Client.rotate_connection",
+    "Client.register_member",
+    "Client.remove_member",
+    "Client.rejoin_cluster",
+    "Client.restart_server",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_source_parses() {
+        let m = pysrc::parse_module(CLIENT_SOURCE, "etcd").unwrap();
+        assert!(m.body.len() >= 4, "imports + exceptions + Client class");
+    }
+
+    #[test]
+    fn client_class_has_expected_methods() {
+        let m = pysrc::parse_module(CLIENT_SOURCE, "etcd").unwrap();
+        let mut methods = Vec::new();
+        pysrc::visit::walk_blocks(&m, &mut |_, ctx| {
+            methods.push(ctx.dotted());
+        });
+        for required in [
+            "Client.set",
+            "Client.get",
+            "Client.test_and_set",
+            "Client.delete_connection",
+            "Client.register_member",
+            "Client.restart_server",
+        ] {
+            assert!(
+                methods.iter().any(|m| m == required),
+                "missing method scope {required}"
+            );
+        }
+    }
+
+    #[test]
+    fn covered_scopes_exist_in_source() {
+        let m = pysrc::parse_module(CLIENT_SOURCE, "etcd").unwrap();
+        let mut scopes = Vec::new();
+        pysrc::visit::walk_blocks(&m, &mut |_, ctx| scopes.push(ctx.dotted()));
+        for s in COVERED_SCOPES {
+            assert!(scopes.iter().any(|x| x == s), "scope {s} not found");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic synthetic-corpus generator (the §V-D scan target).
+//!
+//! The paper measures scan throughput on OpenStack (Nova, Neutron,
+//! Cinder — ~400 kLoC, 120 DSL patterns, 17 488 injectable locations,
+//! ~20 min on an 8-core Xeon). We cannot redistribute OpenStack, so
+//! the scaling benchmark scans synthetic modules whose statement mix
+//! (assignments, calls, guarded blocks, loops, try/except, classes)
+//! is chosen to give the scanner the same kind of work per line.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+const SERVICES: &[&str] = &["compute", "network", "volume", "image", "identity"];
+const VERBS: &[&str] = &["create", "delete", "update", "attach", "detach", "sync"];
+const NOUNS: &[&str] = &["port", "server", "subnet", "snapshot", "flavor", "quota"];
+
+/// Generates one synthetic module of roughly `target_loc` lines.
+/// Deterministic in `seed`.
+pub fn generate_module(seed: u64, target_loc: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("import logging\nimport time\n\nlog = logging.getLogger('svc')\n\n");
+    let mut loc = 5usize;
+    let mut class_idx = 0usize;
+    while loc < target_loc {
+        class_idx += 1;
+        let service = SERVICES[rng.gen_range(0..SERVICES.len())];
+        let _ = writeln!(out, "\nclass {}Manager{}:", capitalize(service), class_idx);
+        let _ = writeln!(out, "    def __init__(self, api):");
+        let _ = writeln!(out, "        self.api = api");
+        let _ = writeln!(out, "        self.retries = {}", rng.gen_range(1..5));
+        loc += 4;
+        let methods = rng.gen_range(3..8);
+        for _ in 0..methods {
+            let verb = VERBS[rng.gen_range(0..VERBS.len())];
+            let noun = NOUNS[rng.gen_range(0..NOUNS.len())];
+            let _ = writeln!(out, "\n    def {verb}_{noun}(self, ident, spec=None):");
+            loc += 2;
+            loc += emit_body(&mut out, &mut rng, verb, noun);
+        }
+    }
+    out
+}
+
+fn emit_body(out: &mut String, rng: &mut StdRng, verb: &str, noun: &str) -> usize {
+    let mut loc = 0usize;
+    let shape = rng.gen_range(0..5);
+    match shape {
+        0 => {
+            // call sandwich: the MFC-able shape.
+            let _ = writeln!(out, "        payload = self.api.prepare(ident)");
+            let _ = writeln!(out, "        delete_{noun}(self.api, ident)");
+            let _ = writeln!(out, "        log.info('{verb} {noun} done')");
+            let _ = writeln!(out, "        return payload");
+            loc += 4;
+        }
+        1 => {
+            // guarded early-continue loop: the MIFS-able shape.
+            let _ = writeln!(out, "        results = []");
+            let _ = writeln!(out, "        for node in self.api.list_nodes():");
+            let _ = writeln!(out, "            if node:");
+            let _ = writeln!(out, "                log.info('skipping')");
+            let _ = writeln!(out, "                continue");
+            let _ = writeln!(out, "            results.append(node)");
+            let _ = writeln!(out, "        return results");
+            loc += 7;
+        }
+        2 => {
+            // external utility call: the WPF-able shape.
+            let _ = writeln!(
+                out,
+                "        utils.execute('iptables', '--table={noun}', ident)"
+            );
+            let _ = writeln!(out, "        status = self.api.status(ident)");
+            let _ = writeln!(out, "        return status");
+            loc += 3;
+        }
+        3 => {
+            // retry loop with try/except.
+            let _ = writeln!(out, "        attempts = 0");
+            let _ = writeln!(out, "        while attempts < self.retries:");
+            let _ = writeln!(out, "            attempts = attempts + 1");
+            let _ = writeln!(out, "            try:");
+            let _ = writeln!(out, "                reply = self.api.{verb}(ident, spec)");
+            let _ = writeln!(out, "                return reply");
+            let _ = writeln!(out, "            except Exception:");
+            let _ = writeln!(out, "                time.sleep(0.1)");
+            let _ = writeln!(out, "        raise RuntimeError('{verb} {noun} failed')");
+            loc += 9;
+        }
+        _ => {
+            // dict assembly + conditional call.
+            let _ = writeln!(out, "        opts = {{'kind': '{noun}'}}");
+            let _ = writeln!(out, "        timeout = {}", rng.gen_range(5..60));
+            let _ = writeln!(out, "        if spec is not None and timeout > 10:");
+            let _ = writeln!(out, "            opts['spec'] = spec");
+            let _ = writeln!(out, "        reply = self.api.submit(ident, opts)");
+            let _ = writeln!(out, "        return reply");
+            loc += 6;
+        }
+    }
+    loc
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Generates a corpus of modules totalling roughly `total_loc` lines,
+/// ~2000 lines per module (OpenStack-file-sized).
+pub fn generate_corpus(seed: u64, total_loc: usize) -> Vec<(String, String)> {
+    let per_module = 2000usize;
+    let count = total_loc.div_ceil(per_module).max(1);
+    (0..count)
+        .map(|i| {
+            (
+                format!("svc_module_{i:04}"),
+                generate_module(seed.wrapping_add(i as u64), per_module.min(total_loc)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_modules_parse() {
+        for seed in [0, 1, 42] {
+            let src = generate_module(seed, 500);
+            pysrc::parse_module(&src, "synth").unwrap_or_else(|e| {
+                panic!("seed {seed} produced unparsable code: {e}\n{src}")
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_module(7, 300), generate_module(7, 300));
+        assert_ne!(generate_module(7, 300), generate_module(8, 300));
+    }
+
+    #[test]
+    fn corpus_reaches_target_size() {
+        let corpus = generate_corpus(0, 10_000);
+        let total: usize = corpus.iter().map(|(_, s)| s.lines().count()).sum();
+        assert!(total >= 9_000, "corpus too small: {total}");
+        assert!(corpus.len() >= 5);
+    }
+
+    #[test]
+    fn corpus_contains_injectable_shapes() {
+        let src = generate_module(3, 2000);
+        assert!(src.contains("delete_"), "MFC-able calls");
+        assert!(src.contains("continue"), "MIFS-able guards");
+        assert!(src.contains("utils.execute"), "WPF-able utility calls");
+    }
+}

@@ -1,0 +1,150 @@
+//! Workloads (paper §V: "The workload used deploys the etcd server,
+//! and it uploads and queries several key-value pairs of a different
+//! kind (e.g., with directories, sub-keys, TTL, etc.) that we derived
+//! from Python-etcd's integration tests").
+//!
+//! A workload module's top level initializes the client (the "client
+//! process" start); `run(round)` exercises the target and raises on
+//! service failure — via client exceptions or consistency-check
+//! assertions (§IV-B).
+
+/// Minimal quickstart workload: one set/get roundtrip.
+pub const WORKLOAD_QUICKSTART: &str = r#"
+import etcd
+import logging
+
+log = logging.getLogger('workload')
+client = etcd.Client()
+
+
+def run(round):
+    client.set('/greeting', 'hello')
+    value = client.get('/greeting')
+    assert value == 'hello', 'greeting roundtrip'
+    log.info('quickstart round ' + str(round) + ' ok')
+"#;
+
+/// The full integration-test-derived workload used by the campaigns.
+///
+/// Structure (deliberate ordering, see DESIGN.md):
+/// 1. connection rotation + maintenance restart + membership rejoin
+///    (the §V-A failure substrate),
+/// 2. guarded writes (set/mkdir/test_and_set go through the
+///    health-gated request path) with consistency checks,
+/// 3. plain reads/deletes late in the round, so §V-C hogs injected in
+///    late paths have no guarded call left to starve.
+pub const WORKLOAD_BASIC: &str = r#"
+import etcd
+import logging
+
+log = logging.getLogger('workload')
+client = etcd.Client()
+
+
+def check(cond, label):
+    if not cond:
+        log.error('consistency check failed: ' + label)
+        raise AssertionError('inconsistent value read: ' + label)
+
+
+def run(round):
+    tag = str(round)
+
+    # --- maintenance cycle (connection + membership) ---
+    client.rotate_connection()
+    client.set('/status/maintenance', 'starting')
+    client.restart_server()
+    client.rejoin_cluster()
+
+    # --- basic key-value pairs (checked) ---
+    client.set('/app/name', 'etcd-demo')
+    name = client.get('/app/name')
+    check(name == 'etcd-demo', 'app name roundtrip')
+    client.set('/app/release', 'r' + tag)
+    release = client.get('/app/release')
+    check(release == 'r' + tag, 'release roundtrip')
+    client.set('/app/owner', 'team-storage')
+    client.set('/app/tier', 'backend')
+
+    # --- directories and sub-keys ---
+    client.mkdir('/cfg/round' + tag)
+    client.set('/cfg/round' + tag + '/alpha', 'a-value')
+    client.set('/cfg/round' + tag + '/beta', 'b-value')
+    client.set('/cfg/round' + tag + '/gamma/deep', 'nested')
+    listing = client.ls('/cfg/round' + tag)
+    check(len(listing) >= 4, 'directory listing size')
+
+    # --- keys with TTL (fire-and-forget; they expire on their own) ---
+    client.set('/tmp/session' + tag, 'token-abc', 30)
+    client.set('/tmp/cache' + tag, 'blob', 60)
+    client.set('/tmp/lease' + tag, 'holder', 15)
+
+    # --- compare-and-swap sequences ---
+    client.set('/locks/leader', 'node1')
+    client.test_and_set('/locks/leader', 'node2', 'node1')
+    leader = client.get('/locks/leader')
+    check(leader == 'node2', 'cas leader handoff')
+    client.set('/metrics/requests', '100')
+    client.test_and_set('/metrics/requests', '101', '100')
+    counter = client.get('/metrics/requests')
+    check(counter == '101', 'cas counter increment')
+
+    # --- unchecked churn (integration tests write many plain pairs) ---
+    client.set('/inventory/hosts/web1', '10.0.0.1')
+    client.set('/inventory/hosts/web2', '10.0.0.2')
+    client.set('/inventory/hosts/db1', '10.0.0.3')
+    client.set('/features/flag_a', 'on')
+    client.set('/features/flag_b', 'off')
+
+    # --- late plain reads and cleanup (no guarded calls after here) ---
+    owner = client.get('/app/owner')
+    check(owner == 'team-storage', 'owner roundtrip')
+    hosts = client.ls('/inventory/hosts')
+    check(len(hosts) >= 3, 'inventory listing')
+    client.delete('/cfg/round' + tag, True)
+    client.delete('/locks/leader')
+    client.delete('/inventory/hosts', True)
+    client.delete('/features/flag_a')
+
+    # --- end-of-round membership refresh (second rejoin: a silently
+    # skipped member removal now hits an already-bootstrapped member) ---
+    client.rejoin_cluster()
+    client.set('/status/maintenance', 'done')
+    log.info('round ' + tag + ' complete')
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_parse() {
+        pysrc::parse_module(WORKLOAD_QUICKSTART, "workload").unwrap();
+        pysrc::parse_module(WORKLOAD_BASIC, "workload").unwrap();
+    }
+
+    #[test]
+    fn basic_workload_has_rich_api_surface() {
+        let m = pysrc::parse_module(WORKLOAD_BASIC, "workload").unwrap();
+        let mut client_calls = 0;
+        for stmt in &m.body {
+            count_calls(stmt, &mut client_calls);
+        }
+        assert!(
+            client_calls >= 30,
+            "workload should exercise many client API sites, got {client_calls}"
+        );
+    }
+
+    fn count_calls(stmt: &pysrc::ast::Stmt, n: &mut usize) {
+        pysrc::visit::walk_exprs(stmt, &mut |e| {
+            if let pysrc::ast::ExprKind::Call { func, .. } = &e.kind {
+                if let Some(path) = func.dotted_path() {
+                    if path.starts_with("client.") {
+                        *n += 1;
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the smallest end-to-end ProFIPy run.
+//!
+//! 1. Write a bug specification in the DSL.
+//! 2. Scan the target for injection points.
+//! 3. Execute one two-round experiment per point in a fresh simulated
+//!    container.
+//! 4. Print the campaign report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use profipy::analysis::FailureClassifier;
+use profipy::case_study::etcd_host_factory;
+use profipy::report::CampaignReport;
+use profipy::{PlanFilter, Workflow, WorkflowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A user-defined fault model with a single specification: omit
+    // calls to the client's connection-cleanup API (an MFC fault,
+    // Fig. 1a style).
+    let model = faultdsl::FaultModel {
+        name: "quickstart".into(),
+        description: "omit connection cleanup calls".into(),
+        specs: vec![faultdsl::SpecSource {
+            name: "OMIT-CLEANUP".into(),
+            description: "missing function call on delete_connection".into(),
+            dsl: "change {\n    $CALL{name=self.delete_connection}(...)\n} into {\n    pass\n}"
+                .into(),
+        }],
+    };
+
+    let config = WorkflowConfig {
+        seed: 7,
+        setup: vec![vec!["etcd-start".into()]],
+        ..WorkflowConfig::default()
+    };
+    let workflow = Workflow::new(
+        vec![("etcd".into(), targets::CLIENT_SOURCE.into())],
+        targets::WORKLOAD_BASIC.into(),
+        model,
+        etcd_host_factory(),
+        config,
+    )?;
+
+    // SCAN: find every match of the specification.
+    let points = workflow.scan();
+    println!("scan found {} injection point(s):", points.len());
+    for p in &points {
+        println!("  [{}] {} in {}::{} at {}", p.id, p.spec_name, p.module, p.scope, p.span);
+    }
+
+    // EXECUTION + ANALYSIS.
+    let outcome = workflow.run_campaign(&PlanFilter::all(), false)?;
+    let report = CampaignReport::from_outcome(
+        "quickstart",
+        &outcome,
+        &FailureClassifier::case_study(),
+    );
+    println!("\n{}", report.render_text());
+
+    for r in outcome.results.iter().filter(|r| r.failed_round1()) {
+        println!(
+            "experiment #{}: round1={:?}\n             round2={:?}",
+            r.point_id, r.round1.status, r.round2.status
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate for the ProFIPy reproduction: hosts the workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! The public API lives in the [`profipy`] crate.
+pub use profipy;

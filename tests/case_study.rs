@@ -1,0 +1,206 @@
+//! Case-study shape tests (paper §V): the three campaigns must
+//! reproduce the *shape* of the paper's results — who fails, roughly
+//! how often, and with which failure modes. Absolute counts are pinned
+//! loosely (ranges) so legitimate model tweaks don't break the suite.
+//!
+//! Campaign B and C run on seeded samples to keep debug-build test
+//! time reasonable; the benches run them in full.
+
+use profipy::case_study::{campaign_a, campaign_b, campaign_c};
+use profipy::report::CampaignReport;
+use profipy::PlanFilter;
+
+#[test]
+fn campaign_a_matches_paper_shape() {
+    // Paper §V-A: 26 points, 13 covered, 12 failures; modes:
+    // reconnection failure (persisting into round 2),
+    // "member has already been bootstrapped", client crashes.
+    let c = campaign_a();
+    let outcome = c.workflow.run_campaign(&c.filter, true).expect("runs");
+    let report = CampaignReport::from_outcome(&c.name, &outcome, &c.classifier);
+
+    assert!(
+        (20..=32).contains(&report.planned_points),
+        "planned {} not in paper ballpark 26",
+        report.planned_points
+    );
+    let covered = report.covered_points.expect("campaign A prunes by coverage");
+    assert!(
+        (9..=16).contains(&covered),
+        "covered {covered} not in paper ballpark 13"
+    );
+    assert!(
+        (7..=13).contains(&report.failures),
+        "failures {} not in paper ballpark 12",
+        report.failures
+    );
+    // About half the covered faults are covered-by-workload (paper: 13/26).
+    let ratio = covered as f64 / report.planned_points as f64;
+    assert!((0.3..=0.7).contains(&ratio), "coverage ratio {ratio}");
+
+    // All three §V-A failure modes are present.
+    for mode in ["reconnection-failure", "member-bootstrapped"] {
+        assert!(
+            report.mode_distribution.contains_key(mode),
+            "missing mode {mode} in {:?}",
+            report.mode_distribution
+        );
+    }
+    assert!(
+        report
+            .mode_distribution
+            .keys()
+            .any(|m| m.starts_with("crash:") || m == "connection-error"),
+        "client-crash modes missing: {:?}",
+        report.mode_distribution
+    );
+    // Reconnection failures persist into round 2 (the port stays held).
+    let reconnection = outcome
+        .results
+        .iter()
+        .find(|r| r.failure_text().contains("address already in use"))
+        .expect("a reconnection failure occurs");
+    assert!(
+        reconnection.unavailable_round2(),
+        "reconnection failure must persist after the fault is disabled"
+    );
+    // Some failures recover (availability strictly between 0 and 1).
+    assert!(report.availability > 0.0 && report.availability < 1.0);
+    assert!(report.persistent >= 2, "several failures persist (paper: half)");
+}
+
+#[test]
+fn campaign_b_matches_paper_shape() {
+    // Paper §V-B: 66 points, all covered, 29 failures; modes:
+    // AttributeError on NoneType, EtcdKeyNotFound, 400 Bad Request.
+    // Run a seeded sample of 20 to keep the test fast.
+    let c = campaign_b();
+    let points = c.workflow.scan();
+    let full_plan = c.workflow.plan(&points, &c.filter);
+    assert!(
+        (45..=75).contains(&full_plan.len()),
+        "planned {} not in paper ballpark 66",
+        full_plan.len()
+    );
+
+    let sampled = c.workflow.plan(&points, &c.filter.clone().sample(20));
+    let results = c.workflow.execute(&sampled);
+    let report = CampaignReport::from_results(&c.name, sampled.len(), None, &results, &c.classifier);
+    // Roughly 30-70% fail (paper 29/66 = 44%).
+    let rate = report.failures as f64 / report.executed as f64;
+    assert!((0.25..=0.75).contains(&rate), "failure rate {rate}");
+    // The §V-B modes dominate the distribution.
+    let known = ["attribute-error-none", "key-not-found", "bad-request-400", "inconsistent-read"];
+    let known_count: usize = known
+        .iter()
+        .filter_map(|m| report.mode_distribution.get(*m))
+        .sum();
+    assert!(
+        known_count >= report.failures / 2,
+        "paper modes under-represented: {:?}",
+        report.mode_distribution
+    );
+    // Wrong inputs are transient: round 2 recovers.
+    assert!((report.availability - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn campaign_c_matches_paper_shape() {
+    // Paper §V-C: 37 points, all covered, 14 failures; UnboundLocalError
+    // dominates, with some inconsistent reads.
+    let c = campaign_c();
+    let points = c.workflow.scan();
+    let full_plan = c.workflow.plan(&points, &c.filter);
+    assert!(
+        (30..=55).contains(&full_plan.len()),
+        "planned {} not in paper ballpark 37",
+        full_plan.len()
+    );
+
+    let sampled = c.workflow.plan(&points, &c.filter.clone().sample(12));
+    let results = c.workflow.execute(&sampled);
+    let report = CampaignReport::from_results(&c.name, sampled.len(), None, &results, &c.classifier);
+    assert!(
+        report.failures >= 1,
+        "hog campaign should expose failures: {:?}",
+        report.mode_distribution
+    );
+    let unbound = report.mode_distribution.get("unbound-local").copied().unwrap_or(0);
+    let others: usize = report
+        .mode_distribution
+        .iter()
+        .filter(|(k, _)| *k != "unbound-local" && *k != "no-failure")
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        unbound >= others,
+        "UnboundLocalError should dominate (paper): {:?}",
+        report.mode_distribution
+    );
+    // Not every hog point fails (paper: 14/37).
+    assert!(
+        report.mode_distribution.contains_key("no-failure"),
+        "some hog injections must be benign: {:?}",
+        report.mode_distribution
+    );
+}
+
+#[test]
+fn campaign_a_without_pruning_runs_uncovered_points() {
+    // Coverage pruning ablation: without pruning, the plan keeps the
+    // uncovered points, which produce no failures (the paper's
+    // rationale for the §IV-D pre-run: "injecting into non-covered
+    // paths causes a waste of time").
+    let c = campaign_a();
+    let points = c.workflow.scan();
+    let covered = c.workflow.coverage_run(&points).expect("fault-free run passes");
+    let plan = c.workflow.plan(&points, &c.filter);
+    let uncovered: Vec<_> = plan
+        .entries
+        .iter()
+        .filter(|p| !covered.contains(&p.id))
+        .take(3)
+        .cloned()
+        .collect();
+    assert!(!uncovered.is_empty(), "campaign A has uncovered points");
+    for p in &uncovered {
+        let r = c.workflow.run_experiment(p);
+        assert!(
+            !r.failed_round1(),
+            "uncovered point {} in {} must not fail (fault never executes)",
+            p.id,
+            p.scope
+        );
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    // Same seed → identical failure counts and modes.
+    let run = || {
+        let c = campaign_b();
+        let points = c.workflow.scan();
+        let sampled = c.workflow.plan(&points, &c.filter.clone().sample(8));
+        let results = c.workflow.execute(&sampled);
+        CampaignReport::from_results("b", sampled.len(), None, &results, &c.classifier)
+            .mode_distribution
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn plan_filter_scopes_campaign_c_to_exercised_methods() {
+    let c = campaign_c();
+    let points = c.workflow.scan();
+    let plan = c.workflow.plan(&points, &c.filter);
+    for p in &plan.entries {
+        assert!(
+            targets::COVERED_SCOPES.iter().any(|s| *s == p.scope),
+            "point in unexercised scope {}",
+            p.scope
+        );
+    }
+    // The unfiltered scan has more points (watch/stats/... methods).
+    let unfiltered = c.workflow.plan(&points, &PlanFilter::all().module("etcd"));
+    assert!(unfiltered.len() > plan.len());
+}

@@ -1,0 +1,156 @@
+//! End-to-end workflow tests: Scan → Plan → Coverage → Execution →
+//! Analysis on the quickstart target.
+
+use profipy::analysis::FailureClassifier;
+use profipy::case_study::etcd_host_factory;
+use profipy::report::CampaignReport;
+use profipy::{PlanFilter, Workflow, WorkflowConfig};
+
+fn mfc_model() -> faultdsl::FaultModel {
+    faultdsl::FaultModel {
+        name: "e2e".into(),
+        description: "end-to-end test model".into(),
+        specs: vec![
+            faultdsl::SpecSource {
+                name: "OMIT-SET".into(),
+                description: "omit client.set call statements".into(),
+                dsl: "change {\n    $CALL{name=client.set}(...)\n} into {\n    pass\n}".into(),
+            },
+            faultdsl::SpecSource {
+                name: "NONE-GET".into(),
+                description: "None instead of get result".into(),
+                dsl: "change {\n    $VAR#v = $CALL{name=client.get}(...)\n} into {\n    $VAR#v = None\n}".into(),
+            },
+        ],
+    }
+}
+
+fn workflow() -> Workflow {
+    let config = WorkflowConfig {
+        seed: 5,
+        setup: vec![vec!["etcd-start".into()]],
+        ..WorkflowConfig::default()
+    };
+    Workflow::new(
+        vec![
+            ("etcd".into(), targets::CLIENT_SOURCE.into()),
+            ("workload".into(), targets::WORKLOAD_QUICKSTART.into()),
+        ],
+        targets::WORKLOAD_QUICKSTART.into(),
+        mfc_model(),
+        etcd_host_factory(),
+        config,
+    )
+    .expect("valid configuration")
+}
+
+#[test]
+fn scan_finds_points_in_workload() {
+    let wf = workflow();
+    let points = wf.scan();
+    // The quickstart workload has one client.set and one assigned
+    // client.get.
+    assert_eq!(points.iter().filter(|p| p.spec_name == "OMIT-SET").count(), 1);
+    assert_eq!(points.iter().filter(|p| p.spec_name == "NONE-GET").count(), 1);
+}
+
+#[test]
+fn filters_restrict_plan() {
+    let wf = workflow();
+    let points = wf.scan();
+    let all = wf.plan(&points, &PlanFilter::all());
+    assert_eq!(all.len(), 2);
+    let only_set = wf.plan(&points, &PlanFilter::all().spec("OMIT-SET"));
+    assert_eq!(only_set.len(), 1);
+    let nothing = wf.plan(&points, &PlanFilter::all().module("nonexistent"));
+    assert!(nothing.is_empty());
+}
+
+#[test]
+fn coverage_run_covers_workload_points() {
+    let wf = workflow();
+    let points = wf.scan();
+    let covered = wf.coverage_run(&points).expect("fault-free run passes");
+    // Both points sit on the workload's main path.
+    assert_eq!(covered.len(), 2);
+}
+
+#[test]
+fn execution_exposes_failures_and_recovery() {
+    let wf = workflow();
+    let outcome = wf.run_campaign(&PlanFilter::all(), true).expect("campaign runs");
+    assert_eq!(outcome.results.len(), 2);
+    // Omitting the set makes the subsequent get fail (key never
+    // written); None from get fails the assertion.
+    for r in &outcome.results {
+        assert!(
+            r.failed_round1(),
+            "{} should fail in round 1: {:?}",
+            r.spec_name,
+            r.round1.status
+        );
+        // Both faults are transient: disabling the trigger restores
+        // service in round 2 (no restart needed).
+        assert!(!r.unavailable_round2(), "{} should recover", r.spec_name);
+    }
+    let report = CampaignReport::from_outcome("e2e", &outcome, &FailureClassifier::case_study());
+    assert_eq!(report.executed, 2);
+    assert_eq!(report.failures, 2);
+    assert!((report.availability - 1.0).abs() < 1e-9);
+    let text = report.render_text();
+    assert!(text.contains("experiments executed       : 2"));
+}
+
+#[test]
+fn triggered_mutation_is_invisible_when_disabled() {
+    // A mutant with the trigger never enabled behaves exactly like the
+    // original: run both rounds with the fault disabled.
+    let wf = workflow();
+    let points = wf.scan();
+    let spec = wf.specs()[0].clone();
+    let module = wf
+        .modules()
+        .iter()
+        .find(|m| m.name == "workload")
+        .expect("workload module registered");
+    let point = points
+        .iter()
+        .find(|p| p.spec_name == spec.name)
+        .expect("point exists");
+    let mutated = injector::Mutator::new(injector::MutationMode::Triggered)
+        .apply(module, &spec, point)
+        .expect("applies");
+    let image = sandbox::ContainerImage::new("t")
+        .source("etcd", targets::CLIENT_SOURCE)
+        .source("workload", &pysrc::unparse::unparse_module(&mutated))
+        .workload(targets::WORKLOAD_QUICKSTART)
+        .setup_cmd(&["etcd-start"]);
+    let host = std::rc::Rc::new(etcdsim::EtcdHost::new(0));
+    let mut c = sandbox::Container::deploy(&image, host, 0).expect("deploys");
+    assert!(c.run_round(1, false).status.is_ok());
+    assert!(c.run_round(2, false).status.is_ok());
+}
+
+#[test]
+fn deploy_error_reported_for_broken_target() {
+    let config = WorkflowConfig::default();
+    let result = Workflow::new(
+        vec![("bad".into(), "def broken(:\n".into())],
+        targets::WORKLOAD_QUICKSTART.into(),
+        mfc_model(),
+        etcd_host_factory(),
+        config,
+    );
+    match result {
+        Ok(_) => panic!("broken source must be rejected"),
+        Err(err) => assert!(err.message.contains("bad")),
+    }
+}
+
+#[test]
+fn sampling_caps_experiment_count() {
+    let wf = workflow();
+    let points = wf.scan();
+    let plan = wf.plan(&points, &PlanFilter::all().sample(1));
+    assert_eq!(plan.len(), 1);
+}

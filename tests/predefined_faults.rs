@@ -1,0 +1,234 @@
+//! Every predefined fault type (paper §III + G-SWFIT derivatives) is
+//! exercised end-to-end: the spec must match a representative snippet,
+//! the mutant must parse, and — where the fault has observable
+//! semantics — running the mutant must show the intended behaviour
+//! change while the trigger-disabled mutant behaves like the original.
+
+use injector::{MutationMode, Mutator, Scanner};
+use std::collections::HashMap;
+
+/// Representative snippet per predefined fault type. Each snippet
+/// defines `f()` whose return value the test observes.
+fn snippets() -> HashMap<&'static str, &'static str> {
+    let mut m = HashMap::new();
+    m.insert(
+        "MFC",
+        "def f():\n    out = ['pre']\n    record(out)\n    out = out + ['post']\n    return out\ndef record(xs):\n    xs.append('recorded')\n",
+    );
+    m.insert(
+        "MIFS",
+        "def f():\n    x = 1\n    if x > 0:\n        x = x + 10\n    return x\n",
+    );
+    m.insert(
+        "WPF",
+        "def run_tool(cmd, flag, arg):\n    return len(flag)\ndef f():\n    run_tool('tool', '--flag-value', 'arg')\n    return 'done'\n",
+    );
+    m.insert(
+        "MPFC",
+        "def push(xs, y='Y', z='Z'):\n    xs.append(y + z)\ndef f():\n    acc = []\n    push(acc, 'a', 'b')\n    return acc\n",
+    );
+    m.insert(
+        "EXC",
+        "def f():\n    steps = ['begin']\n    finish(steps)\n    return steps\ndef finish(xs):\n    xs.append('end')\n",
+    );
+    m.insert(
+        "NONE_RET",
+        "def f():\n    v = produce()\n    return v\ndef produce():\n    return 'real'\n",
+    );
+    m.insert("WVAV", "def f():\n    retries = 5\n    return retries\n");
+    m.insert(
+        "MBCA",
+        "def f(a=True, b=True):\n    if a and b:\n        return 'both'\n    return 'not-both'\n",
+    );
+    m.insert(
+        "MBCO",
+        "def f(a=False, b=True):\n    if a or b:\n        return 'either'\n    return 'neither'\n",
+    );
+    m.insert(
+        "MIA",
+        "def f(guard=True):\n    out = 'base'\n    if guard:\n        out = 'guarded'\n    return out\n",
+    );
+    m.insert("CDI", "def f():\n    opts = {'ttl': 30}\n    return opts\n");
+    m.insert(
+        "MLPA",
+        "def f():\n    total = 0\n    for i in range(4):\n        total = total + i\n        log(i)\n    return total\ndef log(i):\n    pass\n",
+    );
+    m.insert("HOG", "def f():\n    v = produce()\n    return v\ndef produce():\n    return 7\n");
+    m.insert("DELAY", "def f():\n    v = produce()\n    return v\ndef produce():\n    return 7\n");
+    m
+}
+
+fn run_f(program: &str) -> (pyrt::Vm, Result<(), pyrt::PyExc>) {
+    let full = format!("{program}result = f()\nprint(repr(result))\n");
+    let module = pysrc::parse_module(&full, "t.py").expect("program parses");
+    let mut vm = pyrt::Vm::new();
+    let r = vm.run_module(&module);
+    (vm, r)
+}
+
+#[test]
+fn every_predefined_spec_matches_and_mutates_its_snippet() {
+    let model = faultdsl::predefined_models();
+    let specs = model.compile().expect("model compiles");
+    let snippets = snippets();
+    for spec in &specs {
+        let src = snippets
+            .get(spec.name.as_str())
+            .unwrap_or_else(|| panic!("no snippet for {}", spec.name));
+        let module = pysrc::parse_module(src, "snippet.py").expect("snippet parses");
+        let scanner = Scanner::new(vec![spec.clone()]);
+        let points = scanner.scan(std::slice::from_ref(&module));
+        assert!(
+            !points.is_empty(),
+            "{} found no injection points in its snippet",
+            spec.name
+        );
+        for mode in [MutationMode::Direct, MutationMode::Triggered] {
+            let mutated = Mutator::new(mode)
+                .apply(&module, spec, &points[0])
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let text = pysrc::unparse::unparse_module(&mutated);
+            pysrc::parse_module(&text, "mutant.py")
+                .unwrap_or_else(|e| panic!("{} mutant does not re-parse: {e}\n{text}", spec.name));
+        }
+    }
+}
+
+#[test]
+fn triggered_mutants_preserve_original_behaviour_when_disabled() {
+    let model = faultdsl::predefined_models();
+    let specs = model.compile().expect("model compiles");
+    let snippets = snippets();
+    for spec in &specs {
+        let src = snippets[spec.name.as_str()];
+        let (vm_orig, r) = run_f(src);
+        r.unwrap_or_else(|e| panic!("{} baseline fails: {e}", spec.name));
+        let baseline = vm_orig.stdout();
+
+        let module = pysrc::parse_module(src, "snippet.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&module));
+        let mutated = Mutator::new(MutationMode::Triggered)
+            .apply(&module, spec, &points[0])
+            .unwrap();
+        let (vm_mut, r) = run_f(&pysrc::unparse::unparse_module(&mutated));
+        r.unwrap_or_else(|e| panic!("{} disabled mutant fails: {e}", spec.name));
+        assert_eq!(
+            vm_mut.stdout(),
+            baseline,
+            "{}: disabled mutant must behave like the original",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn enabled_mutants_change_observable_behaviour() {
+    // For fault types with directly observable effects, check the
+    // effect itself (not merely a diff).
+    let model = faultdsl::predefined_models();
+    let specs = model.compile().expect("model compiles");
+    let snippets = snippets();
+    let run_enabled = |spec_name: &str| {
+        let spec = specs.iter().find(|s| s.name == spec_name).unwrap();
+        let src = snippets[spec_name];
+        let module = pysrc::parse_module(src, "snippet.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&module));
+        let mutated = Mutator::new(MutationMode::Triggered)
+            .apply(&module, spec, &points[0])
+            .unwrap();
+        let full = format!(
+            "{}result = f()\nprint(repr(result))\n",
+            pysrc::unparse::unparse_module(&mutated)
+        );
+        let m = pysrc::parse_module(&full, "t.py").unwrap();
+        let mut vm = pyrt::Vm::new();
+        vm.trigger.set(true);
+        let r = vm.run_module(&m);
+        (vm, r)
+    };
+
+    // MFC: the record() call is omitted → no 'recorded' element.
+    let (vm, r) = run_enabled("MFC");
+    r.unwrap();
+    assert_eq!(vm.stdout(), "['pre', 'post']\n"); // record() omitted
+
+    // MIFS: the guarded increment disappears.
+    let (vm, r) = run_enabled("MIFS");
+    r.unwrap();
+    assert_eq!(vm.stdout(), "1\n");
+
+    // MPFC: trailing parameters dropped → the callee's defaults apply.
+    let (vm, r) = run_enabled("MPFC");
+    r.unwrap();
+    assert_eq!(vm.stdout(), "['YZ']\n");
+
+    // EXC: injected exception replaces the call.
+    let (_, r) = run_enabled("EXC");
+    assert_eq!(r.unwrap_err().class_name, "RuntimeError");
+
+    // NONE_RET: the produced value becomes None.
+    let (vm, r) = run_enabled("NONE_RET");
+    r.unwrap();
+    assert_eq!(vm.stdout(), "None\n");
+
+    // MBCA: dropping the AND clause makes (a=True, b=False) take the
+    // 'both' path — checked via different call.
+    {
+        let spec = specs.iter().find(|s| s.name == "MBCA").unwrap();
+        let src = snippets["MBCA"];
+        let module = pysrc::parse_module(src, "snippet.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&module));
+        let mutated = Mutator::new(MutationMode::Triggered)
+            .apply(&module, spec, &points[0])
+            .unwrap();
+        let full = format!(
+            "{}print(f(True, False))\n",
+            pysrc::unparse::unparse_module(&mutated)
+        );
+        let m = pysrc::parse_module(&full, "t.py").unwrap();
+        let mut vm = pyrt::Vm::new();
+        vm.trigger.set(true);
+        vm.run_module(&m).unwrap();
+        assert_eq!(vm.stdout(), "both\n");
+    }
+
+    // MIA: the guard disappears, body always runs.
+    {
+        let spec = specs.iter().find(|s| s.name == "MIA").unwrap();
+        let src = snippets["MIA"];
+        let module = pysrc::parse_module(src, "snippet.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&module));
+        let mutated = Mutator::new(MutationMode::Triggered)
+            .apply(&module, spec, &points[0])
+            .unwrap();
+        let full = format!(
+            "{}print(f(False))\n",
+            pysrc::unparse::unparse_module(&mutated)
+        );
+        let m = pysrc::parse_module(&full, "t.py").unwrap();
+        let mut vm = pyrt::Vm::new();
+        vm.trigger.set(true);
+        vm.run_module(&m).unwrap();
+        assert_eq!(vm.stdout(), "guarded\n");
+    }
+
+    // MLPA: the loop is gone.
+    let (vm, r) = run_enabled("MLPA");
+    r.unwrap();
+    assert_eq!(vm.stdout(), "0\n");
+
+    // HOG: a stale hog thread is registered.
+    let (vm, r) = run_enabled("HOG");
+    r.unwrap();
+    assert!(vm.fuel.hogs() >= 1, "hog registered");
+
+    // DELAY: virtual time jumps by the $TIMEOUT amount.
+    let (vm, r) = run_enabled("DELAY");
+    r.unwrap();
+    assert!(vm.clock.now() >= 5.0, "delay advanced the clock");
+
+    // WVAV / CDI / WPF: value corrupted deterministically.
+    let (vm, r) = run_enabled("WVAV");
+    r.unwrap();
+    assert_ne!(vm.stdout(), "5\n");
+}

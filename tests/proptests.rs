@@ -1,0 +1,201 @@
+//! Workspace-level property-based tests (proptest) over the core
+//! invariants: parser/unparser fixpoint, glob algebra, store
+//! consistency against a reference model, deterministic corruption,
+//! and executor result integrity.
+
+use proptest::prelude::*;
+
+// ---------- pysrc: parse/unparse fixpoint over generated corpora ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn synth_modules_roundtrip_through_parser(seed in 0u64..10_000) {
+        let src = targets::generate_module(seed, 400);
+        let m1 = pysrc::parse_module(&src, "synth.py").expect("generator emits valid code");
+        let printed = pysrc::unparse::unparse_module(&m1);
+        let m2 = pysrc::parse_module(&printed, "synth.py")
+            .expect("unparser output reparses");
+        let printed2 = pysrc::unparse::unparse_module(&m2);
+        prop_assert_eq!(printed, printed2, "unparse must be a fixpoint");
+    }
+}
+
+// A tiny expression generator: random arithmetic over ints.
+fn arb_arith() -> impl Strategy<Value = String> {
+    let leaf = (1i64..100).prop_map(|n| n.to_string());
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            inner,
+        )
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn interpreter_arithmetic_matches_rust(expr in arb_arith()) {
+        // Evaluate with the mini-Python VM.
+        let src = format!("print({expr})\n");
+        let module = pysrc::parse_module(&src, "t.py").unwrap();
+        let mut vm = pyrt::Vm::new();
+        vm.run_module(&module).unwrap();
+        let vm_result: i64 = vm.stdout().trim().parse().unwrap();
+        // Evaluate the same expression in Rust by reusing the parsed AST.
+        fn eval(e: &pysrc::ast::Expr) -> i64 {
+            use pysrc::ast::{BinOp, ExprKind, Number};
+            match &e.kind {
+                ExprKind::Num(Number::Int(v)) => *v,
+                ExprKind::Binary { left, op, right } => {
+                    let (l, r) = (eval(left), eval(right));
+                    match op {
+                        BinOp::Add => l.wrapping_add(r),
+                        BinOp::Sub => l.wrapping_sub(r),
+                        BinOp::Mul => l.wrapping_mul(r),
+                        other => panic!("unexpected op {other:?}"),
+                    }
+                }
+                other => panic!("unexpected expr {other:?}"),
+            }
+        }
+        let pysrc::ast::StmtKind::Expr(call) = &module.body[0].kind else { panic!() };
+        let pysrc::ast::ExprKind::Call { args, .. } = &call.kind else { panic!() };
+        let rust_result = eval(args[0].value());
+        prop_assert_eq!(vm_result, rust_result);
+    }
+}
+
+// ---------- faultdsl: glob algebra ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn glob_literal_matches_itself(s in "[a-z_.]{0,12}") {
+        prop_assert!(faultdsl::glob_match(&s, &s));
+    }
+
+    #[test]
+    fn glob_star_suffix_matches_extensions(prefix in "[a-z_]{1,8}", suffix in "[a-z_.]{0,8}") {
+        let pattern = format!("{prefix}*");
+        let text = format!("{prefix}{suffix}");
+        prop_assert!(faultdsl::glob_match(&pattern, &text));
+    }
+
+    #[test]
+    fn glob_star_alone_matches_everything(s in "[ -~]{0,16}") {
+        prop_assert!(faultdsl::glob_match("*", &s));
+    }
+
+    #[test]
+    fn glob_question_preserves_length(s in "[a-z]{1,12}") {
+        let pattern: String = s.chars().map(|_| '?').collect();
+        prop_assert!(faultdsl::glob_match(&pattern, &s));
+        let longer = format!("{s}x");
+        prop_assert!(!faultdsl::glob_match(&pattern, &longer));
+    }
+}
+
+// ---------- etcdsim: store vs reference model ----------
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set(String, String),
+    Delete(String),
+    Get(String),
+    Cas(String, String, String),
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("/a".to_string()),
+        Just("/b".to_string()),
+        Just("/dir/x".to_string()),
+        Just("/dir/y".to_string()),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (arb_key(), "[a-z]{1,6}").prop_map(|(k, v)| StoreOp::Set(k, v)),
+        arb_key().prop_map(StoreOp::Delete),
+        arb_key().prop_map(StoreOp::Get),
+        (arb_key(), "[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(k, v, p)| StoreOp::Cas(k, v, p)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn store_agrees_with_reference_map(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        use std::collections::BTreeMap;
+        let mut store = etcdsim::EtcdStore::new();
+        let mut reference: BTreeMap<String, String> = BTreeMap::new();
+        for op in ops {
+            match op {
+                StoreOp::Set(k, v) => {
+                    store.set(&k, Some(&v), None, false, 0.0).expect("plain set succeeds");
+                    reference.insert(k, v);
+                }
+                StoreOp::Delete(k) => {
+                    let ours = store.delete(&k, false, 0.0).is_ok();
+                    let theirs = reference.remove(&k).is_some();
+                    // A leaf delete succeeds iff the reference had the key;
+                    // directories only exist when children exist, and we
+                    // never delete dirs here (keys are leaves).
+                    prop_assert_eq!(ours, theirs);
+                }
+                StoreOp::Get(k) => {
+                    let ours = store
+                        .get(&k, 0.0, false)
+                        .ok()
+                        .and_then(|nodes| nodes[0].value.clone());
+                    let theirs = reference.get(&k).cloned();
+                    prop_assert_eq!(ours, theirs);
+                }
+                StoreOp::Cas(k, v, prev) => {
+                    let expected_ok = reference.get(&k).is_some_and(|cur| cur == &prev);
+                    let ours = store.test_and_set(&k, &v, &prev, 0.0).is_ok();
+                    prop_assert_eq!(ours, expected_ok);
+                    if expected_ok {
+                        reference.insert(k, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------- pyrt: corruption is deterministic per seed ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn corrupt_is_deterministic_and_changes_input(s in "[a-zA-Z0-9/_-]{1,24}", seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let src = format!("import profipy_rt\nprint(profipy_rt.corrupt('{s}'))\n");
+            let module = pysrc::parse_module(&src, "t.py").unwrap();
+            let mut vm = pyrt::Vm::with_host(std::rc::Rc::new(pyrt::NoopHost::new()), seed);
+            vm.run_module(&module).unwrap();
+            vm.stdout()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+// ---------- sandbox: executor preserves order under any worker count ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn executor_results_in_order(cores in 1usize..12, jobs in 0usize..40) {
+        let ex = sandbox::ParallelExecutor::new(cores);
+        let out = ex.run(jobs, |i| i * 3);
+        prop_assert_eq!(out.len(), jobs);
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, i * 3);
+        }
+    }
+}

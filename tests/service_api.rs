@@ -1,0 +1,80 @@
+//! The as-a-service façade: sessions, saved fault models, campaign
+//! submission (paper title + §IV-A).
+
+use profipy::analysis::FailureClassifier;
+use profipy::case_study::etcd_host_factory;
+use profipy::service::ProfipyService;
+use profipy::{PlanFilter, Workflow, WorkflowConfig};
+
+fn small_workflow() -> Workflow {
+    let model = faultdsl::FaultModel {
+        name: "svc-model".into(),
+        description: "service test".into(),
+        specs: vec![faultdsl::SpecSource {
+            name: "OMIT-SET".into(),
+            description: String::new(),
+            dsl: "change {\n    $CALL{name=client.set}(...)\n} into {\n    pass\n}".into(),
+        }],
+    };
+    Workflow::new(
+        vec![
+            ("etcd".into(), targets::CLIENT_SOURCE.into()),
+            ("workload".into(), targets::WORKLOAD_QUICKSTART.into()),
+        ],
+        targets::WORKLOAD_QUICKSTART.into(),
+        model,
+        etcd_host_factory(),
+        WorkflowConfig {
+            setup: vec![vec!["etcd-start".into()]],
+            ..WorkflowConfig::default()
+        },
+    )
+    .expect("valid")
+}
+
+#[test]
+fn full_service_flow() {
+    let mut service = ProfipyService::new();
+    let session = service.session("huawei-user");
+
+    // Save the predefined model and two custom campaign models (§IV-A:
+    // "users can save and import fault models of previous fault
+    // injection campaigns").
+    session.save_model("gswfit", &faultdsl::predefined_models());
+    session.save_model("campaign-a", &faultdsl::campaign_a_model());
+    let restored = session.load_model("gswfit").expect("model restored");
+    assert!(restored.compile().is_ok());
+
+    // Submit a campaign; the report lands in the session history.
+    let workflow = small_workflow();
+    let report = session
+        .run_campaign(
+            "smoke",
+            &workflow,
+            &PlanFilter::all(),
+            &FailureClassifier::case_study(),
+            false,
+        )
+        .expect("campaign runs");
+    assert_eq!(report.executed, 1);
+    assert_eq!(session.reports().len(), 1);
+    assert_eq!(session.reports()[0].name, "smoke");
+}
+
+#[test]
+fn model_json_files_are_portable_across_sessions() {
+    let mut service = ProfipyService::new();
+    let json = {
+        let a = service.session("alice");
+        a.save_model("shared", &faultdsl::campaign_b_model());
+        a.load_model("shared").expect("exists").to_json()
+    };
+    // Bob imports Alice's exported JSON.
+    let imported = faultdsl::FaultModel::from_json(&json).expect("parses");
+    let b = service.session("bob");
+    b.save_model("from-alice", &imported);
+    assert_eq!(
+        b.load_model("from-alice").expect("exists").specs.len(),
+        faultdsl::campaign_b_model().specs.len()
+    );
+}
