@@ -1,0 +1,113 @@
+//! Scheduler throughput: the campaign orchestration engine feeding one
+//! worker pool from several queued campaigns at once, versus running
+//! the same campaigns back-to-back through the classic single-campaign
+//! path — plus the cross-campaign cache effect on resubmission.
+//!
+//! The interleaved engine should at least match sequential execution
+//! (same experiment count, one pool kept busy across campaign
+//! boundaries) and the warm-cache resubmission should beat the first
+//! submission by skipping parse + scan + mutant rendering.
+
+use campaign::{CampaignEngine, CampaignSpec, EngineConfig, HostRegistry};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use profipy::case_study::etcd_host_factory;
+use profipy::PlanFilter;
+use std::hint::black_box;
+
+const CAMPAIGNS: usize = 3;
+const SAMPLE: usize = 6;
+
+fn registry() -> HostRegistry {
+    HostRegistry::with_noop().with("etcd", etcd_host_factory())
+}
+
+fn spec(user: &str, name: &str, seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(
+        user,
+        name,
+        "etcd",
+        vec![
+            ("etcd".into(), targets::CLIENT_SOURCE.into()),
+            ("workload".into(), targets::WORKLOAD_BASIC.into()),
+        ],
+        targets::WORKLOAD_BASIC.into(),
+        faultdsl::campaign_a_model(),
+    );
+    spec.setup = vec![vec!["etcd-start".into()]];
+    spec.seed = seed;
+    spec.filter.modules.push("etcd".into());
+    spec.filter.sample = SAMPLE;
+    spec
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    let total = (CAMPAIGNS * SAMPLE) as u64;
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    // Engine path: one pool drains all campaigns interleaved.
+    group.bench_function("engine_interleaved", |b| {
+        b.iter(|| {
+            let mut engine =
+                CampaignEngine::new(EngineConfig::default(), registry()).unwrap();
+            for i in 0..CAMPAIGNS {
+                engine
+                    .submit(spec(&format!("user{i}"), "bench", i as u64))
+                    .unwrap();
+            }
+            let summary = engine.drive(None).unwrap();
+            assert_eq!(summary.experiments, CAMPAIGNS * SAMPLE);
+            black_box(summary.experiments)
+        });
+    });
+
+    // Baseline: the classic path, campaigns strictly one after another.
+    group.bench_function("sequential_workflows", |b| {
+        b.iter(|| {
+            let mut executed = 0;
+            for i in 0..CAMPAIGNS {
+                let s = spec(&format!("user{i}"), "bench", i as u64);
+                let workflow = s
+                    .build_workflow(etcd_host_factory(), Default::default())
+                    .unwrap();
+                let filter = PlanFilter {
+                    modules: s.filter.modules.clone(),
+                    scopes: vec![],
+                    specs: vec![],
+                    sample: s.filter.sample,
+                };
+                let outcome = workflow.run_campaign(&filter, false).unwrap();
+                executed += outcome.results.len();
+            }
+            assert_eq!(executed, CAMPAIGNS * SAMPLE);
+            black_box(executed)
+        });
+    });
+
+    // Cache effect: one engine, resubmitting the same target — parse,
+    // scan, and mutants all come from the cross-campaign cache.
+    group.bench_function("engine_warm_cache_resubmit", |b| {
+        let mut engine = CampaignEngine::new(EngineConfig::default(), registry()).unwrap();
+        // Warm the cache once.
+        engine.submit(spec("warmup", "bench", 0)).unwrap();
+        engine.drive(None).unwrap();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            engine.submit(spec("steady", "bench", round)).unwrap();
+            let summary = engine.drive(None).unwrap();
+            black_box(summary.experiments)
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(stats.scan_misses, 1, "resubmissions must never re-scan");
+        eprintln!(
+            "cache after warm resubmits: {} scan hits / {} misses, {} mutant hits / {} misses",
+            stats.scan_hits, stats.scan_misses, stats.mutant_hits, stats.mutant_misses
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_throughput);
+criterion_main!(benches);

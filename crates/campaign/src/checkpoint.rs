@@ -1,0 +1,318 @@
+//! Append-only experiment checkpoints.
+//!
+//! The runner records every completed [`ExperimentResult`] as one JSON
+//! line, flushed immediately — if the process dies mid-campaign, the
+//! next run reads the log back and executes only the missing
+//! experiments. A header line carries the owning spec's content hash so
+//! a *changed* resubmission (different seed, filter, model, …)
+//! invalidates the stale checkpoint instead of silently mixing results.
+//!
+//! A torn final line (crash mid-write) is detected and dropped; every
+//! complete record before it still counts.
+
+use crate::persist::{result_from_value, result_to_value};
+use jsonlite::Value;
+use profipy::ExperimentResult;
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The checkpoint log of one campaign.
+pub struct CheckpointLog {
+    path: Option<PathBuf>,
+    file: Option<File>,
+    spec_hash: u64,
+    results: Vec<ExperimentResult>,
+}
+
+impl CheckpointLog {
+    /// An ephemeral, in-memory log for `spec_hash`.
+    pub fn in_memory(spec_hash: u64) -> CheckpointLog {
+        CheckpointLog::in_memory_with(spec_hash, Vec::new())
+    }
+
+    /// An in-memory log pre-seeded with earlier results (how an
+    /// in-memory engine carries checkpoints across `drive` calls).
+    pub fn in_memory_with(spec_hash: u64, results: Vec<ExperimentResult>) -> CheckpointLog {
+        CheckpointLog {
+            path: None,
+            file: None,
+            spec_hash,
+            results,
+        }
+    }
+
+    /// Reads the results recorded at `path` for `spec_hash` **without
+    /// modifying the file** — for status polling. Returns empty on a
+    /// missing file, hash mismatch, or torn content past the valid
+    /// prefix.
+    pub fn peek(path: &Path, spec_hash: u64) -> Vec<ExperimentResult> {
+        let Ok(file) = File::open(path) else {
+            return Vec::new();
+        };
+        let mut results = Vec::new();
+        let mut first = true;
+        for line in BufReader::new(file).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(value) = jsonlite::parse(&line) else {
+                break;
+            };
+            if first {
+                first = false;
+                let ok = value
+                    .get("spec_hash")
+                    .and_then(Value::as_u64)
+                    .is_some_and(|h| h == spec_hash);
+                if !ok {
+                    return Vec::new();
+                }
+                continue;
+            }
+            match result_from_value(&value) {
+                Ok(r) => results.push(r),
+                Err(_) => break,
+            }
+        }
+        results
+    }
+
+    /// Opens (or creates) the log at `path` for the campaign whose spec
+    /// hashes to `spec_hash`. An existing log with a *different* spec
+    /// hash is discarded — its results belong to a different campaign
+    /// definition.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn open(path: &Path, spec_hash: u64) -> io::Result<CheckpointLog> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut results = Vec::new();
+        let mut header_ok = false;
+        let mut torn = false;
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let mut first = true;
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(value) = jsonlite::parse(&line) else {
+                    // Torn tail from a crash mid-write: stop here,
+                    // everything before it is intact.
+                    torn = true;
+                    break;
+                };
+                if first {
+                    first = false;
+                    header_ok = value
+                        .get("spec_hash")
+                        .and_then(Value::as_u64)
+                        .is_some_and(|h| h == spec_hash);
+                    if !header_ok {
+                        break;
+                    }
+                    continue;
+                }
+                match result_from_value(&value) {
+                    Ok(r) => results.push(r),
+                    Err(_) => {
+                        torn = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let header = Value::obj(vec![("spec_hash", Value::UInt(spec_hash))]).compact();
+        let file = if !header_ok || torn {
+            // Fresh, invalidated, or torn log: rewrite the valid prefix
+            // (empty on invalidation) so the file is clean again. The
+            // rewrite goes to a temp file and renames over the original
+            // — a crash during repair must not lose the durable prefix.
+            if !header_ok {
+                results.clear();
+            }
+            let tmp = path.with_extension("jsonl.tmp");
+            {
+                let mut file = File::create(&tmp)?;
+                writeln!(file, "{header}")?;
+                for r in &results {
+                    writeln!(file, "{}", result_to_value(r).compact())?;
+                }
+                file.sync_data()?;
+            }
+            std::fs::rename(&tmp, path)?;
+            OpenOptions::new().append(true).open(path)?
+        } else {
+            OpenOptions::new().append(true).open(path)?
+        };
+        Ok(CheckpointLog {
+            path: Some(path.to_path_buf()),
+            file: Some(file),
+            spec_hash,
+            results,
+        })
+    }
+
+    /// The spec hash this log belongs to.
+    pub fn spec_hash(&self) -> u64 {
+        self.spec_hash
+    }
+
+    /// Results recorded so far (completion order).
+    pub fn results(&self) -> &[ExperimentResult] {
+        &self.results
+    }
+
+    /// Consumes the log, returning the recorded results.
+    pub fn into_results(self) -> Vec<ExperimentResult> {
+        self.results
+    }
+
+    /// Point ids already executed — the runner's skip set.
+    pub fn completed_ids(&self) -> BTreeSet<u64> {
+        self.results.iter().map(|r| r.point_id).collect()
+    }
+
+    /// Appends one result and flushes it to disk before returning.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (the in-memory copy is updated regardless, keeping
+    /// the running campaign coherent).
+    pub fn record(&mut self, result: &ExperimentResult) -> io::Result<()> {
+        self.results.push(result.clone());
+        if let Some(file) = &mut self.file {
+            writeln!(file, "{}", result_to_value(result).compact())?;
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The log's path, if persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandbox::{RoundOutcome, RoundStatus};
+
+    fn result(point_id: u64) -> ExperimentResult {
+        ExperimentResult {
+            point_id,
+            spec_name: "S".into(),
+            module: "m".into(),
+            scope: "f".into(),
+            round1: RoundOutcome {
+                status: RoundStatus::Ok,
+                duration: 1.0,
+            },
+            round2: RoundOutcome {
+                status: RoundStatus::Ok,
+                duration: 1.0,
+            },
+            logs: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            duration: 2.0,
+            deploy_error: None,
+            events: Vec::new(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "campaign-ckpt-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = CheckpointLog::open(&path, 42).unwrap();
+            log.record(&result(1)).unwrap();
+            log.record(&result(5)).unwrap();
+        }
+        {
+            let mut log = CheckpointLog::open(&path, 42).unwrap();
+            assert_eq!(log.completed_ids(), [1u64, 5].into_iter().collect());
+            log.record(&result(9)).unwrap();
+        }
+        {
+            let log = CheckpointLog::open(&path, 42).unwrap();
+            assert_eq!(log.completed_ids(), [1u64, 5, 9].into_iter().collect());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn different_spec_hash_invalidates() {
+        let path = temp_path("invalidate");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = CheckpointLog::open(&path, 1).unwrap();
+            log.record(&result(1)).unwrap();
+        }
+        {
+            let log = CheckpointLog::open(&path, 2).unwrap();
+            assert!(log.results().is_empty(), "stale results discarded");
+        }
+        {
+            // And the invalidation is durable: the old hash no longer
+            // resurrects the old results either.
+            let log = CheckpointLog::open(&path, 1).unwrap();
+            assert!(log.results().is_empty());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = CheckpointLog::open(&path, 7).unwrap();
+            log.record(&result(1)).unwrap();
+            log.record(&result(2)).unwrap();
+        }
+        // Simulate a crash mid-write of record 3.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"point_id\": 3, \"spec\": \"trunc").unwrap();
+        }
+        {
+            let mut log = CheckpointLog::open(&path, 7).unwrap();
+            assert_eq!(log.completed_ids(), [1u64, 2].into_iter().collect());
+            // And the log still accepts appends afterwards.
+            log.record(&result(3)).unwrap();
+        }
+        {
+            let log = CheckpointLog::open(&path, 7).unwrap();
+            assert_eq!(log.completed_ids(), [1u64, 2, 3].into_iter().collect());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_log_works() {
+        let mut log = CheckpointLog::in_memory(3);
+        log.record(&result(4)).unwrap();
+        assert_eq!(log.results().len(), 1);
+        assert_eq!(log.spec_hash(), 3);
+        assert!(log.path().is_none());
+    }
+}

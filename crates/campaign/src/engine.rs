@@ -1,0 +1,516 @@
+//! The campaign orchestration engine: submit → queue → schedule →
+//! checkpoint → report, with crash recovery and cross-campaign reuse.
+//!
+//! ```text
+//!  submit(spec) ─▶ JobQueue (persistent, fair)            poll(id)
+//!                      │ drive()                             ▲
+//!                      ▼                                     │
+//!               prepare: MutantCache (parse/scan/mutants) ───┤
+//!                      │                                     │
+//!                      ▼                                     │
+//!               scheduler::interleave ─▶ ParallelExecutor    │
+//!                      │         (one pool, all campaigns)   │
+//!                      ▼                                     │
+//!               CheckpointLog (per campaign, incremental) ───┘
+//! ```
+//!
+//! `drive` is re-entrant and budget-limited: killing the process (or
+//! exhausting the experiment budget) mid-campaign loses nothing — the
+//! next `drive` on a reopened engine resumes from the checkpoints and
+//! produces the identical result set.
+
+use crate::cache::{CacheStats, MutantCache};
+use crate::checkpoint::CheckpointLog;
+use crate::queue::{JobQueue, JobState};
+use crate::scheduler::{self, ScheduledCampaign};
+use crate::spec::CampaignSpec;
+use injector::InjectionPoint;
+use profipy::analysis::FailureClassifier;
+use profipy::report::CampaignReport;
+use profipy::workflow::HostFactory;
+use profipy::{ExperimentResult, InjectionPlan};
+use sandbox::{ParallelExecutor, SourceFile};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Engine-level errors.
+#[derive(Debug)]
+pub struct EngineError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> EngineError {
+        EngineError {
+            message: format!("I/O: {e}"),
+        }
+    }
+}
+
+/// Named host environments — specs reference hosts by name since
+/// factories are code, not data.
+#[derive(Default)]
+pub struct HostRegistry {
+    factories: BTreeMap<String, HostFactory>,
+}
+
+impl HostRegistry {
+    /// An empty registry.
+    pub fn new() -> HostRegistry {
+        HostRegistry::default()
+    }
+
+    /// Registers a host environment under a name (builder-style).
+    pub fn with(mut self, name: &str, factory: HostFactory) -> HostRegistry {
+        self.factories.insert(name.to_string(), factory);
+        self
+    }
+
+    /// Registers a host environment under a name.
+    pub fn register(&mut self, name: &str, factory: HostFactory) {
+        self.factories.insert(name.to_string(), factory);
+    }
+
+    /// Looks a host up.
+    pub fn get(&self, name: &str) -> Option<HostFactory> {
+        self.factories.get(name).cloned()
+    }
+
+    /// A registry containing only the no-op host (`"noop"`).
+    pub fn with_noop() -> HostRegistry {
+        HostRegistry::new().with(
+            "noop",
+            Arc::new(|_| std::rc::Rc::new(pyrt::NoopHost::new()) as std::rc::Rc<dyn pyrt::HostApi>),
+        )
+    }
+}
+
+/// What `poll` reports about a job.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: String,
+    /// Queue state.
+    pub state: JobState,
+    /// Submitting user.
+    pub user: String,
+    /// Campaign name.
+    pub name: String,
+    /// Experiments recorded in the checkpoint so far.
+    pub completed_experiments: usize,
+    /// Planned experiment count, once known (set after the first
+    /// `drive` touches the job).
+    pub total_experiments: Option<usize>,
+    /// Fatal error, if the job failed.
+    pub error: Option<String>,
+}
+
+/// What one `drive` call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DriveSummary {
+    /// Campaigns touched this drive.
+    pub campaigns: usize,
+    /// Experiments executed this drive.
+    pub experiments: usize,
+    /// Campaigns that reached completion this drive.
+    pub completed: usize,
+}
+
+/// Engine construction options.
+#[derive(Default)]
+pub struct EngineConfig {
+    /// Persistence root (`None` = fully in-memory engine).
+    pub data_dir: Option<PathBuf>,
+    /// The worker pool configuration.
+    pub executor: ParallelExecutor,
+}
+
+/// The orchestration engine.
+pub struct CampaignEngine {
+    queue: JobQueue,
+    cache: MutantCache,
+    registry: HostRegistry,
+    executor: ParallelExecutor,
+    checkpoint_dir: Option<PathBuf>,
+    /// In-memory checkpoint store (`data_dir == None`): job id →
+    /// (spec hash, results so far).
+    mem_logs: BTreeMap<String, (u64, Vec<ExperimentResult>)>,
+    reports: BTreeMap<String, CampaignReport>,
+    totals: BTreeMap<String, usize>,
+    classifier: FailureClassifier,
+}
+
+impl CampaignEngine {
+    /// Creates an engine. With a `data_dir`, the queue, checkpoints,
+    /// and scan cache all persist under it (`queue/`, `checkpoints/`,
+    /// `cache/`); reopening the same directory resumes all state.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the persistent state.
+    pub fn new(config: EngineConfig, registry: HostRegistry) -> Result<CampaignEngine, EngineError> {
+        let (queue, cache, checkpoint_dir) = match &config.data_dir {
+            Some(dir) => (
+                JobQueue::open(&dir.join("queue"))?,
+                MutantCache::open(&dir.join("cache"))?,
+                Some(dir.join("checkpoints")),
+            ),
+            None => (JobQueue::in_memory(), MutantCache::in_memory(), None),
+        };
+        Ok(CampaignEngine {
+            queue,
+            cache,
+            registry,
+            executor: config.executor,
+            checkpoint_dir,
+            mem_logs: BTreeMap::new(),
+            reports: BTreeMap::new(),
+            totals: BTreeMap::new(),
+            classifier: FailureClassifier::case_study(),
+        })
+    }
+
+    /// Convenience: persistent engine rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the persistent state.
+    pub fn open(dir: &Path, registry: HostRegistry) -> Result<CampaignEngine, EngineError> {
+        CampaignEngine::new(
+            EngineConfig {
+                data_dir: Some(dir.to_path_buf()),
+                executor: ParallelExecutor::default(),
+            },
+            registry,
+        )
+    }
+
+    /// Submits a campaign. The spec is validated shallowly (known
+    /// host) and persisted; heavy validation happens at run time.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host or queue I/O failure.
+    pub fn submit(&mut self, spec: CampaignSpec) -> Result<String, EngineError> {
+        if self.registry.get(&spec.host).is_none() {
+            return Err(EngineError {
+                message: format!("unknown host environment '{}'", spec.host),
+            });
+        }
+        Ok(self.queue.submit(spec)?)
+    }
+
+    /// The status of a job, or `None` for an unknown id.
+    pub fn poll(&self, id: &str) -> Option<JobStatus> {
+        let job = self.queue.get(id)?;
+        let completed = self.peek_results(id, &job.spec).len();
+        Some(JobStatus {
+            id: job.id.clone(),
+            state: job.state,
+            user: job.spec.user.clone(),
+            name: job.spec.name.clone(),
+            completed_experiments: completed,
+            total_experiments: self.totals.get(id).copied(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// All job statuses for one user, oldest first.
+    pub fn user_jobs(&self, user: &str) -> Vec<JobStatus> {
+        let mut ids: Vec<&crate::queue::QueuedJob> = self
+            .queue
+            .jobs()
+            .filter(|j| j.spec.user == user)
+            .collect();
+        ids.sort_by_key(|j| j.seq);
+        ids.iter()
+            .filter_map(|j| self.poll(&j.id))
+            .collect()
+    }
+
+    /// Cancels a queued job.
+    ///
+    /// # Errors
+    ///
+    /// Queue I/O failure.
+    pub fn cancel(&mut self, id: &str) -> Result<bool, EngineError> {
+        Ok(self.queue.cancel(id)?)
+    }
+
+    /// Cache counters (scan/parse/mutant hits and misses).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Ids of all completed jobs.
+    pub fn completed_ids(&self) -> Vec<String> {
+        self.queue
+            .jobs()
+            .filter(|j| j.state == JobState::Completed)
+            .map(|j| j.id.clone())
+            .collect()
+    }
+
+    /// The completed campaign's report, rebuilding it from the
+    /// checkpoint if this engine instance never saw the campaign run
+    /// (e.g. after a restart).
+    pub fn report(&mut self, id: &str) -> Option<CampaignReport> {
+        if let Some(report) = self.reports.get(id) {
+            return Some(report.clone());
+        }
+        let job = self.queue.get(id)?;
+        if job.state != JobState::Completed {
+            return None;
+        }
+        let spec = job.spec.clone();
+        let results = self.peek_results(id, &spec);
+        let planned = self.totals.get(id).copied().unwrap_or(results.len());
+        let report = Self::build_report(&spec, planned, None, results, &self.classifier);
+        self.reports.insert(id.to_string(), report.clone());
+        Some(report)
+    }
+
+    /// Runs queued campaigns. `budget` caps the number of experiments
+    /// executed this call (`None` = run everything): the lever for
+    /// incremental pumping and for the kill-and-resume tests. Campaigns
+    /// left unfinished by the budget return to the queue.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O failures; per-campaign setup failures mark only
+    /// that job failed.
+    pub fn drive(&mut self, budget: Option<usize>) -> Result<DriveSummary, EngineError> {
+        let mut summary = DriveSummary::default();
+        let mut prepared: Vec<ScheduledCampaign> = Vec::new();
+        let mut prepared_ids: Vec<String> = Vec::new();
+        let mut pending_total = 0usize;
+        // Take campaigns until the queue is drained — or, under a
+        // budget, until we already hold enough pending experiments to
+        // fill it (preparing more would be wasted work this drive).
+        while budget.is_none_or(|b| pending_total < b) {
+            let Some(id) = self.queue.take_next()? else {
+                break;
+            };
+            let spec = self.queue.get(&id).expect("taken job exists").spec.clone();
+            match self.prepare(&id, &spec) {
+                Ok(campaign) => {
+                    pending_total += campaign.pending.len();
+                    prepared.push(campaign);
+                    prepared_ids.push(id);
+                }
+                Err(e) => {
+                    self.queue.fail(&id, &e.message)?;
+                }
+            }
+        }
+        summary.campaigns = prepared.len();
+        let jobs = scheduler::interleave(&mut prepared, budget);
+        let run_outcome = scheduler::run_interleaved(&self.executor, jobs, &mut prepared);
+        if let Ok(executed) = &run_outcome {
+            summary.experiments = *executed;
+        }
+        // Bookkeeping runs even if recording failed mid-drive: every
+        // taken job must leave the Running state, or it is stranded
+        // until the engine is reopened.
+        for (id, campaign) in prepared_ids.iter().zip(prepared) {
+            let spec = self.queue.get(id).expect("job exists").spec.clone();
+            let total = self.totals.get(id).copied().unwrap_or(0);
+            let spec_hash = campaign.checkpoint.spec_hash();
+            let results = campaign.checkpoint.into_results();
+            let done = results.len();
+            if self.checkpoint_dir.is_none() {
+                // Carry in-memory checkpoints across drive calls.
+                self.mem_logs
+                    .insert(id.clone(), (spec_hash, results.clone()));
+            }
+            if done >= total && run_outcome.is_ok() {
+                let report =
+                    Self::build_report(&spec, total, None, results, &self.classifier);
+                self.reports.insert(id.clone(), report);
+                self.queue.complete(id)?;
+                summary.completed += 1;
+            } else {
+                // Budget exhausted mid-campaign (or recording failed):
+                // back to the queue; the checkpoint keeps what was
+                // durably recorded.
+                self.queue.requeue(id)?;
+            }
+        }
+        run_outcome?;
+        Ok(summary)
+    }
+
+    /// Builds everything one campaign needs to be scheduled, reusing
+    /// the cross-campaign cache for parses, scans, coverage, and
+    /// mutants.
+    fn prepare(&mut self, id: &str, spec: &CampaignSpec) -> Result<ScheduledCampaign, EngineError> {
+        let host = self.registry.get(&spec.host).ok_or_else(|| EngineError {
+            message: format!("unknown host environment '{}'", spec.host),
+        })?;
+        let key = spec.cache_key();
+
+        // Parse (or reuse) the target modules.
+        let workflow = match self.cache.modules(key) {
+            Some(modules) => spec
+                .build_workflow_with_modules(modules.as_ref().clone(), host, self.executor.clone()),
+            None => spec.build_workflow(host, self.executor.clone()),
+        }
+        .map_err(|e| EngineError { message: e.message })?;
+        self.cache
+            .store_modules(key, Arc::new(workflow.modules().to_vec()));
+
+        // Scan (or reuse the scan).
+        let points: Arc<Vec<InjectionPoint>> = match self.cache.points(key, workflow.modules()) {
+            Some(points) => points,
+            None => {
+                let scanned = Arc::new(workflow.scan());
+                self.cache
+                    .store_points(key, scanned.clone(), workflow.modules());
+                scanned
+            }
+        };
+
+        // Plan, with optional coverage pruning. Coverage is cached
+        // under its own key: unlike the scan, the fault-free run also
+        // depends on host, seed, setup, and round budgets.
+        let mut plan = InjectionPlan::build(&points, &spec.filter.to_filter(), spec.seed);
+        if spec.prune_by_coverage {
+            let coverage_key = spec.coverage_key();
+            let covered = match self.cache.covered(coverage_key) {
+                Some(covered) => covered,
+                None => {
+                    let run = workflow
+                        .coverage_run(&points)
+                        .map_err(|e| EngineError { message: e.message })?;
+                    let covered = Arc::new(run);
+                    self.cache.store_covered(coverage_key, covered.clone());
+                    covered
+                }
+            };
+            plan = plan.prune_by_coverage(&covered);
+        }
+        self.totals.insert(id.to_string(), plan.len());
+
+        // Checkpoint: resume point for this exact spec.
+        let mut checkpoint = self.take_checkpoint(id, spec)?;
+        let done = checkpoint.completed_ids();
+
+        // Render (or reuse) the mutants for the pending experiments.
+        let workflow = Arc::new(workflow);
+        let mut pending: Vec<(InjectionPoint, Arc<Vec<SourceFile>>)> = Vec::new();
+        for point in &plan.entries {
+            if done.contains(&point.id) {
+                continue;
+            }
+            let sources = match self.cache.mutant(key, point.id) {
+                Some(sources) => sources,
+                None => match workflow.mutant_sources(point) {
+                    Ok(rendered) => {
+                        let rendered = Arc::new(rendered);
+                        self.cache.store_mutant(key, point.id, rendered.clone());
+                        rendered
+                    }
+                    Err(e) => {
+                        // Unmutatable point: record the deploy failure
+                        // directly (no container needed) and move on.
+                        let result = Self::mutation_failure(point, &e.message);
+                        checkpoint.record(&result)?;
+                        continue;
+                    }
+                },
+            };
+            pending.push((point.clone(), sources));
+        }
+        Ok(ScheduledCampaign {
+            workflow,
+            pending,
+            checkpoint,
+        })
+    }
+
+    /// An appendable checkpoint for a campaign about to run.
+    fn take_checkpoint(&mut self, id: &str, spec: &CampaignSpec) -> Result<CheckpointLog, EngineError> {
+        let hash = spec.content_hash();
+        match &self.checkpoint_dir {
+            Some(dir) => Ok(CheckpointLog::open(
+                &dir.join(format!("{id}.jsonl")),
+                hash,
+            )?),
+            None => {
+                let seeded = match self.mem_logs.get(id) {
+                    Some((h, results)) if *h == hash => results.clone(),
+                    _ => Vec::new(),
+                };
+                Ok(CheckpointLog::in_memory_with(hash, seeded))
+            }
+        }
+    }
+
+    /// Read-only view of a campaign's recorded results.
+    fn peek_results(&self, id: &str, spec: &CampaignSpec) -> Vec<ExperimentResult> {
+        let hash = spec.content_hash();
+        match &self.checkpoint_dir {
+            Some(dir) => CheckpointLog::peek(&dir.join(format!("{id}.jsonl")), hash),
+            None => match self.mem_logs.get(id) {
+                Some((h, results)) if *h == hash => results.clone(),
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    fn mutation_failure(point: &InjectionPoint, message: &str) -> ExperimentResult {
+        use sandbox::{RoundOutcome, RoundStatus};
+        let not_run = RoundOutcome {
+            status: RoundStatus::NotRun,
+            duration: 0.0,
+        };
+        ExperimentResult {
+            point_id: point.id,
+            spec_name: point.spec_name.clone(),
+            module: point.module.clone(),
+            scope: point.scope.clone(),
+            round1: not_run.clone(),
+            round2: not_run,
+            logs: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            duration: 0.0,
+            deploy_error: Some(message.to_string()),
+            events: Vec::new(),
+        }
+    }
+
+    fn build_report(
+        spec: &CampaignSpec,
+        planned: usize,
+        covered: Option<usize>,
+        mut results: Vec<ExperimentResult>,
+        classifier: &FailureClassifier,
+    ) -> CampaignReport {
+        // Checkpoints are completion-ordered; reports are presented in
+        // plan order.
+        results.sort_by_key(|r| r.point_id);
+        CampaignReport::from_results(&spec.name, planned, covered, &results, classifier)
+    }
+
+    /// The results recorded so far for a job (plan order), e.g. for a
+    /// partial-progress view.
+    pub fn results(&self, id: &str) -> Vec<ExperimentResult> {
+        let Some(job) = self.queue.get(id) else {
+            return Vec::new();
+        };
+        let mut results = self.peek_results(id, &job.spec);
+        results.sort_by_key(|r| r.point_id);
+        results
+    }
+}

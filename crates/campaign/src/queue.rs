@@ -1,0 +1,480 @@
+//! The persistent campaign job queue.
+//!
+//! Submitted [`CampaignSpec`]s are written to disk (one JSON file per
+//! job) before they run, so a crashed or restarted service picks up
+//! exactly where it left off: jobs found in the `Running` state at open
+//! time are demoted back to `Queued` (their checkpoints make the rerun
+//! incremental).
+//!
+//! Scheduling order implements **per-user fairness with priorities**:
+//! the user who least recently received a slot goes first (round-robin
+//! across users), and within a user higher `priority` wins, then FIFO
+//! submission order. The paper pitches ProFIPy as a multi-user service
+//! (§IV); fairness keeps one user's thousand-experiment campaign from
+//! starving everyone else.
+
+use crate::spec::CampaignSpec;
+use jsonlite::Value;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lifecycle of a queued campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a slot.
+    Queued,
+    /// Currently being executed.
+    Running,
+    /// All experiments finished.
+    Completed,
+    /// Setup or execution failed fatally.
+    Failed,
+    /// Cancelled by the user.
+    Cancelled,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<JobState, String> {
+        Ok(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "completed" => JobState::Completed,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            other => return Err(format!("unknown job state '{other}'")),
+        })
+    }
+}
+
+/// One queue entry.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// Queue-assigned id (`job-000001`, …).
+    pub id: String,
+    /// The campaign to run.
+    pub spec: CampaignSpec,
+    /// Current state.
+    pub state: JobState,
+    /// Submission sequence number (FIFO tiebreak).
+    pub seq: u64,
+    /// Fatal error, if `state == Failed`.
+    pub error: Option<String>,
+}
+
+impl QueuedJob {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::str(&self.id)),
+            ("seq", Value::UInt(self.seq)),
+            ("state", Value::str(self.state.as_str())),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Value::str(e),
+                    None => Value::Null,
+                },
+            ),
+            ("spec", self.spec.to_value()),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<QueuedJob, String> {
+        Ok(QueuedJob {
+            id: v
+                .req("id")?
+                .as_str()
+                .ok_or("job 'id' must be a string")?
+                .to_string(),
+            seq: v.req("seq")?.as_u64().ok_or("job 'seq' must be a u64")?,
+            state: JobState::from_str(
+                v.req("state")?
+                    .as_str()
+                    .ok_or("job 'state' must be a string")?,
+            )?,
+            error: match v.req("error")? {
+                Value::Null => None,
+                other => Some(
+                    other
+                        .as_str()
+                        .ok_or("job 'error' must be a string or null")?
+                        .to_string(),
+                ),
+            },
+            spec: CampaignSpec::from_value(v.req("spec")?)?,
+        })
+    }
+}
+
+/// The queue. Persistent when opened on a directory, ephemeral when
+/// created in memory (tests, one-shot runs).
+pub struct JobQueue {
+    dir: Option<PathBuf>,
+    jobs: BTreeMap<String, QueuedJob>,
+    next_seq: u64,
+    /// user → queue tick at which the user last received a slot.
+    last_slot: BTreeMap<String, u64>,
+    tick: u64,
+}
+
+impl JobQueue {
+    /// An ephemeral, in-memory queue.
+    pub fn in_memory() -> JobQueue {
+        JobQueue {
+            dir: None,
+            jobs: BTreeMap::new(),
+            next_seq: 1,
+            last_slot: BTreeMap::new(),
+            tick: 1,
+        }
+    }
+
+    /// Opens (or creates) a persistent queue in `dir`. Jobs found
+    /// `Running` are demoted to `Queued` — they were in flight when the
+    /// previous process died.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; corrupt job files are reported, not silently
+    /// dropped.
+    pub fn open(dir: &Path) -> io::Result<JobQueue> {
+        std::fs::create_dir_all(dir)?;
+        let mut queue = JobQueue {
+            dir: Some(dir.to_path_buf()),
+            ..JobQueue::in_memory()
+        };
+        let mut recovered = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let is_job = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("job-") && n.ends_with(".json"));
+            if !is_job {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            let mut job = jsonlite::parse(&text)
+                .and_then(|v| QueuedJob::from_value(&v))
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt job file {}: {e}", path.display()),
+                    )
+                })?;
+            if job.state == JobState::Running {
+                job.state = JobState::Queued;
+                recovered.push(job.id.clone());
+            }
+            queue.next_seq = queue.next_seq.max(job.seq + 1);
+            queue.jobs.insert(job.id.clone(), job);
+        }
+        for id in recovered {
+            queue.persist(&id)?;
+        }
+        Ok(queue)
+    }
+
+    /// Submits a campaign; returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the job file.
+    pub fn submit(&mut self, spec: CampaignSpec) -> io::Result<String> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = format!("job-{seq:06}");
+        let job = QueuedJob {
+            id: id.clone(),
+            spec,
+            state: JobState::Queued,
+            seq,
+            error: None,
+        };
+        self.jobs.insert(id.clone(), job);
+        self.persist(&id)?;
+        Ok(id)
+    }
+
+    /// Picks the next job to run (fairness order), marks it `Running`,
+    /// and returns its id. `None` when nothing is queued.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the state change.
+    pub fn take_next(&mut self) -> io::Result<Option<String>> {
+        let Some(id) = self.peek_next() else {
+            return Ok(None);
+        };
+        let job = self.jobs.get_mut(&id).expect("peeked job exists");
+        job.state = JobState::Running;
+        self.last_slot.insert(job.spec.user.clone(), self.tick);
+        self.tick += 1;
+        self.persist(&id)?;
+        Ok(Some(id))
+    }
+
+    /// The id `take_next` would return, without side effects.
+    pub fn peek_next(&self) -> Option<String> {
+        // Least-recently-served user first (never-served = 0), then by
+        // user name for determinism; within the user: priority desc,
+        // seq asc.
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .min_by_key(|j| {
+                (
+                    self.last_slot.get(&j.spec.user).copied().unwrap_or(0),
+                    j.spec.user.clone(),
+                    std::cmp::Reverse(j.spec.priority),
+                    j.seq,
+                )
+            })
+            .map(|j| j.id.clone())
+    }
+
+    /// Marks a running job finished.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the state change.
+    pub fn complete(&mut self, id: &str) -> io::Result<()> {
+        self.set_state(id, JobState::Completed, None)
+    }
+
+    /// Puts a running job back in the queue (budget exhausted before it
+    /// finished; its checkpoint keeps the completed experiments).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the state change.
+    pub fn requeue(&mut self, id: &str) -> io::Result<()> {
+        self.set_state(id, JobState::Queued, None)
+    }
+
+    /// Marks a job failed with a reason.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the state change.
+    pub fn fail(&mut self, id: &str, error: &str) -> io::Result<()> {
+        self.set_state(id, JobState::Failed, Some(error.to_string()))
+    }
+
+    /// Cancels a queued job (running/finished jobs are left alone).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the state change.
+    pub fn cancel(&mut self, id: &str) -> io::Result<bool> {
+        match self.jobs.get(id) {
+            Some(job) if job.state == JobState::Queued => {
+                self.set_state(id, JobState::Cancelled, None)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn set_state(
+        &mut self,
+        id: &str,
+        state: JobState,
+        error: Option<String>,
+    ) -> io::Result<()> {
+        if let Some(job) = self.jobs.get_mut(id) {
+            job.state = state;
+            job.error = error;
+            self.persist(id)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up a job.
+    pub fn get(&self, id: &str) -> Option<&QueuedJob> {
+        self.jobs.get(id)
+    }
+
+    /// All jobs, by id.
+    pub fn jobs(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.jobs.values()
+    }
+
+    /// Ids of all currently queued jobs, in fairness order.
+    pub fn queued_ids(&self) -> Vec<String> {
+        // Simulate repeated take_next without mutating real state.
+        let mut order = Vec::new();
+        let mut last_slot = self.last_slot.clone();
+        let mut tick = self.tick;
+        let mut remaining: Vec<&QueuedJob> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .collect();
+        while !remaining.is_empty() {
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| {
+                    (
+                        last_slot.get(&j.spec.user).copied().unwrap_or(0),
+                        j.spec.user.clone(),
+                        std::cmp::Reverse(j.spec.priority),
+                        j.seq,
+                    )
+                })
+                .expect("nonempty");
+            let job = remaining.swap_remove(idx);
+            last_slot.insert(job.spec.user.clone(), tick);
+            tick += 1;
+            order.push(job.id.clone());
+        }
+        order
+    }
+
+    fn persist(&self, id: &str) -> io::Result<()> {
+        let (Some(dir), Some(job)) = (&self.dir, self.jobs.get(id)) else {
+            return Ok(());
+        };
+        let final_path = dir.join(format!("{id}.json"));
+        let tmp_path = dir.join(format!("{id}.json.tmp"));
+        std::fs::write(&tmp_path, job.to_value().pretty())?;
+        std::fs::rename(&tmp_path, &final_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(user: &str, name: &str, priority: u8) -> CampaignSpec {
+        let mut s = CampaignSpec::new(
+            user,
+            name,
+            "noop",
+            vec![("m".into(), "pass\n".into())],
+            "def run(round):\n    pass\n".into(),
+            faultdsl::campaign_a_model(),
+        );
+        s.priority = priority;
+        s
+    }
+
+    #[test]
+    fn fifo_within_one_user() {
+        let mut q = JobQueue::in_memory();
+        let a = q.submit(spec("alice", "one", 0)).unwrap();
+        let b = q.submit(spec("alice", "two", 0)).unwrap();
+        assert_eq!(q.take_next().unwrap(), Some(a));
+        assert_eq!(q.take_next().unwrap(), Some(b));
+        assert_eq!(q.take_next().unwrap(), None);
+    }
+
+    #[test]
+    fn priority_beats_fifo_within_user() {
+        let mut q = JobQueue::in_memory();
+        let _low = q.submit(spec("alice", "low", 0)).unwrap();
+        let high = q.submit(spec("alice", "high", 9)).unwrap();
+        assert_eq!(q.take_next().unwrap(), Some(high));
+    }
+
+    #[test]
+    fn users_round_robin() {
+        let mut q = JobQueue::in_memory();
+        let a1 = q.submit(spec("alice", "a1", 0)).unwrap();
+        let a2 = q.submit(spec("alice", "a2", 0)).unwrap();
+        let b1 = q.submit(spec("bob", "b1", 0)).unwrap();
+        // Alice served first (alphabetical among never-served), then
+        // bob (still never-served), then alice again.
+        assert_eq!(q.take_next().unwrap(), Some(a1));
+        assert_eq!(q.take_next().unwrap(), Some(b1));
+        assert_eq!(q.take_next().unwrap(), Some(a2));
+    }
+
+    #[test]
+    fn heavy_user_cannot_starve_others() {
+        let mut q = JobQueue::in_memory();
+        for i in 0..10 {
+            q.submit(spec("alice", &format!("a{i}"), 0)).unwrap();
+        }
+        q.take_next().unwrap(); // alice gets one slot…
+        let b = q.submit(spec("bob", "b", 0)).unwrap();
+        // …then bob's fresh submission goes before alice's backlog.
+        assert_eq!(q.take_next().unwrap(), Some(b));
+    }
+
+    #[test]
+    fn queued_ids_previews_fairness_order() {
+        let mut q = JobQueue::in_memory();
+        let a1 = q.submit(spec("alice", "a1", 0)).unwrap();
+        let a2 = q.submit(spec("alice", "a2", 5)).unwrap();
+        let b1 = q.submit(spec("bob", "b1", 0)).unwrap();
+        // Priority reorders alice's jobs; users alternate.
+        assert_eq!(q.queued_ids(), vec![a2.clone(), b1, a1]);
+        // Preview must not consume.
+        assert_eq!(q.take_next().unwrap(), Some(a2));
+    }
+
+    #[test]
+    fn persistence_survives_reopen_and_demotes_running() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-queue-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, b);
+        {
+            let mut q = JobQueue::open(&dir).unwrap();
+            a = q.submit(spec("alice", "one", 0)).unwrap();
+            b = q.submit(spec("bob", "two", 0)).unwrap();
+            assert_eq!(q.take_next().unwrap(), Some(a.clone()));
+            // Process "crashes" here with job `a` running.
+        }
+        {
+            let q = JobQueue::open(&dir).unwrap();
+            assert_eq!(q.get(&a).unwrap().state, JobState::Queued, "demoted");
+            assert_eq!(q.get(&b).unwrap().state, JobState::Queued);
+            assert_eq!(q.get(&a).unwrap().spec.user, "alice");
+            assert_eq!(q.jobs().count(), 2);
+        }
+        {
+            let mut q = JobQueue::open(&dir).unwrap();
+            // Sequence numbers continue, no id collisions.
+            let c = q.submit(spec("carol", "three", 0)).unwrap();
+            assert_ne!(c, a);
+            assert_ne!(c, b);
+            q.complete(&a).unwrap();
+            q.fail(&b, "boom").unwrap();
+        }
+        {
+            let q = JobQueue::open(&dir).unwrap();
+            assert_eq!(q.get(&a).unwrap().state, JobState::Completed);
+            assert_eq!(q.get(&b).unwrap().state, JobState::Failed);
+            assert_eq!(q.get(&b).unwrap().error.as_deref(), Some("boom"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_only_affects_queued() {
+        let mut q = JobQueue::in_memory();
+        let a = q.submit(spec("alice", "one", 0)).unwrap();
+        let b = q.submit(spec("alice", "two", 0)).unwrap();
+        assert_eq!(q.take_next().unwrap(), Some(a.clone()));
+        assert!(!q.cancel(&a).unwrap(), "running job not cancellable");
+        assert!(q.cancel(&b).unwrap());
+        assert_eq!(q.get(&b).unwrap().state, JobState::Cancelled);
+        assert_eq!(q.take_next().unwrap(), None);
+    }
+}

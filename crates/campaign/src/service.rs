@@ -1,0 +1,98 @@
+//! The orchestrated service façade: `ProfipyService` sessions (saved
+//! models, report history) + the [`CampaignEngine`] (queue, checkpoints,
+//! cache) behind one submit/poll/resume surface — the paper's
+//! "as-a-Service" story made asynchronous and crash-tolerant.
+
+use crate::engine::{CampaignEngine, DriveSummary, EngineConfig, EngineError, HostRegistry, JobStatus};
+use crate::spec::CampaignSpec;
+use profipy::service::ProfipyService;
+use std::collections::BTreeSet;
+
+/// The combined service.
+pub struct CampaignService {
+    /// Session store (saved fault models, report history).
+    pub sessions: ProfipyService,
+    engine: CampaignEngine,
+    /// Jobs whose reports were already pushed into their session.
+    delivered: BTreeSet<String>,
+}
+
+impl CampaignService {
+    /// Creates the service over an engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Engine persistence failures.
+    pub fn new(config: EngineConfig, registry: HostRegistry) -> Result<CampaignService, EngineError> {
+        Ok(CampaignService {
+            sessions: ProfipyService::new(),
+            engine: CampaignEngine::new(config, registry)?,
+            delivered: BTreeSet::new(),
+        })
+    }
+
+    /// Submits a campaign on behalf of `spec.user`; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host or queue persistence failure.
+    pub fn submit(&mut self, spec: CampaignSpec) -> Result<String, EngineError> {
+        // Touch the session so the user exists even before completion.
+        self.sessions.session(&spec.user);
+        self.engine.submit(spec)
+    }
+
+    /// Job status, or `None` for an unknown id.
+    pub fn poll(&self, id: &str) -> Option<JobStatus> {
+        self.engine.poll(id)
+    }
+
+    /// Runs queued work (optionally bounded by an experiment budget),
+    /// then delivers any newly completed reports into the owning
+    /// sessions — afterwards they are visible through
+    /// `ProfipyService::reports` / `report`.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint persistence failures.
+    pub fn drive(&mut self, budget: Option<usize>) -> Result<DriveSummary, EngineError> {
+        let summary = self.engine.drive(budget)?;
+        self.deliver_completed();
+        Ok(summary)
+    }
+
+    /// Resumes after a restart: identical to [`CampaignService::drive`]
+    /// with no budget — recovery comes from the persistent queue and
+    /// checkpoints, not from a special code path.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint persistence failures.
+    pub fn resume(&mut self) -> Result<DriveSummary, EngineError> {
+        self.drive(None)
+    }
+
+    /// The underlying engine (cache stats, raw results, cancellation).
+    pub fn engine(&mut self) -> &mut CampaignEngine {
+        &mut self.engine
+    }
+
+    fn deliver_completed(&mut self) {
+        let completed: Vec<(String, String)> = self
+            .engine
+            .completed_ids()
+            .into_iter()
+            .filter(|id| !self.delivered.contains(id))
+            .filter_map(|id| {
+                let status = self.engine.poll(&id)?;
+                Some((id, status.user))
+            })
+            .collect();
+        for (id, user) in completed {
+            if let Some(report) = self.engine.report(&id) {
+                self.sessions.session(&user).add_report(report);
+                self.delivered.insert(id);
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! Serializable campaign specifications — everything needed to rebuild
+//! and re-run a campaign after a crash or on another node, plus the
+//! stable content hashes that key the cross-campaign cache.
+//!
+//! A [`CampaignSpec`] is the persistent analogue of
+//! `profipy::case_study::Campaign`: target sources, workload, fault
+//! model, plan filter, and execution knobs. The host environment is
+//! referenced *by name* (resolved through the engine's host registry),
+//! since host factories are code, not data.
+
+use faultdsl::FaultModel;
+use injector::MutationMode;
+use jsonlite::Value;
+use profipy::workflow::{HostFactory, Workflow, WorkflowConfig, WorkflowError};
+use profipy::PlanFilter;
+use sandbox::ParallelExecutor;
+
+/// Serializable mirror of [`PlanFilter`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Module globs (empty = all).
+    pub modules: Vec<String>,
+    /// Scope globs (empty = all).
+    pub scopes: Vec<String>,
+    /// Spec names (empty = all).
+    pub specs: Vec<String>,
+    /// Random sample cap (0 = no limit).
+    pub sample: usize,
+}
+
+impl FilterSpec {
+    /// Converts to the executable filter.
+    pub fn to_filter(&self) -> PlanFilter {
+        PlanFilter {
+            modules: self.modules.clone(),
+            scopes: self.scopes.clone(),
+            specs: self.specs.clone(),
+            sample: self.sample,
+        }
+    }
+
+    /// Captures an executable filter.
+    pub fn from_filter(filter: &PlanFilter) -> FilterSpec {
+        FilterSpec {
+            modules: filter.modules.clone(),
+            scopes: filter.scopes.clone(),
+            specs: filter.specs.clone(),
+            sample: filter.sample,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let strs = |items: &[String]| Value::Arr(items.iter().map(Value::str).collect());
+        Value::obj(vec![
+            ("modules", strs(&self.modules)),
+            ("scopes", strs(&self.scopes)),
+            ("specs", strs(&self.specs)),
+            ("sample", Value::UInt(self.sample as u64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<FilterSpec, String> {
+        let strs = |key: &str| -> Result<Vec<String>, String> {
+            v.req(key)?
+                .as_arr()
+                .ok_or_else(|| format!("filter '{key}' must be an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("filter '{key}' entries must be strings"))
+                })
+                .collect()
+        };
+        Ok(FilterSpec {
+            modules: strs("modules")?,
+            scopes: strs("scopes")?,
+            specs: strs("specs")?,
+            sample: v
+                .req("sample")?
+                .as_u64()
+                .ok_or("filter 'sample' must be a u64")? as usize,
+        })
+    }
+}
+
+/// Serializable mirror of the executor knobs. The I/O cap uses
+/// `None` = unlimited, keeping the in-memory `usize::MAX` sentinel out
+/// of stored configs (see `ParallelExecutor::io_limit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutorSpec {
+    /// CPU cores of the execution host.
+    pub cpu_cores: usize,
+    /// Total container memory budget (MB).
+    pub mem_mb_total: u64,
+    /// Per-container memory footprint (MB).
+    pub mem_mb_per_container: u64,
+    /// I/O cap (`None` = unlimited).
+    pub io_limit: Option<usize>,
+}
+
+impl ExecutorSpec {
+    /// Captures an executor's configuration.
+    pub fn from_executor(ex: &ParallelExecutor) -> ExecutorSpec {
+        ExecutorSpec {
+            cpu_cores: ex.cpu_cores,
+            mem_mb_total: ex.mem_mb_total,
+            mem_mb_per_container: ex.mem_mb_per_container,
+            io_limit: ex.io_limit(),
+        }
+    }
+
+    /// Rebuilds the executor.
+    pub fn to_executor(&self) -> ParallelExecutor {
+        let mut ex = ParallelExecutor::new(self.cpu_cores);
+        ex.mem_mb_total = self.mem_mb_total;
+        ex.mem_mb_per_container = self.mem_mb_per_container;
+        ex.set_io_limit(self.io_limit);
+        ex
+    }
+
+    /// The executor spec as a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("cpu_cores", Value::UInt(self.cpu_cores as u64)),
+            ("mem_mb_total", Value::UInt(self.mem_mb_total)),
+            (
+                "mem_mb_per_container",
+                Value::UInt(self.mem_mb_per_container),
+            ),
+            (
+                "io_limit",
+                match self.io_limit {
+                    Some(n) => Value::UInt(n as u64),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Reads an executor spec back from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn from_value(v: &Value) -> Result<ExecutorSpec, String> {
+        let io_limit = match v.req("io_limit")? {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .ok_or("executor 'io_limit' must be a u64 or null")?
+                    as usize,
+            ),
+        };
+        Ok(ExecutorSpec {
+            cpu_cores: v
+                .req("cpu_cores")?
+                .as_u64()
+                .ok_or("executor 'cpu_cores' must be a u64")? as usize,
+            mem_mb_total: v
+                .req("mem_mb_total")?
+                .as_u64()
+                .ok_or("executor 'mem_mb_total' must be a u64")?,
+            mem_mb_per_container: v
+                .req("mem_mb_per_container")?
+                .as_u64()
+                .ok_or("executor 'mem_mb_per_container' must be a u64")?,
+            io_limit,
+        })
+    }
+}
+
+/// A complete, serializable campaign description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Submitting user.
+    pub user: String,
+    /// Campaign name (unique per user is recommended, not enforced).
+    pub name: String,
+    /// Scheduling priority: higher runs first within a user's queue.
+    pub priority: u8,
+    /// Host environment name, resolved via the engine's registry.
+    pub host: String,
+    /// Target sources: `(import name, source text)`.
+    pub sources: Vec<(String, String)>,
+    /// Workload module text.
+    pub workload: String,
+    /// Setup commands run at deploy.
+    pub setup: Vec<Vec<String>>,
+    /// Campaign seed (plan sampling + per-experiment seeds).
+    pub seed: u64,
+    /// Mutation mode.
+    pub mode: MutationMode,
+    /// Virtual-time budget per round.
+    pub round_timeout: f64,
+    /// Interpreter fuel per round.
+    pub fuel_per_round: u64,
+    /// The fault model.
+    pub model: FaultModel,
+    /// Plan filter.
+    pub filter: FilterSpec,
+    /// Coverage pruning (paper §IV-D).
+    pub prune_by_coverage: bool,
+}
+
+impl CampaignSpec {
+    /// A spec with the workflow defaults for the execution knobs.
+    pub fn new(
+        user: &str,
+        name: &str,
+        host: &str,
+        sources: Vec<(String, String)>,
+        workload: String,
+        model: FaultModel,
+    ) -> CampaignSpec {
+        let defaults = WorkflowConfig::default();
+        CampaignSpec {
+            user: user.to_string(),
+            name: name.to_string(),
+            priority: 0,
+            host: host.to_string(),
+            sources,
+            workload,
+            setup: Vec::new(),
+            seed: defaults.seed,
+            mode: defaults.mode,
+            round_timeout: defaults.round_timeout,
+            fuel_per_round: defaults.fuel_per_round,
+            model,
+            filter: FilterSpec::default(),
+            prune_by_coverage: false,
+        }
+    }
+
+    /// Stable hash of everything the **scan** depends on: target
+    /// sources and workload. Mutation mode matters for mutants, not
+    /// points, but participates so a cache entry never mixes modes.
+    pub fn source_hash(&self) -> u64 {
+        let mut parts: Vec<u64> = Vec::new();
+        for (name, text) in &self.sources {
+            parts.push(jsonlite::stable_hash64(name.as_bytes()));
+            parts.push(jsonlite::stable_hash64(text.as_bytes()));
+        }
+        parts.push(jsonlite::stable_hash64(self.workload.as_bytes()));
+        parts.push(match self.mode {
+            MutationMode::Direct => 1,
+            MutationMode::Triggered => 2,
+        });
+        jsonlite::combine_hash64(&parts)
+    }
+
+    /// Stable hash of the fault model.
+    pub fn model_hash(&self) -> u64 {
+        self.model.content_hash()
+    }
+
+    /// The cross-campaign cache key: `(source hash, model hash)`.
+    pub fn cache_key(&self) -> u64 {
+        jsonlite::combine_hash64(&[self.source_hash(), self.model_hash()])
+    }
+
+    /// The coverage-cache key. Unlike scans and mutants, a fault-free
+    /// coverage run also depends on the host environment, seed, setup
+    /// commands, and round budgets — two campaigns may share a scan but
+    /// must not share coverage unless all of those agree too.
+    pub fn coverage_key(&self) -> u64 {
+        let mut parts = vec![
+            self.cache_key(),
+            jsonlite::stable_hash64(self.host.as_bytes()),
+            self.seed,
+            self.round_timeout.to_bits(),
+            self.fuel_per_round,
+        ];
+        for cmd in &self.setup {
+            for word in cmd {
+                parts.push(jsonlite::stable_hash64(word.as_bytes()));
+            }
+        }
+        jsonlite::combine_hash64(&parts)
+    }
+
+    /// Stable hash of the full spec — used to invalidate checkpoints
+    /// when a resubmitted campaign changed anything that affects
+    /// results.
+    pub fn content_hash(&self) -> u64 {
+        jsonlite::stable_hash64(
+            jsonlite::canonicalize(&self.to_value()).compact().as_bytes(),
+        )
+    }
+
+    /// Builds the executable workflow, parsing the sources.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/DSL errors.
+    pub fn build_workflow(
+        &self,
+        host_factory: HostFactory,
+        executor: ParallelExecutor,
+    ) -> Result<Workflow, WorkflowError> {
+        Workflow::new(
+            self.sources.clone(),
+            self.workload.clone(),
+            self.model.clone(),
+            host_factory,
+            self.workflow_config(executor),
+        )
+    }
+
+    /// Builds the executable workflow from cached parsed modules,
+    /// skipping the parse step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSL/shape errors.
+    pub fn build_workflow_with_modules(
+        &self,
+        modules: Vec<pysrc::Module>,
+        host_factory: HostFactory,
+        executor: ParallelExecutor,
+    ) -> Result<Workflow, WorkflowError> {
+        Workflow::from_modules(
+            self.sources.clone(),
+            modules,
+            self.workload.clone(),
+            self.model.clone(),
+            host_factory,
+            self.workflow_config(executor),
+        )
+    }
+
+    fn workflow_config(&self, executor: ParallelExecutor) -> WorkflowConfig {
+        WorkflowConfig {
+            seed: self.seed,
+            mode: self.mode,
+            round_timeout: self.round_timeout,
+            fuel_per_round: self.fuel_per_round,
+            setup: self.setup.clone(),
+            executor,
+        }
+    }
+
+    /// The spec as a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("user", Value::str(&self.user)),
+            ("name", Value::str(&self.name)),
+            ("priority", Value::UInt(self.priority as u64)),
+            ("host", Value::str(&self.host)),
+            (
+                "sources",
+                Value::Arr(
+                    self.sources
+                        .iter()
+                        .map(|(n, t)| Value::Arr(vec![Value::str(n), Value::str(t)]))
+                        .collect(),
+                ),
+            ),
+            ("workload", Value::str(&self.workload)),
+            (
+                "setup",
+                Value::Arr(
+                    self.setup
+                        .iter()
+                        .map(|cmd| Value::Arr(cmd.iter().map(Value::str).collect()))
+                        .collect(),
+                ),
+            ),
+            ("seed", Value::UInt(self.seed)),
+            (
+                "mode",
+                Value::str(match self.mode {
+                    MutationMode::Direct => "direct",
+                    MutationMode::Triggered => "triggered",
+                }),
+            ),
+            ("round_timeout", Value::Float(self.round_timeout)),
+            ("fuel_per_round", Value::UInt(self.fuel_per_round)),
+            ("model", self.model.to_value()),
+            ("filter", self.filter.to_value()),
+            ("prune_by_coverage", Value::Bool(self.prune_by_coverage)),
+        ])
+    }
+
+    /// Reads a spec back from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn from_value(v: &Value) -> Result<CampaignSpec, String> {
+        let text = |key: &str| -> Result<String, String> {
+            v.req(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("spec field '{key}' must be a string"))
+        };
+        let sources = v
+            .req("sources")?
+            .as_arr()
+            .ok_or("'sources' must be an array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or(
+                    "'sources' entries must be [name, text] pairs",
+                )?;
+                match (pair[0].as_str(), pair[1].as_str()) {
+                    (Some(n), Some(t)) => Ok((n.to_string(), t.to_string())),
+                    _ => Err("'sources' entries must be string pairs".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let setup = v
+            .req("setup")?
+            .as_arr()
+            .ok_or("'setup' must be an array")?
+            .iter()
+            .map(|cmd| {
+                cmd.as_arr()
+                    .ok_or("'setup' entries must be arrays")?
+                    .iter()
+                    .map(|word| {
+                        word.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "'setup' words must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let mode = match text("mode")?.as_str() {
+            "direct" => MutationMode::Direct,
+            "triggered" => MutationMode::Triggered,
+            other => return Err(format!("unknown mutation mode '{other}'")),
+        };
+        Ok(CampaignSpec {
+            user: text("user")?,
+            name: text("name")?,
+            priority: v
+                .req("priority")?
+                .as_u64()
+                .ok_or("'priority' must be a u64")? as u8,
+            host: text("host")?,
+            sources,
+            workload: text("workload")?,
+            setup,
+            seed: v.req("seed")?.as_u64().ok_or("'seed' must be a u64")?,
+            mode,
+            round_timeout: v
+                .req("round_timeout")?
+                .as_f64()
+                .ok_or("'round_timeout' must be a number")?,
+            fuel_per_round: v
+                .req("fuel_per_round")?
+                .as_u64()
+                .ok_or("'fuel_per_round' must be a u64")?,
+            model: FaultModel::from_value(v.req("model")?)?,
+            filter: FilterSpec::from_value(v.req("filter")?)?,
+            prune_by_coverage: v
+                .req("prune_by_coverage")?
+                .as_bool()
+                .ok_or("'prune_by_coverage' must be a bool")?,
+        })
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().pretty()
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Parse or shape error message.
+    pub fn from_json(json: &str) -> Result<CampaignSpec, String> {
+        CampaignSpec::from_value(&jsonlite::parse(json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new(
+            "alice",
+            "smoke",
+            "etcd",
+            vec![("etcd".into(), "def f():\n    pass\n".into())],
+            "def run(round):\n    pass\n".into(),
+            faultdsl::campaign_a_model(),
+        );
+        spec.priority = 3;
+        spec.setup = vec![vec!["etcd-start".into()]];
+        spec.seed = 42;
+        spec.filter.modules.push("etcd".into());
+        spec.filter.sample = 5;
+        spec.prune_by_coverage = true;
+        spec
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = sample_spec();
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(spec.content_hash(), back.content_hash());
+        assert_eq!(spec.cache_key(), back.cache_key());
+    }
+
+    #[test]
+    fn cache_key_ignores_plan_but_not_target_or_model() {
+        let spec = sample_spec();
+        let mut other_seed = spec.clone();
+        other_seed.seed = 99;
+        other_seed.filter.sample = 2;
+        // Same target + model → same cache key (scan reusable).
+        assert_eq!(spec.cache_key(), other_seed.cache_key());
+        assert_ne!(spec.content_hash(), other_seed.content_hash());
+
+        let mut other_target = spec.clone();
+        other_target.sources[0].1 = "def g():\n    pass\n".into();
+        assert_ne!(spec.cache_key(), other_target.cache_key());
+
+        let mut other_model = spec.clone();
+        other_model.model = faultdsl::campaign_b_model();
+        assert_ne!(spec.cache_key(), other_model.cache_key());
+
+        let mut other_mode = spec.clone();
+        other_mode.mode = MutationMode::Direct;
+        assert_ne!(spec.cache_key(), other_mode.cache_key());
+    }
+
+    #[test]
+    fn coverage_key_tracks_runtime_environment_too() {
+        let spec = sample_spec();
+        // Same scan cache key, but coverage must not be shared when the
+        // host, seed, setup, or round budgets differ.
+        let mut other_host = spec.clone();
+        other_host.host = "noop".into();
+        assert_eq!(spec.cache_key(), other_host.cache_key());
+        assert_ne!(spec.coverage_key(), other_host.coverage_key());
+
+        let mut other_seed = spec.clone();
+        other_seed.seed = 1234;
+        assert_eq!(spec.cache_key(), other_seed.cache_key());
+        assert_ne!(spec.coverage_key(), other_seed.coverage_key());
+
+        let mut other_setup = spec.clone();
+        other_setup.setup.clear();
+        assert_ne!(spec.coverage_key(), other_setup.coverage_key());
+
+        let mut other_fuel = spec.clone();
+        other_fuel.fuel_per_round /= 2;
+        assert_ne!(spec.coverage_key(), other_fuel.coverage_key());
+
+        // Identical specs agree, including across JSON round-trips.
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec.coverage_key(), back.coverage_key());
+    }
+
+    #[test]
+    fn executor_spec_roundtrips_with_unlimited_io() {
+        let ex = ParallelExecutor::new(8);
+        let spec = ExecutorSpec::from_executor(&ex);
+        assert_eq!(spec.io_limit, None);
+        let parsed =
+            ExecutorSpec::from_value(&jsonlite::parse(&spec.to_value().pretty()).unwrap())
+                .unwrap();
+        assert_eq!(spec, parsed);
+        let rebuilt = parsed.to_executor();
+        assert_eq!(rebuilt.io_limit(), None);
+        assert_eq!(rebuilt.effective_workers(100), 7);
+
+        let mut capped = ParallelExecutor::new(8);
+        capped.set_io_limit(Some(2));
+        let spec = ExecutorSpec::from_executor(&capped);
+        assert_eq!(spec.io_limit, Some(2));
+        assert_eq!(spec.to_executor().effective_workers(100), 2);
+    }
+
+    #[test]
+    fn filter_spec_matches_plan_filter() {
+        let filter = PlanFilter::all().module("etcd").scope("Client.*").sample(7);
+        let spec = FilterSpec::from_filter(&filter);
+        let back = spec.to_filter();
+        assert_eq!(back.modules, filter.modules);
+        assert_eq!(back.scopes, filter.scopes);
+        assert_eq!(back.sample, filter.sample);
+    }
+}

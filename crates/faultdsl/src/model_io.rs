@@ -1,12 +1,16 @@
 //! Fault-model persistence (paper §IV-A: "The fault model is stored in
 //! a JSON file, and users can save and import fault models of previous
 //! fault injection campaigns").
+//!
+//! Serialization goes through the workspace's [`jsonlite`] layer (the
+//! build environment has no serde); the JSON shape is the obvious
+//! `{name, description, specs: [{name, description, dsl}]}`.
 
 use crate::spec::{parse_spec, BugSpec, DslError};
-use serde::{Deserialize, Serialize};
+use jsonlite::Value;
 
 /// One named bug specification in DSL source form.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpecSource {
     /// Specification name (e.g. `"MFC"`).
     pub name: String,
@@ -17,7 +21,7 @@ pub struct SpecSource {
 }
 
 /// A fault model: a named set of bug specifications.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultModel {
     /// Model name.
     pub name: String,
@@ -27,23 +31,91 @@ pub struct FaultModel {
     pub specs: Vec<SpecSource>,
 }
 
+impl SpecSource {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(&self.name)),
+            ("description", Value::str(&self.description)),
+            ("dsl", Value::str(&self.dsl)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<SpecSource, String> {
+        let field = |key: &str| -> Result<String, String> {
+            v.req(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("spec field '{key}' must be a string"))
+        };
+        Ok(SpecSource {
+            name: field("name")?,
+            description: field("description")?,
+            dsl: field("dsl")?,
+        })
+    }
+}
+
 impl FaultModel {
+    /// The model as a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(&self.name)),
+            ("description", Value::str(&self.description)),
+            (
+                "specs",
+                Value::Arr(self.specs.iter().map(SpecSource::to_value).collect()),
+            ),
+        ])
+    }
+
     /// Serializes the model to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the model contains only strings.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("fault models are plain strings")
+        self.to_value().pretty()
+    }
+
+    /// Reads a model from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn from_value(v: &Value) -> Result<FaultModel, String> {
+        let name = v
+            .req("name")?
+            .as_str()
+            .ok_or("model 'name' must be a string")?
+            .to_string();
+        let description = v
+            .req("description")?
+            .as_str()
+            .ok_or("model 'description' must be a string")?
+            .to_string();
+        let specs = v
+            .req("specs")?
+            .as_arr()
+            .ok_or("model 'specs' must be an array")?
+            .iter()
+            .map(SpecSource::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultModel {
+            name,
+            description,
+            specs,
+        })
     }
 
     /// Parses a model from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error message.
+    /// Returns the parse or shape error message.
     pub fn from_json(json: &str) -> Result<FaultModel, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        FaultModel::from_value(&jsonlite::parse(json)?)
+    }
+
+    /// A stable 64-bit content hash of the model (canonical-JSON based;
+    /// key for the cross-campaign scan cache).
+    pub fn content_hash(&self) -> u64 {
+        jsonlite::stable_hash64(jsonlite::canonicalize(&self.to_value()).compact().as_bytes())
     }
 
     /// Compiles every specification to its meta-model.
@@ -78,6 +150,8 @@ mod tests {
     #[test]
     fn bad_json_is_error() {
         assert!(FaultModel::from_json("{not json").is_err());
+        assert!(FaultModel::from_json(r#"{"name": "x"}"#).is_err());
+        assert!(FaultModel::from_json(r#"{"name": 3, "description": "", "specs": []}"#).is_err());
     }
 
     #[test]
@@ -93,5 +167,16 @@ mod tests {
         };
         let err = model.compile().unwrap_err();
         assert!(err.message.contains("BAD"));
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_identity() {
+        let a = crate::library::campaign_a_model();
+        let a2 = crate::library::campaign_a_model();
+        assert_eq!(a.content_hash(), a2.content_hash());
+        let b = crate::library::campaign_b_model();
+        assert_ne!(a.content_hash(), b.content_hash());
+        let roundtripped = FaultModel::from_json(&a.to_json()).unwrap();
+        assert_eq!(a.content_hash(), roundtripped.content_hash());
     }
 }

@@ -32,8 +32,10 @@
 
 pub mod matcher;
 pub mod mutator;
+pub mod persist;
 pub mod scanner;
 
 pub use matcher::{match_at, Bindings};
 pub use mutator::{MutationMode, Mutator};
+pub use persist::{points_from_portable_value, points_to_portable_value};
 pub use scanner::{InjectionPoint, Scanner};

@@ -1,0 +1,357 @@
+//! Serialization and stable hashing for scan results.
+//!
+//! The campaign layer's cross-campaign cache persists scan results on
+//! disk keyed by (source hash, fault-model hash); that requires
+//! [`InjectionPoint`]s to round-trip through JSON and to have a
+//! process-independent fingerprint (`DefaultHasher` is randomized per
+//! process, so it cannot key an on-disk cache).
+
+use crate::scanner::InjectionPoint;
+use jsonlite::Value;
+use pysrc::ast::NodeId;
+use pysrc::error::{Pos, Span};
+
+fn span_to_value(span: &Span) -> Value {
+    Value::Arr(vec![
+        Value::Int(span.lo.line as i64),
+        Value::Int(span.lo.col as i64),
+        Value::Int(span.hi.line as i64),
+        Value::Int(span.hi.col as i64),
+    ])
+}
+
+fn span_from_value(v: &Value) -> Result<Span, String> {
+    let parts = v.as_arr().ok_or("span must be an array")?;
+    if parts.len() != 4 {
+        return Err("span must have 4 elements".to_string());
+    }
+    let num = |i: usize| -> Result<u32, String> {
+        parts[i]
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| format!("span element {i} out of range"))
+    };
+    Ok(Span {
+        lo: Pos::new(num(0)?, num(1)?),
+        hi: Pos::new(num(2)?, num(3)?),
+    })
+}
+
+impl InjectionPoint {
+    /// The point as a JSON value.
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::UInt(self.id)),
+            ("spec", Value::str(&self.spec_name)),
+            ("module", Value::str(&self.module)),
+            ("scope", Value::str(&self.scope)),
+            ("span", span_to_value(&self.span)),
+            ("start_stmt", Value::UInt(self.start_stmt_id.0 as u64)),
+            ("window_len", Value::UInt(self.window_len as u64)),
+            (
+                "core_ids",
+                Value::Arr(
+                    self.core_ids
+                        .iter()
+                        .map(|id| Value::UInt(id.0 as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reads a point back from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn from_value(v: &Value) -> Result<InjectionPoint, String> {
+        let text = |key: &str| -> Result<String, String> {
+            v.req(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("point field '{key}' must be a string"))
+        };
+        let node_id = |val: &Value, what: &str| -> Result<NodeId, String> {
+            val.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(NodeId)
+                .ok_or_else(|| format!("{what} out of range"))
+        };
+        Ok(InjectionPoint {
+            id: v.req("id")?.as_u64().ok_or("point 'id' must be a u64")?,
+            spec_name: text("spec")?,
+            module: text("module")?,
+            scope: text("scope")?,
+            span: span_from_value(v.req("span")?)?,
+            start_stmt_id: node_id(v.req("start_stmt")?, "start_stmt")?,
+            window_len: v
+                .req("window_len")?
+                .as_u64()
+                .ok_or("point 'window_len' must be a u64")? as usize,
+            core_ids: v
+                .req("core_ids")?
+                .as_arr()
+                .ok_or("point 'core_ids' must be an array")?
+                .iter()
+                .map(|id| node_id(id, "core id"))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// A stable, process-independent content fingerprint of the point.
+    pub fn fingerprint(&self) -> u64 {
+        jsonlite::stable_hash64(self.to_value().compact().as_bytes())
+    }
+}
+
+/// Serializes a whole scan result.
+pub fn points_to_value(points: &[InjectionPoint]) -> Value {
+    Value::Arr(points.iter().map(InjectionPoint::to_value).collect())
+}
+
+/// Reads a whole scan result back.
+///
+/// # Errors
+///
+/// Describes the malformed entry.
+pub fn points_from_value(v: &Value) -> Result<Vec<InjectionPoint>, String> {
+    v.as_arr()
+        .ok_or("scan result must be an array")?
+        .iter()
+        .map(InjectionPoint::from_value)
+        .collect()
+}
+
+/// Order-sensitive fingerprint of a whole scan result — two scans agree
+/// iff they found the same points in the same order.
+pub fn points_fingerprint(points: &[InjectionPoint]) -> u64 {
+    jsonlite::combine_hash64(
+        &points
+            .iter()
+            .map(InjectionPoint::fingerprint)
+            .collect::<Vec<_>>(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Portable (cross-process) scan serialization.
+//
+// `NodeId`s are process-local (a global counter), so a scan written by
+// one process cannot be resolved against modules parsed by another.
+// Statement *spans* are stable for identical source text, though: the
+// portable form stores the window's statement spans next to the ids and
+// re-binds them against freshly parsed modules at load time.
+// ---------------------------------------------------------------------
+
+use pysrc::ast::Module;
+use pysrc::visit::walk_blocks;
+use std::collections::HashMap;
+
+type SpanToId = HashMap<(String, Span), NodeId>;
+type IdToSpan = HashMap<(String, NodeId), Span>;
+
+fn span_indices(modules: &[Module]) -> Result<(SpanToId, IdToSpan), String> {
+    let mut by_span = HashMap::new();
+    let mut by_id = HashMap::new();
+    let mut ambiguous: Option<(String, Span)> = None;
+    for module in modules {
+        walk_blocks(module, &mut |block, _ctx| {
+            for stmt in block {
+                if by_span
+                    .insert((module.name.clone(), stmt.span), stmt.id)
+                    .is_some()
+                {
+                    ambiguous = Some((module.name.clone(), stmt.span));
+                }
+                by_id.insert((module.name.clone(), stmt.id), stmt.span);
+            }
+        });
+    }
+    match ambiguous {
+        Some((module, span)) => Err(format!(
+            "module {module} has two statements at span {span}; scan not portable"
+        )),
+        None => Ok((by_span, by_id)),
+    }
+}
+
+/// Serializes a scan **portably**: each point carries the source spans
+/// of its window statements so another process can re-bind it.
+///
+/// # Errors
+///
+/// If a point references a statement id that is not in `modules`, or a
+/// span is ambiguous (two statements at the same location).
+pub fn points_to_portable_value(
+    points: &[InjectionPoint],
+    modules: &[Module],
+) -> Result<Value, String> {
+    let (_, by_id) = span_indices(modules)?;
+    let span_of = |module: &str, id: NodeId| -> Result<Span, String> {
+        by_id
+            .get(&(module.to_string(), id))
+            .copied()
+            .ok_or_else(|| format!("statement {id} not found in module {module}"))
+    };
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let mut value = p.to_value();
+        let Value::Obj(pairs) = &mut value else {
+            unreachable!("to_value builds an object")
+        };
+        pairs.push((
+            "start_span".to_string(),
+            span_to_value(&span_of(&p.module, p.start_stmt_id)?),
+        ));
+        pairs.push((
+            "core_spans".to_string(),
+            Value::Arr(
+                p.core_ids
+                    .iter()
+                    .map(|id| span_of(&p.module, *id).map(|s| span_to_value(&s)))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        ));
+        out.push(value);
+    }
+    Ok(Value::Arr(out))
+}
+
+/// Loads a portable scan, re-binding every point's statement ids
+/// against `modules` (which must be parsed from the identical source —
+/// the cache key guarantees that).
+///
+/// # Errors
+///
+/// If a recorded span no longer resolves (source text changed, or the
+/// value was not written by [`points_to_portable_value`]).
+pub fn points_from_portable_value(
+    v: &Value,
+    modules: &[Module],
+) -> Result<Vec<InjectionPoint>, String> {
+    let (by_span, _) = span_indices(modules)?;
+    let id_at = |module: &str, span: Span| -> Result<NodeId, String> {
+        by_span
+            .get(&(module.to_string(), span))
+            .copied()
+            .ok_or_else(|| format!("no statement at span {span} in module {module}"))
+    };
+    v.as_arr()
+        .ok_or("portable scan must be an array")?
+        .iter()
+        .map(|entry| {
+            let mut point = InjectionPoint::from_value(entry)?;
+            let start_span = span_from_value(entry.req("start_span")?)?;
+            point.start_stmt_id = id_at(&point.module, start_span)?;
+            point.core_ids = entry
+                .req("core_spans")?
+                .as_arr()
+                .ok_or("'core_spans' must be an array")?
+                .iter()
+                .map(|s| span_from_value(s).and_then(|s| id_at(&point.module, s)))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(point)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultdsl::parse_spec;
+    use crate::scanner::Scanner;
+
+    fn scan_points() -> Vec<InjectionPoint> {
+        let spec = parse_spec(
+            "change {\n    $CALL{name=log*}(...)\n} into {\n    pass\n}",
+            "S",
+        )
+        .unwrap();
+        let module = pysrc::parse_module(
+            "log_init()\ndef f():\n    log_f()\nclass C:\n    def m(self):\n        log_m()\n",
+            "m.py",
+        )
+        .unwrap();
+        Scanner::new(vec![spec]).scan(&[module])
+    }
+
+    #[test]
+    fn points_roundtrip_through_json() {
+        let points = scan_points();
+        assert!(!points.is_empty());
+        let json = points_to_value(&points).pretty();
+        let back = points_from_value(&jsonlite::parse(&json).unwrap()).unwrap();
+        assert_eq!(points.len(), back.len());
+        for (a, b) in points.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.spec_name, b.spec_name);
+            assert_eq!(a.module, b.module);
+            assert_eq!(a.scope, b.scope);
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.start_stmt_id, b.start_stmt_id);
+            assert_eq!(a.window_len, b.window_len);
+            assert_eq!(a.core_ids, b.core_ids);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprints_differ_between_points() {
+        let points = scan_points();
+        let mut prints: Vec<u64> = points.iter().map(InjectionPoint::fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), points.len());
+    }
+
+    #[test]
+    fn scan_fingerprint_is_order_sensitive_and_repeatable() {
+        let points = scan_points();
+        assert_eq!(points_fingerprint(&points), points_fingerprint(&points));
+        let mut reversed = points.clone();
+        reversed.reverse();
+        assert_ne!(points_fingerprint(&points), points_fingerprint(&reversed));
+    }
+
+    #[test]
+    fn portable_scan_rebinds_across_simulated_processes() {
+        let src = "def f(c):\n    c.prepare()\n    delete_port(c)\n    c.done()\n";
+        let spec_dsl = "change {\n    $CALL{name=delete_*}(...)\n} into {\n    pass\n}";
+        let spec = parse_spec(spec_dsl, "DEL").unwrap();
+        let module = pysrc::parse_module(src, "m.py").unwrap();
+        let points = Scanner::new(vec![spec.clone()]).scan(std::slice::from_ref(&module));
+        let portable = points_to_portable_value(&points, &[module]).unwrap();
+        let json = portable.pretty();
+
+        // "Another process": re-parse the same source — NodeIds differ
+        // because the global counter has advanced.
+        let module2 = pysrc::parse_module(src, "m.py").unwrap();
+        let rebound = points_from_portable_value(
+            &jsonlite::parse(&json).unwrap(),
+            std::slice::from_ref(&module2),
+        )
+        .unwrap();
+        assert_eq!(rebound.len(), points.len());
+        assert_ne!(
+            rebound[0].start_stmt_id, points[0].start_stmt_id,
+            "re-parse must have different ids for the test to be meaningful"
+        );
+        // The re-bound point must actually work: mutate through it.
+        let mutated = crate::Mutator::new(crate::MutationMode::Direct)
+            .apply(&module2, &spec, &rebound[0])
+            .expect("re-bound point drives the mutator");
+        let text = pysrc::unparse::unparse_module(&mutated);
+        assert!(!text.contains("delete_port"), "{text}");
+
+        // A changed source refuses to re-bind instead of mis-binding.
+        let changed = pysrc::parse_module(
+            "def f(c):\n    c.prepare()\n\n    delete_port(c)\n    c.done()\n",
+            "m.py",
+        )
+        .unwrap();
+        assert!(
+            points_from_portable_value(&jsonlite::parse(&json).unwrap(), &[changed]).is_err()
+        );
+    }
+}

@@ -192,4 +192,108 @@ mod tests {
         assert_eq!(reduced.len(), 2);
         assert!(reduced.entries.iter().all(|p| covered.contains(&p.id)));
     }
+
+    fn many_points(n: u64) -> Vec<InjectionPoint> {
+        (0..n)
+            .map(|i| {
+                point(
+                    i,
+                    if i % 2 == 0 { "MFC" } else { "EXC" },
+                    "etcd",
+                    &format!("Client.m{i}"),
+                )
+            })
+            .collect()
+    }
+
+    // The campaign engine's checkpoints and cross-campaign cache both
+    // assume plan stability: the same spec re-planned after a crash (or
+    // on a cache hit) must select exactly the same experiments.
+
+    #[test]
+    fn sample_is_fully_deterministic_per_seed() {
+        let points = many_points(50);
+        let filter = PlanFilter::all().sample(12);
+        let ids = |plan: &InjectionPlan| plan.entries.iter().map(|p| p.id).collect::<Vec<_>>();
+        let first = InjectionPlan::build(&points, &filter, 1234);
+        for _ in 0..5 {
+            assert_eq!(ids(&InjectionPlan::build(&points, &filter, 1234)), ids(&first));
+        }
+        // Sampled ids are a sorted subset of the filtered input.
+        let all: BTreeSet<u64> = points.iter().map(|p| p.id).collect();
+        assert!(first.entries.iter().all(|p| all.contains(&p.id)));
+        assert!(first
+            .entries
+            .windows(2)
+            .all(|w| w[0].id < w[1].id), "plan order is deterministic (sorted)");
+        // And the seed actually matters: some other seed must differ.
+        assert!(
+            (0..10u64).any(|s| ids(&InjectionPlan::build(&points, &filter, s)) != ids(&first)),
+            "sampling ignores the seed"
+        );
+    }
+
+    #[test]
+    fn sample_no_larger_than_population_keeps_everything() {
+        let points = many_points(5);
+        let plan = InjectionPlan::build(&points, &PlanFilter::all().sample(5), 7);
+        assert_eq!(plan.len(), 5);
+        let plan = InjectionPlan::build(&points, &PlanFilter::all().sample(50), 7);
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn prune_is_strict_subset_and_idempotent() {
+        let points = many_points(20);
+        let plan = InjectionPlan::build(&points, &PlanFilter::all(), 0);
+        let covered: BTreeSet<u64> = (0..20u64).filter(|i| i % 3 == 0).collect();
+        let pruned = plan.prune_by_coverage(&covered);
+        // Strict subset: smaller, and every survivor was in the
+        // original plan AND covered.
+        assert!(pruned.len() < plan.len());
+        let original: BTreeSet<u64> = plan.entries.iter().map(|p| p.id).collect();
+        for p in &pruned.entries {
+            assert!(original.contains(&p.id));
+            assert!(covered.contains(&p.id));
+        }
+        // No covered plan entry was dropped.
+        assert_eq!(
+            pruned.len(),
+            plan.entries.iter().filter(|p| covered.contains(&p.id)).count()
+        );
+        // Idempotent: pruning again changes nothing.
+        let twice = pruned.prune_by_coverage(&covered);
+        assert_eq!(
+            twice.entries.iter().map(|p| p.id).collect::<Vec<_>>(),
+            pruned.entries.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+        // Order is preserved from the original plan.
+        assert!(pruned.entries.windows(2).all(|w| w[0].id < w[1].id));
+        // Empty coverage prunes everything; full coverage prunes nothing.
+        assert!(plan.prune_by_coverage(&BTreeSet::new()).is_empty());
+        let full: BTreeSet<u64> = (0..20u64).collect();
+        assert_eq!(plan.prune_by_coverage(&full).len(), plan.len());
+    }
+
+    #[test]
+    fn sample_then_prune_is_stable_for_resume() {
+        // The exact composition the engine uses on resume: rebuild the
+        // plan from cached points, then prune by the cached coverage
+        // set — the result must be identical run over run.
+        let points = many_points(40);
+        let filter = PlanFilter::all().spec("MFC").sample(8);
+        let covered: BTreeSet<u64> = (0..40u64).filter(|i| i % 4 == 0).collect();
+        let run = || {
+            InjectionPlan::build(&points, &filter, 99)
+                .prune_by_coverage(&covered)
+                .entries
+                .iter()
+                .map(|p| p.id)
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert!(!first.is_empty());
+        assert_eq!(run(), first);
+        assert_eq!(run(), first);
+    }
 }

@@ -56,6 +56,31 @@ impl ProfipyService {
     pub fn users(&self) -> Vec<String> {
         self.sessions.keys().cloned().collect()
     }
+
+    /// A user's session, if one exists (read-only; does not create).
+    pub fn get_session(&self, user: &str) -> Option<&Session> {
+        self.sessions.get(user)
+    }
+
+    /// A user's past reports, oldest first (empty for unknown users).
+    pub fn reports(&self, user: &str) -> &[CampaignReport] {
+        self.sessions
+            .get(user)
+            .map(|s| s.reports())
+            .unwrap_or(&[])
+    }
+
+    /// The names of a user's past campaigns, oldest first.
+    pub fn report_names(&self, user: &str) -> Vec<String> {
+        self.reports(user).iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Fetches a user's **latest** report with the given campaign name
+    /// (campaigns may be re-run under the same name; the newest is the
+    /// interesting one).
+    pub fn report(&self, user: &str, name: &str) -> Option<&CampaignReport> {
+        self.reports(user).iter().rev().find(|r| r.name == name)
+    }
 }
 
 impl Session {
@@ -105,6 +130,13 @@ impl Session {
     pub fn reports(&self) -> &[CampaignReport] {
         &self.reports
     }
+
+    /// Records a report produced outside `run_campaign` — e.g. by the
+    /// campaign orchestration engine, which executes asynchronously and
+    /// pushes the report here on completion.
+    pub fn add_report(&mut self, report: CampaignReport) {
+        self.reports.push(report);
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +162,44 @@ mod tests {
             .save_model("m", &faultdsl::campaign_a_model());
         assert!(svc.session("bob").model_names().is_empty());
         assert_eq!(svc.users(), vec!["alice".to_string(), "bob".to_string()]);
+    }
+
+    fn dummy_report(name: &str, executed: usize) -> CampaignReport {
+        CampaignReport::from_results(
+            name,
+            executed,
+            None,
+            &[],
+            &FailureClassifier::case_study(),
+        )
+    }
+
+    #[test]
+    fn service_level_report_accessors() {
+        let mut svc = ProfipyService::new();
+        assert!(svc.reports("nobody").is_empty());
+        assert!(svc.report("nobody", "x").is_none());
+        assert!(svc.get_session("nobody").is_none());
+
+        svc.session("alice").add_report(dummy_report("smoke", 1));
+        svc.session("alice").add_report(dummy_report("full", 2));
+        svc.session("bob").add_report(dummy_report("smoke", 3));
+
+        assert_eq!(svc.report_names("alice"), vec!["smoke", "full"]);
+        assert_eq!(svc.reports("alice").len(), 2);
+        assert_eq!(svc.report("alice", "full").unwrap().planned_points, 2);
+        // Reports are per-user: bob's "smoke" is not alice's.
+        assert_eq!(svc.report("bob", "smoke").unwrap().planned_points, 3);
+        assert!(svc.report("alice", "missing").is_none());
+        assert!(svc.get_session("alice").is_some());
+    }
+
+    #[test]
+    fn latest_report_wins_on_name_collision() {
+        let mut svc = ProfipyService::new();
+        svc.session("alice").add_report(dummy_report("nightly", 1));
+        svc.session("alice").add_report(dummy_report("nightly", 9));
+        assert_eq!(svc.report("alice", "nightly").unwrap().planned_points, 9);
+        assert_eq!(svc.reports("alice").len(), 2, "history keeps both");
     }
 }

@@ -114,9 +114,58 @@ impl Workflow {
         })
     }
 
+    /// Builds a workflow from **already-parsed** modules, skipping the
+    /// parse step — the cross-campaign cache hands back parsed modules
+    /// so repeated campaigns on an unchanged target pay neither parse
+    /// nor scan.
+    ///
+    /// `modules` must correspond to `sources` (same order, same names);
+    /// the sources are still kept for fault-free module text.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError`] for DSL compile errors or a source/module
+    /// mismatch.
+    pub fn from_modules(
+        sources: Vec<(String, String)>,
+        modules: Vec<Module>,
+        workload: String,
+        model: FaultModel,
+        host_factory: HostFactory,
+        config: WorkflowConfig,
+    ) -> Result<Workflow, WorkflowError> {
+        if sources.len() != modules.len()
+            || sources
+                .iter()
+                .zip(&modules)
+                .any(|((name, _), module)| name != &module.name)
+        {
+            return Err(WorkflowError {
+                message: "from_modules: sources and modules do not line up".to_string(),
+            });
+        }
+        let specs = model.compile().map_err(|e| WorkflowError {
+            message: e.message,
+        })?;
+        Ok(Workflow {
+            sources,
+            modules,
+            workload,
+            specs,
+            model,
+            host_factory,
+            config,
+        })
+    }
+
     /// The parsed target modules.
     pub fn modules(&self) -> &[Module] {
         &self.modules
+    }
+
+    /// The target sources: `(import name, source text)`.
+    pub fn sources(&self) -> &[(String, String)] {
+        &self.sources
     }
 
     /// The compiled specs.
@@ -187,51 +236,35 @@ impl Workflow {
             .run(entries.len(), |i| self.run_experiment(&entries[i]))
     }
 
-    /// Runs a single experiment: mutate → deploy → round 1 (fault on) →
-    /// round 2 (fault off) → teardown.
-    pub fn run_experiment(&self, point: &InjectionPoint) -> ExperimentResult {
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(point.id);
-        let not_run = RoundOutcome {
-            status: RoundStatus::NotRun,
-            duration: 0.0,
-        };
-        let mut result = ExperimentResult {
-            point_id: point.id,
-            spec_name: point.spec_name.clone(),
-            module: point.module.clone(),
-            scope: point.scope.clone(),
-            round1: not_run.clone(),
-            round2: not_run,
-            logs: Vec::new(),
-            stdout: String::new(),
-            stderr: String::new(),
-            duration: 0.0,
-            deploy_error: None,
-            events: Vec::new(),
-        };
-        let Some(spec) = self.specs.iter().find(|s| s.name == point.spec_name) else {
-            result.deploy_error = Some(format!("unknown spec {}", point.spec_name));
-            return result;
-        };
+    /// **Mutation step** of one experiment: the complete per-container
+    /// source set (the mutated module plus fault-free originals). This
+    /// is pure with respect to the point, so the cross-campaign cache
+    /// memoizes it — a resumed or repeated campaign skips re-mutation.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError`] for an unknown spec or a mutation failure.
+    pub fn mutant_sources(
+        &self,
+        point: &InjectionPoint,
+    ) -> Result<Vec<sandbox::SourceFile>, WorkflowError> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.name == point.spec_name)
+            .ok_or_else(|| WorkflowError {
+                message: format!("unknown spec {}", point.spec_name),
+            })?;
         let mutator = Mutator::new(self.config.mode);
-        let mut image = ContainerImage::new(format!("exp-{}", point.id))
-            .workload(&self.workload)
-            .round_timeout(self.config.round_timeout)
-            .fuel(self.config.fuel_per_round);
-        image.setup = self.config.setup.clone();
+        let mut out = Vec::with_capacity(self.modules.len());
         for module in &self.modules {
             let text = if module.name == point.module {
-                match mutator.apply(module, spec, point) {
-                    Ok(mutated) => pysrc::unparse::unparse_module(&mutated),
-                    Err(e) => {
-                        result.deploy_error = Some(e.to_string());
-                        return result;
+                let mutated = mutator.apply(module, spec, point).map_err(|e| {
+                    WorkflowError {
+                        message: e.to_string(),
                     }
-                }
+                })?;
+                pysrc::unparse::unparse_module(&mutated)
             } else {
                 self.sources
                     .iter()
@@ -239,11 +272,47 @@ impl Workflow {
                     .map(|(_, t)| t.clone())
                     .unwrap_or_default()
             };
-            image.sources.push(sandbox::SourceFile {
+            out.push(sandbox::SourceFile {
                 import_name: module.name.clone(),
                 text,
             });
         }
+        Ok(out)
+    }
+
+    /// Runs a single experiment: mutate → deploy → round 1 (fault on) →
+    /// round 2 (fault off) → teardown.
+    pub fn run_experiment(&self, point: &InjectionPoint) -> ExperimentResult {
+        match self.mutant_sources(point) {
+            Ok(sources) => self.run_experiment_with_sources(point, &sources),
+            Err(e) => {
+                let mut result = Self::empty_result(point);
+                result.deploy_error = Some(e.message);
+                result
+            }
+        }
+    }
+
+    /// **Execution step** of one experiment on pre-rendered container
+    /// sources (from [`Workflow::mutant_sources`] or the mutant cache):
+    /// deploy → round 1 (fault on) → round 2 (fault off) → teardown.
+    pub fn run_experiment_with_sources(
+        &self,
+        point: &InjectionPoint,
+        sources: &[sandbox::SourceFile],
+    ) -> ExperimentResult {
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(point.id);
+        let mut result = Self::empty_result(point);
+        let mut image = ContainerImage::new(format!("exp-{}", point.id))
+            .workload(&self.workload)
+            .round_timeout(self.config.round_timeout)
+            .fuel(self.config.fuel_per_round);
+        image.setup = self.config.setup.clone();
+        image.sources = sources.to_vec();
         let host = (self.host_factory)(seed);
         let mut container = match Container::deploy(&image, host, seed) {
             Ok(c) => c,
@@ -261,6 +330,59 @@ impl Workflow {
         result.events = container.trace_events();
         container.teardown();
         result
+    }
+
+    fn empty_result(point: &InjectionPoint) -> ExperimentResult {
+        let not_run = RoundOutcome {
+            status: RoundStatus::NotRun,
+            duration: 0.0,
+        };
+        ExperimentResult {
+            point_id: point.id,
+            spec_name: point.spec_name.clone(),
+            module: point.module.clone(),
+            scope: point.scope.clone(),
+            round1: not_run.clone(),
+            round2: not_run,
+            logs: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            duration: 0.0,
+            deploy_error: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// **Incremental execution** (crash-tolerant campaigns): runs only
+    /// the plan entries whose ids are *not* in `done`, invoking
+    /// `on_result` on the calling thread as each experiment completes
+    /// (checkpoint hook), and returns the new results in completion
+    /// order. Entries already in `done` are skipped entirely.
+    pub fn execute_incremental(
+        &self,
+        plan: &InjectionPlan,
+        done: &BTreeSet<u64>,
+        mut on_result: impl FnMut(&ExperimentResult),
+    ) -> Vec<ExperimentResult> {
+        let pending: Vec<&InjectionPoint> = plan
+            .entries
+            .iter()
+            .filter(|p| !done.contains(&p.id))
+            .collect();
+        let stream = std::sync::Mutex::new(
+            pending.into_iter().collect::<std::collections::VecDeque<_>>(),
+        );
+        let mut results = Vec::new();
+        self.config.executor.run_stream(
+            plan.len(),
+            &stream,
+            |point| self.run_experiment(point),
+            |result| {
+                on_result(&result);
+                results.push(result);
+            },
+        );
+        results
     }
 
     /// Convenience: scan → (optional coverage pruning) → execute.
@@ -303,4 +425,109 @@ pub struct CampaignOutcome {
     pub covered: Option<BTreeSet<u64>>,
     /// One result per executed experiment.
     pub results: Vec<ExperimentResult>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn tiny_workflow() -> Workflow {
+        tiny_workflow_with(WorkflowConfig::default())
+    }
+
+    fn tiny_workflow_with(config: WorkflowConfig) -> Workflow {
+        let model = FaultModel {
+            name: "tiny".into(),
+            description: String::new(),
+            specs: vec![faultdsl::SpecSource {
+                name: "OMIT".into(),
+                description: String::new(),
+                dsl: "change {\n    $CALL{name=ping*}(...)\n} into {\n    pass\n}".into(),
+            }],
+        };
+        Workflow::new(
+            vec![(
+                "lib".into(),
+                "def a():\n    ping_a()\ndef b():\n    ping_b()\ndef c():\n    ping_c()\n"
+                    .into(),
+            )],
+            "import lib\ndef run(round):\n    pass\n".into(),
+            model,
+            Arc::new(|_| Rc::new(pyrt::NoopHost::new()) as Rc<dyn pyrt::HostApi>),
+            config,
+        )
+        .expect("valid workflow")
+    }
+
+    #[test]
+    fn mutant_sources_compose_into_run_experiment() {
+        // Direct mode replaces the call outright, which is easy to
+        // assert on (triggered mode keeps the original in the `else`).
+        let wf = tiny_workflow_with(WorkflowConfig {
+            mode: MutationMode::Direct,
+            ..WorkflowConfig::default()
+        });
+        let points = wf.scan();
+        assert_eq!(points.len(), 3);
+        let sources = wf.mutant_sources(&points[0]).expect("mutates");
+        assert_eq!(sources.len(), 1);
+        assert!(!sources[0].text.contains("ping_a"), "{}", sources[0].text);
+        assert!(sources[0].text.contains("ping_b"), "other points untouched");
+        // The composed path and the one-shot path agree.
+        let via_sources = wf.run_experiment_with_sources(&points[0], &sources);
+        let one_shot = wf.run_experiment(&points[0]);
+        assert_eq!(via_sources.round1.status, one_shot.round1.status);
+        assert_eq!(via_sources.duration, one_shot.duration);
+    }
+
+    #[test]
+    fn execute_incremental_skips_done_and_reports_each() {
+        let wf = tiny_workflow();
+        let points = wf.scan();
+        let plan = wf.plan(&points, &PlanFilter::all());
+        assert_eq!(plan.len(), 3);
+        let done: BTreeSet<u64> = [plan.entries[1].id].into_iter().collect();
+        let mut seen = Vec::new();
+        let results = wf.execute_incremental(&plan, &done, |r| seen.push(r.point_id));
+        assert_eq!(results.len(), 2, "the done experiment is skipped");
+        assert!(results.iter().all(|r| !done.contains(&r.point_id)));
+        let mut reported = seen.clone();
+        reported.sort_unstable();
+        let mut executed: Vec<u64> = results.iter().map(|r| r.point_id).collect();
+        executed.sort_unstable();
+        assert_eq!(reported, executed, "callback saw every result");
+        // Nothing done: everything runs. Everything done: nothing runs.
+        assert_eq!(wf.execute_incremental(&plan, &BTreeSet::new(), |_| {}).len(), 3);
+        let all: BTreeSet<u64> = plan.entries.iter().map(|p| p.id).collect();
+        assert!(wf.execute_incremental(&plan, &all, |_| {}).is_empty());
+    }
+
+    #[test]
+    fn from_modules_skips_parse_but_matches_workflow_new() {
+        let wf = tiny_workflow();
+        let rebuilt = Workflow::from_modules(
+            wf.sources().to_vec(),
+            wf.modules().to_vec(),
+            "import lib\ndef run(round):\n    pass\n".into(),
+            wf.model.clone(),
+            Arc::new(|_| Rc::new(pyrt::NoopHost::new()) as Rc<dyn pyrt::HostApi>),
+            WorkflowConfig::default(),
+        )
+        .expect("rebuilds");
+        let a = wf.scan();
+        let b = rebuilt.scan();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.id == y.id && x.scope == y.scope));
+        // Mismatched module list is rejected.
+        assert!(Workflow::from_modules(
+            vec![("other".into(), String::new())],
+            wf.modules().to_vec(),
+            String::new(),
+            wf.model.clone(),
+            Arc::new(|_| Rc::new(pyrt::NoopHost::new()) as Rc<dyn pyrt::HostApi>),
+            WorkflowConfig::default(),
+        )
+        .is_err());
+    }
 }

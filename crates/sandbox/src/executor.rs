@@ -2,9 +2,57 @@
 //! parallel containers at the same time, where N is the number of CPU
 //! cores ... the tool further reduces the number of parallel containers
 //! if it hits a threshold for memory and I/O utilization").
+//!
+//! Two entry points:
+//!
+//! * [`ParallelExecutor::run`] — a fixed batch of indexed jobs, results
+//!   returned in order (the classic single-campaign path).
+//! * [`ParallelExecutor::run_stream`] — a dynamic [`JobStream`] drained
+//!   by the worker pool until exhausted. The campaign scheduler feeds
+//!   experiments from *multiple queued campaigns* through one stream so
+//!   every worker stays busy across campaign boundaries.
 
+use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
+
+/// Worker stack size: the tree-walking interpreter is recursion-heavy.
+const WORKER_STACK_BYTES: usize = 32 * 1024 * 1024;
+
+/// A dynamic source of jobs drained by the worker pool. Implementations
+/// must hand out each job exactly once; `None` permanently ends the
+/// stream for the asking worker.
+pub trait JobStream: Sync {
+    /// The job payload handed to workers.
+    type Job: Send;
+
+    /// Pops the next job, or `None` when the stream is exhausted.
+    fn next_job(&self) -> Option<Self::Job>;
+}
+
+/// The obvious shared work queue: lock, pop front.
+impl<J: Send> JobStream for Mutex<VecDeque<J>> {
+    type Job = J;
+
+    fn next_job(&self) -> Option<J> {
+        self.lock().expect("job queue poisoned").pop_front()
+    }
+}
+
+struct IndexStream {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl JobStream for IndexStream {
+    type Job = usize;
+
+    fn next_job(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.limit).then_some(i)
+    }
+}
 
 /// The parallel experiment executor.
 #[derive(Clone, Debug)]
@@ -16,7 +64,11 @@ pub struct ParallelExecutor {
     /// Memory footprint of one container (MB).
     pub mem_mb_per_container: u64,
     /// I/O bandwidth cap expressed as a max number of concurrently
-    /// I/O-active containers.
+    /// I/O-active containers. `usize::MAX` means unlimited — prefer the
+    /// [`ParallelExecutor::io_limit`] / [`ParallelExecutor::set_io_limit`]
+    /// accessors, which make the sentinel explicit and keep the value
+    /// sane when configs are serialized for the persistent campaign
+    /// queue.
     pub io_parallel_limit: usize,
 }
 
@@ -33,6 +85,23 @@ impl Default for ParallelExecutor {
     }
 }
 
+impl fmt::Display for ParallelExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "executor(cores={}, workers<={}, mem={}MB/{}MB, io=",
+            self.cpu_cores,
+            self.cpu_cores.saturating_sub(1).max(1),
+            self.mem_mb_total,
+            self.mem_mb_per_container,
+        )?;
+        match self.io_limit() {
+            Some(n) => write!(f, "{n})"),
+            None => write!(f, "unlimited)"),
+        }
+    }
+}
+
 impl ParallelExecutor {
     /// Creates an executor for a host with `cpu_cores` cores.
     pub fn new(cpu_cores: usize) -> ParallelExecutor {
@@ -40,6 +109,27 @@ impl ParallelExecutor {
             cpu_cores,
             ..ParallelExecutor::default()
         }
+    }
+
+    /// The I/O cap, if one is set (`None` = unlimited). Clamps a raw
+    /// zero — which would deadlock the pool — up to 1.
+    pub fn io_limit(&self) -> Option<usize> {
+        if self.io_parallel_limit == usize::MAX {
+            None
+        } else {
+            Some(self.io_parallel_limit.max(1))
+        }
+    }
+
+    /// Sets the I/O cap. `None` means unlimited; `Some(0)` is clamped
+    /// to 1. This is the inverse of [`ParallelExecutor::io_limit`] and
+    /// the intended deserialization path, keeping the `usize::MAX`
+    /// sentinel out of stored configs.
+    pub fn set_io_limit(&mut self, limit: Option<usize>) {
+        self.io_parallel_limit = match limit {
+            None => usize::MAX,
+            Some(n) => n.max(1),
+        };
     }
 
     /// Effective worker count: `min(N−1, memory cap, I/O cap, jobs)`,
@@ -52,7 +142,7 @@ impl ParallelExecutor {
         };
         cpu_cap
             .min(mem_cap)
-            .min(self.io_parallel_limit.max(1))
+            .min(self.io_limit().unwrap_or(usize::MAX))
             .min(jobs.max(1))
     }
 
@@ -71,43 +161,65 @@ impl ParallelExecutor {
         if jobs == 0 {
             return Vec::new();
         }
-        let workers = self.effective_workers(jobs);
+        let stream = IndexStream {
+            next: AtomicUsize::new(0),
+            limit: jobs,
+        };
+        let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+        self.run_stream(jobs, &stream, |i| (i, f(i)), |(i, r)| {
+            results[i] = Some(r);
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every job index produced a result"))
+            .collect()
+    }
+
+    /// Drains a [`JobStream`] with up to `effective_workers(jobs_hint)`
+    /// workers, invoking `collect` on the **calling thread** for every
+    /// result as it arrives (completion order, not submission order).
+    ///
+    /// `jobs_hint` bounds pool size for small batches; pass
+    /// `usize::MAX` when the stream length is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panics.
+    pub fn run_stream<S, R, F, C>(&self, jobs_hint: usize, stream: &S, run: F, mut collect: C)
+    where
+        S: JobStream,
+        R: Send,
+        F: Fn(S::Job) -> R + Sync,
+        C: FnMut(R),
+    {
+        let workers = self.effective_workers(jobs_hint);
         if workers == 1 {
-            return (0..jobs).map(&f).collect();
+            while let Some(job) = stream.next_job() {
+                collect(run(job));
+            }
+            return;
         }
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let f = &f;
-        crossbeam::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<R>();
+        let run = &run;
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                let next = &next;
                 let tx = tx.clone();
-                scope
-                    .builder()
-                    .stack_size(32 * 1024 * 1024)
-                    .spawn(move |_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
-                        }
-                        let r = f(i);
-                        if tx.send((i, r)).is_err() {
-                            break;
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        while let Some(job) = stream.next_job() {
+                            if tx.send(run(job)).is_err() {
+                                break;
+                            }
                         }
                     })
                     .expect("spawn worker");
             }
             drop(tx);
-        })
-        .expect("no worker panicked");
-        let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
-        for (i, r) in rx {
-            results[i] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every job index produced a result"))
-            .collect()
+            for r in rx {
+                collect(r);
+            }
+        });
     }
 }
 
@@ -146,6 +258,34 @@ mod tests {
     }
 
     #[test]
+    fn io_limit_accessors_clamp_the_sentinel() {
+        let mut ex = ParallelExecutor::new(8);
+        assert_eq!(ex.io_limit(), None);
+        ex.set_io_limit(Some(0));
+        assert_eq!(ex.io_limit(), Some(1));
+        assert_eq!(ex.effective_workers(100), 1);
+        ex.set_io_limit(Some(3));
+        assert_eq!(ex.io_limit(), Some(3));
+        ex.set_io_limit(None);
+        assert_eq!(ex.io_limit(), None);
+        assert_eq!(ex.effective_workers(100), 7);
+        // A raw zero written directly into the field must not deadlock.
+        ex.io_parallel_limit = 0;
+        assert_eq!(ex.io_limit(), Some(1));
+        assert_eq!(ex.effective_workers(100), 1);
+    }
+
+    #[test]
+    fn display_summarizes_caps() {
+        let mut ex = ParallelExecutor::new(8);
+        let text = ex.to_string();
+        assert!(text.contains("cores=8"), "{text}");
+        assert!(text.contains("io=unlimited"), "{text}");
+        ex.set_io_limit(Some(4));
+        assert!(ex.to_string().contains("io=4"));
+    }
+
+    #[test]
     fn results_preserve_order() {
         let ex = ParallelExecutor::new(8);
         let out = ex.run(64, |i| i * i);
@@ -167,6 +307,26 @@ mod tests {
         let ex = ParallelExecutor::new(4);
         let out: Vec<usize> = ex.run(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_drains_shared_queue() {
+        let ex = ParallelExecutor::new(4);
+        let queue: Mutex<VecDeque<u64>> = Mutex::new((0..100).collect());
+        let mut seen = Vec::new();
+        ex.run_stream(usize::MAX, &queue, |j| j * 2, |r| seen.push(r));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        assert!(queue.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_serial_path() {
+        let ex = ParallelExecutor::new(1);
+        let queue: Mutex<VecDeque<u64>> = Mutex::new((0..5).collect());
+        let mut seen = Vec::new();
+        ex.run_stream(usize::MAX, &queue, |j| j + 1, |r| seen.push(r));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Test-runner types: config, per-case RNG, and case errors.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG driving strategy generation. Deterministic: seeded from the
+/// test path and case number, so failures always reproduce.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one test case.
+    pub fn for_case(test_path: &str, case: u64) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_path.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive, works for the full range).
+    pub fn between_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let width = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % width) as i128
+    }
+
+    /// Uniform bool.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The case was rejected (e.g. filter exhaustion); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// A rejected case.
+    pub fn reject(msg: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
