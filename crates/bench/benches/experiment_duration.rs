@@ -14,6 +14,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use profipy::case_study::{campaign_a, campaign_b, campaign_c};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn summarize(name: &str, durations: &mut [f64]) {
     durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
@@ -35,12 +36,26 @@ fn summarize(name: &str, durations: &mut [f64]) {
 
 fn bench_experiment_duration(c: &mut Criterion) {
     for campaign in [campaign_a(), campaign_b(), campaign_c()] {
+        let wall_start = Instant::now();
         let outcome = campaign
             .workflow
             .run_campaign(&campaign.filter, campaign.prune_by_coverage)
             .expect("campaign runs");
+        let wall = wall_start.elapsed();
         let mut durations: Vec<f64> = outcome.results.iter().map(|r| r.duration).collect();
         summarize(&campaign.name, &mut durations);
+        // Interpreter wall-clock cost: campaigns are interpreter-bound
+        // (mutate + deploy + two workload rounds per experiment), so
+        // wall time per experiment tracks the interpreter fast path.
+        if !outcome.results.is_empty() {
+            eprintln!(
+                "P-3 {}: interpreter wall time {:?} total, {:?} per experiment (n={})",
+                campaign.name,
+                wall,
+                wall / outcome.results.len() as u32,
+                outcome.results.len()
+            );
+        }
     }
 
     // Wall-clock cost of one experiment (deploy + 2 rounds + teardown).

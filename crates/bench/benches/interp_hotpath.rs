@@ -1,0 +1,165 @@
+//! Interpreter fast-path microbenchmarks.
+//!
+//! Three microworkloads stress the paths the prepare/resolve refactor
+//! targets:
+//!
+//! * **name-lookup-heavy** — a tight loop over many locals and a few
+//!   globals: slot-indexed reads/writes vs. the old linear string scan.
+//! * **call-heavy** — deep/naive recursion plus many small calls: frame
+//!   setup cost (no more per-call `Vec<String>` clones).
+//! * **dict-heavy** — string-keyed dict churn: the hash index vs. the
+//!   old O(n) probe.
+//!
+//! A fourth benchmark measures the prepared-program reuse: executing an
+//! already-prepared module versus parse+prepare+run from source, the
+//! per-experiment saving the campaign layer banks for every unchanged
+//! module.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pyrt::vm::Vm;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const NAME_LOOKUP_HEAVY: &str = concat!(
+    "BASE = 3\n",
+    "SCALE = 2\n",
+    "def churn(count):\n",
+    "    v0 = 0\n",
+    "    v1 = 1\n",
+    "    v2 = 2\n",
+    "    v3 = 3\n",
+    "    v4 = 4\n",
+    "    v5 = 5\n",
+    "    v6 = 6\n",
+    "    v7 = 7\n",
+    "    v8 = 8\n",
+    "    v9 = 9\n",
+    "    v10 = 10\n",
+    "    v11 = 11\n",
+    "    v12 = 12\n",
+    "    v13 = 13\n",
+    "    v14 = 14\n",
+    "    v15 = 15\n",
+    "    total = 0\n",
+    "    idx = 0\n",
+    "    while idx < count:\n",
+    "        total = total + v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + v10 + v11 + v12 + v13 + v14 + v15 + BASE\n",
+    "        v0 = v1\n",
+    "        v1 = v2\n",
+    "        v2 = v3\n",
+    "        v3 = v4\n",
+    "        v4 = v5\n",
+    "        v5 = v6\n",
+    "        v6 = v7\n",
+    "        v7 = v8\n",
+    "        v8 = v9\n",
+    "        v9 = v10\n",
+    "        v10 = v11\n",
+    "        v11 = v12\n",
+    "        v12 = v13\n",
+    "        v13 = v14\n",
+    "        v14 = v15\n",
+    "        v15 = total % 97\n",
+    "        idx = idx + SCALE - 1\n",
+    "    return total\n",
+    "print(churn(2000))\n",
+);
+
+const CALL_HEAVY: &str = concat!(
+    "def add(x, y):\n",
+    "    return x + y\n",
+    "def fib(n):\n",
+    "    if n < 2:\n",
+    "        return n\n",
+    "    return add(fib(n - 1), fib(n - 2))\n",
+    "def drive():\n",
+    "    total = 0\n",
+    "    for i in range(4):\n",
+    "        total = add(total, fib(13))\n",
+    "    return total\n",
+    "print(drive())\n",
+);
+
+const DICT_HEAVY: &str = concat!(
+    "def build(n):\n",
+    "    d = {}\n",
+    "    i = 0\n",
+    "    while i < n:\n",
+    "        d['key_' + str(i)] = i\n",
+    "        i = i + 1\n",
+    "    return d\n",
+    "def probe(d, n, rounds):\n",
+    "    total = 0\n",
+    "    r = 0\n",
+    "    while r < rounds:\n",
+    "        i = 0\n",
+    "        while i < n:\n",
+    "            total = total + d['key_' + str(i)]\n",
+    "            if 'key_' + str(i) in d:\n",
+    "                total = total + 1\n",
+    "            i = i + 7\n",
+    "        r = r + 1\n",
+    "    return total\n",
+    "d = build(200)\n",
+    "print(probe(d, 200, 40))\n",
+);
+
+fn run_source(src: &str) -> String {
+    let module = pysrc::parse_module(src, "bench.py").expect("bench source parses");
+    let mut vm = Vm::new();
+    vm.run_module(&module).expect("bench source runs");
+    vm.stdout()
+}
+
+fn bench_interp_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_hotpath");
+    group.sample_size(20);
+
+    for (name, src) in [
+        ("name_lookup_heavy", NAME_LOOKUP_HEAVY),
+        ("call_heavy", CALL_HEAVY),
+        ("dict_heavy", DICT_HEAVY),
+    ] {
+        // Sanity: the workload actually computes something.
+        assert!(!run_source(src).is_empty(), "{name} produced no output");
+        let prepared = pyrt::prepare::prepare(Arc::new(
+            pysrc::parse_module(src, "bench.py").expect("parses"),
+        ));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.run_prepared(black_box(&prepared)).expect("runs");
+                black_box(vm.stdout())
+            });
+        });
+    }
+    group.finish();
+
+    // Prepared-program reuse: the per-experiment delta between
+    // cold (parse + prepare + run) and warm (run a shared artifact).
+    let mut group = c.benchmark_group("prepared_reuse");
+    group.sample_size(20);
+    let prepared = pyrt::prepare::prepare(Arc::new(
+        pysrc::parse_module(NAME_LOOKUP_HEAVY, "bench.py").expect("parses"),
+    ));
+    group.bench_function("cold_parse_prepare_run", |b| {
+        b.iter(|| {
+            let module =
+                pysrc::parse_module(black_box(NAME_LOOKUP_HEAVY), "bench.py").expect("parses");
+            let mut vm = Vm::new();
+            vm.run_module(&module).expect("runs");
+            black_box(vm.stdout())
+        });
+    });
+    group.bench_function("warm_run_prepared", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            vm.run_prepared(black_box(&prepared)).expect("runs");
+            black_box(vm.stdout())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp_hotpath);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! re-scans".
 
 use injector::InjectionPoint;
+use profipy::workflow::PreparedProgram;
 use pysrc::Module;
 use sandbox::SourceFile;
 use std::collections::HashMap;
@@ -38,6 +39,11 @@ pub struct CacheStats {
     pub mutant_hits: u64,
     /// Mutants actually rendered.
     pub mutant_misses: u64,
+    /// Prepared programs (resolved interpreter artifacts) served from
+    /// the cache.
+    pub prepare_hits: u64,
+    /// Prepared programs actually built.
+    pub prepare_misses: u64,
 }
 
 struct CacheEntry {
@@ -48,6 +54,11 @@ struct CacheEntry {
     /// Covered point ids from a fault-free coverage run (in-memory
     /// only; coverage is cheap relative to scanning but not free).
     covered: Option<Arc<std::collections::BTreeSet<u64>>>,
+    /// Prepared interpreter program (symbol-resolved modules +
+    /// workload). In-memory only: symbols are process-scoped, so a
+    /// restarted engine re-prepares once from the disk-tier modules and
+    /// caches from then on.
+    prepared: Option<Arc<PreparedProgram>>,
 }
 
 impl CacheEntry {
@@ -57,6 +68,7 @@ impl CacheEntry {
             points: None,
             mutants: HashMap::new(),
             covered: None,
+            prepared: None,
         }
     }
 }
@@ -204,6 +216,25 @@ impl MutantCache {
             .insert(point_id, sources);
     }
 
+    /// Cached prepared program for `key`, if any.
+    pub fn prepared_program(&mut self, key: u64) -> Option<Arc<PreparedProgram>> {
+        let hit = self.entries.get(&key).and_then(|e| e.prepared.clone());
+        if hit.is_some() {
+            self.stats.prepare_hits += 1;
+        } else {
+            self.stats.prepare_misses += 1;
+        }
+        hit
+    }
+
+    /// Stores the prepared program for `key`.
+    pub fn store_prepared_program(&mut self, key: u64, prepared: Arc<PreparedProgram>) {
+        self.entries
+            .entry(key)
+            .or_insert_with(CacheEntry::empty)
+            .prepared = Some(prepared);
+    }
+
     /// Number of distinct cache keys resident in memory.
     pub fn resident_keys(&self) -> usize {
         self.entries.len()
@@ -272,6 +303,24 @@ mod tests {
             assert_eq!(cache.stats().scan_misses, 0);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepared_program_tier_hits_and_stats() {
+        let mut cache = MutantCache::in_memory();
+        assert!(cache.prepared_program(1).is_none());
+        assert_eq!(cache.stats().prepare_misses, 1);
+        let module = pysrc::parse_module(SRC, "m.py").unwrap();
+        let program = PreparedProgram {
+            modules: vec![pyrt::prepare::prepare(Arc::new(module))],
+            workload: None,
+        };
+        cache.store_prepared_program(1, Arc::new(program));
+        let got = cache.prepared_program(1).expect("hit");
+        assert_eq!(got.modules.len(), 1);
+        assert_eq!(got.modules[0].module.name, "m.py");
+        assert_eq!(cache.stats().prepare_hits, 1);
+        assert!(cache.prepared_program(2).is_none(), "other keys miss");
     }
 
     #[test]

@@ -360,7 +360,7 @@ impl CampaignEngine {
         let key = spec.cache_key();
 
         // Parse (or reuse) the target modules.
-        let workflow = match self.cache.modules(key) {
+        let mut workflow = match self.cache.modules(key) {
             Some(modules) => spec
                 .build_workflow_with_modules(modules.as_ref().clone(), host, self.executor.clone()),
             None => spec.build_workflow(host, self.executor.clone()),
@@ -368,6 +368,23 @@ impl CampaignEngine {
         .map_err(|e| EngineError { message: e.message })?;
         self.cache
             .store_modules(key, Arc::new(workflow.modules().to_vec()));
+
+        // Reuse (or memoize) the prepared interpreter program, so the
+        // unchanged workload and fault-free modules are name-resolved
+        // exactly once across campaigns sharing this cache key — on a
+        // hit the workflow's own (lazy) prepare step never runs.
+        let adopted = match self.cache.prepared_program(key) {
+            Some(prepared) => workflow.set_prepared_program(&prepared),
+            None => false,
+        };
+        if !adopted {
+            // Miss — or a misaligned cached artifact (should not happen
+            // for a content-keyed cache, but never leave it poisoned):
+            // store the freshly resolved program.
+            self.cache
+                .store_prepared_program(key, Arc::new(workflow.prepared_program().clone()));
+        }
+        let workflow = workflow;
 
         // Scan (or reuse the scan).
         let points: Arc<Vec<InjectionPoint>> = match self.cache.points(key, workflow.modules()) {

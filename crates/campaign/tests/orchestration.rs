@@ -117,6 +117,10 @@ fn unchanged_target_performs_zero_rescans() {
     engine.drive(None).unwrap();
     let after_first = engine.cache_stats();
     assert_eq!(after_first.scan_misses, 1, "first campaign scans once");
+    assert_eq!(
+        after_first.prepare_misses, 1,
+        "first campaign prepares the interpreter program once"
+    );
 
     // Second campaign, same target + model, different plan knobs.
     let mut second_spec = etcd_spec("alice", "second", 3);
@@ -132,6 +136,14 @@ fn unchanged_target_performs_zero_rescans() {
     assert!(
         after_second.parse_hits >= 1,
         "parsed modules reused as well"
+    );
+    assert_eq!(
+        after_second.prepare_misses, 1,
+        "second campaign must not re-resolve the unchanged program"
+    );
+    assert!(
+        after_second.prepare_hits >= 1,
+        "prepared interpreter program reused across campaigns"
     );
     assert_eq!(engine.poll(&first).unwrap().state, JobState::Completed);
     assert_eq!(engine.poll(&second).unwrap().state, JobState::Completed);

@@ -5,7 +5,7 @@ use crate::plan::{InjectionPlan, PlanFilter};
 use crate::result::ExperimentResult;
 use faultdsl::{BugSpec, FaultModel};
 use injector::{InjectionPoint, MutationMode, Mutator, Scanner};
-use pyrt::HostApi;
+use pyrt::{HostApi, PreparedModule};
 use pysrc::Module;
 use sandbox::{Container, ContainerImage, ParallelExecutor, RoundOutcome, RoundStatus};
 use std::collections::BTreeSet;
@@ -62,6 +62,23 @@ pub struct Workflow {
     host_factory: HostFactory,
     /// Configuration.
     pub config: WorkflowConfig,
+    /// The prepared program, built lazily on first use (so a campaign
+    /// that adopts a cached program via [`Workflow::set_prepared_program`]
+    /// never pays the resolution cost at all) and at most once per
+    /// campaign otherwise.
+    prepared: std::sync::OnceLock<PreparedProgram>,
+}
+
+/// The prepared-program artifact of one campaign: every fault-free
+/// module (and the workload) parsed and name-resolved exactly once.
+/// `Send + Sync`, so the campaign engine memoizes it across campaigns
+/// under the spec's `(source hash, model hash)` cache key.
+#[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    /// Prepared fault-free target modules, in workflow source order.
+    pub modules: Vec<Arc<PreparedModule>>,
+    /// Prepared workload module, if the workload parses.
+    pub workload: Option<Arc<PreparedModule>>,
 }
 
 /// Error building a workflow.
@@ -111,6 +128,7 @@ impl Workflow {
             model,
             host_factory,
             config,
+            prepared: std::sync::OnceLock::new(),
         })
     }
 
@@ -155,7 +173,84 @@ impl Workflow {
             model,
             host_factory,
             config,
+            prepared: std::sync::OnceLock::new(),
         })
+    }
+
+    /// **Prepare step**, lazy and at most once per campaign:
+    /// parse-independent name resolution and slot allocation for every
+    /// fault-free module plus the workload, shared by all experiments.
+    /// A cached program adopted via [`Workflow::set_prepared_program`]
+    /// preempts this entirely.
+    pub fn prepared_program(&self) -> &PreparedProgram {
+        self.prepared.get_or_init(|| PreparedProgram {
+            modules: self
+                .modules
+                .iter()
+                .map(|m| {
+                    // Stamp with the source text's hash so the sandbox
+                    // can verify the artifact matches the file it is
+                    // substituted for. Both constructors guarantee the
+                    // module list lines up with `sources` 1:1.
+                    let (_, text) = self
+                        .sources
+                        .iter()
+                        .find(|(n, _)| n == &m.name)
+                        .expect("constructors align modules with sources");
+                    pyrt::prepare::prepare_hashed(Arc::new(m.clone()), text)
+                })
+                .collect(),
+            workload: pysrc::parse_module(&self.workload, "workload")
+                .ok()
+                .map(|m| pyrt::prepare::prepare_hashed(Arc::new(m), &self.workload)),
+        })
+    }
+
+    /// Adopts a cached prepared program (validated against the module
+    /// list; a mismatched artifact is ignored). Returns whether the
+    /// cached program was adopted. Must be called before the first
+    /// experiment runs to have any effect.
+    pub fn set_prepared_program(&mut self, program: &PreparedProgram) -> bool {
+        let aligned = program.modules.len() == self.modules.len()
+            && program
+                .modules
+                .iter()
+                .zip(&self.modules)
+                .all(|(p, m)| p.module.name == m.name);
+        if !aligned {
+            return false;
+        }
+        self.prepared = std::sync::OnceLock::from(program.clone());
+        true
+    }
+
+    /// Prepared modules to attach to an experiment image: every module
+    /// whose source text the experiment did **not** change, plus the
+    /// workload (unless a source named `workload` overrides it).
+    fn prepared_for_sources(&self, sources: &[sandbox::SourceFile]) -> Vec<Arc<PreparedModule>> {
+        let program = self.prepared_program();
+        let mut out = Vec::with_capacity(sources.len() + 1);
+        for src in sources {
+            let unchanged = self
+                .sources
+                .iter()
+                .any(|(n, t)| n == &src.import_name && t == &src.text);
+            if unchanged {
+                if let Some(pm) = program
+                    .modules
+                    .iter()
+                    .find(|p| p.module.name == src.import_name)
+                {
+                    out.push(pm.clone());
+                }
+            }
+        }
+        if !sources.iter().any(|s| s.import_name == "workload") {
+            if let Some(pm) = &program.workload {
+                out.push(pm.clone());
+            }
+        }
+        out
     }
 
     /// The parsed target modules.
@@ -205,6 +300,15 @@ impl Workflow {
                 import_name: module.name.clone(),
                 text: pysrc::unparse::unparse_module(&instrumented),
             });
+        }
+        // Instrumented sources differ from the originals, but the
+        // workload is still the campaign's shared prepared module —
+        // unless the workload itself is a target source (then its
+        // instrumented text must execute, probes and all).
+        if !image.sources.iter().any(|s| s.import_name == "workload") {
+            if let Some(pm) = &self.prepared_program().workload {
+                image.prepared.push(pm.clone());
+            }
         }
         let host = (self.host_factory)(self.config.seed);
         let mut container = Container::deploy(&image, host, self.config.seed).map_err(|e| {
@@ -313,6 +417,7 @@ impl Workflow {
             .fuel(self.config.fuel_per_round);
         image.setup = self.config.setup.clone();
         image.sources = sources.to_vec();
+        image.prepared = self.prepared_for_sources(sources);
         let host = (self.host_factory)(seed);
         let mut container = match Container::deploy(&image, host, seed) {
             Ok(c) => c,

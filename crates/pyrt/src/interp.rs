@@ -1,99 +1,124 @@
-//! The tree-walking evaluator.
+//! The tree-walking evaluator, executing over prepare-time-resolved
+//! names: locals are dense slot vectors, every other name is a symbol
+//! compare, and nothing on the hot path allocates a `String`.
 
 use crate::exc::{Flow, PyExc};
+use crate::intern::{intern, well_known, Symbol};
 use crate::methods;
+use crate::prepare::{self, FuncProto, NameRes};
 use crate::value::*;
 use crate::vm::Vm;
 use pysrc::ast::*;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum Python call depth before `RuntimeError: maximum recursion
-/// depth exceeded`. Kept small both so runaway mutants fail fast and so
-/// the tree-walking evaluator (which consumes multiple Rust frames per
-/// Python frame) stays inside a 2 MB test-thread stack in debug builds.
-const MAX_DEPTH: u32 = 32;
+/// depth exceeded`. Slot-resolved frames shrank the per-Python-frame
+/// footprint (no per-call `Vec<String>` clones, no scope allocation for
+/// leaf functions), so the budget is double the original 32 while still
+/// fitting a debug-build test thread's 2 MB stack; runaway mutants
+/// still fail fast.
+const MAX_DEPTH: u32 = 64;
+
+/// Storage for a frame's local bindings.
+pub enum FrameLocals {
+    /// Module level: locals are the globals.
+    Module,
+    /// Dense slot storage (leaf functions; `None` = unbound).
+    Slots(Vec<Option<Value>>),
+    /// Dynamic symbol-keyed scope (capturing functions, class bodies).
+    Dynamic(ScopeRef),
+}
 
 /// An activation record.
 pub struct Frame {
     /// Module globals.
     pub globals: ScopeRef,
-    /// Function locals (`None` at module level where locals==globals).
-    pub locals: Option<ScopeRef>,
-    /// Names that are local to this function (assignment analysis).
-    pub local_names: Rc<Vec<String>>,
-    /// Names declared `global`.
-    pub global_decls: Rc<Vec<String>>,
+    /// Local bindings.
+    pub locals: FrameLocals,
+    /// The prepared prototype for this scope (resolution table, slot
+    /// layout, `global` declarations, traceback name).
+    pub proto: Arc<FuncProto>,
     /// Captured enclosing scopes, innermost last.
     pub captured: Vec<ScopeRef>,
-    /// Name for tracebacks.
-    pub func_name: String,
 }
 
 impl Frame {
-    /// A module-level frame.
+    /// A module-level frame without a prepare pass (ad-hoc execution;
+    /// every name resolves through the dynamic fallback).
     pub fn module(globals: ScopeRef) -> Frame {
+        Frame::prepared_module(globals, FuncProto::empty_module())
+    }
+
+    /// A module-level frame backed by a prepared module prototype.
+    pub fn prepared_module(globals: ScopeRef, proto: Arc<FuncProto>) -> Frame {
         Frame {
             globals,
-            locals: None,
-            local_names: Rc::new(Vec::new()),
-            global_decls: Rc::new(Vec::new()),
+            locals: FrameLocals::Module,
+            proto,
             captured: Vec::new(),
-            func_name: "<module>".to_string(),
         }
     }
 }
 
 /// Collects the names a function body assigns (its locals), without
-/// descending into nested `def`/`class` bodies.
+/// descending into nested `def`/`class` bodies. Dedup is a hash set
+/// (the old per-insert linear `contains` made this quadratic on wide
+/// function bodies).
 pub fn collect_assigned_names(body: &[Stmt]) -> Vec<String> {
-    let mut names = Vec::new();
-    fn add(names: &mut Vec<String>, n: &str) {
-        if !names.iter().any(|x| x == n) {
-            names.push(n.to_string());
+    struct Acc {
+        names: Vec<String>,
+        seen: std::collections::HashSet<String>,
+    }
+    impl Acc {
+        fn add(&mut self, n: &str) {
+            if self.seen.insert(n.to_string()) {
+                self.names.push(n.to_string());
+            }
         }
     }
-    fn target_names(e: &Expr, names: &mut Vec<String>) {
+    fn target_names(e: &Expr, acc: &mut Acc) {
         match &e.kind {
-            ExprKind::Name(n) => add(names, n),
+            ExprKind::Name(n) => acc.add(n),
             ExprKind::Tuple(items) | ExprKind::List(items) => {
                 for i in items {
-                    target_names(i, names);
+                    target_names(i, acc);
                 }
             }
-            ExprKind::Starred(inner) => target_names(inner, names),
+            ExprKind::Starred(inner) => target_names(inner, acc),
             // Attribute/subscript targets assign into objects, not names.
             _ => {}
         }
     }
-    fn walk(body: &[Stmt], names: &mut Vec<String>) {
+    fn walk(body: &[Stmt], acc: &mut Acc) {
         for s in body {
             match &s.kind {
                 StmtKind::Assign { targets, .. } => {
                     for t in targets {
-                        target_names(t, names);
+                        target_names(t, acc);
                     }
                 }
-                StmtKind::AugAssign { target, .. } => target_names(target, names),
+                StmtKind::AugAssign { target, .. } => target_names(target, acc),
                 StmtKind::For {
                     target,
                     body,
                     orelse,
                     ..
                 } => {
-                    target_names(target, names);
-                    walk(body, names);
-                    walk(orelse, names);
+                    target_names(target, acc);
+                    walk(body, acc);
+                    walk(orelse, acc);
                 }
                 StmtKind::While { body, orelse, .. } => {
-                    walk(body, names);
-                    walk(orelse, names);
+                    walk(body, acc);
+                    walk(orelse, acc);
                 }
                 StmtKind::If { branches, orelse } => {
                     for (_, b) in branches {
-                        walk(b, names);
+                        walk(b, acc);
                     }
-                    walk(orelse, names);
+                    walk(orelse, acc);
                 }
                 StmtKind::Try {
                     body,
@@ -101,26 +126,26 @@ pub fn collect_assigned_names(body: &[Stmt]) -> Vec<String> {
                     orelse,
                     finalbody,
                 } => {
-                    walk(body, names);
+                    walk(body, acc);
                     for h in handlers {
                         if let Some(n) = &h.name {
-                            add(names, n);
+                            acc.add(n);
                         }
-                        walk(&h.body, names);
+                        walk(&h.body, acc);
                     }
-                    walk(orelse, names);
-                    walk(finalbody, names);
+                    walk(orelse, acc);
+                    walk(finalbody, acc);
                 }
                 StmtKind::With { items, body } => {
                     for (_, t) in items {
                         if let Some(t) = t {
-                            target_names(t, names);
+                            target_names(t, acc);
                         }
                     }
-                    walk(body, names);
+                    walk(body, acc);
                 }
                 StmtKind::FuncDef { name, .. } | StmtKind::ClassDef { name, .. } => {
-                    add(names, name);
+                    acc.add(name);
                 }
                 StmtKind::Import(aliases) => {
                     for a in aliases {
@@ -128,45 +153,52 @@ pub fn collect_assigned_names(body: &[Stmt]) -> Vec<String> {
                             .alias
                             .clone()
                             .unwrap_or_else(|| a.name.split('.').next().unwrap_or("").to_string());
-                        add(names, &bound);
+                        acc.add(&bound);
                     }
                 }
                 StmtKind::FromImport { names: ns, .. } => {
                     for a in ns {
-                        add(names, a.alias.as_deref().unwrap_or(&a.name));
+                        acc.add(a.alias.as_deref().unwrap_or(&a.name));
                     }
                 }
                 _ => {}
             }
         }
     }
-    walk(body, &mut names);
-    names
+    let mut acc = Acc {
+        names: Vec::new(),
+        seen: std::collections::HashSet::new(),
+    };
+    walk(body, &mut acc);
+    acc.names
 }
 
 /// Collects `global` declarations in a function body (not descending
 /// into nested functions).
 pub fn collect_global_decls(body: &[Stmt]) -> Vec<String> {
-    let mut out = Vec::new();
-    fn walk(body: &[Stmt], out: &mut Vec<String>) {
+    struct Acc {
+        names: Vec<String>,
+        seen: std::collections::HashSet<String>,
+    }
+    fn walk(body: &[Stmt], acc: &mut Acc) {
         for s in body {
             match &s.kind {
                 StmtKind::Global(names) => {
                     for n in names {
-                        if !out.iter().any(|x| x == n) {
-                            out.push(n.clone());
+                        if acc.seen.insert(n.clone()) {
+                            acc.names.push(n.clone());
                         }
                     }
                 }
                 StmtKind::If { branches, orelse } => {
                     for (_, b) in branches {
-                        walk(b, out);
+                        walk(b, acc);
                     }
-                    walk(orelse, out);
+                    walk(orelse, acc);
                 }
                 StmtKind::For { body, orelse, .. } | StmtKind::While { body, orelse, .. } => {
-                    walk(body, out);
-                    walk(orelse, out);
+                    walk(body, acc);
+                    walk(orelse, acc);
                 }
                 StmtKind::Try {
                     body,
@@ -174,20 +206,24 @@ pub fn collect_global_decls(body: &[Stmt]) -> Vec<String> {
                     orelse,
                     finalbody,
                 } => {
-                    walk(body, out);
+                    walk(body, acc);
                     for h in handlers {
-                        walk(&h.body, out);
+                        walk(&h.body, acc);
                     }
-                    walk(orelse, out);
-                    walk(finalbody, out);
+                    walk(orelse, acc);
+                    walk(finalbody, acc);
                 }
-                StmtKind::With { body, .. } => walk(body, out),
+                StmtKind::With { body, .. } => walk(body, acc),
                 _ => {}
             }
         }
     }
-    walk(body, &mut out);
-    out
+    let mut acc = Acc {
+        names: Vec::new(),
+        seen: std::collections::HashSet::new(),
+    };
+    walk(body, &mut acc);
+    acc.names
 }
 
 /// Executes a statement block.
@@ -264,7 +300,7 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
                 // For dotted imports without alias, Python binds the top
                 // package; our flat registry binds the imported module
                 // under the top segment.
-                write_name(frame, &bound, Value::Module(module));
+                write_name_str(frame, &bound, Value::Module(module));
             }
             Ok(Flow::Normal)
         }
@@ -277,7 +313,7 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
                         format!("cannot import name '{}' from '{}'", a.name, module),
                     )
                 })?;
-                write_name(frame, a.alias.as_deref().unwrap_or(&a.name), v);
+                write_name_str(frame, a.alias.as_deref().unwrap_or(&a.name), v);
             }
             Ok(Flow::Normal)
         }
@@ -336,8 +372,8 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
             Ok(Flow::Normal)
         }
         StmtKind::FuncDef { name, params, body } => {
-            let func = make_function(vm, frame, name, params, body)?;
-            write_name(frame, name, func);
+            let func = make_function(vm, frame, stmt.id, name, params, body)?;
+            write_name_str(frame, name, func);
             Ok(Flow::Normal)
         }
         StmtKind::ClassDef { name, bases, body } => {
@@ -353,16 +389,22 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
                 },
                 None => None,
             };
+            let class_proto = match vm.proto(stmt.id) {
+                Some(p) => p,
+                None => {
+                    let (p, nested) = prepare::prepare_class(name, body);
+                    vm.install_proto(stmt.id, p.clone(), nested);
+                    p
+                }
+            };
             // Execute the class body in its own scope.
             let class_scope = Scope::new_ref();
             {
                 let mut class_frame = Frame {
                     globals: frame.globals.clone(),
-                    locals: Some(class_scope.clone()),
-                    local_names: Rc::new(collect_assigned_names(body)),
-                    global_decls: Rc::new(collect_global_decls(body)),
+                    locals: FrameLocals::Dynamic(class_scope.clone()),
+                    proto: class_proto,
                     captured: frame.captured.clone(),
-                    func_name: name.clone(),
                 };
                 exec_block(vm, &mut class_frame, body)?;
             }
@@ -370,13 +412,13 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
             let class = Rc::new(ClassObj {
                 name: name.clone(),
                 base,
-                attrs: RefCell::new(class_scope.borrow().bindings_vec()),
+                attrs: RefCell::new(class_scope.borrow().bindings_syms()),
                 is_exception,
             });
             if is_exception {
                 vm.register_exception_class(class.clone());
             }
-            write_name(frame, name, Value::Class(class));
+            write_name_str(frame, name, Value::Class(class));
             Ok(Flow::Normal)
         }
         StmtKind::Try {
@@ -420,17 +462,17 @@ fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc>
                     None => PyExc::new("RuntimeError", "No active exception to re-raise"),
                 },
             };
-            Err(e.with_frame(&frame.func_name))
+            Err(e.with_frame(&frame.proto.name))
         }
         StmtKind::With { items, body } => {
             let mut exits = Vec::new();
             for (ctx_expr, target) in items {
                 let ctx = eval(vm, frame, ctx_expr)?;
-                let entered = match get_attr(vm, &ctx, "__enter__") {
+                let entered = match get_attr_sym(vm, &ctx, well_known::sym_enter()) {
                     Ok(enter) => call_value(vm, enter, vec![], vec![])?,
                     Err(_) => ctx.clone(),
                 };
-                if let Ok(exit) = get_attr(vm, &ctx, "__exit__") {
+                if let Ok(exit) = get_attr_sym(vm, &ctx, well_known::sym_exit()) {
                     exits.push(exit);
                 }
                 if let Some(t) = target {
@@ -463,7 +505,7 @@ fn handle_exception(
         if matches {
             if let Some(name) = &handler.name {
                 let obj = exception_object(vm, &exc);
-                write_name(frame, name, obj);
+                write_name_str(frame, name, obj);
             }
             vm.handling.borrow_mut().push(exc);
             let result = exec_block(vm, frame, &handler.body);
@@ -514,7 +556,7 @@ fn exception_object(vm: &Vm, exc: &PyExc) -> Value {
     let inst = Rc::new(InstanceObj {
         class,
         attrs: RefCell::new(vec![(
-            "message".to_string(),
+            well_known::sym_message(),
             Value::str(exc.message.clone()),
         )]),
     });
@@ -535,7 +577,7 @@ fn exception_from_value(vm: &mut Vm, _frame: &mut Frame, v: Value) -> Result<PyE
             })
         }
         Value::Instance(i) if i.class.is_exception => {
-            let message = match i.get_attr("message") {
+            let message = match i.get_attr_sym(well_known::sym_message()) {
                 Some(m) => m.to_display(),
                 None => String::new(),
             };
@@ -563,7 +605,7 @@ pub fn instantiate_exception(
         class: class.clone(),
         attrs: RefCell::new(Vec::new()),
     });
-    if let Some(Value::Func(init)) = class.lookup("__init__") {
+    if let Some(Value::Func(init)) = class.lookup_sym(well_known::sym_init()) {
         call_function(vm, &init, {
             let mut a = vec![Value::Instance(inst.clone())];
             a.extend(args);
@@ -575,9 +617,12 @@ pub fn instantiate_exception(
             1 => args[0].clone(),
             _ => Value::Tuple(Rc::new(args.clone())),
         };
-        inst.set_attr("message", message);
+        inst.set_attr_sym(well_known::sym_message(), message);
         if let Some(first) = args.first() {
-            inst.set_attr("args", Value::Tuple(Rc::new(vec![first.clone()])));
+            inst.set_attr_sym(
+                well_known::sym_args(),
+                Value::Tuple(Rc::new(vec![first.clone()])),
+            );
         }
     }
     Ok(Value::Instance(inst))
@@ -586,9 +631,27 @@ pub fn instantiate_exception(
 fn make_function(
     vm: &mut Vm,
     frame: &mut Frame,
+    def_id: NodeId,
     name: &str,
     params: &[Param],
     body: &[Stmt],
+) -> Result<Value, PyExc> {
+    let proto = match vm.proto(def_id) {
+        Some(p) => p,
+        None => {
+            let (p, nested) = prepare::prepare_function(name, params, body);
+            vm.install_proto(def_id, p.clone(), nested);
+            p
+        }
+    };
+    finish_function(vm, frame, proto, params)
+}
+
+fn finish_function(
+    vm: &mut Vm,
+    frame: &mut Frame,
+    proto: Arc<FuncProto>,
+    params: &[Param],
 ) -> Result<Value, PyExc> {
     let mut defaults = Vec::with_capacity(params.len());
     for p in params {
@@ -598,81 +661,151 @@ fn make_function(
         });
     }
     let mut captured = frame.captured.clone();
-    if let Some(locals) = &frame.locals {
+    if let FrameLocals::Dynamic(locals) = &frame.locals {
         captured.push(locals.clone());
     }
-    let mut local_names = collect_assigned_names(body);
-    for p in params {
-        if !local_names.iter().any(|n| n == &p.name) {
-            local_names.push(p.name.clone());
-        }
-    }
     Ok(Value::Func(Rc::new(FuncObj {
-        name: name.to_string(),
-        params: params.to_vec(),
+        proto,
         defaults,
-        body: Rc::new(body.to_vec()),
-        local_names,
-        global_names: collect_global_decls(body),
         globals: frame.globals.clone(),
         captured,
     })))
 }
 
-fn write_name(frame: &mut Frame, name: &str, value: Value) {
-    if frame.global_decls.iter().any(|n| n == name) {
-        frame.globals.borrow_mut().set(name, value);
+/// Binds `name` in the frame the way an assignment would (used for the
+/// string-named binding forms: imports, `def`/`class` names, `except
+/// .. as e`).
+fn write_name_str(frame: &mut Frame, name: &str, value: Value) {
+    write_sym(frame, intern(name), value);
+}
+
+fn write_sym(frame: &mut Frame, sym: Symbol, value: Value) {
+    if frame.proto.global_decls.contains(&sym) {
+        frame.globals.borrow_mut().set_sym(sym, value);
         return;
     }
-    match &frame.locals {
-        Some(locals) => locals.borrow_mut().set(name, value),
-        None => frame.globals.borrow_mut().set(name, value),
+    match &mut frame.locals {
+        FrameLocals::Module => frame.globals.borrow_mut().set_sym(sym, value),
+        FrameLocals::Slots(slots) => match frame.proto.slot_of(sym) {
+            Some(i) => slots[i as usize] = Some(value),
+            // Unreachable for prepared code (every binding form is in
+            // the assignment analysis); fall back to globals.
+            None => frame.globals.borrow_mut().set_sym(sym, value),
+        },
+        FrameLocals::Dynamic(locals) => locals.borrow_mut().set_sym(sym, value),
     }
 }
 
-fn read_name(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc> {
-    if frame.global_decls.iter().any(|n| n == name) {
-        if let Some(v) = frame.globals.borrow().get(name) {
-            return Ok(v);
-        }
-        if let Some(v) = vm.builtins.borrow().get(name) {
-            return Ok(v);
-        }
-        return Err(PyExc::name_error(name));
-    }
-    if let Some(locals) = &frame.locals {
-        if frame.local_names.iter().any(|n| n == name) {
-            return match locals.borrow().get(name) {
-                Some(v) => Ok(v),
+fn read_name(vm: &Vm, frame: &Frame, id: NodeId, name: &str) -> Result<Value, PyExc> {
+    match frame.proto.table.res(id) {
+        NameRes::Local { slot, sym } => match &frame.locals {
+            FrameLocals::Slots(slots) => match &slots[slot as usize] {
+                Some(v) => Ok(v.clone()),
                 // Local by analysis but not yet bound: the paper's §V-C
                 // UnboundLocalError.
-                None => Err(PyExc::unbound_local(name)),
-            };
+                None => Err(PyExc::unbound_local(sym.as_str())),
+            },
+            _ => read_name_fallback(vm, frame, name),
+        },
+        NameRes::DynLocal(sym) => match &frame.locals {
+            FrameLocals::Dynamic(locals) => match locals.borrow().get_sym(sym) {
+                Some(v) => Ok(v),
+                None => Err(PyExc::unbound_local(sym.as_str())),
+            },
+            _ => read_name_fallback(vm, frame, name),
+        },
+        NameRes::Cell(sym) => {
+            for scope in frame.captured.iter().rev() {
+                if let Some(v) = scope.borrow().get_sym(sym) {
+                    return Ok(v);
+                }
+            }
+            read_global_sym(vm, frame, sym)
         }
-        for scope in frame.captured.iter().rev() {
-            if let Some(v) = scope.borrow().get(name) {
-                return Ok(v);
+        NameRes::Global(sym) | NameRes::GlobalDecl(sym) => read_global_sym(vm, frame, sym),
+        NameRes::Unprepared | NameRes::Attr(_) => read_name_fallback(vm, frame, name),
+    }
+}
+
+fn read_global_sym(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<Value, PyExc> {
+    if let Some(v) = frame.globals.borrow().get_sym(sym) {
+        return Ok(v);
+    }
+    if let Some(v) = vm.builtins.borrow().get_sym(sym) {
+        return Ok(v);
+    }
+    Err(PyExc::name_error(sym.as_str()))
+}
+
+/// Dynamic (string-driven) name resolution for nodes outside the
+/// prepared table — semantically identical to the pre-slot interpreter.
+fn read_name_fallback(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc> {
+    let sym = intern(name);
+    if frame.proto.global_decls.contains(&sym) {
+        return read_global_sym(vm, frame, sym);
+    }
+    match &frame.locals {
+        FrameLocals::Module => {}
+        FrameLocals::Slots(slots) => {
+            if let Some(i) = frame.proto.slot_of(sym) {
+                return match &slots[i as usize] {
+                    Some(v) => Ok(v.clone()),
+                    None => Err(PyExc::unbound_local(name)),
+                };
+            }
+            for scope in frame.captured.iter().rev() {
+                if let Some(v) = scope.borrow().get_sym(sym) {
+                    return Ok(v);
+                }
+            }
+        }
+        FrameLocals::Dynamic(locals) => {
+            if frame.proto.local_syms.contains(&sym) {
+                return match locals.borrow().get_sym(sym) {
+                    Some(v) => Ok(v),
+                    None => Err(PyExc::unbound_local(name)),
+                };
+            }
+            for scope in frame.captured.iter().rev() {
+                if let Some(v) = scope.borrow().get_sym(sym) {
+                    return Ok(v);
+                }
             }
         }
     }
-    if let Some(v) = frame.globals.borrow().get(name) {
-        return Ok(v);
-    }
-    if let Some(v) = vm.builtins.borrow().get(name) {
-        return Ok(v);
-    }
-    Err(PyExc::name_error(name))
+    read_global_sym(vm, frame, sym)
 }
 
 fn assign_target(vm: &mut Vm, frame: &mut Frame, target: &Expr, value: Value) -> Result<(), PyExc> {
     match &target.kind {
         ExprKind::Name(n) => {
-            write_name(frame, n, value);
+            match frame.proto.table.res(target.id) {
+                NameRes::Local { slot, sym } => match &mut frame.locals {
+                    FrameLocals::Slots(slots) => slots[slot as usize] = Some(value),
+                    _ => write_sym(frame, sym, value),
+                },
+                NameRes::DynLocal(sym) => match &mut frame.locals {
+                    FrameLocals::Dynamic(locals) => locals.borrow_mut().set_sym(sym, value),
+                    _ => write_sym(frame, sym, value),
+                },
+                NameRes::Global(sym) | NameRes::GlobalDecl(sym) => {
+                    frame.globals.borrow_mut().set_sym(sym, value)
+                }
+                // A write to a `Cell` name (comprehension targets) goes
+                // into the dynamic scope, like the old interpreter's
+                // unconditional locals write.
+                NameRes::Cell(sym) => write_sym(frame, sym, value),
+                NameRes::Unprepared | NameRes::Attr(_) => write_name_str(frame, n, value),
+            }
             Ok(())
         }
         ExprKind::Attribute { value: obj, attr } => {
             let o = eval(vm, frame, obj)?;
-            set_attr(&o, attr, value)
+            let sym = match frame.proto.table.res(target.id) {
+                NameRes::Attr(s) => s,
+                _ => intern(attr),
+            };
+            set_attr_sym(&o, sym, value)
         }
         ExprKind::Subscript { value: obj, index } => {
             let o = eval(vm, frame, obj)?;
@@ -700,9 +833,16 @@ fn assign_target(vm: &mut Vm, frame: &mut Frame, target: &Expr, value: Value) ->
 fn del_target(vm: &mut Vm, frame: &mut Frame, target: &Expr) -> Result<(), PyExc> {
     match &target.kind {
         ExprKind::Name(n) => {
-            let removed = match &frame.locals {
-                Some(locals) => locals.borrow_mut().unset(n),
-                None => frame.globals.borrow_mut().unset(n),
+            // Pre-refactor semantics: `del` always operates on the
+            // innermost storage (locals in a function, globals at
+            // module level), regardless of `global` declarations.
+            let removed = match &mut frame.locals {
+                FrameLocals::Module => frame.globals.borrow_mut().unset(n),
+                FrameLocals::Slots(slots) => match frame.proto.slot_of(intern(n)) {
+                    Some(i) => slots[i as usize].take().is_some(),
+                    None => false,
+                },
+                FrameLocals::Dynamic(locals) => locals.borrow_mut().unset(n),
             };
             if removed {
                 Ok(())
@@ -748,10 +888,13 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
         ExprKind::Str(s) => Ok(Value::str(s.clone())),
         ExprKind::Bool(b) => Ok(Value::Bool(*b)),
         ExprKind::NoneLit => Ok(Value::None),
-        ExprKind::Name(n) => read_name(vm, frame, n),
+        ExprKind::Name(n) => read_name(vm, frame, expr.id, n),
         ExprKind::Attribute { value, attr } => {
             let obj = eval(vm, frame, value)?;
-            get_attr(vm, &obj, attr)
+            match frame.proto.table.res(expr.id) {
+                NameRes::Attr(sym) => get_attr_sym(vm, &obj, sym),
+                _ => get_attr(vm, &obj, attr),
+            }
         }
         ExprKind::Subscript { value, index } => {
             let obj = eval(vm, frame, value)?;
@@ -872,8 +1015,15 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             Ok(Value::Bool(true))
         }
         ExprKind::Lambda { params, body } => {
-            let ret = Stmt::synth(StmtKind::Return(Some((**body).clone())));
-            make_function_from_parts(vm, frame, "<lambda>", params, Rc::new(vec![ret]))
+            let proto = match vm.proto(expr.id) {
+                Some(p) => p,
+                None => {
+                    let (p, nested) = prepare::prepare_lambda(params, body);
+                    vm.install_proto(expr.id, p.clone(), nested);
+                    p
+                }
+            };
+            finish_function(vm, frame, proto, params)
         }
         ExprKind::IfExp { test, body, orelse } => {
             if eval(vm, frame, test)?.truthy() {
@@ -952,42 +1102,6 @@ fn opt_eval(
     }
 }
 
-fn make_function_from_parts(
-    vm: &mut Vm,
-    frame: &mut Frame,
-    name: &str,
-    params: &[Param],
-    body: Rc<Vec<Stmt>>,
-) -> Result<Value, PyExc> {
-    let mut defaults = Vec::with_capacity(params.len());
-    for p in params {
-        defaults.push(match &p.default {
-            Some(d) => Some(eval(vm, frame, d)?),
-            None => None,
-        });
-    }
-    let mut captured = frame.captured.clone();
-    if let Some(locals) = &frame.locals {
-        captured.push(locals.clone());
-    }
-    let mut local_names = collect_assigned_names(&body);
-    for p in params {
-        if !local_names.iter().any(|n| n == &p.name) {
-            local_names.push(p.name.clone());
-        }
-    }
-    Ok(Value::Func(Rc::new(FuncObj {
-        name: name.to_string(),
-        params: params.to_vec(),
-        defaults,
-        body,
-        local_names,
-        global_names: collect_global_decls(&[]),
-        globals: frame.globals.clone(),
-        captured,
-    })))
-}
-
 /// Calls any callable value.
 ///
 /// # Errors
@@ -1015,7 +1129,7 @@ pub fn call_value(
                 class: c.clone(),
                 attrs: RefCell::new(Vec::new()),
             });
-            match c.lookup("__init__") {
+            match c.lookup_sym(well_known::sym_init()) {
                 Some(init @ (Value::Func(_) | Value::Native(_))) => {
                     let mut all = vec![Value::Instance(inst.clone())];
                     all.extend(args);
@@ -1052,69 +1166,80 @@ pub fn call_function(
             "maximum recursion depth exceeded",
         ));
     }
-    let locals = Scope::new_ref();
-    bind_params(vm, func, args, kwargs, &locals)?;
+    let proto = func.proto.clone();
     let mut frame = Frame {
         globals: func.globals.clone(),
-        locals: Some(locals),
-        local_names: Rc::new(func.local_names.clone()),
-        global_decls: Rc::new(func.global_names.clone()),
+        locals: if proto.dynamic {
+            FrameLocals::Dynamic(Scope::new_ref())
+        } else {
+            FrameLocals::Slots(vec![None; proto.slots.len()])
+        },
+        proto,
         captured: func.captured.clone(),
-        func_name: func.name.clone(),
     };
+    bind_params(func, args, kwargs, &mut frame.locals)?;
     vm.depth.set(vm.depth.get() + 1);
-    let result = exec_block(vm, &mut frame, &func.body);
+    let result = exec_block(vm, &mut frame, &func.proto.body);
     vm.depth.set(vm.depth.get() - 1);
     match result {
         Ok(Flow::Return(v)) => Ok(v),
         Ok(_) => Ok(Value::None),
-        Err(e) => Err(e.with_frame(&func.name)),
+        Err(e) => Err(e.with_frame(func.name())),
     }
 }
 
 fn bind_params(
-    _vm: &mut Vm,
     func: &FuncObj,
     mut args: Vec<Value>,
     mut kwargs: Vec<(String, Value)>,
-    locals: &ScopeRef,
+    locals: &mut FrameLocals,
 ) -> Result<(), PyExc> {
-    let mut locals = locals.borrow_mut();
+    fn bind(locals: &mut FrameLocals, p: &crate::prepare::ProtoParam, v: Value) {
+        match locals {
+            FrameLocals::Slots(slots) => slots[p.slot as usize] = Some(v),
+            FrameLocals::Dynamic(scope) => scope.borrow_mut().set_sym(p.sym, v),
+            FrameLocals::Module => unreachable!("functions never bind module frames"),
+        }
+    }
+    let params = &func.proto.params;
     let mut arg_iter = args.drain(..);
-    for (i, p) in func.params.iter().enumerate() {
+    for (i, p) in params.iter().enumerate() {
         match p.kind {
-            pysrc::ast::ParamKind::Normal => {
+            ParamKind::Normal => {
+                let p_name = p.sym.as_str();
                 if let Some(v) = arg_iter.next() {
                     // Positional wins; a duplicate keyword is an error.
-                    if kwargs.iter().any(|(n, _)| n == &p.name) {
+                    if kwargs.iter().any(|(n, _)| n == p_name) {
                         return Err(PyExc::type_error(format!(
                             "{}() got multiple values for argument '{}'",
-                            func.name, p.name
+                            func.name(),
+                            p_name
                         )));
                     }
-                    locals.set(&p.name, v);
-                } else if let Some(pos) = kwargs.iter().position(|(n, _)| n == &p.name) {
+                    bind(locals, p, v);
+                } else if let Some(pos) = kwargs.iter().position(|(n, _)| n == p_name) {
                     let (_, v) = kwargs.remove(pos);
-                    locals.set(&p.name, v);
+                    bind(locals, p, v);
                 } else if let Some(Some(d)) = func.defaults.get(i) {
-                    locals.set(&p.name, d.clone());
+                    bind(locals, p, d.clone());
                 } else {
                     return Err(PyExc::type_error(format!(
                         "{}() missing required argument: '{}'",
-                        func.name, p.name
+                        func.name(),
+                        p_name
                     )));
                 }
             }
-            pysrc::ast::ParamKind::Star => {
+            ParamKind::Star => {
                 let rest: Vec<Value> = arg_iter.by_ref().collect();
-                locals.set(&p.name, Value::Tuple(Rc::new(rest)));
+                bind(locals, p, Value::Tuple(Rc::new(rest)));
             }
-            pysrc::ast::ParamKind::DoubleStar => {
+            ParamKind::DoubleStar => {
                 let mut d = DictObj::new();
                 for (n, v) in kwargs.drain(..) {
                     d.set(Value::str(n), v);
                 }
-                locals.set(&p.name, Value::Dict(Rc::new(RefCell::new(d))));
+                bind(locals, p, Value::Dict(Rc::new(RefCell::new(d))));
             }
         }
     }
@@ -1122,14 +1247,15 @@ fn bind_params(
     if !leftover.is_empty() {
         return Err(PyExc::type_error(format!(
             "{}() takes {} positional arguments but more were given",
-            func.name,
-            func.params.len()
+            func.name(),
+            params.len()
         )));
     }
     if !kwargs.is_empty() {
         return Err(PyExc::type_error(format!(
             "{}() got an unexpected keyword argument '{}'",
-            func.name, kwargs[0].0
+            func.name(),
+            kwargs[0].0
         )));
     }
     Ok(())
@@ -1137,13 +1263,41 @@ fn bind_params(
 
 /// Attribute lookup with Python semantics (including the canonical
 /// `AttributeError: 'NoneType' object has no attribute ...`).
+///
+/// Uses the non-inserting intern probe: a never-interned name cannot
+/// key any symbol table, so `getattr` with runtime-generated strings
+/// fails (or reaches the string-matched builtin methods) without
+/// permanently growing the interner.
 pub fn get_attr(vm: &Vm, obj: &Value, attr: &str) -> Result<Value, PyExc> {
+    match crate::intern::try_intern(attr) {
+        Some(sym) => get_attr_sym(vm, obj, sym),
+        None => match obj {
+            Value::Instance(i) => Err(PyExc::attribute_error(&i.class.name, attr)),
+            Value::Class(c) => Err(PyExc::attribute_error(&c.name, attr)),
+            Value::Module(m) => Err(PyExc::new(
+                "AttributeError",
+                format!("module '{}' has no attribute '{attr}'", m.name),
+            )),
+            other => {
+                if let Some(v) = methods::builtin_method(vm, other, attr) {
+                    Ok(v)
+                } else {
+                    Err(PyExc::attribute_error(other.type_name(), attr))
+                }
+            }
+        },
+    }
+}
+
+/// Symbol-keyed attribute lookup (the interpreter hot path; the symbol
+/// comes from the prepare-time resolution table).
+pub fn get_attr_sym(vm: &Vm, obj: &Value, sym: Symbol) -> Result<Value, PyExc> {
     match obj {
         Value::Instance(i) => {
-            if let Some(v) = i.get_attr(attr) {
+            if let Some(v) = i.get_attr_sym(sym) {
                 return Ok(v);
             }
-            if let Some(v) = i.class.lookup(attr) {
+            if let Some(v) = i.class.lookup_sym(sym) {
                 return Ok(match v {
                     f @ (Value::Func(_) | Value::Native(_)) => {
                         Value::BoundMethod(Box::new(f), Box::new(obj.clone()))
@@ -1151,47 +1305,47 @@ pub fn get_attr(vm: &Vm, obj: &Value, attr: &str) -> Result<Value, PyExc> {
                     other => other,
                 });
             }
-            Err(PyExc::attribute_error(&i.class.name, attr))
+            Err(PyExc::attribute_error(&i.class.name, sym.as_str()))
         }
         Value::Class(c) => c
-            .lookup(attr)
-            .ok_or_else(|| PyExc::attribute_error(&c.name, attr)),
-        Value::Module(m) => m.get(attr).ok_or_else(|| {
+            .lookup_sym(sym)
+            .ok_or_else(|| PyExc::attribute_error(&c.name, sym.as_str())),
+        Value::Module(m) => m.get_sym(sym).ok_or_else(|| {
             PyExc::new(
                 "AttributeError",
-                format!("module '{}' has no attribute '{attr}'", m.name),
+                format!("module '{}' has no attribute '{}'", m.name, sym.as_str()),
             )
         }),
         other => {
-            if let Some(v) = methods::builtin_method(vm, other, attr) {
+            if let Some(v) = methods::builtin_method(vm, other, sym.as_str()) {
                 Ok(v)
             } else {
-                Err(PyExc::attribute_error(other.type_name(), attr))
+                Err(PyExc::attribute_error(other.type_name(), sym.as_str()))
             }
         }
     }
 }
 
-fn set_attr(obj: &Value, attr: &str, value: Value) -> Result<(), PyExc> {
+fn set_attr_sym(obj: &Value, sym: Symbol, value: Value) -> Result<(), PyExc> {
     match obj {
         Value::Instance(i) => {
-            i.set_attr(attr, value);
+            i.set_attr_sym(sym, value);
             Ok(())
         }
         Value::Class(c) => {
             let mut attrs = c.attrs.borrow_mut();
-            if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == attr) {
+            if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == sym) {
                 slot.1 = value;
             } else {
-                attrs.push((attr.to_string(), value));
+                attrs.push((sym, value));
             }
             Ok(())
         }
         Value::Module(m) => {
-            m.set(attr, value);
+            m.set_sym(sym, value);
             Ok(())
         }
-        other => Err(PyExc::attribute_error(other.type_name(), attr)),
+        other => Err(PyExc::attribute_error(other.type_name(), sym.as_str())),
     }
 }
 
@@ -1558,7 +1712,7 @@ fn membership(_vm: &Vm, needle: &Value, haystack: &Value) -> Result<bool, PyExc>
         Value::List(l) => Ok(l.borrow().iter().any(|v| values_eq(v, needle))),
         Value::Tuple(t) => Ok(t.iter().any(|v| values_eq(v, needle))),
         Value::Set(s) => Ok(s.borrow().iter().any(|v| values_eq(v, needle))),
-        Value::Dict(d) => Ok(d.borrow().iter().any(|(k, _)| values_eq(k, needle))),
+        Value::Dict(d) => Ok(d.borrow().get(needle).is_some()),
         Value::Str(s) => match needle {
             Value::Str(sub) => Ok(s.contains(sub.as_str())),
             other => Err(PyExc::type_error(format!(

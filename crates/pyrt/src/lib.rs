@@ -40,13 +40,17 @@ pub mod builtins;
 pub mod clock;
 pub mod exc;
 pub mod host;
+pub mod intern;
 pub mod interp;
 pub mod methods;
 pub mod modules;
+pub mod prepare;
 pub mod value;
 pub mod vm;
 
 pub use exc::PyExc;
 pub use host::{HostApi, HttpResponse, NoopHost};
+pub use intern::{intern, Symbol};
+pub use prepare::{FuncProto, PreparedModule};
 pub use value::Value;
 pub use vm::{LogRecord, Severity, Vm, VmOutcome};

@@ -368,7 +368,7 @@ fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
         is_exception: false,
     });
     thread_class.attrs.borrow_mut().push((
-        "start".to_string(),
+        crate::intern::intern("start"),
         native_value("start", |vm, args, _| {
             let recv = args.first().cloned().ok_or_else(|| arg_err("start"))?;
             if let Value::Instance(inst) = &recv {
@@ -386,11 +386,11 @@ fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
         }),
     ));
     thread_class.attrs.borrow_mut().push((
-        "join".to_string(),
+        crate::intern::intern("join"),
         native_value("join", |_vm, _args, _| Ok(Value::None)),
     ));
     thread_class.attrs.borrow_mut().push((
-        "__init__".to_string(),
+        crate::intern::intern("__init__"),
         native_value("__init__", |_vm, args, kwargs| {
             let recv = args.first().cloned().ok_or_else(|| arg_err("Thread"))?;
             if let Value::Instance(inst) = &recv {

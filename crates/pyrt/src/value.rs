@@ -1,9 +1,12 @@
 //! Runtime values for the mini-Python interpreter.
 
-use pysrc::ast;
+use crate::intern::{intern, try_intern, Symbol};
+use crate::prepare::FuncProto;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value. Aggregate values use `Rc<RefCell<..>>` to get
 /// Python's reference/aliasing semantics in a single-threaded VM.
@@ -23,8 +26,8 @@ pub enum Value {
     List(Rc<RefCell<Vec<Value>>>),
     /// Immutable tuple.
     Tuple(Rc<Vec<Value>>),
-    /// Insertion-ordered dictionary (linear probing is fine at corpus
-    /// scale and keeps iteration deterministic).
+    /// Insertion-ordered dictionary with a lazy hash index over the
+    /// entries (O(1) lookup past a small size, deterministic iteration).
     Dict(Rc<RefCell<DictObj>>),
     /// Mutable set (represented as an ordered vec of unique values).
     Set(Rc<RefCell<Vec<Value>>>),
@@ -42,10 +45,23 @@ pub enum Value {
     Module(Rc<ModuleObj>),
 }
 
+/// Entry count past which a [`DictObj`] builds its hash index. Below
+/// this a linear scan over the entry vec is faster than hashing.
+const DICT_INDEX_THRESHOLD: usize = 8;
+
 /// Insertion-ordered dictionary object.
+///
+/// Entries live in one insertion-ordered vec (iteration, `repr`, and
+/// report output stay deterministic). Once the dict grows past
+/// [`DICT_INDEX_THRESHOLD`], a `hash → entry indices` side index makes
+/// string/number-keyed access O(1); unhashable keys (lists, dicts)
+/// permanently degrade that dict to the linear path, preserving the old
+/// anything-goes key semantics.
 #[derive(Default)]
 pub struct DictObj {
     entries: Vec<(Value, Value)>,
+    index: Option<HashMap<u64, Vec<u32>>>,
+    unindexable: bool,
 }
 
 impl DictObj {
@@ -64,27 +80,82 @@ impl DictObj {
         self.entries.is_empty()
     }
 
+    fn find(&self, key: &Value) -> Option<usize> {
+        self.find_hashed(key, || value_hash(key))
+    }
+
+    /// `find` with the key hash supplied lazily, so callers that
+    /// already computed it (the `set` path) hash only once.
+    fn find_hashed(&self, key: &Value, hash: impl FnOnce() -> Option<u64>) -> Option<usize> {
+        if let Some(index) = &self.index {
+            let h = hash()?;
+            return index
+                .get(&h)?
+                .iter()
+                .copied()
+                .find(|&i| values_eq(&self.entries[i as usize].0, key))
+                .map(|i| i as usize);
+        }
+        self.entries.iter().position(|(k, _)| values_eq(k, key))
+    }
+
     /// Looks up a key by Python equality.
+    ///
+    /// `find` handles both paths: hash-index probe when the index is
+    /// live (an unhashable probe key cannot equal any indexed key, so
+    /// the `None` short-circuit is exact), linear scan otherwise.
     pub fn get(&self, key: &Value) -> Option<&Value> {
-        self.entries
-            .iter()
-            .find(|(k, _)| values_eq(k, key))
-            .map(|(_, v)| v)
+        self.find(key).map(|i| &self.entries[i].1)
+    }
+
+    fn build_index(&mut self) {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(self.entries.len());
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            match value_hash(k) {
+                Some(h) => index.entry(h).or_default().push(i as u32),
+                None => {
+                    self.unindexable = true;
+                    return;
+                }
+            }
+        }
+        self.index = Some(index);
     }
 
     /// Inserts or replaces a key.
     pub fn set(&mut self, key: Value, value: Value) {
-        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| values_eq(k, &key)) {
-            slot.1 = value;
-        } else {
-            self.entries.push((key, value));
+        let key_hash = value_hash(&key);
+        if key_hash.is_none() {
+            // Unhashable key: this dict stays on the linear path.
+            self.unindexable = true;
+            self.index = None;
+        } else if self.index.is_none()
+            && !self.unindexable
+            && self.entries.len() + 1 > DICT_INDEX_THRESHOLD
+        {
+            self.build_index();
+        }
+        if let Some(i) = self.find_hashed(&key, || key_hash) {
+            self.entries[i].1 = value;
+            return;
+        }
+        let slot = self.entries.len() as u32;
+        self.entries.push((key, value));
+        if let (Some(index), Some(h)) = (&mut self.index, key_hash) {
+            index.entry(h).or_default().push(slot);
         }
     }
 
     /// Removes a key, returning its value.
     pub fn remove(&mut self, key: &Value) -> Option<Value> {
-        let idx = self.entries.iter().position(|(k, _)| values_eq(k, key))?;
-        Some(self.entries.remove(idx).1)
+        let idx = self.find(key)?;
+        let (_, v) = self.entries.remove(idx);
+        if self.index.is_some() {
+            // Removal shifts every later entry; rebuilding keeps the
+            // index simple and removal is rare next to lookup.
+            self.build_index();
+        }
+        Some(v)
     }
 
     /// Iterates entries in insertion order.
@@ -93,26 +164,87 @@ impl DictObj {
     }
 }
 
-/// A user-defined function.
+/// FNV-1a over raw bytes — shared by string hashing here and the
+/// prepared-module source stamps in [`crate::prepare`].
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hashes a value consistently with [`values_eq`]'s coercions
+/// (`1 == 1.0 == True` all hash alike), or `None` for unhashable
+/// values. Mutable containers are unhashable; identity-compared values
+/// (instances, classes, functions, modules) hash by pointer.
+pub fn value_hash(v: &Value) -> Option<u64> {
+    fn mix(x: u64) -> u64 {
+        // splitmix64 finalizer.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    match v {
+        Value::None => Some(mix(u64::MAX)),
+        Value::Bool(b) => Some(mix(*b as u64)),
+        Value::Int(i) => {
+            // An int whose f64 projection is lossy (|i| > 2^53) can
+            // compare equal to a float (values_eq compares `i as f64`),
+            // so such ints must hash through the same projection the
+            // equality uses.
+            let projected = (*i as f64) as i64;
+            Some(mix(if projected == *i { *i as u64 } else { projected as u64 }))
+        }
+        Value::Float(f) => {
+            // Numeric coercion: a float equal to an int must hash as
+            // that int (values_eq treats 2 == 2.0).
+            if f.is_finite() && f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(f)
+            {
+                Some(mix(*f as i64 as u64))
+            } else {
+                Some(mix(f.to_bits()))
+            }
+        }
+        Value::Str(s) => Some(fnv1a(s.as_bytes())),
+        Value::Tuple(t) => {
+            let mut h: u64 = 0x345C_91A7;
+            for item in t.iter() {
+                h = mix(h ^ value_hash(item)?);
+            }
+            Some(h)
+        }
+        Value::Instance(i) => Some(mix(Rc::as_ptr(i) as u64)),
+        Value::Class(c) => Some(mix(Rc::as_ptr(c) as u64)),
+        Value::Func(f) => Some(mix(Rc::as_ptr(f) as u64)),
+        Value::Native(n) => Some(mix(Rc::as_ptr(n) as u64)),
+        Value::Module(m) => Some(mix(Rc::as_ptr(m) as u64)),
+        Value::List(_) | Value::Dict(_) | Value::Set(_) | Value::BoundMethod(..) => None,
+    }
+}
+
+/// A user-defined function: the immutable prepared prototype (shared
+/// across every call and every experiment that reuses the prepared
+/// module) plus the capture environment of this particular `def`.
 pub struct FuncObj {
-    /// Function name (for tracebacks).
-    pub name: String,
-    /// Parameters.
-    pub params: Vec<ast::Param>,
+    /// Prepared prototype: name, parameter slots, resolved body.
+    pub proto: Arc<FuncProto>,
     /// Default values, evaluated once at `def` time (Python semantics),
-    /// parallel to `params`.
+    /// parallel to `proto.params`.
     pub defaults: Vec<Option<Value>>,
-    /// Body statements (shared with the module AST).
-    pub body: Rc<Vec<ast::Stmt>>,
-    /// Names assigned anywhere in the body (locals), precomputed for
-    /// `UnboundLocalError` semantics.
-    pub local_names: Vec<String>,
-    /// Names declared `global` in the body.
-    pub global_names: Vec<String>,
     /// The module globals this function closes over.
     pub globals: ScopeRef,
     /// Enclosing local scopes captured by closures (innermost last).
     pub captured: Vec<ScopeRef>,
+}
+
+impl FuncObj {
+    /// Function name (for tracebacks and reprs).
+    pub fn name(&self) -> &str {
+        &self.proto.name
+    }
 }
 
 /// A class object.
@@ -121,20 +253,27 @@ pub struct ClassObj {
     pub name: String,
     /// Single base class, if any.
     pub base: Option<Rc<ClassObj>>,
-    /// Methods and class attributes.
-    pub attrs: RefCell<Vec<(String, Value)>>,
+    /// Methods and class attributes, symbol-keyed.
+    pub attrs: RefCell<Vec<(Symbol, Value)>>,
     /// True for the built-in exception classes and user subclasses of
     /// them (set at class creation by walking `base`).
     pub is_exception: bool,
 }
 
 impl ClassObj {
-    /// Looks up an attribute through the inheritance chain.
+    /// Looks up an attribute through the inheritance chain. Uses the
+    /// non-inserting intern probe: a never-interned name cannot be a
+    /// key of any symbol table.
     pub fn lookup(&self, name: &str) -> Option<Value> {
-        if let Some((_, v)) = self.attrs.borrow().iter().find(|(n, _)| n == name) {
+        self.lookup_sym(try_intern(name)?)
+    }
+
+    /// Symbol-keyed attribute lookup through the inheritance chain.
+    pub fn lookup_sym(&self, sym: Symbol) -> Option<Value> {
+        if let Some((_, v)) = self.attrs.borrow().iter().find(|(n, _)| *n == sym) {
             return Some(v.clone());
         }
-        self.base.as_ref().and_then(|b| b.lookup(name))
+        self.base.as_ref().and_then(|b| b.lookup_sym(sym))
     }
 
     /// True if `self` is `other` or a subclass of it.
@@ -150,27 +289,37 @@ impl ClassObj {
 pub struct InstanceObj {
     /// The instance's class.
     pub class: Rc<ClassObj>,
-    /// Instance attributes.
-    pub attrs: RefCell<Vec<(String, Value)>>,
+    /// Instance attributes, symbol-keyed.
+    pub attrs: RefCell<Vec<(Symbol, Value)>>,
 }
 
 impl InstanceObj {
     /// Reads an instance attribute (not falling back to the class).
     pub fn get_attr(&self, name: &str) -> Option<Value> {
+        self.get_attr_sym(try_intern(name)?)
+    }
+
+    /// Symbol-keyed instance attribute read.
+    pub fn get_attr_sym(&self, sym: Symbol) -> Option<Value> {
         self.attrs
             .borrow()
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == sym)
             .map(|(_, v)| v.clone())
     }
 
     /// Writes an instance attribute.
     pub fn set_attr(&self, name: &str, value: Value) {
+        self.set_attr_sym(intern(name), value);
+    }
+
+    /// Symbol-keyed instance attribute write.
+    pub fn set_attr_sym(&self, sym: Symbol, value: Value) {
         let mut attrs = self.attrs.borrow_mut();
-        if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == name) {
+        if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == sym) {
             slot.1 = value;
         } else {
-            attrs.push((name.to_string(), value));
+            attrs.push((sym, value));
         }
     }
 }
@@ -179,27 +328,37 @@ impl InstanceObj {
 pub struct ModuleObj {
     /// Module name.
     pub name: String,
-    /// Module attributes.
-    pub attrs: RefCell<Vec<(String, Value)>>,
+    /// Module attributes, symbol-keyed.
+    pub attrs: RefCell<Vec<(Symbol, Value)>>,
 }
 
 impl ModuleObj {
     /// Reads a module attribute.
     pub fn get(&self, name: &str) -> Option<Value> {
+        self.get_sym(try_intern(name)?)
+    }
+
+    /// Symbol-keyed module attribute read.
+    pub fn get_sym(&self, sym: Symbol) -> Option<Value> {
         self.attrs
             .borrow()
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == sym)
             .map(|(_, v)| v.clone())
     }
 
     /// Writes a module attribute.
     pub fn set(&self, name: &str, value: Value) {
+        self.set_sym(intern(name), value);
+    }
+
+    /// Symbol-keyed module attribute write.
+    pub fn set_sym(&self, sym: Symbol, value: Value) {
         let mut attrs = self.attrs.borrow_mut();
-        if let Some(slot) = attrs.iter_mut().find(|(n, _)| n == name) {
+        if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == sym) {
             slot.1 = value;
         } else {
-            attrs.push((name.to_string(), value));
+            attrs.push((sym, value));
         }
     }
 }
@@ -219,10 +378,12 @@ pub struct NativeFn {
 /// A mutable name→value scope shared by reference.
 pub type ScopeRef = Rc<RefCell<Scope>>;
 
-/// A flat name→value binding table.
+/// A flat symbol→value binding table. Compares are `u32` compares; the
+/// string convenience methods intern on the way in and are meant for
+/// native-module setup, not the interpreter hot path.
 #[derive(Default)]
 pub struct Scope {
-    bindings: Vec<(String, Value)>,
+    bindings: Vec<(Symbol, Value)>,
 }
 
 impl Scope {
@@ -231,37 +392,57 @@ impl Scope {
         Rc::new(RefCell::new(Scope::default()))
     }
 
-    /// Looks up a name.
+    /// Looks up a name (non-inserting probe; see [`try_intern`]).
     pub fn get(&self, name: &str) -> Option<Value> {
+        self.get_sym(try_intern(name)?)
+    }
+
+    /// Symbol-keyed lookup.
+    pub fn get_sym(&self, sym: Symbol) -> Option<Value> {
         self.bindings
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == sym)
             .map(|(_, v)| v.clone())
     }
 
     /// Binds a name.
     pub fn set(&mut self, name: &str, value: Value) {
-        if let Some(slot) = self.bindings.iter_mut().find(|(n, _)| n == name) {
+        self.set_sym(intern(name), value);
+    }
+
+    /// Symbol-keyed binding.
+    pub fn set_sym(&mut self, sym: Symbol, value: Value) {
+        if let Some(slot) = self.bindings.iter_mut().find(|(n, _)| *n == sym) {
             slot.1 = value;
         } else {
-            self.bindings.push((name.to_string(), value));
+            self.bindings.push((sym, value));
         }
     }
 
     /// Removes a binding, returning whether it existed.
     pub fn unset(&mut self, name: &str) -> bool {
+        try_intern(name).is_some_and(|sym| self.unset_sym(sym))
+    }
+
+    /// Symbol-keyed removal.
+    pub fn unset_sym(&mut self, sym: Symbol) -> bool {
         let before = self.bindings.len();
-        self.bindings.retain(|(n, _)| n != name);
+        self.bindings.retain(|(n, _)| *n != sym);
         self.bindings.len() != before
     }
 
     /// True if the name is bound.
     pub fn contains(&self, name: &str) -> bool {
-        self.bindings.iter().any(|(n, _)| n == name)
+        try_intern(name).is_some_and(|sym| self.contains_sym(sym))
     }
 
-    /// Snapshot of all bindings in insertion order.
-    pub fn bindings_vec(&self) -> Vec<(String, Value)> {
+    /// Symbol-keyed membership test.
+    pub fn contains_sym(&self, sym: Symbol) -> bool {
+        self.bindings.iter().any(|(n, _)| *n == sym)
+    }
+
+    /// Snapshot of all bindings in insertion order (symbol keys).
+    pub fn bindings_syms(&self) -> Vec<(Symbol, Value)> {
         self.bindings.clone()
     }
 }
@@ -365,9 +546,9 @@ impl Value {
                     format!("{{{}}}", items.join(", "))
                 }
             }
-            Value::Func(f) => format!("<function {}>", f.name),
+            Value::Func(f) => format!("<function {}>", f.name()),
             Value::BoundMethod(f, _) => match f.as_ref() {
-                Value::Func(f) => format!("<bound method {}>", f.name),
+                Value::Func(f) => format!("<bound method {}>", f.name()),
                 Value::Native(n) => format!("<bound method {}>", n.name),
                 other => format!("<bound method {}>", other.type_name()),
             },
@@ -383,7 +564,7 @@ impl Value {
         match self {
             Value::Str(s) => s.to_string(),
             Value::Instance(i) if i.class.is_exception => {
-                match i.get_attr("message") {
+                match i.get_attr_sym(crate::intern::well_known::sym_message()) {
                     Some(Value::Str(m)) => m.to_string(),
                     Some(v) => v.to_display(),
                     None => String::new(),
@@ -520,6 +701,92 @@ mod tests {
         let keys: Vec<String> = d.iter().map(|(k, _)| k.to_display()).collect();
         assert_eq!(keys, vec!["b", "a"]);
         assert!(values_eq(d.get(&Value::str("b")).unwrap(), &Value::Int(3)));
+    }
+
+    #[test]
+    fn dict_index_kicks_in_and_preserves_semantics() {
+        let mut d = DictObj::new();
+        for i in 0..100 {
+            d.set(Value::str(format!("k{i}")), Value::Int(i));
+        }
+        assert!(d.index.is_some(), "index built past the threshold");
+        assert!(values_eq(d.get(&Value::str("k73")).unwrap(), &Value::Int(73)));
+        assert!(d.get(&Value::str("missing")).is_none());
+        // Overwrite keeps position; remove keeps order and lookups.
+        d.set(Value::str("k10"), Value::Int(-1));
+        assert!(values_eq(d.get(&Value::str("k10")).unwrap(), &Value::Int(-1)));
+        assert!(d.remove(&Value::str("k50")).is_some());
+        assert!(d.get(&Value::str("k50")).is_none());
+        assert!(values_eq(d.get(&Value::str("k99")).unwrap(), &Value::Int(99)));
+        let keys: Vec<String> = d.iter().map(|(k, _)| k.to_display()).collect();
+        assert_eq!(keys[0], "k0");
+        assert_eq!(keys.len(), 99);
+    }
+
+    #[test]
+    fn dict_numeric_coercion_with_index() {
+        let mut d = DictObj::new();
+        for i in 0..20 {
+            d.set(Value::Int(i), Value::Int(i * 10));
+        }
+        // 5.0 and True coerce to existing int keys even via the index.
+        assert!(values_eq(d.get(&Value::Float(5.0)).unwrap(), &Value::Int(50)));
+        assert!(values_eq(d.get(&Value::Bool(true)).unwrap(), &Value::Int(10)));
+        d.set(Value::Float(7.0), Value::Int(-7));
+        assert_eq!(d.len(), 20, "7.0 replaced the int 7 entry");
+        assert!(values_eq(d.get(&Value::Int(7)).unwrap(), &Value::Int(-7)));
+    }
+
+    #[test]
+    fn dict_unhashable_keys_fall_back_to_linear() {
+        let mut d = DictObj::new();
+        for i in 0..20 {
+            d.set(Value::Int(i), Value::Int(i));
+        }
+        let list_key = Value::list(vec![Value::Int(1)]);
+        d.set(list_key.clone(), Value::str("by-list"));
+        assert!(d.index.is_none(), "unhashable key drops the index");
+        assert!(values_eq(d.get(&list_key).unwrap(), &Value::str("by-list")));
+        assert!(values_eq(d.get(&Value::Int(12)).unwrap(), &Value::Int(12)));
+    }
+
+    #[test]
+    fn value_hash_matches_values_eq() {
+        let pairs = [
+            (Value::Int(2), Value::Float(2.0)),
+            (Value::Bool(true), Value::Int(1)),
+            (Value::str("x"), Value::str("x")),
+            (
+                Value::Tuple(Rc::new(vec![Value::Int(1), Value::str("a")])),
+                Value::Tuple(Rc::new(vec![Value::Float(1.0), Value::str("a")])),
+            ),
+        ];
+        for (a, b) in &pairs {
+            assert!(values_eq(a, b));
+            assert_eq!(value_hash(a), value_hash(b), "{a:?} vs {b:?}");
+        }
+        assert!(value_hash(&Value::list(vec![])).is_none());
+    }
+
+    #[test]
+    fn value_hash_agrees_with_eq_beyond_f64_precision() {
+        // 2^53 + 1 projects lossily to 2^53 as f64, so values_eq treats
+        // it as equal to Float(2^53): the hashes must agree too, or the
+        // dict index would miss keys the linear scan matched.
+        let big_int = Value::Int((1i64 << 53) + 1);
+        let alias_float = Value::Float((1i64 << 53) as f64);
+        assert!(values_eq(&big_int, &alias_float));
+        assert_eq!(value_hash(&big_int), value_hash(&alias_float));
+        // And through an indexed dict:
+        let mut d = DictObj::new();
+        for i in 0..10 {
+            d.set(Value::Int(i), Value::Int(i));
+        }
+        d.set(big_int.clone(), Value::str("big"));
+        assert!(d.index.is_some());
+        assert!(values_eq(d.get(&alias_float).unwrap(), &Value::str("big")));
+        d.set(alias_float, Value::str("replaced"));
+        assert_eq!(d.len(), 11, "aliasing float replaced, not duplicated");
     }
 
     #[test]

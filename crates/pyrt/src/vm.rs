@@ -7,12 +7,15 @@ use crate::exc::{Flow, PyExc, BUILTIN_EXCEPTIONS};
 use crate::host::{HostApi, NoopHost};
 use crate::interp::Frame;
 use crate::modules;
+use crate::prepare::{self, FuncProto, PreparedModule};
 use crate::value::{ClassObj, ModuleObj, Scope, ScopeRef, Value};
+use pysrc::ast::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Severity of a log record emitted by the interpreted program through
 /// the simulated `logging` module.
@@ -105,6 +108,11 @@ pub struct Vm {
     pub(crate) modules: RefCell<HashMap<String, Rc<ModuleObj>>>,
     /// Parsed user modules available for `import`.
     user_sources: RefCell<HashMap<String, Rc<pysrc::Module>>>,
+    /// Pre-prepared user modules available for `import` (take precedence
+    /// over `user_sources`; shared across experiments via `Arc`).
+    user_prepared: RefCell<HashMap<String, Arc<PreparedModule>>>,
+    /// Prepared scope prototypes keyed by defining node id.
+    protos: RefCell<HashMap<u32, Arc<FuncProto>>>,
     /// Component attribution for log records.
     pub(crate) current_component: RefCell<String>,
     /// Exception currently being handled (for bare `raise`).
@@ -144,6 +152,8 @@ impl Vm {
             exc_classes: RefCell::new(HashMap::new()),
             modules: RefCell::new(HashMap::new()),
             user_sources: RefCell::new(HashMap::new()),
+            user_prepared: RefCell::new(HashMap::new()),
+            protos: RefCell::new(HashMap::new()),
             current_component: RefCell::new("<main>".to_string()),
             handling: RefCell::new(Vec::new()),
             depth: Cell::new(0),
@@ -185,10 +195,49 @@ impl Vm {
     }
 
     /// Registers a parsed source module so the target can `import` it.
+    /// The module is prepared (names resolved, slots allocated) at
+    /// import time.
     pub fn register_source(&self, import_name: &str, module: Rc<pysrc::Module>) {
         self.user_sources
             .borrow_mut()
             .insert(import_name.to_string(), module);
+    }
+
+    /// Registers a **prepared** module so the target can `import` it
+    /// without re-parsing or re-resolving — the fast path used by the
+    /// sandbox for the unchanged workload and fault-free target modules
+    /// shared across every experiment of a campaign.
+    pub fn register_prepared_source(&self, import_name: &str, prepared: Arc<PreparedModule>) {
+        self.install_prepared(&prepared);
+        self.user_prepared
+            .borrow_mut()
+            .insert(import_name.to_string(), prepared);
+    }
+
+    /// Installs a prepared module's scope prototypes into the registry.
+    pub fn install_prepared(&self, prepared: &PreparedModule) {
+        let mut protos = self.protos.borrow_mut();
+        for (id, proto) in &prepared.protos {
+            protos.insert(*id, proto.clone());
+        }
+    }
+
+    /// The prepared prototype for a defining node, if known.
+    pub(crate) fn proto(&self, id: NodeId) -> Option<Arc<FuncProto>> {
+        self.protos.borrow().get(&id.0).cloned()
+    }
+
+    /// Registers an on-the-fly prepared prototype (plus anything nested
+    /// in it) so repeated executions of the same `def` reuse it.
+    pub(crate) fn install_proto(
+        &self,
+        id: NodeId,
+        proto: Arc<FuncProto>,
+        nested: HashMap<u32, Arc<FuncProto>>,
+    ) {
+        let mut protos = self.protos.borrow_mut();
+        protos.insert(id.0, proto);
+        protos.extend(nested);
     }
 
     /// Imports a module by name: native modules first, then registered
@@ -208,8 +257,12 @@ impl Vm {
                 .insert(name.to_string(), native.clone());
             return Ok(native);
         }
-        let source = self.user_sources.borrow().get(name).cloned();
-        if let Some(source) = source {
+        let prepared = self.user_prepared.borrow().get(name).cloned();
+        let source = match &prepared {
+            Some(_) => None,
+            None => self.user_sources.borrow().get(name).cloned(),
+        };
+        if prepared.is_some() || source.is_some() {
             if self.importing.borrow().iter().any(|n| n == name) {
                 return Err(PyExc::new(
                     "ImportError",
@@ -217,7 +270,17 @@ impl Vm {
                 ));
             }
             self.importing.borrow_mut().push(name.to_string());
-            let result = self.execute_module_namespace(name, &source);
+            let result = match &prepared {
+                Some(pm) => {
+                    self.execute_module_namespace(name, &pm.module, pm.module_proto.clone())
+                }
+                None => {
+                    let source = source.expect("checked above");
+                    let (module_proto, protos) = prepare::prepare_ast(&source);
+                    self.protos.borrow_mut().extend(protos);
+                    self.execute_module_namespace(name, &source, module_proto)
+                }
+            };
             self.importing.borrow_mut().pop();
             let namespace = result?;
             self.modules
@@ -235,11 +298,12 @@ impl Vm {
         &mut self,
         name: &str,
         source: &pysrc::Module,
+        proto: Arc<FuncProto>,
     ) -> Result<Rc<ModuleObj>, PyExc> {
         let globals = Scope::new_ref();
         let prev = std::mem::replace(&mut *self.current_component.borrow_mut(), name.to_string());
         let result = {
-            let mut frame = Frame::module(globals.clone());
+            let mut frame = Frame::prepared_module(globals.clone(), proto);
             crate::interp::exec_block(self, &mut frame, &source.body)
         };
         *self.current_component.borrow_mut() = prev;
@@ -251,26 +315,48 @@ impl Vm {
             name: name.to_string(),
             attrs: RefCell::new(Vec::new()),
         });
-        for (n, v) in &globals.borrow().iter_bindings() {
-            module.set(n, v.clone());
+        for (n, v) in &globals.borrow().bindings_syms() {
+            module.set_sym(*n, v.clone());
         }
         Ok(module)
     }
 
-    /// Runs a module as the `__main__` program.
+    /// Runs a module as the `__main__` program, preparing it first
+    /// (name resolution + slot allocation, one AST walk).
     ///
     /// # Errors
     ///
     /// Returns the uncaught [`PyExc`], with the traceback rendered to
     /// the captured stderr (like CPython printing a traceback).
     pub fn run_module(&mut self, module: &pysrc::Module) -> Result<(), PyExc> {
+        let (module_proto, protos) = prepare::prepare_ast(module);
+        self.protos.borrow_mut().extend(protos);
+        self.run_module_body(module, module_proto)
+    }
+
+    /// Runs an already-prepared module as the `__main__` program,
+    /// skipping the prepare pass entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the uncaught [`PyExc`] (see [`Vm::run_module`]).
+    pub fn run_prepared(&mut self, prepared: &PreparedModule) -> Result<(), PyExc> {
+        self.install_prepared(prepared);
+        self.run_module_body(&prepared.module, prepared.module_proto.clone())
+    }
+
+    fn run_module_body(
+        &mut self,
+        module: &pysrc::Module,
+        proto: Arc<FuncProto>,
+    ) -> Result<(), PyExc> {
         let globals = Scope::new_ref();
         let prev = std::mem::replace(
             &mut *self.current_component.borrow_mut(),
             module.name.clone(),
         );
         let result = {
-            let mut frame = Frame::module(globals);
+            let mut frame = Frame::prepared_module(globals, proto);
             crate::interp::exec_block(self, &mut frame, &module.body)
         };
         *self.current_component.borrow_mut() = prev;
@@ -357,13 +443,6 @@ impl Vm {
             }
         }
         Ok(())
-    }
-}
-
-impl Scope {
-    /// Snapshot of all bindings (used when freezing a module namespace).
-    pub fn iter_bindings(&self) -> Vec<(String, Value)> {
-        self.bindings_vec()
     }
 }
 

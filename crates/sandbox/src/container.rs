@@ -88,7 +88,28 @@ impl Container {
         seed: u64,
     ) -> Result<Container, DeployError> {
         let vm = Vm::with_host(host.clone(), seed);
+        // A prepared artifact substitutes for a source file only when
+        // its stamped source hash matches the shipped text — an
+        // unstamped or stale artifact (e.g. attached for a module that
+        // was mutated) falls back to parsing, never silently executing
+        // the wrong AST.
+        let prepared_for = |name: &str, text: &str| {
+            image
+                .prepared
+                .iter()
+                .find(|p| {
+                    p.module.name == name
+                        && p.source_hash == Some(pyrt::prepare::source_hash64(text))
+                })
+                .cloned()
+        };
         for src in &image.sources {
+            // Prepared fast path: the unchanged modules of a campaign
+            // (everything but the mutant) skip parse + name resolution.
+            if let Some(pm) = prepared_for(&src.import_name, &src.text) {
+                vm.register_prepared_source(&src.import_name, pm);
+                continue;
+            }
             let module = pysrc::parse_module(&src.text, &src.import_name).map_err(|e| {
                 DeployError {
                     message: format!("source {}: {e}", src.import_name),
@@ -100,12 +121,16 @@ impl Container {
         // injected into the workload's API call sites, §V-B) takes
         // precedence over the image-level workload text.
         if !image.sources.iter().any(|s| s.import_name == "workload") {
-            let workload = pysrc::parse_module(&image.workload, "workload").map_err(|e| {
-                DeployError {
-                    message: format!("workload: {e}"),
-                }
-            })?;
-            vm.register_source("workload", Rc::new(workload));
+            if let Some(pm) = prepared_for("workload", &image.workload) {
+                vm.register_prepared_source("workload", pm);
+            } else {
+                let workload = pysrc::parse_module(&image.workload, "workload").map_err(|e| {
+                    DeployError {
+                        message: format!("workload: {e}"),
+                    }
+                })?;
+                vm.register_source("workload", Rc::new(workload));
+            }
         }
         for cmd in &image.setup {
             let (code, out) = host.execute(cmd);
@@ -284,6 +309,33 @@ mod tests {
     fn bad_source_fails_deploy() {
         let image = ContainerImage::new("t").source("lib", "def broken(:\n");
         assert!(Container::deploy(&image, noop(), 0).is_err());
+    }
+
+    #[test]
+    fn prepared_fast_path_used_only_for_matching_source_text() {
+        use std::sync::Arc;
+        let original = "def ping():\n    return 'pong'\n";
+        let mutated = "def ping():\n    return 'MUTATED'\n";
+        let workload = "import lib\ndef run(round):\n    print(lib.ping())\n";
+        let prepared = pyrt::prepare::prepare_hashed(
+            Arc::new(pysrc::parse_module(original, "lib").unwrap()),
+            original,
+        );
+
+        // Matching text: the prepared artifact is used (same behavior).
+        let mut image = ContainerImage::new("t").source("lib", original).workload(workload);
+        image.prepared.push(prepared.clone());
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert!(c.run_round(1, false).status.is_ok());
+        assert_eq!(c.stdout(), "pong\n");
+
+        // Mutated text with a stale artifact attached: the shipped
+        // source must win — the stale AST is never substituted.
+        let mut image = ContainerImage::new("t").source("lib", mutated).workload(workload);
+        image.prepared.push(prepared);
+        let mut c = Container::deploy(&image, noop(), 0).unwrap();
+        assert!(c.run_round(1, false).status.is_ok());
+        assert_eq!(c.stdout(), "MUTATED\n", "stale prepared artifact must not shadow the mutant");
     }
 
     #[test]

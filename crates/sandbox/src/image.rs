@@ -18,6 +18,12 @@ pub struct ContainerImage {
     pub name: String,
     /// Target software sources (possibly mutated).
     pub sources: Vec<SourceFile>,
+    /// Pre-parsed, pre-resolved modules shared across experiments
+    /// (keyed by module name). A source whose name appears here is
+    /// registered without re-parsing or re-resolving; the campaign
+    /// layer attaches these for every module the experiment did *not*
+    /// mutate — including the workload (`"workload"`).
+    pub prepared: Vec<std::sync::Arc<pyrt::PreparedModule>>,
     /// The workload module. Its top level initializes the client; it
     /// must define `run(round)` which exercises the target and raises
     /// on service failure (crash/assertion).
@@ -42,6 +48,7 @@ impl ContainerImage {
         ContainerImage {
             name: name.into(),
             sources: Vec::new(),
+            prepared: Vec::new(),
             workload: String::new(),
             setup: Vec::new(),
             round_timeout: 120.0,

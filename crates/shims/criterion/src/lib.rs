@@ -156,10 +156,19 @@ impl Bencher {
     }
 }
 
+/// Quick mode: `PROFIPY_BENCH_QUICK=1` caps every benchmark at one
+/// timed sample (plus the warm-up call). CI uses it as a smoke run so
+/// benches stay compiling *and running* on every push without paying
+/// full measurement cost.
+fn quick_mode() -> bool {
+    std::env::var_os("PROFIPY_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 fn run_bench<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if quick_mode() { 1 } else { sample_size };
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
