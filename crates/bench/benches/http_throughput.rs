@@ -1,0 +1,118 @@
+//! Loopback throughput of the as-a-Service HTTP surface.
+//!
+//! Two measurements:
+//!
+//! * **status_poll** — `GET /api/campaigns/:id` over one keep-alive
+//!   connection: the hot read path every dashboard and CI poller hits.
+//!   The acceptance bar is ≥ 10k requests/sec on loopback; the bench
+//!   prints the measured rate explicitly.
+//! * **submit_to_report** — the full cycle: submit a small noop-host
+//!   campaign, poll to completion, fetch the report.
+
+use campaign::{ApiConfig, ApiServer, CampaignService, CampaignSpec, EngineConfig, HostRegistry};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_mode() -> bool {
+    std::env::var("PROFIPY_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn service() -> CampaignService {
+    CampaignService::new(EngineConfig::default(), HostRegistry::with_noop()).expect("service")
+}
+
+fn noop_spec(user: &str, name: &str, seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(
+        user,
+        name,
+        "noop",
+        vec![(
+            "target".into(),
+            "def f():\n    x = 1\n    log_event()\n    return x\n".into(),
+        )],
+        "import target\ndef run(round):\n    target.f()\n".into(),
+        faultdsl::predefined_models(),
+    );
+    spec.seed = seed;
+    spec
+}
+
+fn submit_and_wait(client: &mut httpd::Client, spec: &CampaignSpec) -> String {
+    let resp = client
+        .post_json("/api/campaigns", &spec.to_json())
+        .expect("submit");
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let id = jsonlite::parse(&resp.text())
+        .expect("json")
+        .req("id")
+        .expect("id")
+        .as_str()
+        .expect("str")
+        .to_string();
+    loop {
+        let status = client.get(&format!("/api/campaigns/{id}")).expect("poll");
+        let state = jsonlite::parse(&status.text())
+            .expect("json")
+            .req("state")
+            .expect("state")
+            .as_str()
+            .expect("str")
+            .to_string();
+        if state == "completed" {
+            return id;
+        }
+        assert_ne!(state, "failed", "campaign failed");
+    }
+}
+
+fn bench_http_throughput(c: &mut Criterion) {
+    let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).expect("bind");
+    let addr = api.addr().to_string();
+    let mut client = httpd::Client::new(&addr);
+    let id = submit_and_wait(&mut client, &noop_spec("bench", "warmup", 1));
+    let poll_path = format!("/api/campaigns/{id}");
+
+    // Explicit requests/sec burst (the acceptance number).
+    let burst = if quick_mode() { 200 } else { 20_000 };
+    let t0 = std::time::Instant::now();
+    for _ in 0..burst {
+        let resp = client.get(&poll_path).expect("poll");
+        assert_eq!(resp.status, 200);
+    }
+    let elapsed = t0.elapsed();
+    let rate = burst as f64 / elapsed.as_secs_f64();
+    println!(
+        "http_throughput/status_poll_burst      {burst} requests in {elapsed:?} = {rate:.0} req/s"
+    );
+
+    let mut group = c.benchmark_group("http_throughput");
+    group.sample_size(20);
+    group.bench_function("status_poll", |b| {
+        b.iter(|| {
+            let resp = client.get(black_box(&poll_path)).expect("poll");
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        });
+    });
+
+    let mut seed = 100u64;
+    group.bench_function("submit_to_report", |b| {
+        b.iter(|| {
+            seed += 1;
+            // A fresh seed defeats nothing (the scan cache is the
+            // point), but a fresh name keeps job history readable.
+            let spec = noop_spec("bench", &format!("run-{seed}"), seed);
+            let id = submit_and_wait(&mut client, &spec);
+            let report = client
+                .get(&format!("/api/campaigns/{id}/report"))
+                .expect("report");
+            assert_eq!(report.status, 200);
+            black_box(report.body.len())
+        });
+    });
+    group.finish();
+    api.shutdown();
+}
+
+criterion_group!(benches, bench_http_throughput);
+criterion_main!(benches);

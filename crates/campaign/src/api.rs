@@ -1,0 +1,648 @@
+//! The REST surface over [`CampaignService`] — the paper's
+//! "fault injection as-a-service" made reachable over the network.
+//!
+//! | Method | Path                         | Purpose                           |
+//! |--------|------------------------------|-----------------------------------|
+//! | POST   | `/api/campaigns`             | submit a [`CampaignSpec`] (JSON)  |
+//! | GET    | `/api/campaigns/:id`         | job status                        |
+//! | GET    | `/api/campaigns/:id/report`  | completed campaign report (JSON)  |
+//! | POST   | `/api/models`                | save a fault model into a session |
+//! | GET    | `/api/sessions/:user/reports`| a user's report history           |
+//! | GET    | `/metrics`                   | queue/cache/server counters       |
+//! | GET    | `/healthz`                   | liveness probe                    |
+//!
+//! Handlers never run campaigns: submissions land in the engine's
+//! persistent queue, and a background **drive thread** pumps
+//! [`CampaignService::drive`] in small budget slices behind the shared
+//! mutex — status polls interleave with execution instead of waiting
+//! for a campaign to finish.
+
+use crate::engine::{EngineError, JobStatus};
+use crate::service::CampaignService;
+use crate::spec::CampaignSpec;
+use httpd::{Request, Response, Router, Server, ServerConfig};
+use jsonlite::Value;
+use profipy::report::CampaignReport;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Nesting-depth cap applied to untrusted request bodies.
+const REQUEST_JSON_DEPTH: usize = 64;
+
+/// API server options.
+#[derive(Clone, Debug)]
+pub struct ApiConfig {
+    /// The HTTP layer (worker pool, queue depth, body cap).
+    pub http: ServerConfig,
+    /// Experiments per drive slice: small keeps poll latency low,
+    /// large amortizes scheduling overhead.
+    pub drive_batch: usize,
+}
+
+impl Default for ApiConfig {
+    fn default() -> ApiConfig {
+        ApiConfig {
+            http: ServerConfig::default(),
+            drive_batch: 8,
+        }
+    }
+}
+
+struct ApiState {
+    service: Mutex<CampaignService>,
+    api_requests: AtomicU64,
+    drive_errors: Mutex<Option<String>>,
+}
+
+impl ApiState {
+    /// Locks the service, recovering from a poisoned lock (a panicking
+    /// handler must not take the whole service down).
+    fn service(&self) -> MutexGuard<'_, CampaignService> {
+        self.service
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The running as-a-Service stack: HTTP server + drive thread over one
+/// shared [`CampaignService`].
+pub struct ApiServer {
+    server: Option<Server>,
+    state: Arc<ApiState>,
+    stop: Arc<AtomicBool>,
+    drive: Option<JoinHandle<()>>,
+}
+
+impl ApiServer {
+    /// Boots the service on `addr` (port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve(
+        addr: &str,
+        service: CampaignService,
+        config: ApiConfig,
+    ) -> Result<ApiServer, EngineError> {
+        let state = Arc::new(ApiState {
+            service: Mutex::new(service),
+            api_requests: AtomicU64::new(0),
+            drive_errors: Mutex::new(None),
+        });
+        let router = build_router(state.clone());
+        let server = Server::bind(addr, router, config.http.clone())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let drive_state = state.clone();
+        let drive_stop = stop.clone();
+        let batch = config.drive_batch.max(1);
+        let drive = std::thread::Builder::new()
+            .name("campaign-drive".into())
+            .spawn(move || drive_loop(&drive_state, &drive_stop, batch))
+            .expect("spawn drive thread");
+        Ok(ApiServer {
+            server: Some(server),
+            state,
+            stop,
+            drive: Some(drive),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.as_ref().expect("server running").addr()
+    }
+
+    /// Requests served by the API handlers so far.
+    pub fn requests_served(&self) -> u64 {
+        self.state.api_requests.load(Ordering::Relaxed)
+    }
+
+    /// Graceful stop: drain in-flight HTTP requests, then let the
+    /// drive thread finish its current slice and join it. Queued work
+    /// survives in the engine (and on disk for persistent engines).
+    pub fn shutdown(mut self) -> CampaignService {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(drive) = self.drive.take() {
+            let _ = drive.join();
+        }
+        // The Arc is ours alone now: handlers are drained and the
+        // drive thread is joined.
+        match Arc::try_unwrap(self.state) {
+            Ok(state) => state
+                .service
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            Err(_) => unreachable!("all state holders joined before unwrap"),
+        }
+    }
+}
+
+fn drive_loop(state: &ApiState, stop: &AtomicBool, batch: usize) {
+    while !stop.load(Ordering::SeqCst) {
+        // Drive unconditionally: on an empty queue `drive` is a cheap
+        // no-op returning zero campaigns, which maps to the idle sleep.
+        let worked = {
+            let mut service = state.service();
+            match service.drive(Some(batch)) {
+                Ok(summary) => summary.experiments > 0 || summary.campaigns > 0,
+                Err(e) => {
+                    *state
+                        .drive_errors
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner()) = Some(e.message);
+                    false
+                }
+            }
+        };
+        if !worked {
+            // Idle (or wedged): yield the mutex to the handlers.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn build_router(state: Arc<ApiState>) -> Router {
+    Router::new()
+        .route("POST", "/api/campaigns", counted(&state, submit_campaign))
+        .route("GET", "/api/campaigns/:id", counted(&state, job_status))
+        .route(
+            "GET",
+            "/api/campaigns/:id/report",
+            counted(&state, job_report),
+        )
+        .route("POST", "/api/models", counted(&state, upload_model))
+        .route(
+            "GET",
+            "/api/sessions/:user/reports",
+            counted(&state, session_reports),
+        )
+        .route("GET", "/metrics", counted(&state, metrics))
+        .route("GET", "/healthz", counted(&state, healthz))
+}
+
+fn counted(
+    state: &Arc<ApiState>,
+    handler: fn(&ApiState, &Request) -> Response,
+) -> impl Fn(&Request) -> Response + Send + Sync + 'static {
+    let state = state.clone();
+    move |req| {
+        state.api_requests.fetch_add(1, Ordering::Relaxed);
+        handler(&state, req)
+    }
+}
+
+// ---------- handlers ----------
+
+fn submit_campaign(state: &ApiState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let spec = match CampaignSpec::from_value(&body) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(422, &format!("invalid campaign spec: {e}")),
+    };
+    let mut service = state.service();
+    match service.submit(spec) {
+        Ok(id) => Response::json(
+            201,
+            Value::obj(vec![
+                ("id", Value::str(&id)),
+                ("status_url", Value::str(format!("/api/campaigns/{id}"))),
+            ])
+            .pretty(),
+        ),
+        Err(e) => error_response(422, &e.message),
+    }
+}
+
+fn job_status(state: &ApiState, req: &Request) -> Response {
+    let id = req.param("id").unwrap_or_default();
+    match state.service().poll(id) {
+        Some(status) => Response::json(200, status_to_value(&status).pretty()),
+        None => error_response(404, &format!("unknown job '{id}'")),
+    }
+}
+
+fn job_report(state: &ApiState, req: &Request) -> Response {
+    let id = req.param("id").unwrap_or_default();
+    let mut service = state.service();
+    if let Some(report) = service.engine().report(id) {
+        return Response::json(200, report_to_value(&report).pretty());
+    }
+    match service.poll(id) {
+        // Known job, not finished: tell the client to keep polling.
+        Some(status) => Response::json(
+            409,
+            Value::obj(vec![
+                ("error", Value::str("campaign not completed")),
+                ("state", Value::str(status.state.as_str())),
+            ])
+            .pretty(),
+        ),
+        None => error_response(404, &format!("unknown job '{id}'")),
+    }
+}
+
+fn upload_model(state: &ApiState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let field = |key: &str| -> Result<String, String> {
+        body.req(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("'{key}' must be a string"))
+    };
+    let (user, name) = match (field("user"), field("name")) {
+        (Ok(u), Ok(n)) => (u, n),
+        (Err(e), _) | (_, Err(e)) => return error_response(422, &e),
+    };
+    // Either a full fault-model document or bare DSL source.
+    let model = if let Some(model_value) = body.get("model") {
+        match faultdsl::FaultModel::from_value(model_value) {
+            Ok(m) => m,
+            Err(e) => return error_response(422, &format!("invalid fault model: {e}")),
+        }
+    } else if let Some(dsl) = body.get("dsl").and_then(Value::as_str) {
+        faultdsl::FaultModel {
+            name: name.clone(),
+            description: "uploaded via POST /api/models".into(),
+            specs: vec![faultdsl::SpecSource {
+                name: name.to_ascii_uppercase(),
+                description: String::new(),
+                dsl: dsl.to_string(),
+            }],
+        }
+    } else {
+        return error_response(422, "body must carry 'model' (JSON) or 'dsl' (source text)");
+    };
+    // Validate before saving: a model that does not compile is useless.
+    if let Err(e) = model.compile() {
+        return error_response(422, &format!("fault model does not compile: {e}"));
+    }
+    let specs = model.specs.len();
+    state.service().sessions.session(&user).save_model(&name, &model);
+    Response::json(
+        201,
+        Value::obj(vec![
+            ("user", Value::str(&user)),
+            ("name", Value::str(&name)),
+            ("specs", Value::UInt(specs as u64)),
+        ])
+        .pretty(),
+    )
+}
+
+fn session_reports(state: &ApiState, req: &Request) -> Response {
+    let user = req.param("user").unwrap_or_default();
+    let service = state.service();
+    match service.sessions.get_session(user) {
+        Some(session) => {
+            let reports: Vec<Value> =
+                session.reports().iter().map(report_to_value).collect();
+            Response::json(
+                200,
+                Value::obj(vec![
+                    ("user", Value::str(user)),
+                    ("reports", Value::Arr(reports)),
+                ])
+                .pretty(),
+            )
+        }
+        None => error_response(404, &format!("unknown user '{user}'")),
+    }
+}
+
+fn metrics(state: &ApiState, _req: &Request) -> Response {
+    let mut service = state.service();
+    let stats = service.engine().cache_stats();
+    let depth = service.engine().queue_depth();
+    let counts = service.engine().job_state_counts();
+    drop(service);
+    let mut out = String::new();
+    let mut gauge = |name: &str, value: u64| {
+        out.push_str(&format!("profipy_{name} {value}\n"));
+    };
+    gauge("http_requests_total", state.api_requests.load(Ordering::Relaxed));
+    gauge("queue_depth", depth as u64);
+    for (st, n) in counts {
+        gauge(&format!("jobs_{st}"), n as u64);
+    }
+    gauge("cache_scan_hits", stats.scan_hits);
+    gauge("cache_scan_misses", stats.scan_misses);
+    gauge("cache_parse_hits", stats.parse_hits);
+    gauge("cache_parse_misses", stats.parse_misses);
+    gauge("cache_mutant_hits", stats.mutant_hits);
+    gauge("cache_mutant_misses", stats.mutant_misses);
+    gauge("cache_prepare_hits", stats.prepare_hits);
+    gauge("cache_prepare_misses", stats.prepare_misses);
+    gauge("cache_coverage_hits", stats.coverage_hits);
+    gauge("cache_coverage_misses", stats.coverage_misses);
+    Response::text(200, out)
+}
+
+fn healthz(state: &ApiState, _req: &Request) -> Response {
+    match state
+        .drive_errors
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+    {
+        Some(e) => Response::text(500, format!("drive error: {e}\n")),
+        None => Response::text(200, "ok\n"),
+    }
+}
+
+// ---------- helpers & codecs ----------
+
+fn json_body(req: &Request) -> Result<Value, Box<Response>> {
+    let text = req
+        .body_text()
+        .map_err(|_| Box::new(error_response(400, "body must be UTF-8 JSON")))?;
+    jsonlite::parse_with_depth_limit(text, REQUEST_JSON_DEPTH)
+        .map_err(|e| Box::new(error_response(400, &format!("malformed JSON: {e}"))))
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Value::obj(vec![("error", Value::str(message))]).pretty(),
+    )
+}
+
+/// A [`JobStatus`] as a JSON value (the `GET /api/campaigns/:id`
+/// payload).
+pub fn status_to_value(status: &JobStatus) -> Value {
+    Value::obj(vec![
+        ("id", Value::str(&status.id)),
+        ("state", Value::str(status.state.as_str())),
+        ("user", Value::str(&status.user)),
+        ("name", Value::str(&status.name)),
+        (
+            "completed_experiments",
+            Value::UInt(status.completed_experiments as u64),
+        ),
+        (
+            "total_experiments",
+            match status.total_experiments {
+                Some(n) => Value::UInt(n as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "error",
+            match &status.error {
+                Some(e) => Value::str(e),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// A [`CampaignReport`] as a JSON value — the canonical wire form of
+/// `GET /api/campaigns/:id/report`, and the serialization the
+/// byte-identity acceptance test compares against.
+pub fn report_to_value(report: &CampaignReport) -> Value {
+    Value::obj(vec![
+        ("name", Value::str(&report.name)),
+        ("planned_points", Value::UInt(report.planned_points as u64)),
+        (
+            "covered_points",
+            match report.covered_points {
+                Some(n) => Value::UInt(n as u64),
+                None => Value::Null,
+            },
+        ),
+        ("executed", Value::UInt(report.executed as u64)),
+        ("failures", Value::UInt(report.failures as u64)),
+        ("availability", Value::Float(report.availability)),
+        ("persistent", Value::UInt(report.persistent as u64)),
+        ("logging", Value::Float(report.logging)),
+        ("propagation", Value::Float(report.propagation)),
+        (
+            "total_virtual_secs",
+            Value::Float(report.total_virtual_secs),
+        ),
+        (
+            "mode_distribution",
+            Value::Obj(
+                report
+                    .mode_distribution
+                    .iter()
+                    .map(|(mode, n)| (mode.clone(), Value::UInt(*n as u64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "per_spec",
+            Value::Obj(
+                report
+                    .per_spec
+                    .iter()
+                    .map(|(spec, (executed, failed))| {
+                        (
+                            spec.clone(),
+                            Value::Arr(vec![
+                                Value::UInt(*executed as u64),
+                                Value::UInt(*failed as u64),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, HostRegistry};
+    use profipy::analysis::FailureClassifier;
+
+    fn service() -> CampaignService {
+        CampaignService::new(EngineConfig::default(), HostRegistry::with_noop()).unwrap()
+    }
+
+    fn noop_spec(user: &str, name: &str) -> CampaignSpec {
+        CampaignSpec::new(
+            user,
+            name,
+            "noop",
+            vec![(
+                "target".into(),
+                "def f():\n    x = 1\n    log_event()\n    return x\n".into(),
+            )],
+            "import target\ndef run(round):\n    target.f()\n".into(),
+            faultdsl::predefined_models(),
+        )
+    }
+
+    #[test]
+    fn report_value_is_deterministic_and_complete() {
+        let report = CampaignReport::from_results(
+            "api-test",
+            7,
+            Some(4),
+            &[],
+            &FailureClassifier::case_study(),
+        );
+        let v = report_to_value(&report);
+        assert_eq!(v.req("name").unwrap().as_str(), Some("api-test"));
+        assert_eq!(v.req("planned_points").unwrap().as_u64(), Some(7));
+        assert_eq!(v.req("covered_points").unwrap().as_u64(), Some(4));
+        // Serialization is stable: the byte-identity contract.
+        assert_eq!(v.pretty(), report_to_value(&report).pretty());
+    }
+
+    #[test]
+    fn drive_thread_completes_submissions_end_to_end() {
+        let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+        let addr = api.addr().to_string();
+        let mut client = httpd::Client::new(&addr);
+        let resp = client
+            .post_json("/api/campaigns", &noop_spec("alice", "smoke").to_json())
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.text());
+        let id = jsonlite::parse(&resp.text())
+            .unwrap()
+            .req("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = client.get(&format!("/api/campaigns/{id}")).unwrap();
+            assert_eq!(status.status, 200);
+            let state = jsonlite::parse(&status.text())
+                .unwrap()
+                .req("state")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            if state == "completed" {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "campaign stuck in state {state}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let report = client.get(&format!("/api/campaigns/{id}/report")).unwrap();
+        assert_eq!(report.status, 200);
+        let report = jsonlite::parse(&report.text()).unwrap();
+        assert!(report.req("executed").unwrap().as_u64().unwrap() > 0);
+        // The report was also delivered into the session history.
+        let sessions = client.get("/api/sessions/alice/reports").unwrap();
+        assert_eq!(sessions.status, 200);
+        let v = jsonlite::parse(&sessions.text()).unwrap();
+        assert_eq!(v.req("reports").unwrap().as_arr().unwrap().len(), 1);
+        // Metrics expose the counters.
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("profipy_jobs_completed 1"), "{metrics}");
+        assert!(metrics.contains("profipy_cache_prepare_misses"), "{metrics}");
+        api.shutdown();
+    }
+
+    #[test]
+    fn api_rejects_bad_input() {
+        let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+        let addr = api.addr().to_string();
+        let mut client = httpd::Client::new(&addr);
+        // Malformed JSON.
+        assert_eq!(
+            client.post_json("/api/campaigns", "{oops").unwrap().status,
+            400
+        );
+        // Valid JSON, wrong shape.
+        assert_eq!(
+            client.post_json("/api/campaigns", "{}").unwrap().status,
+            422
+        );
+        // Unknown host environment.
+        let mut spec = noop_spec("bob", "bad-host");
+        spec.host = "mainframe".into();
+        assert_eq!(
+            client
+                .post_json("/api/campaigns", &spec.to_json())
+                .unwrap()
+                .status,
+            422
+        );
+        // Unknown job / user.
+        assert_eq!(client.get("/api/campaigns/job-999").unwrap().status, 404);
+        assert_eq!(
+            client.get("/api/campaigns/job-999/report").unwrap().status,
+            404
+        );
+        assert_eq!(client.get("/api/sessions/ghost/reports").unwrap().status, 404);
+        // A depth bomb in the body is rejected, not recursed into.
+        let bomb = format!("{}1{}", "[".repeat(5000), "]".repeat(5000));
+        assert_eq!(client.post_json("/api/campaigns", &bomb).unwrap().status, 400);
+        // Model upload: DSL that does not compile is refused…
+        let resp = client
+            .post_json(
+                "/api/models",
+                &Value::obj(vec![
+                    ("user", Value::str("carol")),
+                    ("name", Value::str("broken")),
+                    ("dsl", Value::str("change { } into {")),
+                ])
+                .compact(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 422, "{}", resp.text());
+        // …while a valid one lands in the session.
+        let resp = client
+            .post_json(
+                "/api/models",
+                &Value::obj(vec![
+                    ("user", Value::str("carol")),
+                    ("name", Value::str("mfc")),
+                    (
+                        "model",
+                        faultdsl::predefined_models().to_value(),
+                    ),
+                ])
+                .compact(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.text());
+        let service = api.shutdown();
+        assert_eq!(
+            service
+                .sessions
+                .get_session("carol")
+                .unwrap()
+                .model_names(),
+            vec!["mfc".to_string()]
+        );
+        assert!(service.sessions.get_session("carol").unwrap().load_model("mfc").is_ok());
+    }
+
+    #[test]
+    fn healthz_and_405() {
+        let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+        let addr = api.addr().to_string();
+        let mut client = httpd::Client::new(&addr);
+        assert_eq!(client.get("/healthz").unwrap().text(), "ok\n");
+        assert_eq!(
+            client
+                .request("DELETE", "/api/campaigns", None, &[])
+                .unwrap()
+                .status,
+            405
+        );
+        api.shutdown();
+    }
+}

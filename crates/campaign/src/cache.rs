@@ -44,6 +44,10 @@ pub struct CacheStats {
     pub prepare_hits: u64,
     /// Prepared programs actually built.
     pub prepare_misses: u64,
+    /// Coverage sets served from the cache.
+    pub coverage_hits: u64,
+    /// Fault-free coverage runs actually performed.
+    pub coverage_misses: u64,
 }
 
 struct CacheEntry {
@@ -184,8 +188,14 @@ impl MutantCache {
     }
 
     /// Cached coverage set for `key`.
-    pub fn covered(&self, key: u64) -> Option<Arc<std::collections::BTreeSet<u64>>> {
-        self.entries.get(&key).and_then(|e| e.covered.clone())
+    pub fn covered(&mut self, key: u64) -> Option<Arc<std::collections::BTreeSet<u64>>> {
+        let hit = self.entries.get(&key).and_then(|e| e.covered.clone());
+        if hit.is_some() {
+            self.stats.coverage_hits += 1;
+        } else {
+            self.stats.coverage_misses += 1;
+        }
+        hit
     }
 
     /// Stores the coverage set for `key`.

@@ -252,6 +252,23 @@ impl CampaignEngine {
         self.cache.stats()
     }
 
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue
+            .jobs()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
+    }
+
+    /// Job counts per lifecycle state (monitoring surface).
+    pub fn job_state_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for job in self.queue.jobs() {
+            *counts.entry(job.state.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Ids of all completed jobs.
     pub fn completed_ids(&self) -> Vec<String> {
         self.queue

@@ -24,6 +24,9 @@
 //! * [`engine::CampaignEngine`] — submit / poll / drive / resume over
 //!   the above; [`service::CampaignService`] adds the per-user session
 //!   surface (saved models, report history).
+//! * [`api`] — the REST surface over the service (`POST
+//!   /api/campaigns`, status/report/model/metrics endpoints), served
+//!   by the std-only `httpd` crate with a background drive thread.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@
 //! assert!(report.executed > 0);
 //! ```
 
+pub mod api;
 pub mod cache;
 pub mod checkpoint;
 pub mod engine;
@@ -58,6 +62,7 @@ pub mod scheduler;
 pub mod service;
 pub mod spec;
 
+pub use api::{report_to_value, status_to_value, ApiConfig, ApiServer};
 pub use cache::{CacheStats, MutantCache};
 pub use checkpoint::CheckpointLog;
 pub use engine::{CampaignEngine, DriveSummary, EngineConfig, EngineError, HostRegistry, JobStatus};

@@ -35,7 +35,8 @@ pub enum JobState {
 }
 
 impl JobState {
-    fn as_str(self) -> &'static str {
+    /// Stable lower-case name (persisted format, API responses).
+    pub fn as_str(self) -> &'static str {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",

@@ -1,0 +1,478 @@
+//! HTTP/1.1 request/response types and wire parsing.
+//!
+//! Parsing is strict and bounded: the head (request line + headers) is
+//! capped, bodies require `Content-Length` (no chunked encoding), and a
+//! body larger than the configured cap is rejected before it is read —
+//! an untrusted peer cannot balloon server memory.
+
+use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
+
+/// Maximum size of the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default maximum request body size (the server's configurable cap).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/api/campaigns`).
+    pub path: String,
+    /// Raw query string without the `?` (empty if none).
+    pub query: String,
+    /// Headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Router `:param` captures (filled by the router).
+    pub params: Vec<(String, String)>,
+    /// Whether the request line declared `HTTP/1.0` (connections then
+    /// default to close instead of keep-alive).
+    pub http1_0: bool,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A router capture by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// The body is not valid UTF-8.
+    pub fn body_text(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request: an explicit `Connection: close`, or an HTTP/1.0
+    /// request without `Connection: keep-alive` (1.0 defaults to
+    /// close; leaving such a connection open strands clients that
+    /// delimit the body by EOF).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => self.http1_0,
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added at
+    /// write time).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with a status code.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Adds a header (builder-style).
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body (builder-style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Serializes onto a stream. `close` adds `Connection: close`
+    /// (keep-alive is the HTTP/1.1 default otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_text(self.status)
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        if close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrases for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// What reading one request off a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean end of stream before any request bytes (keep-alive close,
+    /// or the idle-poll noticed a server shutdown).
+    Closed,
+    /// The peer sent bytes that are not HTTP — answer 400 and close.
+    Malformed(String),
+    /// Declared body above the configured cap — answer 413 and close.
+    BodyTooLarge,
+    /// The request did not complete within the per-request deadline —
+    /// answer 408 and close (slowloris guard).
+    TimedOut,
+}
+
+/// Limits applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadLimits {
+    /// Body-size cap.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for one complete request once its first byte
+    /// arrived.
+    pub request_timeout: Duration,
+}
+
+impl Default for ReadLimits {
+    fn default() -> ReadLimits {
+        ReadLimits {
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Reads one request. The underlying stream should have a short read
+/// timeout; `should_stop` is polled on every timeout so an idle
+/// keep-alive connection notices server shutdown promptly, while a
+/// request that already started keeps its full `request_timeout`.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: ReadLimits,
+    mut should_stop: impl FnMut() -> bool,
+) -> ReadOutcome {
+    let mut head: Vec<u8> = Vec::new();
+    let mut started_at: Option<Instant> = None;
+    // --- head: read until the blank line, resumable across timeouts ---
+    loop {
+        if head.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed("request head too large".into());
+        }
+        // Cap each read at the remaining head budget: `read_until`
+        // itself is unbounded until a newline, and a fast peer
+        // streaming newline-free bytes must not balloon memory.
+        let budget = (MAX_HEAD_BYTES + 1 - head.len()) as u64;
+        // (Fully-qualified call: method syntax would auto-deref and try
+        // to move the reader into `Take` instead of reborrowing it.)
+        match io::Read::take(&mut *reader, budget).read_until(b'\n', &mut head) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("truncated request head".into())
+                };
+            }
+            Ok(_) => {
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+                started_at.get_or_insert_with(Instant::now);
+            }
+            Err(e) if is_timeout(&e) => {
+                // `read_until` appends whatever it consumed before the
+                // timeout, so the request has *started* as soon as head
+                // is non-empty — even without a complete line yet
+                // (slowloris sends byte-at-a-time with no newline).
+                if !head.is_empty() {
+                    let t0 = *started_at.get_or_insert_with(Instant::now);
+                    if t0.elapsed() > limits.request_timeout {
+                        return ReadOutcome::TimedOut;
+                    }
+                } else if should_stop() {
+                    // Idle between requests: only shutdown ends it.
+                    return ReadOutcome::Closed;
+                }
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    let t0 = started_at.unwrap_or_else(Instant::now);
+    let head = match std::str::from_utf8(&head) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed("non-UTF-8 request head".into()),
+    };
+    // Lines split on bare LF too (the head terminator accepts "\n\n"),
+    // with any CR stripped per-line.
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed(format!("bad request line '{request_line}'"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed(format!("unsupported version '{version}'"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers: Vec::new(),
+        body: Vec::new(),
+        params: Vec::new(),
+        http1_0: version == "HTTP/1.0",
+    };
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Malformed(format!("bad header line '{line}'"));
+        };
+        request
+            .headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Transfer codings are not implemented; absorbing a chunked body
+    // as "no body" would desync the keep-alive stream (the chunk data
+    // would parse as the next request), so reject it outright.
+    if request.header("transfer-encoding").is_some() {
+        return ReadOutcome::Malformed(
+            "transfer encodings are not supported; use Content-Length".into(),
+        );
+    }
+    // --- body: Content-Length bytes, resumable across timeouts ---
+    let content_length = match request.header("content-length") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Malformed("bad Content-Length".into()),
+        },
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return ReadOutcome::BodyTooLarge;
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return ReadOutcome::Malformed("truncated body".into()),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if t0.elapsed() > limits.request_timeout {
+                    return ReadOutcome::TimedOut;
+                }
+            }
+            Err(_) => return ReadOutcome::Malformed("body read failed".into()),
+        }
+    }
+    request.body = body;
+    ReadOutcome::Request(request)
+}
+
+/// Whether an I/O error is a read-timeout (platform-dependent kind).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        let mut reader = BufReader::new(bytes);
+        read_request(&mut reader, ReadLimits::default(), || false)
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /api/x?q=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let ReadOutcome::Request(req) = parse(raw) else {
+            panic!("expected request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/api/x");
+        assert_eq!(req.query, "q=1");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn bare_lf_requests_keep_their_headers() {
+        // A picky-but-legal peer may delimit with bare LF; headers
+        // must not silently vanish.
+        let raw = b"POST /x HTTP/1.1\nContent-Length: 5\nX-Token: t\n\nhello";
+        let ReadOutcome::Request(req) = parse(raw) else {
+            panic!("expected request");
+        };
+        assert_eq!(req.header("content-length"), Some("5"));
+        assert_eq!(req.header("x-token"), Some("t"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let ReadOutcome::Request(req) = parse(b"GET / HTTP/1.0\r\n\r\n") else {
+            panic!("expected request");
+        };
+        assert!(req.http1_0);
+        assert!(req.wants_close(), "1.0 without keep-alive must close");
+        let ReadOutcome::Request(req) =
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        else {
+            panic!("expected request");
+        };
+        assert!(!req.wants_close(), "explicit keep-alive is honored");
+        let ReadOutcome::Request(req) = parse(b"GET / HTTP/1.1\r\n\r\n") else {
+            panic!("expected request");
+        };
+        assert!(!req.wants_close(), "1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn slowloris_partial_head_times_out() {
+        use std::io::Read;
+        // A peer that dribbles a few bytes (no newline) and then goes
+        // silent must hit the request timeout, not pin the worker.
+        struct Stall {
+            first: Option<&'static [u8]>,
+        }
+        impl Read for Stall {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.first.take() {
+                    Some(bytes) => {
+                        buf[..bytes.len()].copy_from_slice(bytes);
+                        Ok(bytes.len())
+                    }
+                    None => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                }
+            }
+        }
+        let limits = ReadLimits {
+            request_timeout: std::time::Duration::from_millis(40),
+            ..ReadLimits::default()
+        };
+        let mut reader = BufReader::new(Stall { first: Some(b"GET /slo") });
+        let t0 = std::time::Instant::now();
+        let outcome = read_request(&mut reader, limits, || false);
+        assert!(matches!(outcome, ReadOutcome::TimedOut), "{outcome:?}");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(parse(b"not http at all\r\n\r\n"), ReadOutcome::Malformed(_)));
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(huge.as_bytes()), ReadOutcome::BodyTooLarge));
+        assert!(matches!(parse(b""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn newline_free_head_is_capped_not_buffered() {
+        // A fast peer streaming bytes with no '\n' must hit the head
+        // cap, not grow memory until its timeout.
+        let flood = vec![b'A'; MAX_HEAD_BYTES * 4];
+        let ReadOutcome::Malformed(reason) = parse(&flood) else {
+            panic!("expected rejection");
+        };
+        assert!(reason.contains("too large"), "{reason}");
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_rejected() {
+        // Absorbing a chunked body as empty would desync keep-alive:
+        // the chunk bytes would parse as the next pipelined request.
+        let raw =
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
+        assert!(matches!(parse(raw), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

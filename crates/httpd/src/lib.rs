@@ -1,0 +1,40 @@
+//! `httpd` — a dependency-free HTTP/1.1 layer for the as-a-Service
+//! surface (paper §IV: users reach ProFIPy through a web front-end).
+//!
+//! The build environment is offline, so instead of hyper/axum this
+//! small crate implements the slice of HTTP the service needs, on
+//! `std` alone:
+//!
+//! * [`http`] — request/response types, strict HTTP/1.1 parsing with
+//!   `Content-Length` bodies, bounded head/body sizes.
+//! * [`router`] — a path/method router with `:param` captures.
+//! * [`server`] — a threaded server: bounded worker pool with
+//!   backpressure (**503** once saturated, never an unbounded queue),
+//!   keep-alive connections, and graceful shutdown that drains
+//!   in-flight requests.
+//! * [`client`] — a minimal blocking client (persistent keep-alive
+//!   connection) used by the CLI, benches, and integration tests.
+//!
+//! ```no_run
+//! use httpd::{Response, Router, Server, ServerConfig};
+//!
+//! let router = Router::new()
+//!     .route("GET", "/hello/:name", |req| {
+//!         Response::text(200, format!("hello {}", req.param("name").unwrap()))
+//!     });
+//! let server = Server::bind("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+//! let addr = server.addr();
+//! // ... serve traffic ...
+//! server.shutdown();
+//! # let _ = addr;
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use http::{Request, Response};
+pub use router::Router;
+pub use server::{Server, ServerConfig};

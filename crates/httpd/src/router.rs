@@ -1,0 +1,140 @@
+//! Path/method routing with `:param` captures.
+
+use crate::http::{Request, Response};
+use std::sync::Arc;
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+/// The router: an ordered list of `(method, pattern)` routes. Patterns
+/// are `/`-separated; a `:name` segment captures the corresponding
+/// request segment into [`Request::param`].
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router (every request answers 404).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route (builder-style). Earlier routes win.
+    pub fn route(
+        mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method: method.to_ascii_uppercase(),
+            segments: split(pattern)
+                .map(|s| match s.strip_prefix(':') {
+                    Some(name) => Segment::Param(name.to_string()),
+                    None => Segment::Literal(s.to_string()),
+                })
+                .collect(),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Dispatches a request: fills `request.params` and runs the
+    /// matching handler; 405 when the path exists under another
+    /// method, 404 otherwise.
+    pub fn dispatch(&self, request: &mut Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = match_segments(&route.segments, &request.path) else {
+                continue;
+            };
+            path_matched = true;
+            if route.method != request.method {
+                continue;
+            }
+            request.params = params;
+            return (route.handler)(request);
+        }
+        if path_matched {
+            Response::text(405, "method not allowed\n")
+        } else {
+            Response::text(404, "not found\n")
+        }
+    }
+}
+
+fn split(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|s| !s.is_empty())
+}
+
+fn match_segments(pattern: &[Segment], path: &str) -> Option<Vec<(String, String)>> {
+    let mut params = Vec::new();
+    let mut segments = split(path);
+    for seg in pattern {
+        let part = segments.next()?;
+        match seg {
+            Segment::Literal(lit) => {
+                if lit != part {
+                    return None;
+                }
+            }
+            Segment::Param(name) => params.push((name.clone(), part.to_string())),
+        }
+    }
+    if segments.next().is_some() {
+        return None;
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            ..Request::default()
+        }
+    }
+
+    #[test]
+    fn routes_and_captures() {
+        let router = Router::new()
+            .route("GET", "/api/campaigns/:id", |req| {
+                Response::text(200, format!("job {}", req.param("id").unwrap()))
+            })
+            .route("GET", "/api/campaigns/:id/report", |req| {
+                Response::text(200, format!("report {}", req.param("id").unwrap()))
+            })
+            .route("POST", "/api/campaigns", |_| Response::new(201));
+
+        let mut req = request("GET", "/api/campaigns/job-7");
+        assert_eq!(router.dispatch(&mut req).body, b"job job-7");
+        let mut req = request("GET", "/api/campaigns/job-7/report");
+        assert_eq!(router.dispatch(&mut req).body, b"report job-7");
+        let mut req = request("POST", "/api/campaigns");
+        assert_eq!(router.dispatch(&mut req).status, 201);
+        // Wrong method on a known path → 405; unknown path → 404.
+        let mut req = request("DELETE", "/api/campaigns");
+        assert_eq!(router.dispatch(&mut req).status, 405);
+        let mut req = request("GET", "/nope");
+        assert_eq!(router.dispatch(&mut req).status, 404);
+        // Trailing content does not match a shorter pattern.
+        let mut req = request("GET", "/api/campaigns/job-7/report/extra");
+        assert_eq!(router.dispatch(&mut req).status, 404);
+    }
+}

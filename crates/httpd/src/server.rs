@@ -1,0 +1,267 @@
+//! The threaded HTTP server.
+//!
+//! ```text
+//!   accept thread ──try_send──▶ bounded queue ──▶ worker pool (N)
+//!        │ (full → 503, close)                       │ keep-alive loop
+//!        ▼                                           ▼
+//!   shutdown(): stop flag + self-connect wake;   drain queue, finish
+//!   stop accepting, drop sender                  in-flight, then exit
+//! ```
+//!
+//! Backpressure is explicit: when every worker is busy and the queue is
+//! full, new connections are answered `503 Service Unavailable`
+//! immediately — the server never buffers unboundedly and never hangs a
+//! client waiting for a slot.
+
+use crate::http::{self, ReadLimits, ReadOutcome, Response};
+use crate::router::Router;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; each owns one connection at a time.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker beyond the ones
+    /// being served; the saturation threshold for 503 responses.
+    pub queue_depth: usize,
+    /// Per-request body cap.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading one request (slowloris guard).
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 16,
+            queue_depth: 32,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// A running server. Dropping without [`Server::shutdown`] aborts
+/// without draining; call `shutdown` for a graceful stop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds (use port 0 for an ephemeral port) and starts serving
+    /// `router` in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, router: Router, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let router = Arc::new(router);
+        let workers_n = config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let rx = rx.clone();
+            let router = router.clone();
+            let stop = stop.clone();
+            let requests = requests.clone();
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &router, &stop, &requests, &config))
+                    .expect("spawn worker"),
+            );
+        }
+        let accept_stop = stop.clone();
+        let accept_rejected = rejected.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("httpd-accept".into())
+            .spawn(move || accept_loop(&listener, &tx, &accept_stop, &accept_rejected))
+            .expect("spawn acceptor");
+        Ok(Server {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            workers,
+            requests,
+            rejected,
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected with 503 so far.
+    pub fn connections_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections,
+    /// finish in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    rejected: &AtomicU64,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break; // the wake connection (or a raced client) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                rejected.fetch_add(1, Ordering::Relaxed);
+                reject_saturated(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` lets workers drain the queue and exit.
+}
+
+/// Answers 503 on the accept thread and closes. The write is tiny and
+/// the socket buffer is empty, so this cannot stall the accept loop in
+/// any meaningful way.
+fn reject_saturated(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = Response::text(503, "server saturated, retry later\n")
+        .header("Retry-After", "1")
+        .write_to(&mut stream, true);
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    router: &Router,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+    config: &ServerConfig,
+) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let stream = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => {
+                // A panicking handler must cost one connection, not a
+                // worker: the pool would otherwise shrink panic by
+                // panic until the server stops serving.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(stream, router, stop, requests, config);
+                }));
+                if result.is_err() {
+                    eprintln!("httpd: handler panicked; connection dropped");
+                }
+            }
+            Err(_) => return, // sender dropped and queue drained
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    router: &Router,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let limits = ReadLimits {
+        max_body_bytes: config.max_body_bytes,
+        request_timeout: config.request_timeout,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let outcome = read_request_polled(&mut reader, limits, stop);
+        let stream = reader.get_mut();
+        match outcome {
+            ReadOutcome::Request(mut request) => {
+                requests.fetch_add(1, Ordering::Relaxed);
+                let response = router.dispatch(&mut request);
+                // Drain the connection after the response when either
+                // side wants it closed (incl. shutdown).
+                let close = request.wants_close() || stop.load(Ordering::SeqCst);
+                if response.write_to(stream, close).is_err() || close {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(reason) => {
+                let _ = Response::text(400, format!("bad request: {reason}\n"))
+                    .write_to(stream, true);
+                return;
+            }
+            ReadOutcome::BodyTooLarge => {
+                let _ = Response::text(413, "request body too large\n").write_to(stream, true);
+                return;
+            }
+            ReadOutcome::TimedOut => {
+                let _ = Response::text(408, "request timed out\n").write_to(stream, true);
+                return;
+            }
+        }
+    }
+}
+
+fn read_request_polled(
+    reader: &mut BufReader<TcpStream>,
+    limits: ReadLimits,
+    stop: &AtomicBool,
+) -> ReadOutcome {
+    http::read_request(reader, limits, || stop.load(Ordering::SeqCst))
+}
+
+// Drop is intentionally not graceful (a leaked server must not hang
+// the process): it signals the threads and lets them wind down on
+// their own.
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}

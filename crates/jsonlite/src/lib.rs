@@ -234,15 +234,33 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Parses a JSON document.
+/// Nesting-depth limit applied by [`parse`]. Deep enough for any
+/// artifact this workspace persists, shallow enough that a crafted
+/// `[[[[…` network body cannot blow the recursive parser's stack.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document with the [`DEFAULT_MAX_DEPTH`] nesting limit.
 ///
 /// # Errors
 ///
 /// A human-readable description with a byte offset.
 pub fn parse(text: &str) -> Result<Value, String> {
+    parse_with_depth_limit(text, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a JSON document, rejecting arrays/objects nested deeper than
+/// `max_depth` — the knob for callers facing untrusted input (network
+/// request bodies) or unusually deep trusted documents.
+///
+/// # Errors
+///
+/// A human-readable description with a byte offset.
+pub fn parse_with_depth_limit(text: &str, max_depth: usize) -> Result<Value, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -256,6 +274,8 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -307,12 +327,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(format!(
+                "nesting deeper than {} levels at byte {}",
+                self.max_depth, self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -323,6 +356,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -332,10 +366,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(pairs));
         }
         loop {
@@ -351,6 +387,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -421,9 +458,17 @@ impl<'a> Parser<'a> {
                                     )
                                     .map_err(|_| "bad surrogate".to_string())?;
                                     self.pos += 6;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    char::from_u32(combined)
+                                    // The low half must actually be a low
+                                    // surrogate; anything else is a lone
+                                    // high surrogate (and subtracting
+                                    // 0xDC00 from it would underflow).
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
@@ -435,7 +480,15 @@ impl<'a> Parser<'a> {
                         _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
                     }
                 }
-                _ => return Err("unterminated string".to_string()),
+                // RFC 8259: control characters must be escaped; a raw
+                // one in an untrusted body is rejected, not absorbed.
+                Some(_) => {
+                    return Err(format!(
+                        "unescaped control character in string at byte {}",
+                        self.pos
+                    ))
+                }
+                None => return Err("unterminated string".to_string()),
             }
         }
     }

@@ -1,0 +1,175 @@
+//! Property-based hardening tests for the JSON layer: round-trips over
+//! adversarial strings (escape sequences, control characters, astral
+//! and surrogate-boundary code points), surrogate-pair escape decoding,
+//! and the nesting-depth limit — the properties a malicious network
+//! request body would probe.
+
+use jsonlite::{parse, parse_with_depth_limit, Value, DEFAULT_MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Arbitrary well-formed text, biased toward the characters the
+/// serializer must escape: quotes, backslashes, control characters,
+/// multi-byte chars, and code points hugging the surrogate range.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            // ASCII incl. the escape-relevant punctuation.
+            (0x20u32..0x7f).prop_map(|c| char::from_u32(c).unwrap()),
+            Just('"'),
+            Just('\\'),
+            Just('/'),
+            // Control characters (must serialize as \uXXXX or \n etc.).
+            (0x00u32..0x20).prop_map(|c| char::from_u32(c).unwrap()),
+            // Just outside the surrogate range on both sides.
+            Just('\u{d7ff}'),
+            Just('\u{e000}'),
+            // BMP + astral (needs a surrogate pair in \u escapes).
+            Just('\u{203d}'),
+            Just('\u{1f980}'),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Arbitrary JSON documents (finite floats; `UInt` only above
+/// `i64::MAX`, matching what the parser can produce).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        ((i64::MAX as u64 + 1)..=u64::MAX).prop_map(Value::UInt),
+        (0u32..1_000_000).prop_map(|n| Value::Float(f64::from(n) / 128.0)),
+        arb_text().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
+            proptest::collection::vec(("[a-z_]{0,6}".prop_map(|k| k), inner), 0..4)
+                .prop_map(Value::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn values_roundtrip_through_both_serializers(v in arb_value()) {
+        for text in [v.compact(), v.pretty()] {
+            let back = parse(&text).expect("serializer output reparses");
+            prop_assert_eq!(&back, &v, "through {}", text);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn hostile_strings_roundtrip(s in arb_text()) {
+        let v = Value::Str(s.clone());
+        let text = v.compact();
+        // Serialized form never leaks a raw control character.
+        prop_assert!(text.chars().all(|c| c as u32 >= 0x20));
+        prop_assert_eq!(parse(&text).expect("reparses"), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn surrogate_escapes_never_panic(hi in 0xd000u32..0xe000, lo in 0xd000u32..0xe000) {
+        // Escape text straddling the surrogate range: lone surrogates
+        // must be rejected, valid pairs must decode — and nothing may
+        // panic.
+        let lone = format!("\"\\u{hi:04x}\"");
+        match parse(&lone) {
+            Ok(Value::Str(s)) => {
+                // Only non-surrogate code points may decode alone.
+                prop_assert!(!(0xd800..0xe000).contains(&hi), "decoded {s:?}");
+            }
+            Ok(other) => prop_assert!(false, "unexpected {other:?}"),
+            Err(_) => prop_assert!((0xd800..0xe000).contains(&hi)),
+        }
+        let paired = format!("\"\\u{hi:04x}\\u{lo:04x}\"");
+        let valid_pair =
+            (0xd800..0xdc00).contains(&hi) && (0xdc00..0xe000).contains(&lo);
+        if valid_pair {
+            let decoded = parse(&paired).expect("valid surrogate pair decodes");
+            let expected = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+            prop_assert_eq!(
+                decoded,
+                Value::Str(char::from_u32(expected).unwrap().to_string())
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn nesting_depth_limit_is_exact(depth in 1usize..40, limit in 1usize..40) {
+        // depth nested arrays wrapped around a scalar: parses iff
+        // depth <= limit.
+        let text = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let result = parse_with_depth_limit(&text, limit);
+        if depth <= limit {
+            prop_assert!(result.is_ok(), "depth {depth} limit {limit}");
+        } else {
+            let err = result.expect_err("over-deep input must be rejected");
+            prop_assert!(err.contains("nesting deeper"), "{err}");
+        }
+        // Objects count against the same limit.
+        let text = format!(
+            "{}0{}",
+            "{\"k\":".repeat(depth),
+            "}".repeat(depth)
+        );
+        prop_assert_eq!(
+            parse_with_depth_limit(&text, limit).is_ok(),
+            depth <= limit
+        );
+    }
+}
+
+#[test]
+fn high_surrogate_with_invalid_low_half_is_an_error_not_a_panic() {
+    // Regression: the low escape after a high surrogate was decoded
+    // without range-checking, so `lo - 0xDC00` underflowed (debug
+    // panic) for any non-low-surrogate follower.
+    for bad in [
+        r#""\ud800A""#,
+        r#""\ud800\u0041""#,
+        r#""\ud800\ud900""#,
+        r#""\ud800퀀""#,
+    ] {
+        assert!(parse(bad).is_err(), "{bad}");
+    }
+    // A proper pair still decodes.
+    assert_eq!(
+        parse(r#""\ud83e\udd80""#).unwrap(),
+        Value::Str("\u{1f980}".to_string())
+    );
+}
+
+#[test]
+fn unescaped_control_characters_are_rejected() {
+    for ctrl in ['\u{0}', '\u{1}', '\n', '\r', '\u{1f}'] {
+        let text = format!("\"ab{ctrl}cd\"");
+        let err = parse(&text).expect_err("raw control char must be rejected");
+        assert!(err.contains("control character"), "{err}");
+    }
+    // The escaped forms are fine.
+    assert_eq!(
+        parse("\"ab\\ncd\\u0001\"").unwrap(),
+        Value::Str("ab\ncd\u{1}".to_string())
+    );
+}
+
+#[test]
+fn default_depth_limit_guards_the_stack() {
+    let deep = format!("{}0{}", "[".repeat(DEFAULT_MAX_DEPTH + 1), "]".repeat(DEFAULT_MAX_DEPTH + 1));
+    assert!(parse(&deep).is_err());
+    let ok = format!("{}0{}", "[".repeat(DEFAULT_MAX_DEPTH), "]".repeat(DEFAULT_MAX_DEPTH));
+    assert!(parse(&ok).is_ok());
+}

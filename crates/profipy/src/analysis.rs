@@ -294,6 +294,85 @@ mod tests {
     }
 
     #[test]
+    fn first_matching_rule_wins() {
+        // Both rules match the text; declaration order decides.
+        let c = FailureClassifier::new()
+            .rule("specific", &["timed out after"])
+            .rule("generic", &["timed out"]);
+        let r = result(failed("E", "request timed out after 5s"), RoundStatus::Ok);
+        assert_eq!(c.classify(&r), FailureMode::Class("specific".into()));
+
+        // Reversed declaration order flips the winner on the same text.
+        let c = FailureClassifier::new()
+            .rule("generic", &["timed out"])
+            .rule("specific", &["timed out after"]);
+        assert_eq!(c.classify(&r), FailureMode::Class("generic".into()));
+
+        // Within one rule, any pattern in the list suffices.
+        let c = FailureClassifier::new().rule("either", &["no-match-here", "timed out"]);
+        assert_eq!(c.classify(&r), FailureMode::Class("either".into()));
+    }
+
+    #[test]
+    fn glob_patterns_dispatch_to_glob_matching() {
+        // A '*' or '?' switches the pattern from substring to glob
+        // (wrapped in implicit stars, so it may match mid-text).
+        let c = FailureClassifier::new().rule("bind-fail", &["bind: * in use"]);
+        let r = result(
+            failed("OSError", "etcd: bind: address already in use (port 2379)"),
+            RoundStatus::Ok,
+        );
+        assert_eq!(c.classify(&r), FailureMode::Class("bind-fail".into()));
+        // The same text does NOT contain the literal pattern, so as a
+        // substring rule it would miss — proving glob dispatch ran.
+        assert!(!r.failure_text().contains("bind: * in use"));
+
+        // '?' matches exactly one character.
+        let c = FailureClassifier::new().rule("http-5xx", &["HTTP 5?? error"]);
+        let hit = result(failed("E", "server said HTTP 503 error"), RoundStatus::Ok);
+        assert_eq!(c.classify(&hit), FailureMode::Class("http-5xx".into()));
+        let miss = result(failed("E", "server said HTTP 50 error"), RoundStatus::Ok);
+        assert_eq!(
+            c.classify(&miss),
+            FailureMode::Crash { exc_class: "E".into() }
+        );
+
+        // A plain pattern stays a substring match even when the text
+        // holds glob-special characters.
+        let c = FailureClassifier::new().rule("literal", &["[500]"]);
+        let r = result(failed("E", "status [500] returned"), RoundStatus::Ok);
+        assert_eq!(c.classify(&r), FailureMode::Class("literal".into()));
+    }
+
+    #[test]
+    fn unclassified_failures_fall_back_in_order() {
+        let c = FailureClassifier::new().rule("known", &["known text"]);
+        // Deploy failures outrank everything, even with a match.
+        let mut r = result(failed("E", "known text"), RoundStatus::Ok);
+        r.deploy_error = Some("mutation failed".into());
+        assert_eq!(c.classify(&r), FailureMode::Class("deploy-failure".into()));
+        // NotRun rounds are their own class.
+        assert_eq!(
+            c.classify(&result(RoundStatus::NotRun, RoundStatus::NotRun)),
+            FailureMode::Class("not-run".into())
+        );
+        // An exception matching no rule keeps its class name visible.
+        let mode = c.classify(&result(failed("KeyError", "'missing'"), RoundStatus::Ok));
+        assert_eq!(mode, FailureMode::Crash { exc_class: "KeyError".into() });
+        assert_eq!(mode.label(), "crash:KeyError");
+        // And an empty classifier still distinguishes the built-ins.
+        let empty = FailureClassifier::new();
+        assert_eq!(
+            empty.classify(&result(RoundStatus::Timeout, RoundStatus::Ok)),
+            FailureMode::Timeout
+        );
+        assert_eq!(
+            empty.classify(&result(RoundStatus::Ok, RoundStatus::Ok)),
+            FailureMode::NoFailure
+        );
+    }
+
+    #[test]
     fn unmatched_exception_is_crash() {
         let c = FailureClassifier::new();
         let mode = c.classify(&result(failed("ZeroDivisionError", "division by zero"), RoundStatus::Ok));

@@ -36,6 +36,19 @@ impl VirtualClock {
         self.now.set(self.now.get() + secs.max(0.0));
     }
 
+    /// Advances by `steps` increments of `secs` each, accumulating
+    /// exactly like `steps` sequential [`VirtualClock::advance`] calls
+    /// — timestamps must not depend on how tick batches were sliced,
+    /// and a single `steps * secs` multiply would round differently.
+    pub fn advance_steps(&self, steps: u64, secs: f64) {
+        let secs = secs.max(0.0);
+        let mut now = self.now.get();
+        for _ in 0..steps {
+            now += secs;
+        }
+        self.now.set(now);
+    }
+
     /// Sets the clock to an absolute time (used when resuming a target
     /// across workload rounds).
     pub fn set(&self, secs: f64) {
@@ -81,15 +94,37 @@ impl Fuel {
     /// than by instant fuel exhaustion.
     #[must_use]
     pub fn tick(&self) -> bool {
-        let cost = 1 + 4 * self.hogs.get().min(8) as u64;
+        self.consume(1)
+    }
+
+    /// Consumes `steps` steps at once; returns `false` (and zeroes the
+    /// budget) when the batch contains the exhausting step. Equivalent
+    /// to `steps` sequential [`Fuel::tick`] calls: the n-th tick fails
+    /// iff `remaining < n * cost`.
+    #[must_use]
+    pub fn consume(&self, steps: u64) -> bool {
+        let total = steps.saturating_mul(self.step_cost());
         let r = self.remaining.get();
-        if r < cost {
+        if r < total {
             self.remaining.set(0);
             false
         } else {
-            self.remaining.set(r - cost);
+            self.remaining.set(r - total);
             true
         }
+    }
+
+    /// Budget cost of one step under the current hog load.
+    pub fn step_cost(&self) -> u64 {
+        1 + 4 * self.hogs.get().min(8) as u64
+    }
+
+    /// The 1-based index of the step at which the budget would exhaust
+    /// if ticking continued from here (the first step where
+    /// `remaining < cost`). Saturates instead of overflowing for the
+    /// unlimited default budget.
+    pub fn steps_until_exhaustion(&self) -> u64 {
+        (self.remaining.get() / self.step_cost()).saturating_add(1)
     }
 
     /// Number of active CPU hogs.
@@ -152,5 +187,44 @@ mod tests {
         let g = f.clone();
         assert!(f.tick());
         assert_eq!(g.remaining(), 9);
+    }
+
+    #[test]
+    fn batched_consume_matches_sequential_ticks() {
+        // The n-th tick fails iff remaining < n * cost; consume(n) must
+        // agree exactly, including zeroing the budget on failure.
+        for budget in [0u64, 1, 4, 5, 9, 10, 11] {
+            for n in 1u64..=12 {
+                let seq = Fuel::new(budget);
+                let mut seq_ok = true;
+                for _ in 0..n {
+                    if !seq.tick() {
+                        seq_ok = false;
+                        break;
+                    }
+                }
+                let batch = Fuel::new(budget);
+                assert_eq!(batch.consume(n), seq_ok, "budget={budget} n={n}");
+                assert_eq!(batch.remaining(), seq.remaining(), "budget={budget} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_step_prediction() {
+        let f = Fuel::new(10);
+        assert_eq!(f.steps_until_exhaustion(), 11);
+        assert!(f.consume(10));
+        assert_eq!(f.steps_until_exhaustion(), 1);
+        assert!(!f.consume(1));
+
+        let hogged = Fuel::new(10);
+        hogged.add_hog(); // cost 5 per step
+        assert_eq!(hogged.steps_until_exhaustion(), 3);
+        assert!(hogged.consume(2));
+        assert!(!hogged.consume(1));
+
+        // Unlimited budget must not overflow.
+        assert_eq!(Fuel::default().steps_until_exhaustion(), u64::MAX);
     }
 }

@@ -204,8 +204,8 @@ fn http_request(
 ) -> Result<Value, PyExc> {
     let (result, elapsed) = vm
         .host
-        .http_request(vm.clock.now(), method, url, body, timeout);
-    vm.clock.advance(elapsed);
+        .http_request(vm.now(), method, url, body, timeout);
+    vm.advance_clock(elapsed);
     match result {
         Ok(resp) => {
             let d = Value::dict(vec![
@@ -235,17 +235,17 @@ fn time_module() -> Rc<ModuleObj> {
     let m = module("time");
     m.set(
         "time",
-        native_value("time", |vm, _args, _| Ok(Value::Float(vm.clock.now()))),
+        native_value("time", |vm, _args, _| Ok(Value::Float(vm.now()))),
     );
     m.set(
         "monotonic",
-        native_value("monotonic", |vm, _args, _| Ok(Value::Float(vm.clock.now()))),
+        native_value("monotonic", |vm, _args, _| Ok(Value::Float(vm.now()))),
     );
     m.set(
         "sleep",
         native_value("sleep", |vm, args, _| {
             let secs = float_of(args.first().ok_or_else(|| arg_err("sleep"))?, "sleep")?;
-            vm.clock.advance(secs.max(0.0));
+            vm.advance_clock(secs.max(0.0));
             // Sleeping still burns a little fuel so sleep loops terminate.
             vm.tick()?;
             Ok(Value::None)
@@ -447,7 +447,7 @@ fn profipy_rt_module() -> Rc<ModuleObj> {
     m.set(
         "hog",
         native_value("hog", |vm, _args, _| {
-            vm.fuel.add_hog();
+            vm.add_hog();
             vm.host.note_hog();
             Ok(Value::None)
         }),
@@ -456,7 +456,7 @@ fn profipy_rt_module() -> Rc<ModuleObj> {
         "delay",
         native_value("delay", |vm, args, _| {
             let secs = float_of(args.first().ok_or_else(|| arg_err("delay"))?, "delay")?;
-            vm.clock.advance(secs.max(0.0));
+            vm.advance_clock(secs.max(0.0));
             vm.tick()?;
             Ok(Value::None)
         }),

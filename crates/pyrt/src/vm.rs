@@ -81,6 +81,16 @@ pub enum VmOutcome {
     Uncaught(PyExc),
 }
 
+/// How many interpreter steps may accumulate before the batched tick
+/// accounting is settled. Within a batch, `Vm::tick` is one `Cell`
+/// increment and compare; the clock/fuel/deadline bookkeeping happens
+/// once per batch. The batch is sized so **fuel** exhaustion trips on
+/// exactly the same step as per-step accounting (integer math), and
+/// the **deadline** check lands within one step of it at exact
+/// floating-point boundaries (the clock itself accumulates bit-for-bit
+/// like per-step advances; only the trip-step *prediction* divides).
+const TICK_BATCH: u64 = 64;
+
 /// The interpreter state shared across modules of one target program.
 pub struct Vm {
     /// Virtual clock.
@@ -88,8 +98,14 @@ pub struct Vm {
     /// Step budget / hog accounting.
     pub fuel: Fuel,
     /// Virtual deadline (absolute clock value); exceeding it raises the
-    /// timeout pseudo-exception.
+    /// timeout pseudo-exception. Set it through [`Vm::set_deadline`] so
+    /// the batched tick accounting is resized.
     pub deadline: Cell<Option<f64>>,
+    /// Steps taken since the last batch settlement.
+    pending_ticks: Cell<u64>,
+    /// Batch size: `tick` settles when `pending_ticks` reaches this.
+    /// Never larger than the step at which fuel or deadline would trip.
+    tick_limit: Cell<u64>,
     /// The EDFI-style fault trigger shared with the sandbox.
     pub trigger: Rc<Cell<bool>>,
     /// Host services (network, filesystem, env).
@@ -141,6 +157,8 @@ impl Vm {
             clock: VirtualClock::new(),
             fuel: Fuel::default(),
             deadline: Cell::new(None),
+            pending_ticks: Cell::new(0),
+            tick_limit: Cell::new(1),
             trigger: Rc::new(Cell::new(false)),
             host,
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
@@ -360,6 +378,8 @@ impl Vm {
             crate::interp::exec_block(self, &mut frame, &module.body)
         };
         *self.current_component.borrow_mut() = prev;
+        // Settle so direct `clock.now()` readers see the full run cost.
+        self.settle_observed();
         match result {
             Ok(_) => Ok(()),
             Err(e) => {
@@ -405,7 +425,7 @@ impl Vm {
     /// Emits a log record attributed to the current component.
     pub fn log(&self, severity: Severity, message: impl Into<String>) {
         self.logs.borrow_mut().push(LogRecord {
-            time: self.clock.now(),
+            time: self.now(),
             severity,
             component: self.current_component.borrow().clone(),
             message: message.into(),
@@ -425,24 +445,130 @@ impl Vm {
 
     /// Consumes one step of fuel, advancing the virtual clock.
     ///
+    /// Accounting is batched: most calls only bump a pending-step
+    /// counter; every [`TICK_BATCH`] steps (or sooner, when fuel or the
+    /// deadline is about to trip) the batch is settled in one go. Fuel
+    /// exhaustion raises on exactly the same step it would under
+    /// per-step accounting; deadline detection within one step of it
+    /// (see [`TICK_BATCH`]).
+    ///
     /// # Errors
     ///
     /// Raises the timeout pseudo-exception when the budget is exhausted
     /// or the virtual deadline has passed.
+    #[inline]
     pub fn tick(&self) -> Result<(), PyExc> {
-        self.clock.advance(self.fuel.step_cost_secs());
-        if !self.fuel.tick() {
-            return Err(PyExc::timeout());
+        let pending = self.pending_ticks.get() + 1;
+        self.pending_ticks.set(pending);
+        if pending < self.tick_limit.get() {
+            return Ok(());
         }
-        if let Some(deadline) = self.deadline.get() {
-            if self.clock.now() > deadline {
-                return Err(PyExc::new(
-                    "ProfipyFuelExhausted",
-                    "virtual deadline exceeded",
-                ));
+        self.settle_ticks()
+    }
+
+    /// Settles the accumulated steps: advances the clock, consumes
+    /// fuel, checks the deadline, and sizes the next batch.
+    fn settle_ticks(&self) -> Result<(), PyExc> {
+        let n = self.pending_ticks.replace(0);
+        if n > 0 {
+            self.clock.advance_steps(n, self.fuel.step_cost_secs());
+            if !self.fuel.consume(n) {
+                self.tick_limit.set(1);
+                return Err(PyExc::timeout());
+            }
+            if let Some(deadline) = self.deadline.get() {
+                if self.clock.now() > deadline {
+                    self.tick_limit.set(1);
+                    return Err(PyExc::new(
+                        "ProfipyFuelExhausted",
+                        "virtual deadline exceeded",
+                    ));
+                }
             }
         }
+        self.resize_tick_batch();
         Ok(())
+    }
+
+    /// Settles pending steps for an *observation* (clock read, budget
+    /// change). Accounting is applied, but an exhaustion discovered
+    /// here is left for the next [`Vm::tick`] to raise — which is the
+    /// step where it would have surfaced under per-step accounting
+    /// anyway (observations never raised).
+    fn settle_observed(&self) {
+        let n = self.pending_ticks.replace(0);
+        if n > 0 {
+            self.clock.advance_steps(n, self.fuel.step_cost_secs());
+            // Cannot exhaust: `tick` settles (and raises) at the batch
+            // limit, which never exceeds the exhausting step, so the
+            // pending count here is always below it.
+            let _ = self.fuel.consume(n);
+        }
+        self.resize_tick_batch();
+    }
+
+    /// Recomputes the batch size from remaining fuel and deadline
+    /// slack, so the next settlement lands on the first step that can
+    /// trip (exactly, for fuel; within one step at floating-point
+    /// boundaries, for the deadline — the settle re-checks against the
+    /// actual accumulated clock either way).
+    fn resize_tick_batch(&self) {
+        let mut limit = TICK_BATCH.min(self.fuel.steps_until_exhaustion());
+        if let Some(deadline) = self.deadline.get() {
+            let slack = deadline - self.clock.now();
+            let per_step = self.fuel.step_cost_secs();
+            let steps = if slack <= 0.0 {
+                1
+            } else {
+                ((slack / per_step).floor() as u64).saturating_add(1)
+            };
+            limit = limit.min(steps);
+        }
+        self.tick_limit.set(limit.max(1));
+    }
+
+    /// Current virtual time, with pending tick accounting settled —
+    /// use this (not `clock.now()`) wherever time is observed.
+    pub fn now(&self) -> f64 {
+        self.settle_observed();
+        self.clock.now()
+    }
+
+    /// Advances the virtual clock (e.g. `time.sleep`, simulated I/O
+    /// latency), keeping the batched accounting consistent.
+    pub fn advance_clock(&self, secs: f64) {
+        self.settle_observed();
+        self.clock.advance(secs);
+        self.resize_tick_batch();
+    }
+
+    /// Sets (or clears) the virtual deadline.
+    pub fn set_deadline(&self, deadline: Option<f64>) {
+        self.settle_observed();
+        self.deadline.set(deadline);
+        self.resize_tick_batch();
+    }
+
+    /// Refills the step budget (round start).
+    pub fn refill_fuel(&self, steps: u64) {
+        self.settle_observed();
+        self.fuel.refill(steps);
+        self.resize_tick_batch();
+    }
+
+    /// Registers a CPU hog ($HOG fault), which changes the per-step
+    /// cost — pending steps are settled at the old cost first.
+    pub fn add_hog(&self) {
+        self.settle_observed();
+        self.fuel.add_hog();
+        self.resize_tick_batch();
+    }
+
+    /// Clears hogs (container teardown).
+    pub fn clear_hogs(&self) {
+        self.settle_observed();
+        self.fuel.clear_hogs();
+        self.resize_tick_batch();
     }
 }
 
@@ -474,6 +600,33 @@ mod tests {
         vm.fuel.refill(10_000);
         let err = vm.run_module(&m).unwrap_err();
         assert_eq!(err.class_name, "ProfipyFuelExhausted");
+    }
+
+    #[test]
+    fn deadline_trips_under_batched_ticks() {
+        let m = pysrc::parse_module("while True:\n    pass\n", "m.py").unwrap();
+        let mut vm = Vm::new();
+        vm.set_deadline(Some(0.01));
+        let err = vm.run_module(&m).unwrap_err();
+        assert_eq!(err.class_name, "ProfipyFuelExhausted");
+        assert_eq!(err.message, "virtual deadline exceeded");
+        assert!(vm.clock.now() > 0.01);
+    }
+
+    #[test]
+    fn observed_time_settles_pending_steps() {
+        // A mid-batch `time.time()` must account every step taken so
+        // far — the lazy counter may never make time stand still.
+        let m = pysrc::parse_module(
+            "import time\na = 1\nb = 2\nc = a + b\nprint(time.time() > 0.0)\n",
+            "m.py",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.run_module(&m).unwrap();
+        assert_eq!(vm.stdout(), "True\n");
+        // After the run, direct clock reads see the settled total.
+        assert!(vm.clock.now() > 0.0);
     }
 
     #[test]

@@ -161,14 +161,12 @@ impl Container {
             };
         }
         self.vm.trigger.set(fault_enabled);
-        self.vm.fuel.refill(self.fuel_per_round);
-        let start = self.vm.clock.now();
-        self.vm
-            .deadline
-            .set(Some(start + self.round_timeout));
+        self.vm.refill_fuel(self.fuel_per_round);
+        let start = self.vm.now();
+        self.vm.set_deadline(Some(start + self.round_timeout));
         let result = self.execute_round(round);
-        let duration = self.vm.clock.now() - start;
-        self.vm.deadline.set(None);
+        let duration = self.vm.now() - start;
+        self.vm.set_deadline(None);
         let status = match result {
             Ok(()) => RoundStatus::Ok,
             Err(e) if e.class_name == "ProfipyFuelExhausted" => RoundStatus::Timeout,
@@ -223,7 +221,7 @@ impl Container {
 
     /// Current virtual time inside the container.
     pub fn now(&self) -> f64 {
-        self.vm.clock.now()
+        self.vm.now()
     }
 
     /// Traced host API invocations (paper §IV-D visualization).
@@ -236,7 +234,7 @@ impl Container {
     /// tool can also clean-up any resource leaked or corrupted because
     /// of the injected fault".
     pub fn teardown(mut self) {
-        self.vm.fuel.clear_hogs();
+        self.vm.clear_hogs();
         let _ = self.vm.host.execute(&["etcd-cleanup".to_string()]);
         self.state = ContainerState::TornDown;
     }

@@ -1,0 +1,125 @@
+//! ProFIPy-as-a-Service walkthrough: boots the REST API, then drives
+//! one complete campaign through it with the `httpd` client, printing
+//! the equivalent `curl` command for every step.
+//!
+//! ```text
+//! cargo run --release --example serve            # scripted demo, then exits
+//! cargo run --release --example serve -- --stay  # keep serving after the demo
+//! cargo run --release --example serve -- 127.0.0.1:9000 --stay
+//! ```
+
+use campaign::{ApiConfig, ApiServer, CampaignService, CampaignSpec, EngineConfig, HostRegistry};
+use profipy::case_study::etcd_host_factory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stay = args.iter().any(|a| a == "--stay");
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+
+    let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+    let service = CampaignService::new(EngineConfig::default(), registry).expect("service");
+    let api = ApiServer::serve(&addr, service, ApiConfig::default()).expect("bind");
+    let base = format!("http://{}", api.addr());
+    println!("serving on {base}\n");
+
+    // --- the walkthrough, as a client would run it -------------------
+    let mut client = httpd::Client::new(api.addr().to_string());
+
+    let mut spec = CampaignSpec::new(
+        "alice",
+        "etcd-demo",
+        "etcd",
+        vec![
+            ("etcd".into(), targets::CLIENT_SOURCE.into()),
+            ("workload".into(), targets::WORKLOAD_BASIC.into()),
+        ],
+        targets::WORKLOAD_BASIC.into(),
+        faultdsl::campaign_a_model(),
+    );
+    spec.setup = vec![vec!["etcd-start".into()]];
+    spec.filter.modules.push("etcd".into());
+    spec.filter.sample = 6;
+
+    println!("# 1. submit a campaign");
+    println!("curl -X POST {base}/api/campaigns -d @spec.json");
+    let resp = client
+        .post_json("/api/campaigns", &spec.to_json())
+        .expect("submit");
+    println!("-> {} {}", resp.status, resp.text());
+    let id = jsonlite::parse(&resp.text())
+        .expect("json")
+        .req("id")
+        .expect("id")
+        .as_str()
+        .expect("str")
+        .to_string();
+
+    println!("# 2. poll until completed");
+    println!("curl {base}/api/campaigns/{id}");
+    loop {
+        let status = client
+            .get(&format!("/api/campaigns/{id}"))
+            .expect("poll");
+        let v = jsonlite::parse(&status.text()).expect("json");
+        let state = v.req("state").expect("state").as_str().expect("str").to_string();
+        println!(
+            "-> state={state} {}/{} experiments",
+            v.req("completed_experiments").unwrap().as_u64().unwrap_or(0),
+            v.req("total_experiments")
+                .unwrap()
+                .as_u64()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "?".into()),
+        );
+        if state == "completed" || state == "failed" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    println!("# 3. fetch the report");
+    println!("curl {base}/api/campaigns/{id}/report");
+    let report = client
+        .get(&format!("/api/campaigns/{id}/report"))
+        .expect("report");
+    println!("{}", report.text());
+
+    println!("# 4. save a fault model into the session");
+    println!("curl -X POST {base}/api/models -d '{{\"user\":\"alice\",\"name\":\"mfc\",\"dsl\":...}}'");
+    let model_body = jsonlite::Value::obj(vec![
+        ("user", jsonlite::Value::str("alice")),
+        ("name", jsonlite::Value::str("saved-model")),
+        ("model", faultdsl::campaign_a_model().to_value()),
+    ]);
+    let resp = client
+        .post_json("/api/models", &model_body.compact())
+        .expect("model upload");
+    println!("-> {} {}", resp.status, resp.text());
+
+    println!("# 5. report history + metrics");
+    println!("curl {base}/api/sessions/alice/reports");
+    let history = client.get("/api/sessions/alice/reports").expect("history");
+    let reports = jsonlite::parse(&history.text())
+        .expect("json")
+        .req("reports")
+        .expect("reports")
+        .as_arr()
+        .expect("arr")
+        .len();
+    println!("-> {} report(s) in alice's session", reports);
+    println!("curl {base}/metrics");
+    print!("{}", client.get("/metrics").expect("metrics").text());
+
+    if stay {
+        println!("\nserving until Ctrl-C ({base})");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    api.shutdown();
+    println!("\ndemo complete; pass --stay to keep the server up.");
+}

@@ -9,9 +9,13 @@
 //! profipy-cli scan-dsl <file.dsl>          scan with a custom bug spec
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
+//! profipy-cli serve [ADDR] [--data-dir D]  boot the as-a-Service REST API
 //! ```
 
-use profipy::case_study::{campaign_a, campaign_b, campaign_c, case_study_workflow, Campaign};
+use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
+use profipy::case_study::{
+    campaign_a, campaign_b, campaign_c, case_study_workflow, etcd_host_factory, Campaign,
+};
 use profipy::report::CampaignReport;
 use std::process::ExitCode;
 
@@ -47,7 +51,10 @@ fn usage() -> ExitCode {
          scan <model-name>             scan the case-study target, list points\n\
          scan-dsl <file.dsl>           scan with a custom `change{{}}into{{}}` spec\n\
          campaign <A|B|C> [--no-prune] run a paper §V campaign\n\
-         viz <A|B|C> <point-id>        run one experiment, render its timeline"
+         viz <A|B|C> <point-id>        run one experiment, render its timeline\n\
+         serve [ADDR] [--data-dir D]   boot the REST API (default 127.0.0.1:8080;\n\
+                                       with --data-dir the queue/checkpoints/cache\n\
+                                       persist and survive restarts)"
     );
     ExitCode::from(2)
 }
@@ -147,7 +154,63 @@ fn main() -> ExitCode {
             println!("{}", trace::render_timeline(&result.timeline(), 72));
             ExitCode::SUCCESS
         }
+        Some("serve") => serve(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Boots the as-a-Service surface: the case-study `etcd` host plus the
+/// `noop` host, served over HTTP until the process is killed.
+fn serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut data_dir = None;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--data-dir" => match rest.next() {
+                Some(dir) => data_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--data-dir needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                return ExitCode::from(2);
+            }
+            positional => addr = positional.to_string(),
+        }
+    }
+    let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+    let config = EngineConfig {
+        data_dir,
+        executor: Default::default(),
+    };
+    let service = match CampaignService::new(config, registry) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("cannot open engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let api = match ApiServer::serve(&addr, service, ApiConfig::default()) {
+        Ok(api) => api,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("profipy as-a-service listening on http://{}", api.addr());
+    println!("  POST /api/campaigns              submit a CampaignSpec (JSON)");
+    println!("  GET  /api/campaigns/:id          job status");
+    println!("  GET  /api/campaigns/:id/report   completed campaign report");
+    println!("  POST /api/models                 save a fault model into a session");
+    println!("  GET  /api/sessions/:user/reports report history");
+    println!("  GET  /metrics                    queue/cache counters");
+    println!("  GET  /healthz                    liveness");
+    println!("hosts: etcd (case study), noop — Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
 

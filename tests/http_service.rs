@@ -1,0 +1,172 @@
+//! The as-a-Service acceptance test: a real HTTP server on an
+//! ephemeral port, 8 concurrent clients submitting campaigns, every
+//! job polled to completion, and every report fetched over the wire
+//! byte-identical to the same spec run through `CampaignService`
+//! in-process. Worker-pool saturation (503) and graceful-shutdown
+//! draining are covered at the `httpd` layer
+//! (`crates/httpd/tests/server.rs`); here the server additionally
+//! proves it hands back the service state intact on shutdown.
+
+use campaign::{
+    report_to_value, ApiConfig, ApiServer, CampaignService, CampaignSpec, EngineConfig,
+    HostRegistry,
+};
+use std::time::{Duration, Instant};
+
+const TARGET: &str = "def transfer(amount):
+    checked = validate(amount)
+    log_event()
+    return checked
+
+def validate(amount):
+    if amount > 0:
+        return amount
+    return 0
+";
+
+const WORKLOAD: &str = "import target
+
+def run(round):
+    total = 0
+    for i in range(3):
+        total = total + target.transfer(i)
+    return total
+";
+
+fn spec_for(user: &str, seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(
+        user,
+        &format!("{user}-campaign"),
+        "noop",
+        vec![("target".into(), TARGET.into())],
+        WORKLOAD.into(),
+        faultdsl::predefined_models(),
+    );
+    spec.seed = seed;
+    spec
+}
+
+fn service() -> CampaignService {
+    CampaignService::new(EngineConfig::default(), HostRegistry::with_noop()).unwrap()
+}
+
+/// Runs a spec through the in-process service and returns the report's
+/// canonical JSON — the reference bytes for the HTTP comparison.
+fn in_process_report(service: &mut CampaignService, spec: CampaignSpec) -> String {
+    let id = service.submit(spec).unwrap();
+    service.drive(None).unwrap();
+    let report = service.engine().report(&id).expect("campaign completed");
+    report_to_value(&report).pretty()
+}
+
+#[test]
+fn eight_concurrent_clients_get_byte_identical_reports() {
+    let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+    let addr = api.addr().to_string();
+
+    let users: Vec<String> = (0..8).map(|i| format!("user{i}")).collect();
+    let handles: Vec<_> = users
+        .iter()
+        .map(|user| {
+            let addr = addr.clone();
+            let spec = spec_for(user, 40 + user.len() as u64);
+            std::thread::spawn(move || {
+                let mut client = httpd::Client::new(&addr);
+                let resp = client
+                    .post_json("/api/campaigns", &spec.to_json())
+                    .expect("submit");
+                assert_eq!(resp.status, 201, "{}", resp.text());
+                let id = jsonlite::parse(&resp.text())
+                    .unwrap()
+                    .req("id")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string();
+                // Poll to completion.
+                let deadline = Instant::now() + Duration::from_secs(120);
+                loop {
+                    let status = client.get(&format!("/api/campaigns/{id}")).expect("poll");
+                    assert_eq!(status.status, 200);
+                    let v = jsonlite::parse(&status.text()).unwrap();
+                    match v.req("state").unwrap().as_str().unwrap() {
+                        "completed" => break,
+                        "failed" => panic!("campaign failed: {}", status.text()),
+                        _ => {}
+                    }
+                    assert!(Instant::now() < deadline, "poll timed out");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let report = client
+                    .get(&format!("/api/campaigns/{id}/report"))
+                    .expect("report");
+                assert_eq!(report.status, 200);
+                report.text()
+            })
+        })
+        .collect();
+    let http_reports: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // The same specs through the in-process service: every report must
+    // be byte-identical to what came over the wire.
+    let mut reference = service();
+    for (user, http_report) in users.iter().zip(&http_reports) {
+        let expected = in_process_report(&mut reference, spec_for(user, 40 + user.len() as u64));
+        assert_eq!(
+            http_report, &expected,
+            "HTTP report for {user} diverged from the in-process run"
+        );
+    }
+
+    // Graceful shutdown hands the service back with every report
+    // delivered into its session.
+    let service = api.shutdown();
+    for user in &users {
+        assert_eq!(
+            service.sessions.report_names(user),
+            vec![format!("{user}-campaign")],
+            "report missing from {user}'s session"
+        );
+    }
+}
+
+#[test]
+fn status_polls_stay_responsive_while_campaigns_run() {
+    // A steady poller must keep getting sub-second answers while the
+    // drive thread is busy executing another user's campaign.
+    let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+    let addr = api.addr().to_string();
+    let mut submitter = httpd::Client::new(&addr);
+    let resp = submitter
+        .post_json("/api/campaigns", &spec_for("heavy", 7).to_json())
+        .unwrap();
+    let id = jsonlite::parse(&resp.text())
+        .unwrap()
+        .req("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    let mut poller = httpd::Client::new(&addr);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let t0 = Instant::now();
+        let status = poller.get(&format!("/api/campaigns/{id}")).unwrap();
+        assert_eq!(status.status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "status poll starved by the drive thread"
+        );
+        let v = jsonlite::parse(&status.text()).unwrap();
+        if v.req("state").unwrap().as_str().unwrap() == "completed" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign never completed");
+    }
+    // /healthz and /metrics answer too.
+    assert_eq!(poller.get("/healthz").unwrap().status, 200);
+    let metrics = poller.get("/metrics").unwrap().text();
+    assert!(metrics.contains("profipy_queue_depth"), "{metrics}");
+    api.shutdown();
+}
