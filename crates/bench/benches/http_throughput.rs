@@ -1,11 +1,15 @@
 //! Loopback throughput of the as-a-Service HTTP surface.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * **status_poll** — `GET /api/campaigns/:id` over one keep-alive
 //!   connection: the hot read path every dashboard and CI poller hits.
 //!   The acceptance bar is ≥ 10k requests/sec on loopback; the bench
 //!   prints the measured rate explicitly.
+//! * **concurrent_poll_burst** — the event-loop scaling number: many
+//!   keep-alive clients polling at once against a small handler pool
+//!   (64 clients over 8 workers; the old worker-per-connection model
+//!   served at most `workers` clients no matter the load).
 //! * **submit_to_report** — the full cycle: submit a small noop-host
 //!   campaign, poll to completion, fetch the report.
 
@@ -66,7 +70,18 @@ fn submit_and_wait(client: &mut httpd::Client, spec: &CampaignSpec) -> String {
 }
 
 fn bench_http_throughput(c: &mut Criterion) {
-    let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).expect("bind");
+    // A deliberately small handler pool: the concurrent burst below
+    // runs 8× more keep-alive clients than workers (single-connection
+    // numbers are pool-size independent).
+    let config = ApiConfig {
+        http: httpd::ServerConfig {
+            workers: 8,
+            queue_depth: 256,
+            ..httpd::ServerConfig::default()
+        },
+        drive_batch: 8,
+    };
+    let api = ApiServer::serve("127.0.0.1:0", service(), config).expect("bind");
     let addr = api.addr().to_string();
     let mut client = httpd::Client::new(&addr);
     let id = submit_and_wait(&mut client, &noop_spec("bench", "warmup", 1));
@@ -83,6 +98,42 @@ fn bench_http_throughput(c: &mut Criterion) {
     let rate = burst as f64 / elapsed.as_secs_f64();
     println!(
         "http_throughput/status_poll_burst      {burst} requests in {elapsed:?} = {rate:.0} req/s"
+    );
+
+    // Aggregate throughput with keep-alive clients well past the
+    // handler pool — the event loop's reason to exist. Every client
+    // holds its connection open for the whole burst.
+    let clients_n = if quick_mode() { 8 } else { 64 };
+    let per_client = if quick_mode() { 25 } else { 400 };
+    let ready = std::sync::Arc::new(std::sync::Barrier::new(clients_n + 1));
+    let handles: Vec<_> = (0..clients_n)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = poll_path.clone();
+            let ready = ready.clone();
+            std::thread::spawn(move || {
+                let mut client = httpd::Client::new(&addr);
+                assert_eq!(client.get(&path).expect("warm").status, 200);
+                ready.wait(); // all connections open before timing
+                ready.wait(); // go
+                for _ in 0..per_client {
+                    assert_eq!(client.get(&path).expect("poll").status, 200);
+                }
+            })
+        })
+        .collect();
+    ready.wait();
+    let t0 = std::time::Instant::now();
+    ready.wait();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    let total = clients_n * per_client;
+    let rate = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "http_throughput/concurrent_poll_burst  {clients_n} keep-alive clients x {per_client} \
+         = {total} requests in {elapsed:?} = {rate:.0} req/s"
     );
 
     let mut group = c.benchmark_group("http_throughput");

@@ -24,7 +24,7 @@ use httpd::{Request, Response, Router, Server, ServerConfig};
 use jsonlite::Value;
 use profipy::report::CampaignReport;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -54,6 +54,9 @@ struct ApiState {
     service: Mutex<CampaignService>,
     api_requests: AtomicU64,
     drive_errors: Mutex<Option<String>>,
+    /// The HTTP layer's live open-connections gauge; installed right
+    /// after the server binds (the router is built first).
+    http_open_connections: OnceLock<Arc<AtomicU64>>,
 }
 
 impl ApiState {
@@ -90,9 +93,13 @@ impl ApiServer {
             service: Mutex::new(service),
             api_requests: AtomicU64::new(0),
             drive_errors: Mutex::new(None),
+            http_open_connections: OnceLock::new(),
         });
         let router = build_router(state.clone());
         let server = Server::bind(addr, router, config.http.clone())?;
+        let _ = state
+            .http_open_connections
+            .set(server.connections_open_gauge());
         let stop = Arc::new(AtomicBool::new(false));
         let drive_state = state.clone();
         let drive_stop = stop.clone();
@@ -331,6 +338,13 @@ fn metrics(state: &ApiState, _req: &Request) -> Response {
         out.push_str(&format!("profipy_{name} {value}\n"));
     };
     gauge("http_requests_total", state.api_requests.load(Ordering::Relaxed));
+    gauge(
+        "http_open_connections",
+        state
+            .http_open_connections
+            .get()
+            .map_or(0, |g| g.load(Ordering::Relaxed)),
+    );
     gauge("queue_depth", depth as u64);
     for (st, n) in counts {
         gauge(&format!("jobs_{st}"), n as u64);
@@ -628,6 +642,80 @@ mod tests {
             vec!["mfc".to_string()]
         );
         assert!(service.sessions.get_session("carol").unwrap().load_model("mfc").is_ok());
+    }
+
+    #[test]
+    fn error_paths_have_exact_codes_and_leave_the_connection_usable() {
+        // A tight body cap so an oversized upload is cheap to produce.
+        let config = ApiConfig {
+            http: httpd::ServerConfig {
+                max_body_bytes: 1024,
+                ..httpd::ServerConfig::default()
+            },
+            drive_batch: 8,
+        };
+        let api = ApiServer::serve("127.0.0.1:0", service(), config).unwrap();
+        let addr = api.addr().to_string();
+        let mut client = httpd::Client::new(&addr).timeout(Duration::from_secs(10));
+
+        // Open the keep-alive connection.
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+        // Oversized declared body → 413 at the HTTP layer, before the
+        // body is read, and the connection is closed (the unread body
+        // would desync keep-alive). The raw socket shows the exact
+        // wire behaviour.
+        {
+            use std::io::{Read, Write};
+            let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+            raw.write_all(b"POST /api/campaigns HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+                .unwrap();
+            let mut reply = String::new();
+            raw.read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 413 "), "{reply}");
+        }
+
+        // Unknown job id → 404, connection kept alive (no close header).
+        let resp = client.get("/api/campaigns/no-such-job").unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.header("connection"), None);
+        let resp = client.get("/api/campaigns/no-such-job/report").unwrap();
+        assert_eq!(resp.status, 404);
+
+        // Model upload whose body is raw DSL text, not JSON → 400
+        // (malformed JSON), still keep-alive.
+        let resp = client
+            .request(
+                "POST",
+                "/api/models",
+                Some("text/plain"),
+                b"change { call(x) } into { none }",
+            )
+            .unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.text());
+        assert_eq!(resp.header("connection"), None);
+
+        // JSON-wrapped DSL that fails to parse → 422.
+        let resp = client
+            .post_json(
+                "/api/models",
+                &Value::obj(vec![
+                    ("user", Value::str("dana")),
+                    ("name", Value::str("bad")),
+                    ("dsl", Value::str("change { unterminated")),
+                ])
+                .compact(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 422, "{}", resp.text());
+
+        // After every error above the same client keeps working — the
+        // errors were responses, not connection teardowns (and the one
+        // that *was* a teardown used its own socket).
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("profipy_http_open_connections"), "{metrics}");
+        api.shutdown();
     }
 
     #[test]

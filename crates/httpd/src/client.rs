@@ -165,6 +165,14 @@ pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<ClientRespons
 /// Whether an error means the kept-alive connection was already dead
 /// (safe to retry) as opposed to the server failing mid-request (not
 /// safe — it may have acted on the request).
+///
+/// Read-path errors matching these kinds can only come from
+/// [`read_response`]'s before-the-status-line phase: once the status
+/// line has arrived the server has visibly acted on the request, so
+/// every later failure — clean EOF *and* reset/abort — is demoted to
+/// `InvalidData`, precisely so this predicate cannot mistake a
+/// half-delivered response for a stale connection and re-send a
+/// non-idempotent request.
 fn is_stale_connection(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -194,13 +202,34 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse
                 format!("bad status line '{}'", line.trim_end()),
             )
         })?;
+    // From here on the server has committed to a response: an EOF *or
+    // reset* is a truncated response, not a stale keep-alive socket,
+    // and must not surface with a retry-safe error kind.
+    read_after_status(reader, status).map_err(|e| {
+        if is_stale_connection(&e) {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("connection failed mid-response: {e}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+/// Reads headers + body once the status line is in. Callers demote any
+/// connection-level error kind this returns (see [`read_response`]).
+fn read_after_status(
+    reader: &mut BufReader<TcpStream>,
+    status: u16,
+) -> io::Result<ClientResponse> {
     let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed inside headers",
+                io::ErrorKind::InvalidData,
+                "server closed the connection inside response headers",
             ));
         }
         let line = line.trim_end();
@@ -217,10 +246,56 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse
         .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(0);
     let mut body = vec![0u8; length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0;
+    while filled < length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "server closed the connection mid-response body: \
+                         got {filled} of {length} bytes"
+                    ),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     Ok(ClientResponse {
         status,
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mid_response_error_kinds_are_never_retry_safe() {
+        // The demotion applied by read_response: every kind the stale
+        // predicate would match must stop matching once wrapped.
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::BrokenPipe,
+        ] {
+            let raw = io::Error::new(kind, "boom");
+            assert!(is_stale_connection(&raw));
+            let demoted = io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("connection failed mid-response: {raw}"),
+            );
+            assert!(
+                !is_stale_connection(&demoted),
+                "{kind:?} must not be retryable mid-response"
+            );
+        }
+        // Timeouts were never retryable and stay that way.
+        assert!(!is_stale_connection(&io::Error::from(io::ErrorKind::WouldBlock)));
+    }
 }

@@ -1,0 +1,454 @@
+//! The readiness loop: one thread owns every connection; a bounded
+//! worker pool runs handlers.
+//!
+//! ```text
+//!             ┌───────────────── event-loop thread ─────────────────┐
+//!   accept ──▶│ nonblocking poll cycle over all connections:        │
+//!             │   drain worker completions → accept → read/parse/   │
+//!             │   dispatch → write → deadlines                      │
+//!             └──── try_send ──▶ bounded job queue ──▶ worker pool ─┘
+//!                    (full → 503)        │ router.dispatch (catch_unwind)
+//!                                        ▼
+//!                              completion channel back to the loop
+//! ```
+//!
+//! `std` has no `poll(2)` wrapper, so readiness is discovered by
+//! attempting nonblocking I/O on each registered connection per cycle
+//! (`WouldBlock` = not ready) — mio-style registration without the
+//! dependency. The loop spins while traffic flows and backs off to
+//! short sleeps when idle, trading a bounded sliver of idle latency
+//! (≤ ~1 ms) for zero busy-burn; per-cycle work is O(connections),
+//! which is the honest dependency-free ceiling.
+//!
+//! The payoff: an idle keep-alive connection costs one buffer, not one
+//! thread — thousands of pollers can sit open against a handful of
+//! workers. The worker pool bounds only *handler execution*, and its
+//! queue bounds dispatch: a complete request that finds the queue full
+//! is answered 503 immediately (explicit backpressure, never an
+//! unbounded buffer, never a hang).
+
+use crate::conn::{Conn, ConnState, Flush};
+use crate::http::{ParseStatus, Request, Response};
+use crate::router::Router;
+use crate::server::ServerConfig;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counters and flags shared between the loop and the [`crate::Server`]
+/// handle.
+pub(crate) struct Shared {
+    /// Graceful-stop flag: stop accepting, drain, exit.
+    pub stop: Arc<AtomicBool>,
+    /// Requests dispatched to handlers.
+    pub requests: Arc<AtomicU64>,
+    /// Connections/requests answered 503 for saturation.
+    pub rejected: Arc<AtomicU64>,
+    /// Currently open connections (live gauge).
+    pub open: Arc<AtomicU64>,
+}
+
+/// A complete request handed to the worker pool.
+struct Job {
+    conn: usize,
+    request: Request,
+    wants_close: bool,
+}
+
+/// A worker's verdict. `response: None` means the handler panicked —
+/// the connection is dropped without a response (one panic costs one
+/// connection, never a pool slot).
+struct Done {
+    conn: usize,
+    response: Option<Response>,
+    wants_close: bool,
+}
+
+/// Progress-based backoff: spin while traffic flows, sleep when idle.
+/// The sleep cap bounds both idle CPU and worst-case wake latency.
+struct Backoff {
+    idle_cycles: u32,
+}
+
+impl Backoff {
+    fn new() -> Backoff {
+        Backoff { idle_cycles: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.idle_cycles = 0;
+    }
+
+    fn snooze(&mut self) {
+        self.idle_cycles = self.idle_cycles.saturating_add(1);
+        if self.idle_cycles < 256 {
+            std::thread::yield_now();
+        } else if self.idle_cycles < 512 {
+            std::thread::sleep(Duration::from_micros(50));
+        } else {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Index-stable connection storage; slots are reused via a free list.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(conn);
+                i
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        if self.slots[i].take().is_some() {
+            self.free.push(i);
+            self.len -= 1;
+        }
+    }
+}
+
+/// Runs the server: spawns the worker pool, owns every connection, and
+/// returns only after a graceful drain (stop flag set, all in-flight
+/// requests answered, workers joined).
+pub(crate) fn run(
+    listener: TcpListener,
+    router: Arc<Router>,
+    config: ServerConfig,
+    shared: Shared,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let workers_n = config.workers.max(1);
+    let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<Done>();
+    let workers: Vec<_> = (0..workers_n)
+        .map(|i| {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let router = router.clone();
+            std::thread::Builder::new()
+                .name(format!("httpd-worker-{i}"))
+                .spawn(move || worker_loop(&job_rx, &done_tx, &router))
+                .expect("spawn worker")
+        })
+        .collect();
+    drop(done_tx);
+
+    let mut conns = Slab::new();
+    let mut backoff = Backoff::new();
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let now = Instant::now();
+        let mut progress = false;
+
+        // 1. Worker completions → queue responses (flushed below, same
+        //    cycle, so the fast path pays no extra loop iteration).
+        while let Ok(done) = done_rx.try_recv() {
+            progress = true;
+            deliver_completion(&mut conns, &shared, done, stopping);
+        }
+
+        // 2. Accept — capped by max_connections, halted once stopping.
+        if !stopping {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        if conns.len >= config.max_connections {
+                            shared.rejected.fetch_add(1, Ordering::Relaxed);
+                            reject_saturated(stream);
+                            continue;
+                        }
+                        if let Ok(conn) = Conn::new(stream) {
+                            conns.insert(conn);
+                            shared.open.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) if crate::http::is_timeout(&e) => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 3. Per-connection I/O.
+        for i in 0..conns.slots.len() {
+            let Some(conn) = conns.slots[i].as_mut() else {
+                continue;
+            };
+            let gone = match conn.state {
+                ConnState::Reading => {
+                    step_reading(conn, i, &config, &shared, &job_tx, stopping, now, &mut progress)
+                }
+                ConnState::Dispatched => false, // the worker owns this one
+                ConnState::Writing { .. } => {
+                    step_writing(conn, i, &config, &shared, &job_tx, stopping, now, &mut progress)
+                }
+            };
+            if gone {
+                conns.remove(i);
+                shared.open.fetch_sub(1, Ordering::Relaxed);
+                progress = true;
+            }
+        }
+
+        if stopping && conns.len == 0 {
+            break;
+        }
+        if progress {
+            backoff.reset();
+        } else {
+            backoff.snooze();
+        }
+    }
+
+    // Drain complete: no connection holds an outstanding job, so the
+    // queue is empty — dropping the sender lets every worker exit.
+    drop(job_tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Advances a `Reading` connection: pull ready bytes, enforce the
+/// slowloris deadline, parse, dispatch. Returns `true` when the
+/// connection should be removed.
+#[allow(clippy::too_many_arguments)]
+fn step_reading(
+    conn: &mut Conn,
+    id: usize,
+    config: &ServerConfig,
+    shared: &Shared,
+    job_tx: &SyncSender<Job>,
+    stopping: bool,
+    now: Instant,
+    progress: &mut bool,
+) -> bool {
+    let fill = conn.fill();
+    if fill.err {
+        return true;
+    }
+    if fill.bytes > 0 {
+        *progress = true;
+        conn.note_request_started(now);
+        if advance_parse(conn, id, config, shared, job_tx) {
+            return true;
+        }
+    }
+    // EOF only matters if no complete request came out of the final
+    // bytes (a half-closing client still gets its response written).
+    if fill.eof && conn.state == ConnState::Reading {
+        if conn.has_buffered_bytes() {
+            // The peer quit mid-request; tell it (best-effort) why.
+            conn.queue_response(
+                &Response::text(400, "bad request: truncated request\n"),
+                true,
+            );
+            let _ = conn.flush();
+        }
+        return true;
+    }
+    if conn.state == ConnState::Reading {
+        // Idle keep-alive connections end at shutdown; started requests
+        // keep their full timeout budget (identical to the blocking
+        // server's `should_stop`-only-when-idle rule).
+        match conn.started_at {
+            None => {
+                if stopping {
+                    return true;
+                }
+            }
+            Some(t0) => {
+                if now.duration_since(t0) > config.request_timeout {
+                    conn.queue_response(&Response::text(408, "request timed out\n"), true);
+                    *progress = true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Flushes a `Writing` connection; on completion either closes or
+/// returns to `Reading` (immediately parsing any pipelined bytes).
+/// Returns `true` when the connection should be removed.
+#[allow(clippy::too_many_arguments)]
+fn step_writing(
+    conn: &mut Conn,
+    id: usize,
+    config: &ServerConfig,
+    shared: &Shared,
+    job_tx: &SyncSender<Job>,
+    stopping: bool,
+    now: Instant,
+    progress: &mut bool,
+) -> bool {
+    match conn.flush() {
+        Flush::Pending => {
+            // A peer that stops reading must not pin this slot (or
+            // wedge the shutdown drain) forever: the response gets the
+            // same wall-clock budget the request had.
+            matches!(conn.started_at, Some(t0) if now.duration_since(t0) > config.request_timeout)
+        }
+        Flush::Error => true,
+        Flush::Done => {
+            *progress = true;
+            let ConnState::Writing { close } = conn.state else {
+                unreachable!("step_writing only runs in Writing state");
+            };
+            if close {
+                return true;
+            }
+            conn.state = ConnState::Reading;
+            conn.started_at = None;
+            if conn.has_buffered_bytes() {
+                // Pipelined follow-up already buffered.
+                conn.note_request_started(now);
+                if advance_parse(conn, id, config, shared, job_tx) {
+                    return true;
+                }
+            } else if stopping {
+                return true;
+            }
+            false
+        }
+    }
+}
+
+/// Parses at most one request out of the buffer and acts on the
+/// verdict. Returns `true` when the connection should be removed.
+fn advance_parse(
+    conn: &mut Conn,
+    id: usize,
+    config: &ServerConfig,
+    shared: &Shared,
+    job_tx: &SyncSender<Job>,
+) -> bool {
+    match conn.try_extract(config.max_body_bytes) {
+        ParseStatus::Incomplete => false,
+        ParseStatus::Complete { request, .. } => {
+            let wants_close = request.wants_close();
+            match job_tx.try_send(Job {
+                conn: id,
+                request,
+                wants_close,
+            }) {
+                Ok(()) => {
+                    shared.requests.fetch_add(1, Ordering::Relaxed);
+                    conn.state = ConnState::Dispatched;
+                    conn.started_at = None;
+                    false
+                }
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    // Every worker busy and the queue full: explicit
+                    // backpressure, same wire response as accept-time
+                    // saturation.
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_response(&saturated_response(), true);
+                    false
+                }
+            }
+        }
+        ParseStatus::Malformed(reason) => {
+            conn.queue_response(&Response::text(400, format!("bad request: {reason}\n")), true);
+            false
+        }
+        ParseStatus::BodyTooLarge => {
+            conn.queue_response(&Response::text(413, "request body too large\n"), true);
+            false
+        }
+    }
+}
+
+/// Routes a worker's completed response back onto its connection.
+fn deliver_completion(conns: &mut Slab, shared: &Shared, done: Done, stopping: bool) {
+    let Some(conn) = conns.slots.get_mut(done.conn).and_then(Option::as_mut) else {
+        // Dispatched connections are never removed before their
+        // completion arrives, so this is unreachable in practice;
+        // tolerate it rather than poison the loop.
+        return;
+    };
+    match done.response {
+        Some(response) => {
+            // Close when either side wants it — including a shutdown
+            // that began while the handler ran.
+            let close = done.wants_close || stopping || shared.stop.load(Ordering::SeqCst);
+            conn.queue_response(&response, close);
+        }
+        None => {
+            eprintln!("httpd: handler panicked; connection dropped");
+            conns.remove(done.conn);
+            shared.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done_tx: &Sender<Done>, router: &Router) {
+    loop {
+        // Hold the lock only for the dequeue, not while handling.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(mut job) = job else {
+            return; // sender dropped and queue drained
+        };
+        // A panicking handler must cost one connection, not a worker:
+        // the pool would otherwise shrink panic by panic until the
+        // server stops serving.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.dispatch(&mut job.request)
+        }))
+        .ok();
+        let done = Done {
+            conn: job.conn,
+            response,
+            wants_close: job.wants_close,
+        };
+        if done_tx.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+/// The saturation response: identical bytes whether the server refuses
+/// at accept time (connection cap) or at dispatch time (worker-queue
+/// cap).
+fn saturated_response() -> Response {
+    Response::text(503, "server saturated, retry later\n").header("Retry-After", "1")
+}
+
+/// Answers 503 on a just-accepted stream and closes. Best-effort and
+/// nonblocking: the payload is far below a fresh socket's send buffer,
+/// so the write cannot stall the loop.
+fn reject_saturated(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(true);
+    let _ = saturated_response().write_to(&mut stream, true);
+}

@@ -4,6 +4,18 @@
 //! capped, bodies require `Content-Length` (no chunked encoding), and a
 //! body larger than the configured cap is rejected before it is read —
 //! an untrusted peer cannot balloon server memory.
+//!
+//! Two entry points share one grammar:
+//!
+//! * [`try_parse`] — pure and incremental: given the bytes received so
+//!   far, either yields a complete request (and how many bytes it
+//!   consumed), asks for more, or rejects. The event-loop server calls
+//!   it each time a connection's buffer grows, so a request split
+//!   across arbitrarily many reads parses exactly like a one-shot one.
+//! * [`read_request`] — the blocking wrapper over a `BufRead` stream,
+//!   used by unit tests and anything that owns a blocking socket. Both
+//!   paths go through the same head scanner and header parser;
+//!   `tests/parser_proptests.rs` pins their equivalence.
 
 use std::io::{self, BufRead, Write};
 use std::time::{Duration, Instant};
@@ -207,6 +219,164 @@ impl Default for ReadLimits {
     }
 }
 
+/// Progress of parsing one request out of a contiguous byte buffer
+/// (what the peer has sent so far). See [`try_parse`].
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer does not yet hold a complete request — read more.
+    Incomplete,
+    /// A complete request occupying the first `used` bytes of the
+    /// buffer; anything after `used` is pipelined follow-up data.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request consumed.
+        used: usize,
+    },
+    /// The bytes are not HTTP — answer 400 and close.
+    Malformed(String),
+    /// Declared body above the configured cap — answer 413 and close.
+    BodyTooLarge,
+}
+
+/// Where the head ends within a receive buffer.
+enum HeadScan {
+    /// Head (incl. the blank-line terminator) occupies `buf[..end]`.
+    Found(usize),
+    /// No terminator yet and the head budget still has room.
+    Partial,
+    /// No terminator within the head budget.
+    TooLarge,
+}
+
+/// Finds the end of the request head: the first newline at which the
+/// bytes so far end with `\r\n\r\n` or `\n\n` — exactly the blocking
+/// reader's per-line termination check, so both paths accept the same
+/// (possibly mixed) line-ending dialects.
+fn find_head_end(buf: &[u8]) -> HeadScan {
+    // The blocking reader admits a head of at most MAX_HEAD_BYTES + 1
+    // bytes (its final capped read may land the terminator exactly on
+    // the boundary); mirror that bound bit-for-bit.
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES + 1)];
+    for (i, byte) in window.iter().enumerate() {
+        if *byte != b'\n' {
+            continue;
+        }
+        let prefix = &window[..=i];
+        if prefix.ends_with(b"\r\n\r\n") || prefix.ends_with(b"\n\n") {
+            return HeadScan::Found(i + 1);
+        }
+    }
+    if buf.len() > MAX_HEAD_BYTES {
+        HeadScan::TooLarge
+    } else {
+        HeadScan::Partial
+    }
+}
+
+/// Parses a complete head (request line + headers + terminator) into a
+/// body-less [`Request`]. Shared verbatim by the blocking and
+/// incremental paths so they cannot drift.
+fn parse_head(head: &[u8]) -> Result<Request, String> {
+    let head = match std::str::from_utf8(head) {
+        Ok(h) => h,
+        Err(_) => return Err("non-UTF-8 request head".into()),
+    };
+    // Lines split on bare LF too (the head terminator accepts "\n\n"),
+    // with any CR stripped per-line.
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("bad request line '{request_line}'"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version '{version}'"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers: Vec::new(),
+        body: Vec::new(),
+        params: Vec::new(),
+        http1_0: version == "HTTP/1.0",
+    };
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("bad header line '{line}'"));
+        };
+        request
+            .headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Transfer codings are not implemented; absorbing a chunked body
+    // as "no body" would desync the keep-alive stream (the chunk data
+    // would parse as the next request), so reject it outright.
+    if request.header("transfer-encoding").is_some() {
+        return Err("transfer encodings are not supported; use Content-Length".into());
+    }
+    Ok(request)
+}
+
+/// The body length a parsed head declares.
+fn declared_content_length(request: &Request) -> Result<usize, String> {
+    match request.header("content-length") {
+        Some(v) => v.parse::<usize>().map_err(|_| "bad Content-Length".to_string()),
+        None => Ok(0),
+    }
+}
+
+/// Attempts to parse one request from the bytes received so far.
+///
+/// Pure and restartable: callers append incoming bytes to a buffer and
+/// re-invoke after every read. The verdict depends only on the buffer
+/// contents, so a request chopped across arbitrarily many reads parses
+/// identically to the same bytes arriving in one piece (pinned by
+/// `tests/parser_proptests.rs`). On [`ParseStatus::Complete`] the
+/// caller drains `used` bytes; leftovers are the next pipelined
+/// request.
+pub fn try_parse(buf: &[u8], max_body_bytes: usize) -> ParseStatus {
+    let head_end = match find_head_end(buf) {
+        HeadScan::Partial => return ParseStatus::Incomplete,
+        HeadScan::TooLarge => {
+            return ParseStatus::Malformed("request head too large".into());
+        }
+        HeadScan::Found(end) => end,
+    };
+    let mut request = match parse_head(&buf[..head_end]) {
+        Ok(request) => request,
+        Err(reason) => return ParseStatus::Malformed(reason),
+    };
+    let content_length = match declared_content_length(&request) {
+        Ok(n) => n,
+        Err(reason) => return ParseStatus::Malformed(reason),
+    };
+    if content_length > max_body_bytes {
+        return ParseStatus::BodyTooLarge;
+    }
+    let Some(total) = head_end.checked_add(content_length) else {
+        return ParseStatus::Malformed("bad Content-Length".into());
+    };
+    if buf.len() < total {
+        return ParseStatus::Incomplete;
+    }
+    request.body = buf[head_end..total].to_vec();
+    ParseStatus::Complete {
+        request,
+        used: total,
+    }
+}
+
 /// Reads one request. The underlying stream should have a short read
 /// timeout; `should_stop` is polled on every timeout so an idle
 /// keep-alive connection notices server shutdown promptly, while a
@@ -262,62 +432,14 @@ pub fn read_request(
         }
     }
     let t0 = started_at.unwrap_or_else(Instant::now);
-    let head = match std::str::from_utf8(&head) {
-        Ok(h) => h,
-        Err(_) => return ReadOutcome::Malformed("non-UTF-8 request head".into()),
+    let mut request = match parse_head(&head) {
+        Ok(request) => request,
+        Err(reason) => return ReadOutcome::Malformed(reason),
     };
-    // Lines split on bare LF too (the head terminator accepts "\n\n"),
-    // with any CR stripped per-line.
-    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let (Some(method), Some(target), Some(version)) =
-        (parts.next(), parts.next(), parts.next())
-    else {
-        return ReadOutcome::Malformed(format!("bad request line '{request_line}'"));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Malformed(format!("unsupported version '{version}'"));
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target.to_string(), String::new()),
-    };
-    let mut request = Request {
-        method: method.to_ascii_uppercase(),
-        path,
-        query,
-        headers: Vec::new(),
-        body: Vec::new(),
-        params: Vec::new(),
-        http1_0: version == "HTTP/1.0",
-    };
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return ReadOutcome::Malformed(format!("bad header line '{line}'"));
-        };
-        request
-            .headers
-            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-    // Transfer codings are not implemented; absorbing a chunked body
-    // as "no body" would desync the keep-alive stream (the chunk data
-    // would parse as the next request), so reject it outright.
-    if request.header("transfer-encoding").is_some() {
-        return ReadOutcome::Malformed(
-            "transfer encodings are not supported; use Content-Length".into(),
-        );
-    }
     // --- body: Content-Length bytes, resumable across timeouts ---
-    let content_length = match request.header("content-length") {
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => return ReadOutcome::Malformed("bad Content-Length".into()),
-        },
-        None => 0,
+    let content_length = match declared_content_length(&request) {
+        Ok(n) => n,
+        Err(reason) => return ReadOutcome::Malformed(reason),
     };
     if content_length > limits.max_body_bytes {
         return ReadOutcome::BodyTooLarge;
@@ -463,6 +585,81 @@ mod tests {
         let raw =
             b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n";
         assert!(matches!(parse(raw), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn incremental_parse_matches_one_shot_at_every_split() {
+        let raw: &[u8] = b"POST /api/x?q=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        // Every proper prefix is Incomplete; the full buffer parses to
+        // the same request the blocking reader produces.
+        for i in 0..raw.len() {
+            assert!(
+                matches!(try_parse(&raw[..i], DEFAULT_MAX_BODY_BYTES), ParseStatus::Incomplete),
+                "prefix of {i} bytes must be Incomplete"
+            );
+        }
+        let ParseStatus::Complete { request, used } = try_parse(raw, DEFAULT_MAX_BODY_BYTES)
+        else {
+            panic!("expected complete request");
+        };
+        assert_eq!(used, raw.len());
+        let ReadOutcome::Request(blocking) = parse(raw) else {
+            panic!("expected request");
+        };
+        assert_eq!(request.method, blocking.method);
+        assert_eq!(request.path, blocking.path);
+        assert_eq!(request.query, blocking.query);
+        assert_eq!(request.headers, blocking.headers);
+        assert_eq!(request.body, blocking.body);
+        assert_eq!(request.http1_0, blocking.http1_0);
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_bytes() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseStatus::Complete { request, used } = try_parse(raw, DEFAULT_MAX_BODY_BYTES)
+        else {
+            panic!("expected first request");
+        };
+        assert_eq!(request.path, "/a");
+        let ParseStatus::Complete { request, used: used2 } =
+            try_parse(&raw[used..], DEFAULT_MAX_BODY_BYTES)
+        else {
+            panic!("expected second request");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_rejects_what_blocking_rejects() {
+        assert!(matches!(
+            try_parse(b"not http at all\r\n\r\n", DEFAULT_MAX_BODY_BYTES),
+            ParseStatus::Malformed(_)
+        ));
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            try_parse(huge.as_bytes(), DEFAULT_MAX_BODY_BYTES),
+            ParseStatus::BodyTooLarge
+        ));
+        // Newline-free flood: capped as soon as the budget is blown,
+        // never Incomplete forever.
+        let flood = vec![b'A'; MAX_HEAD_BYTES * 2];
+        let ParseStatus::Malformed(reason) = try_parse(&flood, DEFAULT_MAX_BODY_BYTES) else {
+            panic!("expected head-cap rejection");
+        };
+        assert!(reason.contains("too large"), "{reason}");
+        assert!(matches!(
+            try_parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                DEFAULT_MAX_BODY_BYTES
+            ),
+            ParseStatus::Malformed(_)
+        ));
+        assert!(matches!(try_parse(b"", DEFAULT_MAX_BODY_BYTES), ParseStatus::Incomplete));
     }
 
     #[test]

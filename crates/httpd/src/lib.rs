@@ -6,12 +6,18 @@
 //! `std` alone:
 //!
 //! * [`http`] — request/response types, strict HTTP/1.1 parsing with
-//!   `Content-Length` bodies, bounded head/body sizes.
+//!   `Content-Length` bodies, bounded head/body sizes. One grammar,
+//!   two entry points: a pure incremental parser ([`http::try_parse`])
+//!   and a blocking reader ([`http::read_request`]).
 //! * [`router`] — a path/method router with `:param` captures.
-//! * [`server`] — a threaded server: bounded worker pool with
+//! * [`server`] — an event-loop server: one readiness thread owns
+//!   every connection as a cheap state machine (nonblocking sockets,
+//!   poll cycle — mio-style, dependency-free) and hands complete
+//!   requests to a bounded worker pool. Idle keep-alive clients cost a
+//!   buffer, not a thread, so connections scale past the pool;
 //!   backpressure (**503** once saturated, never an unbounded queue),
-//!   keep-alive connections, and graceful shutdown that drains
-//!   in-flight requests.
+//!   slowloris deadlines, and graceful drain are preserved from the
+//!   threaded predecessor.
 //! * [`client`] — a minimal blocking client (persistent keep-alive
 //!   connection) used by the CLI, benches, and integration tests.
 //!
@@ -30,6 +36,8 @@
 //! ```
 
 pub mod client;
+mod conn;
+mod event_loop;
 pub mod http;
 pub mod router;
 pub mod server;

@@ -1,37 +1,57 @@
-//! The threaded HTTP server.
+//! The server handle over the event-loop front end.
 //!
 //! ```text
-//!   accept thread ──try_send──▶ bounded queue ──▶ worker pool (N)
-//!        │ (full → 503, close)                       │ keep-alive loop
-//!        ▼                                           ▼
-//!   shutdown(): stop flag + self-connect wake;   drain queue, finish
-//!   stop accepting, drop sender                  in-flight, then exit
+//!   event-loop thread ──▶ owns accept + every connection's buffers
+//!        │  complete requests ──try_send──▶ bounded queue ──▶ workers
+//!        │  (full → 503)                      (handlers only)
+//!        ▼
+//!   shutdown(): stop flag; the loop stops accepting, closes idle
+//!   keep-alive connections, finishes in-flight requests, joins the
+//!   worker pool, exits.
 //! ```
 //!
-//! Backpressure is explicit: when every worker is busy and the queue is
-//! full, new connections are answered `503 Service Unavailable`
-//! immediately — the server never buffers unboundedly and never hangs a
-//! client waiting for a slot.
+//! Concurrency has two independent knobs now: `max_connections` bounds
+//! how many clients may sit on open keep-alive sockets (each costs a
+//! buffer), while `workers` bounds how many handlers execute at once
+//! (each costs a thread). An idle poller no longer pins a worker, so
+//! thousands of keep-alive clients can share a handful of workers.
+//!
+//! Backpressure is explicit at both edges: a connection beyond
+//! `max_connections` and a request that finds every worker busy with
+//! the queue full are both answered `503 Service Unavailable`
+//! immediately — the server never buffers unboundedly and never hangs
+//! a client waiting for a slot.
 
-use crate::http::{self, ReadLimits, ReadOutcome, Response};
+use crate::event_loop::{self, Shared};
+use crate::http;
 use crate::router::Router;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server construction options.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads; each owns one connection at a time.
+    /// Handler threads: how many requests *execute* concurrently.
     pub workers: usize,
-    /// Accepted connections that may wait for a worker beyond the ones
-    /// being served; the saturation threshold for 503 responses.
+    /// Parsed requests that may wait for a worker; the saturation
+    /// threshold for 503 responses.
     pub queue_depth: usize,
+    /// Open connections the event loop will hold at once (idle
+    /// keep-alive clients included); beyond it, accepts answer 503.
+    pub max_connections: usize,
     /// Per-request body cap.
+    ///
+    /// Worst-case request-buffer memory is `max_connections ×
+    /// (max_body_bytes + MAX_HEAD_BYTES)`: every connection may be
+    /// mid-upload simultaneously (the threaded predecessor bounded
+    /// concurrent uploads by `workers + queue_depth` instead). Facing
+    /// untrusted clients, size the two knobs together — e.g. the
+    /// defaults allow 1024 × 8 MiB ≈ 8 GiB and suit trusted LANs, not
+    /// the open internet.
     pub max_body_bytes: usize,
     /// Wall-clock budget for reading one request (slowloris guard).
     pub request_timeout: Duration,
@@ -42,24 +62,23 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 16,
             queue_depth: 32,
+            max_connections: 1024,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             request_timeout: Duration::from_secs(30),
         }
     }
 }
 
-/// How often blocked reads wake up to poll the shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-
-/// A running server. Dropping without [`Server::shutdown`] aborts
-/// without draining; call `shutdown` for a graceful stop.
+/// A running server. Dropping without [`Server::shutdown`] signals the
+/// event loop to drain on its own time without waiting for it; call
+/// `shutdown` for a joined graceful stop.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     requests: Arc<AtomicU64>,
     rejected: Arc<AtomicU64>,
+    open: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -75,37 +94,25 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
         let rejected = Arc::new(AtomicU64::new(0));
+        let open = Arc::new(AtomicU64::new(0));
+        let shared = Shared {
+            stop: stop.clone(),
+            requests: requests.clone(),
+            rejected: rejected.clone(),
+            open: open.clone(),
+        };
         let router = Arc::new(router);
-        let workers_n = config.workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(workers_n);
-        for i in 0..workers_n {
-            let rx = rx.clone();
-            let router = router.clone();
-            let stop = stop.clone();
-            let requests = requests.clone();
-            let config = config.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("httpd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &router, &stop, &requests, &config))
-                    .expect("spawn worker"),
-            );
-        }
-        let accept_stop = stop.clone();
-        let accept_rejected = rejected.clone();
-        let accept_handle = std::thread::Builder::new()
-            .name("httpd-accept".into())
-            .spawn(move || accept_loop(&listener, &tx, &accept_stop, &accept_rejected))
-            .expect("spawn acceptor");
+        let event_loop = std::thread::Builder::new()
+            .name("httpd-eventloop".into())
+            .spawn(move || event_loop::run(listener, router, config, shared))
+            .expect("spawn event loop");
         Ok(Server {
             addr,
             stop,
-            accept_handle: Some(accept_handle),
-            workers,
+            event_loop: Some(event_loop),
             requests,
             rejected,
+            open,
         })
     }
 
@@ -114,154 +121,42 @@ impl Server {
         self.addr
     }
 
-    /// Requests served so far.
+    /// Requests dispatched to handlers so far.
     pub fn requests_served(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Connections rejected with 503 so far.
+    /// Connections/requests rejected with 503 so far.
     pub fn connections_rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
     }
 
-    /// Graceful shutdown: stop accepting, drain queued connections,
-    /// finish in-flight requests, join every thread.
+    /// Connections currently open (idle keep-alive clients included).
+    pub fn connections_open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Live handle to the open-connections gauge, for embedding into a
+    /// metrics endpoint that outlives this borrow.
+    pub fn connections_open_gauge(&self) -> Arc<AtomicU64> {
+        self.open.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, close idle keep-alive
+    /// connections, finish in-flight requests, join every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept call.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    tx: &SyncSender<TcpStream>,
-    stop: &AtomicBool,
-    rejected: &AtomicU64,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break; // the wake connection (or a raced client) is dropped
-        }
-        let Ok(stream) = stream else { continue };
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
-                rejected.fetch_add(1, Ordering::Relaxed);
-                reject_saturated(stream);
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-    // Dropping `tx` lets workers drain the queue and exit.
-}
-
-/// Answers 503 on the accept thread and closes. The write is tiny and
-/// the socket buffer is empty, so this cannot stall the accept loop in
-/// any meaningful way.
-fn reject_saturated(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let _ = Response::text(503, "server saturated, retry later\n")
-        .header("Retry-After", "1")
-        .write_to(&mut stream, true);
-}
-
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    router: &Router,
-    stop: &AtomicBool,
-    requests: &AtomicU64,
-    config: &ServerConfig,
-) {
-    loop {
-        // Hold the lock only for the dequeue, not while serving.
-        let stream = match rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return,
-        };
-        match stream {
-            Ok(stream) => {
-                // A panicking handler must cost one connection, not a
-                // worker: the pool would otherwise shrink panic by
-                // panic until the server stops serving.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    serve_connection(stream, router, stop, requests, config);
-                }));
-                if result.is_err() {
-                    eprintln!("httpd: handler panicked; connection dropped");
-                }
-            }
-            Err(_) => return, // sender dropped and queue drained
-        }
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    router: &Router,
-    stop: &AtomicBool,
-    requests: &AtomicU64,
-    config: &ServerConfig,
-) {
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_nodelay(true);
-    let limits = ReadLimits {
-        max_body_bytes: config.max_body_bytes,
-        request_timeout: config.request_timeout,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let outcome = read_request_polled(&mut reader, limits, stop);
-        let stream = reader.get_mut();
-        match outcome {
-            ReadOutcome::Request(mut request) => {
-                requests.fetch_add(1, Ordering::Relaxed);
-                let response = router.dispatch(&mut request);
-                // Drain the connection after the response when either
-                // side wants it closed (incl. shutdown).
-                let close = request.wants_close() || stop.load(Ordering::SeqCst);
-                if response.write_to(stream, close).is_err() || close {
-                    return;
-                }
-            }
-            ReadOutcome::Closed => return,
-            ReadOutcome::Malformed(reason) => {
-                let _ = Response::text(400, format!("bad request: {reason}\n"))
-                    .write_to(stream, true);
-                return;
-            }
-            ReadOutcome::BodyTooLarge => {
-                let _ = Response::text(413, "request body too large\n").write_to(stream, true);
-                return;
-            }
-            ReadOutcome::TimedOut => {
-                let _ = Response::text(408, "request timed out\n").write_to(stream, true);
-                return;
-            }
-        }
-    }
-}
-
-fn read_request_polled(
-    reader: &mut BufReader<TcpStream>,
-    limits: ReadLimits,
-    stop: &AtomicBool,
-) -> ReadOutcome {
-    http::read_request(reader, limits, || stop.load(Ordering::SeqCst))
-}
-
-// Drop is intentionally not graceful (a leaked server must not hang
-// the process): it signals the threads and lets them wind down on
-// their own.
+// Drop is intentionally not joined (a leaked server must not hang the
+// process): it signals the event loop, which drains and winds down the
+// pool on its own.
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
     }
 }

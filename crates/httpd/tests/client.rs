@@ -1,0 +1,98 @@
+//! Client behaviour against a misbehaving server: a response truncated
+//! mid-body must surface as a clean, immediate error — never a hang,
+//! and never a silent re-send of a non-idempotent request on a fresh
+//! connection (the keep-alive retry is reserved for failures *before*
+//! any response byte).
+
+use httpd::Client;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reads one request (head + Content-Length body) off a blocking
+/// stream — just enough faithfulness for a fake server.
+fn read_one_request(stream: &mut std::net::TcpStream) -> bool {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => buf.push(byte[0]),
+            _ => return false,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let length = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::trim).map(str::to_string))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).is_ok()
+}
+
+#[test]
+fn truncated_response_body_is_a_clean_error_not_a_hang_or_replay() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let requests_seen = Arc::new(AtomicU64::new(0));
+    let counter = requests_seen.clone();
+
+    std::thread::spawn(move || {
+        // First connection: answer the GET fully (keep-alive), then
+        // truncate the POST's response body and slam the connection.
+        if let Ok((mut stream, _)) = listener.accept() {
+            if read_one_request(&mut stream) {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+                );
+            }
+            if read_one_request(&mut stream) {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nten bytes!",
+                );
+            }
+            drop(stream); // close with 90 body bytes owed
+        }
+        // Any further connection would be the buggy replay path: swallow
+        // the request and never respond, so a replay shows up as a hang.
+        while let Ok((mut stream, _)) = listener.accept() {
+            let _ = read_one_request(&mut stream);
+            counter.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_secs(30));
+        }
+    });
+
+    let mut client = Client::new(&addr).timeout(Duration::from_secs(10));
+    assert_eq!(client.get("/warm").unwrap().status, 200);
+
+    let t0 = Instant::now();
+    let err = client
+        .request("POST", "/pay", Some("application/json"), b"{\"amount\":1}")
+        .expect_err("a truncated response body must be an error");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "truncation must fail fast, not hang until a timeout ({:?})",
+        t0.elapsed()
+    );
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::InvalidData,
+        "truncation is InvalidData (not retry-safe UnexpectedEof): {err}"
+    );
+    assert!(
+        err.to_string().contains("mid-response"),
+        "error should say what happened: {err}"
+    );
+    // The non-idempotent POST was sent exactly once: no replay on a
+    // fresh connection.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        requests_seen.load(Ordering::SeqCst),
+        2,
+        "client replayed the POST after a truncated response"
+    );
+}

@@ -1,0 +1,163 @@
+//! The scaling bar for the event-loop front end: keep-alive clients
+//! far past the worker pool, all making progress, plus a mid-flight
+//! graceful shutdown that drains every in-flight request exactly once.
+//!
+//! Under the old worker-per-connection model the first test cannot
+//! pass at all: 256 persistent connections against 8 workers meant 8
+//! served clients and 248 stranded ones, because every idle keep-alive
+//! poller pinned a worker for its connection's lifetime.
+
+use httpd::{Client, Response, Router, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 256;
+const WORKERS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 10;
+
+#[test]
+fn hundreds_of_keepalive_clients_share_eight_workers() {
+    let served = Arc::new(AtomicU64::new(0));
+    let count = served.clone();
+    let router = Router::new().route("GET", "/hit", move |_| {
+        Response::text(200, count.fetch_add(1, Ordering::SeqCst).to_string())
+    });
+    let config = ServerConfig {
+        workers: WORKERS,
+        // The queue bounds *dispatch*, not connections: size it for the
+        // thundering herd below so backpressure (covered in server.rs
+        // tests) does not kick in here.
+        queue_depth: CLIENTS * 2,
+        max_connections: CLIENTS * 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", router, config).unwrap();
+    let addr = server.addr().to_string();
+
+    let connected = Arc::new(Barrier::new(CLIENTS + 1));
+    let release = Arc::new(Barrier::new(CLIENTS + 1));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let connected = connected.clone();
+            let release = release.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(&addr).timeout(Duration::from_secs(60));
+                // First request proves this connection is being served…
+                assert_eq!(client.get("/hit").unwrap().status, 200);
+                // …and now every other client's connection is ALSO open
+                // and idle (keep-alive) before anyone proceeds.
+                connected.wait();
+                release.wait();
+                for _ in 1..REQUESTS_PER_CLIENT {
+                    assert_eq!(client.get("/hit").unwrap().status, 200);
+                }
+            })
+        })
+        .collect();
+
+    connected.wait();
+    // All clients were served at least once WHILE all of them hold an
+    // open keep-alive connection — 32× more connections than workers.
+    assert!(
+        server.connections_open() >= CLIENTS as u64,
+        "expected ≥{CLIENTS} concurrent connections, gauge says {}",
+        server.connections_open()
+    );
+    release.wait();
+
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(served.load(Ordering::SeqCst), total, "a request was lost");
+    assert_eq!(server.requests_served(), total);
+    assert_eq!(
+        server.connections_rejected(),
+        0,
+        "no client may be starved into a 503"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_in_flight_request_exactly_once() {
+    const IN_FLIGHT: usize = 12; // 4 executing + 8 queued at shutdown
+    let released = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicU64::new(0));
+    let gate = released.clone();
+    let count = entered.clone();
+    let router = Router::new()
+        .route("GET", "/ping", |_| Response::text(200, "pong"))
+        .route("GET", "/gate", move |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Response::text(200, "drained")
+        });
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", router, config).unwrap();
+    let addr = server.addr().to_string();
+
+    // An idle keep-alive connection: shutdown must close it promptly
+    // instead of waiting on it.
+    let mut idle = Client::new(&addr).timeout(Duration::from_secs(5));
+    assert_eq!(idle.get("/ping").unwrap().status, 200);
+
+    let clients: Vec<_> = (0..IN_FLIGHT)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                Client::new(&addr)
+                    .timeout(Duration::from_secs(60))
+                    .get("/gate")
+                    .unwrap()
+            })
+        })
+        .collect();
+
+    // Wait until every request is in flight (dispatched into the pool
+    // or its queue) before pulling the plug.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.requests_served() < (IN_FLIGHT + 1) as u64 {
+        assert!(Instant::now() < deadline, "requests never dispatched");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let shutdown = std::thread::spawn(move || {
+        let t0 = Instant::now();
+        server.shutdown();
+        t0.elapsed()
+    });
+    // Shutdown must be *waiting* on the gated handlers, not done.
+    std::thread::sleep(Duration::from_millis(200));
+    released.store(true, Ordering::SeqCst);
+
+    // Every in-flight request is answered exactly once, each marked
+    // close because the server is draining.
+    for client in clients {
+        let resp = client.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "drained");
+        assert_eq!(resp.header("connection"), Some("close"));
+    }
+    let drain_time = shutdown.join().unwrap();
+    assert!(
+        drain_time >= Duration::from_millis(150),
+        "shutdown returned before in-flight requests finished ({drain_time:?})"
+    );
+    assert_eq!(
+        entered.load(Ordering::SeqCst),
+        IN_FLIGHT as u64,
+        "each in-flight request must run exactly once — no loss, no replay"
+    );
+    // The drained server is gone: the idle client's next request fails
+    // rather than hanging.
+    assert!(idle.get("/ping").is_err(), "server still serving after shutdown");
+}

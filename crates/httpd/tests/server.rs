@@ -180,6 +180,41 @@ fn malformed_and_oversized_requests_are_rejected() {
 }
 
 #[test]
+fn stalled_reader_cannot_pin_a_connection_slot_forever() {
+    use std::io::Write;
+    // A peer that requests a response far bigger than the socket
+    // buffers and then never reads it must be disconnected once the
+    // write deadline lapses — otherwise it pins a connection slot
+    // indefinitely and wedges graceful shutdown (which waits for every
+    // connection to drain).
+    let router = Router::new().route("GET", "/big", |_| {
+        Response::new(200).with_body(vec![b'x'; 16 * 1024 * 1024])
+    });
+    let config = ServerConfig {
+        request_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", router, config).unwrap();
+
+    let mut stalled = std::net::TcpStream::connect(server.addr()).unwrap();
+    stalled.write_all(b"GET /big HTTP/1.1\r\n\r\n").unwrap();
+    // Deliberately never read.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.connections_open() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled reader still holds its connection slot"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // And shutdown is not wedged by the (now gone) connection.
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(5), "shutdown hung");
+    drop(stalled);
+}
+
+#[test]
 fn concurrent_clients_multiplex_across_the_pool() {
     let counter = Arc::new(AtomicU64::new(0));
     let c = counter.clone();

@@ -9,7 +9,8 @@
 //! profipy-cli scan-dsl <file.dsl>          scan with a custom bug spec
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
-//! profipy-cli serve [ADDR] [--data-dir D]  boot the as-a-Service REST API
+//! profipy-cli serve [ADDR] [--data-dir D] [--workers N] [--max-conns N]
+//!                                          boot the as-a-Service REST API
 //! ```
 
 use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
@@ -53,8 +54,11 @@ fn usage() -> ExitCode {
          campaign <A|B|C> [--no-prune] run a paper §V campaign\n\
          viz <A|B|C> <point-id>        run one experiment, render its timeline\n\
          serve [ADDR] [--data-dir D]   boot the REST API (default 127.0.0.1:8080;\n\
-                                       with --data-dir the queue/checkpoints/cache\n\
-                                       persist and survive restarts)"
+               [--workers N]           with --data-dir the queue/checkpoints/cache\n\
+               [--max-conns N]         persist and survive restarts; --workers sizes\n\
+                                       the handler pool, --max-conns caps open\n\
+                                       keep-alive connections — idle pollers cost a\n\
+                                       buffer each, not a worker)"
     );
     ExitCode::from(2)
 }
@@ -164,7 +168,18 @@ fn main() -> ExitCode {
 fn serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut data_dir = None;
+    let mut api_config = ApiConfig::default();
     let mut rest = args.iter();
+    // Parses the `usize` value of `--flag N`.
+    let numeric = |flag: &str, value: Option<&String>| -> Result<usize, ExitCode> {
+        match value.map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => Ok(n),
+            _ => {
+                eprintln!("{flag} needs a positive number");
+                Err(ExitCode::from(2))
+            }
+        }
+    };
     while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--data-dir" => match rest.next() {
@@ -173,6 +188,14 @@ fn serve(args: &[String]) -> ExitCode {
                     eprintln!("--data-dir needs a directory");
                     return ExitCode::from(2);
                 }
+            },
+            "--workers" => match numeric("--workers", rest.next()) {
+                Ok(n) => api_config.http.workers = n,
+                Err(code) => return code,
+            },
+            "--max-conns" => match numeric("--max-conns", rest.next()) {
+                Ok(n) => api_config.http.max_connections = n,
+                Err(code) => return code,
             },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag '{flag}'");
@@ -193,7 +216,9 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let api = match ApiServer::serve(&addr, service, ApiConfig::default()) {
+    let workers = api_config.http.workers;
+    let max_conns = api_config.http.max_connections;
+    let api = match ApiServer::serve(&addr, service, api_config) {
         Ok(api) => api,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -208,6 +233,9 @@ fn serve(args: &[String]) -> ExitCode {
     println!("  GET  /api/sessions/:user/reports report history");
     println!("  GET  /metrics                    queue/cache counters");
     println!("  GET  /healthz                    liveness");
+    println!(
+        "limits: {max_conns} keep-alive connections over {workers} handler workers"
+    );
     println!("hosts: etcd (case study), noop — Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

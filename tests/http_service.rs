@@ -11,6 +11,7 @@ use campaign::{
     report_to_value, ApiConfig, ApiServer, CampaignService, CampaignSpec, EngineConfig,
     HostRegistry,
 };
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 const TARGET: &str = "def transfer(amount):
@@ -128,6 +129,53 @@ fn eight_concurrent_clients_get_byte_identical_reports() {
             "report missing from {user}'s session"
         );
     }
+}
+
+#[test]
+fn many_keepalive_pollers_share_a_tiny_worker_pool() {
+    // 64 persistent dashboard-style pollers against 4 HTTP workers:
+    // under the old worker-per-connection model only 4 of them would
+    // ever be served; the event loop serves all of them while a
+    // campaign executes in the background.
+    let config = ApiConfig {
+        http: httpd::ServerConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_connections: 512,
+            ..httpd::ServerConfig::default()
+        },
+        drive_batch: 8,
+    };
+    let api = ApiServer::serve("127.0.0.1:0", service(), config).unwrap();
+    let addr = api.addr().to_string();
+
+    let mut submitter = httpd::Client::new(&addr);
+    let resp = submitter
+        .post_json("/api/campaigns", &spec_for("crowd", 11).to_json())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+
+    const POLLERS: usize = 64;
+    let connected = Arc::new(Barrier::new(POLLERS + 1));
+    let handles: Vec<_> = (0..POLLERS)
+        .map(|_| {
+            let addr = addr.clone();
+            let connected = connected.clone();
+            std::thread::spawn(move || {
+                let mut poller = httpd::Client::new(&addr).timeout(Duration::from_secs(60));
+                assert_eq!(poller.get("/healthz").unwrap().status, 200);
+                connected.wait(); // all 64 keep-alive connections open
+                for _ in 0..10 {
+                    assert_eq!(poller.get("/metrics").unwrap().status, 200);
+                }
+            })
+        })
+        .collect();
+    connected.wait();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    api.shutdown();
 }
 
 #[test]
