@@ -1,0 +1,114 @@
+//! Fleet overhead: a campaign distributed to in-process worker agents
+//! over real loopback HTTP (register/lease/execute/upload) versus the
+//! same campaign driven through the single-node engine. The delta is
+//! the coordination tax — wire serialization, portable point
+//! re-binding, worker-side re-parse/re-prepare, and lease bookkeeping —
+//! which horizontal scale has to amortize.
+
+use campaign::{ApiConfig, CampaignService, CampaignSpec, EngineConfig, HostRegistry};
+use cluster::{FleetConfig, FleetServer, WorkerAgent, WorkerConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use profipy::case_study::etcd_host_factory;
+use std::time::{Duration, Instant};
+
+const SAMPLE: usize = 8;
+
+fn registry() -> HostRegistry {
+    HostRegistry::with_noop().with("etcd", etcd_host_factory())
+}
+
+fn spec(seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(
+        "bench",
+        "fleet-bench",
+        "etcd",
+        vec![
+            ("etcd".into(), targets::CLIENT_SOURCE.into()),
+            ("workload".into(), targets::WORKLOAD_BASIC.into()),
+        ],
+        targets::WORKLOAD_BASIC.into(),
+        faultdsl::campaign_a_model(),
+    );
+    spec.setup = vec![vec!["etcd-start".into()]];
+    spec.seed = seed;
+    spec.filter.modules.push("etcd".into());
+    spec.filter.sample = SAMPLE;
+    spec
+}
+
+fn run_distributed(workers: usize) {
+    let service = CampaignService::new(EngineConfig::default(), registry()).unwrap();
+    let fleet = FleetServer::serve(
+        "127.0.0.1:0",
+        service,
+        ApiConfig::default(),
+        FleetConfig {
+            lease_ttl: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(500),
+            tick_interval: Duration::from_millis(100),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = fleet.addr().to_string();
+    let mut client = httpd::Client::new(&addr);
+    let resp = client
+        .post_json("/api/campaigns", &spec(3).to_json())
+        .unwrap();
+    assert_eq!(resp.status, 201);
+    let id = jsonlite::parse(&resp.text())
+        .unwrap()
+        .req("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let agents: Vec<_> = (0..workers)
+        .map(|_| {
+            WorkerAgent::start(
+                WorkerConfig {
+                    parallelism: 2,
+                    idle_backoff: Duration::from_millis(5),
+                    idle_backoff_max: Duration::from_millis(20),
+                    ..WorkerConfig::new(addr.clone())
+                },
+                registry(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client.get(&format!("/api/campaigns/{id}")).unwrap();
+        let v = jsonlite::parse(&status.text()).unwrap();
+        match v.req("state").unwrap().as_str().unwrap() {
+            "completed" => break,
+            "failed" => panic!("campaign failed"),
+            _ => assert!(Instant::now() < deadline, "campaign stuck"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for agent in agents {
+        agent.stop();
+    }
+    fleet.shutdown();
+}
+
+fn run_single_node() {
+    let mut service = CampaignService::new(EngineConfig::default(), registry()).unwrap();
+    let id = service.submit(spec(3)).unwrap();
+    service.drive(None).unwrap();
+    assert!(service.engine().report(&id).is_some());
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SAMPLE as u64));
+    group.bench_function("single_node", |b| b.iter(run_single_node));
+    group.bench_function("fleet_2_workers", |b| b.iter(|| run_distributed(2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

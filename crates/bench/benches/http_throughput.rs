@@ -80,6 +80,7 @@ fn bench_http_throughput(c: &mut Criterion) {
             ..httpd::ServerConfig::default()
         },
         drive_batch: 8,
+        local_drive: true,
     };
     let api = ApiServer::serve("127.0.0.1:0", service(), config).expect("bind");
     let addr = api.addr().to_string();

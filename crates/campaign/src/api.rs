@@ -24,12 +24,19 @@ use httpd::{Request, Response, Router, Server, ServerConfig};
 use jsonlite::Value;
 use profipy::report::CampaignReport;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Nesting-depth cap applied to untrusted request bodies.
 const REQUEST_JSON_DEPTH: usize = 64;
+
+/// Safety-net park bound for an idle drive thread: with an empty queue
+/// the loop waits on the wake condvar instead of spinning, and this
+/// bounds how long a (hypothetical) missed wakeup could stall newly
+/// queued work. Submissions notify the condvar, so the normal idle
+/// cost is zero drive calls, not one per park.
+const DRIVE_IDLE_PARK: Duration = Duration::from_secs(5);
 
 /// API server options.
 #[derive(Clone, Debug)]
@@ -39,6 +46,10 @@ pub struct ApiConfig {
     /// Experiments per drive slice: small keeps poll latency low,
     /// large amortizes scheduling overhead.
     pub drive_batch: usize,
+    /// Whether to run the background drive thread that executes queued
+    /// campaigns in-process. Fleet coordinators disable it: their
+    /// campaigns are executed by remote workers, not the local pool.
+    pub local_drive: bool,
 }
 
 impl Default for ApiConfig {
@@ -46,14 +57,29 @@ impl Default for ApiConfig {
         ApiConfig {
             http: ServerConfig::default(),
             drive_batch: 8,
+            local_drive: true,
         }
     }
 }
+
+/// One pluggable metrics source: appends `(name, value)` gauges to the
+/// `/metrics` output (names are emitted with the `profipy_` prefix).
+pub type MetricsProvider = Box<dyn Fn(&mut Vec<(String, u64)>) + Send + Sync>;
 
 struct ApiState {
     service: Mutex<CampaignService>,
     api_requests: AtomicU64,
     drive_errors: Mutex<Option<String>>,
+    /// Drive slices executed so far — observable proof that an idle
+    /// server is *not* burning a core behind the service mutex.
+    drive_calls: AtomicU64,
+    /// Wake sequence for the drive thread: bumped (and notified) on
+    /// every submission so an idle, parked drive loop reacts
+    /// immediately instead of polling.
+    wake_seq: Mutex<u64>,
+    wake: Condvar,
+    /// Extra metrics sources mounted by extensions (the fleet surface).
+    metrics_ext: Mutex<Vec<MetricsProvider>>,
     /// The HTTP layer's live open-connections gauge; installed right
     /// after the server binds (the router is built first).
     http_open_connections: OnceLock<Arc<AtomicU64>>,
@@ -66,6 +92,70 @@ impl ApiState {
         self.service
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn notify_drive(&self) {
+        let mut seq = self.wake_seq.lock().unwrap_or_else(|p| p.into_inner());
+        *seq = seq.wrapping_add(1);
+        self.wake.notify_all();
+    }
+}
+
+/// A cloneable handle to the service shared by the API handlers — the
+/// extension point for mounting additional surfaces (the cluster
+/// crate's fleet routes) onto the same server and state.
+#[derive(Clone)]
+pub struct SharedService {
+    state: Arc<ApiState>,
+}
+
+impl SharedService {
+    /// Wraps a service for sharing. [`ApiServer::serve`] does this
+    /// internally; build one yourself to drive the service from both an
+    /// extension (e.g. a fleet coordinator) and the API server, or to
+    /// test extensions without HTTP.
+    pub fn new(service: CampaignService) -> SharedService {
+        SharedService {
+            state: Arc::new(ApiState {
+                service: Mutex::new(service),
+                api_requests: AtomicU64::new(0),
+                drive_errors: Mutex::new(None),
+                drive_calls: AtomicU64::new(0),
+                wake_seq: Mutex::new(0),
+                wake: Condvar::new(),
+                metrics_ext: Mutex::new(Vec::new()),
+                http_open_connections: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Locks the shared service (poison-recovering).
+    pub fn lock(&self) -> MutexGuard<'_, CampaignService> {
+        self.state.service()
+    }
+
+    /// Wakes the background drive thread. Call after submitting work
+    /// through [`SharedService::lock`] directly (the HTTP submission
+    /// handler already does).
+    pub fn notify_drive(&self) {
+        self.state.notify_drive();
+    }
+
+    /// Counts a request against the API's `http_requests_total` gauge —
+    /// for externally mounted routes.
+    pub fn count_request(&self) {
+        self.state.api_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers an extra metrics source appended to `/metrics`. Keep
+    /// captured state weak: providers live as long as the server state,
+    /// and a provider that strongly owns the state would leak it.
+    pub fn add_metrics(&self, provider: MetricsProvider) {
+        self.state
+            .metrics_ext
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(provider);
     }
 }
 
@@ -89,30 +179,50 @@ impl ApiServer {
         service: CampaignService,
         config: ApiConfig,
     ) -> Result<ApiServer, EngineError> {
-        let state = Arc::new(ApiState {
-            service: Mutex::new(service),
-            api_requests: AtomicU64::new(0),
-            drive_errors: Mutex::new(None),
-            http_open_connections: OnceLock::new(),
-        });
-        let router = build_router(state.clone());
+        ApiServer::serve_with(addr, SharedService::new(service), config, |router, _| router)
+    }
+
+    /// Boots the service over an externally created [`SharedService`],
+    /// letting `mount` add routes to the router before it binds (this
+    /// is how the cluster crate mounts the fleet surface onto the same
+    /// server). For [`ApiServer::shutdown`] to hand the service back,
+    /// every other `SharedService` clone must be dropped first.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve_with(
+        addr: &str,
+        shared: SharedService,
+        config: ApiConfig,
+        mount: impl FnOnce(Router, &SharedService) -> Router,
+    ) -> Result<ApiServer, EngineError> {
+        let state = shared.state.clone();
+        let router = mount(build_router(state.clone()), &shared);
+        drop(shared);
         let server = Server::bind(addr, router, config.http.clone())?;
         let _ = state
             .http_open_connections
             .set(server.connections_open_gauge());
         let stop = Arc::new(AtomicBool::new(false));
-        let drive_state = state.clone();
-        let drive_stop = stop.clone();
-        let batch = config.drive_batch.max(1);
-        let drive = std::thread::Builder::new()
-            .name("campaign-drive".into())
-            .spawn(move || drive_loop(&drive_state, &drive_stop, batch))
-            .expect("spawn drive thread");
+        let drive = if config.local_drive {
+            let drive_state = state.clone();
+            let drive_stop = stop.clone();
+            let batch = config.drive_batch.max(1);
+            Some(
+                std::thread::Builder::new()
+                    .name("campaign-drive".into())
+                    .spawn(move || drive_loop(&drive_state, &drive_stop, batch))
+                    .expect("spawn drive thread"),
+            )
+        } else {
+            None
+        };
         Ok(ApiServer {
             server: Some(server),
             state,
             stop,
-            drive: Some(drive),
+            drive,
         })
     }
 
@@ -126,6 +236,13 @@ impl ApiServer {
         self.state.api_requests.load(Ordering::Relaxed)
     }
 
+    /// Drive slices executed by the background thread so far. An idle
+    /// server performs no drive work: the loop parks on a condvar until
+    /// a submission wakes it (plus a coarse safety-net timeout).
+    pub fn drive_calls(&self) -> u64 {
+        self.state.drive_calls.load(Ordering::Relaxed)
+    }
+
     /// Graceful stop: drain in-flight HTTP requests, then let the
     /// drive thread finish its current slice and join it. Queued work
     /// survives in the engine (and on disk for persistent engines).
@@ -134,6 +251,7 @@ impl ApiServer {
             server.shutdown();
         }
         self.stop.store(true, Ordering::SeqCst);
+        self.state.notify_drive(); // unpark an idle drive thread
         if let Some(drive) = self.drive.take() {
             let _ = drive.join();
         }
@@ -151,8 +269,10 @@ impl ApiServer {
 
 fn drive_loop(state: &ApiState, stop: &AtomicBool, batch: usize) {
     while !stop.load(Ordering::SeqCst) {
-        // Drive unconditionally: on an empty queue `drive` is a cheap
-        // no-op returning zero campaigns, which maps to the idle sleep.
+        // Snapshot the wake sequence *before* driving: a submission
+        // that lands mid-drive bumps it, so the park below falls
+        // through instead of sleeping on work that already arrived.
+        let seq_before = *state.wake_seq.lock().unwrap_or_else(|p| p.into_inner());
         let worked = {
             let mut service = state.service();
             match service.drive(Some(batch)) {
@@ -166,9 +286,16 @@ fn drive_loop(state: &ApiState, stop: &AtomicBool, batch: usize) {
                 }
             }
         };
+        state.drive_calls.fetch_add(1, Ordering::Relaxed);
         if !worked {
-            // Idle (or wedged): yield the mutex to the handlers.
-            std::thread::sleep(Duration::from_millis(5));
+            // Idle (or wedged): park until a submission (or shutdown)
+            // notifies the condvar — an idle server performs no drive
+            // work at all between submissions, instead of pumping the
+            // service mutex in a tight loop.
+            let guard = state.wake_seq.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = state.wake.wait_timeout_while(guard, DRIVE_IDLE_PARK, |seq| {
+                *seq == seq_before && !stop.load(Ordering::SeqCst)
+            });
         }
     }
 }
@@ -214,16 +341,20 @@ fn submit_campaign(state: &ApiState, req: &Request) -> Response {
         Ok(spec) => spec,
         Err(e) => return error_response(422, &format!("invalid campaign spec: {e}")),
     };
-    let mut service = state.service();
-    match service.submit(spec) {
-        Ok(id) => Response::json(
-            201,
-            Value::obj(vec![
-                ("id", Value::str(&id)),
-                ("status_url", Value::str(format!("/api/campaigns/{id}"))),
-            ])
-            .pretty(),
-        ),
+    let outcome = state.service().submit(spec);
+    match outcome {
+        Ok(id) => {
+            // Wake the (possibly idle-parked) drive thread.
+            state.notify_drive();
+            Response::json(
+                201,
+                Value::obj(vec![
+                    ("id", Value::str(&id)),
+                    ("status_url", Value::str(format!("/api/campaigns/{id}"))),
+                ])
+                .pretty(),
+            )
+        }
         Err(e) => error_response(422, &e.message),
     }
 }
@@ -338,6 +469,7 @@ fn metrics(state: &ApiState, _req: &Request) -> Response {
         out.push_str(&format!("profipy_{name} {value}\n"));
     };
     gauge("http_requests_total", state.api_requests.load(Ordering::Relaxed));
+    gauge("drive_calls_total", state.drive_calls.load(Ordering::Relaxed));
     gauge(
         "http_open_connections",
         state
@@ -359,6 +491,20 @@ fn metrics(state: &ApiState, _req: &Request) -> Response {
     gauge("cache_prepare_misses", stats.prepare_misses);
     gauge("cache_coverage_hits", stats.coverage_hits);
     gauge("cache_coverage_misses", stats.coverage_misses);
+    // Extension gauges (e.g. the fleet surface) — collected without the
+    // service lock held, so providers may take their own locks freely.
+    let mut extra: Vec<(String, u64)> = Vec::new();
+    for provider in state
+        .metrics_ext
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
+        provider(&mut extra);
+    }
+    for (name, value) in extra {
+        gauge(&name, value);
+    }
     Response::text(200, out)
 }
 
@@ -376,7 +522,11 @@ fn healthz(state: &ApiState, _req: &Request) -> Response {
 
 // ---------- helpers & codecs ----------
 
-fn json_body(req: &Request) -> Result<Value, Box<Response>> {
+/// Parses an untrusted request body as depth-limited JSON; the error
+/// side is the ready-to-send 400. Shared by every surface mounted on
+/// this server (the fleet routes included) so body hardening can never
+/// drift between them.
+pub fn json_body(req: &Request) -> Result<Value, Box<Response>> {
     let text = req
         .body_text()
         .map_err(|_| Box::new(error_response(400, "body must be UTF-8 JSON")))?;
@@ -384,7 +534,8 @@ fn json_body(req: &Request) -> Result<Value, Box<Response>> {
         .map_err(|e| Box::new(error_response(400, &format!("malformed JSON: {e}"))))
 }
 
-fn error_response(status: u16, message: &str) -> Response {
+/// The API's uniform JSON error payload.
+pub fn error_response(status: u16, message: &str) -> Response {
     Response::json(
         status,
         Value::obj(vec![("error", Value::str(message))]).pretty(),
@@ -569,6 +720,62 @@ mod tests {
     }
 
     #[test]
+    fn idle_server_performs_no_drive_work_between_submissions() {
+        let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+        let addr = api.addr().to_string();
+        // Let the drive thread run its boot slice (empty queue) and
+        // park.
+        std::thread::sleep(Duration::from_millis(250));
+        let settled = api.drive_calls();
+        assert!(settled >= 1, "boot slice ran");
+        // Idle: no submissions, so the parked loop must not pump the
+        // service mutex — the drive counter stays frozen.
+        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(
+            api.drive_calls(),
+            settled,
+            "idle server performed drive work"
+        );
+        // A submission wakes it immediately and the campaign completes.
+        let mut client = httpd::Client::new(&addr);
+        let resp = client
+            .post_json("/api/campaigns", &noop_spec("ida", "wake").to_json())
+            .unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.text());
+        let id = jsonlite::parse(&resp.text())
+            .unwrap()
+            .req("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let status = client.get(&format!("/api/campaigns/{id}")).unwrap();
+            let state = jsonlite::parse(&status.text())
+                .unwrap()
+                .req("state")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            if state == "completed" {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "woken campaign stuck in {state}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(api.drive_calls() > settled, "drive thread woke on submit");
+        // The counter is also visible on /metrics.
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("profipy_drive_calls_total"), "{metrics}");
+        api.shutdown();
+    }
+
+    #[test]
     fn api_rejects_bad_input() {
         let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
         let addr = api.addr().to_string();
@@ -653,6 +860,7 @@ mod tests {
                 ..httpd::ServerConfig::default()
             },
             drive_batch: 8,
+            local_drive: true,
         };
         let api = ApiServer::serve("127.0.0.1:0", service(), config).unwrap();
         let addr = api.addr().to_string();

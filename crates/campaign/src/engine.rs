@@ -29,6 +29,7 @@ use profipy::analysis::FailureClassifier;
 use profipy::report::CampaignReport;
 use profipy::workflow::HostFactory;
 use profipy::{ExperimentResult, InjectionPlan};
+use pysrc::Module;
 use sandbox::{ParallelExecutor, SourceFile};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -113,6 +114,31 @@ pub struct JobStatus {
     pub total_experiments: Option<usize>,
     /// Fatal error, if the job failed.
     pub error: Option<String>,
+}
+
+/// A campaign checked out of the queue for external (distributed)
+/// execution: everything a coordinator needs to farm the pending
+/// experiments out to remote workers and to record their results.
+///
+/// Produced by [`CampaignEngine::checkout_next`]; must be returned via
+/// [`CampaignEngine::checkin`] (completing or requeueing the job) —
+/// dropping it instead leaves the job `Running` until the engine is
+/// reopened, exactly like a crash would.
+pub struct CheckedOutCampaign {
+    /// The queue job id.
+    pub id: String,
+    /// The campaign definition.
+    pub spec: CampaignSpec,
+    /// Planned experiment count (checkpointed results included).
+    pub total: usize,
+    /// The parsed fault-free target modules — required to serialize
+    /// injection points portably for the wire.
+    pub modules: Arc<Vec<Module>>,
+    /// Experiments still to run: `(point, rendered container sources)`.
+    pub pending: Vec<(InjectionPoint, Arc<Vec<SourceFile>>)>,
+    /// The campaign's checkpoint log; the caller records every remote
+    /// result here (durably, completion order).
+    pub checkpoint: CheckpointLog,
 }
 
 /// What one `drive` call did.
@@ -365,6 +391,86 @@ impl CampaignEngine {
         }
         run_outcome?;
         Ok(summary)
+    }
+
+    /// Checks the next queued campaign out of the queue for **external
+    /// execution** — the distributed-fleet analogue of `drive`. The
+    /// campaign is prepared exactly like a local drive would (cache
+    /// reuse, coverage pruning, mutation failures recorded into the
+    /// checkpoint), but instead of running the pending experiments this
+    /// hands them — points plus rendered container sources — to the
+    /// caller. The job stays `Running` until [`CampaignEngine::checkin`]
+    /// returns it.
+    ///
+    /// A campaign whose preparation fails is marked failed and the next
+    /// queued one is tried; `None` means the queue is drained.
+    ///
+    /// # Errors
+    ///
+    /// Queue/checkpoint I/O failures.
+    pub fn checkout_next(&mut self) -> Result<Option<CheckedOutCampaign>, EngineError> {
+        loop {
+            let Some(id) = self.queue.take_next()? else {
+                return Ok(None);
+            };
+            let spec = self.queue.get(&id).expect("taken job exists").spec.clone();
+            match self.prepare(&id, &spec) {
+                Ok(campaign) => {
+                    let total = self.totals.get(&id).copied().unwrap_or(0);
+                    return Ok(Some(CheckedOutCampaign {
+                        id,
+                        spec,
+                        total,
+                        modules: Arc::new(campaign.workflow.modules().to_vec()),
+                        pending: campaign.pending,
+                        checkpoint: campaign.checkpoint,
+                    }));
+                }
+                Err(e) => {
+                    self.queue.fail(&id, &e.message)?;
+                }
+            }
+        }
+    }
+
+    /// Returns a checked-out campaign. Every result the caller recorded
+    /// into the campaign's checkpoint is durable at this point; if all
+    /// planned experiments are in, the job completes and its report is
+    /// built through the **same code path as `drive`** (the distributed
+    /// report is byte-identical to a single-node run by construction).
+    /// Otherwise the job goes back to the queue and a later checkout
+    /// resumes from the checkpoint.
+    ///
+    /// Returns whether the campaign completed.
+    ///
+    /// # Errors
+    ///
+    /// Queue I/O failures.
+    pub fn checkin(&mut self, campaign: CheckedOutCampaign) -> Result<bool, EngineError> {
+        let CheckedOutCampaign {
+            id,
+            spec,
+            total,
+            checkpoint,
+            ..
+        } = campaign;
+        let spec_hash = checkpoint.spec_hash();
+        let results = checkpoint.into_results();
+        let done = results.len();
+        if self.checkpoint_dir.is_none() {
+            // Carry in-memory checkpoints across checkouts, exactly as
+            // `drive` does across drives.
+            self.mem_logs.insert(id.clone(), (spec_hash, results.clone()));
+        }
+        if done >= total {
+            let report = Self::build_report(&spec, total, None, results, &self.classifier);
+            self.reports.insert(id.clone(), report);
+            self.queue.complete(&id)?;
+            Ok(true)
+        } else {
+            self.queue.requeue(&id)?;
+            Ok(false)
+        }
     }
 
     /// Builds everything one campaign needs to be scheduled, reusing

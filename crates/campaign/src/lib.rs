@@ -62,10 +62,13 @@ pub mod scheduler;
 pub mod service;
 pub mod spec;
 
-pub use api::{report_to_value, status_to_value, ApiConfig, ApiServer};
+pub use api::{report_to_value, status_to_value, ApiConfig, ApiServer, SharedService};
 pub use cache::{CacheStats, MutantCache};
 pub use checkpoint::CheckpointLog;
-pub use engine::{CampaignEngine, DriveSummary, EngineConfig, EngineError, HostRegistry, JobStatus};
+pub use engine::{
+    CampaignEngine, CheckedOutCampaign, DriveSummary, EngineConfig, EngineError, HostRegistry,
+    JobStatus,
+};
 pub use persist::{result_from_value, result_to_value, results_equivalent};
 pub use queue::{JobQueue, JobState, QueuedJob};
 pub use service::CampaignService;

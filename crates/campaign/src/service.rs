@@ -3,7 +3,10 @@
 //! cache) behind one submit/poll/resume surface — the paper's
 //! "as-a-Service" story made asynchronous and crash-tolerant.
 
-use crate::engine::{CampaignEngine, DriveSummary, EngineConfig, EngineError, HostRegistry, JobStatus};
+use crate::engine::{
+    CampaignEngine, CheckedOutCampaign, DriveSummary, EngineConfig, EngineError, HostRegistry,
+    JobStatus,
+};
 use crate::spec::CampaignSpec;
 use profipy::service::ProfipyService;
 use std::collections::BTreeSet;
@@ -70,6 +73,31 @@ impl CampaignService {
     /// Checkpoint persistence failures.
     pub fn resume(&mut self) -> Result<DriveSummary, EngineError> {
         self.drive(None)
+    }
+
+    /// Checks the next queued campaign out for distributed execution
+    /// (see [`CampaignEngine::checkout_next`]).
+    ///
+    /// # Errors
+    ///
+    /// Queue/checkpoint persistence failures.
+    pub fn checkout_next(&mut self) -> Result<Option<CheckedOutCampaign>, EngineError> {
+        self.engine.checkout_next()
+    }
+
+    /// Returns a checked-out campaign, completing it if all results are
+    /// recorded (the report is then also delivered into the owning
+    /// session, exactly as a locally driven completion would be).
+    ///
+    /// # Errors
+    ///
+    /// Queue persistence failures.
+    pub fn checkin(&mut self, campaign: CheckedOutCampaign) -> Result<bool, EngineError> {
+        let completed = self.engine.checkin(campaign)?;
+        if completed {
+            self.deliver_completed();
+        }
+        Ok(completed)
     }
 
     /// The underlying engine (cache stats, raw results, cancellation).

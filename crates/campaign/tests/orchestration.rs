@@ -242,3 +242,72 @@ fn unknown_host_is_rejected_at_submit() {
     let err = engine.submit(etcd_spec("alice", "x", 1)).unwrap_err();
     assert!(err.message.contains("unknown host"), "{}", err.message);
 }
+
+#[test]
+fn checkout_checkin_reports_match_drive_byte_for_byte() {
+    // The distributed-execution surface: checking a campaign out,
+    // recording its experiments externally, and checking it back in
+    // must produce a report byte-identical to a locally driven run —
+    // the engine-level half of the cluster determinism invariant.
+    let spec = etcd_spec("alice", "dist", 5);
+
+    // Reference: locally driven.
+    let mut reference = CampaignEngine::new(EngineConfig::default(), etcd_registry()).unwrap();
+    let ref_id = reference.submit(spec.clone()).unwrap();
+    reference.drive(None).unwrap();
+    let expected = campaign::report_to_value(&reference.report(&ref_id).unwrap()).pretty();
+
+    // Distributed: checkout, execute the pending jobs "remotely" (the
+    // same deterministic workflow path a worker agent uses, completion
+    // order scrambled), check back in.
+    let mut engine = CampaignEngine::new(EngineConfig::default(), etcd_registry()).unwrap();
+    let id = engine.submit(spec.clone()).unwrap();
+    let mut checkout = engine.checkout_next().unwrap().expect("queued campaign");
+    assert_eq!(checkout.id, id);
+    assert!(!checkout.pending.is_empty());
+    let workflow = spec
+        .build_workflow(etcd_registry().get("etcd").unwrap(), Default::default())
+        .unwrap();
+    let mut jobs = std::mem::take(&mut checkout.pending);
+    jobs.reverse(); // completion order must not matter
+    for (point, sources) in &jobs {
+        let result = workflow.run_experiment_with_sources(point, sources);
+        checkout.checkpoint.record(&result).unwrap();
+    }
+    let completed = engine.checkin(checkout).unwrap();
+    assert!(completed, "all results recorded → completed");
+    assert_eq!(engine.poll(&id).unwrap().state, JobState::Completed);
+    let report = campaign::report_to_value(&engine.report(&id).unwrap()).pretty();
+    assert_eq!(report, expected, "checkout/checkin diverged from drive");
+
+    // A partial checkin requeues and a later checkout resumes from the
+    // checkpoint instead of restarting.
+    let mut partial = CampaignEngine::new(EngineConfig::default(), etcd_registry()).unwrap();
+    let pid = partial.submit(spec).unwrap();
+    let mut first = partial.checkout_next().unwrap().unwrap();
+    let pending = std::mem::take(&mut first.pending);
+    let (head, tail) = pending.split_at(2);
+    for (point, sources) in head {
+        first
+            .checkpoint
+            .record(&workflow.run_experiment_with_sources(point, sources))
+            .unwrap();
+    }
+    assert!(!partial.checkin(first).unwrap(), "incomplete → requeued");
+    assert_eq!(partial.poll(&pid).unwrap().state, JobState::Queued);
+    let mut second = partial.checkout_next().unwrap().unwrap();
+    assert_eq!(
+        second.pending.len(),
+        tail.len(),
+        "resume skips checkpointed experiments"
+    );
+    for (point, sources) in std::mem::take(&mut second.pending) {
+        second
+            .checkpoint
+            .record(&workflow.run_experiment_with_sources(&point, &sources))
+            .unwrap();
+    }
+    assert!(partial.checkin(second).unwrap());
+    let resumed = campaign::report_to_value(&partial.report(&pid).unwrap()).pretty();
+    assert_eq!(resumed, expected, "resumed distributed run diverged");
+}

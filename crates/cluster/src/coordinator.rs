@@ -1,0 +1,734 @@
+//! The fleet coordinator: time-bounded leases over the campaign queue.
+//!
+//! ```text
+//!  JobQueue ──checkout_next──▶ ActiveCampaign (pending experiments)
+//!                                   │ lease(worker, n)
+//!                                   ▼
+//!                              in-flight (worker, deadline)
+//!                      ┌────────────┼──────────────┐
+//!             heartbeat│     results│         miss │ (tick past deadline)
+//!        deadline +=ttl│   checkpoint.record       │ requeued exactly once
+//!                      └────────────┼──────────────┘
+//!                                   ▼  all planned results recorded
+//!                          CampaignService::checkin ──▶ report
+//! ```
+//!
+//! Invariants the tests pin:
+//!
+//! * an expired lease requeues each of its unresulted jobs **exactly
+//!   once** (the lease is removed as it expires, so a later tick cannot
+//!   requeue again);
+//! * result upload is **idempotent** — the first write wins, duplicates
+//!   are counted and dropped, so a slow worker racing its own expired
+//!   lease can never double-record an experiment;
+//! * completion goes through [`campaign::CampaignEngine::checkin`], the
+//!   same report-building path a single-node drive uses, which is what
+//!   makes the distributed report byte-identical to the local one.
+//!
+//! All time-dependent operations take an explicit `now` in their `_at`
+//! variants; the public wrappers use `Instant::now()`. Tests drive the
+//! `_at` forms with synthetic instants — no sleeps, no flakes.
+
+use campaign::{CampaignSpec, CheckedOutCampaign, EngineError, SharedService};
+use injector::InjectionPoint;
+use profipy::ExperimentResult;
+use pysrc::Module;
+use sandbox::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Coordinator options.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// How long a lease stays valid without a heartbeat; a worker that
+    /// misses it gets its leased jobs requeued.
+    pub lease_ttl: Duration,
+    /// Heartbeat cadence advertised to workers (keep well under
+    /// `lease_ttl`).
+    pub heartbeat_interval: Duration,
+    /// Most jobs handed out per lease request.
+    pub lease_batch_max: usize,
+    /// Cadence of the server's lease-expiry sweep.
+    pub tick_interval: Duration,
+    /// Where the worker registry log lives (`None` = in-memory only).
+    /// Registrations appended here survive a coordinator restart, so a
+    /// worker keeps its id across coordinator redeploys.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            lease_ttl: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_secs(2),
+            lease_batch_max: 16,
+            tick_interval: Duration::from_millis(250),
+            data_dir: None,
+        }
+    }
+}
+
+/// Coordinator-level errors, mapped to HTTP statuses by the server.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The worker id is not registered (HTTP 404).
+    UnknownWorker(String),
+    /// The campaign engine failed (HTTP 500).
+    Engine(EngineError),
+    /// Checkpoint/registry I/O failed (HTTP 500).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownWorker(id) => write!(f, "unknown worker '{id}'"),
+            FleetError::Engine(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One experiment handed to a worker.
+pub struct LeasedJob {
+    /// Owning campaign (queue job id).
+    pub campaign: String,
+    /// The injection point to exercise.
+    pub point: InjectionPoint,
+    /// Pre-rendered container sources.
+    pub sources: Arc<Vec<SourceFile>>,
+    /// The campaign's fault-free modules — needed to serialize the
+    /// point portably for the wire.
+    pub modules: Arc<Vec<Module>>,
+}
+
+/// What one lease request granted.
+pub struct LeaseGrant {
+    /// The experiments, oldest campaign first.
+    pub jobs: Vec<LeasedJob>,
+    /// Specs of campaigns the worker did not previously know.
+    pub new_campaigns: Vec<(String, CampaignSpec)>,
+}
+
+/// What one result upload did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResultsSummary {
+    /// Results recorded for the first time.
+    pub accepted: u64,
+    /// Results already recorded (first write won) or for campaigns
+    /// already completed.
+    pub duplicates: u64,
+    /// Campaigns this upload completed.
+    pub completed: Vec<String>,
+}
+
+struct WorkerInfo {
+    parallelism: usize,
+    /// Last contact (register/lease/heartbeat/results) — `None` for a
+    /// worker restored from the registry log that has not phoned in
+    /// since the coordinator (re)started.
+    last_contact: Option<Instant>,
+}
+
+struct InFlight {
+    worker: String,
+    point: InjectionPoint,
+    sources: Arc<Vec<SourceFile>>,
+}
+
+struct ActiveCampaign {
+    checkout: CheckedOutCampaign,
+    pending: VecDeque<(InjectionPoint, Arc<Vec<SourceFile>>)>,
+    in_flight: BTreeMap<u64, InFlight>,
+    requeues: BTreeMap<u64, u64>,
+    /// Point ids recorded in the checkpoint — kept incrementally so the
+    /// per-result idempotence check is a set probe, not a rebuild of
+    /// the full completed set under the fleet lock.
+    done: BTreeSet<u64>,
+}
+
+struct Lease {
+    jobs: Vec<(String, u64)>,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    leases_granted: u64,
+    leases_expired: u64,
+    jobs_leased: u64,
+    jobs_requeued: u64,
+    results_accepted: u64,
+    results_duplicate: u64,
+    campaigns_completed: u64,
+}
+
+struct FleetState {
+    workers: BTreeMap<String, WorkerInfo>,
+    next_worker_seq: u64,
+    active: BTreeMap<String, ActiveCampaign>,
+    leases: BTreeMap<String, Lease>,
+    counters: Counters,
+}
+
+/// The coordinator. Thread-safe behind its own mutex; lock order is
+/// always fleet state **then** the shared service (the `/metrics`
+/// handler drops the service lock before reading fleet gauges, so the
+/// orders never cross).
+pub struct Coordinator {
+    service: SharedService,
+    config: FleetConfig,
+    state: Mutex<FleetState>,
+    registry_path: Option<PathBuf>,
+    /// Set during shutdown: leases stop checking campaigns out, so a
+    /// request racing the drain cannot strand a job in `Running`.
+    draining: std::sync::atomic::AtomicBool,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over a shared service, reloading the
+    /// worker registry from `config.data_dir` if set.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or creating the registry log.
+    pub fn new(service: SharedService, config: FleetConfig) -> io::Result<Coordinator> {
+        let registry_path = match &config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(dir.join("fleet-workers.jsonl"))
+            }
+            None => None,
+        };
+        let mut workers = BTreeMap::new();
+        let mut next_worker_seq = 0u64;
+        if let Some(path) = &registry_path {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                for line in text.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    // Torn tail from a crash mid-append: keep the valid
+                    // prefix, drop the rest (the checkpoint idiom).
+                    let Ok(v) = jsonlite::parse(line) else { break };
+                    let (Some(id), Some(parallelism)) = (
+                        v.get("id").and_then(jsonlite::Value::as_str),
+                        v.get("parallelism").and_then(jsonlite::Value::as_u64),
+                    ) else {
+                        break;
+                    };
+                    if let Some(seq) = id
+                        .strip_prefix("worker-")
+                        .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        next_worker_seq = next_worker_seq.max(seq);
+                    }
+                    workers.insert(
+                        id.to_string(),
+                        WorkerInfo {
+                            parallelism: parallelism as usize,
+                            last_contact: None,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(Coordinator {
+            service,
+            config,
+            state: Mutex::new(FleetState {
+                workers,
+                next_worker_seq,
+                active: BTreeMap::new(),
+                leases: BTreeMap::new(),
+                counters: Counters::default(),
+            }),
+            registry_path,
+            draining: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The configuration (the server advertises the timing knobs to
+    /// registering workers).
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FleetState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers a worker; returns its assigned id. Durable when the
+    /// coordinator has a data dir: the id survives a coordinator
+    /// restart.
+    ///
+    /// # Errors
+    ///
+    /// Registry-log I/O failures.
+    pub fn register(&self, parallelism: usize) -> io::Result<String> {
+        let mut state = self.lock();
+        state.next_worker_seq += 1;
+        let id = format!("worker-{:06}", state.next_worker_seq);
+        state.workers.insert(
+            id.clone(),
+            WorkerInfo {
+                parallelism: parallelism.max(1),
+                last_contact: Some(Instant::now()),
+            },
+        );
+        drop(state);
+        if let Some(path) = &self.registry_path {
+            let line = jsonlite::Value::obj(vec![
+                ("id", jsonlite::Value::str(&id)),
+                ("parallelism", jsonlite::Value::UInt(parallelism.max(1) as u64)),
+            ])
+            .compact();
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            writeln!(file, "{line}")?;
+            file.sync_data()?;
+        }
+        Ok(id)
+    }
+
+    /// Extends a worker's lease (if any) and refreshes its liveness.
+    /// Returns whether a lease was extended.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id.
+    pub fn heartbeat(&self, worker: &str) -> Result<bool, FleetError> {
+        self.heartbeat_at(worker, Instant::now())
+    }
+
+    /// [`Coordinator::heartbeat`] at an explicit instant.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id.
+    pub fn heartbeat_at(&self, worker: &str, now: Instant) -> Result<bool, FleetError> {
+        let mut state = self.lock();
+        let info = state
+            .workers
+            .get_mut(worker)
+            .ok_or_else(|| FleetError::UnknownWorker(worker.to_string()))?;
+        info.last_contact = Some(now);
+        match state.leases.get_mut(worker) {
+            Some(lease) => {
+                lease.deadline = now + self.config.lease_ttl;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Grants up to `max_jobs` experiments to a worker, checking more
+    /// campaigns out of the queue as needed, and (re)starts the
+    /// worker's lease clock. `known` is the set of campaign ids the
+    /// worker already holds specs for — only unknown specs are
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id; engine
+    /// failures checking campaigns out.
+    pub fn lease(
+        &self,
+        worker: &str,
+        max_jobs: usize,
+        known: &BTreeSet<String>,
+    ) -> Result<LeaseGrant, FleetError> {
+        self.lease_at(worker, max_jobs, known, Instant::now())
+    }
+
+    /// [`Coordinator::lease`] at an explicit instant.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id; engine
+    /// failures checking campaigns out.
+    pub fn lease_at(
+        &self,
+        worker: &str,
+        max_jobs: usize,
+        known: &BTreeSet<String>,
+        now: Instant,
+    ) -> Result<LeaseGrant, FleetError> {
+        {
+            let mut state = self.lock();
+            let info = state
+                .workers
+                .get_mut(worker)
+                .ok_or_else(|| FleetError::UnknownWorker(worker.to_string()))?;
+            info.last_contact = Some(now);
+            // A new lease supersedes the worker's previous one: our
+            // (sequential pull-loop) workers only re-lease after their
+            // last batch is fully uploaded, so any job still listed was
+            // *dropped* — upload retries exhausted, or the job skipped
+            // because the campaign could not be rebuilt locally.
+            // Requeue those now; waiting for expiry would never fire,
+            // since the live worker's contacts keep extending the
+            // deadline.
+            if let Some(prev) = state.leases.remove(worker) {
+                Self::requeue_lease_jobs(&mut state, &prev, worker);
+            }
+        }
+        let want = max_jobs.clamp(1, self.config.lease_batch_max);
+        let mut jobs: Vec<LeasedJob> = Vec::new();
+        let fill = loop {
+            // Fill from campaigns already checked out, oldest job id
+            // first (BTreeMap order — queue ids are sequential). Jobs
+            // are popped off `pending` here and only become in-flight
+            // when the lease is finalized below.
+            {
+                let mut state = self.lock();
+                for (id, c) in state.active.iter_mut() {
+                    while jobs.len() < want {
+                        let Some((point, sources)) = c.pending.pop_front() else {
+                            break;
+                        };
+                        jobs.push(LeasedJob {
+                            campaign: id.clone(),
+                            point,
+                            sources,
+                            modules: c.checkout.modules.clone(),
+                        });
+                    }
+                    if jobs.len() >= want {
+                        break;
+                    }
+                }
+            }
+            if jobs.len() >= want {
+                break Ok(());
+            }
+            // Not enough pending work: check the next queued campaign
+            // out of the engine (fairness order) — unless a shutdown
+            // drain is in progress, in which case new checkouts would
+            // be stranded. Preparation can be expensive (parse, scan,
+            // mutant rendering), so it runs WITHOUT the fleet lock:
+            // heartbeats, uploads, and expiry ticks proceed meanwhile.
+            if self.draining.load(std::sync::atomic::Ordering::SeqCst) {
+                break Ok(());
+            }
+            let checked = {
+                let mut service = self.service.lock();
+                match service.checkout_next() {
+                    Ok(Some(checkout)) if checkout.pending.is_empty() => {
+                        // Nothing to distribute (empty plan, or every
+                        // point failed mutation and was pre-recorded):
+                        // complete or requeue it right here.
+                        match service.checkin(checkout) {
+                            Ok(_) => continue,
+                            Err(e) => break Err(FleetError::Engine(e)),
+                        }
+                    }
+                    Ok(other) => other,
+                    Err(e) => break Err(FleetError::Engine(e)),
+                }
+            };
+            let Some(mut checkout) = checked else {
+                break Ok(()); // queue drained
+            };
+            let id = checkout.id.clone();
+            let pending: VecDeque<_> =
+                std::mem::take(&mut checkout.pending).into_iter().collect();
+            let done = checkout.checkpoint.completed_ids();
+            self.lock().active.insert(
+                id,
+                ActiveCampaign {
+                    checkout,
+                    pending,
+                    in_flight: BTreeMap::new(),
+                    requeues: BTreeMap::new(),
+                    done,
+                },
+            );
+        };
+        let mut state = self.lock();
+        if let Err(e) = fill {
+            // Return the gathered-but-never-leased jobs to their pools
+            // so an engine failure cannot strand them.
+            for job in jobs {
+                if let Some(c) = state.active.get_mut(&job.campaign) {
+                    c.pending.push_front((job.point, job.sources));
+                }
+            }
+            return Err(e);
+        }
+        // Finalize: mark the jobs in-flight and record the lease (the
+        // worker's clock restarts on any grant, including an empty one
+        // — the contact proves it is alive).
+        for job in &jobs {
+            if let Some(c) = state.active.get_mut(&job.campaign) {
+                c.in_flight.insert(
+                    job.point.id,
+                    InFlight {
+                        worker: worker.to_string(),
+                        point: job.point.clone(),
+                        sources: job.sources.clone(),
+                    },
+                );
+            }
+        }
+        let deadline = now + self.config.lease_ttl;
+        let lease = state.leases.entry(worker.to_string()).or_insert(Lease {
+            jobs: Vec::new(),
+            deadline,
+        });
+        lease.deadline = deadline;
+        for job in &jobs {
+            lease.jobs.push((job.campaign.clone(), job.point.id));
+        }
+        state.counters.leases_granted += 1;
+        state.counters.jobs_leased += jobs.len() as u64;
+        // Ship specs the worker lacks.
+        let mut new_campaigns: Vec<(String, CampaignSpec)> = Vec::new();
+        for job in &jobs {
+            if known.contains(&job.campaign)
+                || new_campaigns.iter().any(|(id, _)| id == &job.campaign)
+            {
+                continue;
+            }
+            let spec = state.active[&job.campaign].checkout.spec.clone();
+            new_campaigns.push((job.campaign.clone(), spec));
+        }
+        Ok(LeaseGrant { jobs, new_campaigns })
+    }
+
+    /// Requeues a lease's still-unresulted jobs (shared by expiry and
+    /// lease supersession). Jobs whose in-flight entry no longer names
+    /// `worker` — resulted, or requeued and re-leased elsewhere — are
+    /// left alone.
+    fn requeue_lease_jobs(state: &mut FleetState, lease: &Lease, worker: &str) -> usize {
+        let mut requeued = 0usize;
+        for (campaign_id, point_id) in &lease.jobs {
+            let Some(c) = state.active.get_mut(campaign_id) else {
+                continue; // campaign completed meanwhile
+            };
+            let owned = c
+                .in_flight
+                .get(point_id)
+                .is_some_and(|f| f.worker == worker);
+            if !owned {
+                continue;
+            }
+            let flight = c.in_flight.remove(point_id).expect("checked above");
+            c.pending.push_back((flight.point, flight.sources));
+            *c.requeues.entry(*point_id).or_insert(0) += 1;
+            state.counters.jobs_requeued += 1;
+            requeued += 1;
+        }
+        requeued
+    }
+
+    /// Records uploaded results. Idempotent: a point already in the
+    /// campaign's checkpoint (or a campaign already completed) counts
+    /// as a duplicate and is dropped — the **first write wins**,
+    /// deterministically, so a worker racing its own expired lease
+    /// cannot double-record. Campaigns whose last result lands here are
+    /// completed through the engine's single-node code path.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id; checkpoint
+    /// I/O or engine failures.
+    pub fn report_results(
+        &self,
+        worker: &str,
+        results: Vec<(String, ExperimentResult)>,
+    ) -> Result<ResultsSummary, FleetError> {
+        self.report_results_at(worker, results, Instant::now())
+    }
+
+    /// [`Coordinator::report_results`] at an explicit instant.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id; checkpoint
+    /// I/O or engine failures.
+    pub fn report_results_at(
+        &self,
+        worker: &str,
+        results: Vec<(String, ExperimentResult)>,
+        now: Instant,
+    ) -> Result<ResultsSummary, FleetError> {
+        let mut state = self.lock();
+        let info = state
+            .workers
+            .get_mut(worker)
+            .ok_or_else(|| FleetError::UnknownWorker(worker.to_string()))?;
+        info.last_contact = Some(now);
+        let mut summary = ResultsSummary::default();
+        let mut touched: BTreeSet<String> = BTreeSet::new();
+        let mut retired: Vec<(String, u64)> = Vec::new();
+        for (campaign_id, result) in results {
+            let Some(c) = state.active.get_mut(&campaign_id) else {
+                // Campaign finished (or was never distributed): a late
+                // duplicate from a slow worker.
+                summary.duplicates += 1;
+                continue;
+            };
+            if c.done.contains(&result.point_id) {
+                summary.duplicates += 1;
+            } else {
+                c.checkout
+                    .checkpoint
+                    .record(&result)
+                    .map_err(FleetError::Io)?;
+                c.done.insert(result.point_id);
+                summary.accepted += 1;
+            }
+            // Retire the job wherever it currently lives: in flight
+            // (normal case) or back in pending (its original lease
+            // expired but the slow upload still arrived first).
+            c.in_flight.remove(&result.point_id);
+            c.pending.retain(|(p, _)| p.id != result.point_id);
+            retired.push((campaign_id.clone(), result.point_id));
+            touched.insert(campaign_id);
+        }
+        // Drop retired jobs from every lease so a later expiry cannot
+        // requeue work that is already recorded.
+        for lease in state.leases.values_mut() {
+            lease.jobs.retain(|entry| !retired.contains(entry));
+        }
+        // Complete campaigns whose plan is now fully recorded.
+        for id in touched {
+            let done = {
+                let c = &state.active[&id];
+                c.done.len() >= c.checkout.total
+            };
+            if !done {
+                continue;
+            }
+            let c = state.active.remove(&id).expect("touched campaign is active");
+            let completed = self
+                .service
+                .lock()
+                .checkin(c.checkout)
+                .map_err(FleetError::Engine)?;
+            if completed {
+                state.counters.campaigns_completed += 1;
+                summary.completed.push(id);
+            }
+        }
+        state.counters.results_accepted += summary.accepted;
+        state.counters.results_duplicate += summary.duplicates;
+        Ok(summary)
+    }
+
+    /// Expires leases past their deadline, requeueing each unresulted
+    /// job **exactly once** (the lease is removed as it expires, so the
+    /// next tick cannot requeue the same jobs again). Returns the
+    /// number of jobs requeued.
+    pub fn tick(&self) -> usize {
+        self.tick_at(Instant::now())
+    }
+
+    /// [`Coordinator::tick`] at an explicit instant.
+    pub fn tick_at(&self, now: Instant) -> usize {
+        let mut state = self.lock();
+        let expired: Vec<String> = state
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.deadline < now)
+            .map(|(worker, _)| worker.clone())
+            .collect();
+        let mut requeued = 0usize;
+        for worker in expired {
+            let lease = state.leases.remove(&worker).expect("expired lease exists");
+            state.counters.leases_expired += 1;
+            requeued += Self::requeue_lease_jobs(&mut state, &lease, &worker);
+        }
+        requeued
+    }
+
+    /// Returns every checked-out campaign to the engine (completing the
+    /// finished ones, requeueing the rest) and drops all leases. Called
+    /// on graceful shutdown so no job is stranded `Running`.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures returning campaigns.
+    pub fn drain(&self) -> Result<(), FleetError> {
+        self.draining.store(true, std::sync::atomic::Ordering::SeqCst);
+        let mut state = self.lock();
+        let ids: Vec<String> = state.active.keys().cloned().collect();
+        for id in ids {
+            let c = state.active.remove(&id).expect("listed id is active");
+            self.service
+                .lock()
+                .checkin(c.checkout)
+                .map_err(FleetError::Engine)?;
+        }
+        state.leases.clear();
+        Ok(())
+    }
+
+    /// Per-point requeue counters of an active campaign (test/metrics
+    /// surface; empty once the campaign completed).
+    pub fn requeue_counts(&self, campaign: &str) -> BTreeMap<u64, u64> {
+        self.lock()
+            .active
+            .get(campaign)
+            .map(|c| c.requeues.clone())
+            .unwrap_or_default()
+    }
+
+    /// Total jobs requeued by lease expiry so far.
+    pub fn jobs_requeued_total(&self) -> u64 {
+        self.lock().counters.jobs_requeued
+    }
+
+    /// Appends the fleet gauges (`fleet_*`) to a metrics collection.
+    pub fn append_metrics(&self, out: &mut Vec<(String, u64)>) {
+        self.append_metrics_at(out, Instant::now());
+    }
+
+    /// [`Coordinator::append_metrics`] at an explicit instant.
+    pub fn append_metrics_at(&self, out: &mut Vec<(String, u64)>, now: Instant) {
+        let state = self.lock();
+        let live = state
+            .workers
+            .values()
+            .filter(|w| {
+                w.last_contact
+                    .is_some_and(|t| now.saturating_duration_since(t) <= self.config.lease_ttl)
+            })
+            .count();
+        let pending: usize = state.active.values().map(|c| c.pending.len()).sum();
+        let in_flight: usize = state.active.values().map(|c| c.in_flight.len()).sum();
+        let c = &state.counters;
+        out.push(("fleet_workers_registered".into(), state.workers.len() as u64));
+        out.push(("fleet_workers_live".into(), live as u64));
+        out.push(("fleet_campaigns_active".into(), state.active.len() as u64));
+        out.push(("fleet_jobs_pending".into(), pending as u64));
+        out.push(("fleet_jobs_leased".into(), in_flight as u64));
+        out.push(("fleet_leases_granted_total".into(), c.leases_granted));
+        out.push(("fleet_leases_expired_total".into(), c.leases_expired));
+        out.push(("fleet_jobs_leased_total".into(), c.jobs_leased));
+        out.push(("fleet_jobs_requeued_total".into(), c.jobs_requeued));
+        out.push(("fleet_results_accepted_total".into(), c.results_accepted));
+        out.push(("fleet_results_duplicate_total".into(), c.results_duplicate));
+        out.push(("fleet_campaigns_completed_total".into(), c.campaigns_completed));
+        for (id, info) in &state.workers {
+            if let Some(t) = info.last_contact {
+                out.push((
+                    format!("fleet_worker_heartbeat_age_ms{{worker=\"{id}\"}}"),
+                    now.saturating_duration_since(t).as_millis() as u64,
+                ));
+            }
+            out.push((
+                format!("fleet_worker_parallelism{{worker=\"{id}\"}}"),
+                info.parallelism as u64,
+            ));
+        }
+    }
+}

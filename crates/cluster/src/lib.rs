@@ -1,0 +1,41 @@
+//! `cluster` — the distributed worker fleet: lease-based cluster
+//! execution for campaigns.
+//!
+//! The paper (§IV) pitches ProFIPy as fault injection **as-a-service**
+//! with container-isolated, scalable experiment execution. The
+//! single-process service (crates `campaign` + `httpd`) caps campaign
+//! throughput at one machine's executor pool; this crate scales the
+//! *execution* horizontally while keeping planning, checkpointing, and
+//! reporting centralized:
+//!
+//! * [`coordinator::Coordinator`] — wraps the persistent `JobQueue`
+//!   with **time-bounded leases**: workers pull batches of experiments
+//!   (injection point + portable mutant sources), heartbeat to keep
+//!   their lease alive, and upload results idempotently (first write
+//!   wins). A worker that goes silent gets its leased jobs requeued
+//!   exactly once per expiry, so a killed worker costs one re-execution
+//!   of its in-flight batch — never a lost or doubled experiment.
+//! * [`server::FleetServer`] — mounts the fleet REST surface
+//!   (`POST /api/workers/register|:id/lease|:id/heartbeat|:id/results`)
+//!   onto the full campaign API, one `httpd` server for clients and
+//!   workers alike, plus a background lease-expiry sweep.
+//! * [`worker::WorkerAgent`] — the pull-based worker: registers,
+//!   leases, executes in the local sandbox via the prepared-program
+//!   path, and streams results back with retry/backoff over a
+//!   keep-alive [`httpd::ClientPool`].
+//!
+//! **The determinism invariant** (pinned by `tests/fleet.rs`): a
+//! campaign distributed over any number of workers — including workers
+//! killed mid-lease — produces a report **byte-identical** to the same
+//! campaign run single-node, because results are deterministic
+//! functions of (spec, point, sources, seed) and completion funnels
+//! through the engine's single-node `checkin` path.
+
+pub mod coordinator;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FleetConfig, FleetError, LeaseGrant, LeasedJob, ResultsSummary};
+pub use server::FleetServer;
+pub use worker::{WorkerAgent, WorkerConfig, WorkerHandle, WorkerStats};

@@ -1,0 +1,279 @@
+//! The coordinator's HTTP surface: the full campaign REST API plus the
+//! fleet routes, served by one `httpd` server over one shared
+//! [`CampaignService`].
+//!
+//! | Method | Path                          | Purpose                                  |
+//! |--------|-------------------------------|------------------------------------------|
+//! | POST   | `/api/workers/register`       | join the fleet (`{"parallelism": N}`)    |
+//! | POST   | `/api/workers/:id/lease`      | pull a batch of experiments + specs      |
+//! | POST   | `/api/workers/:id/heartbeat`  | keep the lease alive                     |
+//! | POST   | `/api/workers/:id/results`    | upload executed results (idempotent)     |
+//!
+//! The local drive thread is **disabled** in fleet mode: campaigns
+//! queue until workers lease them, and a background tick thread sweeps
+//! expired leases back into the pending pool.
+
+use crate::coordinator::{Coordinator, FleetConfig, FleetError};
+use crate::wire;
+use campaign::api::{error_response, json_body};
+use campaign::{ApiConfig, ApiServer, CampaignService, EngineError, SharedService};
+use httpd::{Request, Response, Router};
+use jsonlite::Value;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The running fleet coordinator: HTTP server + lease-expiry tick
+/// thread over one shared [`CampaignService`].
+pub struct FleetServer {
+    api: Option<ApiServer>,
+    coordinator: Option<Arc<Coordinator>>,
+    tick_stop: Arc<AtomicBool>,
+    tick: Option<JoinHandle<()>>,
+}
+
+impl FleetServer {
+    /// Boots the coordinator on `addr` (port 0 for an ephemeral port).
+    /// `api_config.local_drive` is forced off — in fleet mode the
+    /// workers execute, the coordinator only leases and records.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind or registry I/O failures.
+    pub fn serve(
+        addr: &str,
+        service: CampaignService,
+        mut api_config: ApiConfig,
+        fleet_config: FleetConfig,
+    ) -> Result<FleetServer, EngineError> {
+        api_config.local_drive = false;
+        let shared = SharedService::new(service);
+        let coordinator = Arc::new(
+            Coordinator::new(shared.clone(), fleet_config.clone()).map_err(|e| EngineError {
+                message: format!("fleet registry: {e}"),
+            })?,
+        );
+        let mount_coord = coordinator.clone();
+        let api = ApiServer::serve_with(addr, shared, api_config, move |router, shared| {
+            // Metrics provider holds the coordinator weakly: the strong
+            // references live in the route handlers and the FleetServer,
+            // so shutdown can actually tear the state down.
+            let weak = Arc::downgrade(&mount_coord);
+            shared.add_metrics(Box::new(move |out| {
+                if let Some(c) = weak.upgrade() {
+                    c.append_metrics(out);
+                }
+            }));
+            mount_fleet_routes(router, mount_coord, shared.clone())
+        })?;
+        let tick_stop = Arc::new(AtomicBool::new(false));
+        let tick_coord = coordinator.clone();
+        let stop_flag = tick_stop.clone();
+        let interval = fleet_config.tick_interval;
+        let tick = std::thread::Builder::new()
+            .name("fleet-tick".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    tick_coord.tick();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn fleet tick thread");
+        Ok(FleetServer {
+            api: Some(api),
+            coordinator: Some(coordinator),
+            tick_stop,
+            tick: Some(tick),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.api.as_ref().expect("server running").addr()
+    }
+
+    /// The coordinator (lease/requeue introspection for tests and
+    /// embedders).
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        self.coordinator.as_ref().expect("server running")
+    }
+
+    /// Graceful stop: join the tick thread, return every checked-out
+    /// campaign to the queue (completing finished ones), drain HTTP,
+    /// and hand the service back.
+    pub fn shutdown(mut self) -> CampaignService {
+        self.tick_stop.store(true, Ordering::SeqCst);
+        if let Some(tick) = self.tick.take() {
+            let _ = tick.join();
+        }
+        if let Some(coordinator) = self.coordinator.take() {
+            let _ = coordinator.drain();
+            // The remaining strong references live in the router's
+            // handlers; ApiServer::shutdown joins the server, dropping
+            // them (and with them the coordinator's SharedService).
+            drop(coordinator);
+        }
+        self.api.take().expect("server running").shutdown()
+    }
+}
+
+impl Drop for FleetServer {
+    fn drop(&mut self) {
+        self.tick_stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn mount_fleet_routes(
+    router: Router,
+    coordinator: Arc<Coordinator>,
+    shared: SharedService,
+) -> Router {
+    let register = {
+        let coordinator = coordinator.clone();
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            register_worker(&coordinator, req)
+        }
+    };
+    let lease = {
+        let coordinator = coordinator.clone();
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            lease_jobs(&coordinator, req)
+        }
+    };
+    let heartbeat = {
+        let coordinator = coordinator.clone();
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            heartbeat_worker(&coordinator, req)
+        }
+    };
+    let results = {
+        move |req: &Request| {
+            shared.count_request();
+            upload_results(&coordinator, req)
+        }
+    };
+    router
+        .route("POST", "/api/workers/register", register)
+        .route("POST", "/api/workers/:id/lease", lease)
+        .route("POST", "/api/workers/:id/heartbeat", heartbeat)
+        .route("POST", "/api/workers/:id/results", results)
+}
+
+// ---------- handlers ----------
+
+fn register_worker(coordinator: &Coordinator, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let parallelism = body
+        .get("parallelism")
+        .and_then(Value::as_u64)
+        .unwrap_or(1)
+        .max(1) as usize;
+    match coordinator.register(parallelism) {
+        Ok(id) => {
+            let config = coordinator.config();
+            Response::json(
+                201,
+                Value::obj(vec![
+                    ("id", Value::str(&id)),
+                    (
+                        "lease_ttl_ms",
+                        Value::UInt(config.lease_ttl.as_millis() as u64),
+                    ),
+                    (
+                        "heartbeat_ms",
+                        Value::UInt(config.heartbeat_interval.as_millis() as u64),
+                    ),
+                    (
+                        "lease_batch_max",
+                        Value::UInt(config.lease_batch_max as u64),
+                    ),
+                ])
+                .pretty(),
+            )
+        }
+        Err(e) => error_response(500, &format!("worker registry: {e}")),
+    }
+}
+
+fn lease_jobs(coordinator: &Coordinator, req: &Request) -> Response {
+    let worker = req.param("id").unwrap_or_default().to_string();
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let max_jobs = body.get("max_jobs").and_then(Value::as_u64).unwrap_or(1) as usize;
+    let known: BTreeSet<String> = body
+        .get("known")
+        .and_then(Value::as_arr)
+        .map(|ids| {
+            ids.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    match coordinator.lease(&worker, max_jobs, &known) {
+        Ok(grant) => match wire::lease_grant_to_value(&grant) {
+            Ok(value) => Response::json(200, value.pretty()),
+            Err(e) => error_response(500, &format!("lease serialization: {e}")),
+        },
+        Err(e) => fleet_error_response(&e),
+    }
+}
+
+fn heartbeat_worker(coordinator: &Coordinator, req: &Request) -> Response {
+    let worker = req.param("id").unwrap_or_default().to_string();
+    match coordinator.heartbeat(&worker) {
+        Ok(extended) => Response::json(
+            200,
+            Value::obj(vec![("lease_extended", Value::Bool(extended))]).pretty(),
+        ),
+        Err(e) => fleet_error_response(&e),
+    }
+}
+
+fn upload_results(coordinator: &Coordinator, req: &Request) -> Response {
+    let worker = req.param("id").unwrap_or_default().to_string();
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return *resp,
+    };
+    let results = match wire::results_from_value(&body) {
+        Ok(results) => results,
+        Err(e) => return error_response(422, &format!("invalid results: {e}")),
+    };
+    match coordinator.report_results(&worker, results) {
+        Ok(summary) => Response::json(
+            200,
+            Value::obj(vec![
+                ("accepted", Value::UInt(summary.accepted)),
+                ("duplicates", Value::UInt(summary.duplicates)),
+                (
+                    "completed",
+                    Value::Arr(summary.completed.iter().map(Value::str).collect()),
+                ),
+            ])
+            .pretty(),
+        ),
+        Err(e) => fleet_error_response(&e),
+    }
+}
+
+// ---------- helpers ----------
+
+fn fleet_error_response(e: &FleetError) -> Response {
+    match e {
+        FleetError::UnknownWorker(_) => error_response(404, &e.to_string()),
+        FleetError::Engine(_) | FleetError::Io(_) => error_response(500, &e.to_string()),
+    }
+}

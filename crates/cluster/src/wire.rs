@@ -1,0 +1,206 @@
+//! JSON codecs for the fleet protocol.
+//!
+//! Everything on the wire is **portable**: injection points carry the
+//! source spans of their window statements (via `injector::persist`) so
+//! the worker process — which parses the campaign sources itself — can
+//! re-bind them to its own ASTs, and experiment results reuse the
+//! checkpoint codec (`campaign::persist`) so a remotely executed result
+//! is recorded exactly as a local one would be.
+
+use campaign::{result_from_value, result_to_value, CampaignSpec};
+use injector::InjectionPoint;
+use jsonlite::Value;
+use profipy::ExperimentResult;
+use pysrc::Module;
+use sandbox::SourceFile;
+
+use crate::coordinator::LeaseGrant;
+
+/// A job as decoded by the worker: the point is still in portable form
+/// and must be re-bound against the worker's parsed modules.
+pub struct WireJob {
+    /// Owning campaign id.
+    pub campaign: String,
+    /// Portable point value (one `injector::persist` portable entry).
+    pub point: Value,
+    /// The complete container source set for the experiment.
+    pub sources: Vec<SourceFile>,
+}
+
+/// A decoded lease reply.
+pub struct WireLease {
+    /// Granted jobs.
+    pub jobs: Vec<WireJob>,
+    /// Campaign specs the worker did not previously know.
+    pub new_campaigns: Vec<(String, CampaignSpec)>,
+}
+
+/// Serializes a lease grant for the wire.
+///
+/// # Errors
+///
+/// Point portability failures (a span that cannot be resolved — should
+/// not happen for points scanned from the shipped sources).
+pub fn lease_grant_to_value(grant: &LeaseGrant) -> Result<Value, String> {
+    let mut jobs = Vec::with_capacity(grant.jobs.len());
+    for job in &grant.jobs {
+        let portable = injector::persist::points_to_portable_value(
+            std::slice::from_ref(&job.point),
+            &job.modules,
+        )?;
+        let point = portable
+            .as_arr()
+            .and_then(|a| a.first().cloned())
+            .ok_or("portable point serialization produced no entry")?;
+        jobs.push(Value::obj(vec![
+            ("campaign", Value::str(&job.campaign)),
+            ("point", point),
+            (
+                "sources",
+                Value::Arr(
+                    job.sources
+                        .iter()
+                        .map(|s| {
+                            Value::Arr(vec![Value::str(&s.import_name), Value::str(&s.text)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    Ok(Value::obj(vec![
+        ("jobs", Value::Arr(jobs)),
+        (
+            "campaigns",
+            Value::Arr(
+                grant
+                    .new_campaigns
+                    .iter()
+                    .map(|(id, spec)| {
+                        Value::obj(vec![("id", Value::str(id)), ("spec", spec.to_value())])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+/// Decodes a lease reply on the worker.
+///
+/// # Errors
+///
+/// Describes the malformed field.
+pub fn lease_from_value(v: &Value) -> Result<WireLease, String> {
+    let jobs = v
+        .req("jobs")?
+        .as_arr()
+        .ok_or("'jobs' must be an array")?
+        .iter()
+        .map(|job| {
+            let campaign = job
+                .req("campaign")?
+                .as_str()
+                .ok_or("job 'campaign' must be a string")?
+                .to_string();
+            let sources = job
+                .req("sources")?
+                .as_arr()
+                .ok_or("job 'sources' must be an array")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("'sources' entries must be [name, text] pairs")?;
+                    match (pair[0].as_str(), pair[1].as_str()) {
+                        (Some(n), Some(t)) => Ok(SourceFile {
+                            import_name: n.to_string(),
+                            text: t.to_string(),
+                        }),
+                        _ => Err("'sources' entries must be string pairs".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(WireJob {
+                campaign,
+                point: job.req("point")?.clone(),
+                sources,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let new_campaigns = v
+        .req("campaigns")?
+        .as_arr()
+        .ok_or("'campaigns' must be an array")?
+        .iter()
+        .map(|c| {
+            Ok((
+                c.req("id")?
+                    .as_str()
+                    .ok_or("campaign 'id' must be a string")?
+                    .to_string(),
+                CampaignSpec::from_value(c.req("spec")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(WireLease { jobs, new_campaigns })
+}
+
+/// Re-binds a wire job's portable point against the worker's parsed
+/// modules.
+///
+/// # Errors
+///
+/// A span that no longer resolves (the worker's sources diverged from
+/// the coordinator's — impossible when the spec came over the wire).
+pub fn rebind_point(point: &Value, modules: &[Module]) -> Result<InjectionPoint, String> {
+    let points = injector::persist::points_from_portable_value(
+        &Value::Arr(vec![point.clone()]),
+        modules,
+    )?;
+    points
+        .into_iter()
+        .next()
+        .ok_or_else(|| "portable point array was empty".to_string())
+}
+
+/// Serializes a result batch for upload.
+pub fn results_to_value(results: &[(String, ExperimentResult)]) -> Value {
+    Value::obj(vec![(
+        "results",
+        Value::Arr(
+            results
+                .iter()
+                .map(|(campaign, result)| {
+                    Value::obj(vec![
+                        ("campaign", Value::str(campaign)),
+                        ("result", result_to_value(result)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Decodes a result batch on the coordinator.
+///
+/// # Errors
+///
+/// Describes the malformed field.
+pub fn results_from_value(v: &Value) -> Result<Vec<(String, ExperimentResult)>, String> {
+    v.req("results")?
+        .as_arr()
+        .ok_or("'results' must be an array")?
+        .iter()
+        .map(|entry| {
+            Ok((
+                entry
+                    .req("campaign")?
+                    .as_str()
+                    .ok_or("result 'campaign' must be a string")?
+                    .to_string(),
+                result_from_value(entry.req("result")?)?,
+            ))
+        })
+        .collect()
+}

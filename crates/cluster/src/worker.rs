@@ -1,0 +1,358 @@
+//! The worker agent: pulls leases from a coordinator, executes the
+//! experiments in the local sandbox, and streams results back.
+//!
+//! ```text
+//!  register ─▶ loop: lease ─▶ build/reuse Workflow per campaign
+//!     │                 │        (parse once, prepared-program reuse)
+//!     │                 ▼
+//!     │          ParallelExecutor::run (N experiments at once)
+//!     │                 │
+//!     │                 ▼
+//!     │          upload results (retry + backoff; coordinator dedups,
+//!     │          so retries are safe even after a mid-flight error)
+//!     └─ heartbeat thread keeps the lease alive while batches run
+//! ```
+//!
+//! Determinism: an experiment's outcome depends only on the campaign
+//! spec, the injection point, and the rendered sources — all shipped on
+//! the wire — plus the spec-seeded per-experiment RNG, so a result
+//! computed here is byte-identical to one computed by the coordinator's
+//! own pool.
+
+use crate::wire;
+use campaign::{CampaignSpec, HostRegistry};
+use httpd::ClientPool;
+use jsonlite::Value;
+use profipy::workflow::Workflow;
+use profipy::ExperimentResult;
+use sandbox::{ParallelExecutor, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Worker agent options.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// Experiments executed concurrently.
+    pub parallelism: usize,
+    /// Jobs requested per lease (0 = `2 × parallelism`).
+    pub max_batch: usize,
+    /// Initial idle backoff when a lease comes back empty; doubles up
+    /// to [`WorkerConfig::idle_backoff_max`].
+    pub idle_backoff: Duration,
+    /// Idle backoff ceiling.
+    pub idle_backoff_max: Duration,
+    /// Upload attempts per result batch before the batch is abandoned
+    /// to lease expiry.
+    pub upload_retries: u32,
+}
+
+impl WorkerConfig {
+    /// Defaults for a coordinator at `addr`.
+    pub fn new(coordinator: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            parallelism: 2,
+            max_batch: 0,
+            idle_backoff: Duration::from_millis(25),
+            idle_backoff_max: Duration::from_millis(500),
+            upload_retries: 5,
+        }
+    }
+
+    fn batch(&self) -> usize {
+        if self.max_batch == 0 {
+            (self.parallelism * 2).max(1)
+        } else {
+            self.max_batch
+        }
+    }
+}
+
+/// What an agent did over its lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Experiments executed.
+    pub executed: u64,
+    /// Leases pulled (empty ones included).
+    pub leases: u64,
+    /// Leases that came back without jobs.
+    pub empty_leases: u64,
+    /// Result batches uploaded successfully.
+    pub uploads: u64,
+    /// Upload attempts that failed and were retried.
+    pub upload_retries: u64,
+    /// Jobs skipped because their campaign could not be rebuilt
+    /// locally (unknown host, rebind failure); lease expiry returns
+    /// them to the pool for another worker.
+    pub skipped: u64,
+}
+
+/// A running agent; stop it to get the stats back.
+pub struct WorkerHandle {
+    id: String,
+    stop: Arc<AtomicBool>,
+    main: Option<JoinHandle<WorkerStats>>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The coordinator-assigned worker id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Signals the agent to stop after its current batch and joins it.
+    pub fn stop(mut self) -> WorkerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(heartbeat) = self.heartbeat.take() {
+            let _ = heartbeat.join();
+        }
+        match self.main.take() {
+            Some(main) => main.join().unwrap_or_default(),
+            None => WorkerStats::default(),
+        }
+    }
+}
+
+/// The agent entry point.
+pub struct WorkerAgent;
+
+impl WorkerAgent {
+    /// Registers with the coordinator and starts the lease/execute
+    /// loop plus a heartbeat thread. The host `registry` must resolve
+    /// every host name the distributed specs reference (mirror the
+    /// coordinator's).
+    ///
+    /// # Errors
+    ///
+    /// Registration failures (coordinator unreachable or refusing).
+    pub fn start(config: WorkerConfig, registry: HostRegistry) -> io::Result<WorkerHandle> {
+        let pool = Arc::new(ClientPool::new());
+        let register = pool.post_json(
+            &config.coordinator,
+            "/api/workers/register",
+            &Value::obj(vec![(
+                "parallelism",
+                Value::UInt(config.parallelism.max(1) as u64),
+            )])
+            .compact(),
+        )?;
+        if register.status != 201 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("registration refused: {} {}", register.status, register.text()),
+            ));
+        }
+        let reply = jsonlite::parse(&register.text())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let id = reply
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "registration without id"))?
+            .to_string();
+        let heartbeat_every = Duration::from_millis(
+            reply
+                .get("heartbeat_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or(2000)
+                .max(10),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let hb_pool = pool.clone();
+        let hb_stop = stop.clone();
+        let hb_addr = config.coordinator.clone();
+        let hb_id = id.clone();
+        let heartbeat = std::thread::Builder::new()
+            .name(format!("{hb_id}-heartbeat"))
+            .spawn(move || {
+                while !hb_stop.load(Ordering::SeqCst) {
+                    // Sleep in small slices so stop() is prompt.
+                    let mut slept = Duration::ZERO;
+                    while slept < heartbeat_every && !hb_stop.load(Ordering::SeqCst) {
+                        let slice = Duration::from_millis(20).min(heartbeat_every - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if hb_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Best-effort: a missed beat only risks an early
+                    // lease expiry, which the dedup makes harmless.
+                    let _ = hb_pool.post_json(
+                        &hb_addr,
+                        &format!("/api/workers/{hb_id}/heartbeat"),
+                        "{}",
+                    );
+                }
+            })
+            .expect("spawn heartbeat thread");
+
+        let main_stop = stop.clone();
+        let main_id = id.clone();
+        let main = std::thread::Builder::new()
+            .name(main_id.clone())
+            .spawn(move || run_loop(&config, &registry, &pool, &main_id, &main_stop))
+            .expect("spawn worker thread");
+
+        Ok(WorkerHandle {
+            id,
+            stop,
+            main: Some(main),
+            heartbeat: Some(heartbeat),
+        })
+    }
+}
+
+/// One executable unit: a job joined with its campaign's workflow.
+struct ReadyJob {
+    campaign: String,
+    workflow: Arc<Workflow>,
+    point: injector::InjectionPoint,
+    sources: Vec<SourceFile>,
+}
+
+fn run_loop(
+    config: &WorkerConfig,
+    registry: &HostRegistry,
+    pool: &ClientPool,
+    id: &str,
+    stop: &AtomicBool,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    // Campaign id → locally rebuilt workflow (parsed + prepared once,
+    // shared by every experiment of the campaign on this worker).
+    let mut workflows: BTreeMap<String, Arc<Workflow>> = BTreeMap::new();
+    let executor = ParallelExecutor::new(config.parallelism.max(1) + 1);
+    let mut backoff = config.idle_backoff;
+    let lease_path = format!("/api/workers/{id}/lease");
+    let results_path = format!("/api/workers/{id}/results");
+    while !stop.load(Ordering::SeqCst) {
+        let known: BTreeSet<String> = workflows.keys().cloned().collect();
+        let request = Value::obj(vec![
+            ("max_jobs", Value::UInt(config.batch() as u64)),
+            (
+                "known",
+                Value::Arr(known.iter().map(Value::str).collect()),
+            ),
+        ])
+        .compact();
+        let lease = match pool.post_json(&config.coordinator, &lease_path, &request) {
+            Ok(resp) if resp.status == 200 => match jsonlite::parse(&resp.text())
+                .and_then(|v| wire::lease_from_value(&v))
+            {
+                Ok(lease) => lease,
+                Err(_) => {
+                    idle(&mut backoff, config, stop);
+                    continue;
+                }
+            },
+            // Coordinator down, restarted, or refusing: back off and
+            // retry — leases we held expire server-side on their own.
+            _ => {
+                idle(&mut backoff, config, stop);
+                continue;
+            }
+        };
+        stats.leases += 1;
+        // Adopt newly shipped campaign specs.
+        for (campaign_id, spec) in lease.new_campaigns {
+            if let Some(workflow) = build_workflow(&spec, registry, &executor) {
+                workflows.insert(campaign_id, Arc::new(workflow));
+            }
+        }
+        // Join jobs with their workflows and rebind the portable points.
+        let mut ready: Vec<ReadyJob> = Vec::new();
+        for job in lease.jobs {
+            let Some(workflow) = workflows.get(&job.campaign) else {
+                stats.skipped += 1;
+                continue;
+            };
+            match wire::rebind_point(&job.point, workflow.modules()) {
+                Ok(point) => ready.push(ReadyJob {
+                    campaign: job.campaign,
+                    workflow: workflow.clone(),
+                    point,
+                    sources: job.sources,
+                }),
+                Err(_) => stats.skipped += 1,
+            }
+        }
+        if ready.is_empty() {
+            stats.empty_leases += 1;
+            idle(&mut backoff, config, stop);
+            continue;
+        }
+        backoff = config.idle_backoff;
+        // Execute the batch in the local sandbox, `parallelism` at a
+        // time.
+        let results: Vec<(String, ExperimentResult)> = executor.run(ready.len(), |i| {
+            let job = &ready[i];
+            (
+                job.campaign.clone(),
+                job.workflow
+                    .run_experiment_with_sources(&job.point, &job.sources),
+            )
+        });
+        stats.executed += results.len() as u64;
+        // Stream the batch back with retry/backoff. Retrying a
+        // possibly-delivered upload is safe: the coordinator records
+        // results idempotently (first write wins).
+        let body = wire::results_to_value(&results).compact();
+        let mut delay = Duration::from_millis(10);
+        for attempt in 0..=config.upload_retries {
+            match pool.post_json(&config.coordinator, &results_path, &body) {
+                Ok(resp) if resp.status == 200 => {
+                    stats.uploads += 1;
+                    // Free workflows of campaigns that just completed.
+                    if let Ok(v) = jsonlite::parse(&resp.text()) {
+                        if let Some(done) = v.get("completed").and_then(Value::as_arr) {
+                            for id in done.iter().filter_map(Value::as_str) {
+                                workflows.remove(id);
+                            }
+                        }
+                    }
+                    break;
+                }
+                _ if attempt == config.upload_retries => {
+                    // Abandon the batch: lease expiry will requeue the
+                    // jobs and another worker (or this one, later) will
+                    // re-execute them.
+                    break;
+                }
+                _ => {
+                    stats.upload_retries += 1;
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(500));
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn build_workflow(
+    spec: &CampaignSpec,
+    registry: &HostRegistry,
+    executor: &ParallelExecutor,
+) -> Option<Workflow> {
+    let host = registry.get(&spec.host)?;
+    spec.build_workflow(host, executor.clone()).ok()
+}
+
+/// Bounded exponential idle wait, stop-aware.
+fn idle(backoff: &mut Duration, config: &WorkerConfig, stop: &AtomicBool) {
+    let mut slept = Duration::ZERO;
+    while slept < *backoff && !stop.load(Ordering::SeqCst) {
+        let slice = Duration::from_millis(10).min(*backoff - slept);
+        std::thread::sleep(slice);
+        slept += slice;
+    }
+    *backoff = (*backoff * 2).min(config.idle_backoff_max);
+}

@@ -117,31 +117,52 @@ impl Client {
         body: &[u8],
     ) -> io::Result<ClientResponse> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)?;
-            stream.set_read_timeout(Some(self.timeout))?;
-            stream.set_write_timeout(Some(self.timeout))?;
-            stream.set_nodelay(true)?;
-            self.conn = Some(BufReader::new(stream));
+            self.conn = Some(connect(&self.addr, self.timeout)?);
         }
         let conn = self.conn.as_mut().expect("connected above");
-        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
-        if let Some(ct) = content_type {
-            head.push_str(&format!("Content-Type: {ct}\r\n"));
-        }
-        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
-        let stream = conn.get_mut();
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(body)?;
-        stream.flush()?;
-        let response = read_response(conn)?;
-        if response
-            .header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
-        {
+        let response = send_on(conn, &self.addr, method, path, content_type, body)?;
+        if wants_close(&response) {
             self.conn = None;
         }
         Ok(response)
     }
+}
+
+/// Opens a fresh connection to `addr` with per-operation timeouts set.
+pub(crate) fn connect(addr: &str, timeout: Duration) -> io::Result<BufReader<TcpStream>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(BufReader::new(stream))
+}
+
+/// Writes one request on an open connection and reads the response.
+pub(crate) fn send_on(
+    conn: &mut BufReader<TcpStream>,
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let stream = conn.get_mut();
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(conn)
+}
+
+/// Whether the server asked for this connection to be closed.
+pub(crate) fn wants_close(response: &ClientResponse) -> bool {
+    response
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
 }
 
 /// One-shot `GET` on a fresh connection.
@@ -173,7 +194,7 @@ pub fn post_json(addr: &str, path: &str, body: &str) -> io::Result<ClientRespons
 /// `InvalidData`, precisely so this predicate cannot mistake a
 /// half-delivered response for a stale connection and re-send a
 /// non-idempotent request.
-fn is_stale_connection(e: &io::Error) -> bool {
+pub(crate) fn is_stale_connection(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::UnexpectedEof

@@ -20,6 +20,9 @@
 //!   threaded predecessor.
 //! * [`client`] — a minimal blocking client (persistent keep-alive
 //!   connection) used by the CLI, benches, and integration tests.
+//! * [`pool`] — a per-host keep-alive connection pool over the client
+//!   internals (max-idle + TTL eviction, stale replacement), for
+//!   multi-threaded callers like the fleet worker agent.
 //!
 //! ```no_run
 //! use httpd::{Response, Router, Server, ServerConfig};
@@ -39,10 +42,12 @@ pub mod client;
 mod conn;
 mod event_loop;
 pub mod http;
+pub mod pool;
 pub mod router;
 pub mod server;
 
 pub use client::{Client, ClientResponse};
 pub use http::{Request, Response};
+pub use pool::{ClientPool, PoolConfig};
 pub use router::Router;
 pub use server::{Server, ServerConfig};

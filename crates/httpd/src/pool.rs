@@ -1,0 +1,182 @@
+//! A small keep-alive connection pool over the blocking client.
+//!
+//! [`Client`](crate::Client) owns exactly one persistent connection, so
+//! several threads of one process (a fleet worker's lease loop, its
+//! heartbeat thread, its result uploader) would each open their own
+//! socket per call — or fight over one client behind a lock. The pool
+//! parks idle keep-alive connections **per host** and hands them out per
+//! request:
+//!
+//! * **reuse** — a request checks an idle connection out and parks it
+//!   back afterwards, so sequential calls share one socket;
+//! * **max-idle eviction** — at most [`PoolConfig::max_idle_per_host`]
+//!   idle connections are kept per host (the oldest parked one is
+//!   dropped first past the cap);
+//! * **TTL eviction** — a connection parked longer than
+//!   [`PoolConfig::idle_ttl`] is discarded at checkout time, before the
+//!   server's keep-alive reaper makes it a guaranteed stale hit;
+//! * **stale replacement** — a pooled connection the server already
+//!   closed fails its next request before any status byte arrives; that
+//!   exact signature (and only it) is transparently retried on a fresh
+//!   connection, mirroring [`Client`](crate::Client)'s retry rule so a
+//!   half-delivered response can never replay a non-idempotent request.
+
+use crate::client::{connect, is_stale_connection, send_on, wants_close, ClientResponse};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pool construction options.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Idle keep-alive connections retained per host.
+    pub max_idle_per_host: usize,
+    /// How long a parked connection stays eligible for reuse.
+    pub idle_ttl: Duration,
+    /// Per-operation socket timeout for pooled connections.
+    pub timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            max_idle_per_host: 4,
+            idle_ttl: Duration::from_secs(30),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct IdleConn {
+    conn: BufReader<TcpStream>,
+    parked_at: Instant,
+}
+
+/// The pool. Shared by reference across threads (`&self` methods);
+/// each request briefly locks the idle map to check a connection out
+/// or park it back — the request itself runs without the lock held.
+pub struct ClientPool {
+    config: PoolConfig,
+    idle: Mutex<HashMap<String, Vec<IdleConn>>>,
+}
+
+impl Default for ClientPool {
+    fn default() -> ClientPool {
+        ClientPool::new()
+    }
+}
+
+impl ClientPool {
+    /// A pool with default limits.
+    pub fn new() -> ClientPool {
+        ClientPool::with_config(PoolConfig::default())
+    }
+
+    /// A pool with explicit limits.
+    pub fn with_config(config: PoolConfig) -> ClientPool {
+        ClientPool {
+            config,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `GET path` against `addr` over a pooled connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failure.
+    pub fn get(&self, addr: &str, path: &str) -> io::Result<ClientResponse> {
+        self.request(addr, "GET", path, None, &[])
+    }
+
+    /// `POST path` with a JSON body against `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failure.
+    pub fn post_json(&self, addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request(addr, "POST", path, Some("application/json"), body.as_bytes())
+    }
+
+    /// An arbitrary request over a pooled connection. A *reused*
+    /// connection that fails before the status line (the server closed
+    /// the idle socket) is replaced with a fresh one and the request
+    /// retried once; any other failure surfaces as-is.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failure.
+    pub fn request(
+        &self,
+        addr: &str,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let reused = self.checkout(addr);
+        let (mut conn, reused) = match reused {
+            Some(conn) => (conn, true),
+            None => (connect(addr, self.config.timeout)?, false),
+        };
+        match send_on(&mut conn, addr, method, path, content_type, body) {
+            Ok(response) => {
+                if !wants_close(&response) {
+                    self.park(addr, conn);
+                }
+                Ok(response)
+            }
+            Err(e) if reused && is_stale_connection(&e) => {
+                // Stale keep-alive socket: replace and retry once.
+                let mut fresh = connect(addr, self.config.timeout)?;
+                let response = send_on(&mut fresh, addr, method, path, content_type, body)?;
+                if !wants_close(&response) {
+                    self.park(addr, fresh);
+                }
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Idle connections currently parked for `addr` (TTL-expired ones
+    /// are swept first, so the count reflects reusable sockets only).
+    pub fn idle_count(&self, addr: &str) -> usize {
+        let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
+        match idle.get_mut(addr) {
+            Some(conns) => {
+                let ttl = self.config.idle_ttl;
+                conns.retain(|c| c.parked_at.elapsed() <= ttl);
+                conns.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Most recently parked fresh-enough connection, or `None`.
+    fn checkout(&self, addr: &str) -> Option<BufReader<TcpStream>> {
+        let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
+        let conns = idle.get_mut(addr)?;
+        // Drop TTL-expired connections outright…
+        let ttl = self.config.idle_ttl;
+        conns.retain(|c| c.parked_at.elapsed() <= ttl);
+        // …and reuse the most recently parked survivor (warmest
+        // socket, least likely to have been reaped server-side).
+        conns.pop().map(|c| c.conn)
+    }
+
+    fn park(&self, addr: &str, conn: BufReader<TcpStream>) {
+        let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
+        let conns = idle.entry(addr.to_string()).or_default();
+        conns.push(IdleConn {
+            conn,
+            parked_at: Instant::now(),
+        });
+        // Max-idle eviction: shed the oldest parked connections first.
+        while conns.len() > self.config.max_idle_per_host.max(1) {
+            conns.remove(0);
+        }
+    }
+}

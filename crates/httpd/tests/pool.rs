@@ -1,0 +1,152 @@
+//! Connection-pool behaviour: keep-alive reuse, max-idle and TTL
+//! eviction, and transparent replacement of a stale pooled connection.
+//!
+//! The server side is a deliberately dumb fake (accept counter + canned
+//! keep-alive responses) so every assertion is about exact socket
+//! counts, not event-loop behaviour — that is covered by the real
+//! server's own tests.
+
+use httpd::pool::{ClientPool, PoolConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A fake HTTP server: counts accepted connections and serves canned
+/// 200 responses on each, keeping the connection open for
+/// `responses_per_conn` requests (0 = unlimited) before closing it.
+fn fake_server(responses_per_conn: usize) -> (String, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let counter = accepts.clone();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            counter.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || serve_conn(stream, responses_per_conn));
+        }
+    });
+    (addr, accepts)
+}
+
+fn serve_conn(stream: TcpStream, responses_per_conn: usize) {
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut served = 0usize;
+    loop {
+        // Read one request head.
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return; // client went away
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).ok();
+        let mut out = stream.try_clone().unwrap();
+        out.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+            .unwrap();
+        out.flush().unwrap();
+        served += 1;
+        if responses_per_conn != 0 && served >= responses_per_conn {
+            return; // close the connection (keep-alive cut short)
+        }
+    }
+}
+
+#[test]
+fn sequential_requests_reuse_one_connection() {
+    let (addr, accepts) = fake_server(0);
+    let pool = ClientPool::new();
+    for _ in 0..5 {
+        let resp = pool.get(&addr, "/x").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    assert_eq!(accepts.load(Ordering::SeqCst), 1, "one socket for all five");
+    assert_eq!(pool.idle_count(&addr), 1);
+}
+
+#[test]
+fn concurrent_checkouts_cap_at_max_idle() {
+    let (addr, accepts) = fake_server(0);
+    let pool = Arc::new(ClientPool::with_config(PoolConfig {
+        max_idle_per_host: 2,
+        ..PoolConfig::default()
+    }));
+    // Four threads in flight at once: the pool has nothing parked, so
+    // four sockets open; on completion only two may be parked back.
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let pool = pool.clone();
+            let addr = addr.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Two rounds so every thread is provably concurrent with
+                // the others at least once.
+                for _ in 0..2 {
+                    assert_eq!(pool.get(&addr, "/x").unwrap().status, 200);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        accepts.load(Ordering::SeqCst) >= 2,
+        "concurrency forced extra sockets"
+    );
+    assert!(
+        pool.idle_count(&addr) <= 2,
+        "max-idle eviction keeps at most 2 parked, found {}",
+        pool.idle_count(&addr)
+    );
+    // The survivors still work.
+    assert_eq!(pool.get(&addr, "/x").unwrap().status, 200);
+}
+
+#[test]
+fn ttl_evicts_parked_connections() {
+    let (addr, accepts) = fake_server(0);
+    let pool = ClientPool::with_config(PoolConfig {
+        idle_ttl: Duration::from_millis(50),
+        ..PoolConfig::default()
+    });
+    assert_eq!(pool.get(&addr, "/x").unwrap().status, 200);
+    assert_eq!(pool.idle_count(&addr), 1);
+    std::thread::sleep(Duration::from_millis(120));
+    // The parked socket aged out: it is not offered for reuse…
+    assert_eq!(pool.idle_count(&addr), 0);
+    // …and the next request opens a fresh connection.
+    assert_eq!(pool.get(&addr, "/x").unwrap().status, 200);
+    assert_eq!(accepts.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn stale_pooled_connection_is_replaced_transparently() {
+    // The server closes every connection after one response, so the
+    // parked socket is guaranteed dead by the second request.
+    let (addr, accepts) = fake_server(1);
+    let pool = ClientPool::new();
+    assert_eq!(pool.get(&addr, "/x").unwrap().status, 200);
+    assert_eq!(pool.idle_count(&addr), 1);
+    // Give the server's close time to land so the reuse is provably
+    // stale rather than racing the FIN.
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = pool.get(&addr, "/y").unwrap();
+    assert_eq!(resp.status, 200, "stale socket replaced, request succeeded");
+    assert_eq!(accepts.load(Ordering::SeqCst), 2, "exactly one replacement");
+}

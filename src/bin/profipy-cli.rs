@@ -10,10 +10,14 @@
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
 //! profipy-cli serve [ADDR] [--data-dir D] [--workers N] [--max-conns N]
-//!                                          boot the as-a-Service REST API
+//!                   [--fleet] [--lease-ms N] boot the as-a-Service REST API
+//!                                          (--fleet: lease to remote workers)
+//! profipy-cli worker --coordinator ADDR [--parallelism N]
+//!                                          join a coordinator's worker fleet
 //! ```
 
 use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
+use cluster::{FleetConfig, FleetServer, WorkerAgent, WorkerConfig};
 use profipy::case_study::{
     campaign_a, campaign_b, campaign_c, case_study_workflow, etcd_host_factory, Campaign,
 };
@@ -56,9 +60,14 @@ fn usage() -> ExitCode {
          serve [ADDR] [--data-dir D]   boot the REST API (default 127.0.0.1:8080;\n\
                [--workers N]           with --data-dir the queue/checkpoints/cache\n\
                [--max-conns N]         persist and survive restarts; --workers sizes\n\
-                                       the handler pool, --max-conns caps open\n\
-                                       keep-alive connections — idle pollers cost a\n\
-                                       buffer each, not a worker)"
+               [--fleet]               the handler pool, --max-conns caps open\n\
+               [--lease-ms N]          keep-alive connections; --fleet leases\n\
+                                       experiments to remote workers instead of\n\
+                                       executing locally, --lease-ms sets the\n\
+                                       heartbeat-bounded lease TTL)\n\
+         worker --coordinator ADDR     join a coordinator's fleet: pull leases,\n\
+               [--parallelism N]       execute experiments locally, stream the\n\
+                                       results back"
     );
     ExitCode::from(2)
 }
@@ -159,7 +168,69 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("serve") => serve(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Joins a coordinator's fleet and works until killed.
+fn worker(args: &[String]) -> ExitCode {
+    let mut coordinator: Option<String> = None;
+    let mut parallelism = 2usize;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--coordinator" => match rest.next() {
+                Some(addr) => {
+                    // Accept both `host:port` and `http://host:port`.
+                    coordinator = Some(
+                        addr.strip_prefix("http://")
+                            .unwrap_or(addr)
+                            .trim_end_matches('/')
+                            .to_string(),
+                    );
+                }
+                None => {
+                    eprintln!("--coordinator needs an address");
+                    return ExitCode::from(2);
+                }
+            },
+            "--parallelism" => match rest.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => parallelism = n,
+                _ => {
+                    eprintln!("--parallelism needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            flag => {
+                eprintln!("unknown flag '{flag}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(coordinator) = coordinator else {
+        eprintln!("worker needs --coordinator ADDR");
+        return ExitCode::from(2);
+    };
+    let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+    let config = WorkerConfig {
+        parallelism,
+        ..WorkerConfig::new(coordinator.clone())
+    };
+    let agent = match WorkerAgent::start(config, registry) {
+        Ok(agent) => agent,
+        Err(e) => {
+            eprintln!("cannot join fleet at {coordinator}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "worker {} serving coordinator {coordinator} ({parallelism} experiments at a time) — \
+         Ctrl-C to stop",
+        agent.id()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
 
@@ -169,6 +240,8 @@ fn serve(args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut data_dir = None;
     let mut api_config = ApiConfig::default();
+    let mut fleet = false;
+    let mut fleet_config = FleetConfig::default();
     let mut rest = args.iter();
     // Parses the `usize` value of `--flag N`.
     let numeric = |flag: &str, value: Option<&String>| -> Result<usize, ExitCode> {
@@ -197,6 +270,15 @@ fn serve(args: &[String]) -> ExitCode {
                 Ok(n) => api_config.http.max_connections = n,
                 Err(code) => return code,
             },
+            "--fleet" => fleet = true,
+            "--lease-ms" => match numeric("--lease-ms", rest.next()) {
+                Ok(n) => {
+                    fleet_config.lease_ttl = std::time::Duration::from_millis(n as u64);
+                    fleet_config.heartbeat_interval =
+                        std::time::Duration::from_millis((n as u64 / 4).max(10));
+                }
+                Err(code) => return code,
+            },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag '{flag}'");
                 return ExitCode::from(2);
@@ -205,6 +287,8 @@ fn serve(args: &[String]) -> ExitCode {
         }
     }
     let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+    // The fleet worker registry shares the engine's persistence root.
+    let data_dir_for_fleet = data_dir.clone();
     let config = EngineConfig {
         data_dir,
         executor: Default::default(),
@@ -218,14 +302,33 @@ fn serve(args: &[String]) -> ExitCode {
     };
     let workers = api_config.http.workers;
     let max_conns = api_config.http.max_connections;
-    let api = match ApiServer::serve(&addr, service, api_config) {
-        Ok(api) => api,
-        Err(e) => {
-            eprintln!("cannot bind {addr}: {e}");
-            return ExitCode::FAILURE;
+    let bound = if fleet {
+        fleet_config.data_dir = data_dir_for_fleet;
+        match FleetServer::serve(&addr, service, api_config, fleet_config.clone()) {
+            Ok(server) => {
+                let bound = server.addr();
+                std::mem::forget(server); // serve until the process dies
+                bound
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match ApiServer::serve(&addr, service, api_config) {
+            Ok(api) => {
+                let bound = api.addr();
+                std::mem::forget(api);
+                bound
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    println!("profipy as-a-service listening on http://{}", api.addr());
+    println!("profipy as-a-service listening on http://{bound}");
     println!("  POST /api/campaigns              submit a CampaignSpec (JSON)");
     println!("  GET  /api/campaigns/:id          job status");
     println!("  GET  /api/campaigns/:id/report   completed campaign report");
@@ -233,6 +336,19 @@ fn serve(args: &[String]) -> ExitCode {
     println!("  GET  /api/sessions/:user/reports report history");
     println!("  GET  /metrics                    queue/cache counters");
     println!("  GET  /healthz                    liveness");
+    if fleet {
+        println!("  POST /api/workers/register       join the worker fleet");
+        println!("  POST /api/workers/:id/lease      pull a batch of experiments");
+        println!("  POST /api/workers/:id/heartbeat  keep the lease alive");
+        println!("  POST /api/workers/:id/results    upload executed results");
+        println!(
+            "fleet mode: no local execution; leases expire after {}ms without a heartbeat \
+             (workers beat every {}ms)",
+            fleet_config.lease_ttl.as_millis(),
+            fleet_config.heartbeat_interval.as_millis()
+        );
+        println!("join with: profipy-cli worker --coordinator {bound}");
+    }
     println!(
         "limits: {max_conns} keep-alive connections over {workers} handler workers"
     );

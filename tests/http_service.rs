@@ -145,6 +145,7 @@ fn many_keepalive_pollers_share_a_tiny_worker_pool() {
             ..httpd::ServerConfig::default()
         },
         drive_batch: 8,
+        local_drive: true,
     };
     let api = ApiServer::serve("127.0.0.1:0", service(), config).unwrap();
     let addr = api.addr().to_string();
