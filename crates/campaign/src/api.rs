@@ -8,8 +8,9 @@
 //! | GET    | `/api/campaigns/:id/report`  | completed campaign report (JSON)  |
 //! | POST   | `/api/models`                | save a fault model into a session |
 //! | GET    | `/api/sessions/:user/reports`| a user's report history           |
-//! | GET    | `/metrics`                   | queue/cache/server counters       |
-//! | GET    | `/healthz`                   | liveness probe                    |
+//! | GET    | `/api/campaigns/:id/trace`   | merged execution timeline (JSON)  |
+//! | GET    | `/metrics`                   | Prometheus exposition             |
+//! | GET    | `/healthz`                   | liveness probe (JSON)             |
 //!
 //! Handlers never run campaigns: submissions land in the engine's
 //! persistent queue, and a background **drive thread** pumps
@@ -26,7 +27,8 @@ use profipy::report::CampaignReport;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use trace::TraceStore;
 
 /// Nesting-depth cap applied to untrusted request bodies.
 const REQUEST_JSON_DEPTH: usize = 64;
@@ -83,6 +85,20 @@ struct ApiState {
     /// The HTTP layer's live open-connections gauge; installed right
     /// after the server binds (the router is built first).
     http_open_connections: OnceLock<Arc<AtomicU64>>,
+    /// Typed metrics (counters/gauges/histograms) rendered at the head
+    /// of `/metrics` in Prometheus exposition format. Every layer —
+    /// httpd, the engine, the fleet coordinator — registers into this
+    /// one registry.
+    registry: Arc<obs::Registry>,
+    /// Per-campaign execution timelines (spans from the engine and,
+    /// under a fleet coordinator, from remote workers).
+    trace: Arc<TraceStore>,
+    /// Service boot time — `uptime_seconds` on `/healthz`.
+    started: Instant,
+    /// Deployment role reported by `/healthz`: `"local"` unless an
+    /// extension (the fleet coordinator, the worker agent) claims
+    /// another one.
+    role: OnceLock<String>,
 }
 
 impl ApiState {
@@ -114,7 +130,11 @@ impl SharedService {
     /// internally; build one yourself to drive the service from both an
     /// extension (e.g. a fleet coordinator) and the API server, or to
     /// test extensions without HTTP.
-    pub fn new(service: CampaignService) -> SharedService {
+    pub fn new(mut service: CampaignService) -> SharedService {
+        let registry = Arc::new(obs::Registry::new());
+        let trace = Arc::new(TraceStore::new());
+        service.engine().metrics().register_into(&registry);
+        service.engine().set_trace_store(trace.clone());
         SharedService {
             state: Arc::new(ApiState {
                 service: Mutex::new(service),
@@ -125,6 +145,10 @@ impl SharedService {
                 wake: Condvar::new(),
                 metrics_ext: Mutex::new(Vec::new()),
                 http_open_connections: OnceLock::new(),
+                registry,
+                trace,
+                started: Instant::now(),
+                role: OnceLock::new(),
             }),
         }
     }
@@ -156,6 +180,28 @@ impl SharedService {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .push(provider);
+    }
+
+    /// The typed metrics registry rendered at the head of `/metrics`.
+    /// Extensions (the fleet surface) register their counters and
+    /// histograms here; the HTTP layer records request latencies into
+    /// it too.
+    pub fn metrics_registry(&self) -> Arc<obs::Registry> {
+        self.state.registry.clone()
+    }
+
+    /// The per-campaign trace store behind
+    /// `GET /api/campaigns/:id/trace`. The engine records its
+    /// prepare/execute spans here; fleet coordinators merge in spans
+    /// shipped back by remote workers.
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        self.state.trace.clone()
+    }
+
+    /// Claims the deployment role reported by `/healthz` (first caller
+    /// wins; the default is `"local"`).
+    pub fn set_role(&self, role: &str) {
+        let _ = self.state.role.set(role.to_string());
     }
 }
 
@@ -200,7 +246,14 @@ impl ApiServer {
         let state = shared.state.clone();
         let router = mount(build_router(state.clone()), &shared);
         drop(shared);
-        let server = Server::bind(addr, router, config.http.clone())?;
+        let mut http = config.http.clone();
+        // Unless the caller supplied its own registry, record HTTP
+        // request/queue-wait histograms into the service registry so
+        // they surface on this server's own `/metrics`.
+        if http.metrics.is_none() {
+            http.metrics = Some(state.registry.clone());
+        }
+        let server = Server::bind(addr, router, http)?;
         let _ = state
             .http_open_connections
             .set(server.connections_open_gauge());
@@ -314,6 +367,11 @@ fn build_router(state: Arc<ApiState>) -> Router {
             "GET",
             "/api/sessions/:user/reports",
             counted(&state, session_reports),
+        )
+        .route(
+            "GET",
+            "/api/campaigns/:id/trace",
+            counted(&state, job_trace),
         )
         .route("GET", "/metrics", counted(&state, metrics))
         .route("GET", "/healthz", counted(&state, healthz))
@@ -458,15 +516,44 @@ fn session_reports(state: &ApiState, req: &Request) -> Response {
     }
 }
 
+fn job_trace(state: &ApiState, req: &Request) -> Response {
+    let id = req.param("id").unwrap_or_default();
+    if state.service().poll(id).is_none() {
+        return error_response(404, &format!("unknown job '{id}'"));
+    }
+    // A known job with no recorded spans yet renders as an empty
+    // timeline rather than a 404: the job exists, tracing just has
+    // nothing for it (yet).
+    let timeline = state.trace.timeline(id).unwrap_or_default();
+    let dropped = state.trace.dropped(id);
+    Response::json(
+        200,
+        Value::obj(vec![
+            ("campaign", Value::str(id)),
+            ("span_count", Value::UInt(timeline.spans().len() as u64)),
+            ("dropped", Value::UInt(dropped)),
+            ("spans", trace::json::timeline_to_value(&timeline)),
+            ("render", Value::str(trace::render_timeline(&timeline, 72))),
+        ])
+        .pretty(),
+    )
+}
+
 fn metrics(state: &ApiState, _req: &Request) -> Response {
     let mut service = state.service();
     let stats = service.engine().cache_stats();
     let depth = service.engine().queue_depth();
     let counts = service.engine().job_state_counts();
     drop(service);
-    let mut out = String::new();
+    // Typed families (HELP/TYPE/histogram buckets) render first; the
+    // legacy `profipy_*` gauges follow, grouped per family under one
+    // `# TYPE … gauge` header each so the whole body is one valid
+    // Prometheus exposition. The sample lines themselves keep the
+    // exact `profipy_{name} {value}` shape scrapers already parse.
+    let out = state.registry.render();
+    let mut legacy: Vec<(String, u64)> = Vec::new();
     let mut gauge = |name: &str, value: u64| {
-        out.push_str(&format!("profipy_{name} {value}\n"));
+        legacy.push((name.to_string(), value));
     };
     gauge("http_requests_total", state.api_requests.load(Ordering::Relaxed));
     gauge("drive_calls_total", state.drive_calls.load(Ordering::Relaxed));
@@ -493,31 +580,71 @@ fn metrics(state: &ApiState, _req: &Request) -> Response {
     gauge("cache_coverage_misses", stats.coverage_misses);
     // Extension gauges (e.g. the fleet surface) — collected without the
     // service lock held, so providers may take their own locks freely.
-    let mut extra: Vec<(String, u64)> = Vec::new();
     for provider in state
         .metrics_ext
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .iter()
     {
-        provider(&mut extra);
+        provider(&mut legacy);
     }
-    for (name, value) in extra {
-        gauge(&name, value);
+    Response::text(200, render_legacy_gauges(out, &legacy))
+}
+
+/// Appends the legacy `(name, value)` gauges to `out` grouped by metric
+/// family (the name up to any `{label}` block), in first-occurrence
+/// order, with one `# TYPE profipy_<family> gauge` header per family —
+/// exposition-format conformance without changing a byte of the sample
+/// lines themselves.
+fn render_legacy_gauges(mut out: String, legacy: &[(String, u64)]) -> String {
+    let mut families: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (i, (name, _)) in legacy.iter().enumerate() {
+        let family = name.split('{').next().unwrap_or(name);
+        match families.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, members)) => members.push(i),
+            None => families.push((family, vec![i])),
+        }
     }
-    Response::text(200, out)
+    for (family, members) in families {
+        out.push_str(&format!("# TYPE profipy_{family} gauge\n"));
+        for i in members {
+            let (name, value) = &legacy[i];
+            out.push_str(&format!("profipy_{name} {value}\n"));
+        }
+    }
+    out
 }
 
 fn healthz(state: &ApiState, _req: &Request) -> Response {
-    match state
+    let error = state
         .drive_errors
         .lock()
         .unwrap_or_else(|p| p.into_inner())
-        .as_ref()
-    {
-        Some(e) => Response::text(500, format!("drive error: {e}\n")),
-        None => Response::text(200, "ok\n"),
-    }
+        .clone();
+    let body = Value::obj(vec![
+        (
+            "status",
+            Value::str(if error.is_some() { "error" } else { "ok" }),
+        ),
+        (
+            "role",
+            Value::str(state.role.get().map_or("local", String::as_str)),
+        ),
+        (
+            "uptime_seconds",
+            Value::UInt(state.started.elapsed().as_secs()),
+        ),
+        ("version", Value::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "error",
+            match &error {
+                Some(e) => Value::str(e),
+                None => Value::Null,
+            },
+        ),
+    ])
+    .pretty();
+    Response::json(if error.is_some() { 500 } else { 200 }, body)
 }
 
 // ---------- helpers & codecs ----------
@@ -931,7 +1058,17 @@ mod tests {
         let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
         let addr = api.addr().to_string();
         let mut client = httpd::Client::new(&addr);
-        assert_eq!(client.get("/healthz").unwrap().text(), "ok\n");
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        let health = jsonlite::parse(&resp.text()).unwrap();
+        assert_eq!(health.req("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.req("role").unwrap().as_str(), Some("local"));
+        assert_eq!(
+            health.req("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(health.req("uptime_seconds").unwrap().as_u64().is_some());
+        assert!(matches!(health.req("error").unwrap(), Value::Null));
         assert_eq!(
             client
                 .request("DELETE", "/api/campaigns", None, &[])

@@ -22,7 +22,7 @@
 use crate::cache::{CacheStats, MutantCache};
 use crate::checkpoint::CheckpointLog;
 use crate::queue::{JobQueue, JobState};
-use crate::scheduler::{self, ScheduledCampaign};
+use crate::scheduler::{self, RunTelemetry, ScheduledCampaign};
 use crate::spec::CampaignSpec;
 use injector::InjectionPoint;
 use profipy::analysis::FailureClassifier;
@@ -34,6 +34,50 @@ use sandbox::{ParallelExecutor, SourceFile};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
+use trace::TraceStore;
+
+/// The engine's latency histograms. Instruments are created detached
+/// (an engine works without any registry) and attached to a server's
+/// [`obs::Registry`] via [`EngineMetrics::register_into`] — typically
+/// by `SharedService::new`.
+pub struct EngineMetrics {
+    /// Queue wait: submit/requeue → taken by `drive`/`checkout_next`.
+    pub queue_wait_seconds: obs::Histogram,
+    /// Mutant-cache prepare wall time (parse, scan, plan, render).
+    pub prepare_seconds: obs::Histogram,
+    /// Per-experiment execution wall time.
+    pub experiment_seconds: obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn new() -> EngineMetrics {
+        EngineMetrics {
+            queue_wait_seconds: obs::Histogram::detached(obs::WAIT_BUCKETS),
+            prepare_seconds: obs::Histogram::detached(obs::LATENCY_BUCKETS),
+            experiment_seconds: obs::Histogram::detached(obs::LATENCY_BUCKETS),
+        }
+    }
+
+    /// Registers the engine's histograms into `registry`.
+    pub fn register_into(&self, registry: &obs::Registry) {
+        registry.register_histogram(
+            "campaign_queue_wait_seconds",
+            "Time campaigns waited in the job queue before being taken, in seconds.",
+            &self.queue_wait_seconds,
+        );
+        registry.register_histogram(
+            "campaign_prepare_seconds",
+            "Mutant-cache campaign preparation time (parse/scan/plan/render), in seconds.",
+            &self.prepare_seconds,
+        );
+        registry.register_histogram(
+            "campaign_experiment_seconds",
+            "Per-experiment execution time, in seconds.",
+            &self.experiment_seconds,
+        );
+    }
+}
 
 /// Engine-level errors.
 #[derive(Debug)]
@@ -174,6 +218,14 @@ pub struct CampaignEngine {
     reports: BTreeMap<String, CampaignReport>,
     totals: BTreeMap<String, usize>,
     classifier: FailureClassifier,
+    metrics: EngineMetrics,
+    /// Span sink for fleet-wide tracing (attached by the service
+    /// layer; a bare engine runs untraced).
+    trace: Option<Arc<TraceStore>>,
+    /// Queue-wait start marks: job id → submit/requeue instant.
+    /// In-memory only — waits across a process restart are not
+    /// observable, and the histogram is per-process anyway.
+    waiting_since: BTreeMap<String, Instant>,
 }
 
 impl CampaignEngine {
@@ -203,7 +255,22 @@ impl CampaignEngine {
             reports: BTreeMap::new(),
             totals: BTreeMap::new(),
             classifier: FailureClassifier::case_study(),
+            metrics: EngineMetrics::new(),
+            trace: None,
+            waiting_since: BTreeMap::new(),
         })
+    }
+
+    /// The engine's latency histograms (register them into an
+    /// [`obs::Registry`] to expose them on `/metrics`).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Attaches a span store; from here on `prepare` and experiment
+    /// execution record spans keyed by job id.
+    pub fn set_trace_store(&mut self, store: Arc<TraceStore>) {
+        self.trace = Some(store);
     }
 
     /// Convenience: persistent engine rooted at `dir`.
@@ -233,7 +300,17 @@ impl CampaignEngine {
                 message: format!("unknown host environment '{}'", spec.host),
             });
         }
-        Ok(self.queue.submit(spec)?)
+        let id = self.queue.submit(spec)?;
+        self.waiting_since.insert(id.clone(), Instant::now());
+        Ok(id)
+    }
+
+    /// Observes the queue-wait histogram for a job just taken off the
+    /// queue.
+    fn note_taken(&mut self, id: &str) {
+        if let Some(since) = self.waiting_since.remove(id) {
+            self.metrics.queue_wait_seconds.observe_duration(since.elapsed());
+        }
     }
 
     /// The status of a job, or `None` for an unknown id.
@@ -344,6 +421,7 @@ impl CampaignEngine {
             let Some(id) = self.queue.take_next()? else {
                 break;
             };
+            self.note_taken(&id);
             let spec = self.queue.get(&id).expect("taken job exists").spec.clone();
             match self.prepare(&id, &spec) {
                 Ok(campaign) => {
@@ -358,7 +436,12 @@ impl CampaignEngine {
         }
         summary.campaigns = prepared.len();
         let jobs = scheduler::interleave(&mut prepared, budget);
-        let run_outcome = scheduler::run_interleaved(&self.executor, jobs, &mut prepared);
+        let telemetry = RunTelemetry {
+            experiment_seconds: &self.metrics.experiment_seconds,
+            trace: self.trace.as_deref().map(|store| (store, &prepared_ids[..])),
+        };
+        let run_outcome =
+            scheduler::run_interleaved(&self.executor, jobs, &mut prepared, Some(&telemetry));
         if let Ok(executed) = &run_outcome {
             summary.experiments = *executed;
         }
@@ -387,6 +470,7 @@ impl CampaignEngine {
                 // back to the queue; the checkpoint keeps what was
                 // durably recorded.
                 self.queue.requeue(id)?;
+                self.waiting_since.insert(id.clone(), Instant::now());
             }
         }
         run_outcome?;
@@ -413,6 +497,7 @@ impl CampaignEngine {
             let Some(id) = self.queue.take_next()? else {
                 return Ok(None);
             };
+            self.note_taken(&id);
             let spec = self.queue.get(&id).expect("taken job exists").spec.clone();
             match self.prepare(&id, &spec) {
                 Ok(campaign) => {
@@ -469,6 +554,7 @@ impl CampaignEngine {
             Ok(true)
         } else {
             self.queue.requeue(&id)?;
+            self.waiting_since.insert(id, Instant::now());
             Ok(false)
         }
     }
@@ -477,6 +563,10 @@ impl CampaignEngine {
     /// the cross-campaign cache for parses, scans, coverage, and
     /// mutants.
     fn prepare(&mut self, id: &str, spec: &CampaignSpec) -> Result<ScheduledCampaign, EngineError> {
+        let prepare_started = Instant::now();
+        if let Some(store) = &self.trace {
+            store.begin(id);
+        }
         let host = self.registry.get(&spec.host).ok_or_else(|| EngineError {
             message: format!("unknown host environment '{}'", spec.host),
         })?;
@@ -570,6 +660,11 @@ impl CampaignEngine {
                 },
             };
             pending.push((point.clone(), sources));
+        }
+        let prepare_elapsed = prepare_started.elapsed();
+        self.metrics.prepare_seconds.observe_duration(prepare_elapsed);
+        if let Some(store) = &self.trace {
+            store.record_phase(id, "engine", "prepare", prepare_started, prepare_elapsed, false);
         }
         Ok(ScheduledCampaign {
             workflow,

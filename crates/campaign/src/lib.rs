@@ -66,8 +66,8 @@ pub use api::{report_to_value, status_to_value, ApiConfig, ApiServer, SharedServ
 pub use cache::{CacheStats, MutantCache};
 pub use checkpoint::CheckpointLog;
 pub use engine::{
-    CampaignEngine, CheckedOutCampaign, DriveSummary, EngineConfig, EngineError, HostRegistry,
-    JobStatus,
+    CampaignEngine, CheckedOutCampaign, DriveSummary, EngineConfig, EngineError, EngineMetrics,
+    HostRegistry, JobStatus,
 };
 pub use persist::{result_from_value, result_to_value, results_equivalent};
 pub use queue::{JobQueue, JobState, QueuedJob};

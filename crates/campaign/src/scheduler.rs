@@ -19,6 +19,19 @@ use sandbox::{ParallelExecutor, SourceFile};
 use std::collections::VecDeque;
 use std::io;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Optional per-experiment telemetry threaded through
+/// [`run_interleaved`]: the execution-latency histogram plus (when the
+/// engine has a trace store attached) span recording keyed by the
+/// campaigns' queue-job ids. Both sinks are lock-light and `Sync`, so
+/// observations happen on the executor's worker threads.
+pub struct RunTelemetry<'a> {
+    /// `campaign_experiment_seconds`.
+    pub experiment_seconds: &'a obs::Histogram,
+    /// `(store, job ids)` — ids indexed by `ExperimentJob::campaign`.
+    pub trace: Option<(&'a trace::TraceStore, &'a [String])>,
+}
 
 /// One schedulable experiment: everything a worker needs, with no
 /// shared mutable state.
@@ -89,6 +102,7 @@ pub fn run_interleaved(
     executor: &ParallelExecutor,
     jobs: VecDeque<ExperimentJob>,
     campaigns: &mut [ScheduledCampaign],
+    telemetry: Option<&RunTelemetry<'_>>,
 ) -> io::Result<usize> {
     let total = jobs.len();
     let stream = Mutex::new(jobs);
@@ -98,9 +112,26 @@ pub fn run_interleaved(
         total,
         &stream,
         |job: ExperimentJob| {
+            let started = Instant::now();
             let result = job
                 .workflow
                 .run_experiment_with_sources(&job.point, &job.sources);
+            if let Some(t) = telemetry {
+                let elapsed = started.elapsed();
+                t.experiment_seconds.observe_duration(elapsed);
+                if let Some((store, ids)) = t.trace {
+                    if let Some(id) = ids.get(job.campaign) {
+                        store.record_phase(
+                            id,
+                            "engine",
+                            &format!("execute #{}", job.point.id),
+                            started,
+                            elapsed,
+                            result.failed_round1(),
+                        );
+                    }
+                }
+            }
             (job.campaign, result)
         },
         |(campaign, result): (usize, ExperimentResult)| {

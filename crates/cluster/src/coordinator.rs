@@ -29,8 +29,10 @@
 //! variants; the public wrappers use `Instant::now()`. Tests drive the
 //! `_at` forms with synthetic instants — no sleeps, no flakes.
 
+use crate::wire::WireSpan;
 use campaign::{CampaignSpec, CheckedOutCampaign, EngineError, SharedService};
 use injector::InjectionPoint;
+use obs::Level;
 use profipy::ExperimentResult;
 use pysrc::Module;
 use sandbox::SourceFile;
@@ -39,6 +41,7 @@ use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+use trace::TraceStore;
 
 /// Coordinator options.
 #[derive(Clone, Debug)]
@@ -113,6 +116,10 @@ pub struct LeaseGrant {
     pub jobs: Vec<LeasedJob>,
     /// Specs of campaigns the worker did not previously know.
     pub new_campaigns: Vec<(String, CampaignSpec)>,
+    /// Trace id stamped on this lease; the worker echoes it back with
+    /// its result upload, and lease spans carry it so the fleet-wide
+    /// timeline correlates coordinator and worker phases.
+    pub trace_id: String,
 }
 
 /// What one result upload did.
@@ -188,6 +195,15 @@ pub struct Coordinator {
     /// Set during shutdown: leases stop checking campaigns out, so a
     /// request racing the drain cannot strand a job in `Running`.
     draining: std::sync::atomic::AtomicBool,
+    /// `fleet_lease_seconds` — lease handling time, queue checkout
+    /// included.
+    lease_seconds: obs::Histogram,
+    /// `fleet_checkin_seconds` — result-upload handling time,
+    /// checkpoint writes and campaign completion included.
+    checkin_seconds: obs::Histogram,
+    /// The service's per-campaign trace store: lease/requeue/upload
+    /// spans land here next to the engine's prepare spans.
+    trace: Arc<TraceStore>,
 }
 
 impl Coordinator {
@@ -238,6 +254,18 @@ impl Coordinator {
                 }
             }
         }
+        let metrics = service.metrics_registry();
+        let lease_seconds = metrics.histogram(
+            "fleet_lease_seconds",
+            "Coordinator lease handling time in seconds (queue checkout included).",
+            obs::LATENCY_BUCKETS,
+        );
+        let checkin_seconds = metrics.histogram(
+            "fleet_checkin_seconds",
+            "Result-upload handling time in seconds (checkpoint writes included).",
+            obs::LATENCY_BUCKETS,
+        );
+        let trace = service.trace_store();
         Ok(Coordinator {
             service,
             config,
@@ -250,6 +278,9 @@ impl Coordinator {
             }),
             registry_path,
             draining: std::sync::atomic::AtomicBool::new(false),
+            lease_seconds,
+            checkin_seconds,
+            trace,
         })
     }
 
@@ -361,6 +392,9 @@ impl Coordinator {
         known: &BTreeSet<String>,
         now: Instant,
     ) -> Result<LeaseGrant, FleetError> {
+        // Wall-clock (not the caller's synthetic `now`): the histogram
+        // measures real handling latency even under `_at` tests.
+        let wall = Instant::now();
         {
             let mut state = self.lock();
             let info = state
@@ -377,7 +411,9 @@ impl Coordinator {
             // since the live worker's contacts keep extending the
             // deadline.
             if let Some(prev) = state.leases.remove(worker) {
-                Self::requeue_lease_jobs(&mut state, &prev, worker);
+                let requeued = Self::requeue_lease_jobs(&mut state, &prev, worker);
+                drop(state);
+                self.note_requeue(worker, "lease_superseded", &requeued);
             }
         }
         let want = max_jobs.clamp(1, self.config.lease_batch_max);
@@ -489,6 +525,7 @@ impl Coordinator {
         }
         state.counters.leases_granted += 1;
         state.counters.jobs_leased += jobs.len() as u64;
+        let trace_id = format!("t-{:06}", state.counters.leases_granted);
         // Ship specs the worker lacks.
         let mut new_campaigns: Vec<(String, CampaignSpec)> = Vec::new();
         for job in &jobs {
@@ -500,15 +537,43 @@ impl Coordinator {
             let spec = state.active[&job.campaign].checkout.spec.clone();
             new_campaigns.push((job.campaign.clone(), spec));
         }
-        Ok(LeaseGrant { jobs, new_campaigns })
+        drop(state);
+        // One lease span per campaign that got jobs (empty leases are
+        // routine polling, not timeline events).
+        let mut per_campaign: BTreeMap<&str, usize> = BTreeMap::new();
+        for job in &jobs {
+            *per_campaign.entry(job.campaign.as_str()).or_insert(0) += 1;
+        }
+        let elapsed = wall.elapsed();
+        for (campaign, n) in &per_campaign {
+            self.trace.record_phase(
+                campaign,
+                "coordinator",
+                &format!("lease {trace_id} → {worker} ({n} jobs)"),
+                wall,
+                elapsed,
+                false,
+            );
+        }
+        self.lease_seconds.observe_duration(elapsed);
+        Ok(LeaseGrant {
+            jobs,
+            new_campaigns,
+            trace_id,
+        })
     }
 
     /// Requeues a lease's still-unresulted jobs (shared by expiry and
     /// lease supersession). Jobs whose in-flight entry no longer names
     /// `worker` — resulted, or requeued and re-leased elsewhere — are
-    /// left alone.
-    fn requeue_lease_jobs(state: &mut FleetState, lease: &Lease, worker: &str) -> usize {
-        let mut requeued = 0usize;
+    /// left alone. Returns how many jobs went back per campaign, so
+    /// callers can log and trace the event with its cause attached.
+    fn requeue_lease_jobs(
+        state: &mut FleetState,
+        lease: &Lease,
+        worker: &str,
+    ) -> BTreeMap<String, usize> {
+        let mut requeued: BTreeMap<String, usize> = BTreeMap::new();
         for (campaign_id, point_id) in &lease.jobs {
             let Some(c) = state.active.get_mut(campaign_id) else {
                 continue; // campaign completed meanwhile
@@ -524,9 +589,30 @@ impl Coordinator {
             c.pending.push_back((flight.point, flight.sources));
             *c.requeues.entry(*point_id).or_insert(0) += 1;
             state.counters.jobs_requeued += 1;
-            requeued += 1;
+            *requeued.entry(campaign_id.clone()).or_insert(0) += 1;
         }
         requeued
+    }
+
+    /// Logs and traces one requeue event (lease expiry or supersession).
+    fn note_requeue(&self, worker: &str, cause: &str, requeued: &BTreeMap<String, usize>) {
+        for (campaign, n) in requeued {
+            obs::log!(
+                Level::Warn,
+                cause,
+                "worker" => worker,
+                "campaign" => campaign.as_str(),
+                "requeued" => *n as u64,
+            );
+            self.trace.record_phase(
+                campaign,
+                "coordinator",
+                &format!("{cause} {worker} ({n} jobs)"),
+                Instant::now(),
+                Duration::ZERO,
+                true,
+            );
+        }
     }
 
     /// Records uploaded results. Idempotent: a point already in the
@@ -560,6 +646,7 @@ impl Coordinator {
         results: Vec<(String, ExperimentResult)>,
         now: Instant,
     ) -> Result<ResultsSummary, FleetError> {
+        let wall = Instant::now();
         let mut state = self.lock();
         let info = state
             .workers
@@ -569,7 +656,9 @@ impl Coordinator {
         let mut summary = ResultsSummary::default();
         let mut touched: BTreeSet<String> = BTreeSet::new();
         let mut retired: Vec<(String, u64)> = Vec::new();
+        let mut uploaded: BTreeMap<String, usize> = BTreeMap::new();
         for (campaign_id, result) in results {
+            *uploaded.entry(campaign_id.clone()).or_insert(0) += 1;
             let Some(c) = state.active.get_mut(&campaign_id) else {
                 // Campaign finished (or was never distributed): a late
                 // duplicate from a slow worker.
@@ -616,11 +705,38 @@ impl Coordinator {
                 .map_err(FleetError::Engine)?;
             if completed {
                 state.counters.campaigns_completed += 1;
+                obs::log!(
+                    Level::Info,
+                    "campaign_completed",
+                    "campaign" => id.as_str(),
+                    "worker" => worker,
+                );
+                self.trace.record_phase(
+                    &id,
+                    "coordinator",
+                    "complete",
+                    wall,
+                    wall.elapsed(),
+                    false,
+                );
                 summary.completed.push(id);
             }
         }
         state.counters.results_accepted += summary.accepted;
         state.counters.results_duplicate += summary.duplicates;
+        drop(state);
+        let elapsed = wall.elapsed();
+        for (campaign, n) in &uploaded {
+            self.trace.record_phase(
+                campaign,
+                "coordinator",
+                &format!("upload ← {worker} ({n} results)"),
+                wall,
+                elapsed,
+                false,
+            );
+        }
+        self.checkin_seconds.observe_duration(elapsed);
         Ok(summary)
     }
 
@@ -642,10 +758,17 @@ impl Coordinator {
             .map(|(worker, _)| worker.clone())
             .collect();
         let mut requeued = 0usize;
+        let mut noted: Vec<(String, BTreeMap<String, usize>)> = Vec::new();
         for worker in expired {
             let lease = state.leases.remove(&worker).expect("expired lease exists");
             state.counters.leases_expired += 1;
-            requeued += Self::requeue_lease_jobs(&mut state, &lease, &worker);
+            let per_campaign = Self::requeue_lease_jobs(&mut state, &lease, &worker);
+            requeued += per_campaign.values().sum::<usize>();
+            noted.push((worker, per_campaign));
+        }
+        drop(state);
+        for (worker, per_campaign) in noted {
+            self.note_requeue(&worker, "lease_expired", &per_campaign);
         }
         requeued
     }
@@ -661,6 +784,13 @@ impl Coordinator {
         self.draining.store(true, std::sync::atomic::Ordering::SeqCst);
         let mut state = self.lock();
         let ids: Vec<String> = state.active.keys().cloned().collect();
+        let leases = state.leases.len();
+        obs::log!(
+            Level::Info,
+            "coordinator_drain",
+            "campaigns" => ids.len() as u64,
+            "leases" => leases as u64,
+        );
         for id in ids {
             let c = state.active.remove(&id).expect("listed id is active");
             self.service
@@ -729,6 +859,32 @@ impl Coordinator {
                 format!("fleet_worker_parallelism{{worker=\"{id}\"}}"),
                 info.parallelism as u64,
             ));
+        }
+    }
+
+    /// Merges worker-shipped phase spans into the campaign timelines.
+    ///
+    /// Each span self-anchors: its `age` says how long before the
+    /// upload send it started, so its coordinator-clock start is the
+    /// campaign's current trace offset minus that age (clamped at the
+    /// campaign epoch — no cross-host clock agreement needed). Spans
+    /// for unknown campaigns are dropped: telemetry must never grow
+    /// state for ids the queue never issued.
+    pub fn record_wire_spans(&self, worker: &str, spans: &[WireSpan]) {
+        for span in spans {
+            let Some(offset) = self.trace.offset(&span.campaign) else {
+                continue;
+            };
+            self.trace.record(
+                &span.campaign,
+                trace::Span {
+                    service: worker.to_string(),
+                    name: span.name.clone(),
+                    start: (offset - span.age.max(0.0)).max(0.0),
+                    duration: span.duration.max(0.0),
+                    failed: span.failed,
+                },
+            );
         }
     }
 }

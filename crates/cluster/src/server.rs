@@ -49,6 +49,7 @@ impl FleetServer {
     ) -> Result<FleetServer, EngineError> {
         api_config.local_drive = false;
         let shared = SharedService::new(service);
+        shared.set_role("fleet");
         let coordinator = Arc::new(
             Coordinator::new(shared.clone(), fleet_config.clone()).map_err(|e| EngineError {
                 message: format!("fleet registry: {e}"),
@@ -252,6 +253,15 @@ fn upload_results(coordinator: &Coordinator, req: &Request) -> Response {
         Ok(results) => results,
         Err(e) => return error_response(422, &format!("invalid results: {e}")),
     };
+    // Worker phase spans ride the upload; merge them into the campaign
+    // timelines before recording the results (telemetry-tolerant: a
+    // missing or malformed spans array never fails the upload).
+    if let Some(spans) = body.get("spans") {
+        let spans = wire::spans_from_value(spans);
+        if !spans.is_empty() {
+            coordinator.record_wire_spans(&worker, &spans);
+        }
+    }
     match coordinator.report_results(&worker, results) {
         Ok(summary) => Response::json(
             200,

@@ -33,6 +33,28 @@ pub struct WireLease {
     pub jobs: Vec<WireJob>,
     /// Campaign specs the worker did not previously know.
     pub new_campaigns: Vec<(String, CampaignSpec)>,
+    /// Coordinator-stamped trace id for this lease (empty when talking
+    /// to a coordinator predating tracing).
+    pub trace_id: String,
+}
+
+/// One worker-side phase span shipped back with a result upload.
+///
+/// The span's wall-clock start is expressed as `age` — how many seconds
+/// before the upload was *sent* the phase started — so the coordinator
+/// can anchor it on its own clock (`campaign offset - age`) without any
+/// cross-host clock agreement.
+pub struct WireSpan {
+    /// Owning campaign id (the trace key).
+    pub campaign: String,
+    /// Phase label (e.g. `"rebind (4 jobs)"`, `"execute #17"`).
+    pub name: String,
+    /// Seconds between the phase start and the upload send.
+    pub age: f64,
+    /// Phase duration in seconds.
+    pub duration: f64,
+    /// Whether the phase failed (round-1 failure for execute spans).
+    pub failed: bool,
 }
 
 /// Serializes a lease grant for the wire.
@@ -82,6 +104,7 @@ pub fn lease_grant_to_value(grant: &LeaseGrant) -> Result<Value, String> {
                     .collect(),
             ),
         ),
+        ("trace", Value::str(&grant.trace_id)),
     ]))
 }
 
@@ -143,7 +166,17 @@ pub fn lease_from_value(v: &Value) -> Result<WireLease, String> {
             ))
         })
         .collect::<Result<Vec<_>, String>>()?;
-    Ok(WireLease { jobs, new_campaigns })
+    // Tolerant: absent on the wire means an older coordinator.
+    let trace_id = v
+        .get("trace")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    Ok(WireLease {
+        jobs,
+        new_campaigns,
+        trace_id,
+    })
 }
 
 /// Re-binds a wire job's portable point against the worker's parsed
@@ -201,6 +234,45 @@ pub fn results_from_value(v: &Value) -> Result<Vec<(String, ExperimentResult)>, 
                     .to_string(),
                 result_from_value(entry.req("result")?)?,
             ))
+        })
+        .collect()
+}
+
+/// Serializes worker phase spans for the upload payload.
+pub fn spans_to_value(spans: &[WireSpan]) -> Value {
+    Value::Arr(
+        spans
+            .iter()
+            .map(|s| {
+                Value::obj(vec![
+                    ("campaign", Value::str(&s.campaign)),
+                    ("name", Value::str(&s.name)),
+                    ("age", Value::Float(s.age)),
+                    ("duration", Value::Float(s.duration)),
+                    ("failed", Value::Bool(s.failed)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes worker phase spans on the coordinator. Tolerant: spans are
+/// telemetry, so malformed entries are skipped, never rejected — a
+/// worker that mangles its spans must not lose its results.
+pub fn spans_from_value(v: &Value) -> Vec<WireSpan> {
+    let Some(entries) = v.as_arr() else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|s| {
+            Some(WireSpan {
+                campaign: s.get("campaign")?.as_str()?.to_string(),
+                name: s.get("name")?.as_str()?.to_string(),
+                age: s.get("age")?.as_f64()?,
+                duration: s.get("duration")?.as_f64()?,
+                failed: matches!(s.get("failed"), Some(Value::Bool(true))),
+            })
         })
         .collect()
 }

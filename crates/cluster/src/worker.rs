@@ -23,6 +23,7 @@ use crate::wire;
 use campaign::{CampaignSpec, HostRegistry};
 use httpd::ClientPool;
 use jsonlite::Value;
+use obs::Level;
 use profipy::workflow::Workflow;
 use profipy::ExperimentResult;
 use sandbox::{ParallelExecutor, SourceFile};
@@ -31,7 +32,7 @@ use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker agent options.
 #[derive(Clone, Debug)]
@@ -87,6 +88,9 @@ pub struct WorkerStats {
     pub uploads: u64,
     /// Upload attempts that failed and were retried.
     pub upload_retries: u64,
+    /// Result batches abandoned after exhausting every upload retry
+    /// (the jobs return to the pool via lease expiry/supersession).
+    pub upload_failures: u64,
     /// Jobs skipped because their campaign could not be rebuilt
     /// locally (unknown host, rebind failure); lease expiry returns
     /// them to the pool for another worker.
@@ -218,6 +222,16 @@ struct ReadyJob {
     sources: Vec<SourceFile>,
 }
 
+/// A phase span recorded locally, awaiting shipment with the next
+/// result upload (the upload's own span rides the one after it).
+struct PendingSpan {
+    campaign: String,
+    name: String,
+    start: Instant,
+    duration: f64,
+    failed: bool,
+}
+
 fn run_loop(
     config: &WorkerConfig,
     registry: &HostRegistry,
@@ -233,6 +247,13 @@ fn run_loop(
     let mut backoff = config.idle_backoff;
     let lease_path = format!("/api/workers/{id}/lease");
     let results_path = format!("/api/workers/{id}/results");
+    let upload_failures = obs::global().counter(
+        "fleet_upload_failures_total",
+        "Result batches abandoned after exhausting every upload retry.",
+    );
+    // Phase spans not yet shipped: rebind/execute spans of the current
+    // batch, plus the previous batch's upload span.
+    let mut pending_spans: Vec<PendingSpan> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         let known: BTreeSet<String> = workflows.keys().cloned().collect();
         let request = Value::obj(vec![
@@ -248,7 +269,13 @@ fn run_loop(
                 .and_then(|v| wire::lease_from_value(&v))
             {
                 Ok(lease) => lease,
-                Err(_) => {
+                Err(e) => {
+                    obs::log!(
+                        Level::Warn,
+                        "lease_decode_failed",
+                        "worker" => id,
+                        "error" => e.as_str(),
+                    );
                     idle(&mut backoff, config, stop);
                     continue;
                 }
@@ -268,10 +295,18 @@ fn run_loop(
             }
         }
         // Join jobs with their workflows and rebind the portable points.
+        let rebind_started = Instant::now();
         let mut ready: Vec<ReadyJob> = Vec::new();
         for job in lease.jobs {
             let Some(workflow) = workflows.get(&job.campaign) else {
                 stats.skipped += 1;
+                obs::log!(
+                    Level::Warn,
+                    "job_skipped",
+                    "worker" => id,
+                    "campaign" => job.campaign.as_str(),
+                    "reason" => "campaign not rebuilt locally",
+                );
                 continue;
             };
             match wire::rebind_point(&job.point, workflow.modules()) {
@@ -281,7 +316,16 @@ fn run_loop(
                     point,
                     sources: job.sources,
                 }),
-                Err(_) => stats.skipped += 1,
+                Err(e) => {
+                    stats.skipped += 1;
+                    obs::log!(
+                        Level::Warn,
+                        "job_skipped",
+                        "worker" => id,
+                        "campaign" => job.campaign.as_str(),
+                        "reason" => e.as_str(),
+                    );
+                }
             }
         }
         if ready.is_empty() {
@@ -290,51 +334,172 @@ fn run_loop(
             continue;
         }
         backoff = config.idle_backoff;
+        let rebind_elapsed = rebind_started.elapsed().as_secs_f64();
+        for (campaign, n) in count_per_campaign(ready.iter().map(|j| j.campaign.as_str())) {
+            pending_spans.push(PendingSpan {
+                campaign,
+                name: format!("rebind ({n} jobs)"),
+                start: rebind_started,
+                duration: rebind_elapsed,
+                failed: false,
+            });
+        }
         // Execute the batch in the local sandbox, `parallelism` at a
         // time.
-        let results: Vec<(String, ExperimentResult)> = executor.run(ready.len(), |i| {
-            let job = &ready[i];
-            (
-                job.campaign.clone(),
-                job.workflow
-                    .run_experiment_with_sources(&job.point, &job.sources),
-            )
-        });
+        let outcomes: Vec<(String, ExperimentResult, Instant, f64)> =
+            executor.run(ready.len(), |i| {
+                let job = &ready[i];
+                let started = Instant::now();
+                let result = job
+                    .workflow
+                    .run_experiment_with_sources(&job.point, &job.sources);
+                let duration = started.elapsed().as_secs_f64();
+                (job.campaign.clone(), result, started, duration)
+            });
+        let mut results: Vec<(String, ExperimentResult)> = Vec::with_capacity(outcomes.len());
+        for (campaign, result, started, duration) in outcomes {
+            pending_spans.push(PendingSpan {
+                campaign: campaign.clone(),
+                name: format!("execute #{}", result.point_id),
+                start: started,
+                duration,
+                failed: result.failed_round1(),
+            });
+            results.push((campaign, result));
+        }
         stats.executed += results.len() as u64;
         // Stream the batch back with retry/backoff. Retrying a
         // possibly-delivered upload is safe: the coordinator records
-        // results idempotently (first write wins).
-        let body = wire::results_to_value(&results).compact();
-        let mut delay = Duration::from_millis(10);
-        for attempt in 0..=config.upload_retries {
-            match pool.post_json(&config.coordinator, &results_path, &body) {
-                Ok(resp) if resp.status == 200 => {
-                    stats.uploads += 1;
-                    // Free workflows of campaigns that just completed.
-                    if let Ok(v) = jsonlite::parse(&resp.text()) {
-                        if let Some(done) = v.get("completed").and_then(Value::as_arr) {
-                            for id in done.iter().filter_map(Value::as_str) {
-                                workflows.remove(id);
-                            }
-                        }
+        // results idempotently (first write wins). The pending spans
+        // ride along, each anchored by its age relative to this send.
+        let send = Instant::now();
+        let spans: Vec<wire::WireSpan> = pending_spans
+            .iter()
+            .map(|s| wire::WireSpan {
+                campaign: s.campaign.clone(),
+                name: s.name.clone(),
+                age: send
+                    .checked_duration_since(s.start)
+                    .unwrap_or_default()
+                    .as_secs_f64(),
+                duration: s.duration,
+                failed: s.failed,
+            })
+            .collect();
+        let mut body = wire::results_to_value(&results);
+        if let Value::Obj(fields) = &mut body {
+            fields.push(("trace".to_string(), Value::str(&lease.trace_id)));
+            fields.push(("spans".to_string(), wire::spans_to_value(&spans)));
+        }
+        match upload_with_retry(
+            pool,
+            &config.coordinator,
+            &results_path,
+            &body.compact(),
+            config.upload_retries,
+            &mut stats,
+            &upload_failures,
+            id,
+        ) {
+            Ok(reply) => {
+                // Shipped spans now live coordinator-side; the upload
+                // itself becomes a span on the next flush.
+                pending_spans.clear();
+                let upload_elapsed = send.elapsed().as_secs_f64();
+                for (campaign, n) in
+                    count_per_campaign(results.iter().map(|(c, _)| c.as_str()))
+                {
+                    pending_spans.push(PendingSpan {
+                        campaign,
+                        name: format!("upload ({n} results)"),
+                        start: send,
+                        duration: upload_elapsed,
+                        failed: false,
+                    });
+                }
+                // Free workflows of campaigns that just completed.
+                if let Some(done) = reply.get("completed").and_then(Value::as_arr) {
+                    for id in done.iter().filter_map(Value::as_str) {
+                        workflows.remove(id);
                     }
-                    break;
                 }
-                _ if attempt == config.upload_retries => {
-                    // Abandon the batch: lease expiry will requeue the
-                    // jobs and another worker (or this one, later) will
-                    // re-execute them.
-                    break;
-                }
-                _ => {
-                    stats.upload_retries += 1;
-                    std::thread::sleep(delay);
-                    delay = (delay * 2).min(Duration::from_millis(500));
-                }
+            }
+            Err(_) => {
+                // Abandon the batch: lease expiry (or the supersession
+                // on our next lease) requeues the jobs and another
+                // worker re-executes them. The spans die with the
+                // batch — their results never landed.
+                pending_spans.clear();
             }
         }
     }
     stats
+}
+
+/// Distinct campaigns with their batch-member counts, in first-seen
+/// order.
+fn count_per_campaign<'a>(ids: impl Iterator<Item = &'a str>) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for id in ids {
+        match counts.iter_mut().find(|(c, _)| c == id) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((id.to_string(), 1)),
+        }
+    }
+    counts
+}
+
+/// Uploads one result batch with exponential backoff, `retries + 1`
+/// attempts in total. Success returns the coordinator's parsed reply.
+/// Exhaustion is **surfaced**, not swallowed: the final error lands in
+/// the event log, `stats.upload_failures`, and the process-wide
+/// `fleet_upload_failures_total` counter before it is returned.
+#[allow(clippy::too_many_arguments)]
+fn upload_with_retry(
+    pool: &ClientPool,
+    coordinator: &str,
+    path: &str,
+    body: &str,
+    retries: u32,
+    stats: &mut WorkerStats,
+    failures: &obs::Counter,
+    worker: &str,
+) -> Result<Value, String> {
+    let mut delay = Duration::from_millis(10);
+    let mut last_error = String::new();
+    for attempt in 0..=retries {
+        match pool.post_json(coordinator, path, body) {
+            Ok(resp) if resp.status == 200 => {
+                stats.uploads += 1;
+                return Ok(jsonlite::parse(&resp.text()).unwrap_or(Value::Null));
+            }
+            Ok(resp) => last_error = format!("HTTP {}: {}", resp.status, resp.text()),
+            Err(e) => last_error = format!("transport: {e}"),
+        }
+        if attempt == retries {
+            break;
+        }
+        stats.upload_retries += 1;
+        obs::log!(
+            Level::Warn,
+            "upload_retry",
+            "worker" => worker,
+            "attempt" => u64::from(attempt) + 1,
+            "error" => last_error.as_str(),
+        );
+        std::thread::sleep(delay);
+        delay = (delay * 2).min(Duration::from_millis(500));
+    }
+    stats.upload_failures += 1;
+    failures.inc();
+    obs::log!(
+        Level::Error,
+        "upload_retries_exhausted",
+        "worker" => worker,
+        "attempts" => u64::from(retries) + 1,
+        "error" => last_error.as_str(),
+    );
+    Err(last_error)
 }
 
 fn build_workflow(
@@ -355,4 +520,49 @@ fn idle(backoff: &mut Duration, config: &WorkerConfig, stop: &AtomicBool) {
         slept += slice;
     }
     *backoff = (*backoff * 2).min(config.idle_backoff_max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpd::{Request, Response, Router, Server, ServerConfig};
+
+    #[test]
+    fn upload_retry_exhaustion_is_surfaced_not_swallowed() {
+        // A coordinator that always refuses uploads.
+        let router = Router::new().route(
+            "POST",
+            "/api/workers/:id/results",
+            |_req: &Request| Response::json(503, "{\"error\":\"overloaded\"}".to_string()),
+        );
+        let server = Server::bind("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        let pool = ClientPool::new();
+        let mut stats = WorkerStats::default();
+        let failures = obs::global().counter(
+            "fleet_upload_failures_total",
+            "Result batches abandoned after exhausting every upload retry.",
+        );
+        let before = failures.value();
+        let err = upload_with_retry(
+            &pool,
+            &addr,
+            "/api/workers/w-test/results",
+            "{\"results\": []}",
+            2,
+            &mut stats,
+            &failures,
+            "w-test",
+        )
+        .unwrap_err();
+        // The final error is returned, not discarded…
+        assert!(err.contains("503"), "{err}");
+        // …each non-final failure counted as a retry…
+        assert_eq!(stats.upload_retries, 2);
+        // …and the exhaustion surfaced in stats and the counter.
+        assert_eq!(stats.upload_failures, 1);
+        assert_eq!(stats.uploads, 0);
+        assert_eq!(failures.value(), before + 1);
+        server.shutdown();
+    }
 }

@@ -55,6 +55,49 @@ struct Job {
     conn: usize,
     request: Request,
     wants_close: bool,
+    /// When the job entered the queue — the queue-wait histogram's
+    /// start mark.
+    enqueued: Instant,
+}
+
+/// Per-worker-thread metric handles. The per-route histogram cache
+/// keeps the hot path at one `HashMap` lookup; the registry is only
+/// consulted the first time a thread sees a route.
+struct WorkerTelemetry {
+    registry: Arc<obs::Registry>,
+    queue_wait: obs::Histogram,
+    routes: std::collections::HashMap<String, obs::Histogram>,
+}
+
+const REQUEST_SECONDS_HELP: &str = "HTTP request service time by route, in seconds.";
+
+impl WorkerTelemetry {
+    fn new(registry: Arc<obs::Registry>) -> WorkerTelemetry {
+        let queue_wait = registry.histogram(
+            "httpd_queue_wait_seconds",
+            "Time requests spent queued for a worker, in seconds.",
+            obs::WAIT_BUCKETS,
+        );
+        WorkerTelemetry {
+            registry,
+            queue_wait,
+            routes: std::collections::HashMap::new(),
+        }
+    }
+
+    fn route_histogram(&mut self, route: &str) -> &obs::Histogram {
+        let WorkerTelemetry {
+            registry, routes, ..
+        } = self;
+        routes.entry(route.to_string()).or_insert_with(|| {
+            registry.histogram_with(
+                "httpd_request_seconds",
+                REQUEST_SECONDS_HELP,
+                obs::LATENCY_BUCKETS,
+                &[("route", route)],
+            )
+        })
+    }
 }
 
 /// A worker's verdict. `response: None` means the handler panicked —
@@ -152,9 +195,10 @@ pub(crate) fn run(
             let job_rx = job_rx.clone();
             let done_tx = done_tx.clone();
             let router = router.clone();
+            let telemetry = config.metrics.clone().map(WorkerTelemetry::new);
             std::thread::Builder::new()
                 .name(format!("httpd-worker-{i}"))
-                .spawn(move || worker_loop(&job_rx, &done_tx, &router))
+                .spawn(move || worker_loop(&job_rx, &done_tx, &router, telemetry))
                 .expect("spawn worker")
         })
         .collect();
@@ -358,6 +402,7 @@ fn advance_parse(
                 conn: id,
                 request,
                 wants_close,
+                enqueued: Instant::now(),
             }) {
                 Ok(()) => {
                     shared.requests.fetch_add(1, Ordering::Relaxed);
@@ -409,7 +454,12 @@ fn deliver_completion(conns: &mut Slab, shared: &Shared, done: Done, stopping: b
     }
 }
 
-fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done_tx: &Sender<Done>, router: &Router) {
+fn worker_loop(
+    job_rx: &Mutex<Receiver<Job>>,
+    done_tx: &Sender<Done>,
+    router: &Router,
+    mut telemetry: Option<WorkerTelemetry>,
+) {
     loop {
         // Hold the lock only for the dequeue, not while handling.
         let job = match job_rx.lock() {
@@ -419,13 +469,27 @@ fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done_tx: &Sender<Done>, router: &R
         let Ok(mut job) = job else {
             return; // sender dropped and queue drained
         };
+        if let Some(t) = telemetry.as_ref() {
+            t.queue_wait.observe_duration(job.enqueued.elapsed());
+        }
         // A panicking handler must cost one connection, not a worker:
         // the pool would otherwise shrink panic by panic until the
         // server stops serving.
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            router.dispatch(&mut job.request)
+        let service_start = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.dispatch_with_route(&mut job.request)
         }))
         .ok();
+        let response = match outcome {
+            Some((response, route)) => {
+                if let Some(t) = telemetry.as_mut() {
+                    t.route_histogram(route.unwrap_or("(unmatched)"))
+                        .observe_duration(service_start.elapsed());
+                }
+                Some(response)
+            }
+            None => None, // handler panicked mid-dispatch; no route to charge
+        };
         let done = Done {
             conn: job.conn,
             response,

@@ -13,6 +13,9 @@ enum Segment {
 
 struct Route {
     method: String,
+    /// The original pattern string — the low-cardinality `route` label
+    /// for per-route latency metrics.
+    pattern: String,
     segments: Vec<Segment>,
     handler: Handler,
 }
@@ -40,6 +43,7 @@ impl Router {
     ) -> Router {
         self.routes.push(Route {
             method: method.to_ascii_uppercase(),
+            pattern: pattern.to_string(),
             segments: split(pattern)
                 .map(|s| match s.strip_prefix(':') {
                     Some(name) => Segment::Param(name.to_string()),
@@ -55,6 +59,13 @@ impl Router {
     /// matching handler; 405 when the path exists under another
     /// method, 404 otherwise.
     pub fn dispatch(&self, request: &mut Request) -> Response {
+        self.dispatch_with_route(request).0
+    }
+
+    /// Like [`Router::dispatch`], but also reports which route pattern
+    /// matched (`None` for 404/405) — the label per-route latency
+    /// histograms key on.
+    pub fn dispatch_with_route(&self, request: &mut Request) -> (Response, Option<&str>) {
         let mut path_matched = false;
         for route in &self.routes {
             let Some(params) = match_segments(&route.segments, &request.path) else {
@@ -65,12 +76,12 @@ impl Router {
                 continue;
             }
             request.params = params;
-            return (route.handler)(request);
+            return ((route.handler)(request), Some(route.pattern.as_str()));
         }
         if path_matched {
-            Response::text(405, "method not allowed\n")
+            (Response::text(405, "method not allowed\n"), None)
         } else {
-            Response::text(404, "not found\n")
+            (Response::text(404, "not found\n"), None)
         }
     }
 }

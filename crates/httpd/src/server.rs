@@ -55,6 +55,10 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Wall-clock budget for reading one request (slowloris guard).
     pub request_timeout: Duration,
+    /// Optional metrics registry: when set, workers record
+    /// `httpd_request_seconds{route=…}` and `httpd_queue_wait_seconds`
+    /// histograms into it.
+    pub metrics: Option<Arc<obs::Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +69,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             request_timeout: Duration::from_secs(30),
+            metrics: None,
         }
     }
 }

@@ -19,6 +19,11 @@
 //! assert!(art.contains("PUT /v2/keys/a"));
 //! ```
 
+pub mod json;
+pub mod store;
+
+pub use store::TraceStore;
+
 use std::fmt::Write as _;
 
 /// One traced operation.
@@ -143,7 +148,11 @@ pub fn render_timeline(timeline: &Timeline, width: usize) -> String {
     for span in timeline.spans() {
         let label = format!("{} {}", span.service, span.name);
         let label = if label.len() > label_width {
-            format!("{}…", &label[..label_width.saturating_sub(1)])
+            // Truncate on a char boundary: labels carry user-supplied
+            // campaign/operation names, which may be multibyte.
+            let cut = label_width.saturating_sub(1);
+            let boundary = (0..=cut).rev().find(|i| label.is_char_boundary(*i));
+            format!("{}…", &label[..boundary.unwrap_or(0)])
         } else {
             label
         };
@@ -219,5 +228,66 @@ mod tests {
     fn from_iterator_collects() {
         let t: Timeline = vec![Span::new("s", "x", 0.0, 1.0)].into_iter().collect();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_timeline_output_is_stable() {
+        let art = render_timeline(&Timeline::new(), 20);
+        let expected = format!("{:8} |{}| t=0..0.000s\n0 spans, 0 failed\n", "span", "-".repeat(20));
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn zero_duration_spans_render_one_cell_bars() {
+        let mut t = Timeline::new();
+        t.push(Span::new("a", "instant", 0.0, 0.0));
+        t.push(Span::new("a", "anchor", 0.0, 1.0));
+        let art = render_timeline(&t, 30);
+        let instant_line = art.lines().nth(1).unwrap();
+        assert_eq!(
+            instant_line.matches('#').count(),
+            1,
+            "zero-duration span draws exactly one cell: {instant_line}"
+        );
+        // Every span row stays exactly as wide as the chart.
+        let rows: Vec<&str> = art.lines().skip(1).take(t.len()).collect();
+        for row in &rows {
+            assert_eq!(row.len(), rows[0].len(), "{art}");
+        }
+    }
+
+    #[test]
+    fn spans_wider_than_the_chart_clamp_without_panicking() {
+        let mut t = Timeline::new();
+        // Three mutually overlapping spans, one starting near the end
+        // of the chart with a duration that would run past it.
+        t.push(Span::new("a", "whole", 0.0, 10.0));
+        t.push(Span::new("b", "tail", 9.5, 10.0).err());
+        t.push(Span::new("c", "mid", 2.0, 9.0));
+        let art = render_timeline(&t, 8);
+        let rows: Vec<&str> = art.lines().skip(1).take(3).collect();
+        for row in &rows {
+            assert_eq!(row.len(), rows[0].len(), "bars must clamp to the chart:\n{art}");
+        }
+        assert!(art.contains('!'), "failed overlap keeps its marker");
+        // Stable output: rendering twice is byte-identical.
+        assert_eq!(art, render_timeline(&t, 8));
+    }
+
+    #[test]
+    fn zero_width_chart_does_not_panic() {
+        let mut t = Timeline::new();
+        t.push(Span::new("a", "x", 0.0, 1.0));
+        let art = render_timeline(&t, 0);
+        assert!(art.contains("1 spans"));
+    }
+
+    #[test]
+    fn multibyte_labels_truncate_on_char_boundaries() {
+        let mut t = Timeline::new();
+        t.push(Span::new("sërvïcé", &"émploi-très-long-ünïcode-".repeat(4), 0.0, 1.0));
+        t.push(Span::new("a", "b", 0.5, 0.5));
+        let art = render_timeline(&t, 24); // must not panic mid-char
+        assert!(art.contains('…'));
     }
 }

@@ -1,0 +1,212 @@
+//! [`TraceStore`] — per-campaign span accumulation for fleet-wide
+//! tracing.
+//!
+//! The campaign engine `begin`s an entry when it first prepares a
+//! campaign; every layer (engine, coordinator, workers via the wire
+//! format) then records spans against the campaign id. Span `start`
+//! times are seconds since the entry's epoch, so spans recorded on
+//! different nodes merge onto one timeline.
+//!
+//! The store is bounded on both axes: at most `key_cap` campaigns
+//! (oldest key evicted — ids are zero-padded so lexicographic order is
+//! admission order) and at most `span_cap` spans per campaign (extra
+//! spans are counted in `dropped`, never silently discarded).
+
+use crate::{Span, Timeline};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default per-campaign span cap.
+pub const DEFAULT_SPAN_CAP: usize = 1024;
+/// Default campaign-entry cap.
+pub const DEFAULT_KEY_CAP: usize = 256;
+
+struct Entry {
+    epoch: Instant,
+    spans: Vec<Span>,
+    dropped: u64,
+}
+
+/// Thread-safe span store keyed by campaign id.
+pub struct TraceStore {
+    span_cap: usize,
+    key_cap: usize,
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Default for TraceStore {
+    fn default() -> TraceStore {
+        TraceStore::new()
+    }
+}
+
+impl TraceStore {
+    pub fn new() -> TraceStore {
+        TraceStore::with_caps(DEFAULT_SPAN_CAP, DEFAULT_KEY_CAP)
+    }
+
+    pub fn with_caps(span_cap: usize, key_cap: usize) -> TraceStore {
+        TraceStore {
+            span_cap: span_cap.max(1),
+            key_cap: key_cap.max(1),
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Opens an entry for `key` (idempotent). The entry's epoch — the
+    /// `t=0` of its timeline — is the first `begin` call.
+    pub fn begin(&self, key: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.contains_key(key) {
+            return;
+        }
+        while inner.len() >= self.key_cap {
+            let oldest = inner.keys().next().cloned().expect("non-empty map");
+            inner.remove(&oldest);
+        }
+        inner.insert(
+            key.to_string(),
+            Entry {
+                epoch: Instant::now(),
+                spans: Vec::new(),
+                dropped: 0,
+            },
+        );
+    }
+
+    /// Seconds elapsed since `key`'s epoch, or `None` for unknown keys.
+    pub fn offset(&self, key: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        inner.get(key).map(|e| e.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Records a pre-built span (with `start` already relative to the
+    /// entry's epoch). Returns `false` if the key is unknown or the
+    /// span was dropped by the cap — recording never creates entries,
+    /// so arbitrary keys (e.g. from a worker upload) cannot grow the
+    /// store.
+    pub fn record(&self, key: &str, span: Span) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.get_mut(key) else {
+            return false;
+        };
+        if entry.spans.len() >= self.span_cap {
+            entry.dropped += 1;
+            return false;
+        }
+        entry.spans.push(span);
+        true
+    }
+
+    /// Records a span timed with wall-clock [`Instant`]s; the start
+    /// offset is computed against the entry's epoch (clamped to 0 for
+    /// spans that began before it).
+    pub fn record_phase(
+        &self,
+        key: &str,
+        service: &str,
+        name: &str,
+        started: Instant,
+        duration: Duration,
+        failed: bool,
+    ) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.get_mut(key) else {
+            return false;
+        };
+        if entry.spans.len() >= self.span_cap {
+            entry.dropped += 1;
+            return false;
+        }
+        let start = started
+            .checked_duration_since(entry.epoch)
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64();
+        let mut span = Span::new(service, name, start, duration.as_secs_f64());
+        span.failed = failed;
+        entry.spans.push(span);
+        true
+    }
+
+    /// The merged timeline for `key`, spans sorted by start time (then
+    /// service, then name — a total order, so output is stable).
+    pub fn timeline(&self, key: &str) -> Option<Timeline> {
+        let inner = self.inner.lock().unwrap();
+        let entry = inner.get(key)?;
+        let mut spans = entry.spans.clone();
+        spans.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.service.cmp(&b.service))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Some(spans.into_iter().collect())
+    }
+
+    /// Spans dropped by the per-campaign cap.
+    pub fn dropped(&self, key: &str) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.get(key).map(|e| e.dropped).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_requires_begin() {
+        let store = TraceStore::new();
+        assert!(!store.record("c1", Span::new("s", "x", 0.0, 1.0)));
+        store.begin("c1");
+        assert!(store.record("c1", Span::new("s", "x", 0.0, 1.0)));
+        assert_eq!(store.timeline("c1").unwrap().len(), 1);
+        assert!(store.timeline("nope").is_none());
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let store = TraceStore::with_caps(2, 16);
+        store.begin("c");
+        for i in 0..5 {
+            store.record("c", Span::new("s", &format!("op{i}"), i as f64, 0.1));
+        }
+        assert_eq!(store.timeline("c").unwrap().len(), 2);
+        assert_eq!(store.dropped("c"), 3);
+    }
+
+    #[test]
+    fn key_cap_evicts_oldest_key() {
+        let store = TraceStore::with_caps(8, 2);
+        store.begin("job-000001");
+        store.begin("job-000002");
+        store.begin("job-000003");
+        assert!(store.timeline("job-000001").is_none(), "oldest evicted");
+        assert!(store.timeline("job-000003").is_some());
+    }
+
+    #[test]
+    fn timelines_sort_spans_by_start() {
+        let store = TraceStore::new();
+        store.begin("c");
+        store.record("c", Span::new("b", "late", 2.0, 0.5));
+        store.record("c", Span::new("a", "early", 0.5, 0.5));
+        let t = store.timeline("c").unwrap();
+        assert_eq!(t.spans()[0].name, "early");
+        assert_eq!(t.spans()[1].name, "late");
+    }
+
+    #[test]
+    fn record_phase_clamps_pre_epoch_starts() {
+        let store = TraceStore::new();
+        let before = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        store.begin("c");
+        assert!(store.record_phase("c", "s", "x", before, Duration::from_millis(1), false));
+        let t = store.timeline("c").unwrap();
+        assert_eq!(t.spans()[0].start, 0.0);
+    }
+}

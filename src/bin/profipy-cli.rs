@@ -10,11 +10,16 @@
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
 //! profipy-cli serve [ADDR] [--data-dir D] [--workers N] [--max-conns N]
-//!                   [--fleet] [--lease-ms N] boot the as-a-Service REST API
+//!                   [--fleet] [--lease-ms N] [--log-file F]
+//!                                          boot the as-a-Service REST API
 //!                                          (--fleet: lease to remote workers)
-//! profipy-cli worker --coordinator ADDR [--parallelism N]
+//! profipy-cli worker --coordinator ADDR [--parallelism N] [--log-file F]
 //!                                          join a coordinator's worker fleet
 //! ```
+//!
+//! Structured JSONL event logging: `--log-file` (or `PROFIPY_LOG=stderr`
+//! / `PROFIPY_LOG=<path>`) enables it; `PROFIPY_LOG_LEVEL` picks the
+//! threshold (debug|info|warn|error|off).
 
 use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
 use cluster::{FleetConfig, FleetServer, WorkerAgent, WorkerConfig};
@@ -62,17 +67,22 @@ fn usage() -> ExitCode {
                [--max-conns N]         persist and survive restarts; --workers sizes\n\
                [--fleet]               the handler pool, --max-conns caps open\n\
                [--lease-ms N]          keep-alive connections; --fleet leases\n\
-                                       experiments to remote workers instead of\n\
+               [--log-file F]          experiments to remote workers instead of\n\
                                        executing locally, --lease-ms sets the\n\
-                                       heartbeat-bounded lease TTL)\n\
+                                       heartbeat-bounded lease TTL, --log-file\n\
+                                       appends JSONL events to F)\n\
          worker --coordinator ADDR     join a coordinator's fleet: pull leases,\n\
                [--parallelism N]       execute experiments locally, stream the\n\
-                                       results back"
+               [--log-file F]          results back\n\
+         \n\
+         PROFIPY_LOG=stderr|<path> and PROFIPY_LOG_LEVEL=debug|info|warn|error|off\n\
+         configure the structured event log for every command"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("models") => {
@@ -173,6 +183,20 @@ fn main() -> ExitCode {
     }
 }
 
+/// Routes the structured event log to a file (`--log-file PATH`).
+/// Returns the exit code on failure, `None` on success.
+fn log_to_file(path: Option<&String>) -> Option<ExitCode> {
+    let Some(path) = path else {
+        eprintln!("--log-file needs a path");
+        return Some(ExitCode::from(2));
+    };
+    if let Err(e) = obs::log::set_file(path) {
+        eprintln!("cannot open log file {path}: {e}");
+        return Some(ExitCode::FAILURE);
+    }
+    None
+}
+
 /// Joins a coordinator's fleet and works until killed.
 fn worker(args: &[String]) -> ExitCode {
     let mut coordinator: Option<String> = None;
@@ -202,6 +226,11 @@ fn worker(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--log-file" => {
+                if let Some(code) = log_to_file(rest.next()) {
+                    return code;
+                }
+            }
             flag => {
                 eprintln!("unknown flag '{flag}'");
                 return ExitCode::from(2);
@@ -271,6 +300,11 @@ fn serve(args: &[String]) -> ExitCode {
                 Err(code) => return code,
             },
             "--fleet" => fleet = true,
+            "--log-file" => {
+                if let Some(code) = log_to_file(rest.next()) {
+                    return code;
+                }
+            }
             "--lease-ms" => match numeric("--lease-ms", rest.next()) {
                 Ok(n) => {
                     fleet_config.lease_ttl = std::time::Duration::from_millis(n as u64);
@@ -334,8 +368,9 @@ fn serve(args: &[String]) -> ExitCode {
     println!("  GET  /api/campaigns/:id/report   completed campaign report");
     println!("  POST /api/models                 save a fault model into a session");
     println!("  GET  /api/sessions/:user/reports report history");
-    println!("  GET  /metrics                    queue/cache counters");
-    println!("  GET  /healthz                    liveness");
+    println!("  GET  /api/campaigns/:id/trace    merged execution timeline");
+    println!("  GET  /metrics                    Prometheus exposition (latency histograms)");
+    println!("  GET  /healthz                    liveness (role/uptime/version JSON)");
     if fleet {
         println!("  POST /api/workers/register       join the worker fleet");
         println!("  POST /api/workers/:id/lease      pull a batch of experiments");

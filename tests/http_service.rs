@@ -219,3 +219,93 @@ fn status_polls_stay_responsive_while_campaigns_run() {
     assert!(metrics.contains("profipy_queue_depth"), "{metrics}");
     api.shutdown();
 }
+
+#[test]
+fn metrics_are_valid_prometheus_exposition() {
+    // Run a campaign first so histograms carry observations and the
+    // job-state gauges are populated — the interesting case for
+    // conformance, not an empty registry.
+    let api = ApiServer::serve("127.0.0.1:0", service(), ApiConfig::default()).unwrap();
+    let addr = api.addr().to_string();
+    let mut client = httpd::Client::new(&addr);
+    let resp = client
+        .post_json("/api/campaigns", &spec_for("conform", 3).to_json())
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let id = jsonlite::parse(&resp.text())
+        .unwrap()
+        .req("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client.get(&format!("/api/campaigns/{id}")).unwrap();
+        let v = jsonlite::parse(&status.text()).unwrap();
+        if v.req("state").unwrap().as_str().unwrap() == "completed" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let metrics = client.get("/metrics").unwrap().text();
+    // The shared validator checks the exposition invariants: every
+    // sample belongs to a family whose `# TYPE` precedes it, no family
+    // is declared twice, families are contiguous, label syntax and
+    // sample values parse.
+    let families = obs::validate_exposition(&metrics)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{metrics}"));
+
+    // `# TYPE` precedes each family's samples and appears exactly once.
+    for family in &families {
+        let type_line = format!("# TYPE {family} ");
+        assert_eq!(
+            metrics.matches(&type_line).count(),
+            1,
+            "family {family} must be declared exactly once"
+        );
+        let type_at = metrics.find(&type_line).unwrap();
+        let first_sample = {
+            let mut at = 0usize;
+            let mut found = None;
+            for line in metrics.lines() {
+                if !line.starts_with('#') && !line.is_empty() {
+                    let name = line.split([' ', '{']).next().unwrap_or("");
+                    let base = name
+                        .strip_suffix("_bucket")
+                        .or_else(|| name.strip_suffix("_sum"))
+                        .or_else(|| name.strip_suffix("_count"))
+                        .unwrap_or(name);
+                    if name == family.as_str() || base == family.as_str() {
+                        found = Some(at);
+                        break;
+                    }
+                }
+                at += line.len() + 1;
+            }
+            found
+        };
+        if let Some(sample_at) = first_sample {
+            assert!(
+                type_at < sample_at,
+                "TYPE for {family} must precede its samples"
+            );
+        }
+    }
+
+    // Both worlds are present: typed histograms from the registry and
+    // the legacy profipy_* gauges, each with a TYPE header.
+    assert!(
+        families.iter().any(|f| f == "httpd_request_seconds"),
+        "request histogram missing: {families:?}"
+    );
+    assert!(
+        families.iter().any(|f| f == "profipy_queue_depth"),
+        "legacy gauge family missing: {families:?}"
+    );
+    assert!(metrics.contains("httpd_request_seconds_bucket{"), "{metrics}");
+    assert!(metrics.contains("# TYPE profipy_queue_depth gauge"), "{metrics}");
+    api.shutdown();
+}
