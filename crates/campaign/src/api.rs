@@ -243,6 +243,23 @@ impl ApiServer {
         config: ApiConfig,
         mount: impl FnOnce(Router, &SharedService) -> Router,
     ) -> Result<ApiServer, EngineError> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        ApiServer::serve_with_listener(listener, shared, config, mount)
+    }
+
+    /// [`ApiServer::serve_with`] over an already-bound listener — how a
+    /// warm standby serves the address it bound at boot only once it
+    /// promotes itself.
+    ///
+    /// # Errors
+    ///
+    /// Listener address lookup failures.
+    pub fn serve_with_listener(
+        listener: std::net::TcpListener,
+        shared: SharedService,
+        config: ApiConfig,
+        mount: impl FnOnce(Router, &SharedService) -> Router,
+    ) -> Result<ApiServer, EngineError> {
         let state = shared.state.clone();
         let router = mount(build_router(state.clone()), &shared);
         drop(shared);
@@ -253,7 +270,7 @@ impl ApiServer {
         if http.metrics.is_none() {
             http.metrics = Some(state.registry.clone());
         }
-        let server = Server::bind(addr, router, http)?;
+        let server = Server::from_listener(listener, router, http)?;
         let _ = state
             .http_open_connections
             .set(server.connections_open_gauge());

@@ -29,6 +29,7 @@
 //! variants; the public wrappers use `Instant::now()`. Tests drive the
 //! `_at` forms with synthetic instants — no sleeps, no flakes.
 
+use crate::walog::LeaseLog;
 use crate::wire::WireSpan;
 use campaign::{CampaignSpec, CheckedOutCampaign, EngineError, SharedService};
 use injector::InjectionPoint;
@@ -56,9 +57,15 @@ pub struct FleetConfig {
     pub lease_batch_max: usize,
     /// Cadence of the server's lease-expiry sweep.
     pub tick_interval: Duration,
-    /// Where the worker registry log lives (`None` = in-memory only).
-    /// Registrations appended here survive a coordinator restart, so a
-    /// worker keeps its id across coordinator redeploys.
+    /// How long a registered worker may stay silent before it is
+    /// pruned from the registry (and its per-worker gauge labels stop
+    /// being emitted). Keep well above `lease_ttl`.
+    pub worker_retention: Duration,
+    /// Where the worker registry log (`fleet-workers.jsonl`) and the
+    /// lease WAL (`fleet-leases.jsonl`) live (`None` = in-memory only).
+    /// Registrations and leases recorded here survive a coordinator
+    /// restart: a worker keeps its id across coordinator redeploys, and
+    /// in-flight leases are re-armed instead of orphaned.
     pub data_dir: Option<PathBuf>,
 }
 
@@ -69,6 +76,7 @@ impl Default for FleetConfig {
             heartbeat_interval: Duration::from_secs(2),
             lease_batch_max: 16,
             tick_interval: Duration::from_millis(250),
+            worker_retention: Duration::from_secs(600),
             data_dir: None,
         }
     }
@@ -120,6 +128,20 @@ pub struct LeaseGrant {
     /// its result upload, and lease spans carry it so the fleet-wide
     /// timeline correlates coordinator and worker phases.
     pub trace_id: String,
+    /// The coordinator epoch the lease was granted under. Workers echo
+    /// it with their result uploads, so a standby that took over can
+    /// tell (and count) late uploads from the previous epoch — which it
+    /// absorbs idempotently, never rejects.
+    pub epoch: u64,
+}
+
+/// What [`Coordinator::recover`] re-armed from the lease WAL.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Leases reconstructed (one per worker that held jobs).
+    pub leases: usize,
+    /// Jobs moved back in flight under their original workers.
+    pub jobs: usize,
 }
 
 /// What one result upload did.
@@ -133,6 +155,10 @@ pub struct ResultsSummary {
     /// Campaigns this upload completed.
     pub completed: Vec<String>,
 }
+
+/// Worker id → the `(campaign, point)` jobs its replayed lease held
+/// (the shape `walog::WalState` recovers).
+type ReplayedLeases = BTreeMap<String, Vec<(String, u64)>>;
 
 struct WorkerInfo {
     parallelism: usize,
@@ -172,7 +198,11 @@ struct Counters {
     jobs_requeued: u64,
     results_accepted: u64,
     results_duplicate: u64,
+    results_old_epoch: u64,
     campaigns_completed: u64,
+    leases_recovered: u64,
+    jobs_recovered: u64,
+    workers_pruned: u64,
 }
 
 struct FleetState {
@@ -181,6 +211,10 @@ struct FleetState {
     active: BTreeMap<String, ActiveCampaign>,
     leases: BTreeMap<String, Lease>,
     counters: Counters,
+    /// The durable lease WAL: every grant/extend/expire/supersede/
+    /// result appends here under the fleet lock, so the on-disk state
+    /// never races the in-memory one.
+    wal: LeaseLog,
 }
 
 /// The coordinator. Thread-safe behind its own mutex; lock order is
@@ -192,6 +226,15 @@ pub struct Coordinator {
     config: FleetConfig,
     state: Mutex<FleetState>,
     registry_path: Option<PathBuf>,
+    /// This coordinator's monotonic epoch: the WAL's recorded epoch
+    /// plus one, so every restart or standby takeover is a new epoch.
+    epoch: u64,
+    /// Leases replayed from the WAL, waiting for [`Coordinator::recover`]
+    /// to re-arm them (taken exactly once).
+    recovered: Mutex<Option<ReplayedLeases>>,
+    /// When this coordinator instance booted — the liveness baseline
+    /// for workers restored from the registry that never phoned in.
+    boot: Instant,
     /// Set during shutdown: leases stop checking campaigns out, so a
     /// request racing the drain cannot strand a job in `Running`.
     draining: std::sync::atomic::AtomicBool,
@@ -201,6 +244,12 @@ pub struct Coordinator {
     /// `fleet_checkin_seconds` — result-upload handling time,
     /// checkpoint writes and campaign completion included.
     checkin_seconds: obs::Histogram,
+    /// `fleet_recovery_seconds` — time [`Coordinator::recover`] spent
+    /// re-arming WAL leases (campaign re-checkout included).
+    recovery_seconds: obs::Histogram,
+    /// `fleet_takeovers_total` — recoveries that found in-flight leases
+    /// to re-arm (standby takeovers and crash restarts alike).
+    takeovers: obs::Counter,
     /// The service's per-campaign trace store: lease/requeue/upload
     /// spans land here next to the engine's prepare spans.
     trace: Arc<TraceStore>,
@@ -208,11 +257,14 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Creates a coordinator over a shared service, reloading the
-    /// worker registry from `config.data_dir` if set.
+    /// worker registry and the lease WAL from `config.data_dir` if set.
+    /// The WAL's epoch is bumped (this instance is a new epoch); leases
+    /// it recorded are held back until [`Coordinator::recover`] re-arms
+    /// them.
     ///
     /// # Errors
     ///
-    /// I/O errors reading or creating the registry log.
+    /// I/O errors reading or creating the registry log or lease WAL.
     pub fn new(service: SharedService, config: FleetConfig) -> io::Result<Coordinator> {
         let registry_path = match &config.data_dir {
             Some(dir) => {
@@ -223,6 +275,7 @@ impl Coordinator {
         };
         let mut workers = BTreeMap::new();
         let mut next_worker_seq = 0u64;
+        let mut registry_lines = 0usize;
         if let Some(path) = &registry_path {
             if let Ok(text) = std::fs::read_to_string(path) {
                 for line in text.lines() {
@@ -232,10 +285,7 @@ impl Coordinator {
                     // Torn tail from a crash mid-append: keep the valid
                     // prefix, drop the rest (the checkpoint idiom).
                     let Ok(v) = jsonlite::parse(line) else { break };
-                    let (Some(id), Some(parallelism)) = (
-                        v.get("id").and_then(jsonlite::Value::as_str),
-                        v.get("parallelism").and_then(jsonlite::Value::as_u64),
-                    ) else {
+                    let Some(id) = v.get("id").and_then(jsonlite::Value::as_str) else {
                         break;
                     };
                     if let Some(seq) = id
@@ -244,6 +294,18 @@ impl Coordinator {
                     {
                         next_worker_seq = next_worker_seq.max(seq);
                     }
+                    registry_lines += 1;
+                    // A tombstone prunes the worker; a plain entry
+                    // (re)registers it.
+                    if matches!(v.get("pruned"), Some(jsonlite::Value::Bool(true))) {
+                        workers.remove(id);
+                        continue;
+                    }
+                    let Some(parallelism) = v.get("parallelism").and_then(jsonlite::Value::as_u64)
+                    else {
+                        registry_lines -= 1;
+                        break;
+                    };
                     workers.insert(
                         id.to_string(),
                         WorkerInfo {
@@ -253,7 +315,49 @@ impl Coordinator {
                     );
                 }
             }
+            // Compaction on load: rewrite the registry as exactly the
+            // live set (dead workers pruned, duplicates folded), plus
+            // one watermark tombstone carrying the id sequence so a
+            // later reload can never reissue a pruned worker's id.
+            if registry_lines != workers.len() {
+                let tmp = path.with_extension("jsonl.tmp");
+                {
+                    let mut file = std::fs::File::create(&tmp)?;
+                    for (id, info) in &workers {
+                        let line = jsonlite::Value::obj(vec![
+                            ("id", jsonlite::Value::str(id)),
+                            ("parallelism", jsonlite::Value::UInt(info.parallelism as u64)),
+                        ])
+                        .compact();
+                        writeln!(file, "{line}")?;
+                    }
+                    let watermark = jsonlite::Value::obj(vec![
+                        (
+                            "id",
+                            jsonlite::Value::str(format!("worker-{next_worker_seq:06}")),
+                        ),
+                        ("pruned", jsonlite::Value::Bool(true)),
+                    ])
+                    .compact();
+                    writeln!(file, "{watermark}")?;
+                    file.sync_data()?;
+                }
+                std::fs::rename(&tmp, path)?;
+            }
         }
+        // The lease WAL: replay what the previous epoch left in flight,
+        // then claim the next epoch.
+        let mut wal = match &config.data_dir {
+            Some(dir) => LeaseLog::open(&dir.join("fleet-leases.jsonl"))?,
+            None => LeaseLog::in_memory(),
+        };
+        let epoch = wal.state().epoch + 1;
+        let recovered = if wal.state().leases.is_empty() {
+            None
+        } else {
+            Some(wal.state().leases.clone())
+        };
+        wal.record_epoch(epoch)?;
         let metrics = service.metrics_registry();
         let lease_seconds = metrics.histogram(
             "fleet_lease_seconds",
@@ -265,6 +369,15 @@ impl Coordinator {
             "Result-upload handling time in seconds (checkpoint writes included).",
             obs::LATENCY_BUCKETS,
         );
+        let recovery_seconds = metrics.histogram(
+            "fleet_recovery_seconds",
+            "Time spent re-arming WAL leases after a restart or takeover, in seconds.",
+            obs::LATENCY_BUCKETS,
+        );
+        let takeovers = metrics.counter(
+            "fleet_takeovers_total",
+            "Coordinator recoveries (restart or standby takeover) that re-armed in-flight leases.",
+        );
         let trace = service.trace_store();
         Ok(Coordinator {
             service,
@@ -275,13 +388,25 @@ impl Coordinator {
                 active: BTreeMap::new(),
                 leases: BTreeMap::new(),
                 counters: Counters::default(),
+                wal,
             }),
             registry_path,
+            epoch,
+            recovered: Mutex::new(recovered),
+            boot: Instant::now(),
             draining: std::sync::atomic::AtomicBool::new(false),
             lease_seconds,
             checkin_seconds,
+            recovery_seconds,
+            takeovers,
             trace,
         })
+    }
+
+    /// This coordinator's epoch: the previous instance's epoch plus
+    /// one, stamped on every lease it grants.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The configuration (the server advertises the timing knobs to
@@ -351,9 +476,11 @@ impl Coordinator {
             .get_mut(worker)
             .ok_or_else(|| FleetError::UnknownWorker(worker.to_string()))?;
         info.last_contact = Some(now);
+        let state = &mut *state;
         match state.leases.get_mut(worker) {
             Some(lease) => {
                 lease.deadline = now + self.config.lease_ttl;
+                state.wal.record_extend(worker).map_err(FleetError::Io)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -412,6 +539,10 @@ impl Coordinator {
             // deadline.
             if let Some(prev) = state.leases.remove(worker) {
                 let requeued = Self::requeue_lease_jobs(&mut state, &prev, worker);
+                state
+                    .wal
+                    .record_supersede(worker)
+                    .map_err(FleetError::Io)?;
                 drop(state);
                 self.note_requeue(worker, "lease_superseded", &requeued);
             }
@@ -448,45 +579,15 @@ impl Coordinator {
             // Not enough pending work: check the next queued campaign
             // out of the engine (fairness order) — unless a shutdown
             // drain is in progress, in which case new checkouts would
-            // be stranded. Preparation can be expensive (parse, scan,
-            // mutant rendering), so it runs WITHOUT the fleet lock:
-            // heartbeats, uploads, and expiry ticks proceed meanwhile.
+            // be stranded.
             if self.draining.load(std::sync::atomic::Ordering::SeqCst) {
                 break Ok(());
             }
-            let checked = {
-                let mut service = self.service.lock();
-                match service.checkout_next() {
-                    Ok(Some(checkout)) if checkout.pending.is_empty() => {
-                        // Nothing to distribute (empty plan, or every
-                        // point failed mutation and was pre-recorded):
-                        // complete or requeue it right here.
-                        match service.checkin(checkout) {
-                            Ok(_) => continue,
-                            Err(e) => break Err(FleetError::Engine(e)),
-                        }
-                    }
-                    Ok(other) => other,
-                    Err(e) => break Err(FleetError::Engine(e)),
-                }
-            };
-            let Some(mut checkout) = checked else {
-                break Ok(()); // queue drained
-            };
-            let id = checkout.id.clone();
-            let pending: VecDeque<_> =
-                std::mem::take(&mut checkout.pending).into_iter().collect();
-            let done = checkout.checkpoint.completed_ids();
-            self.lock().active.insert(
-                id,
-                ActiveCampaign {
-                    checkout,
-                    pending,
-                    in_flight: BTreeMap::new(),
-                    requeues: BTreeMap::new(),
-                    done,
-                },
-            );
+            match self.activate_next_campaign() {
+                Ok(true) => {}
+                Ok(false) => break Ok(()), // queue drained
+                Err(e) => break Err(e),
+            }
         };
         let mut state = self.lock();
         if let Err(e) = fill {
@@ -502,8 +603,9 @@ impl Coordinator {
         // Finalize: mark the jobs in-flight and record the lease (the
         // worker's clock restarts on any grant, including an empty one
         // — the contact proves it is alive).
+        let st = &mut *state;
         for job in &jobs {
-            if let Some(c) = state.active.get_mut(&job.campaign) {
+            if let Some(c) = st.active.get_mut(&job.campaign) {
                 c.in_flight.insert(
                     job.point.id,
                     InFlight {
@@ -515,7 +617,7 @@ impl Coordinator {
             }
         }
         let deadline = now + self.config.lease_ttl;
-        let lease = state.leases.entry(worker.to_string()).or_insert(Lease {
+        let lease = st.leases.entry(worker.to_string()).or_insert(Lease {
             jobs: Vec::new(),
             deadline,
         });
@@ -523,9 +625,13 @@ impl Coordinator {
         for job in &jobs {
             lease.jobs.push((job.campaign.clone(), job.point.id));
         }
-        state.counters.leases_granted += 1;
-        state.counters.jobs_leased += jobs.len() as u64;
-        let trace_id = format!("t-{:06}", state.counters.leases_granted);
+        let granted = lease.jobs.clone();
+        st.wal
+            .record_grant(worker, &granted)
+            .map_err(FleetError::Io)?;
+        st.counters.leases_granted += 1;
+        st.counters.jobs_leased += jobs.len() as u64;
+        let trace_id = format!("t-{:06}", st.counters.leases_granted);
         // Ship specs the worker lacks.
         let mut new_campaigns: Vec<(String, CampaignSpec)> = Vec::new();
         for job in &jobs {
@@ -534,7 +640,7 @@ impl Coordinator {
             {
                 continue;
             }
-            let spec = state.active[&job.campaign].checkout.spec.clone();
+            let spec = st.active[&job.campaign].checkout.spec.clone();
             new_campaigns.push((job.campaign.clone(), spec));
         }
         drop(state);
@@ -560,7 +666,162 @@ impl Coordinator {
             jobs,
             new_campaigns,
             trace_id,
+            epoch: self.epoch,
         })
+    }
+
+    /// Checks the next queued campaign out of the engine and activates
+    /// it for distribution. Campaigns with nothing left to distribute
+    /// (empty plan, or every point pre-recorded) are checked straight
+    /// back in and skipped. Returns `false` when the queue is drained.
+    /// Preparation can be expensive (parse, scan, mutant rendering), so
+    /// it runs WITHOUT the fleet lock: heartbeats, uploads, and expiry
+    /// ticks proceed meanwhile.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures checking campaigns out or in.
+    fn activate_next_campaign(&self) -> Result<bool, FleetError> {
+        loop {
+            let checked = {
+                let mut service = self.service.lock();
+                match service.checkout_next() {
+                    Ok(Some(checkout)) if checkout.pending.is_empty() => {
+                        service.checkin(checkout).map_err(FleetError::Engine)?;
+                        continue;
+                    }
+                    Ok(other) => other,
+                    Err(e) => return Err(FleetError::Engine(e)),
+                }
+            };
+            let Some(mut checkout) = checked else {
+                return Ok(false); // queue drained
+            };
+            let id = checkout.id.clone();
+            let pending: VecDeque<_> =
+                std::mem::take(&mut checkout.pending).into_iter().collect();
+            let done = checkout.checkpoint.completed_ids();
+            self.lock().active.insert(
+                id,
+                ActiveCampaign {
+                    checkout,
+                    pending,
+                    in_flight: BTreeMap::new(),
+                    requeues: BTreeMap::new(),
+                    done,
+                },
+            );
+            return Ok(true);
+        }
+    }
+
+    /// Re-arms the leases the previous coordinator epoch left in the
+    /// WAL: the named campaigns are checked back out of the queue, each
+    /// replayed job moves in flight under its original worker (absent
+    /// workers are re-registered from the replicated registry state),
+    /// and every re-armed lease gets one fresh TTL from `now`. A worker
+    /// that survived the takeover uploads within that window and its
+    /// results are absorbed; a dead worker's lease expires exactly
+    /// once, requeueing exactly its unresulted jobs.
+    ///
+    /// Takes the replayed state exactly once — later calls are no-ops.
+    /// Call **before** serving requests, so no lease can race the
+    /// re-arm.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures re-checking campaigns out; WAL I/O.
+    pub fn recover(&self) -> Result<RecoverySummary, FleetError> {
+        self.recover_at(Instant::now())
+    }
+
+    /// [`Coordinator::recover`] at an explicit instant.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures re-checking campaigns out; WAL I/O.
+    pub fn recover_at(&self, now: Instant) -> Result<RecoverySummary, FleetError> {
+        let wall = Instant::now();
+        let Some(replayed) = self.recovered.lock().unwrap_or_else(|p| p.into_inner()).take()
+        else {
+            return Ok(RecoverySummary::default());
+        };
+        let wanted: BTreeSet<String> = replayed
+            .values()
+            .flat_map(|jobs| jobs.iter().map(|(c, _)| c.clone()))
+            .collect();
+        // Check campaigns out until every wanted one is active or the
+        // queue is drained (a wanted campaign may already be complete —
+        // its replayed jobs are then dropped as done below).
+        loop {
+            let active: BTreeSet<String> = self.lock().active.keys().cloned().collect();
+            if wanted.is_subset(&active) || !self.activate_next_campaign()? {
+                break;
+            }
+        }
+        let mut summary = RecoverySummary::default();
+        let mut state = self.lock();
+        let st = &mut *state;
+        for (worker, jobs) in replayed {
+            // The worker registry is replicated alongside the WAL, so
+            // the holder is normally known; re-create it defensively if
+            // the logs diverged (it must exist for expiry accounting).
+            st.workers.entry(worker.clone()).or_insert(WorkerInfo {
+                parallelism: 1,
+                last_contact: None,
+            });
+            let mut kept: Vec<(String, u64)> = Vec::new();
+            for (campaign_id, point_id) in jobs {
+                let Some(c) = st.active.get_mut(&campaign_id) else {
+                    continue; // campaign already completed
+                };
+                if c.done.contains(&point_id) {
+                    continue; // resulted before the crash
+                }
+                let Some(pos) = c.pending.iter().position(|(p, _)| p.id == point_id) else {
+                    continue; // not in the replan (spec changed) or already in flight
+                };
+                let (point, sources) = c.pending.remove(pos).expect("position found above");
+                c.in_flight.insert(
+                    point_id,
+                    InFlight {
+                        worker: worker.clone(),
+                        point,
+                        sources,
+                    },
+                );
+                kept.push((campaign_id, point_id));
+            }
+            if kept.is_empty() {
+                st.wal.record_expire(&worker).map_err(FleetError::Io)?;
+                continue;
+            }
+            summary.leases += 1;
+            summary.jobs += kept.len();
+            st.wal.record_grant(&worker, &kept).map_err(FleetError::Io)?;
+            st.leases.insert(
+                worker,
+                Lease {
+                    jobs: kept,
+                    deadline: now + self.config.lease_ttl,
+                },
+            );
+        }
+        st.counters.leases_recovered += summary.leases as u64;
+        st.counters.jobs_recovered += summary.jobs as u64;
+        drop(state);
+        if summary.leases > 0 {
+            self.takeovers.inc();
+        }
+        self.recovery_seconds.observe_duration(wall.elapsed());
+        obs::log!(
+            Level::Info,
+            "fleet_recovered",
+            "epoch" => self.epoch,
+            "leases" => summary.leases as u64,
+            "jobs" => summary.jobs as u64,
+        );
+        Ok(summary)
     }
 
     /// Requeues a lease's still-unresulted jobs (shared by expiry and
@@ -646,6 +907,27 @@ impl Coordinator {
         results: Vec<(String, ExperimentResult)>,
         now: Instant,
     ) -> Result<ResultsSummary, FleetError> {
+        self.report_results_stamped_at(worker, None, results, now)
+    }
+
+    /// [`Coordinator::report_results_at`] with the lease epoch the
+    /// worker echoed (when it sent one). Uploads stamped with an older
+    /// epoch — a batch leased by the coordinator this one replaced —
+    /// are **absorbed**, never rejected: idempotence already makes the
+    /// outcome correct, the stamp just lets the takeover be observed
+    /// (`fleet_results_old_epoch_total`).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownWorker`] for an unregistered id; checkpoint
+    /// I/O or engine failures.
+    pub fn report_results_stamped_at(
+        &self,
+        worker: &str,
+        epoch: Option<u64>,
+        results: Vec<(String, ExperimentResult)>,
+        now: Instant,
+    ) -> Result<ResultsSummary, FleetError> {
         let wall = Instant::now();
         let mut state = self.lock();
         let info = state
@@ -653,6 +935,19 @@ impl Coordinator {
             .get_mut(worker)
             .ok_or_else(|| FleetError::UnknownWorker(worker.to_string()))?;
         info.last_contact = Some(now);
+        if let Some(e) = epoch {
+            if e < self.epoch {
+                state.counters.results_old_epoch += results.len() as u64;
+                obs::log!(
+                    Level::Info,
+                    "results_old_epoch",
+                    "worker" => worker,
+                    "upload_epoch" => e,
+                    "epoch" => self.epoch,
+                    "results" => results.len() as u64,
+                );
+            }
+        }
         let mut summary = ResultsSummary::default();
         let mut touched: BTreeSet<String> = BTreeSet::new();
         let mut retired: Vec<(String, u64)> = Vec::new();
@@ -684,9 +979,18 @@ impl Coordinator {
             touched.insert(campaign_id);
         }
         // Drop retired jobs from every lease so a later expiry cannot
-        // requeue work that is already recorded.
-        for lease in state.leases.values_mut() {
-            lease.jobs.retain(|entry| !retired.contains(entry));
+        // requeue work that is already recorded — and mirror that into
+        // the WAL, so a takeover never re-arms a recorded job.
+        {
+            let st = &mut *state;
+            for lease in st.leases.values_mut() {
+                lease.jobs.retain(|entry| !retired.contains(entry));
+            }
+            for (campaign_id, point_id) in &retired {
+                st.wal
+                    .record_result(campaign_id, *point_id)
+                    .map_err(FleetError::Io)?;
+            }
         }
         // Complete campaigns whose plan is now fully recorded.
         for id in touched {
@@ -762,11 +1066,57 @@ impl Coordinator {
         for worker in expired {
             let lease = state.leases.remove(&worker).expect("expired lease exists");
             state.counters.leases_expired += 1;
+            // Best-effort: the in-memory requeue is the truth, a WAL
+            // append failure must not abort the sweep.
+            if let Err(e) = state.wal.record_expire(&worker) {
+                obs::log!(Level::Error, "wal_append_failed", "err" => format!("{e}").as_str());
+            }
             let per_campaign = Self::requeue_lease_jobs(&mut state, &lease, &worker);
             requeued += per_campaign.values().sum::<usize>();
             noted.push((worker, per_campaign));
         }
+        // Prune workers silent past the retention window (and without a
+        // live lease — expiry above handles those first). Removing the
+        // registry entry stops its per-worker gauge labels from being
+        // emitted forever.
+        let stale: Vec<String> = state
+            .workers
+            .iter()
+            .filter(|(id, info)| {
+                !state.leases.contains_key(*id)
+                    && now.saturating_duration_since(info.last_contact.unwrap_or(self.boot))
+                        > self.config.worker_retention
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &stale {
+            state.workers.remove(id);
+            state.counters.workers_pruned += 1;
+        }
         drop(state);
+        for id in &stale {
+            obs::log!(Level::Warn, "worker_pruned", "worker" => id.as_str());
+            // Tombstone the registry so a restart does not resurrect
+            // the pruned worker. Best-effort, outside the fleet lock.
+            if let Some(path) = &self.registry_path {
+                let line = jsonlite::Value::obj(vec![
+                    ("id", jsonlite::Value::str(id)),
+                    ("pruned", jsonlite::Value::Bool(true)),
+                ])
+                .compact();
+                let appended = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| {
+                        writeln!(f, "{line}")?;
+                        f.sync_data()
+                    });
+                if let Err(e) = appended {
+                    obs::log!(Level::Error, "registry_append_failed", "err" => format!("{e}").as_str());
+                }
+            }
+        }
         for (worker, per_campaign) in noted {
             self.note_requeue(&worker, "lease_expired", &per_campaign);
         }
@@ -797,6 +1147,13 @@ impl Coordinator {
                 .lock()
                 .checkin(c.checkout)
                 .map_err(FleetError::Engine)?;
+        }
+        // Graceful shutdown leaves a clean WAL: nothing to re-arm.
+        let holders: Vec<String> = state.leases.keys().cloned().collect();
+        for worker in holders {
+            if let Err(e) = state.wal.record_expire(&worker) {
+                obs::log!(Level::Error, "wal_append_failed", "err" => format!("{e}").as_str());
+            }
         }
         state.leases.clear();
         Ok(())
@@ -847,7 +1204,12 @@ impl Coordinator {
         out.push(("fleet_jobs_requeued_total".into(), c.jobs_requeued));
         out.push(("fleet_results_accepted_total".into(), c.results_accepted));
         out.push(("fleet_results_duplicate_total".into(), c.results_duplicate));
+        out.push(("fleet_results_old_epoch_total".into(), c.results_old_epoch));
         out.push(("fleet_campaigns_completed_total".into(), c.campaigns_completed));
+        out.push(("fleet_epoch".into(), self.epoch));
+        out.push(("fleet_leases_recovered_total".into(), c.leases_recovered));
+        out.push(("fleet_jobs_recovered_total".into(), c.jobs_recovered));
+        out.push(("fleet_workers_pruned_total".into(), c.workers_pruned));
         for (id, info) in &state.workers {
             if let Some(t) = info.last_contact {
                 out.push((

@@ -24,18 +24,43 @@
 //!   path, and streams results back with retry/backoff over a
 //!   keep-alive [`httpd::ClientPool`].
 //!
-//! **The determinism invariant** (pinned by `tests/fleet.rs`): a
-//! campaign distributed over any number of workers — including workers
-//! killed mid-lease — produces a report **byte-identical** to the same
-//! campaign run single-node, because results are deterministic
-//! functions of (spec, point, sources, seed) and completion funnels
-//! through the engine's single-node `checkin` path.
+//! **Crash tolerance** (the HA layer, pinned by `tests/ha.rs`):
+//!
+//! * [`walog::LeaseLog`] — a torn-tail-tolerant `fleet-leases.jsonl`
+//!   WAL recording every lease grant/extend/expire/result, with
+//!   periodic compaction snapshots, so a restarted or standby
+//!   coordinator reconstructs in-flight leases instead of orphaning
+//!   them. Every restart bumps a monotonic **epoch** stamped on leases
+//!   and echoed by uploads — late uploads from a dead epoch are
+//!   absorbed idempotently, and counted.
+//! * [`standby::StandbyServer`] — the warm standby: tails the primary's
+//!   logs over HTTP, detects primary death via missed probes, and
+//!   promotes itself on the listener it bound at boot, within one lease
+//!   period.
+//! * Worker-side failover — [`worker::WorkerAgent`] takes an ordered
+//!   coordinator list and rotates through it with jittered backoff on
+//!   connection loss; it never exits silently.
+//!
+//! **The determinism invariant** (pinned by `tests/fleet.rs` and
+//! `tests/ha.rs`): a campaign distributed over any number of workers —
+//! including workers killed mid-lease, and including a *coordinator*
+//! killed mid-lease and replaced by its standby — produces a report
+//! **byte-identical** to the same campaign run single-node, because
+//! results are deterministic functions of (spec, point, sources, seed)
+//! and completion funnels through the engine's single-node `checkin`
+//! path.
 
 pub mod coordinator;
 pub mod server;
+pub mod standby;
+pub mod walog;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::{Coordinator, FleetConfig, FleetError, LeaseGrant, LeasedJob, ResultsSummary};
+pub use coordinator::{
+    Coordinator, FleetConfig, FleetError, LeaseGrant, LeasedJob, RecoverySummary, ResultsSummary,
+};
 pub use server::FleetServer;
+pub use standby::{StandbyConfig, StandbyServer};
+pub use walog::{LeaseLog, WalState};
 pub use worker::{WorkerAgent, WorkerConfig, WorkerHandle, WorkerStats};

@@ -8,10 +8,18 @@
 //! | POST   | `/api/workers/:id/lease`      | pull a batch of experiments + specs      |
 //! | POST   | `/api/workers/:id/heartbeat`  | keep the lease alive                     |
 //! | POST   | `/api/workers/:id/results`    | upload executed results (idempotent)     |
+//! | GET    | `/api/fleet/status`           | role + epoch (the standby's health probe)|
+//! | GET    | `/api/fleet/manifest`         | replicable files with sizes and hashes   |
+//! | GET    | `/api/fleet/file?name=&offset=`| raw file bytes from an offset (tailing) |
 //!
 //! The local drive thread is **disabled** in fleet mode: campaigns
 //! queue until workers lease them, and a background tick thread sweeps
 //! expired leases back into the pending pool.
+//!
+//! On boot the coordinator **recovers before it serves**: leases the
+//! previous epoch left in the WAL are re-armed while the listener's
+//! kernel backlog holds early connections, so no request can observe
+//! (or race) a half-recovered fleet.
 
 use crate::coordinator::{Coordinator, FleetConfig, FleetError};
 use crate::wire;
@@ -20,6 +28,8 @@ use campaign::{ApiConfig, ApiServer, CampaignService, EngineError, SharedService
 use httpd::{Request, Response, Router};
 use jsonlite::Value;
 use std::collections::BTreeSet;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,6 +54,25 @@ impl FleetServer {
     pub fn serve(
         addr: &str,
         service: CampaignService,
+        api_config: ApiConfig,
+        fleet_config: FleetConfig,
+    ) -> Result<FleetServer, EngineError> {
+        let listener = TcpListener::bind(addr)?;
+        FleetServer::serve_listener(listener, service, api_config, fleet_config)
+    }
+
+    /// [`FleetServer::serve`] on an already-bound listener — how a
+    /// promoted standby starts serving the address it bound at boot.
+    /// WAL recovery runs **before** the HTTP server starts: connections
+    /// queued in the kernel backlog are answered only once every
+    /// replayed lease is re-armed.
+    ///
+    /// # Errors
+    ///
+    /// Registry/WAL I/O or recovery failures.
+    pub fn serve_listener(
+        listener: TcpListener,
+        service: CampaignService,
         mut api_config: ApiConfig,
         fleet_config: FleetConfig,
     ) -> Result<FleetServer, EngineError> {
@@ -55,8 +84,12 @@ impl FleetServer {
                 message: format!("fleet registry: {e}"),
             })?,
         );
+        coordinator.recover().map_err(|e| EngineError {
+            message: format!("fleet recovery: {e}"),
+        })?;
+        let data_dir = fleet_config.data_dir.clone();
         let mount_coord = coordinator.clone();
-        let api = ApiServer::serve_with(addr, shared, api_config, move |router, shared| {
+        let api = ApiServer::serve_with_listener(listener, shared, api_config, move |router, shared| {
             // Metrics provider holds the coordinator weakly: the strong
             // references live in the route handlers and the FleetServer,
             // so shutdown can actually tear the state down.
@@ -66,7 +99,7 @@ impl FleetServer {
                     c.append_metrics(out);
                 }
             }));
-            mount_fleet_routes(router, mount_coord, shared.clone())
+            mount_fleet_routes(router, mount_coord, shared.clone(), data_dir)
         })?;
         let tick_stop = Arc::new(AtomicBool::new(false));
         let tick_coord = coordinator.clone();
@@ -117,6 +150,21 @@ impl FleetServer {
         }
         self.api.take().expect("server running").shutdown()
     }
+
+    /// Simulated crash (tests): stop serving **without** draining — the
+    /// queue keeps its `Running` jobs, the WAL keeps its live leases,
+    /// the registry keeps its workers. Exactly the disk state a killed
+    /// process leaves behind for a standby to recover from.
+    pub fn kill(mut self) {
+        self.tick_stop.store(true, Ordering::SeqCst);
+        if let Some(tick) = self.tick.take() {
+            let _ = tick.join();
+        }
+        // No drain: dropping the coordinator leaves leases and checked-
+        // out campaigns exactly as they were.
+        self.coordinator.take();
+        drop(self.api.take().expect("server running").shutdown());
+    }
 }
 
 impl Drop for FleetServer {
@@ -129,6 +177,7 @@ fn mount_fleet_routes(
     router: Router,
     coordinator: Arc<Coordinator>,
     shared: SharedService,
+    data_dir: Option<PathBuf>,
 ) -> Router {
     let register = {
         let coordinator = coordinator.clone();
@@ -136,6 +185,33 @@ fn mount_fleet_routes(
         move |req: &Request| {
             shared.count_request();
             register_worker(&coordinator, req)
+        }
+    };
+    let status = {
+        let coordinator = coordinator.clone();
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            let _ = req;
+            fleet_status(&coordinator)
+        }
+    };
+    let manifest = {
+        let dir = data_dir.clone();
+        let coordinator = coordinator.clone();
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            let _ = req;
+            fleet_manifest(&coordinator, dir.as_deref())
+        }
+    };
+    let file = {
+        let dir = data_dir;
+        let shared = shared.clone();
+        move |req: &Request| {
+            shared.count_request();
+            fleet_file(dir.as_deref(), req)
         }
     };
     let lease = {
@@ -165,6 +241,9 @@ fn mount_fleet_routes(
         .route("POST", "/api/workers/:id/lease", lease)
         .route("POST", "/api/workers/:id/heartbeat", heartbeat)
         .route("POST", "/api/workers/:id/results", results)
+        .route("GET", "/api/fleet/status", status)
+        .route("GET", "/api/fleet/manifest", manifest)
+        .route("GET", "/api/fleet/file", file)
 }
 
 // ---------- handlers ----------
@@ -262,7 +341,11 @@ fn upload_results(coordinator: &Coordinator, req: &Request) -> Response {
             coordinator.record_wire_spans(&worker, &spans);
         }
     }
-    match coordinator.report_results(&worker, results) {
+    // The epoch the worker's lease was granted under (absent from
+    // pre-epoch workers). Old-epoch uploads are absorbed, not rejected.
+    let epoch = body.get("epoch").and_then(Value::as_u64);
+    match coordinator.report_results_stamped_at(&worker, epoch, results, std::time::Instant::now())
+    {
         Ok(summary) => Response::json(
             200,
             Value::obj(vec![
@@ -277,6 +360,127 @@ fn upload_results(coordinator: &Coordinator, req: &Request) -> Response {
         ),
         Err(e) => fleet_error_response(&e),
     }
+}
+
+fn fleet_status(coordinator: &Coordinator) -> Response {
+    Response::json(
+        200,
+        Value::obj(vec![
+            ("role", Value::str("primary")),
+            ("epoch", Value::UInt(coordinator.epoch())),
+            (
+                "lease_ttl_ms",
+                Value::UInt(coordinator.config().lease_ttl.as_millis() as u64),
+            ),
+        ])
+        .pretty(),
+    )
+}
+
+/// The files a standby replicates, with sizes and content hashes so it
+/// can tail appends cheaply and detect rewrites (compaction). `cache/`
+/// is deliberately absent: mutant preparation is deterministic, a
+/// promoted standby just re-prepares.
+fn fleet_manifest(coordinator: &Coordinator, dir: Option<&Path>) -> Response {
+    let mut files = Vec::new();
+    if let Some(dir) = dir {
+        let mut push = |name: String, path: &Path| {
+            if let Ok(bytes) = std::fs::read(path) {
+                files.push(Value::obj(vec![
+                    ("name", Value::str(&name)),
+                    ("size", Value::UInt(bytes.len() as u64)),
+                    ("hash", Value::UInt(fnv1a64(&bytes))),
+                ]));
+            }
+        };
+        for log in ["fleet-workers.jsonl", "fleet-leases.jsonl"] {
+            push(log.to_string(), &dir.join(log));
+        }
+        for sub in ["queue", "checkpoints"] {
+            let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
+                continue;
+            };
+            let mut names: Vec<String> = entries
+                .filter_map(|e| e.ok()?.file_name().into_string().ok())
+                .filter(|n| replicable_name(n))
+                .collect();
+            names.sort();
+            for name in names {
+                push(format!("{sub}/{name}"), &dir.join(sub).join(&name));
+            }
+        }
+    }
+    Response::json(
+        200,
+        Value::obj(vec![
+            ("epoch", Value::UInt(coordinator.epoch())),
+            ("files", Value::Arr(files)),
+        ])
+        .pretty(),
+    )
+}
+
+fn fleet_file(dir: Option<&Path>, req: &Request) -> Response {
+    let Some(dir) = dir else {
+        return error_response(404, "coordinator has no data dir");
+    };
+    let mut name = None;
+    let mut offset = 0u64;
+    for pair in req.query.split('&') {
+        match pair.split_once('=') {
+            Some(("name", v)) => name = Some(v.to_string()),
+            Some(("offset", v)) => offset = v.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    let Some(name) = name else {
+        return error_response(422, "missing 'name' query parameter");
+    };
+    if !replicable_path(&name) {
+        return error_response(404, "file is not replicable");
+    }
+    let Ok(bytes) = std::fs::read(dir.join(&name)) else {
+        return error_response(404, "no such file");
+    };
+    let tail = bytes.get(offset.min(bytes.len() as u64) as usize..).unwrap_or(&[]);
+    Response::new(200)
+        .header("Content-Type", "application/octet-stream")
+        .with_body(tail.to_vec())
+}
+
+/// Whether `name` is a replicable relative path: one of the two fleet
+/// logs, or a single well-formed filename under `queue/` or
+/// `checkpoints/`. Everything else — absolute paths, `..`, nested
+/// directories, odd characters — is rejected, so the file route can
+/// never read outside the data dir.
+fn replicable_path(name: &str) -> bool {
+    if name == "fleet-workers.jsonl" || name == "fleet-leases.jsonl" {
+        return true;
+    }
+    match name.split_once('/') {
+        Some(("queue" | "checkpoints", file)) => replicable_name(file),
+        _ => false,
+    }
+}
+
+fn replicable_name(file: &str) -> bool {
+    !file.is_empty()
+        && !file.contains("..")
+        && file
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// FNV-1a, the repo's dependency-free content hash: good enough to
+/// detect a rewritten (compacted) log, not a cryptographic integrity
+/// check.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 // ---------- helpers ----------

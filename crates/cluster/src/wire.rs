@@ -36,6 +36,10 @@ pub struct WireLease {
     /// Coordinator-stamped trace id for this lease (empty when talking
     /// to a coordinator predating tracing).
     pub trace_id: String,
+    /// The coordinator epoch the lease was granted under (0 when
+    /// talking to a coordinator predating epochs). The worker echoes it
+    /// with the batch's result upload.
+    pub epoch: u64,
 }
 
 /// One worker-side phase span shipped back with a result upload.
@@ -105,6 +109,7 @@ pub fn lease_grant_to_value(grant: &LeaseGrant) -> Result<Value, String> {
             ),
         ),
         ("trace", Value::str(&grant.trace_id)),
+        ("epoch", Value::UInt(grant.epoch)),
     ]))
 }
 
@@ -172,10 +177,12 @@ pub fn lease_from_value(v: &Value) -> Result<WireLease, String> {
         .and_then(Value::as_str)
         .unwrap_or_default()
         .to_string();
+    let epoch = v.get("epoch").and_then(Value::as_u64).unwrap_or(0);
     Ok(WireLease {
         jobs,
         new_campaigns,
         trace_id,
+        epoch,
     })
 }
 

@@ -13,6 +13,16 @@
 //!     └─ heartbeat thread keeps the lease alive while batches run
 //! ```
 //!
+//! **Failover**: the agent takes an *ordered list* of coordinators (the
+//! primary first, then warm standbys). Connection loss never exits the
+//! loop — the agent rotates through the list with jittered exponential
+//! backoff (`fleet_worker_reconnects_total`), keeps its worker id (the
+//! registry is replicated, so a promoted standby already knows it), and
+//! re-registers only when the answering coordinator returns 404.
+//! In-flight batch results upload to whichever coordinator answers;
+//! idempotent recording keeps the report byte-identical regardless of
+//! which epoch granted the lease.
+//!
 //! Determinism: an experiment's outcome depends only on the campaign
 //! spec, the injection point, and the rendered sources — all shipped on
 //! the wire — plus the spec-seeded per-experiment RNG, so a result
@@ -30,15 +40,17 @@ use sandbox::{ParallelExecutor, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Worker agent options.
 #[derive(Clone, Debug)]
 pub struct WorkerConfig {
-    /// Coordinator address (`host:port`).
-    pub coordinator: String,
+    /// Ordered coordinator addresses (`host:port`): the primary first,
+    /// then any warm standbys. The agent registers with the first that
+    /// answers and rotates through the list on connection loss.
+    pub coordinators: Vec<String>,
     /// Experiments executed concurrently.
     pub parallelism: usize,
     /// Jobs requested per lease (0 = `2 × parallelism`).
@@ -51,19 +63,33 @@ pub struct WorkerConfig {
     /// Upload attempts per result batch before the batch is abandoned
     /// to lease expiry.
     pub upload_retries: u32,
+    /// Initial backoff after a lost connection (jittered, doubles up to
+    /// [`WorkerConfig::reconnect_backoff_max`]).
+    pub reconnect_backoff: Duration,
+    /// Reconnect backoff ceiling.
+    pub reconnect_backoff_max: Duration,
 }
 
 impl WorkerConfig {
-    /// Defaults for a coordinator at `addr`.
+    /// Defaults for a single coordinator at `addr`.
     pub fn new(coordinator: impl Into<String>) -> WorkerConfig {
         WorkerConfig {
-            coordinator: coordinator.into(),
+            coordinators: vec![coordinator.into()],
             parallelism: 2,
             max_batch: 0,
             idle_backoff: Duration::from_millis(25),
             idle_backoff_max: Duration::from_millis(500),
             upload_retries: 5,
+            reconnect_backoff: Duration::from_millis(50),
+            reconnect_backoff_max: Duration::from_secs(2),
         }
+    }
+
+    /// Appends a standby coordinator to the failover list.
+    #[must_use]
+    pub fn with_standby(mut self, addr: impl Into<String>) -> WorkerConfig {
+        self.coordinators.push(addr.into());
+        self
     }
 
     fn batch(&self) -> usize {
@@ -95,6 +121,16 @@ pub struct WorkerStats {
     /// locally (unknown host, rebind failure); lease expiry returns
     /// them to the pool for another worker.
     pub skipped: u64,
+    /// Coordinator reconnects: failovers to another coordinator plus
+    /// re-registrations after a 404.
+    pub reconnects: u64,
+}
+
+/// The coordinator the agent currently talks to. Shared between the
+/// lease loop and the heartbeat thread, so a failover redirects both.
+struct Session {
+    addr: String,
+    id: String,
 }
 
 /// A running agent; stop it to get the stats back.
@@ -128,53 +164,59 @@ impl WorkerHandle {
 pub struct WorkerAgent;
 
 impl WorkerAgent {
-    /// Registers with the coordinator and starts the lease/execute
-    /// loop plus a heartbeat thread. The host `registry` must resolve
-    /// every host name the distributed specs reference (mirror the
-    /// coordinator's).
+    /// Registers with the first answering coordinator and starts the
+    /// lease/execute loop plus a heartbeat thread. The host `registry`
+    /// must resolve every host name the distributed specs reference
+    /// (mirror the coordinator's).
     ///
     /// # Errors
     ///
-    /// Registration failures (coordinator unreachable or refusing).
+    /// Registration failures — only after every coordinator in the list
+    /// refused or stayed unreachable across several backed-off passes.
     pub fn start(config: WorkerConfig, registry: HostRegistry) -> io::Result<WorkerHandle> {
         let pool = Arc::new(ClientPool::new());
-        let register = pool.post_json(
-            &config.coordinator,
-            "/api/workers/register",
-            &Value::obj(vec![(
-                "parallelism",
-                Value::UInt(config.parallelism.max(1) as u64),
-            )])
-            .compact(),
-        )?;
-        if register.status != 201 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("registration refused: {} {}", register.status, register.text()),
-            ));
+        let mut rng = seed_rng(&config.coordinators.join(","));
+        let mut last_error = io::Error::new(io::ErrorKind::AddrNotAvailable, "no coordinators");
+        let mut registered = None;
+        'passes: for round in 0..3u32 {
+            for addr in &config.coordinators {
+                match register_at(&pool, addr, config.parallelism) {
+                    Ok(ok) => {
+                        registered = Some((addr.clone(), ok));
+                        break 'passes;
+                    }
+                    Err(e) => {
+                        obs::log!(
+                            Level::Warn,
+                            "worker_register_failed",
+                            "coordinator" => addr.as_str(),
+                            "round" => u64::from(round) + 1,
+                            "error" => format!("{e}").as_str(),
+                        );
+                        last_error = e;
+                    }
+                }
+            }
+            let delay = config
+                .reconnect_backoff
+                .saturating_mul(1 << round.min(8))
+                .min(config.reconnect_backoff_max);
+            std::thread::sleep(jittered(&mut rng, delay));
         }
-        let reply = jsonlite::parse(&register.text())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let id = reply
-            .get("id")
-            .and_then(Value::as_str)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "registration without id"))?
-            .to_string();
-        let heartbeat_every = Duration::from_millis(
-            reply
-                .get("heartbeat_ms")
-                .and_then(Value::as_u64)
-                .unwrap_or(2000)
-                .max(10),
-        );
+        let Some((addr, (id, heartbeat_every))) = registered else {
+            return Err(last_error);
+        };
+        let session = Arc::new(Mutex::new(Session {
+            addr,
+            id: id.clone(),
+        }));
         let stop = Arc::new(AtomicBool::new(false));
 
         let hb_pool = pool.clone();
         let hb_stop = stop.clone();
-        let hb_addr = config.coordinator.clone();
-        let hb_id = id.clone();
+        let hb_session = session.clone();
         let heartbeat = std::thread::Builder::new()
-            .name(format!("{hb_id}-heartbeat"))
+            .name(format!("{id}-heartbeat"))
             .spawn(move || {
                 while !hb_stop.load(Ordering::SeqCst) {
                     // Sleep in small slices so stop() is prompt.
@@ -187,11 +229,17 @@ impl WorkerAgent {
                     if hb_stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    // Best-effort: a missed beat only risks an early
-                    // lease expiry, which the dedup makes harmless.
+                    // Best-effort, aimed at wherever the lease loop is
+                    // currently connected: a missed beat only risks an
+                    // early lease expiry, which the dedup makes
+                    // harmless.
+                    let (addr, worker) = {
+                        let s = hb_session.lock().unwrap_or_else(|p| p.into_inner());
+                        (s.addr.clone(), s.id.clone())
+                    };
                     let _ = hb_pool.post_json(
-                        &hb_addr,
-                        &format!("/api/workers/{hb_id}/heartbeat"),
+                        &addr,
+                        &format!("/api/workers/{worker}/heartbeat"),
                         "{}",
                     );
                 }
@@ -199,10 +247,9 @@ impl WorkerAgent {
             .expect("spawn heartbeat thread");
 
         let main_stop = stop.clone();
-        let main_id = id.clone();
         let main = std::thread::Builder::new()
-            .name(main_id.clone())
-            .spawn(move || run_loop(&config, &registry, &pool, &main_id, &main_stop))
+            .name(id.clone())
+            .spawn(move || run_loop(&config, &registry, &pool, &session, &main_stop))
             .expect("spawn worker thread");
 
         Ok(WorkerHandle {
@@ -211,6 +258,126 @@ impl WorkerAgent {
             main: Some(main),
             heartbeat: Some(heartbeat),
         })
+    }
+}
+
+/// One registration attempt. Returns the assigned id and the advertised
+/// heartbeat cadence.
+fn register_at(
+    pool: &ClientPool,
+    addr: &str,
+    parallelism: usize,
+) -> io::Result<(String, Duration)> {
+    let register = pool.post_json(
+        addr,
+        "/api/workers/register",
+        &Value::obj(vec![(
+            "parallelism",
+            Value::UInt(parallelism.max(1) as u64),
+        )])
+        .compact(),
+    )?;
+    if register.status != 201 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("registration refused: {} {}", register.status, register.text()),
+        ));
+    }
+    let reply = jsonlite::parse(&register.text())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let id = reply
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "registration without id"))?
+        .to_string();
+    let heartbeat_every = Duration::from_millis(
+        reply
+            .get("heartbeat_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or(2000)
+            .max(10),
+    );
+    Ok((id, heartbeat_every))
+}
+
+/// The agent's failover machinery: the coordinator ring, the shared
+/// session, and the jittered reconnect backoff. Every transition is
+/// counted (`fleet_worker_reconnects_total`) and logged — an agent
+/// never gives up on a connection error silently.
+struct Failover<'a> {
+    pool: &'a ClientPool,
+    config: &'a WorkerConfig,
+    session: &'a Arc<Mutex<Session>>,
+    reconnects: obs::Counter,
+    delay: Duration,
+    rng: u64,
+}
+
+impl Failover<'_> {
+    fn current(&self) -> (String, String) {
+        let s = self.session.lock().unwrap_or_else(|p| p.into_inner());
+        (s.addr.clone(), s.id.clone())
+    }
+
+    /// A successful exchange: the connection is healthy again.
+    fn reset(&mut self) {
+        self.delay = self.config.reconnect_backoff;
+    }
+
+    /// Connection lost: advance to the next coordinator in the ring
+    /// (a single-entry ring retries the same one) after a jittered,
+    /// stop-aware backoff.
+    fn rotate(&mut self, stats: &mut WorkerStats, stop: &AtomicBool, error: &str) {
+        let (from, worker) = self.current();
+        let ring = &self.config.coordinators;
+        let at = ring.iter().position(|a| *a == from).unwrap_or(0);
+        let to = ring[(at + 1) % ring.len()].clone();
+        let backoff = jittered(&mut self.rng, self.delay);
+        stats.reconnects += 1;
+        self.reconnects.inc();
+        obs::log!(
+            Level::Warn,
+            "worker_reconnect",
+            "worker" => worker.as_str(),
+            "from" => from.as_str(),
+            "to" => to.as_str(),
+            "backoff_ms" => backoff.as_millis() as u64,
+            "error" => error,
+        );
+        self.session.lock().unwrap_or_else(|p| p.into_inner()).addr = to;
+        self.delay = (self.delay * 2).min(self.config.reconnect_backoff_max);
+        sleep_stoppable(backoff, stop);
+    }
+
+    /// The current coordinator answered 404 — it does not know our id
+    /// (diverged registry). Re-register there; on success the session
+    /// carries the new id. Returns whether re-registration succeeded.
+    fn reregister(&mut self, stats: &mut WorkerStats) -> bool {
+        let (addr, old) = self.current();
+        match register_at(self.pool, &addr, self.config.parallelism) {
+            Ok((id, _)) => {
+                stats.reconnects += 1;
+                self.reconnects.inc();
+                obs::log!(
+                    Level::Warn,
+                    "worker_reregistered",
+                    "coordinator" => addr.as_str(),
+                    "old_id" => old.as_str(),
+                    "new_id" => id.as_str(),
+                );
+                self.session.lock().unwrap_or_else(|p| p.into_inner()).id = id;
+                true
+            }
+            Err(e) => {
+                obs::log!(
+                    Level::Warn,
+                    "worker_register_failed",
+                    "coordinator" => addr.as_str(),
+                    "error" => format!("{e}").as_str(),
+                );
+                false
+            }
+        }
     }
 }
 
@@ -236,7 +403,7 @@ fn run_loop(
     config: &WorkerConfig,
     registry: &HostRegistry,
     pool: &ClientPool,
-    id: &str,
+    session: &Arc<Mutex<Session>>,
     stop: &AtomicBool,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
@@ -245,12 +412,21 @@ fn run_loop(
     let mut workflows: BTreeMap<String, Arc<Workflow>> = BTreeMap::new();
     let executor = ParallelExecutor::new(config.parallelism.max(1) + 1);
     let mut backoff = config.idle_backoff;
-    let lease_path = format!("/api/workers/{id}/lease");
-    let results_path = format!("/api/workers/{id}/results");
     let upload_failures = obs::global().counter(
         "fleet_upload_failures_total",
         "Result batches abandoned after exhausting every upload retry.",
     );
+    let mut fo = Failover {
+        pool,
+        config,
+        session,
+        reconnects: obs::global().counter(
+            "fleet_worker_reconnects_total",
+            "Worker coordinator reconnects (failovers and re-registrations).",
+        ),
+        delay: config.reconnect_backoff,
+        rng: seed_rng(&session.lock().unwrap_or_else(|p| p.into_inner()).id),
+    };
     // Phase spans not yet shipped: rebind/execute spans of the current
     // batch, plus the previous batch's upload span.
     let mut pending_spans: Vec<PendingSpan> = Vec::new();
@@ -264,26 +440,45 @@ fn run_loop(
             ),
         ])
         .compact();
-        let lease = match pool.post_json(&config.coordinator, &lease_path, &request) {
+        let (addr, id) = fo.current();
+        let lease = match pool.post_json(&addr, &format!("/api/workers/{id}/lease"), &request) {
             Ok(resp) if resp.status == 200 => match jsonlite::parse(&resp.text())
                 .and_then(|v| wire::lease_from_value(&v))
             {
-                Ok(lease) => lease,
+                Ok(lease) => {
+                    fo.reset();
+                    lease
+                }
                 Err(e) => {
                     obs::log!(
                         Level::Warn,
                         "lease_decode_failed",
-                        "worker" => id,
+                        "worker" => id.as_str(),
                         "error" => e.as_str(),
                     );
                     idle(&mut backoff, config, stop);
                     continue;
                 }
             },
-            // Coordinator down, restarted, or refusing: back off and
-            // retry — leases we held expire server-side on their own.
-            _ => {
+            // This coordinator does not know us — a takeover whose
+            // registry replica missed our registration. Re-register
+            // (keeping the session) or move on down the ring.
+            Ok(resp) if resp.status == 404 => {
+                if !fo.reregister(&mut stats) {
+                    fo.rotate(&mut stats, stop, "re-registration refused");
+                }
+                continue;
+            }
+            // Coordinator answering but refusing (500, overload):
+            // back off and retry — leases we held expire server-side
+            // on their own.
+            Ok(_) => {
                 idle(&mut backoff, config, stop);
+                continue;
+            }
+            // Connection lost: fail over to the next coordinator.
+            Err(e) => {
+                fo.rotate(&mut stats, stop, &format!("{e}"));
                 continue;
             }
         };
@@ -303,7 +498,7 @@ fn run_loop(
                 obs::log!(
                     Level::Warn,
                     "job_skipped",
-                    "worker" => id,
+                    "worker" => id.as_str(),
                     "campaign" => job.campaign.as_str(),
                     "reason" => "campaign not rebuilt locally",
                 );
@@ -321,7 +516,7 @@ fn run_loop(
                     obs::log!(
                         Level::Warn,
                         "job_skipped",
-                        "worker" => id,
+                        "worker" => id.as_str(),
                         "campaign" => job.campaign.as_str(),
                         "reason" => e.as_str(),
                     );
@@ -389,17 +584,16 @@ fn run_loop(
         let mut body = wire::results_to_value(&results);
         if let Value::Obj(fields) = &mut body {
             fields.push(("trace".to_string(), Value::str(&lease.trace_id)));
+            fields.push(("epoch".to_string(), Value::UInt(lease.epoch)));
             fields.push(("spans".to_string(), wire::spans_to_value(&spans)));
         }
         match upload_with_retry(
-            pool,
-            &config.coordinator,
-            &results_path,
+            &mut fo,
             &body.compact(),
             config.upload_retries,
             &mut stats,
             &upload_failures,
-            id,
+            stop,
         ) {
             Ok(reply) => {
                 // Shipped spans now live coordinator-side; the upload
@@ -449,33 +643,52 @@ fn count_per_campaign<'a>(ids: impl Iterator<Item = &'a str>) -> Vec<(String, us
     counts
 }
 
-/// Uploads one result batch with exponential backoff, `retries + 1`
-/// attempts in total. Success returns the coordinator's parsed reply.
-/// Exhaustion is **surfaced**, not swallowed: the final error lands in
-/// the event log, `stats.upload_failures`, and the process-wide
+/// Uploads one result batch, `retries + 1` attempts in total. Each
+/// attempt goes to the failover session's *current* coordinator: a
+/// transport error rotates the ring (so an in-flight batch lands on
+/// whichever coordinator answers), a 404 re-registers there first.
+/// Success returns the coordinator's parsed reply. Exhaustion is
+/// **surfaced**, not swallowed: the final error lands in the event log,
+/// `stats.upload_failures`, and the process-wide
 /// `fleet_upload_failures_total` counter before it is returned.
-#[allow(clippy::too_many_arguments)]
 fn upload_with_retry(
-    pool: &ClientPool,
-    coordinator: &str,
-    path: &str,
+    fo: &mut Failover<'_>,
     body: &str,
     retries: u32,
     stats: &mut WorkerStats,
     failures: &obs::Counter,
-    worker: &str,
+    stop: &AtomicBool,
 ) -> Result<Value, String> {
     let mut delay = Duration::from_millis(10);
     let mut last_error = String::new();
     for attempt in 0..=retries {
-        match pool.post_json(coordinator, path, body) {
+        let (addr, worker) = fo.current();
+        let rotated = match fo
+            .pool
+            .post_json(&addr, &format!("/api/workers/{worker}/results"), body)
+        {
             Ok(resp) if resp.status == 200 => {
                 stats.uploads += 1;
+                fo.reset();
                 return Ok(jsonlite::parse(&resp.text()).unwrap_or(Value::Null));
             }
-            Ok(resp) => last_error = format!("HTTP {}: {}", resp.status, resp.text()),
-            Err(e) => last_error = format!("transport: {e}"),
-        }
+            Ok(resp) if resp.status == 404 => {
+                last_error = format!("HTTP 404: {}", resp.text());
+                if !fo.reregister(stats) {
+                    fo.rotate(stats, stop, "re-registration refused");
+                }
+                true // the failover machinery already backed off
+            }
+            Ok(resp) => {
+                last_error = format!("HTTP {}: {}", resp.status, resp.text());
+                false
+            }
+            Err(e) => {
+                last_error = format!("transport: {e}");
+                fo.rotate(stats, stop, &last_error);
+                true
+            }
+        };
         if attempt == retries {
             break;
         }
@@ -483,19 +696,22 @@ fn upload_with_retry(
         obs::log!(
             Level::Warn,
             "upload_retry",
-            "worker" => worker,
+            "worker" => worker.as_str(),
             "attempt" => u64::from(attempt) + 1,
             "error" => last_error.as_str(),
         );
-        std::thread::sleep(delay);
-        delay = (delay * 2).min(Duration::from_millis(500));
+        if !rotated {
+            sleep_stoppable(delay, stop);
+            delay = (delay * 2).min(Duration::from_millis(500));
+        }
     }
     stats.upload_failures += 1;
     failures.inc();
+    let (_, worker) = fo.current();
     obs::log!(
         Level::Error,
         "upload_retries_exhausted",
-        "worker" => worker,
+        "worker" => worker.as_str(),
         "attempts" => u64::from(retries) + 1,
         "error" => last_error.as_str(),
     );
@@ -513,13 +729,40 @@ fn build_workflow(
 
 /// Bounded exponential idle wait, stop-aware.
 fn idle(backoff: &mut Duration, config: &WorkerConfig, stop: &AtomicBool) {
+    sleep_stoppable(*backoff, stop);
+    *backoff = (*backoff * 2).min(config.idle_backoff_max);
+}
+
+/// Sleeps `total` in small slices, returning early on stop.
+fn sleep_stoppable(total: Duration, stop: &AtomicBool) {
     let mut slept = Duration::ZERO;
-    while slept < *backoff && !stop.load(Ordering::SeqCst) {
-        let slice = Duration::from_millis(10).min(*backoff - slept);
+    while slept < total && !stop.load(Ordering::SeqCst) {
+        let slice = Duration::from_millis(10).min(total - slept);
         std::thread::sleep(slice);
         slept += slice;
     }
-    *backoff = (*backoff * 2).min(config.idle_backoff_max);
+}
+
+/// Seeds the jitter RNG from the process-global `RandomState` (no
+/// external randomness dependency) plus a caller-supplied tag, so
+/// workers sharing a host fan their retries out instead of thundering
+/// together.
+fn seed_rng(tag: &str) -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write(tag.as_bytes());
+    hasher.finish() | 1 // xorshift must not start at 0
+}
+
+/// Uniform-ish jitter in `[delay/2, delay]` via xorshift64*.
+fn jittered(rng: &mut u64, delay: Duration) -> Duration {
+    *rng ^= *rng >> 12;
+    *rng ^= *rng << 25;
+    *rng ^= *rng >> 27;
+    let r = rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let half = delay.as_millis().max(1) as u64 / 2;
+    Duration::from_millis(half.max(1) + r % half.max(1))
 }
 
 #[cfg(test)]
@@ -538,21 +781,36 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", router, ServerConfig::default()).unwrap();
         let addr = server.addr().to_string();
         let pool = ClientPool::new();
+        let config = WorkerConfig::new(addr.clone());
+        let session = Arc::new(Mutex::new(Session {
+            addr,
+            id: "w-test".to_string(),
+        }));
         let mut stats = WorkerStats::default();
         let failures = obs::global().counter(
             "fleet_upload_failures_total",
             "Result batches abandoned after exhausting every upload retry.",
         );
+        let mut fo = Failover {
+            pool: &pool,
+            config: &config,
+            session: &session,
+            reconnects: obs::global().counter(
+                "fleet_worker_reconnects_total",
+                "Worker coordinator reconnects (failovers and re-registrations).",
+            ),
+            delay: config.reconnect_backoff,
+            rng: seed_rng("w-test"),
+        };
         let before = failures.value();
+        let stop = AtomicBool::new(false);
         let err = upload_with_retry(
-            &pool,
-            &addr,
-            "/api/workers/w-test/results",
+            &mut fo,
             "{\"results\": []}",
             2,
             &mut stats,
             &failures,
-            "w-test",
+            &stop,
         )
         .unwrap_err();
         // The final error is returned, not discarded…
@@ -563,6 +821,72 @@ mod tests {
         assert_eq!(stats.upload_failures, 1);
         assert_eq!(stats.uploads, 0);
         assert_eq!(failures.value(), before + 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn transport_loss_rotates_the_coordinator_ring_and_counts() {
+        // Two coordinators: the first address is unreachable (bound
+        // then dropped), the second answers.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let router = Router::new().route(
+            "POST",
+            "/api/workers/:id/results",
+            |_req: &Request| Response::json(200, "{\"completed\": []}".to_string()),
+        );
+        let server = Server::bind("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+        let live = server.addr().to_string();
+        let pool = ClientPool::new();
+        let config = WorkerConfig {
+            reconnect_backoff: Duration::from_millis(5),
+            ..WorkerConfig::new(dead.clone()).with_standby(live.clone())
+        };
+        let session = Arc::new(Mutex::new(Session {
+            addr: dead,
+            id: "w-rotate".to_string(),
+        }));
+        let mut stats = WorkerStats::default();
+        let failures = obs::global().counter(
+            "fleet_upload_failures_total",
+            "Result batches abandoned after exhausting every upload retry.",
+        );
+        let reconnects = obs::global().counter(
+            "fleet_worker_reconnects_total",
+            "Worker coordinator reconnects (failovers and re-registrations).",
+        );
+        let before = reconnects.value();
+        let mut fo = Failover {
+            pool: &pool,
+            config: &config,
+            session: &session,
+            reconnects,
+            delay: config.reconnect_backoff,
+            rng: seed_rng("w-rotate"),
+        };
+        let stop = AtomicBool::new(false);
+        let reply = upload_with_retry(
+            &mut fo,
+            "{\"results\": []}",
+            3,
+            &mut stats,
+            &failures,
+            &stop,
+        )
+        .unwrap();
+        // The batch landed on the standby after rotating off the dead
+        // primary — counted, logged, never silently dropped.
+        assert!(reply.get("completed").is_some());
+        assert_eq!(stats.uploads, 1);
+        assert!(stats.reconnects >= 1, "{stats:?}");
+        assert!(fo.reconnects.value() > before);
+        assert_eq!(
+            session.lock().unwrap().addr,
+            live,
+            "session follows the ring"
+        );
         server.shutdown();
     }
 }

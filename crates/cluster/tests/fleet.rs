@@ -79,7 +79,7 @@ fn distributed_campaign_with_killed_worker_is_byte_identical_to_single_node() {
         heartbeat_interval: Duration::from_millis(150),
         tick_interval: Duration::from_millis(50),
         lease_batch_max: 16,
-        data_dir: None,
+        ..FleetConfig::default()
     };
     let fleet = FleetServer::serve(
         "127.0.0.1:0",

@@ -94,7 +94,21 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, router: Router, config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        Server::from_listener(TcpListener::bind(addr)?, router, config)
+    }
+
+    /// Starts serving `router` on an already-bound listener. Lets a
+    /// warm standby bind (and let clients queue in the kernel backlog)
+    /// long before it decides to serve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn from_listener(
+        listener: TcpListener,
+        router: Router,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));

@@ -10,11 +10,13 @@
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
 //! profipy-cli serve [ADDR] [--data-dir D] [--workers N] [--max-conns N]
-//!                   [--fleet] [--lease-ms N] [--log-file F]
+//!                   [--fleet] [--standby-of ADDR] [--lease-ms N] [--log-file F]
 //!                                          boot the as-a-Service REST API
-//!                                          (--fleet: lease to remote workers)
-//! profipy-cli worker --coordinator ADDR [--parallelism N] [--log-file F]
-//!                                          join a coordinator's worker fleet
+//!                                          (--fleet: lease to remote workers;
+//!                                          --standby-of: warm standby of a
+//!                                          primary coordinator)
+//! profipy-cli worker --coordinator ADDR[,STANDBY...] [--parallelism N]
+//!                   [--log-file F]          join a coordinator's worker fleet
 //! ```
 //!
 //! Structured JSONL event logging: `--log-file` (or `PROFIPY_LOG=stderr`
@@ -22,7 +24,7 @@
 //! threshold (debug|info|warn|error|off).
 
 use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
-use cluster::{FleetConfig, FleetServer, WorkerAgent, WorkerConfig};
+use cluster::{FleetConfig, FleetServer, StandbyConfig, StandbyServer, WorkerAgent, WorkerConfig};
 use profipy::case_study::{
     campaign_a, campaign_b, campaign_c, case_study_workflow, etcd_host_factory, Campaign,
 };
@@ -66,14 +68,16 @@ fn usage() -> ExitCode {
                [--workers N]           with --data-dir the queue/checkpoints/cache\n\
                [--max-conns N]         persist and survive restarts; --workers sizes\n\
                [--fleet]               the handler pool, --max-conns caps open\n\
-               [--lease-ms N]          keep-alive connections; --fleet leases\n\
-               [--log-file F]          experiments to remote workers instead of\n\
-                                       executing locally, --lease-ms sets the\n\
-                                       heartbeat-bounded lease TTL, --log-file\n\
+               [--standby-of ADDR]     keep-alive connections; --fleet leases\n\
+               [--lease-ms N]          experiments to remote workers instead of\n\
+               [--log-file F]          executing locally, --standby-of replicates\n\
+                                       a primary coordinator into --data-dir and\n\
+                                       takes over when it dies, --lease-ms sets\n\
+                                       the heartbeat-bounded lease TTL, --log-file\n\
                                        appends JSONL events to F)\n\
-         worker --coordinator ADDR     join a coordinator's fleet: pull leases,\n\
+         worker --coordinator ADDRS    join a coordinator's fleet: pull leases,\n\
                [--parallelism N]       execute experiments locally, stream the\n\
-               [--log-file F]          results back\n\
+               [--log-file F]          results back; ADDRS = primary[,standby...]\n\
          \n\
          PROFIPY_LOG=stderr|<path> and PROFIPY_LOG_LEVEL=debug|info|warn|error|off\n\
          configure the structured event log for every command"
@@ -199,20 +203,22 @@ fn log_to_file(path: Option<&String>) -> Option<ExitCode> {
 
 /// Joins a coordinator's fleet and works until killed.
 fn worker(args: &[String]) -> ExitCode {
-    let mut coordinator: Option<String> = None;
+    let mut coordinators: Vec<String> = Vec::new();
     let mut parallelism = 2usize;
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--coordinator" => match rest.next() {
-                Some(addr) => {
-                    // Accept both `host:port` and `http://host:port`.
-                    coordinator = Some(
+                Some(addrs) => {
+                    // Accept both `host:port` and `http://host:port`;
+                    // a comma-separated list names the primary first,
+                    // then warm standbys to fail over to.
+                    coordinators.extend(addrs.split(',').filter(|a| !a.is_empty()).map(|addr| {
                         addr.strip_prefix("http://")
                             .unwrap_or(addr)
                             .trim_end_matches('/')
-                            .to_string(),
-                    );
+                            .to_string()
+                    }));
                 }
                 None => {
                     eprintln!("--coordinator needs an address");
@@ -237,14 +243,16 @@ fn worker(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(coordinator) = coordinator else {
-        eprintln!("worker needs --coordinator ADDR");
+    if coordinators.is_empty() {
+        eprintln!("worker needs --coordinator ADDR[,STANDBY_ADDR...]");
         return ExitCode::from(2);
-    };
+    }
+    let coordinator = coordinators.join(",");
     let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
     let config = WorkerConfig {
+        coordinators,
         parallelism,
-        ..WorkerConfig::new(coordinator.clone())
+        ..WorkerConfig::new(String::new())
     };
     let agent = match WorkerAgent::start(config, registry) {
         Ok(agent) => agent,
@@ -270,6 +278,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut data_dir = None;
     let mut api_config = ApiConfig::default();
     let mut fleet = false;
+    let mut standby_of: Option<String> = None;
     let mut fleet_config = FleetConfig::default();
     let mut rest = args.iter();
     // Parses the `usize` value of `--flag N`.
@@ -300,6 +309,22 @@ fn serve(args: &[String]) -> ExitCode {
                 Err(code) => return code,
             },
             "--fleet" => fleet = true,
+            "--standby-of" => match rest.next() {
+                Some(primary) => {
+                    fleet = true;
+                    standby_of = Some(
+                        primary
+                            .strip_prefix("http://")
+                            .unwrap_or(primary)
+                            .trim_end_matches('/')
+                            .to_string(),
+                    );
+                }
+                None => {
+                    eprintln!("--standby-of needs the primary's address");
+                    return ExitCode::from(2);
+                }
+            },
             "--log-file" => {
                 if let Some(code) = log_to_file(rest.next()) {
                     return code;
@@ -321,6 +346,35 @@ fn serve(args: &[String]) -> ExitCode {
         }
     }
     let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+    // Warm standby: replicate the primary's logs into the (required)
+    // data dir, take over on missed probes. No engine exists until the
+    // promotion — the replica is the engine's future persistence root.
+    if let Some(primary) = standby_of {
+        let Some(dir) = data_dir else {
+            eprintln!("--standby-of needs --data-dir (the replica directory)");
+            return ExitCode::from(2);
+        };
+        let mut standby_config = StandbyConfig::new(primary.clone(), dir);
+        standby_config.addr = addr;
+        standby_config.api = api_config;
+        standby_config.fleet = fleet_config;
+        let standby = match StandbyServer::start(standby_config, registry) {
+            Ok(standby) => standby,
+            Err(e) => {
+                eprintln!("cannot start standby: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "warm standby of http://{primary} — replicating, takes over on http://{} within one \
+             lease period of a primary crash — Ctrl-C to stop",
+            standby.addr(),
+        );
+        std::mem::forget(standby); // replicate/serve until the process dies
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     // The fleet worker registry shares the engine's persistence root.
     let data_dir_for_fleet = data_dir.clone();
     let config = EngineConfig {
