@@ -35,28 +35,55 @@ fn summarize(name: &str, durations: &mut [f64]) {
 }
 
 fn bench_experiment_duration(c: &mut Criterion) {
-    for campaign in [campaign_a(), campaign_b(), campaign_c()] {
-        let wall_start = Instant::now();
-        let outcome = campaign
-            .workflow
-            .run_campaign(&campaign.filter, campaign.prune_by_coverage)
-            .expect("campaign runs");
-        let wall = wall_start.elapsed();
-        let mut durations: Vec<f64> = outcome.results.iter().map(|r| r.duration).collect();
-        summarize(&campaign.name, &mut durations);
-        // Interpreter wall-clock cost: campaigns are interpreter-bound
-        // (mutate + deploy + two workload rounds per experiment), so
-        // wall time per experiment tracks the interpreter fast path.
-        if !outcome.results.is_empty() {
-            eprintln!(
-                "P-3 {}: interpreter wall time {:?} total, {:?} per experiment (n={})",
-                campaign.name,
-                wall,
-                wall / outcome.results.len() as u32,
-                outcome.results.len()
-            );
+    // Campaigns are interpreter-bound (mutate + deploy + two workload
+    // rounds per experiment), so per-experiment wall time tracks the
+    // execution engine. Run every campaign under both engines; the
+    // virtual-duration distribution must be identical (the engines are
+    // bit-compatible) while wall time shows the bytecode speedup.
+    for make_campaign in [campaign_a, campaign_b, campaign_c] {
+        for (engine_name, engine) in [
+            ("bytecode", pyrt::Engine::Bytecode),
+            ("treewalk", pyrt::Engine::TreeWalk),
+        ] {
+            pyrt::set_default_engine(engine);
+            let campaign = make_campaign();
+            // Warmup run: fills the mutant/prepare/compile caches and
+            // the process-level caches, so the measured runs reflect
+            // steady-state per-experiment execution cost.
+            campaign
+                .workflow
+                .run_campaign(&campaign.filter, campaign.prune_by_coverage)
+                .expect("campaign warmup runs");
+            // Best of three measured runs: a campaign run is a single
+            // shot (no criterion sampling), so the minimum is the
+            // noise-resistant statistic.
+            let mut wall = std::time::Duration::MAX;
+            let mut outcome = None;
+            for _ in 0..3 {
+                let wall_start = Instant::now();
+                let o = campaign
+                    .workflow
+                    .run_campaign(&campaign.filter, campaign.prune_by_coverage)
+                    .expect("campaign runs");
+                wall = wall.min(wall_start.elapsed());
+                outcome = Some(o);
+            }
+            let outcome = outcome.expect("three runs happened");
+            let mut durations: Vec<f64> = outcome.results.iter().map(|r| r.duration).collect();
+            summarize(&campaign.name, &mut durations);
+            if !outcome.results.is_empty() {
+                eprintln!(
+                    "P-3 {} [{engine_name}]: interpreter wall time {:?} total, {:?} per \
+                     experiment (n={})",
+                    campaign.name,
+                    wall,
+                    wall / outcome.results.len() as u32,
+                    outcome.results.len()
+                );
+            }
         }
     }
+    pyrt::set_default_engine(pyrt::Engine::Bytecode);
 
     // Wall-clock cost of one experiment (deploy + 2 rounds + teardown).
     let campaign = campaign_b();

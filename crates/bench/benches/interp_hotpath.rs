@@ -16,7 +16,7 @@
 //! module.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pyrt::vm::Vm;
+use pyrt::vm::{Engine, Vm};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -120,18 +120,28 @@ fn bench_interp_hotpath(c: &mut Criterion) {
         ("call_heavy", CALL_HEAVY),
         ("dict_heavy", DICT_HEAVY),
     ] {
-        // Sanity: the workload actually computes something.
+        // Sanity: the workload actually computes something, and both
+        // engines agree on it.
         assert!(!run_source(src).is_empty(), "{name} produced no output");
         let prepared = pyrt::prepare::prepare(Arc::new(
             pysrc::parse_module(src, "bench.py").expect("parses"),
         ));
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut vm = Vm::new();
-                vm.run_prepared(black_box(&prepared)).expect("runs");
-                black_box(vm.stdout())
+        // Engine comparison points: `<name>_bytecode` is the default
+        // production path (flat-IR dispatch, code objects cached on the
+        // shared prepared module); `<name>_treewalk` is the oracle.
+        for (engine_name, engine) in [
+            ("bytecode", Engine::Bytecode),
+            ("treewalk", Engine::TreeWalk),
+        ] {
+            group.bench_function(format!("{name}_{engine_name}"), |b| {
+                b.iter(|| {
+                    let mut vm = Vm::new();
+                    vm.set_engine(engine);
+                    vm.run_prepared(black_box(&prepared)).expect("runs");
+                    black_box(vm.stdout())
+                });
             });
-        });
+        }
     }
     group.finish();
 

@@ -241,7 +241,7 @@ pub fn exec_block(vm: &mut Vm, frame: &mut Frame, stmts: &[Stmt]) -> Result<Flow
     Ok(Flow::Normal)
 }
 
-fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc> {
+pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<Flow, PyExc> {
     vm.tick()?;
     match &stmt.kind {
         StmtKind::Expr(e) => {
@@ -564,7 +564,11 @@ fn exception_object(vm: &Vm, exc: &PyExc) -> Value {
 }
 
 /// Converts a raised value (`raise X`) into a [`PyExc`].
-fn exception_from_value(vm: &mut Vm, _frame: &mut Frame, v: Value) -> Result<PyExc, PyExc> {
+pub(crate) fn exception_from_value(
+    vm: &mut Vm,
+    _frame: &mut Frame,
+    v: Value,
+) -> Result<PyExc, PyExc> {
     match v {
         Value::Class(c) if c.is_exception => {
             // `raise E` instantiates with no arguments.
@@ -679,7 +683,7 @@ fn write_name_str(frame: &mut Frame, name: &str, value: Value) {
     write_sym(frame, intern(name), value);
 }
 
-fn write_sym(frame: &mut Frame, sym: Symbol, value: Value) {
+pub(crate) fn write_sym(frame: &mut Frame, sym: Symbol, value: Value) {
     if frame.proto.global_decls.contains(&sym) {
         frame.globals.borrow_mut().set_sym(sym, value);
         return;
@@ -727,7 +731,7 @@ fn read_name(vm: &Vm, frame: &Frame, id: NodeId, name: &str) -> Result<Value, Py
     }
 }
 
-fn read_global_sym(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<Value, PyExc> {
+pub(crate) fn read_global_sym(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<Value, PyExc> {
     if let Some(v) = frame.globals.borrow().get_sym(sym) {
         return Ok(v);
     }
@@ -740,7 +744,12 @@ fn read_global_sym(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<Value, PyExc> 
 /// Dynamic (string-driven) name resolution for nodes outside the
 /// prepared table — semantically identical to the pre-slot interpreter.
 fn read_name_fallback(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc> {
-    let sym = intern(name);
+    read_sym_fallback(vm, frame, intern(name))
+}
+
+/// Symbol-keyed form of [`read_name_fallback`], shared with the
+/// bytecode VM (whose operands are already interned).
+pub(crate) fn read_sym_fallback(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<Value, PyExc> {
     if frame.proto.global_decls.contains(&sym) {
         return read_global_sym(vm, frame, sym);
     }
@@ -750,7 +759,7 @@ fn read_name_fallback(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc
             if let Some(i) = frame.proto.slot_of(sym) {
                 return match &slots[i as usize] {
                     Some(v) => Ok(v.clone()),
-                    None => Err(PyExc::unbound_local(name)),
+                    None => Err(PyExc::unbound_local(sym.as_str())),
                 };
             }
             for scope in frame.captured.iter().rev() {
@@ -763,7 +772,7 @@ fn read_name_fallback(vm: &Vm, frame: &Frame, name: &str) -> Result<Value, PyExc
             if frame.proto.local_syms.contains(&sym) {
                 return match locals.borrow().get_sym(sym) {
                     Some(v) => Ok(v),
-                    None => Err(PyExc::unbound_local(name)),
+                    None => Err(PyExc::unbound_local(sym.as_str())),
                 };
             }
             for scope in frame.captured.iter().rev() {
@@ -948,33 +957,7 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
         }
         ExprKind::Unary { op, operand } => {
             let v = eval(vm, frame, operand)?;
-            match op {
-                UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
-                UnaryOp::Neg => match v {
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    Value::Bool(b) => Ok(Value::Int(-(b as i64))),
-                    other => Err(PyExc::type_error(format!(
-                        "bad operand type for unary -: '{}'",
-                        other.type_name()
-                    ))),
-                },
-                UnaryOp::Pos => match v {
-                    Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
-                    other => Err(PyExc::type_error(format!(
-                        "bad operand type for unary +: '{}'",
-                        other.type_name()
-                    ))),
-                },
-                UnaryOp::Invert => match v {
-                    Value::Int(i) => Ok(Value::Int(!i)),
-                    Value::Bool(b) => Ok(Value::Int(!(b as i64))),
-                    other => Err(PyExc::type_error(format!(
-                        "bad operand type for unary ~: '{}'",
-                        other.type_name()
-                    ))),
-                },
-            }
+            unary_op(*op, v)
         }
         ExprKind::Binary { left, op, right } => {
             let l = eval(vm, frame, left)?;
@@ -1072,22 +1055,73 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             ifs,
         } => {
             let iterable = eval(vm, frame, iter)?;
-            let mut out = Vec::new();
-            'outer: for item in iter_values(&iterable)? {
-                assign_target(vm, frame, target, item)?;
-                for cond in ifs {
-                    if !eval(vm, frame, cond)?.truthy() {
-                        continue 'outer;
+            // Under the `Scoped` spec version the comprehension target
+            // does not leak: snapshot its prior binding and restore it
+            // afterwards. `Legacy` (the default) keeps the historical
+            // leaking behavior so existing campaign reports are stable.
+            let snapshot = if vm.spec_version() == crate::vm::SpecVersion::Scoped {
+                comp_target_snapshot(frame, target)
+            } else {
+                None
+            };
+            let result = (|vm: &mut Vm, frame: &mut Frame| -> Result<Value, PyExc> {
+                let mut out = Vec::new();
+                'outer: for item in iter_values(&iterable)? {
+                    assign_target(vm, frame, target, item)?;
+                    for cond in ifs {
+                        if !eval(vm, frame, cond)?.truthy() {
+                            continue 'outer;
+                        }
                     }
+                    out.push(eval(vm, frame, elt)?);
                 }
-                out.push(eval(vm, frame, elt)?);
+                Ok(Value::list(out))
+            })(vm, frame);
+            if let Some((sym, prev)) = snapshot {
+                comp_target_restore(frame, sym, prev);
             }
-            Ok(Value::list(out))
+            result
         }
         ExprKind::Starred(_) => Err(PyExc::new(
             "SyntaxError",
             "starred expression outside call/assignment",
         )),
+    }
+}
+
+/// Applies a unary operator (shared by the tree walk and the bytecode
+/// VM).
+///
+/// # Errors
+///
+/// `TypeError` when the operand does not support the operator.
+pub(crate) fn unary_op(op: UnaryOp, v: Value) -> Result<Value, PyExc> {
+    match op {
+        UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Bool(b) => Ok(Value::Int(-(b as i64))),
+            other => Err(PyExc::type_error(format!(
+                "bad operand type for unary -: '{}'",
+                other.type_name()
+            ))),
+        },
+        UnaryOp::Pos => match v {
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
+            other => Err(PyExc::type_error(format!(
+                "bad operand type for unary +: '{}'",
+                other.type_name()
+            ))),
+        },
+        UnaryOp::Invert => match v {
+            Value::Int(i) => Ok(Value::Int(!i)),
+            Value::Bool(b) => Ok(Value::Int(!(b as i64))),
+            other => Err(PyExc::type_error(format!(
+                "bad operand type for unary ~: '{}'",
+                other.type_name()
+            ))),
+        },
     }
 }
 
@@ -1179,12 +1213,87 @@ pub fn call_function(
     };
     bind_params(func, args, kwargs, &mut frame.locals)?;
     vm.depth.set(vm.depth.get() + 1);
-    let result = exec_block(vm, &mut frame, &func.proto.body);
+    let result = if vm.engine() == crate::vm::Engine::Bytecode {
+        let code = crate::compile::func_code(vm, &func.proto);
+        crate::bcvm::run(vm, &mut frame, code)
+    } else {
+        match exec_block(vm, &mut frame, &func.proto.body) {
+            Ok(Flow::Return(v)) => Ok(v),
+            Ok(_) => Ok(Value::None),
+            Err(e) => Err(e),
+        }
+    };
     vm.depth.set(vm.depth.get() - 1);
-    match result {
-        Ok(Flow::Return(v)) => Ok(v),
-        Ok(_) => Ok(Value::None),
-        Err(e) => Err(e.with_frame(func.name())),
+    result.map_err(|e| e.with_frame(func.name()))
+}
+
+/// Executes a module-level scope body through the configured engine.
+/// The bytecode compile is cached on the module's [`FuncProto`], except
+/// for the shared `empty_module` prototype (used by eval-style entry
+/// points whose body is not 1:1 with the prototype) which always tree
+/// walks.
+///
+/// # Errors
+///
+/// Propagates any raised [`PyExc`].
+pub(crate) fn exec_entry(vm: &mut Vm, frame: &mut Frame, body: &[Stmt]) -> Result<Flow, PyExc> {
+    if vm.engine() == crate::vm::Engine::Bytecode
+        && !Arc::ptr_eq(&frame.proto, &FuncProto::empty_module())
+    {
+        let proto = frame.proto.clone();
+        let code = crate::compile::module_code(vm, &proto, body);
+        return crate::bcvm::run(vm, frame, code).map(Flow::Return);
+    }
+    exec_block(vm, frame, body)
+}
+
+/// Snapshot of a simple-`Name` comprehension target's binding (for the
+/// `Scoped` spec version). Returns `None` for non-name targets, which
+/// keep legacy semantics.
+fn comp_target_snapshot(frame: &Frame, target: &Expr) -> Option<(Symbol, Option<Value>)> {
+    let ExprKind::Name(n) = &target.kind else {
+        return None;
+    };
+    let sym = intern(n);
+    let prev = if frame.proto.global_decls.contains(&sym) {
+        frame.globals.borrow().get_sym(sym)
+    } else {
+        match &frame.locals {
+            FrameLocals::Module => frame.globals.borrow().get_sym(sym),
+            FrameLocals::Slots(slots) => frame
+                .proto
+                .slot_of(sym)
+                .and_then(|i| slots[i as usize].clone()),
+            FrameLocals::Dynamic(locals) => locals.borrow().get_sym(sym),
+        }
+    };
+    Some((sym, prev))
+}
+
+/// Restores (or unsets) a comprehension target binding captured by
+/// [`comp_target_snapshot`].
+fn comp_target_restore(frame: &mut Frame, sym: Symbol, prev: Option<Value>) {
+    match prev {
+        Some(v) => write_sym(frame, sym, v),
+        None => {
+            if frame.proto.global_decls.contains(&sym) {
+                frame.globals.borrow_mut().unset_sym(sym);
+                return;
+            }
+            match &mut frame.locals {
+                FrameLocals::Module => {
+                    frame.globals.borrow_mut().unset_sym(sym);
+                }
+                FrameLocals::Slots(slots) => {
+                    if let Some(i) = frame.proto.slot_of(sym) {
+                        slots[i as usize] = None;
+                    }
+                }
+                FrameLocals::Dynamic(locals) => {
+                    locals.borrow_mut().unset_sym(sym);
+                }
+            }
+        }
     }
 }
 
@@ -1326,7 +1435,7 @@ pub fn get_attr_sym(vm: &Vm, obj: &Value, sym: Symbol) -> Result<Value, PyExc> {
     }
 }
 
-fn set_attr_sym(obj: &Value, sym: Symbol, value: Value) -> Result<(), PyExc> {
+pub(crate) fn set_attr_sym(obj: &Value, sym: Symbol, value: Value) -> Result<(), PyExc> {
     match obj {
         Value::Instance(i) => {
             i.set_attr_sym(sym, value);
@@ -1462,7 +1571,7 @@ fn get_slice(obj: &Value, lower: &Value, upper: &Value, step: &Value) -> Result<
     }
 }
 
-fn set_item(obj: &Value, index: Value, value: Value) -> Result<(), PyExc> {
+pub(crate) fn set_item(obj: &Value, index: Value, value: Value) -> Result<(), PyExc> {
     match obj {
         Value::List(l) => {
             let len = l.borrow().len();

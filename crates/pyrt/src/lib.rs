@@ -1,5 +1,8 @@
-//! `pyrt` — a deterministic tree-walking interpreter for the mini-Python
-//! subset parsed by [`pysrc`].
+//! `pyrt` — a deterministic interpreter for the mini-Python subset
+//! parsed by [`pysrc`]: a bytecode VM ([`compile`] + [`bcvm`], the
+//! default engine) with a tree-walking oracle ([`interp`]) that is
+//! bit-for-bit interchangeable with it (select per VM with
+//! [`Vm::set_engine`] or process-wide with `PROFIPY_ENGINE`).
 //!
 //! This crate stands in for the CPython runtime in the original ProFIPy
 //! paper. It reproduces the language semantics the paper's case study
@@ -36,12 +39,15 @@
 //! assert_eq!(vm.stdout(), "5\n");
 //! ```
 
+pub mod bcvm;
 pub mod builtins;
 pub mod clock;
+pub mod compile;
 pub mod exc;
 pub mod host;
 pub mod intern;
 pub mod interp;
+pub mod ir;
 pub mod methods;
 pub mod modules;
 pub mod prepare;
@@ -53,4 +59,4 @@ pub use host::{HostApi, HttpResponse, NoopHost};
 pub use intern::{intern, Symbol};
 pub use prepare::{FuncProto, PreparedModule};
 pub use value::Value;
-pub use vm::{LogRecord, Severity, Vm, VmOutcome};
+pub use vm::{set_default_engine, Engine, LogRecord, Severity, SpecVersion, Vm, VmOutcome};

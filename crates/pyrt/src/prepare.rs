@@ -125,6 +125,9 @@ pub struct FuncProto {
     /// dynamic scope without becoming a readable local — preserved,
     /// see module docs).
     pub dynamic: bool,
+    /// Lazily compiled bytecode for this scope's body (see
+    /// [`crate::compile`]); shared by every VM running the proto.
+    pub(crate) compiled: std::sync::OnceLock<Arc<crate::ir::CodeObject>>,
 }
 
 impl FuncProto {
@@ -150,6 +153,7 @@ impl FuncProto {
                     global_decls: Vec::new(),
                     table: Arc::new(NameTable::default()),
                     dynamic: true,
+                    compiled: std::sync::OnceLock::new(),
                 })
             })
             .clone()
@@ -224,6 +228,7 @@ pub fn prepare_ast(module: &Module) -> (Arc<FuncProto>, HashMap<u32, Arc<FuncPro
         global_decls: Vec::new(),
         table: table.clone(),
         dynamic: true,
+        compiled: std::sync::OnceLock::new(),
     });
     let protos = cx
         .protos
@@ -633,6 +638,7 @@ impl PrepareCx {
             global_decls,
             table: Arc::new(NameTable::default()),
             dynamic,
+            compiled: std::sync::OnceLock::new(),
         }
     }
 
@@ -664,6 +670,7 @@ impl PrepareCx {
             global_decls,
             table: Arc::new(NameTable::default()),
             dynamic: true,
+            compiled: std::sync::OnceLock::new(),
         }
     }
 }

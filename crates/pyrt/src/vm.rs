@@ -91,6 +91,67 @@ pub enum VmOutcome {
 /// like per-step advances; only the trip-step *prediction* divides).
 const TICK_BATCH: u64 = 64;
 
+/// Which execution engine runs scope bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Flat-IR bytecode dispatch loop (the default; see
+    /// [`crate::bcvm`]).
+    Bytecode,
+    /// Recursive tree walk — retained as the differential-testing
+    /// oracle.
+    TreeWalk,
+}
+
+/// Versioned language-semantics switch. Each variant pins an observable
+/// behavior set so campaign reports stay reproducible across upgrades.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecVersion {
+    /// Historical semantics: comprehension targets leak into the
+    /// enclosing scope (the default).
+    Legacy,
+    /// CPython-correct comprehension scoping: the target does not leak.
+    Scoped,
+}
+
+/// Process-wide engine default override: 0 = unset (consult
+/// `PROFIPY_ENGINE`, then fall back to bytecode), 1 = bytecode,
+/// 2 = tree walk. Set through [`set_default_engine`]; individual VMs
+/// can still be switched per-instance with [`Vm::set_engine`].
+static DEFAULT_ENGINE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the process-wide default engine for subsequently created VMs.
+/// Intended for bench/CLI processes; tests comparing engines should use
+/// [`Vm::set_engine`] (per-instance) instead, since test binaries run
+/// multi-threaded.
+pub fn set_default_engine(engine: Engine) {
+    let v = match engine {
+        Engine::Bytecode => 1,
+        Engine::TreeWalk => 2,
+    };
+    DEFAULT_ENGINE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn default_engine() -> Engine {
+    match DEFAULT_ENGINE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => return Engine::Bytecode,
+        2 => return Engine::TreeWalk,
+        _ => {}
+    }
+    static FROM_ENV: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("PROFIPY_ENGINE").as_deref() {
+        Ok("treewalk") | Ok("tree-walk") | Ok("oracle") => Engine::TreeWalk,
+        _ => Engine::Bytecode,
+    })
+}
+
+fn default_spec_version() -> SpecVersion {
+    static FROM_ENV: std::sync::OnceLock<SpecVersion> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("PROFIPY_SPEC").as_deref() {
+        Ok("scoped") => SpecVersion::Scoped,
+        _ => SpecVersion::Legacy,
+    })
+}
+
 /// The interpreter state shared across modules of one target program.
 pub struct Vm {
     /// Virtual clock.
@@ -137,6 +198,12 @@ pub struct Vm {
     pub(crate) depth: Cell<u32>,
     /// Modules currently being imported (cycle detection).
     importing: RefCell<Vec<String>>,
+    /// Recycled bytecode value stacks, so nested calls don't allocate.
+    pub(crate) bc_stacks: RefCell<Vec<Vec<Value>>>,
+    /// Execution engine for scope bodies.
+    engine: Cell<Engine>,
+    /// Language-semantics version.
+    spec: Cell<SpecVersion>,
 }
 
 impl Default for Vm {
@@ -176,10 +243,34 @@ impl Vm {
             handling: RefCell::new(Vec::new()),
             depth: Cell::new(0),
             importing: RefCell::new(Vec::new()),
+            bc_stacks: RefCell::new(Vec::new()),
+            engine: Cell::new(default_engine()),
+            spec: Cell::new(default_spec_version()),
         };
         vm.install_exception_classes();
         builtins::install(&vm);
         vm
+    }
+
+    /// The execution engine this VM runs scope bodies with.
+    pub fn engine(&self) -> Engine {
+        self.engine.get()
+    }
+
+    /// Switches this VM's execution engine (e.g. to the tree-walk
+    /// oracle for differential testing).
+    pub fn set_engine(&self, engine: Engine) {
+        self.engine.set(engine);
+    }
+
+    /// The language-semantics version this VM executes under.
+    pub fn spec_version(&self) -> SpecVersion {
+        self.spec.get()
+    }
+
+    /// Switches this VM's language-semantics version.
+    pub fn set_spec_version(&self, spec: SpecVersion) {
+        self.spec.set(spec);
     }
 
     fn install_exception_classes(&self) {
@@ -322,7 +413,7 @@ impl Vm {
         let prev = std::mem::replace(&mut *self.current_component.borrow_mut(), name.to_string());
         let result = {
             let mut frame = Frame::prepared_module(globals.clone(), proto);
-            crate::interp::exec_block(self, &mut frame, &source.body)
+            crate::interp::exec_entry(self, &mut frame, &source.body)
         };
         *self.current_component.borrow_mut() = prev;
         match result {
@@ -375,7 +466,7 @@ impl Vm {
         );
         let result = {
             let mut frame = Frame::prepared_module(globals, proto);
-            crate::interp::exec_block(self, &mut frame, &module.body)
+            crate::interp::exec_entry(self, &mut frame, &module.body)
         };
         *self.current_component.borrow_mut() = prev;
         // Settle so direct `clock.now()` readers see the full run cost.
@@ -464,6 +555,42 @@ impl Vm {
             return Ok(());
         }
         self.settle_ticks()
+    }
+
+    /// Takes `n` interpreter steps, bit-identical to `n` sequential
+    /// [`Vm::tick`] calls: settlement happens at exactly the same
+    /// accumulated step counts, so fuel exhaustion and deadline trips
+    /// surface on the same step with the same clock reading.
+    ///
+    /// # Errors
+    ///
+    /// Raises the timeout pseudo-exception exactly as [`Vm::tick`].
+    #[inline]
+    pub(crate) fn tick_n(&self, n: u32) -> Result<(), PyExc> {
+        let pending = self.pending_ticks.get() + n as u64;
+        if pending < self.tick_limit.get() {
+            self.pending_ticks.set(pending);
+            return Ok(());
+        }
+        self.tick_n_slow(n)
+    }
+
+    fn tick_n_slow(&self, mut n: u32) -> Result<(), PyExc> {
+        while n > 0 {
+            // Invariant between settlements: pending < limit, so the
+            // room to the next settlement is at least one step (and at
+            // most TICK_BATCH, so the u32 cast is lossless).
+            let room = (self.tick_limit.get() - self.pending_ticks.get()) as u32;
+            if n < room {
+                self.pending_ticks
+                    .set(self.pending_ticks.get() + n as u64);
+                return Ok(());
+            }
+            self.pending_ticks.set(self.tick_limit.get());
+            self.settle_ticks()?;
+            n -= room;
+        }
+        Ok(())
     }
 
     /// Settles the accumulated steps: advances the clock, consumes

@@ -412,6 +412,408 @@ fn comprehension_target_in_function_stays_invisible() {
     assert_eq!(run("print([n * 2 for n in [1, 2, 3]])\n"), "[2, 4, 6]\n");
 }
 
+// ---------- augmented assignment targets ----------
+
+#[test]
+fn augassign_attribute_target_evaluates_object_twice() {
+    // `get_box(b).v += 5` evaluates the object expression once for the
+    // read and once more for the write — side effects and all. The
+    // lowering must preserve the double evaluation.
+    assert_eq!(
+        run(concat!(
+            "class Box:\n",
+            "    def __init__(self):\n",
+            "        self.v = 10\n",
+            "calls = []\n",
+            "def get_box(b):\n",
+            "    calls.append(1)\n",
+            "    return b\n",
+            "b = Box()\n",
+            "get_box(b).v += 5\n",
+            "print(b.v, len(calls))\n",
+        )),
+        "15 2\n"
+    );
+}
+
+#[test]
+fn augassign_subscript_target_evaluates_index_twice() {
+    assert_eq!(
+        run(concat!(
+            "d = {'k': 1}\n",
+            "keys = []\n",
+            "def k():\n",
+            "    keys.append(1)\n",
+            "    return 'k'\n",
+            "d[k()] += 10\n",
+            "print(d['k'], len(keys))\n",
+        )),
+        "11 2\n"
+    );
+}
+
+#[test]
+fn augassign_local_global_and_string() {
+    assert_eq!(
+        run(concat!(
+            "total = 0\n",
+            "def bump(n):\n",
+            "    global total\n",
+            "    total += n\n",
+            "    s = 'a'\n",
+            "    s += 'b'\n",
+            "    return s\n",
+            "print(bump(3), total)\n",
+            "total += 1\n",
+            "print(total)\n",
+        )),
+        "ab 3\n4\n"
+    );
+}
+
+#[test]
+fn augassign_unbound_local_raises() {
+    let (class, _) = run_err(concat!(
+        "def f():\n",
+        "    x += 1\n",
+        "    return x\n",
+        "f()\n",
+    ));
+    assert_eq!(class, "UnboundLocalError");
+}
+
+// ---------- multiple / unpacking assignment ----------
+
+#[test]
+fn chained_assignment_aliases_single_value() {
+    assert_eq!(
+        run("a = b = [1, 2]\na.append(3)\nprint(b)\n"),
+        "[1, 2, 3]\n"
+    );
+}
+
+#[test]
+fn nested_unpack_targets() {
+    assert_eq!(
+        run("x, (y, z) = 1, (2, 3)\nprint(x, y, z)\n"),
+        "1 2 3\n"
+    );
+}
+
+#[test]
+fn unpack_length_mismatch_message() {
+    let (class, msg) = run_err("a, b = 1, 2, 3\n");
+    assert_eq!(class, "ValueError");
+    assert!(msg.contains("cannot unpack 3 values into 2 targets"), "{msg}");
+}
+
+// ---------- try/except/finally control flow ----------
+
+#[test]
+fn finally_return_overrides_body_return() {
+    assert_eq!(
+        run(concat!(
+            "def f():\n",
+            "    try:\n",
+            "        return 'body'\n",
+            "    finally:\n",
+            "        return 'finally'\n",
+            "print(f())\n",
+        )),
+        "finally\n"
+    );
+}
+
+#[test]
+fn finally_return_swallows_exception() {
+    assert_eq!(
+        run(concat!(
+            "def f():\n",
+            "    try:\n",
+            "        raise ValueError('x')\n",
+            "    finally:\n",
+            "        return 'swallowed'\n",
+            "print(f())\n",
+        )),
+        "swallowed\n"
+    );
+}
+
+#[test]
+fn try_else_runs_only_without_exception() {
+    assert_eq!(
+        run(concat!(
+            "out = []\n",
+            "try:\n",
+            "    out.append('body')\n",
+            "except ValueError:\n",
+            "    out.append('handler')\n",
+            "else:\n",
+            "    out.append('else')\n",
+            "finally:\n",
+            "    out.append('finally')\n",
+            "try:\n",
+            "    raise ValueError('v')\n",
+            "except ValueError:\n",
+            "    out.append('handler2')\n",
+            "else:\n",
+            "    out.append('else2')\n",
+            "print(out)\n",
+        )),
+        "['body', 'else', 'finally', 'handler2']\n"
+    );
+}
+
+#[test]
+fn bare_raise_rethrows_to_outer_handler() {
+    assert_eq!(
+        run(concat!(
+            "def f():\n",
+            "    try:\n",
+            "        try:\n",
+            "            raise ValueError('inner')\n",
+            "        except ValueError:\n",
+            "            raise\n",
+            "    except ValueError as e:\n",
+            "        return 'caught: ' + e.message\n",
+            "print(f())\n",
+        )),
+        "caught: inner\n"
+    );
+}
+
+#[test]
+fn break_through_finally_runs_finally_first() {
+    assert_eq!(
+        run(concat!(
+            "out = []\n",
+            "for i in range(3):\n",
+            "    try:\n",
+            "        if i == 1:\n",
+            "            break\n",
+            "        out.append(i)\n",
+            "    finally:\n",
+            "        out.append('f')\n",
+            "print(out)\n",
+        )),
+        "[0, 'f', 'f']\n"
+    );
+}
+
+#[test]
+fn except_tuple_matches_subclass() {
+    assert_eq!(
+        run(concat!(
+            "class MyErr(ValueError):\n",
+            "    pass\n",
+            "def f():\n",
+            "    try:\n",
+            "        raise MyErr('m')\n",
+            "    except (KeyError, ValueError):\n",
+            "        return 'match'\n",
+            "print(f())\n",
+        )),
+        "match\n"
+    );
+}
+
+#[test]
+fn fuel_exhaustion_is_uncatchable_by_bare_except() {
+    let m = pysrc::parse_module(
+        concat!(
+            "try:\n",
+            "    while True:\n",
+            "        pass\n",
+            "except:\n",
+            "    print('caught')\n",
+        ),
+        "test.py",
+    )
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.fuel.refill(5_000);
+    let e = vm.run_module(&m).expect_err("budget trips");
+    assert_eq!(e.class_name, "ProfipyFuelExhausted");
+    assert_eq!(vm.stdout(), "", "handler must not run");
+}
+
+// ---------- loop else clauses ----------
+
+#[test]
+fn for_else_runs_on_normal_exit_and_skips_on_break() {
+    assert_eq!(
+        run(concat!(
+            "for i in range(2):\n",
+            "    pass\n",
+            "else:\n",
+            "    print('else-ran')\n",
+            "for i in range(5):\n",
+            "    if i == 2:\n",
+            "        break\n",
+            "else:\n",
+            "    print('not-printed')\n",
+            "print('after', i)\n",
+        )),
+        "else-ran\nafter 2\n"
+    );
+}
+
+#[test]
+fn while_else_runs_after_condition_fails() {
+    assert_eq!(
+        run(concat!(
+            "n = 0\n",
+            "while n < 3:\n",
+            "    n += 1\n",
+            "else:\n",
+            "    print('done', n)\n",
+        )),
+        "done 3\n"
+    );
+}
+
+#[test]
+fn return_from_loop_else_propagates() {
+    assert_eq!(
+        run(concat!(
+            "def f():\n",
+            "    for i in range(2):\n",
+            "        pass\n",
+            "    else:\n",
+            "        return 'from-else'\n",
+            "    return 'after'\n",
+            "print(f())\n",
+        )),
+        "from-else\n"
+    );
+}
+
+#[test]
+fn break_inside_loop_else_is_discarded() {
+    // Pre-refactor quirk pinned: a `break` in a loop's `else` block is
+    // swallowed by that loop (it neither breaks the outer loop nor
+    // skips the statements after the inner one).
+    assert_eq!(
+        run(concat!(
+            "out = []\n",
+            "for i in range(2):\n",
+            "    for j in range(1):\n",
+            "        pass\n",
+            "    else:\n",
+            "        out.append('else' + str(i))\n",
+            "        break\n",
+            "    out.append('after-inner')\n",
+            "print(out)\n",
+        )),
+        "['else0', 'after-inner', 'else1', 'after-inner']\n"
+    );
+}
+
+// ---------- comprehension-target leak corners ----------
+
+#[test]
+fn comprehension_target_leaks_at_module_level() {
+    assert_eq!(
+        run("r = [x * x for x in range(4)]\nprint(x, r[3])\n"),
+        "3 9\n"
+    );
+}
+
+#[test]
+fn comprehension_body_reads_enclosing_scope_not_target() {
+    // Inside a function the comprehension target is invisible to reads
+    // (see comprehension_target_in_function_stays_invisible); when an
+    // enclosing scope binds the same name, the body reads *that*
+    // binding on every iteration.
+    assert_eq!(
+        run(concat!(
+            "def outer():\n",
+            "    n = 100\n",
+            "    def inner():\n",
+            "        return [n for n in [1, 2, 3]]\n",
+            "    return inner()\n",
+            "print(outer())\n",
+        )),
+        "[100, 100, 100]\n"
+    );
+}
+
+// ---------- spec-versioned comprehension scoping
+
+#[test]
+fn scoped_spec_restores_prior_comprehension_target_binding() {
+    let m = pysrc::parse_module(
+        "z = 'kept'\nsquares = [z * z for z in range(3)]\nprint(squares)\nprint(z)\n",
+        "m.py",
+    )
+    .expect("parse");
+    let mut vm = Vm::new();
+    vm.set_spec_version(pyrt::vm::SpecVersion::Scoped);
+    vm.run_module(&m).expect("run");
+    assert_eq!(vm.stdout(), "[0, 1, 4]\nkept\n");
+}
+
+#[test]
+fn scoped_spec_unbinds_fresh_comprehension_target() {
+    let m = pysrc::parse_module(
+        "squares = [z for z in range(3)]\nprint(z)\n",
+        "m.py",
+    )
+    .expect("parse");
+    let mut vm = Vm::new();
+    vm.set_spec_version(pyrt::vm::SpecVersion::Scoped);
+    let e = vm.run_module(&m).expect_err("z must not leak under Scoped");
+    assert_eq!(e.class_name, "NameError");
+}
+
+#[test]
+fn default_spec_version_is_legacy() {
+    // The leaking behavior pinned above is the default; campaigns see
+    // no change until a report opts into `SpecVersion::Scoped`.
+    let vm = Vm::new();
+    assert_eq!(vm.spec_version(), pyrt::vm::SpecVersion::Legacy);
+}
+
+// ---------- evaluation-order pins for the lowering ----------
+
+#[test]
+fn chained_comparison_short_circuits_side_effects() {
+    assert_eq!(
+        run(concat!(
+            "calls = []\n",
+            "def t(v):\n",
+            "    calls.append(v)\n",
+            "    return v\n",
+            "print(t(1) < t(2) < t(0) < t(99))\n",
+            "print(calls)\n",
+        )),
+        "False\n[1, 2, 0]\n"
+    );
+}
+
+#[test]
+fn boolop_returns_deciding_operand() {
+    assert_eq!(
+        run("print(0 or 'x', 1 and 2, '' and 'y', [] or {})\n"),
+        "x 2  {}\n"
+    );
+}
+
+#[test]
+fn conditional_expression_evaluates_single_branch() {
+    assert_eq!(
+        run(concat!(
+            "calls = []\n",
+            "def side(tag, v):\n",
+            "    calls.append(tag)\n",
+            "    return v\n",
+            "print(side('a', 1) if True else side('b', 2))\n",
+            "print(calls)\n",
+        )),
+        "1\n['a']\n"
+    );
+}
+
 // ---------- recursion limit (satellite: MAX_DEPTH raise) ----------
 
 #[test]

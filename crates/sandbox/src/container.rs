@@ -2,10 +2,46 @@
 
 use crate::image::ContainerImage;
 use pyrt::interp::call_value;
+use pyrt::prepare::{prepare_hashed, source_hash64, PreparedModule};
 use pyrt::{HostApi, PyExc, Value, Vm};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide prepared-module cache keyed by `(import name, source
+/// hash)`. Mutated sources recur across a campaign's deploys (coverage
+/// pre-run, retries, repeated campaign runs, fleet round-robin), and a
+/// cache hit skips parse + name resolution — and keeps the scopes'
+/// cached bytecode, so the compile tier is paid once per distinct
+/// source text, not once per deploy.
+type PrepareCache = Mutex<HashMap<(String, u64), Arc<PreparedModule>>>;
+
+fn prepare_cache() -> &'static PrepareCache {
+    static CACHE: OnceLock<PrepareCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cache bound; campaigns produce one distinct mutant per experiment,
+/// so this holds several campaigns' worth. Full → cleared (simple and
+/// sound: entries rebuild on demand).
+const PREPARE_CACHE_CAP: usize = 512;
+
+/// Parses and prepares a source through the process-wide cache.
+fn prepare_source_cached(name: &str, text: &str) -> Result<Arc<PreparedModule>, pysrc::ParseError> {
+    let key = (name.to_string(), source_hash64(text));
+    if let Some(pm) = prepare_cache().lock().expect("prepare cache lock").get(&key) {
+        return Ok(pm.clone());
+    }
+    let module = pysrc::parse_module(text, name)?;
+    let pm = prepare_hashed(Arc::new(module), text);
+    let mut cache = prepare_cache().lock().expect("prepare cache lock");
+    if cache.len() >= PREPARE_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, pm.clone());
+    Ok(pm)
+}
 
 /// Deploy-time failure (unparsable source, failed setup command).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,12 +146,12 @@ impl Container {
                 vm.register_prepared_source(&src.import_name, pm);
                 continue;
             }
-            let module = pysrc::parse_module(&src.text, &src.import_name).map_err(|e| {
+            let pm = prepare_source_cached(&src.import_name, &src.text).map_err(|e| {
                 DeployError {
                     message: format!("source {}: {e}", src.import_name),
                 }
             })?;
-            vm.register_source(&src.import_name, Rc::new(module));
+            vm.register_prepared_source(&src.import_name, pm);
         }
         // A target source named `workload` (e.g. when faults are
         // injected into the workload's API call sites, §V-B) takes
@@ -124,12 +160,12 @@ impl Container {
             if let Some(pm) = prepared_for("workload", &image.workload) {
                 vm.register_prepared_source("workload", pm);
             } else {
-                let workload = pysrc::parse_module(&image.workload, "workload").map_err(|e| {
+                let pm = prepare_source_cached("workload", &image.workload).map_err(|e| {
                     DeployError {
                         message: format!("workload: {e}"),
                     }
                 })?;
-                vm.register_source("workload", Rc::new(workload));
+                vm.register_prepared_source("workload", pm);
             }
         }
         for cmd in &image.setup {
