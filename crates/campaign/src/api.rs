@@ -201,6 +201,7 @@ impl SharedService {
     /// Claims the deployment role reported by `/healthz` (first caller
     /// wins; the default is `"local"`).
     pub fn set_role(&self, role: &str) {
+        // Benign when already claimed: first caller wins by design.
         let _ = self.state.role.set(role.to_string());
     }
 }
@@ -271,6 +272,8 @@ impl ApiServer {
             http.metrics = Some(state.registry.clone());
         }
         let server = Server::from_listener(listener, router, http)?;
+        // Benign when already set: the gauge is installed once per
+        // `OnceLock` and every server restart reuses the same state.
         let _ = state
             .http_open_connections
             .set(server.connections_open_gauge());
@@ -323,7 +326,17 @@ impl ApiServer {
         self.stop.store(true, Ordering::SeqCst);
         self.state.notify_drive(); // unpark an idle drive thread
         if let Some(drive) = self.drive.take() {
-            let _ = drive.join();
+            if let Err(panic) = drive.join() {
+                // The thread is gone either way, but a panicked drive
+                // loop means campaigns silently stopped progressing —
+                // say so instead of swallowing it.
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                obs::log!(obs::Level::Error, "drive_thread_panicked", "error" => msg);
+            }
         }
         // The Arc is ours alone now: handlers are drained and the
         // drive thread is joined.
@@ -363,6 +376,8 @@ fn drive_loop(state: &ApiState, stop: &AtomicBool, batch: usize) {
             // work at all between submissions, instead of pumping the
             // service mutex in a tight loop.
             let guard = state.wake_seq.lock().unwrap_or_else(|p| p.into_inner());
+            // Benign: a timeout here is the idle heartbeat, not an
+            // error — the loop re-checks `stop` and the queue either way.
             let _ = state.wake.wait_timeout_while(guard, DRIVE_IDLE_PARK, |seq| {
                 *seq == seq_before && !stop.load(Ordering::SeqCst)
             });

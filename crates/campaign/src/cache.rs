@@ -82,6 +82,10 @@ pub struct MutantCache {
     dir: Option<PathBuf>,
     entries: HashMap<u64, CacheEntry>,
     stats: CacheStats,
+    /// Disk-tier write failures. Detached by default; the engine
+    /// attaches its registered `campaign_cache_write_failures_total`
+    /// handle so failures surface on `/metrics`.
+    write_failures: obs::Counter,
 }
 
 impl MutantCache {
@@ -91,6 +95,7 @@ impl MutantCache {
             dir: None,
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            write_failures: obs::Counter::detached(),
         }
     }
 
@@ -105,12 +110,25 @@ impl MutantCache {
             dir: Some(dir.to_path_buf()),
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            write_failures: obs::Counter::detached(),
         })
     }
 
     /// Counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Replaces the write-failure counter with a registered handle
+    /// (counters are `Arc`-backed clones, so the engine's metrics and
+    /// the cache increment the same cell).
+    pub fn attach_write_failures(&mut self, counter: obs::Counter) {
+        self.write_failures = counter;
+    }
+
+    /// Disk-tier write failures so far.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.value()
     }
 
     /// Cached parsed modules for `key`, if any.
@@ -167,9 +185,19 @@ impl MutantCache {
     ) {
         if let Some(dir) = &self.dir {
             // Best-effort: a failed cache write only costs a future
-            // re-scan.
+            // re-scan — but a silent one hides a full disk or a bad
+            // mount until someone wonders why every restart re-scans.
             if let Ok(value) = injector::persist::points_to_portable_value(&points, modules) {
-                let _ = std::fs::write(dir.join(Self::points_file(key)), value.pretty());
+                let path = dir.join(Self::points_file(key));
+                if let Err(e) = std::fs::write(&path, value.pretty()) {
+                    self.write_failures.inc();
+                    obs::log!(
+                        obs::Level::Warn,
+                        "cache_write_failed",
+                        "path" => path.display().to_string(),
+                        "error" => e.to_string()
+                    );
+                }
             }
         }
         self.entries.entry(key).or_insert_with(CacheEntry::empty).points = Some(points);
@@ -312,6 +340,34 @@ mod tests {
             assert_eq!(cache.stats().scan_hits, 1);
             assert_eq!(cache.stats().scan_misses, 0);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_write_failure_counts_instead_of_vanishing() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-cache-wfail-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (modules, points) = scanned();
+        let mut cache = MutantCache::open(&dir).unwrap();
+        // Yank the directory out from under the cache: the disk-tier
+        // write fails, the counter ticks, and the in-memory tier still
+        // serves the points.
+        std::fs::remove_dir_all(&dir).unwrap();
+        cache.store_points(3, Arc::new(points), &modules);
+        assert_eq!(cache.write_failures(), 1);
+        assert!(cache.points(3, &modules).is_some(), "memory tier unaffected");
+        // An attached counter observes the same cell.
+        let counter = obs::Counter::detached();
+        cache.attach_write_failures(counter.clone());
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (modules2, points2) = scanned();
+        cache.store_points(4, Arc::new(points2), &modules2);
+        assert_eq!(counter.value(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

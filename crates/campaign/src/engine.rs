@@ -48,6 +48,10 @@ pub struct EngineMetrics {
     pub prepare_seconds: obs::Histogram,
     /// Per-experiment execution wall time.
     pub experiment_seconds: obs::Histogram,
+    /// Disk-tier cache writes that failed (best-effort writes, but a
+    /// silent failure hides a full disk behind "why does every restart
+    /// re-scan?").
+    pub cache_write_failures: obs::Counter,
 }
 
 impl EngineMetrics {
@@ -56,6 +60,7 @@ impl EngineMetrics {
             queue_wait_seconds: obs::Histogram::detached(obs::WAIT_BUCKETS),
             prepare_seconds: obs::Histogram::detached(obs::LATENCY_BUCKETS),
             experiment_seconds: obs::Histogram::detached(obs::LATENCY_BUCKETS),
+            cache_write_failures: obs::Counter::detached(),
         }
     }
 
@@ -75,6 +80,11 @@ impl EngineMetrics {
             "campaign_experiment_seconds",
             "Per-experiment execution time, in seconds.",
             &self.experiment_seconds,
+        );
+        registry.register_counter(
+            "campaign_cache_write_failures_total",
+            "Disk-tier cache writes that failed (cache stays correct; the write is retried on the next scan).",
+            &self.cache_write_failures,
         );
     }
 }
@@ -245,6 +255,9 @@ impl CampaignEngine {
             ),
             None => (JobQueue::in_memory(), MutantCache::in_memory(), None),
         };
+        let metrics = EngineMetrics::new();
+        let mut cache = cache;
+        cache.attach_write_failures(metrics.cache_write_failures.clone());
         Ok(CampaignEngine {
             queue,
             cache,
@@ -255,7 +268,7 @@ impl CampaignEngine {
             reports: BTreeMap::new(),
             totals: BTreeMap::new(),
             classifier: FailureClassifier::case_study(),
-            metrics: EngineMetrics::new(),
+            metrics,
             trace: None,
             waiting_since: BTreeMap::new(),
         })

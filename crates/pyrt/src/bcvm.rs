@@ -14,8 +14,6 @@ use crate::interp::{self, Frame, FrameLocals};
 use crate::ir::{CodeObject, Insn, NO_LOOP};
 use crate::value::{values_eq, DictObj, FuncObj, Value};
 use crate::vm::Vm;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// An in-flight call's argument builder (between `CallBegin` and
 /// `CallEnd`).
@@ -58,18 +56,18 @@ fn run_on(
         pc += 1;
         match insn {
             Insn::Tick(n) => vm.tick_n(n)?,
-            Insn::Const(i) => stack.push(code.consts[i as usize].value()),
+            Insn::Const(i) => stack.push(code.consts[i as usize].value(&vm.heap)),
             Insn::Pop => {
                 stack.pop();
             }
             Insn::Dup => {
-                let v = stack.last().expect("stack discipline").clone();
+                let v = *stack.last().expect("stack discipline");
                 stack.push(v);
             }
             Insn::LoadSlot { slot, sym } => {
                 let v = if let FrameLocals::Slots(slots) = &frame.locals {
-                    match &slots[slot as usize] {
-                        Some(v) => v.clone(),
+                    match slots[slot as usize] {
+                        Some(v) => v,
                         None => return Err(PyExc::unbound_local(sym.as_str())),
                     }
                 } else {
@@ -132,65 +130,61 @@ fn run_on(
             }
             Insn::LoadAttr(sym) => {
                 let obj = stack.pop().expect("stack discipline");
-                stack.push(interp::get_attr_sym(vm, &obj, sym)?);
+                stack.push(interp::get_attr_sym(vm, obj, sym)?);
             }
             Insn::StoreAttr(sym) => {
                 let obj = stack.pop().expect("stack discipline");
                 let value = stack.pop().expect("stack discipline");
-                interp::set_attr_sym(&obj, sym, value)?;
+                interp::set_attr_sym(&vm.heap, obj, sym, value)?;
             }
             Insn::LoadItem => {
                 let idx = stack.pop().expect("stack discipline");
                 let obj = stack.pop().expect("stack discipline");
-                stack.push(interp::get_item(&obj, &idx)?);
+                stack.push(interp::get_item(&vm.heap, obj, idx)?);
             }
             Insn::StoreItem => {
                 let idx = stack.pop().expect("stack discipline");
                 let obj = stack.pop().expect("stack discipline");
                 let value = stack.pop().expect("stack discipline");
-                interp::set_item(&obj, idx, value)?;
+                interp::set_item(&vm.heap, obj, idx, value)?;
             }
             Insn::BuildTuple(n) => {
                 let items = stack.split_off(stack.len() - n as usize);
-                stack.push(Value::Tuple(Rc::new(items)));
+                stack.push(vm.heap.new_tuple(items));
             }
             Insn::BuildList(n) => {
                 let items = stack.split_off(stack.len() - n as usize);
-                stack.push(Value::list(items));
+                stack.push(vm.heap.new_list(items));
             }
             Insn::BuildSet(n) => {
                 let items = stack.split_off(stack.len() - n as usize);
                 let mut out: Vec<Value> = Vec::new();
                 for v in items {
-                    if !out.iter().any(|x| values_eq(x, &v)) {
+                    if !out.iter().any(|&x| values_eq(&vm.heap, x, v)) {
                         out.push(v);
                     }
                 }
-                stack.push(Value::Set(Rc::new(RefCell::new(out))));
+                stack.push(vm.heap.new_set(out));
             }
             Insn::BuildDict(n) => {
                 let items = stack.split_off(stack.len() - 2 * n as usize);
                 let mut d = DictObj::new();
                 let mut it = items.into_iter();
                 while let (Some(k), Some(v)) = (it.next(), it.next()) {
-                    d.set(k, v);
+                    d.set(&vm.heap, k, v);
                 }
-                stack.push(Value::Dict(Rc::new(RefCell::new(d))));
+                stack.push(vm.heap.new_dict(d));
             }
             Insn::BuildSlice => {
                 let step = stack.pop().expect("stack discipline");
                 let upper = stack.pop().expect("stack discipline");
                 let lower = stack.pop().expect("stack discipline");
-                stack.push(Value::Tuple(Rc::new(vec![
-                    Value::str("__slice__"),
-                    lower,
-                    upper,
-                    step,
-                ])));
+                let tag = vm.heap.new_str("__slice__");
+                stack.push(vm.heap.new_tuple(vec![tag, lower, upper, step]));
             }
             Insn::UnpackSeq(n) => {
                 let v = stack.pop().expect("stack discipline");
-                let values = interp::iter_values(&v)?;
+                let values = interp::iter_values(&vm.heap, v)?;
                 if values.len() != n as usize {
                     return Err(PyExc::value_error(format!(
                         "cannot unpack {} values into {} targets",
@@ -202,22 +196,22 @@ fn run_on(
             }
             Insn::Unary(op) => {
                 let v = stack.pop().expect("stack discipline");
-                stack.push(interp::unary_op(op, v)?);
+                stack.push(interp::unary_op(&vm.heap, op, v)?);
             }
             Insn::Binary(op) => {
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                stack.push(interp::binary_op(vm, op, l, r)?);
+                stack.push(interp::binary_op(&vm.heap, op, l, r)?);
             }
             Insn::Cmp(op) => {
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                stack.push(Value::Bool(interp::compare(vm, op, &l, &r)?));
+                stack.push(Value::Bool(interp::compare(&vm.heap, op, l, r)?));
             }
             Insn::CmpJump { op, target } => {
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                if interp::compare(vm, op, &l, &r)? {
+                if interp::compare(&vm.heap, op, l, r)? {
                     stack.push(r);
                 } else {
                     stack.push(Value::Bool(false));
@@ -230,8 +224,8 @@ fn run_on(
             Insn::TickLoadSlot { n, slot, sym } => {
                 vm.tick_n(n)?;
                 let v = if let FrameLocals::Slots(slots) = &frame.locals {
-                    match &slots[slot as usize] {
-                        Some(v) => v.clone(),
+                    match slots[slot as usize] {
+                        Some(v) => v,
                         None => return Err(PyExc::unbound_local(sym.as_str())),
                     }
                 } else {
@@ -247,19 +241,19 @@ fn run_on(
                 vm.tick_n(n)?;
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                stack.push(interp::binary_op(vm, op, l, r)?);
+                stack.push(interp::binary_op(&vm.heap, op, l, r)?);
             }
             Insn::TickCmp { n, op } => {
                 vm.tick_n(n)?;
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                stack.push(Value::Bool(interp::compare(vm, op, &l, &r)?));
+                stack.push(Value::Bool(interp::compare(&vm.heap, op, l, r)?));
             }
             Insn::TickBinaryStoreSlot { n, op, slot, sym } => {
                 vm.tick_n(n)?;
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                let v = interp::binary_op(vm, op, l, r)?;
+                let v = interp::binary_op(&vm.heap, op, l, r)?;
                 if let FrameLocals::Slots(slots) = &mut frame.locals {
                     slots[slot as usize] = Some(v);
                 } else {
@@ -270,29 +264,29 @@ fn run_on(
                 vm.tick_n(n)?;
                 let r = stack.pop().expect("stack discipline");
                 let l = stack.pop().expect("stack discipline");
-                let v = interp::binary_op(vm, op, l, r)?;
+                let v = interp::binary_op(&vm.heap, op, l, r)?;
                 frame.globals.borrow_mut().set_sym(sym, v);
             }
             Insn::Jump(t) => pc = t as usize,
             Insn::JumpIfFalse(t) => {
-                if !stack.pop().expect("stack discipline").truthy() {
+                if !stack.pop().expect("stack discipline").truthy(&vm.heap) {
                     pc = t as usize;
                 }
             }
             Insn::JumpIfTrue(t) => {
-                if stack.pop().expect("stack discipline").truthy() {
+                if stack.pop().expect("stack discipline").truthy(&vm.heap) {
                     pc = t as usize;
                 }
             }
             Insn::JumpIfFalseOrPop(t) => {
-                if stack.last().expect("stack discipline").truthy() {
+                if stack.last().expect("stack discipline").truthy(&vm.heap) {
                     stack.pop();
                 } else {
                     pc = t as usize;
                 }
             }
             Insn::JumpIfTrueOrPop(t) => {
-                if stack.last().expect("stack discipline").truthy() {
+                if stack.last().expect("stack discipline").truthy(&vm.heap) {
                     pc = t as usize;
                 } else {
                     stack.pop();
@@ -300,12 +294,12 @@ fn run_on(
             }
             Insn::GetIter => {
                 let v = stack.pop().expect("stack discipline");
-                iters.push((interp::iter_values(&v)?, 0));
+                iters.push((interp::iter_values(&vm.heap, v)?, 0));
             }
             Insn::ForNext(t) => {
                 let (items, idx) = iters.last_mut().expect("iter discipline");
                 if *idx < items.len() {
-                    let v = items[*idx].clone();
+                    let v = items[*idx];
                     *idx += 1;
                     stack.push(v);
                 } else {
@@ -338,7 +332,7 @@ fn run_on(
             }
             Insn::ArgStar => {
                 let v = stack.pop().expect("stack discipline");
-                let splat = interp::iter_values(&v)?;
+                let splat = interp::iter_values(&vm.heap, v)?;
                 calls.last_mut().expect("call discipline").pos.extend(splat);
             }
             Insn::ArgDoubleStar => {
@@ -346,8 +340,10 @@ fn run_on(
                 let builder = calls.last_mut().expect("call discipline");
                 match v {
                     Value::Dict(d) => {
-                        for (k, val) in d.borrow().iter() {
-                            builder.kw.push((k.to_display(), val.clone()));
+                        let pairs: Vec<(Value, Value)> =
+                            vm.heap.dict(d).borrow().iter().copied().collect();
+                        for (k, val) in pairs {
+                            builder.kw.push((k.to_display(&vm.heap), val));
                         }
                     }
                     other => {
@@ -363,15 +359,29 @@ fn run_on(
                 stack.push(interp::call_value(vm, b.callee, b.pos, b.kw)?);
             }
             Insn::Call(argc) => {
-                let pos = stack.split_off(stack.len() - argc as usize);
+                // Recycled argument vector: drained into the callee's
+                // frame and returned to the pool by `call_function`.
+                let mut pos = vm.arg_pool.borrow_mut().pop().unwrap_or_default();
+                pos.extend(stack.drain(stack.len() - argc as usize..));
                 let callee = stack.pop().expect("stack discipline");
-                stack.push(interp::call_value(vm, callee, pos, Vec::new())?);
+                // Plain functions bypass the `call_value` dispatch layer
+                // — by far the hottest callee kind in compiled code.
+                let r = match callee {
+                    Value::Func(f) => interp::call_function(vm, f, pos, Vec::new())?,
+                    other => interp::call_value(vm, other, pos, Vec::new())?,
+                };
+                stack.push(r);
             }
             Insn::TickCall { n, argc } => {
                 vm.tick_n(n)?;
-                let pos = stack.split_off(stack.len() - argc as usize);
+                let mut pos = vm.arg_pool.borrow_mut().pop().unwrap_or_default();
+                pos.extend(stack.drain(stack.len() - argc as usize..));
                 let callee = stack.pop().expect("stack discipline");
-                stack.push(interp::call_value(vm, callee, pos, Vec::new())?);
+                let r = match callee {
+                    Value::Func(f) => interp::call_function(vm, f, pos, Vec::new())?,
+                    other => interp::call_value(vm, other, pos, Vec::new())?,
+                };
+                stack.push(r);
             }
             Insn::MakeFunction(i) => {
                 let decl = &code.fn_decls[i as usize];
@@ -387,12 +397,12 @@ fn run_on(
                 if let FrameLocals::Dynamic(locals) = &frame.locals {
                     captured.push(locals.clone());
                 }
-                stack.push(Value::Func(Rc::new(FuncObj {
+                stack.push(vm.heap.new_func(FuncObj {
                     proto: decl.proto.clone(),
                     defaults,
                     globals: frame.globals.clone(),
                     captured,
-                })));
+                }));
             }
             Insn::Raise { has_exc } => {
                 let e = if has_exc {
@@ -409,7 +419,7 @@ fn run_on(
             }
             Insn::AssertFail { has_msg } => {
                 let message = if has_msg {
-                    stack.pop().expect("stack discipline").to_display()
+                    stack.pop().expect("stack discipline").to_display(&vm.heap)
                 } else {
                     String::new()
                 };

@@ -4,33 +4,26 @@ use crate::exc::PyExc;
 use crate::interp::{call_value, iter_values};
 use crate::value::*;
 use crate::vm::Vm;
-use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Registers a native function into a scope.
 pub fn native(
+    heap: &Heap,
     scope: &ScopeRef,
     name: &str,
     imp: impl Fn(&mut Vm, Vec<Value>, Vec<(String, Value)>) -> Result<Value, PyExc> + 'static,
 ) {
-    scope.borrow_mut().set(
-        name,
-        Value::Native(Rc::new(NativeFn {
-            name: name.to_string(),
-            imp: Box::new(imp),
-        })),
-    );
+    let v = heap.new_native(name, Rc::new(imp));
+    scope.borrow_mut().set(name, v);
 }
 
 /// Creates a standalone native function value.
 pub fn native_value(
+    heap: &Heap,
     name: &str,
     imp: impl Fn(&mut Vm, Vec<Value>, Vec<(String, Value)>) -> Result<Value, PyExc> + 'static,
 ) -> Value {
-    Value::Native(Rc::new(NativeFn {
-        name: name.to_string(),
-        imp: Box::new(imp),
-    }))
+    heap.new_native(name, Rc::new(imp))
 }
 
 fn arity_error(name: &str, expected: &str, got: usize) -> PyExc {
@@ -47,31 +40,32 @@ fn one_arg(name: &'static str, mut args: Vec<Value>) -> Result<Value, PyExc> {
 /// Installs the builtin namespace into a freshly created VM.
 pub fn install(vm: &Vm) {
     let b = &vm.builtins;
+    let heap = &vm.heap;
 
-    native(b, "print", |vm, args, kwargs| {
+    native(heap, b, "print", |vm, args, kwargs| {
         let sep = kwargs
             .iter()
             .find(|(n, _)| n == "sep")
-            .map(|(_, v)| v.to_display())
+            .map(|(_, v)| v.to_display(&vm.heap))
             .unwrap_or_else(|| " ".to_string());
         let end = kwargs
             .iter()
             .find(|(n, _)| n == "end")
-            .map(|(_, v)| v.to_display())
+            .map(|(_, v)| v.to_display(&vm.heap))
             .unwrap_or_else(|| "\n".to_string());
-        let line: Vec<String> = args.iter().map(Value::to_display).collect();
+        let line: Vec<String> = args.iter().map(|v| v.to_display(&vm.heap)).collect();
         vm.write_stdout(&(line.join(&sep) + &end));
         Ok(Value::None)
     });
 
-    native(b, "len", |_vm, args, _| {
+    native(heap, b, "len", |vm, args, _| {
         let v = one_arg("len", args)?;
-        let n = match &v {
-            Value::Str(s) => s.chars().count(),
-            Value::List(l) => l.borrow().len(),
-            Value::Tuple(t) => t.len(),
-            Value::Dict(d) => d.borrow().len(),
-            Value::Set(s) => s.borrow().len(),
+        let n = match v {
+            Value::Str(s) => vm.heap.str(s).chars().count(),
+            Value::List(l) => vm.heap.list(l).borrow().len(),
+            Value::Tuple(t) => vm.heap.tuple(t).len(),
+            Value::Dict(d) => vm.heap.dict(d).borrow().len(),
+            Value::Set(s) => vm.heap.set(s).borrow().len(),
             other => {
                 return Err(PyExc::type_error(format!(
                     "object of type '{}' has no len()",
@@ -82,7 +76,7 @@ pub fn install(vm: &Vm) {
         Ok(Value::Int(n as i64))
     });
 
-    native(b, "range", |_vm, args, _| {
+    native(heap, b, "range", |vm, args, _| {
         let (start, stop, step) = match args.len() {
             1 => (0, int_of(&args[0], "range")?, 1),
             2 => (int_of(&args[0], "range")?, int_of(&args[1], "range")?, 1),
@@ -108,36 +102,39 @@ pub fn install(vm: &Vm) {
             }
             i += step;
         }
-        Ok(Value::list(out))
+        Ok(vm.heap.new_list(out))
     });
 
-    native(b, "str", |_vm, args, _| {
+    native(heap, b, "str", |vm, args, _| {
         if args.is_empty() {
-            return Ok(Value::str(""));
+            return Ok(vm.heap.new_str(""));
         }
-        Ok(Value::str(one_arg("str", args)?.to_display()))
+        let s = one_arg("str", args)?.to_display(&vm.heap);
+        Ok(vm.heap.new_string(s))
     });
 
-    native(b, "repr", |_vm, args, _| {
-        Ok(Value::str(one_arg("repr", args)?.repr()))
+    native(heap, b, "repr", |vm, args, _| {
+        let s = one_arg("repr", args)?.repr(&vm.heap);
+        Ok(vm.heap.new_string(s))
     });
 
-    native(b, "int", |_vm, args, _| {
+    native(heap, b, "int", |vm, args, _| {
         if args.is_empty() {
             return Ok(Value::Int(0));
         }
         let v = one_arg("int", args)?;
-        match &v {
+        match v {
             Value::Int(_) => Ok(v),
-            Value::Bool(x) => Ok(Value::Int(*x as i64)),
-            Value::Float(f) => Ok(Value::Int(*f as i64)),
-            Value::Str(s) => s
-                .trim()
-                .parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| PyExc::value_error(format!(
-                    "invalid literal for int() with base 10: '{s}'"
-                ))),
+            Value::Bool(x) => Ok(Value::Int(x as i64)),
+            Value::Float(f) => Ok(Value::Int(f as i64)),
+            Value::Str(s) => {
+                let text = vm.heap.str(s);
+                text.trim().parse::<i64>().map(Value::Int).map_err(|_| {
+                    PyExc::value_error(format!(
+                        "invalid literal for int() with base 10: '{text}'"
+                    ))
+                })
+            }
             other => Err(PyExc::type_error(format!(
                 "int() argument must be a string or a number, not '{}'",
                 other.type_name()
@@ -145,17 +142,18 @@ pub fn install(vm: &Vm) {
         }
     });
 
-    native(b, "float", |_vm, args, _| {
+    native(heap, b, "float", |vm, args, _| {
         let v = one_arg("float", args)?;
-        match &v {
+        match v {
             Value::Float(_) => Ok(v),
-            Value::Int(i) => Ok(Value::Float(*i as f64)),
-            Value::Bool(x) => Ok(Value::Float(*x as i64 as f64)),
-            Value::Str(s) => s
-                .trim()
-                .parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| PyExc::value_error(format!("could not convert string to float: '{s}'"))),
+            Value::Int(i) => Ok(Value::Float(i as f64)),
+            Value::Bool(x) => Ok(Value::Float(x as i64 as f64)),
+            Value::Str(s) => {
+                let text = vm.heap.str(s);
+                text.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+                    PyExc::value_error(format!("could not convert string to float: '{text}'"))
+                })
+            }
             other => Err(PyExc::type_error(format!(
                 "float() argument must be a string or a number, not '{}'",
                 other.type_name()
@@ -163,82 +161,87 @@ pub fn install(vm: &Vm) {
         }
     });
 
-    native(b, "bool", |_vm, args, _| {
+    native(heap, b, "bool", |vm, args, _| {
         if args.is_empty() {
             return Ok(Value::Bool(false));
         }
-        Ok(Value::Bool(one_arg("bool", args)?.truthy()))
+        Ok(Value::Bool(one_arg("bool", args)?.truthy(&vm.heap)))
     });
 
-    native(b, "list", |_vm, args, _| {
+    native(heap, b, "list", |vm, args, _| {
         if args.is_empty() {
-            return Ok(Value::list(vec![]));
+            return Ok(vm.heap.new_list(vec![]));
         }
-        Ok(Value::list(iter_values(&one_arg("list", args)?)?))
+        let items = iter_values(&vm.heap, one_arg("list", args)?)?;
+        Ok(vm.heap.new_list(items))
     });
 
-    native(b, "tuple", |_vm, args, _| {
+    native(heap, b, "tuple", |vm, args, _| {
         if args.is_empty() {
-            return Ok(Value::Tuple(Rc::new(vec![])));
+            return Ok(vm.heap.new_tuple(vec![]));
         }
-        Ok(Value::Tuple(Rc::new(iter_values(&one_arg("tuple", args)?)?)))
+        let items = iter_values(&vm.heap, one_arg("tuple", args)?)?;
+        Ok(vm.heap.new_tuple(items))
     });
 
-    native(b, "dict", |_vm, args, kwargs| {
+    native(heap, b, "dict", |vm, args, kwargs| {
         let mut d = DictObj::new();
-        if let Some(v) = args.first() {
+        if let Some(&v) = args.first() {
             match v {
                 Value::Dict(src) => {
-                    for (k, val) in src.borrow().iter() {
-                        d.set(k.clone(), val.clone());
+                    let pairs: Vec<(Value, Value)> =
+                        vm.heap.dict(src).borrow().iter().copied().collect();
+                    for (k, val) in pairs {
+                        d.set(&vm.heap, k, val);
                     }
                 }
                 other => {
-                    for pair in iter_values(other)? {
-                        let items = iter_values(&pair)?;
+                    for pair in iter_values(&vm.heap, other)? {
+                        let items = iter_values(&vm.heap, pair)?;
                         if items.len() != 2 {
                             return Err(PyExc::value_error(
                                 "dictionary update sequence element is not a pair",
                             ));
                         }
-                        d.set(items[0].clone(), items[1].clone());
+                        d.set(&vm.heap, items[0], items[1]);
                     }
                 }
             }
         }
         for (k, v) in kwargs {
-            d.set(Value::str(k), v);
+            let key = vm.heap.new_string(k);
+            d.set(&vm.heap, key, v);
         }
-        Ok(Value::Dict(Rc::new(RefCell::new(d))))
+        Ok(vm.heap.new_dict(d))
     });
 
-    native(b, "set", |_vm, args, _| {
+    native(heap, b, "set", |vm, args, _| {
         let mut out: Vec<Value> = Vec::new();
-        if let Some(v) = args.first() {
-            for item in iter_values(v)? {
-                if !out.iter().any(|x| values_eq(x, &item)) {
+        if let Some(&v) = args.first() {
+            for item in iter_values(&vm.heap, v)? {
+                if !out.iter().any(|&x| values_eq(&vm.heap, x, item)) {
                     out.push(item);
                 }
             }
         }
-        Ok(Value::Set(Rc::new(RefCell::new(out))))
+        Ok(vm.heap.new_set(out))
     });
 
-    native(b, "isinstance", |_vm, args, _| {
+    native(heap, b, "isinstance", |vm, args, _| {
         if args.len() != 2 {
             return Err(arity_error("isinstance", "exactly 2", args.len()));
         }
-        fn check(v: &Value, ty: &Value) -> Result<bool, PyExc> {
+        fn check(heap: &Heap, v: Value, ty: Value) -> Result<bool, PyExc> {
             match ty {
                 Value::Class(c) => Ok(match v {
-                    Value::Instance(i) => i.class.isa(c),
+                    Value::Instance(i) => heap.class_isa(heap.instance(i).class, c),
                     _ => false,
                 }),
                 Value::Native(n) => {
                     // type constructors double as type objects:
                     // isinstance(x, str) etc.
                     Ok(matches!(
-                        (n.name.as_str(), v),
+                        (heap.native(n).name(), v),
                         ("str", Value::Str(_))
                             | ("int", Value::Int(_) | Value::Bool(_))
                             | ("float", Value::Float(_))
@@ -250,8 +253,9 @@ pub fn install(vm: &Vm) {
                     ))
                 }
                 Value::Tuple(types) => {
-                    for t in types.iter() {
-                        if check(v, t)? {
+                    for i in 0..heap.tuple(types).len() {
+                        let t = heap.tuple(types)[i];
+                        if check(heap, v, t)? {
                             return Ok(true);
                         }
                     }
@@ -263,18 +267,19 @@ pub fn install(vm: &Vm) {
                 ))),
             }
         }
-        Ok(Value::Bool(check(&args[0], &args[1])?))
+        Ok(Value::Bool(check(&vm.heap, args[0], args[1])?))
     });
 
-    native(b, "type", |_vm, args, _| {
+    native(heap, b, "type", |vm, args, _| {
         let v = one_arg("type", args)?;
-        Ok(Value::str(match &v {
-            Value::Instance(i) => i.class.name.clone(),
+        let name = match v {
+            Value::Instance(i) => vm.heap.class(vm.heap.instance(i).class).name.clone(),
             other => other.type_name().to_string(),
-        }))
+        };
+        Ok(vm.heap.new_string(name))
     });
 
-    native(b, "abs", |_vm, args, _| {
+    native(heap, b, "abs", |_vm, args, _| {
         match one_arg("abs", args)? {
             Value::Int(i) => Ok(Value::Int(i.abs())),
             Value::Float(f) => Ok(Value::Float(f.abs())),
@@ -285,15 +290,16 @@ pub fn install(vm: &Vm) {
         }
     });
 
-    native(b, "min", |_vm, args, _| {
-        minmax("min", args, std::cmp::Ordering::Less)
+    native(heap, b, "min", |vm, args, _| {
+        minmax(&vm.heap, "min", args, std::cmp::Ordering::Less)
     });
-    native(b, "max", |_vm, args, _| {
-        minmax("max", args, std::cmp::Ordering::Greater)
+    native(heap, b, "max", |vm, args, _| {
+        minmax(&vm.heap, "max", args, std::cmp::Ordering::Greater)
     });
 
-    native(b, "sum", |_vm, args, _| {
-        let items = iter_values(args.first().ok_or_else(|| arity_error("sum", "at least 1", 0))?)?;
+    native(heap, b, "sum", |vm, args, _| {
+        let first = *args.first().ok_or_else(|| arity_error("sum", "at least 1", 0))?;
+        let items = iter_values(&vm.heap, first)?;
         let mut acc = Value::Int(0);
         for item in items {
             acc = match (acc, item) {
@@ -312,23 +318,23 @@ pub fn install(vm: &Vm) {
         Ok(acc)
     });
 
-    native(b, "sorted", |vm, mut args, kwargs| {
+    native(heap, b, "sorted", |vm, mut args, kwargs| {
         if args.is_empty() {
             return Err(arity_error("sorted", "at least 1", 0));
         }
-        let mut items = iter_values(&args.remove(0))?;
-        let key = kwargs.iter().find(|(n, _)| n == "key").map(|(_, v)| v.clone());
+        let mut items = iter_values(&vm.heap, args.remove(0))?;
+        let key = kwargs.iter().find(|(n, _)| n == "key").map(|&(_, v)| v);
         let reverse = kwargs
             .iter()
             .find(|(n, _)| n == "reverse")
-            .map(|(_, v)| v.truthy())
+            .map(|(_, v)| v.truthy(&vm.heap))
             .unwrap_or(false);
         // Decorate-sort-undecorate so key functions run through the VM.
         let mut decorated: Vec<(Value, Value)> = Vec::with_capacity(items.len());
         for item in items.drain(..) {
-            let k = match &key {
-                Some(f) => call_value(vm, f.clone(), vec![item.clone()], vec![])?,
-                None => item.clone(),
+            let k = match key {
+                Some(f) => call_value(vm, f, vec![item], vec![])?,
+                None => item,
             };
             decorated.push((k, item));
         }
@@ -336,9 +342,8 @@ pub fn install(vm: &Vm) {
         for i in 1..decorated.len() {
             let mut j = i;
             while j > 0 {
-                let ord = values_cmp(&decorated[j - 1].0, &decorated[j].0).ok_or_else(|| {
-                    PyExc::type_error("'<' not supported between sort keys")
-                })?;
+                let ord = values_cmp(&vm.heap, decorated[j - 1].0, decorated[j].0)
+                    .ok_or_else(|| PyExc::type_error("'<' not supported between sort keys"))?;
                 if ord == std::cmp::Ordering::Greater {
                     decorated.swap(j - 1, j);
                     j -= 1;
@@ -351,62 +356,63 @@ pub fn install(vm: &Vm) {
         if reverse {
             out.reverse();
         }
-        Ok(Value::list(out))
+        Ok(vm.heap.new_list(out))
     });
 
-    native(b, "enumerate", |_vm, args, _| {
-        let items = iter_values(&one_arg("enumerate", args)?)?;
-        Ok(Value::list(
-            items
-                .into_iter()
-                .enumerate()
-                .map(|(i, v)| Value::Tuple(Rc::new(vec![Value::Int(i as i64), v])))
-                .collect(),
-        ))
+    native(heap, b, "enumerate", |vm, args, _| {
+        let items = iter_values(&vm.heap, one_arg("enumerate", args)?)?;
+        let out = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| vm.heap.new_tuple(vec![Value::Int(i as i64), v]))
+            .collect();
+        Ok(vm.heap.new_list(out))
     });
 
-    native(b, "zip", |_vm, args, _| {
+    native(heap, b, "zip", |vm, args, _| {
         let mut columns = Vec::new();
-        for a in &args {
-            columns.push(iter_values(a)?);
+        for &a in &args {
+            columns.push(iter_values(&vm.heap, a)?);
         }
         let n = columns.iter().map(Vec::len).min().unwrap_or(0);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(Value::Tuple(Rc::new(
-                columns.iter().map(|c| c[i].clone()).collect(),
-            )));
+            let row: Vec<Value> = columns.iter().map(|c| c[i]).collect();
+            out.push(vm.heap.new_tuple(row));
         }
-        Ok(Value::list(out))
+        Ok(vm.heap.new_list(out))
     });
 
-    native(b, "getattr", |vm, args, _| {
+    native(heap, b, "getattr", |vm, args, _| {
         match args.len() {
-            2 => crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "getattr")?),
-            3 => Ok(
-                crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "getattr")?)
-                    .unwrap_or_else(|_| args[2].clone()),
-            ),
+            2 => {
+                let name = string_of(&vm.heap, &args[1], "getattr")?;
+                crate::interp::get_attr(vm, args[0], &name)
+            }
+            3 => {
+                let name = string_of(&vm.heap, &args[1], "getattr")?;
+                Ok(crate::interp::get_attr(vm, args[0], &name).unwrap_or(args[2]))
+            }
             n => Err(arity_error("getattr", "2 or 3", n)),
         }
     });
 
-    native(b, "hasattr", |vm, args, _| {
+    native(heap, b, "hasattr", |vm, args, _| {
         if args.len() != 2 {
             return Err(arity_error("hasattr", "exactly 2", args.len()));
         }
-        Ok(Value::Bool(
-            crate::interp::get_attr(vm, &args[0], &string_of(&args[1], "hasattr")?).is_ok(),
-        ))
+        let name = string_of(&vm.heap, &args[1], "hasattr")?;
+        Ok(Value::Bool(crate::interp::get_attr(vm, args[0], &name).is_ok()))
     });
 
-    native(b, "setattr", |_vm, args, _| {
+    native(heap, b, "setattr", |vm, args, _| {
         if args.len() != 3 {
             return Err(arity_error("setattr", "exactly 3", args.len()));
         }
-        match &args[0] {
+        match args[0] {
             Value::Instance(i) => {
-                i.set_attr(&string_of(&args[1], "setattr")?, args[2].clone());
+                let name = string_of(&vm.heap, &args[1], "setattr")?;
+                vm.heap.instance(i).set_attr(&name, args[2]);
                 Ok(Value::None)
             }
             other => Err(PyExc::type_error(format!(
@@ -416,17 +422,22 @@ pub fn install(vm: &Vm) {
         }
     });
 
-    native(b, "callable", |_vm, args, _| {
+    native(heap, b, "callable", |_vm, args, _| {
         Ok(Value::Bool(matches!(
             one_arg("callable", args)?,
-            Value::Func(_) | Value::BoundMethod(..) | Value::Native(_) | Value::Class(_)
+            Value::Func(_) | Value::BoundMethod(_) | Value::Native(_) | Value::Class(_)
         )))
     });
 }
 
-fn minmax(name: &'static str, args: Vec<Value>, want: std::cmp::Ordering) -> Result<Value, PyExc> {
+fn minmax(
+    heap: &Heap,
+    name: &'static str,
+    args: Vec<Value>,
+    want: std::cmp::Ordering,
+) -> Result<Value, PyExc> {
     let items = if args.len() == 1 {
-        iter_values(&args[0])?
+        iter_values(heap, args[0])?
     } else {
         args
     };
@@ -435,7 +446,7 @@ fn minmax(name: &'static str, args: Vec<Value>, want: std::cmp::Ordering) -> Res
         best = Some(match best {
             None => item,
             Some(cur) => {
-                let ord = values_cmp(&item, &cur)
+                let ord = values_cmp(heap, item, cur)
                     .ok_or_else(|| PyExc::type_error(format!("{name}(): incomparable types")))?;
                 if ord == want {
                     item
@@ -471,9 +482,9 @@ pub(crate) fn float_of(v: &Value, ctx: &str) -> Result<f64, PyExc> {
     }
 }
 
-pub(crate) fn string_of(v: &Value, ctx: &str) -> Result<String, PyExc> {
+pub(crate) fn string_of(heap: &Heap, v: &Value, ctx: &str) -> Result<String, PyExc> {
     match v {
-        Value::Str(s) => Ok(s.to_string()),
+        Value::Str(s) => Ok(heap.str(*s).to_string()),
         other => Err(PyExc::type_error(format!(
             "{ctx}: expected str, got {}",
             other.type_name()

@@ -40,6 +40,16 @@ pub fn func_code<'p>(vm: &Vm, proto: &'p Arc<FuncProto>) -> &'p CodeObject {
         .as_ref()
 }
 
+/// Like [`func_code`], but hands out an owned `Arc` so the caller can
+/// keep the code alive without holding a borrow of the prototype (the
+/// call hot path mutates the frame while executing the code).
+pub fn func_code_arc(vm: &Vm, proto: &Arc<FuncProto>) -> Arc<CodeObject> {
+    proto
+        .compiled
+        .get_or_init(|| Arc::new(compile(vm, proto, &proto.body)))
+        .clone()
+}
+
 /// The compiled body of a module scope (module protos carry an empty
 /// `body`; the statements live in the AST), cached on the module proto.
 pub fn module_code<'p>(vm: &Vm, proto: &'p Arc<FuncProto>, body: &[Stmt]) -> &'p CodeObject {
@@ -83,6 +93,14 @@ struct Compiler<'a> {
     loops: Vec<LoopCtx>,
 }
 
+/// Narrows a pool index / instruction offset to the bytecode's 32-bit
+/// operand width. Real inputs are nowhere near 2^32 entries, but a
+/// silent `as u32` truncation here would produce wrong jump targets or
+/// pool slots instead of an error, so the conversion is checked.
+fn idx32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| panic!("{what} index {n} overflows the u32 operand width"))
+}
+
 impl Compiler<'_> {
     // ----- emission plumbing -----
 
@@ -123,12 +141,12 @@ impl Compiler<'_> {
 
     fn new_label(&mut self) -> u32 {
         self.labels.push(u32::MAX);
-        (self.labels.len() - 1) as u32
+        idx32(self.labels.len() - 1, "label")
     }
 
     fn bind(&mut self, label: u32) {
         self.flush();
-        self.labels[label as usize] = self.code.insns.len() as u32;
+        self.labels[label as usize] = idx32(self.code.insns.len(), "instruction");
     }
 
     /// Rewrites label ids into absolute instruction indices.
@@ -159,7 +177,7 @@ impl Compiler<'_> {
 
     fn const_idx(&mut self, c: Const) -> u32 {
         self.code.consts.push(c);
-        (self.code.consts.len() - 1) as u32
+        idx32(self.code.consts.len() - 1, "constant")
     }
 
     // ----- trampolines -----
@@ -170,7 +188,7 @@ impl Compiler<'_> {
     fn fallback_stmt(&mut self, stmt: &Stmt) {
         self.flush();
         self.code.stmts.push(stmt.clone());
-        let idx = (self.code.stmts.len() - 1) as u32;
+        let idx = idx32(self.code.stmts.len() - 1, "statement pool");
         let ctx = self.loops.last().copied();
         self.emit(Insn::ExecStmt {
             stmt: idx,
@@ -184,7 +202,7 @@ impl Compiler<'_> {
     fn fallback_expr(&mut self, expr: &Expr) {
         self.flush();
         self.code.exprs.push(expr.clone());
-        let idx = (self.code.exprs.len() - 1) as u32;
+        let idx = idx32(self.code.exprs.len() - 1, "expression pool");
         self.emit(Insn::EvalExpr(idx));
     }
 
@@ -442,7 +460,7 @@ impl Compiler<'_> {
             proto,
             has_default: params.iter().map(|p| p.default.is_some()).collect(),
         });
-        (self.code.fn_decls.len() - 1) as u32
+        idx32(self.code.fn_decls.len() - 1, "fn decl")
     }
 
     /// Compiles parameter defaults in declaration order (each evaluates
@@ -506,7 +524,7 @@ impl Compiler<'_> {
             }
             ExprKind::Tuple(items) | ExprKind::List(items) => {
                 self.flush();
-                self.emit(Insn::UnpackSeq(items.len() as u32));
+                self.emit(Insn::UnpackSeq(idx32(items.len(), "unpack target")));
                 for t in items {
                     self.store(t);
                 }
@@ -613,7 +631,7 @@ impl Compiler<'_> {
                             self.expr(e);
                         }
                     }
-                    let argc = args.len() as u32;
+                    let argc = idx32(args.len(), "call argument");
                     match self.take_pending() {
                         0 => self.emit(Insn::Call(argc)),
                         n => self.emit(Insn::TickCall { n, argc }),
@@ -725,21 +743,21 @@ impl Compiler<'_> {
                 for i in items {
                     self.expr(i);
                 }
-                self.emit(Insn::BuildTuple(items.len() as u32));
+                self.emit(Insn::BuildTuple(idx32(items.len(), "tuple item")));
             }
             ExprKind::List(items) => {
                 self.tick();
                 for i in items {
                     self.expr(i);
                 }
-                self.emit(Insn::BuildList(items.len() as u32));
+                self.emit(Insn::BuildList(idx32(items.len(), "list item")));
             }
             ExprKind::Set(items) => {
                 self.tick();
                 for i in items {
                     self.expr(i);
                 }
-                self.emit(Insn::BuildSet(items.len() as u32));
+                self.emit(Insn::BuildSet(idx32(items.len(), "set item")));
             }
             ExprKind::Dict(pairs) => {
                 self.tick();
@@ -747,7 +765,7 @@ impl Compiler<'_> {
                     self.expr(k);
                     self.expr(v);
                 }
-                self.emit(Insn::BuildDict(pairs.len() as u32));
+                self.emit(Insn::BuildDict(idx32(pairs.len(), "dict pair")));
             }
             // The comprehension-target scope quirk (and its
             // spec-version switch) lives in the tree walk; starred
@@ -773,6 +791,6 @@ impl Compiler<'_> {
             proto,
             has_default: params.iter().map(|p| p.default.is_some()).collect(),
         });
-        (self.code.fn_decls.len() - 1) as u32
+        idx32(self.code.fn_decls.len() - 1, "fn decl")
     }
 }

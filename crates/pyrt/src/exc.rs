@@ -1,6 +1,6 @@
 //! Python exception machinery.
 
-use crate::value::Value;
+use crate::value::{Heap, Value};
 use std::fmt;
 
 /// A raised Python exception travelling up the interpreter stack.
@@ -26,6 +26,20 @@ impl PyExc {
             class_name: class_name.into(),
             message: message.into(),
             value: None,
+            traceback: Vec::new(),
+        }
+    }
+
+    /// Creates an exception carrying an instantiated exception object.
+    pub fn with_value(
+        class_name: impl Into<String>,
+        message: impl Into<String>,
+        value: Value,
+    ) -> PyExc {
+        PyExc {
+            class_name: class_name.into(),
+            message: message.into(),
+            value: Some(value),
             traceback: Vec::new(),
         }
     }
@@ -58,8 +72,8 @@ impl PyExc {
     }
 
     /// `KeyError`.
-    pub fn key_error(key: &Value) -> PyExc {
-        PyExc::new("KeyError", key.repr())
+    pub fn key_error(heap: &Heap, key: Value) -> PyExc {
+        PyExc::new("KeyError", key.repr(heap))
     }
 
     /// `IndexError`.

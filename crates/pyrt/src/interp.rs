@@ -4,7 +4,7 @@
 
 use crate::exc::{Flow, PyExc};
 use crate::intern::{intern, well_known, Symbol};
-use crate::methods;
+use crate::methods::{self, MethodKind};
 use crate::prepare::{self, FuncProto, NameRes};
 use crate::value::*;
 use crate::vm::Vm;
@@ -251,14 +251,14 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
         StmtKind::Assign { targets, value } => {
             let v = eval(vm, frame, value)?;
             for t in targets {
-                assign_target(vm, frame, t, v.clone())?;
+                assign_target(vm, frame, t, v)?;
             }
             Ok(Flow::Normal)
         }
         StmtKind::AugAssign { target, op, value } => {
             let old = eval(vm, frame, target)?;
             let rhs = eval(vm, frame, value)?;
-            let new = binary_op(vm, *op, old, rhs)?;
+            let new = binary_op(&vm.heap, *op, old, rhs)?;
             assign_target(vm, frame, target, new)?;
             Ok(Flow::Normal)
         }
@@ -280,9 +280,9 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
         }
         StmtKind::Assert { test, msg } => {
             let v = eval(vm, frame, test)?;
-            if !v.truthy() {
+            if !v.truthy(&vm.heap) {
                 let message = match msg {
-                    Some(m) => eval(vm, frame, m)?.to_display(),
+                    Some(m) => eval(vm, frame, m)?.to_display(&vm.heap),
                     None => String::new(),
                 };
                 return Err(PyExc::new("AssertionError", message));
@@ -307,7 +307,7 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
         StmtKind::FromImport { module, names } => {
             let ns = vm.import_module(module)?;
             for a in names {
-                let v = ns.get(&a.name).ok_or_else(|| {
+                let v = vm.heap.module(ns).get(&a.name).ok_or_else(|| {
                     PyExc::new(
                         "ImportError",
                         format!("cannot import name '{}' from '{}'", a.name, module),
@@ -319,7 +319,7 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
         }
         StmtKind::If { branches, orelse } => {
             for (test, body) in branches {
-                if eval(vm, frame, test)?.truthy() {
+                if eval(vm, frame, test)?.truthy(&vm.heap) {
                     return exec_block(vm, frame, body);
                 }
             }
@@ -327,7 +327,7 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
         }
         StmtKind::While { test, body, orelse } => {
             let mut broke = false;
-            while eval(vm, frame, test)?.truthy() {
+            while eval(vm, frame, test)?.truthy(&vm.heap) {
                 match exec_block(vm, frame, body)? {
                     Flow::Normal | Flow::Continue => {}
                     Flow::Break => {
@@ -351,7 +351,7 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
             orelse,
         } => {
             let iterable = eval(vm, frame, iter)?;
-            let items = iter_values(&iterable)?;
+            let items = iter_values(&vm.heap, iterable)?;
             let mut broke = false;
             for item in items {
                 assign_target(vm, frame, target, item)?;
@@ -408,15 +408,15 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
                 };
                 exec_block(vm, &mut class_frame, body)?;
             }
-            let is_exception = base.as_ref().is_some_and(|b| b.is_exception);
-            let class = Rc::new(ClassObj {
+            let is_exception = base.is_some_and(|b| vm.heap.class(b).is_exception);
+            let class = vm.heap.new_class(ClassObj {
                 name: name.clone(),
                 base,
                 attrs: RefCell::new(class_scope.borrow().bindings_syms()),
                 is_exception,
             });
             if is_exception {
-                vm.register_exception_class(class.clone());
+                vm.register_exception_class(class);
             }
             write_name_str(frame, name, Value::Class(class));
             Ok(Flow::Normal)
@@ -468,11 +468,11 @@ pub(crate) fn exec_stmt(vm: &mut Vm, frame: &mut Frame, stmt: &Stmt) -> Result<F
             let mut exits = Vec::new();
             for (ctx_expr, target) in items {
                 let ctx = eval(vm, frame, ctx_expr)?;
-                let entered = match get_attr_sym(vm, &ctx, well_known::sym_enter()) {
+                let entered = match get_attr_sym(vm, ctx, well_known::sym_enter()) {
                     Ok(enter) => call_value(vm, enter, vec![], vec![])?,
-                    Err(_) => ctx.clone(),
+                    Err(_) => ctx,
                 };
-                if let Ok(exit) = get_attr_sym(vm, &ctx, well_known::sym_exit()) {
+                if let Ok(exit) = get_attr_sym(vm, ctx, well_known::sym_exit()) {
                     exits.push(exit);
                 }
                 if let Some(t) = target {
@@ -499,7 +499,7 @@ fn handle_exception(
             None => true,
             Some(type_expr) => {
                 let type_value = eval(vm, frame, type_expr)?;
-                exception_matches(vm, &exc, &type_value)?
+                exception_matches(vm, &exc, type_value)?
             }
         };
         if matches {
@@ -517,20 +517,21 @@ fn handle_exception(
 }
 
 /// Does `exc` match an `except <type_value>` clause?
-fn exception_matches(vm: &Vm, exc: &PyExc, type_value: &Value) -> Result<bool, PyExc> {
+fn exception_matches(vm: &Vm, exc: &PyExc, type_value: Value) -> Result<bool, PyExc> {
     match type_value {
         Value::Class(c) => {
-            let exc_class = match &exc.value {
-                Some(Value::Instance(i)) => i.class.clone(),
+            let exc_class = match exc.value {
+                Some(Value::Instance(i)) => vm.heap.instance(i).class,
                 _ => match vm.exception_class(&exc.class_name) {
-                    Some(c) => c,
-                    None => return Ok(exc.class_name == c.name),
+                    Some(cls) => cls,
+                    None => return Ok(exc.class_name == vm.heap.class(c).name),
                 },
             };
-            Ok(exc_class.isa(c))
+            Ok(vm.heap.class_isa(exc_class, c))
         }
         Value::Tuple(types) => {
-            for t in types.iter() {
+            let items = vm.heap.tuple(types).to_vec();
+            for t in items {
                 if exception_matches(vm, exc, t)? {
                     return Ok(true);
                 }
@@ -546,21 +547,18 @@ fn exception_matches(vm: &Vm, exc: &PyExc, type_value: &Value) -> Result<bool, P
 
 /// The Python object bound by `except E as e`.
 fn exception_object(vm: &Vm, exc: &PyExc) -> Value {
-    if let Some(v) = &exc.value {
-        return v.clone();
+    if let Some(v) = exc.value {
+        return v;
     }
     let class = vm
         .exception_class(&exc.class_name)
         .or_else(|| vm.exception_class("Exception"))
         .expect("Exception class always registered");
-    let inst = Rc::new(InstanceObj {
+    let message = vm.heap.new_str(&exc.message);
+    vm.heap.new_instance(InstanceObj {
         class,
-        attrs: RefCell::new(vec![(
-            well_known::sym_message(),
-            Value::str(exc.message.clone()),
-        )]),
-    });
-    Value::Instance(inst)
+        attrs: RefCell::new(vec![(well_known::sym_message(), message)]),
+    })
 }
 
 /// Converts a raised value (`raise X`) into a [`PyExc`].
@@ -570,27 +568,25 @@ pub(crate) fn exception_from_value(
     v: Value,
 ) -> Result<PyExc, PyExc> {
     match v {
-        Value::Class(c) if c.is_exception => {
+        Value::Class(c) if vm.heap.class(c).is_exception => {
             // `raise E` instantiates with no arguments.
-            let inst = instantiate_exception(vm, &c, Vec::new())?;
-            Ok(PyExc {
-                class_name: c.name.clone(),
-                message: String::new(),
-                value: Some(inst),
-                traceback: Vec::new(),
-            })
+            let inst = instantiate_exception(vm, c, Vec::new())?;
+            Ok(PyExc::with_value(
+                vm.heap.class(c).name.clone(),
+                String::new(),
+                inst,
+            ))
         }
-        Value::Instance(i) if i.class.is_exception => {
-            let message = match i.get_attr_sym(well_known::sym_message()) {
-                Some(m) => m.to_display(),
+        Value::Instance(i) if vm.heap.class(vm.heap.instance(i).class).is_exception => {
+            let message = match vm.heap.instance(i).get_attr_sym(well_known::sym_message()) {
+                Some(m) => m.to_display(&vm.heap),
                 None => String::new(),
             };
-            Ok(PyExc {
-                class_name: i.class.name.clone(),
+            Ok(PyExc::with_value(
+                vm.heap.class(vm.heap.instance(i).class).name.clone(),
                 message,
-                value: Some(Value::Instance(i)),
-                traceback: Vec::new(),
-            })
+                v,
+            ))
         }
         other => Err(PyExc::type_error(format!(
             "exceptions must derive from BaseException (got {})",
@@ -600,36 +596,37 @@ pub(crate) fn exception_from_value(
 }
 
 /// Instantiates an exception class with positional args.
-pub fn instantiate_exception(
-    vm: &mut Vm,
-    class: &Rc<ClassObj>,
-    args: Vec<Value>,
-) -> Result<Value, PyExc> {
-    let inst = Rc::new(InstanceObj {
-        class: class.clone(),
+pub fn instantiate_exception(vm: &mut Vm, class: u32, args: Vec<Value>) -> Result<Value, PyExc> {
+    let inst = vm.heap.new_instance(InstanceObj {
+        class,
         attrs: RefCell::new(Vec::new()),
     });
-    if let Some(Value::Func(init)) = class.lookup_sym(well_known::sym_init()) {
-        call_function(vm, &init, {
-            let mut a = vec![Value::Instance(inst.clone())];
+    if let Some(Value::Func(init)) = vm.heap.class_lookup_sym(class, well_known::sym_init()) {
+        call_function(vm, init, {
+            let mut a = vec![inst];
             a.extend(args);
             a
         }, vec![])?;
     } else {
         let message = match args.len() {
-            0 => Value::str(""),
-            1 => args[0].clone(),
-            _ => Value::Tuple(Rc::new(args.clone())),
+            0 => vm.heap.new_str(""),
+            1 => args[0],
+            _ => vm.heap.new_tuple(args.clone()),
         };
-        inst.set_attr_sym(well_known::sym_message(), message);
-        if let Some(first) = args.first() {
-            inst.set_attr_sym(
-                well_known::sym_args(),
-                Value::Tuple(Rc::new(vec![first.clone()])),
-            );
+        let Value::Instance(id) = inst else {
+            unreachable!("new_instance returns Value::Instance")
+        };
+        vm.heap
+            .instance(id)
+            .set_attr_sym(well_known::sym_message(), message);
+        if let Some(&first) = args.first() {
+            let args_tuple = vm.heap.new_tuple(vec![first]);
+            vm.heap
+                .instance(id)
+                .set_attr_sym(well_known::sym_args(), args_tuple);
         }
     }
-    Ok(Value::Instance(inst))
+    Ok(inst)
 }
 
 fn make_function(
@@ -668,12 +665,12 @@ fn finish_function(
     if let FrameLocals::Dynamic(locals) = &frame.locals {
         captured.push(locals.clone());
     }
-    Ok(Value::Func(Rc::new(FuncObj {
+    Ok(vm.heap.new_func(FuncObj {
         proto,
         defaults,
         globals: frame.globals.clone(),
         captured,
-    })))
+    }))
 }
 
 /// Binds `name` in the frame the way an assignment would (used for the
@@ -703,8 +700,8 @@ pub(crate) fn write_sym(frame: &mut Frame, sym: Symbol, value: Value) {
 fn read_name(vm: &Vm, frame: &Frame, id: NodeId, name: &str) -> Result<Value, PyExc> {
     match frame.proto.table.res(id) {
         NameRes::Local { slot, sym } => match &frame.locals {
-            FrameLocals::Slots(slots) => match &slots[slot as usize] {
-                Some(v) => Ok(v.clone()),
+            FrameLocals::Slots(slots) => match slots[slot as usize] {
+                Some(v) => Ok(v),
                 // Local by analysis but not yet bound: the paper's §V-C
                 // UnboundLocalError.
                 None => Err(PyExc::unbound_local(sym.as_str())),
@@ -757,8 +754,8 @@ pub(crate) fn read_sym_fallback(vm: &Vm, frame: &Frame, sym: Symbol) -> Result<V
         FrameLocals::Module => {}
         FrameLocals::Slots(slots) => {
             if let Some(i) = frame.proto.slot_of(sym) {
-                return match &slots[i as usize] {
-                    Some(v) => Ok(v.clone()),
+                return match slots[i as usize] {
+                    Some(v) => Ok(v),
                     None => Err(PyExc::unbound_local(sym.as_str())),
                 };
             }
@@ -814,15 +811,15 @@ fn assign_target(vm: &mut Vm, frame: &mut Frame, target: &Expr, value: Value) ->
                 NameRes::Attr(s) => s,
                 _ => intern(attr),
             };
-            set_attr_sym(&o, sym, value)
+            set_attr_sym(&vm.heap, o, sym, value)
         }
         ExprKind::Subscript { value: obj, index } => {
             let o = eval(vm, frame, obj)?;
             let i = eval(vm, frame, index)?;
-            set_item(&o, i, value)
+            set_item(&vm.heap, o, i, value)
         }
         ExprKind::Tuple(items) | ExprKind::List(items) => {
-            let values = iter_values(&value)?;
+            let values = iter_values(&vm.heap, value)?;
             if values.len() != items.len() {
                 return Err(PyExc::value_error(format!(
                     "cannot unpack {} values into {} targets",
@@ -862,16 +859,18 @@ fn del_target(vm: &mut Vm, frame: &mut Frame, target: &Expr) -> Result<(), PyExc
         ExprKind::Subscript { value: obj, index } => {
             let o = eval(vm, frame, obj)?;
             let i = eval(vm, frame, index)?;
-            match &o {
+            match o {
                 Value::Dict(d) => {
-                    d.borrow_mut()
-                        .remove(&i)
-                        .ok_or_else(|| PyExc::key_error(&i))?;
+                    vm.heap
+                        .dict(d)
+                        .borrow_mut()
+                        .remove(&vm.heap, i)
+                        .ok_or_else(|| PyExc::key_error(&vm.heap, i))?;
                     Ok(())
                 }
                 Value::List(l) => {
-                    let idx = as_index(&i, l.borrow().len())?;
-                    l.borrow_mut().remove(idx);
+                    let idx = as_index(i, vm.heap.list(l).borrow().len())?;
+                    vm.heap.list(l).borrow_mut().remove(idx);
                     Ok(())
                 }
                 other => Err(PyExc::type_error(format!(
@@ -894,21 +893,21 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
     match &expr.kind {
         ExprKind::Num(Number::Int(v)) => Ok(Value::Int(*v)),
         ExprKind::Num(Number::Float(v)) => Ok(Value::Float(*v)),
-        ExprKind::Str(s) => Ok(Value::str(s.clone())),
+        ExprKind::Str(s) => Ok(vm.heap.new_str(s)),
         ExprKind::Bool(b) => Ok(Value::Bool(*b)),
         ExprKind::NoneLit => Ok(Value::None),
         ExprKind::Name(n) => read_name(vm, frame, expr.id, n),
         ExprKind::Attribute { value, attr } => {
             let obj = eval(vm, frame, value)?;
             match frame.proto.table.res(expr.id) {
-                NameRes::Attr(sym) => get_attr_sym(vm, &obj, sym),
-                _ => get_attr(vm, &obj, attr),
+                NameRes::Attr(sym) => get_attr_sym(vm, obj, sym),
+                _ => get_attr(vm, obj, attr),
             }
         }
         ExprKind::Subscript { value, index } => {
             let obj = eval(vm, frame, value)?;
             let idx = eval(vm, frame, index)?;
-            get_item(&obj, &idx)
+            get_item(&vm.heap, obj, idx)
         }
         ExprKind::Slice { lower, upper, step } => {
             // Bare slice object (only meaningful inside subscripts; we
@@ -916,12 +915,8 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             let l = opt_eval(vm, frame, lower)?;
             let u = opt_eval(vm, frame, upper)?;
             let s = opt_eval(vm, frame, step)?;
-            Ok(Value::Tuple(Rc::new(vec![
-                Value::str("__slice__"),
-                l,
-                u,
-                s,
-            ])))
+            let tag = vm.heap.new_str("__slice__");
+            Ok(vm.heap.new_tuple(vec![tag, l, u, s]))
         }
         ExprKind::Call { func, args } => {
             let callee = eval(vm, frame, func)?;
@@ -933,14 +928,16 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
                     Arg::Kw(n, e) => kw.push((n.clone(), eval(vm, frame, e)?)),
                     Arg::Star(e) => {
                         let v = eval(vm, frame, e)?;
-                        pos.extend(iter_values(&v)?);
+                        pos.extend(iter_values(&vm.heap, v)?);
                     }
                     Arg::DoubleStar(e) => {
                         let v = eval(vm, frame, e)?;
                         match v {
                             Value::Dict(d) => {
-                                for (k, val) in d.borrow().iter() {
-                                    kw.push((k.to_display(), val.clone()));
+                                let pairs: Vec<(Value, Value)> =
+                                    vm.heap.dict(d).borrow().iter().copied().collect();
+                                for (k, val) in pairs {
+                                    kw.push((k.to_display(&vm.heap), val));
                                 }
                             }
                             other => {
@@ -957,18 +954,18 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
         }
         ExprKind::Unary { op, operand } => {
             let v = eval(vm, frame, operand)?;
-            unary_op(*op, v)
+            unary_op(&vm.heap, *op, v)
         }
         ExprKind::Binary { left, op, right } => {
             let l = eval(vm, frame, left)?;
             let r = eval(vm, frame, right)?;
-            binary_op(vm, *op, l, r)
+            binary_op(&vm.heap, *op, l, r)
         }
         ExprKind::BoolOp { op, values } => {
             let mut last = Value::None;
             for (i, v) in values.iter().enumerate() {
                 last = eval(vm, frame, v)?;
-                let t = last.truthy();
+                let t = last.truthy(&vm.heap);
                 let short_circuit = match op {
                     BoolOpKind::And => !t,
                     BoolOpKind::Or => t,
@@ -990,7 +987,7 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             let mut lhs = eval(vm, frame, left)?;
             for (op, comp) in ops.iter().zip(comparators) {
                 let rhs = eval(vm, frame, comp)?;
-                if !compare(vm, *op, &lhs, &rhs)? {
+                if !compare(&vm.heap, *op, lhs, rhs)? {
                     return Ok(Value::Bool(false));
                 }
                 lhs = rhs;
@@ -1009,7 +1006,7 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             finish_function(vm, frame, proto, params)
         }
         ExprKind::IfExp { test, body, orelse } => {
-            if eval(vm, frame, test)?.truthy() {
+            if eval(vm, frame, test)?.truthy(&vm.heap) {
                 eval(vm, frame, body)
             } else {
                 eval(vm, frame, orelse)
@@ -1020,33 +1017,33 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             for i in items {
                 out.push(eval(vm, frame, i)?);
             }
-            Ok(Value::Tuple(Rc::new(out)))
+            Ok(vm.heap.new_tuple(out))
         }
         ExprKind::List(items) => {
             let mut out = Vec::with_capacity(items.len());
             for i in items {
                 out.push(eval(vm, frame, i)?);
             }
-            Ok(Value::list(out))
+            Ok(vm.heap.new_list(out))
         }
         ExprKind::Dict(pairs) => {
             let mut d = DictObj::new();
             for (k, v) in pairs {
                 let key = eval(vm, frame, k)?;
                 let value = eval(vm, frame, v)?;
-                d.set(key, value);
+                d.set(&vm.heap, key, value);
             }
-            Ok(Value::Dict(Rc::new(RefCell::new(d))))
+            Ok(vm.heap.new_dict(d))
         }
         ExprKind::Set(items) => {
             let mut out: Vec<Value> = Vec::new();
             for i in items {
                 let v = eval(vm, frame, i)?;
-                if !out.iter().any(|x| values_eq(x, &v)) {
+                if !out.iter().any(|&x| values_eq(&vm.heap, x, v)) {
                     out.push(v);
                 }
             }
-            Ok(Value::Set(Rc::new(RefCell::new(out))))
+            Ok(vm.heap.new_set(out))
         }
         ExprKind::ListComp {
             elt,
@@ -1066,16 +1063,16 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
             };
             let result = (|vm: &mut Vm, frame: &mut Frame| -> Result<Value, PyExc> {
                 let mut out = Vec::new();
-                'outer: for item in iter_values(&iterable)? {
+                'outer: for item in iter_values(&vm.heap, iterable)? {
                     assign_target(vm, frame, target, item)?;
                     for cond in ifs {
-                        if !eval(vm, frame, cond)?.truthy() {
+                        if !eval(vm, frame, cond)?.truthy(&vm.heap) {
                             continue 'outer;
                         }
                     }
                     out.push(eval(vm, frame, elt)?);
                 }
-                Ok(Value::list(out))
+                Ok(vm.heap.new_list(out))
             })(vm, frame);
             if let Some((sym, prev)) = snapshot {
                 comp_target_restore(frame, sym, prev);
@@ -1095,9 +1092,9 @@ pub fn eval(vm: &mut Vm, frame: &mut Frame, expr: &Expr) -> Result<Value, PyExc>
 /// # Errors
 ///
 /// `TypeError` when the operand does not support the operator.
-pub(crate) fn unary_op(op: UnaryOp, v: Value) -> Result<Value, PyExc> {
+pub(crate) fn unary_op(heap: &Heap, op: UnaryOp, v: Value) -> Result<Value, PyExc> {
     match op {
-        UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnaryOp::Not => Ok(Value::Bool(!v.truthy(heap))),
         UnaryOp::Neg => match v {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
@@ -1125,11 +1122,7 @@ pub(crate) fn unary_op(op: UnaryOp, v: Value) -> Result<Value, PyExc> {
     }
 }
 
-fn opt_eval(
-    vm: &mut Vm,
-    frame: &mut Frame,
-    e: &Option<Box<Expr>>,
-) -> Result<Value, PyExc> {
+fn opt_eval(vm: &mut Vm, frame: &mut Frame, e: &Option<Box<Expr>>) -> Result<Value, PyExc> {
     match e {
         Some(e) => eval(vm, frame, e),
         None => Ok(Value::None),
@@ -1148,24 +1141,42 @@ pub fn call_value(
     kwargs: Vec<(String, Value)>,
 ) -> Result<Value, PyExc> {
     match callee {
-        Value::Native(n) => (n.imp)(vm, args, kwargs),
-        Value::Func(f) => call_function(vm, &f, args, kwargs),
-        Value::BoundMethod(f, recv) => {
-            let mut all = vec![*recv];
+        Value::Native(n) => {
+            // Copy the dispatch data out of the slab before handing the
+            // whole `Vm` (mutably) to the implementation.
+            enum NativeCall {
+                Fn(Rc<NativeImpl>),
+                Method(MethodKind, Value),
+            }
+            let call = match vm.heap.native(n) {
+                NativeObj::Fn { imp, .. } => NativeCall::Fn(imp.clone()),
+                NativeObj::Method { kind, recv } => NativeCall::Method(*kind, *recv),
+            };
+            match call {
+                NativeCall::Fn(imp) => imp(vm, args, kwargs),
+                NativeCall::Method(kind, recv) => {
+                    methods::call_method(vm, kind, recv, args, kwargs)
+                }
+            }
+        }
+        Value::Func(f) => call_function(vm, f, args, kwargs),
+        Value::BoundMethod(b) => {
+            let BoundObj { func, recv } = *vm.heap.bound(b);
+            let mut all = vec![recv];
             all.extend(args);
-            call_value(vm, *f, all, kwargs)
+            call_value(vm, func, all, kwargs)
         }
         Value::Class(c) => {
-            if c.is_exception {
-                return instantiate_exception(vm, &c, args);
+            if vm.heap.class(c).is_exception {
+                return instantiate_exception(vm, c, args);
             }
-            let inst = Rc::new(InstanceObj {
-                class: c.clone(),
+            let inst = vm.heap.new_instance(InstanceObj {
+                class: c,
                 attrs: RefCell::new(Vec::new()),
             });
-            match c.lookup_sym(well_known::sym_init()) {
+            match vm.heap.class_lookup_sym(c, well_known::sym_init()) {
                 Some(init @ (Value::Func(_) | Value::Native(_))) => {
-                    let mut all = vec![Value::Instance(inst.clone())];
+                    let mut all = vec![inst];
                     all.extend(args);
                     call_value(vm, init, all, kwargs)?;
                 }
@@ -1173,12 +1184,12 @@ pub fn call_value(
                     if !args.is_empty() || !kwargs.is_empty() {
                         return Err(PyExc::type_error(format!(
                             "{}() takes no arguments",
-                            c.name
+                            vm.heap.class(c).name
                         )));
                     }
                 }
             }
-            Ok(Value::Instance(inst))
+            Ok(inst)
         }
         other => Err(PyExc::type_error(format!(
             "'{}' object is not callable",
@@ -1187,10 +1198,11 @@ pub fn call_value(
     }
 }
 
-/// Calls a user-defined function with bound arguments.
+/// Calls a user-defined function (a `Value::Func` handle) with bound
+/// arguments.
 pub fn call_function(
     vm: &mut Vm,
-    func: &Rc<FuncObj>,
+    func: u32,
     args: Vec<Value>,
     kwargs: Vec<(String, Value)>,
 ) -> Result<Value, PyExc> {
@@ -1200,31 +1212,56 @@ pub fn call_function(
             "maximum recursion depth exceeded",
         ));
     }
-    let proto = func.proto.clone();
-    let mut frame = Frame {
-        globals: func.globals.clone(),
-        locals: if proto.dynamic {
+    // Phase A: build the frame under shared heap borrows (slab refs are
+    // address-stable, and `bind_params` only allocates, never runs user
+    // code). Slot vectors are recycled through the VM so small calls
+    // don't allocate.
+    let mut args = args;
+    let mut frame = {
+        let f = vm.heap.func(func);
+        let locals = if f.proto.dynamic {
             FrameLocals::Dynamic(Scope::new_ref())
         } else {
-            FrameLocals::Slots(vec![None; proto.slots.len()])
-        },
-        proto,
-        captured: func.captured.clone(),
+            let mut slots = vm.slot_pool.borrow_mut().pop().unwrap_or_default();
+            slots.resize(f.proto.slots.len(), None);
+            FrameLocals::Slots(slots)
+        };
+        let mut frame = Frame {
+            globals: f.globals.clone(),
+            locals,
+            proto: f.proto.clone(),
+            captured: f.captured.clone(),
+        };
+        bind_params(&vm.heap, f, &mut args, kwargs, &mut frame.locals)?;
+        frame
     };
-    bind_params(func, args, kwargs, &mut frame.locals)?;
+    args.clear();
+    vm.arg_pool.borrow_mut().push(args);
+    // Phase B: all heap borrows dropped; run the body with `&mut Vm`.
     vm.depth.set(vm.depth.get() + 1);
     let result = if vm.engine() == crate::vm::Engine::Bytecode {
-        let code = crate::compile::func_code(vm, &func.proto);
-        crate::bcvm::run(vm, &mut frame, code)
+        // SAFETY: the compiled code lives in the proto's `OnceLock`,
+        // which is never replaced once set, and `frame.proto` keeps the
+        // prototype (and therefore the code `Arc`) alive for the whole
+        // call. Detaching the borrow from `frame` lets `run` take
+        // `&mut frame` without an Arc round-trip on every call.
+        let code: *const crate::ir::CodeObject = crate::compile::func_code(vm, &frame.proto);
+        crate::bcvm::run(vm, &mut frame, unsafe { &*code })
     } else {
-        match exec_block(vm, &mut frame, &func.proto.body) {
+        let proto = frame.proto.clone();
+        match exec_block(vm, &mut frame, &proto.body) {
             Ok(Flow::Return(v)) => Ok(v),
             Ok(_) => Ok(Value::None),
             Err(e) => Err(e),
         }
     };
     vm.depth.set(vm.depth.get() - 1);
-    result.map_err(|e| e.with_frame(func.name()))
+    if let FrameLocals::Slots(mut slots) = std::mem::replace(&mut frame.locals, FrameLocals::Module)
+    {
+        slots.clear();
+        vm.slot_pool.borrow_mut().push(slots);
+    }
+    result.map_err(|e| e.with_frame(&frame.proto.name))
 }
 
 /// Executes a module-level scope body through the configured engine.
@@ -1260,10 +1297,9 @@ fn comp_target_snapshot(frame: &Frame, target: &Expr) -> Option<(Symbol, Option<
     } else {
         match &frame.locals {
             FrameLocals::Module => frame.globals.borrow().get_sym(sym),
-            FrameLocals::Slots(slots) => frame
-                .proto
-                .slot_of(sym)
-                .and_then(|i| slots[i as usize].clone()),
+            FrameLocals::Slots(slots) => {
+                frame.proto.slot_of(sym).and_then(|i| slots[i as usize])
+            }
             FrameLocals::Dynamic(locals) => locals.borrow().get_sym(sym),
         }
     };
@@ -1298,8 +1334,9 @@ fn comp_target_restore(frame: &mut Frame, sym: Symbol, prev: Option<Value>) {
 }
 
 fn bind_params(
+    heap: &Heap,
     func: &FuncObj,
-    mut args: Vec<Value>,
+    args: &mut Vec<Value>,
     mut kwargs: Vec<(String, Value)>,
     locals: &mut FrameLocals,
 ) -> Result<(), PyExc> {
@@ -1311,6 +1348,21 @@ fn bind_params(
         }
     }
     let params = &func.proto.params;
+    // Fast path: exact-arity positional call with plain parameters —
+    // the overwhelmingly common shape on the call-heavy hot path.
+    if kwargs.is_empty() && args.len() == params.len() {
+        if let FrameLocals::Slots(slots) = locals {
+            if params
+                .iter()
+                .all(|p| matches!(p.kind, ParamKind::Normal))
+            {
+                for (p, v) in params.iter().zip(args.drain(..)) {
+                    slots[p.slot as usize] = Some(v);
+                }
+                return Ok(());
+            }
+        }
+    }
     let mut arg_iter = args.drain(..);
     for (i, p) in params.iter().enumerate() {
         match p.kind {
@@ -1330,7 +1382,7 @@ fn bind_params(
                     let (_, v) = kwargs.remove(pos);
                     bind(locals, p, v);
                 } else if let Some(Some(d)) = func.defaults.get(i) {
-                    bind(locals, p, d.clone());
+                    bind(locals, p, *d);
                 } else {
                     return Err(PyExc::type_error(format!(
                         "{}() missing required argument: '{}'",
@@ -1341,19 +1393,20 @@ fn bind_params(
             }
             ParamKind::Star => {
                 let rest: Vec<Value> = arg_iter.by_ref().collect();
-                bind(locals, p, Value::Tuple(Rc::new(rest)));
+                bind(locals, p, heap.new_tuple(rest));
             }
             ParamKind::DoubleStar => {
                 let mut d = DictObj::new();
                 for (n, v) in kwargs.drain(..) {
-                    d.set(Value::str(n), v);
+                    let key = heap.new_string(n);
+                    d.set(heap, key, v);
                 }
-                bind(locals, p, Value::Dict(Rc::new(RefCell::new(d))));
+                bind(locals, p, heap.new_dict(d));
             }
         }
     }
-    let leftover: Vec<Value> = arg_iter.collect();
-    if !leftover.is_empty() {
+    if arg_iter.next().is_some() {
+        drop(arg_iter);
         return Err(PyExc::type_error(format!(
             "{}() takes {} positional arguments but more were given",
             func.name(),
@@ -1377,15 +1430,21 @@ fn bind_params(
 /// key any symbol table, so `getattr` with runtime-generated strings
 /// fails (or reaches the string-matched builtin methods) without
 /// permanently growing the interner.
-pub fn get_attr(vm: &Vm, obj: &Value, attr: &str) -> Result<Value, PyExc> {
+pub fn get_attr(vm: &Vm, obj: Value, attr: &str) -> Result<Value, PyExc> {
     match crate::intern::try_intern(attr) {
         Some(sym) => get_attr_sym(vm, obj, sym),
         None => match obj {
-            Value::Instance(i) => Err(PyExc::attribute_error(&i.class.name, attr)),
-            Value::Class(c) => Err(PyExc::attribute_error(&c.name, attr)),
+            Value::Instance(i) => Err(PyExc::attribute_error(
+                &vm.heap.class(vm.heap.instance(i).class).name,
+                attr,
+            )),
+            Value::Class(c) => Err(PyExc::attribute_error(&vm.heap.class(c).name, attr)),
             Value::Module(m) => Err(PyExc::new(
                 "AttributeError",
-                format!("module '{}' has no attribute '{attr}'", m.name),
+                format!(
+                    "module '{}' has no attribute '{attr}'",
+                    vm.heap.module(m).name
+                ),
             )),
             other => {
                 if let Some(v) = methods::builtin_method(vm, other, attr) {
@@ -1400,29 +1459,36 @@ pub fn get_attr(vm: &Vm, obj: &Value, attr: &str) -> Result<Value, PyExc> {
 
 /// Symbol-keyed attribute lookup (the interpreter hot path; the symbol
 /// comes from the prepare-time resolution table).
-pub fn get_attr_sym(vm: &Vm, obj: &Value, sym: Symbol) -> Result<Value, PyExc> {
+pub fn get_attr_sym(vm: &Vm, obj: Value, sym: Symbol) -> Result<Value, PyExc> {
     match obj {
         Value::Instance(i) => {
-            if let Some(v) = i.get_attr_sym(sym) {
+            let inst = vm.heap.instance(i);
+            if let Some(v) = inst.get_attr_sym(sym) {
                 return Ok(v);
             }
-            if let Some(v) = i.class.lookup_sym(sym) {
+            if let Some(v) = vm.heap.class_lookup_sym(inst.class, sym) {
                 return Ok(match v {
-                    f @ (Value::Func(_) | Value::Native(_)) => {
-                        Value::BoundMethod(Box::new(f), Box::new(obj.clone()))
-                    }
+                    f @ (Value::Func(_) | Value::Native(_)) => vm.heap.new_bound(f, obj),
                     other => other,
                 });
             }
-            Err(PyExc::attribute_error(&i.class.name, sym.as_str()))
+            Err(PyExc::attribute_error(
+                &vm.heap.class(inst.class).name,
+                sym.as_str(),
+            ))
         }
-        Value::Class(c) => c
-            .lookup_sym(sym)
-            .ok_or_else(|| PyExc::attribute_error(&c.name, sym.as_str())),
-        Value::Module(m) => m.get_sym(sym).ok_or_else(|| {
+        Value::Class(c) => vm
+            .heap
+            .class_lookup_sym(c, sym)
+            .ok_or_else(|| PyExc::attribute_error(&vm.heap.class(c).name, sym.as_str())),
+        Value::Module(m) => vm.heap.module(m).get_sym(sym).ok_or_else(|| {
             PyExc::new(
                 "AttributeError",
-                format!("module '{}' has no attribute '{}'", m.name, sym.as_str()),
+                format!(
+                    "module '{}' has no attribute '{}'",
+                    vm.heap.module(m).name,
+                    sym.as_str()
+                ),
             )
         }),
         other => {
@@ -1435,14 +1501,14 @@ pub fn get_attr_sym(vm: &Vm, obj: &Value, sym: Symbol) -> Result<Value, PyExc> {
     }
 }
 
-pub(crate) fn set_attr_sym(obj: &Value, sym: Symbol, value: Value) -> Result<(), PyExc> {
+pub(crate) fn set_attr_sym(heap: &Heap, obj: Value, sym: Symbol, value: Value) -> Result<(), PyExc> {
     match obj {
         Value::Instance(i) => {
-            i.set_attr_sym(sym, value);
+            heap.instance(i).set_attr_sym(sym, value);
             Ok(())
         }
         Value::Class(c) => {
-            let mut attrs = c.attrs.borrow_mut();
+            let mut attrs = heap.class(c).attrs.borrow_mut();
             if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == sym) {
                 slot.1 = value;
             } else {
@@ -1451,17 +1517,17 @@ pub(crate) fn set_attr_sym(obj: &Value, sym: Symbol, value: Value) -> Result<(),
             Ok(())
         }
         Value::Module(m) => {
-            m.set_sym(sym, value);
+            heap.module(m).set_sym(sym, value);
             Ok(())
         }
         other => Err(PyExc::attribute_error(other.type_name(), sym.as_str())),
     }
 }
 
-fn as_index(v: &Value, len: usize) -> Result<usize, PyExc> {
+fn as_index(v: Value, len: usize) -> Result<usize, PyExc> {
     let i = match v {
-        Value::Int(i) => *i,
-        Value::Bool(b) => *b as i64,
+        Value::Int(i) => i,
+        Value::Bool(b) => b as i64,
         other => {
             return Err(PyExc::type_error(format!(
                 "indices must be integers, not {}",
@@ -1477,18 +1543,18 @@ fn as_index(v: &Value, len: usize) -> Result<usize, PyExc> {
     }
 }
 
-fn slice_bounds(len: usize, lower: &Value, upper: &Value, step: &Value) -> Result<(usize, usize), PyExc> {
+fn slice_bounds(len: usize, lower: Value, upper: Value, step: Value) -> Result<(usize, usize), PyExc> {
     if !matches!(step, Value::None) {
         if let Value::Int(s) = step {
-            if *s != 1 {
+            if s != 1 {
                 return Err(PyExc::value_error("only step 1 slices are supported"));
             }
         }
     }
-    let clamp = |v: &Value, default: usize| -> usize {
+    let clamp = |v: Value, default: usize| -> usize {
         match v {
             Value::Int(i) => {
-                let adj = if *i < 0 { *i + len as i64 } else { *i };
+                let adj = if i < 0 { i + len as i64 } else { i };
                 adj.clamp(0, len as i64) as usize
             }
             _ => default,
@@ -1500,20 +1566,21 @@ fn slice_bounds(len: usize, lower: &Value, upper: &Value, step: &Value) -> Resul
 }
 
 /// `obj[index]`.
-pub fn get_item(obj: &Value, index: &Value) -> Result<Value, PyExc> {
+pub fn get_item(heap: &Heap, obj: Value, index: Value) -> Result<Value, PyExc> {
     // Slice marker?
     if let Value::Tuple(t) = index {
-        if t.len() == 4 {
-            if let Value::Str(tag) = &t[0] {
-                if tag.as_str() == "__slice__" {
-                    return get_slice(obj, &t[1], &t[2], &t[3]);
+        let items = heap.tuple(t);
+        if items.len() == 4 {
+            if let Value::Str(tag) = items[0] {
+                if heap.str(tag) == "__slice__" {
+                    return get_slice(heap, obj, items[1], items[2], items[3]);
                 }
             }
         }
     }
     match obj {
         Value::List(l) => {
-            let list = l.borrow();
+            let list = heap.list(l).borrow();
             let i = as_index(index, list.len()).map_err(|_| {
                 if matches!(index, Value::Int(_) | Value::Bool(_)) {
                     PyExc::index_error("list")
@@ -1524,23 +1591,29 @@ pub fn get_item(obj: &Value, index: &Value) -> Result<Value, PyExc> {
                     ))
                 }
             })?;
-            Ok(list[i].clone())
+            Ok(list[i])
         }
         Value::Tuple(t) => {
-            let i = as_index(index, t.len())?;
-            Ok(t[i].clone())
+            let items = heap.tuple(t);
+            let i = as_index(index, items.len())?;
+            Ok(items[i])
         }
         Value::Str(s) => {
-            let chars: Vec<char> = s.chars().collect();
-            let i = as_index(index, chars.len())
-                .map_err(|e| if e.class_name == "IndexError" { PyExc::index_error("string") } else { e })?;
-            Ok(Value::str(chars[i].to_string()))
+            let chars: Vec<char> = heap.str(s).chars().collect();
+            let i = as_index(index, chars.len()).map_err(|e| {
+                if e.class_name == "IndexError" {
+                    PyExc::index_error("string")
+                } else {
+                    e
+                }
+            })?;
+            Ok(heap.new_string(chars[i].to_string()))
         }
-        Value::Dict(d) => d
+        Value::Dict(d) => heap
+            .dict(d)
             .borrow()
-            .get(index)
-            .cloned()
-            .ok_or_else(|| PyExc::key_error(index)),
+            .get(heap, index)
+            .ok_or_else(|| PyExc::key_error(heap, index)),
         other => Err(PyExc::type_error(format!(
             "'{}' object is not subscriptable",
             other.type_name()
@@ -1548,21 +1621,31 @@ pub fn get_item(obj: &Value, index: &Value) -> Result<Value, PyExc> {
     }
 }
 
-fn get_slice(obj: &Value, lower: &Value, upper: &Value, step: &Value) -> Result<Value, PyExc> {
+fn get_slice(
+    heap: &Heap,
+    obj: Value,
+    lower: Value,
+    upper: Value,
+    step: Value,
+) -> Result<Value, PyExc> {
     match obj {
         Value::List(l) => {
-            let list = l.borrow();
-            let (lo, hi) = slice_bounds(list.len(), lower, upper, step)?;
-            Ok(Value::list(list[lo..hi].to_vec()))
+            let out = {
+                let list = heap.list(l).borrow();
+                let (lo, hi) = slice_bounds(list.len(), lower, upper, step)?;
+                list[lo..hi].to_vec()
+            };
+            Ok(heap.new_list(out))
         }
         Value::Str(s) => {
-            let chars: Vec<char> = s.chars().collect();
+            let chars: Vec<char> = heap.str(s).chars().collect();
             let (lo, hi) = slice_bounds(chars.len(), lower, upper, step)?;
-            Ok(Value::str(chars[lo..hi].iter().collect::<String>()))
+            Ok(heap.new_string(chars[lo..hi].iter().collect::<String>()))
         }
         Value::Tuple(t) => {
-            let (lo, hi) = slice_bounds(t.len(), lower, upper, step)?;
-            Ok(Value::Tuple(Rc::new(t[lo..hi].to_vec())))
+            let (lo, hi) = slice_bounds(heap.tuple(t).len(), lower, upper, step)?;
+            let out = heap.tuple(t)[lo..hi].to_vec();
+            Ok(heap.new_tuple(out))
         }
         other => Err(PyExc::type_error(format!(
             "'{}' object is not sliceable",
@@ -1571,16 +1654,16 @@ fn get_slice(obj: &Value, lower: &Value, upper: &Value, step: &Value) -> Result<
     }
 }
 
-pub(crate) fn set_item(obj: &Value, index: Value, value: Value) -> Result<(), PyExc> {
+pub(crate) fn set_item(heap: &Heap, obj: Value, index: Value, value: Value) -> Result<(), PyExc> {
     match obj {
         Value::List(l) => {
-            let len = l.borrow().len();
-            let i = as_index(&index, len)?;
-            l.borrow_mut()[i] = value;
+            let len = heap.list(l).borrow().len();
+            let i = as_index(index, len)?;
+            heap.list(l).borrow_mut()[i] = value;
             Ok(())
         }
         Value::Dict(d) => {
-            d.borrow_mut().set(index, value);
+            heap.dict(d).borrow_mut().set(heap, index, value);
             Ok(())
         }
         other => Err(PyExc::type_error(format!(
@@ -1592,13 +1675,16 @@ pub(crate) fn set_item(obj: &Value, index: Value, value: Value) -> Result<(), Py
 
 /// Materializes an iterable into values (lists, tuples, dicts iterate
 /// keys, strings iterate characters, sets iterate elements).
-pub fn iter_values(v: &Value) -> Result<Vec<Value>, PyExc> {
+pub fn iter_values(heap: &Heap, v: Value) -> Result<Vec<Value>, PyExc> {
     match v {
-        Value::List(l) => Ok(l.borrow().clone()),
-        Value::Tuple(t) => Ok(t.to_vec()),
-        Value::Set(s) => Ok(s.borrow().clone()),
-        Value::Dict(d) => Ok(d.borrow().iter().map(|(k, _)| k.clone()).collect()),
-        Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
+        Value::List(l) => Ok(heap.list(l).borrow().clone()),
+        Value::Tuple(t) => Ok(heap.tuple(t).to_vec()),
+        Value::Set(s) => Ok(heap.set(s).borrow().clone()),
+        Value::Dict(d) => Ok(heap.dict(d).borrow().iter().map(|&(k, _)| k).collect()),
+        Value::Str(s) => {
+            let chars: Vec<String> = heap.str(s).chars().map(|c| c.to_string()).collect();
+            Ok(chars.into_iter().map(|c| heap.new_string(c)).collect())
+        }
         other => Err(PyExc::type_error(format!(
             "'{}' object is not iterable",
             other.type_name()
@@ -1607,9 +1693,9 @@ pub fn iter_values(v: &Value) -> Result<Vec<Value>, PyExc> {
 }
 
 /// Applies a binary operator.
-pub fn binary_op(vm: &mut Vm, op: BinOp, l: Value, r: Value) -> Result<Value, PyExc> {
+pub fn binary_op(heap: &Heap, op: BinOp, l: Value, r: Value) -> Result<Value, PyExc> {
     use BinOp::*;
-    let type_err = |l: &Value, r: &Value, sym: &str| {
+    let type_err = |l: Value, r: Value, sym: &str| {
         PyExc::type_error(format!(
             "unsupported operand type(s) for {sym}: '{}' and '{}'",
             l.type_name(),
@@ -1622,43 +1708,50 @@ pub fn binary_op(vm: &mut Vm, op: BinOp, l: Value, r: Value) -> Result<Value, Py
         other => other,
     };
     let (l, r) = (norm(l), norm(r));
-    match (op, &l, &r) {
-        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+    match (op, l, r) {
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(b))),
         (Add, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a + b)),
-        (Add, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 + b)),
-        (Add, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a + *b as f64)),
-        (Add, Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+        (Add, Value::Int(a), Value::Float(b)) => Ok(Value::Float(a as f64 + b)),
+        (Add, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a + b as f64)),
+        (Add, Value::Str(a), Value::Str(b)) => {
+            let s = format!("{}{}", heap.str(a), heap.str(b));
+            Ok(heap.new_string(s))
+        }
         (Add, Value::List(a), Value::List(b)) => {
-            let mut out = a.borrow().clone();
-            out.extend(b.borrow().iter().cloned());
-            Ok(Value::list(out))
+            let mut out = heap.list(a).borrow().clone();
+            out.extend(heap.list(b).borrow().iter().copied());
+            Ok(heap.new_list(out))
         }
         (Add, Value::Tuple(a), Value::Tuple(b)) => {
-            let mut out = a.to_vec();
-            out.extend(b.iter().cloned());
-            Ok(Value::Tuple(Rc::new(out)))
+            let mut out = heap.tuple(a).to_vec();
+            out.extend(heap.tuple(b).iter().copied());
+            Ok(heap.new_tuple(out))
         }
-        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(b))),
         (Sub, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a - b)),
-        (Sub, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 - b)),
-        (Sub, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a - *b as f64)),
-        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        (Sub, Value::Int(a), Value::Float(b)) => Ok(Value::Float(a as f64 - b)),
+        (Sub, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a - b as f64)),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(b))),
         (Mul, Value::Float(a), Value::Float(b)) => Ok(Value::Float(a * b)),
-        (Mul, Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 * b)),
-        (Mul, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a * *b as f64)),
+        (Mul, Value::Int(a), Value::Float(b)) => Ok(Value::Float(a as f64 * b)),
+        (Mul, Value::Float(a), Value::Int(b)) => Ok(Value::Float(a * b as f64)),
         (Mul, Value::Str(s), Value::Int(n)) | (Mul, Value::Int(n), Value::Str(s)) => {
-            Ok(Value::str(s.repeat((*n).max(0) as usize)))
+            // Negative repeat counts clamp to 0 (`as usize` would wrap).
+            Ok(heap.new_string(heap.str(s).repeat(n.max(0) as usize)))
         }
         (Mul, Value::List(xs), Value::Int(n)) | (Mul, Value::Int(n), Value::List(xs)) => {
-            let items = xs.borrow();
-            let mut out = Vec::new();
-            for _ in 0..(*n).max(0) {
-                out.extend(items.iter().cloned());
-            }
-            Ok(Value::list(out))
+            let out = {
+                let items = heap.list(xs).borrow();
+                let mut out = Vec::new();
+                for _ in 0..n.max(0) {
+                    out.extend(items.iter().copied());
+                }
+                out
+            };
+            Ok(heap.new_list(out))
         }
         (Div, _, _) => {
-            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "/"))?;
+            let (a, b) = float_pair(l, r).ok_or_else(|| type_err(l, r, "/"))?;
             if b == 0.0 {
                 Err(PyExc::zero_division())
             } else {
@@ -1666,14 +1759,14 @@ pub fn binary_op(vm: &mut Vm, op: BinOp, l: Value, r: Value) -> Result<Value, Py
             }
         }
         (FloorDiv, Value::Int(a), Value::Int(b)) => {
-            if *b == 0 {
+            if b == 0 {
                 Err(PyExc::zero_division())
             } else {
-                Ok(Value::Int(a.div_euclid(*b)))
+                Ok(Value::Int(a.div_euclid(b)))
             }
         }
         (FloorDiv, _, _) => {
-            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "//"))?;
+            let (a, b) = float_pair(l, r).ok_or_else(|| type_err(l, r, "//"))?;
             if b == 0.0 {
                 Err(PyExc::zero_division())
             } else {
@@ -1681,55 +1774,57 @@ pub fn binary_op(vm: &mut Vm, op: BinOp, l: Value, r: Value) -> Result<Value, Py
             }
         }
         (Mod, Value::Int(a), Value::Int(b)) => {
-            if *b == 0 {
+            if b == 0 {
                 Err(PyExc::zero_division())
             } else {
-                Ok(Value::Int(a.rem_euclid(*b)))
+                Ok(Value::Int(a.rem_euclid(b)))
             }
         }
-        (Mod, Value::Str(fmt), _) => format_percent(vm, fmt, &r),
+        (Mod, Value::Str(fmt), _) => format_percent(heap, fmt, r),
         (Mod, _, _) => {
-            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "%"))?;
+            let (a, b) = float_pair(l, r).ok_or_else(|| type_err(l, r, "%"))?;
             if b == 0.0 {
                 Err(PyExc::zero_division())
             } else {
                 Ok(Value::Float(a.rem_euclid(b)))
             }
         }
-        (Pow, Value::Int(a), Value::Int(b)) if *b >= 0 => {
-            Ok(Value::Int(a.wrapping_pow((*b).min(u32::MAX as i64) as u32)))
+        (Pow, Value::Int(a), Value::Int(b)) if b >= 0 => {
+            Ok(Value::Int(a.wrapping_pow(b.min(u32::MAX as i64) as u32)))
         }
         (Pow, _, _) => {
-            let (a, b) = float_pair(&l, &r).ok_or_else(|| type_err(&l, &r, "**"))?;
+            let (a, b) = float_pair(l, r).ok_or_else(|| type_err(l, r, "**"))?;
             Ok(Value::Float(a.powf(b)))
         }
         (BitAnd, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a & b)),
         (BitOr, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a | b)),
         (BitXor, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a ^ b)),
-        (Shl, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shl(*b as u32))),
-        (Shr, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shr(*b as u32))),
-        (op, _, _) => Err(type_err(&l, &r, op.as_str())),
+        // `as u32` truncates the shift amount and `wrapping_*` masks it
+        // mod 64 — pinned pre-existing semantics for huge shift counts.
+        (Shl, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shl(b as u32))),
+        (Shr, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_shr(b as u32))),
+        (op, l, r) => Err(type_err(l, r, op.as_str())),
     }
 }
 
-fn float_pair(l: &Value, r: &Value) -> Option<(f64, f64)> {
-    let f = |v: &Value| match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(f) => Some(*f),
-        Value::Bool(b) => Some(*b as i64 as f64),
+fn float_pair(l: Value, r: Value) -> Option<(f64, f64)> {
+    let f = |v: Value| match v {
+        Value::Int(i) => Some(i as f64),
+        Value::Float(f) => Some(f),
+        Value::Bool(b) => Some(b as i64 as f64),
         _ => None,
     };
     Some((f(l)?, f(r)?))
 }
 
 /// Minimal `%` string formatting: `%s`, `%d`, `%f`, `%r`, `%%`.
-fn format_percent(_vm: &Vm, fmt: &str, args: &Value) -> Result<Value, PyExc> {
+fn format_percent(heap: &Heap, fmt: u32, args: Value) -> Result<Value, PyExc> {
     let values: Vec<Value> = match args {
-        Value::Tuple(t) => t.to_vec(),
-        other => vec![other.clone()],
+        Value::Tuple(t) => heap.tuple(t).to_vec(),
+        other => vec![other],
     };
     let mut out = String::new();
-    let mut it = fmt.chars().peekable();
+    let mut it = heap.str(fmt).chars().peekable();
     let mut idx = 0;
     while let Some(c) = it.next() {
         if c != '%' {
@@ -1739,17 +1834,17 @@ fn format_percent(_vm: &Vm, fmt: &str, args: &Value) -> Result<Value, PyExc> {
         match it.next() {
             Some('%') => out.push('%'),
             Some(spec) => {
-                let v = values.get(idx).ok_or_else(|| {
-                    PyExc::type_error("not enough arguments for format string")
-                })?;
+                let v = *values
+                    .get(idx)
+                    .ok_or_else(|| PyExc::type_error("not enough arguments for format string"))?;
                 idx += 1;
                 match spec {
-                    's' => out.push_str(&v.to_display()),
-                    'r' => out.push_str(&v.repr()),
+                    's' => out.push_str(&v.to_display(heap)),
+                    'r' => out.push_str(&v.repr(heap)),
                     'd' | 'i' => match v {
                         Value::Int(i) => out.push_str(&i.to_string()),
-                        Value::Float(f) => out.push_str(&(*f as i64).to_string()),
-                        Value::Bool(b) => out.push_str(&(*b as i64).to_string()),
+                        Value::Float(f) => out.push_str(&(f as i64).to_string()),
+                        Value::Bool(b) => out.push_str(&(b as i64).to_string()),
                         other => {
                             return Err(PyExc::type_error(format!(
                                 "%d format: a number is required, not {}",
@@ -1758,7 +1853,7 @@ fn format_percent(_vm: &Vm, fmt: &str, args: &Value) -> Result<Value, PyExc> {
                         }
                     },
                     'f' => match v {
-                        Value::Int(i) => out.push_str(&format!("{:.6}", *i as f64)),
+                        Value::Int(i) => out.push_str(&format!("{:.6}", i as f64)),
                         Value::Float(f) => out.push_str(&format!("{f:.6}")),
                         other => {
                             return Err(PyExc::type_error(format!(
@@ -1782,23 +1877,23 @@ fn format_percent(_vm: &Vm, fmt: &str, args: &Value) -> Result<Value, PyExc> {
             "not all arguments converted during string formatting",
         ));
     }
-    Ok(Value::str(out))
+    Ok(heap.new_string(out))
 }
 
 /// Applies a comparison operator.
-pub fn compare(vm: &Vm, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyExc> {
+pub fn compare(heap: &Heap, op: CmpOp, l: Value, r: Value) -> Result<bool, PyExc> {
     use CmpOp::*;
     match op {
-        Eq => Ok(values_eq(l, r)),
-        Ne => Ok(!values_eq(l, r)),
-        Is => Ok(values_is(l, r)),
-        IsNot => Ok(!values_is(l, r)),
+        Eq => Ok(values_eq(heap, l, r)),
+        Ne => Ok(!values_eq(heap, l, r)),
+        Is => Ok(values_is(heap, l, r)),
+        IsNot => Ok(!values_is(heap, l, r)),
         In | NotIn => {
-            let found = membership(vm, l, r)?;
+            let found = membership(heap, l, r)?;
             Ok(if op == In { found } else { !found })
         }
         Lt | Le | Gt | Ge => {
-            let ord = values_cmp(l, r).ok_or_else(|| {
+            let ord = values_cmp(heap, l, r).ok_or_else(|| {
                 PyExc::type_error(format!(
                     "'<' not supported between instances of '{}' and '{}'",
                     l.type_name(),
@@ -1816,14 +1911,22 @@ pub fn compare(vm: &Vm, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyExc> 
     }
 }
 
-fn membership(_vm: &Vm, needle: &Value, haystack: &Value) -> Result<bool, PyExc> {
+fn membership(heap: &Heap, needle: Value, haystack: Value) -> Result<bool, PyExc> {
     match haystack {
-        Value::List(l) => Ok(l.borrow().iter().any(|v| values_eq(v, needle))),
-        Value::Tuple(t) => Ok(t.iter().any(|v| values_eq(v, needle))),
-        Value::Set(s) => Ok(s.borrow().iter().any(|v| values_eq(v, needle))),
-        Value::Dict(d) => Ok(d.borrow().get(needle).is_some()),
+        Value::List(l) => Ok(heap
+            .list(l)
+            .borrow()
+            .iter()
+            .any(|&v| values_eq(heap, v, needle))),
+        Value::Tuple(t) => Ok(heap.tuple(t).iter().any(|&v| values_eq(heap, v, needle))),
+        Value::Set(s) => Ok(heap
+            .set(s)
+            .borrow()
+            .iter()
+            .any(|&v| values_eq(heap, v, needle))),
+        Value::Dict(d) => Ok(heap.dict(d).borrow().get(heap, needle).is_some()),
         Value::Str(s) => match needle {
-            Value::Str(sub) => Ok(s.contains(sub.as_str())),
+            Value::Str(sub) => Ok(heap.str(s).contains(heap.str(sub))),
             other => Err(PyExc::type_error(format!(
                 "'in <string>' requires string as left operand, not {}",
                 other.type_name()

@@ -45,15 +45,17 @@ pub enum Const {
 }
 
 impl Const {
-    /// Materializes the constant as a runtime value.
+    /// Materializes the constant as a runtime value. String constants
+    /// go through the heap's short-string interner, so repeated loads
+    /// of the same literal share one handle.
     #[inline]
-    pub fn value(&self) -> Value {
+    pub fn value(&self, heap: &crate::value::Heap) -> Value {
         match self {
             Const::None => Value::None,
             Const::Bool(b) => Value::Bool(*b),
             Const::Int(i) => Value::Int(*i),
             Const::Float(f) => Value::Float(*f),
-            Const::Str(s) => Value::str(s.to_string()),
+            Const::Str(s) => heap.new_str(s),
         }
     }
 }

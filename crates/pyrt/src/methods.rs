@@ -1,62 +1,249 @@
 //! Built-in methods on primitive values (`str`, `list`, `dict`, ...).
 //!
-//! Each lookup returns a freshly created native closure capturing the
-//! receiver, so `s.startswith` is a first-class value exactly like in
-//! Python.
+//! A method fetch allocates one [`NativeObj::Method`] slab slot pairing
+//! a [`MethodKind`] with the receiver — a first-class value exactly
+//! like in Python (each fetch is a distinct object), but with no
+//! per-fetch closure allocation. Calls dispatch on the kind here.
 
-use crate::builtins::{int_of, native_value, string_of};
+use crate::builtins::{int_of, string_of};
 use crate::exc::PyExc;
 use crate::interp::{call_value, iter_values};
 use crate::value::*;
 use crate::vm::Vm;
-use std::rc::Rc;
+
+/// Identifies one built-in method on one receiver type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MethodKind {
+    StrStartswith,
+    StrEndswith,
+    StrSplit,
+    StrJoin,
+    StrStrip,
+    StrLstrip,
+    StrRstrip,
+    StrReplace,
+    StrLower,
+    StrUpper,
+    StrFind,
+    StrFormat,
+    StrEncode,
+    StrDecode,
+    StrIsdigit,
+    StrIsalpha,
+    StrCount,
+    StrZfill,
+    ListAppend,
+    ListExtend,
+    ListInsert,
+    ListPop,
+    ListRemove,
+    ListIndex,
+    ListCount,
+    ListReverse,
+    ListSort,
+    DictGet,
+    DictKeys,
+    DictValues,
+    DictItems,
+    DictPop,
+    DictSetdefault,
+    DictUpdate,
+    DictClear,
+    DictCopy,
+    SetAdd,
+    SetDiscard,
+    TupleCount,
+    TupleIndex,
+}
+
+impl MethodKind {
+    /// Python-visible method name (for error messages and reprs).
+    pub fn name(self) -> &'static str {
+        use MethodKind::*;
+        match self {
+            StrStartswith => "startswith",
+            StrEndswith => "endswith",
+            StrSplit => "split",
+            StrJoin => "join",
+            StrStrip => "strip",
+            StrLstrip => "lstrip",
+            StrRstrip => "rstrip",
+            StrReplace => "replace",
+            StrLower => "lower",
+            StrUpper => "upper",
+            StrFind => "find",
+            StrFormat => "format",
+            StrEncode => "encode",
+            StrDecode => "decode",
+            StrIsdigit => "isdigit",
+            StrIsalpha => "isalpha",
+            StrCount | ListCount | TupleCount => "count",
+            StrZfill => "zfill",
+            ListAppend => "append",
+            ListExtend => "extend",
+            ListInsert => "insert",
+            ListPop | DictPop => "pop",
+            ListRemove => "remove",
+            ListIndex | TupleIndex => "index",
+            ListReverse => "reverse",
+            ListSort => "sort",
+            DictGet => "get",
+            DictKeys => "keys",
+            DictValues => "values",
+            DictItems => "items",
+            DictSetdefault => "setdefault",
+            DictUpdate => "update",
+            DictClear => "clear",
+            DictCopy => "copy",
+            SetAdd => "add",
+            SetDiscard => "discard",
+        }
+    }
+}
 
 /// Looks up a built-in method on a primitive receiver.
-pub fn builtin_method(_vm: &Vm, recv: &Value, name: &str) -> Option<Value> {
-    match recv {
-        Value::Str(_) => str_method(recv.clone(), name),
-        Value::List(_) => list_method(recv.clone(), name),
-        Value::Dict(_) => dict_method(recv.clone(), name),
-        Value::Set(_) => set_method(recv.clone(), name),
-        Value::Tuple(_) => tuple_method(recv.clone(), name),
-        _ => None,
+pub fn builtin_method(vm: &Vm, recv: Value, name: &str) -> Option<Value> {
+    use MethodKind::*;
+    let kind = match recv {
+        Value::Str(_) => match name {
+            "startswith" => StrStartswith,
+            "endswith" => StrEndswith,
+            "split" => StrSplit,
+            "join" => StrJoin,
+            "strip" => StrStrip,
+            "lstrip" => StrLstrip,
+            "rstrip" => StrRstrip,
+            "replace" => StrReplace,
+            "lower" => StrLower,
+            "upper" => StrUpper,
+            "find" => StrFind,
+            "format" => StrFormat,
+            "encode" => StrEncode,
+            "decode" => StrDecode,
+            "isdigit" => StrIsdigit,
+            "isalpha" => StrIsalpha,
+            "count" => StrCount,
+            "zfill" => StrZfill,
+            _ => return None,
+        },
+        Value::List(_) => match name {
+            "append" => ListAppend,
+            "extend" => ListExtend,
+            "insert" => ListInsert,
+            "pop" => ListPop,
+            "remove" => ListRemove,
+            "index" => ListIndex,
+            "count" => ListCount,
+            "reverse" => ListReverse,
+            "sort" => ListSort,
+            _ => return None,
+        },
+        Value::Dict(_) => match name {
+            "get" => DictGet,
+            "keys" => DictKeys,
+            "values" => DictValues,
+            "items" => DictItems,
+            "pop" => DictPop,
+            "setdefault" => DictSetdefault,
+            "update" => DictUpdate,
+            "clear" => DictClear,
+            "copy" => DictCopy,
+            _ => return None,
+        },
+        Value::Set(_) => match name {
+            "add" => SetAdd,
+            "discard" => SetDiscard,
+            _ => return None,
+        },
+        Value::Tuple(_) => match name {
+            "count" => TupleCount,
+            "index" => TupleIndex,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(vm.heap.new_method(kind, recv))
+}
+
+/// Invokes a built-in method (the call side of [`builtin_method`]).
+pub fn call_method(
+    vm: &mut Vm,
+    kind: MethodKind,
+    recv: Value,
+    args: Vec<Value>,
+    kwargs: Vec<(String, Value)>,
+) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    match (kind, recv) {
+        (
+            StrStartswith | StrEndswith | StrSplit | StrJoin | StrStrip | StrLstrip | StrRstrip
+            | StrReplace | StrLower | StrUpper | StrFind | StrFormat | StrEncode | StrDecode
+            | StrIsdigit | StrIsalpha | StrCount | StrZfill,
+            Value::Str(s),
+        ) => str_method(&vm.heap, kind, s, recv, args),
+        (ListSort, Value::List(l)) => {
+            let sorted_fn = vm
+                .builtins
+                .borrow()
+                .get("sorted")
+                .expect("sorted is always installed");
+            let out = call_value(vm, sorted_fn, vec![recv], kwargs)?;
+            if let Value::List(new) = out {
+                let items = vm.heap.list(new).borrow().clone();
+                *vm.heap.list(l).borrow_mut() = items;
+            }
+            Ok(Value::None)
+        }
+        (
+            ListAppend | ListExtend | ListInsert | ListPop | ListRemove | ListIndex | ListCount
+            | ListReverse,
+            Value::List(l),
+        ) => list_method(&vm.heap, kind, l, args),
+        (
+            DictGet | DictKeys | DictValues | DictItems | DictPop | DictSetdefault | DictUpdate
+            | DictClear | DictCopy,
+            Value::Dict(d),
+        ) => dict_method(&vm.heap, kind, d, args, kwargs),
+        (SetAdd | SetDiscard, Value::Set(s)) => set_method(&vm.heap, kind, s, args),
+        (TupleCount | TupleIndex, Value::Tuple(t)) => tuple_method(&vm.heap, kind, t, args),
+        _ => unreachable!("method kind/receiver pairing checked at fetch"),
     }
 }
 
-fn recv_str(recv: &Value) -> Rc<String> {
-    match recv {
-        Value::Str(s) => s.clone(),
-        _ => unreachable!("receiver checked by caller"),
-    }
-}
-
-fn str_method(recv: Value, name: &str) -> Option<Value> {
-    let s = recv_str(&recv);
-    let method: Value = match name {
-        "startswith" => native_value("startswith", move |_vm, args, _| {
-            let prefix = string_of(args.first().ok_or_else(|| miss("startswith"))?, "startswith")?;
+fn str_method(
+    heap: &Heap,
+    kind: MethodKind,
+    sid: u32,
+    recv: Value,
+    args: Vec<Value>,
+) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    let s = heap.str(sid);
+    match kind {
+        StrStartswith => {
+            let prefix = string_of(heap, args.first().ok_or_else(|| miss("startswith"))?, "startswith")?;
             Ok(Value::Bool(s.starts_with(&prefix)))
-        }),
-        "endswith" => native_value("endswith", move |_vm, args, _| {
-            let suffix = string_of(args.first().ok_or_else(|| miss("endswith"))?, "endswith")?;
+        }
+        StrEndswith => {
+            let suffix = string_of(heap, args.first().ok_or_else(|| miss("endswith"))?, "endswith")?;
             Ok(Value::Bool(s.ends_with(&suffix)))
-        }),
-        "split" => native_value("split", move |_vm, args, _| {
+        }
+        StrSplit => {
             let parts: Vec<Value> = match args.first() {
                 Some(sep) => {
-                    let sep = string_of(sep, "split")?;
-                    s.split(sep.as_str()).map(Value::str).collect()
+                    let sep = string_of(heap, sep, "split")?;
+                    s.split(sep.as_str()).map(|p| heap.new_str(p)).collect()
                 }
-                None => s.split_whitespace().map(Value::str).collect(),
+                None => s.split_whitespace().map(|p| heap.new_str(p)).collect(),
             };
-            Ok(Value::list(parts))
-        }),
-        "join" => native_value("join", move |_vm, args, _| {
-            let items = iter_values(args.first().ok_or_else(|| miss("join"))?)?;
+            Ok(heap.new_list(parts))
+        }
+        StrJoin => {
+            let items = iter_values(heap, *args.first().ok_or_else(|| miss("join"))?)?;
             let mut parts = Vec::with_capacity(items.len());
             for item in items {
                 match item {
-                    Value::Str(p) => parts.push(p.to_string()),
+                    Value::Str(p) => parts.push(heap.str(p).to_string()),
                     other => {
                         return Err(PyExc::type_error(format!(
                             "sequence item: expected str instance, {} found",
@@ -65,39 +252,29 @@ fn str_method(recv: Value, name: &str) -> Option<Value> {
                     }
                 }
             }
-            Ok(Value::str(parts.join(s.as_str())))
-        }),
-        "strip" => native_value("strip", move |_vm, _args, _| {
-            Ok(Value::str(s.trim().to_string()))
-        }),
-        "lstrip" => native_value("lstrip", move |_vm, _args, _| {
-            Ok(Value::str(s.trim_start().to_string()))
-        }),
-        "rstrip" => native_value("rstrip", move |_vm, _args, _| {
-            Ok(Value::str(s.trim_end().to_string()))
-        }),
-        "replace" => native_value("replace", move |_vm, args, _| {
+            Ok(heap.new_string(parts.join(s)))
+        }
+        StrStrip => Ok(heap.new_str(s.trim())),
+        StrLstrip => Ok(heap.new_str(s.trim_start())),
+        StrRstrip => Ok(heap.new_str(s.trim_end())),
+        StrReplace => {
             if args.len() != 2 {
                 return Err(miss("replace"));
             }
-            let from = string_of(&args[0], "replace")?;
-            let to = string_of(&args[1], "replace")?;
-            Ok(Value::str(s.replace(&from, &to)))
-        }),
-        "lower" => native_value("lower", move |_vm, _args, _| {
-            Ok(Value::str(s.to_lowercase()))
-        }),
-        "upper" => native_value("upper", move |_vm, _args, _| {
-            Ok(Value::str(s.to_uppercase()))
-        }),
-        "find" => native_value("find", move |_vm, args, _| {
-            let sub = string_of(args.first().ok_or_else(|| miss("find"))?, "find")?;
+            let from = string_of(heap, &args[0], "replace")?;
+            let to = string_of(heap, &args[1], "replace")?;
+            Ok(heap.new_string(s.replace(&from, &to)))
+        }
+        StrLower => Ok(heap.new_string(s.to_lowercase())),
+        StrUpper => Ok(heap.new_string(s.to_uppercase())),
+        StrFind => {
+            let sub = string_of(heap, args.first().ok_or_else(|| miss("find"))?, "find")?;
             Ok(Value::Int(match s.find(&sub) {
                 Some(byte_idx) => s[..byte_idx].chars().count() as i64,
                 None => -1,
             }))
-        }),
-        "format" => native_value("format", move |_vm, args, _| {
+        }
+        StrFormat => {
             // Positional `{}` placeholders only.
             let mut out = String::new();
             let mut idx = 0usize;
@@ -108,69 +285,58 @@ fn str_method(recv: Value, name: &str) -> Option<Value> {
                     let v = args
                         .get(idx)
                         .ok_or_else(|| PyExc::new("IndexError", "format index out of range"))?;
-                    out.push_str(&v.to_display());
+                    out.push_str(&v.to_display(heap));
                     idx += 1;
                 } else {
                     out.push(c);
                 }
             }
-            Ok(Value::str(out))
-        }),
-        "encode" | "decode" => native_value(name, move |_vm, _args, _| {
-            // Bytes are modeled as strings in this VM.
-            Ok(Value::Str(s.clone()))
-        }),
-        "isdigit" => native_value("isdigit", move |_vm, _args, _| {
-            Ok(Value::Bool(
-                !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
-            ))
-        }),
-        "isalpha" => native_value("isalpha", move |_vm, _args, _| {
-            Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphabetic)))
-        }),
-        "count" => native_value("count", move |_vm, args, _| {
-            let sub = string_of(args.first().ok_or_else(|| miss("count"))?, "count")?;
+            Ok(heap.new_string(out))
+        }
+        // Bytes are modeled as strings in this VM.
+        StrEncode | StrDecode => Ok(recv),
+        StrIsdigit => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+        )),
+        StrIsalpha => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphabetic))),
+        StrCount => {
+            let sub = string_of(heap, args.first().ok_or_else(|| miss("count"))?, "count")?;
             if sub.is_empty() {
                 return Ok(Value::Int(s.chars().count() as i64 + 1));
             }
             Ok(Value::Int(s.matches(&sub).count() as i64))
-        }),
-        "zfill" => native_value("zfill", move |_vm, args, _| {
-            let width = int_of(args.first().ok_or_else(|| miss("zfill"))?, "zfill")? as usize;
+        }
+        StrZfill => {
+            // Negative widths clamp to 0 (a plain `as usize` would wrap
+            // to a huge width and loop effectively forever).
+            let width = int_of(args.first().ok_or_else(|| miss("zfill"))?, "zfill")?.max(0) as usize;
             let mut out = s.to_string();
             while out.chars().count() < width {
                 out.insert(0, '0');
             }
-            Ok(Value::str(out))
-        }),
-        _ => return None,
-    };
-    Some(method)
-}
-
-fn recv_list(recv: &Value) -> Rc<std::cell::RefCell<Vec<Value>>> {
-    match recv {
-        Value::List(l) => l.clone(),
-        _ => unreachable!("receiver checked by caller"),
+            Ok(heap.new_string(out))
+        }
+        _ => unreachable!("str kind dispatched by caller"),
     }
 }
 
-fn list_method(recv: Value, name: &str) -> Option<Value> {
-    let l = recv_list(&recv);
-    let method: Value = match name {
-        "append" => native_value("append", move |_vm, mut args, _| {
+fn list_method(heap: &Heap, kind: MethodKind, lid: u32, mut args: Vec<Value>) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    let l = heap.list(lid);
+    match kind {
+        ListAppend => {
             if args.len() != 1 {
                 return Err(miss("append"));
             }
             l.borrow_mut().push(args.remove(0));
             Ok(Value::None)
-        }),
-        "extend" => native_value("extend", move |_vm, args, _| {
-            let items = iter_values(args.first().ok_or_else(|| miss("extend"))?)?;
+        }
+        ListExtend => {
+            let items = iter_values(heap, *args.first().ok_or_else(|| miss("extend"))?)?;
             l.borrow_mut().extend(items);
             Ok(Value::None)
-        }),
-        "insert" => native_value("insert", move |_vm, mut args, _| {
+        }
+        ListInsert => {
             if args.len() != 2 {
                 return Err(miss("insert"));
             }
@@ -181,8 +347,8 @@ fn list_method(recv: Value, name: &str) -> Option<Value> {
             let pos = if idx < 0 { (idx + len).max(0) } else { idx.min(len) };
             list.insert(pos as usize, v);
             Ok(Value::None)
-        }),
-        "pop" => native_value("pop", move |_vm, args, _| {
+        }
+        ListPop => {
             let mut list = l.borrow_mut();
             if list.is_empty() {
                 return Err(PyExc::index_error("pop from empty list"));
@@ -200,187 +366,157 @@ fn list_method(recv: Value, name: &str) -> Option<Value> {
                 None => list.len() - 1,
             };
             Ok(list.remove(idx))
-        }),
-        "remove" => native_value("remove", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("remove"))?;
+        }
+        ListRemove => {
+            let needle = *args.first().ok_or_else(|| miss("remove"))?;
             let mut list = l.borrow_mut();
-            match list.iter().position(|v| values_eq(v, needle)) {
+            match list.iter().position(|&v| values_eq(heap, v, needle)) {
                 Some(i) => {
                     list.remove(i);
                     Ok(Value::None)
                 }
                 None => Err(PyExc::value_error("list.remove(x): x not in list")),
             }
-        }),
-        "index" => native_value("index", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("index"))?;
+        }
+        ListIndex => {
+            let needle = *args.first().ok_or_else(|| miss("index"))?;
             let list = l.borrow();
             list.iter()
-                .position(|v| values_eq(v, needle))
+                .position(|&v| values_eq(heap, v, needle))
                 .map(|i| Value::Int(i as i64))
                 .ok_or_else(|| PyExc::value_error("x not in list"))
-        }),
-        "count" => native_value("count", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("count"))?;
+        }
+        ListCount => {
+            let needle = *args.first().ok_or_else(|| miss("count"))?;
             Ok(Value::Int(
-                l.borrow().iter().filter(|v| values_eq(v, needle)).count() as i64,
+                l.borrow().iter().filter(|&&v| values_eq(heap, v, needle)).count() as i64,
             ))
-        }),
-        "reverse" => native_value("reverse", move |_vm, _args, _| {
+        }
+        ListReverse => {
             l.borrow_mut().reverse();
             Ok(Value::None)
-        }),
-        "sort" => native_value("sort", move |vm, _args, kwargs| {
-            let sorted_fn = vm
-                .builtins
-                .borrow()
-                .get("sorted")
-                .expect("sorted is always installed");
-            let out = call_value(vm, sorted_fn, vec![Value::List(l.clone())], kwargs)?;
-            if let Value::List(new) = out {
-                *l.borrow_mut() = new.borrow().clone();
-            }
-            Ok(Value::None)
-        }),
-        _ => return None,
-    };
-    Some(method)
-}
-
-fn recv_dict(recv: &Value) -> Rc<std::cell::RefCell<DictObj>> {
-    match recv {
-        Value::Dict(d) => d.clone(),
-        _ => unreachable!("receiver checked by caller"),
+        }
+        _ => unreachable!("list kind dispatched by caller"),
     }
 }
 
-fn dict_method(recv: Value, name: &str) -> Option<Value> {
-    let d = recv_dict(&recv);
-    let method: Value = match name {
-        "get" => native_value("get", move |_vm, args, _| {
-            let key = args.first().ok_or_else(|| miss("get"))?;
+fn dict_method(
+    heap: &Heap,
+    kind: MethodKind,
+    did: u32,
+    args: Vec<Value>,
+    kwargs: Vec<(String, Value)>,
+) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    let d = heap.dict(did);
+    match kind {
+        DictGet => {
+            let key = *args.first().ok_or_else(|| miss("get"))?;
             Ok(d.borrow()
-                .get(key)
-                .cloned()
-                .unwrap_or_else(|| args.get(1).cloned().unwrap_or(Value::None)))
-        }),
-        "keys" => native_value("keys", move |_vm, _args, _| {
-            Ok(Value::list(
-                d.borrow().iter().map(|(k, _)| k.clone()).collect(),
-            ))
-        }),
-        "values" => native_value("values", move |_vm, _args, _| {
-            Ok(Value::list(
-                d.borrow().iter().map(|(_, v)| v.clone()).collect(),
-            ))
-        }),
-        "items" => native_value("items", move |_vm, _args, _| {
-            Ok(Value::list(
-                d.borrow()
-                    .iter()
-                    .map(|(k, v)| Value::Tuple(Rc::new(vec![k.clone(), v.clone()])))
+                .get(heap, key)
+                .unwrap_or_else(|| args.get(1).copied().unwrap_or(Value::None)))
+        }
+        DictKeys => Ok(heap.new_list(d.borrow().iter().map(|&(k, _)| k).collect())),
+        DictValues => Ok(heap.new_list(d.borrow().iter().map(|&(_, v)| v).collect())),
+        DictItems => {
+            let pairs: Vec<(Value, Value)> = d.borrow().iter().copied().collect();
+            Ok(heap.new_list(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| heap.new_tuple(vec![k, v]))
                     .collect(),
             ))
-        }),
-        "pop" => native_value("pop", move |_vm, args, _| {
-            let key = args.first().ok_or_else(|| miss("pop"))?;
-            match d.borrow_mut().remove(key) {
+        }
+        DictPop => {
+            let key = *args.first().ok_or_else(|| miss("pop"))?;
+            match d.borrow_mut().remove(heap, key) {
                 Some(v) => Ok(v),
                 None => match args.get(1) {
-                    Some(default) => Ok(default.clone()),
-                    None => Err(PyExc::key_error(key)),
+                    Some(&default) => Ok(default),
+                    None => Err(PyExc::key_error(heap, key)),
                 },
             }
-        }),
-        "setdefault" => native_value("setdefault", move |_vm, args, _| {
-            let key = args.first().ok_or_else(|| miss("setdefault"))?;
-            let default = args.get(1).cloned().unwrap_or(Value::None);
+        }
+        DictSetdefault => {
+            let key = *args.first().ok_or_else(|| miss("setdefault"))?;
+            let default = args.get(1).copied().unwrap_or(Value::None);
             let mut dict = d.borrow_mut();
-            if let Some(v) = dict.get(key) {
-                return Ok(v.clone());
+            if let Some(v) = dict.get(heap, key) {
+                return Ok(v);
             }
-            dict.set(key.clone(), default.clone());
+            dict.set(heap, key, default);
             Ok(default)
-        }),
-        "update" => native_value("update", move |_vm, args, kwargs| {
-            if let Some(Value::Dict(src)) = args.first() {
-                let src = src.borrow();
+        }
+        DictUpdate => {
+            if let Some(&Value::Dict(src)) = args.first() {
+                let pairs: Vec<(Value, Value)> = heap.dict(src).borrow().iter().copied().collect();
                 let mut dst = d.borrow_mut();
-                for (k, v) in src.iter() {
-                    dst.set(k.clone(), v.clone());
+                for (k, v) in pairs {
+                    dst.set(heap, k, v);
                 }
             }
             let mut dst = d.borrow_mut();
             for (k, v) in kwargs {
-                dst.set(Value::str(k), v);
+                let key = heap.new_string(k);
+                dst.set(heap, key, v);
             }
             Ok(Value::None)
-        }),
-        "clear" => native_value("clear", move |_vm, _args, _| {
+        }
+        DictClear => {
             *d.borrow_mut() = DictObj::new();
             Ok(Value::None)
-        }),
-        "copy" => native_value("copy", move |_vm, _args, _| {
-            let mut out = DictObj::new();
-            for (k, v) in d.borrow().iter() {
-                out.set(k.clone(), v.clone());
-            }
-            Ok(Value::Dict(Rc::new(std::cell::RefCell::new(out))))
-        }),
-        _ => return None,
-    };
-    Some(method)
+        }
+        DictCopy => {
+            let pairs: Vec<(Value, Value)> = d.borrow().iter().copied().collect();
+            Ok(heap.new_dict_from(pairs))
+        }
+        _ => unreachable!("dict kind dispatched by caller"),
+    }
 }
 
-fn set_method(recv: Value, name: &str) -> Option<Value> {
-    let s = match &recv {
-        Value::Set(s) => s.clone(),
-        _ => unreachable!("receiver checked by caller"),
-    };
-    let method: Value = match name {
-        "add" => native_value("add", move |_vm, mut args, _| {
+fn set_method(heap: &Heap, kind: MethodKind, sid: u32, mut args: Vec<Value>) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    let s = heap.set(sid);
+    match kind {
+        SetAdd => {
             if args.len() != 1 {
                 return Err(miss("add"));
             }
             let v = args.remove(0);
             let mut set = s.borrow_mut();
-            if !set.iter().any(|x| values_eq(x, &v)) {
+            if !set.iter().any(|&x| values_eq(heap, x, v)) {
                 set.push(v);
             }
             Ok(Value::None)
-        }),
-        "discard" => native_value("discard", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("discard"))?;
-            s.borrow_mut().retain(|x| !values_eq(x, needle));
+        }
+        SetDiscard => {
+            let needle = *args.first().ok_or_else(|| miss("discard"))?;
+            s.borrow_mut().retain(|&x| !values_eq(heap, x, needle));
             Ok(Value::None)
-        }),
-        _ => return None,
-    };
-    Some(method)
+        }
+        _ => unreachable!("set kind dispatched by caller"),
+    }
 }
 
-fn tuple_method(recv: Value, name: &str) -> Option<Value> {
-    let t = match &recv {
-        Value::Tuple(t) => t.clone(),
-        _ => unreachable!("receiver checked by caller"),
-    };
-    let method: Value = match name {
-        "count" => native_value("count", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("count"))?;
+fn tuple_method(heap: &Heap, kind: MethodKind, tid: u32, args: Vec<Value>) -> Result<Value, PyExc> {
+    use MethodKind::*;
+    let t = heap.tuple(tid);
+    match kind {
+        TupleCount => {
+            let needle = *args.first().ok_or_else(|| miss("count"))?;
             Ok(Value::Int(
-                t.iter().filter(|v| values_eq(v, needle)).count() as i64
+                t.iter().filter(|&&v| values_eq(heap, v, needle)).count() as i64,
             ))
-        }),
-        "index" => native_value("index", move |_vm, args, _| {
-            let needle = args.first().ok_or_else(|| miss("index"))?;
+        }
+        TupleIndex => {
+            let needle = *args.first().ok_or_else(|| miss("index"))?;
             t.iter()
-                .position(|v| values_eq(v, needle))
+                .position(|&v| values_eq(heap, v, needle))
                 .map(|i| Value::Int(i as i64))
                 .ok_or_else(|| PyExc::value_error("tuple.index(x): x not in tuple"))
-        }),
-        _ => return None,
-    };
-    Some(method)
+        }
+        _ => unreachable!("tuple kind dispatched by caller"),
+    }
 }
 
 fn miss(name: &str) -> PyExc {

@@ -15,86 +15,89 @@ use crate::value::*;
 use crate::vm::{Severity, Vm};
 use rand::Rng;
 use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Instantiates a native module by import name, or `None` if the name
-/// is not a native module.
-pub fn instantiate_native(vm: &mut Vm, name: &str) -> Option<Rc<ModuleObj>> {
+/// is not a native module. Returns the module's heap handle.
+pub fn instantiate_native(vm: &mut Vm, name: &str) -> Option<u32> {
     match name {
-        "os" => Some(os_module()),
+        "os" => Some(os_module(vm)),
         "urllib" => Some(urllib_module(vm)),
-        "time" => Some(time_module()),
-        "random" => Some(random_module()),
-        "logging" => Some(logging_module()),
+        "time" => Some(time_module(vm)),
+        "random" => Some(random_module(vm)),
+        "logging" => Some(logging_module(vm)),
         "threading" => Some(threading_module(vm)),
-        "profipy_rt" => Some(profipy_rt_module()),
+        "profipy_rt" => Some(profipy_rt_module(vm)),
         _ => None,
     }
 }
 
-fn module(name: &str) -> Rc<ModuleObj> {
-    Rc::new(ModuleObj {
-        name: name.to_string(),
-        attrs: RefCell::new(Vec::new()),
-    })
-}
-
 // ---------- os ----------
 
-fn os_module() -> Rc<ModuleObj> {
-    let m = module("os");
-    m.set(
+fn os_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("os");
+    let mo = heap.module(m);
+    mo.set(
         "getenv",
-        native_value("getenv", |vm, args, _| {
-            let name = string_of(args.first().ok_or_else(|| arg_err("getenv"))?, "getenv")?;
+        native_value(heap, "getenv", |vm, args, _| {
+            let name = string_of(
+                &vm.heap,
+                args.first().ok_or_else(|| arg_err("getenv"))?,
+                "getenv",
+            )?;
             Ok(match vm.host.getenv(&name) {
-                Some(v) => Value::str(v),
-                None => args.get(1).cloned().unwrap_or(Value::None),
+                Some(v) => vm.heap.new_string(v),
+                None => args.get(1).copied().unwrap_or(Value::None),
             })
         }),
     );
-    m.set(
+    mo.set(
         "path_exists",
-        native_value("path_exists", |vm, args, _| {
+        native_value(heap, "path_exists", |vm, args, _| {
             let p = string_of(
+                &vm.heap,
                 args.first().ok_or_else(|| arg_err("path_exists"))?,
                 "path_exists",
             )?;
             Ok(Value::Bool(vm.host.path_exists(&p)))
         }),
     );
-    m.set(
+    mo.set(
         "read_file",
-        native_value("read_file", |vm, args, _| {
-            let p = string_of(args.first().ok_or_else(|| arg_err("read_file"))?, "read_file")?;
+        native_value(heap, "read_file", |vm, args, _| {
+            let p = string_of(
+                &vm.heap,
+                args.first().ok_or_else(|| arg_err("read_file"))?,
+                "read_file",
+            )?;
             match vm.host.read_file(&p) {
-                Ok(contents) => Ok(Value::str(contents)),
+                Ok(contents) => Ok(vm.heap.new_string(contents)),
                 Err(msg) => Err(PyExc::new("IOError", msg)),
             }
         }),
     );
-    m.set(
+    mo.set(
         "write_file",
-        native_value("write_file", |vm, args, _| {
+        native_value(heap, "write_file", |vm, args, _| {
             if args.len() < 2 {
                 return Err(arg_err("write_file"));
             }
-            let p = string_of(&args[0], "write_file")?;
-            let data = args[1].to_display();
+            let p = string_of(&vm.heap, &args[0], "write_file")?;
+            let data = args[1].to_display(&vm.heap);
             vm.host
                 .write_file(&p, &data)
                 .map_err(|msg| PyExc::new("IOError", msg))?;
             Ok(Value::None)
         }),
     );
-    m.set(
+    mo.set(
         "execute",
-        native_value("execute", |vm, args, _| {
+        native_value(heap, "execute", |vm, args, _| {
             // `os.execute(cmd, arg1, arg2, ...)` — the paper's §III WPF
             // target (`utils.execute` invoking iptables/dnsmasq/e2fsck).
             let mut argv = Vec::new();
             for a in &args {
-                argv.push(a.to_display());
+                argv.push(a.to_display(&vm.heap));
             }
             if argv.is_empty() {
                 return Err(arg_err("execute"));
@@ -106,10 +109,8 @@ fn os_module() -> Rc<ModuleObj> {
                     format!("command '{}' failed with exit code {code}: {out}", argv[0]),
                 ));
             }
-            Ok(Value::Tuple(Rc::new(vec![
-                Value::Int(code as i64),
-                Value::str(out),
-            ])))
+            let out = vm.heap.new_string(out);
+            Ok(vm.heap.new_tuple(vec![Value::Int(code as i64), out]))
         }),
     );
     m
@@ -117,36 +118,38 @@ fn os_module() -> Rc<ModuleObj> {
 
 // ---------- urllib ----------
 
-fn urllib_module(vm: &mut Vm) -> Rc<ModuleObj> {
-    let m = module("urllib");
+fn urllib_module(vm: &mut Vm) -> u32 {
+    let m = vm.heap.new_module("urllib");
     // Exception classes the simulated transport raises.
     let os_error = vm
         .exception_class("OSError")
         .expect("OSError is a builtin exception");
     for name in ["ConnectTimeoutError", "ProtocolError", "HTTPError"] {
-        let class = Rc::new(ClassObj {
+        let class = vm.heap.new_class(ClassObj {
             name: name.to_string(),
-            base: Some(os_error.clone()),
+            base: Some(os_error),
             attrs: RefCell::new(Vec::new()),
             is_exception: true,
         });
-        vm.register_exception_class(class.clone());
-        m.set(name, Value::Class(class));
+        vm.register_exception_class(class);
+        vm.heap.module(m).set(name, Value::Class(class));
     }
 
-    m.set(
+    let heap = &vm.heap;
+    let mo = heap.module(m);
+    mo.set(
         "request",
-        native_value("request", |vm, args, kwargs| {
+        native_value(heap, "request", |vm, args, kwargs| {
             // urllib.request(method, url, body='', timeout=5.0) -> response dict
             if args.len() < 2 {
                 return Err(arg_err("request"));
             }
-            let method = string_of(&args[0], "request")?;
-            let url = string_of(&args[1], "request")?;
+            let method = string_of(&vm.heap, &args[0], "request")?;
+            let url = string_of(&vm.heap, &args[1], "request")?;
             let body = match args.get(2) {
-                Some(Value::Str(s)) => s.to_string(),
+                Some(Value::Str(s)) => vm.heap.str(*s).to_string(),
                 Some(Value::None) | None => String::new(),
-                Some(other) => other.to_display(),
+                Some(other) => other.to_display(&vm.heap),
             };
             let timeout = kwargs
                 .iter()
@@ -157,10 +160,14 @@ fn urllib_module(vm: &mut Vm) -> Rc<ModuleObj> {
             http_request(vm, &method, &url, &body, timeout)
         }),
     );
-    m.set(
+    mo.set(
         "quote",
-        native_value("quote", |_vm, args, _| {
-            let s = string_of(args.first().ok_or_else(|| arg_err("quote"))?, "quote")?;
+        native_value(heap, "quote", |vm, args, _| {
+            let s = string_of(
+                &vm.heap,
+                args.first().ok_or_else(|| arg_err("quote"))?,
+                "quote",
+            )?;
             let mut out = String::new();
             for c in s.chars() {
                 if c.is_ascii_alphanumeric() || "-_.~/".contains(c) {
@@ -171,22 +178,23 @@ fn urllib_module(vm: &mut Vm) -> Rc<ModuleObj> {
                     }
                 }
             }
-            Ok(Value::str(out))
+            Ok(vm.heap.new_string(out))
         }),
     );
-    m.set(
+    mo.set(
         "urlencode",
-        native_value("urlencode", |_vm, args, _| {
+        native_value(heap, "urlencode", |vm, args, _| {
             let d = match args.first() {
-                Some(Value::Dict(d)) => d.clone(),
+                Some(Value::Dict(d)) => *d,
                 _ => return Err(arg_err("urlencode")),
             };
-            let parts: Vec<String> = d
-                .borrow()
+            let pairs: Vec<(Value, Value)> =
+                vm.heap.dict(d).borrow().iter().copied().collect();
+            let parts: Vec<String> = pairs
                 .iter()
-                .map(|(k, v)| format!("{}={}", k.to_display(), v.to_display()))
+                .map(|&(k, v)| format!("{}={}", k.to_display(&vm.heap), v.to_display(&vm.heap)))
                 .collect();
-            Ok(Value::str(parts.join("&")))
+            Ok(vm.heap.new_string(parts.join("&")))
         }),
     );
     m
@@ -208,11 +216,13 @@ fn http_request(
     vm.advance_clock(elapsed);
     match result {
         Ok(resp) => {
-            let d = Value::dict(vec![
-                (Value::str("status"), Value::Int(resp.status as i64)),
-                (Value::str("data"), Value::str(resp.body)),
-            ]);
-            Ok(d)
+            let status_key = vm.heap.new_str("status");
+            let data_key = vm.heap.new_str("data");
+            let data = vm.heap.new_string(resp.body);
+            Ok(vm.heap.new_dict_from(vec![
+                (status_key, Value::Int(resp.status as i64)),
+                (data_key, data),
+            ]))
         }
         Err(TransportError::Timeout) => Err(PyExc::new(
             "ConnectTimeoutError",
@@ -231,19 +241,21 @@ fn http_request(
 
 // ---------- time ----------
 
-fn time_module() -> Rc<ModuleObj> {
-    let m = module("time");
-    m.set(
+fn time_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("time");
+    let mo = heap.module(m);
+    mo.set(
         "time",
-        native_value("time", |vm, _args, _| Ok(Value::Float(vm.now()))),
+        native_value(heap, "time", |vm, _args, _| Ok(Value::Float(vm.now()))),
     );
-    m.set(
+    mo.set(
         "monotonic",
-        native_value("monotonic", |vm, _args, _| Ok(Value::Float(vm.now()))),
+        native_value(heap, "monotonic", |vm, _args, _| Ok(Value::Float(vm.now()))),
     );
-    m.set(
+    mo.set(
         "sleep",
-        native_value("sleep", |vm, args, _| {
+        native_value(heap, "sleep", |vm, args, _| {
             let secs = float_of(args.first().ok_or_else(|| arg_err("sleep"))?, "sleep")?;
             vm.advance_clock(secs.max(0.0));
             // Sleeping still burns a little fuel so sleep loops terminate.
@@ -256,17 +268,19 @@ fn time_module() -> Rc<ModuleObj> {
 
 // ---------- random ----------
 
-fn random_module() -> Rc<ModuleObj> {
-    let m = module("random");
-    m.set(
+fn random_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("random");
+    let mo = heap.module(m);
+    mo.set(
         "random",
-        native_value("random", |vm, _args, _| {
+        native_value(heap, "random", |vm, _args, _| {
             Ok(Value::Float(vm.rng.borrow_mut().gen::<f64>()))
         }),
     );
-    m.set(
+    mo.set(
         "randint",
-        native_value("randint", |vm, args, _| {
+        native_value(heap, "randint", |vm, args, _| {
             if args.len() != 2 {
                 return Err(arg_err("randint"));
             }
@@ -278,54 +292,57 @@ fn random_module() -> Rc<ModuleObj> {
             Ok(Value::Int(vm.rng.borrow_mut().gen_range(a..=b)))
         }),
     );
-    m.set(
+    mo.set(
         "choice",
-        native_value("choice", |vm, args, _| {
-            let items = crate::interp::iter_values(args.first().ok_or_else(|| arg_err("choice"))?)?;
+        native_value(heap, "choice", |vm, args, _| {
+            let src = *args.first().ok_or_else(|| arg_err("choice"))?;
+            let items = crate::interp::iter_values(&vm.heap, src)?;
             if items.is_empty() {
                 return Err(PyExc::new("IndexError", "cannot choose from an empty sequence"));
             }
             let i = vm.rng.borrow_mut().gen_range(0..items.len());
-            Ok(items[i].clone())
+            Ok(items[i])
         }),
     );
-    m.set(
+    mo.set(
         "seed",
-        native_value("seed", |_vm, _args, _| Ok(Value::None)),
+        native_value(heap, "seed", |_vm, _args, _| Ok(Value::None)),
     );
     m
 }
 
 // ---------- logging ----------
 
-fn log_fn(name: &'static str, severity: Severity) -> Value {
-    native_value(name, move |vm, args, _| {
-        let msg = args.first().map(Value::to_display).unwrap_or_default();
+fn log_fn(heap: &Heap, name: &'static str, severity: Severity) -> Value {
+    native_value(heap, name, move |vm, args, _| {
+        let msg = args
+            .first()
+            .map(|v| v.to_display(&vm.heap))
+            .unwrap_or_default();
         vm.log(severity, msg);
         Ok(Value::None)
     })
 }
 
-fn logging_module() -> Rc<ModuleObj> {
-    let m = module("logging");
-    m.set("debug", log_fn("debug", Severity::Debug));
-    m.set("info", log_fn("info", Severity::Info));
-    m.set("warning", log_fn("warning", Severity::Warning));
-    m.set("error", log_fn("error", Severity::Error));
-    m.set("critical", log_fn("critical", Severity::Critical));
-    m.set(
+fn logging_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("logging");
+    let mo = heap.module(m);
+    mo.set("debug", log_fn(heap, "debug", Severity::Debug));
+    mo.set("info", log_fn(heap, "info", Severity::Info));
+    mo.set("warning", log_fn(heap, "warning", Severity::Warning));
+    mo.set("error", log_fn(heap, "error", Severity::Error));
+    mo.set("critical", log_fn(heap, "critical", Severity::Critical));
+    mo.set(
         "getLogger",
-        native_value("getLogger", |_vm, args, _| {
+        native_value(heap, "getLogger", |vm, args, _| {
             // Loggers attribute records to the component named at
             // getLogger() time.
             let component = match args.first() {
-                Some(Value::Str(s)) => s.to_string(),
+                Some(Value::Str(s)) => vm.heap.str(*s).to_string(),
                 _ => "root".to_string(),
             };
-            let logger = Rc::new(ModuleObj {
-                name: format!("logger:{component}"),
-                attrs: RefCell::new(Vec::new()),
-            });
+            let logger = vm.heap.new_module(&format!("logger:{component}"));
             for (name, sev) in [
                 ("debug", Severity::Debug),
                 ("info", Severity::Info),
@@ -334,10 +351,14 @@ fn logging_module() -> Rc<ModuleObj> {
                 ("critical", Severity::Critical),
             ] {
                 let component = component.clone();
-                logger.set(
+                let f = native_value(
+                    &vm.heap,
                     name,
-                    native_value(name, move |vm: &mut Vm, args: Vec<Value>, _| {
-                        let msg = args.first().map(Value::to_display).unwrap_or_default();
+                    move |vm: &mut Vm, args: Vec<Value>, _| {
+                        let msg = args
+                            .first()
+                            .map(|v| v.to_display(&vm.heap))
+                            .unwrap_or_default();
                         let prev = std::mem::replace(
                             &mut *vm.current_component.borrow_mut(),
                             component.clone(),
@@ -345,8 +366,9 @@ fn logging_module() -> Rc<ModuleObj> {
                         vm.log(sev, msg);
                         *vm.current_component.borrow_mut() = prev;
                         Ok(Value::None)
-                    }),
+                    },
                 );
+                vm.heap.module(logger).set(name, f);
             }
             Ok(Value::Module(logger))
         }),
@@ -356,49 +378,51 @@ fn logging_module() -> Rc<ModuleObj> {
 
 // ---------- threading ----------
 
-fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
-    let m = module("threading");
+fn threading_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("threading");
     // Deterministic cooperative model: `Thread.start()` runs the target
     // to completion synchronously. CPU hogs are modeled separately via
     // `profipy_rt.hog()` which starves the *whole* VM — see DESIGN.md.
-    let thread_class = Rc::new(ClassObj {
+    let thread_class = heap.new_class(ClassObj {
         name: "Thread".to_string(),
         base: None,
         attrs: RefCell::new(Vec::new()),
         is_exception: false,
     });
-    thread_class.attrs.borrow_mut().push((
+    heap.class(thread_class).attrs.borrow_mut().push((
         crate::intern::intern("start"),
-        native_value("start", |vm, args, _| {
-            let recv = args.first().cloned().ok_or_else(|| arg_err("start"))?;
-            if let Value::Instance(inst) = &recv {
-                if let Some(target) = inst.get_attr("_target") {
-                    let call_args = match inst.get_attr("_args") {
-                        Some(Value::Tuple(t)) => t.to_vec(),
-                        Some(Value::List(l)) => l.borrow().clone(),
+        native_value(heap, "start", |vm, args, _| {
+            let recv = args.first().copied().ok_or_else(|| arg_err("start"))?;
+            if let Value::Instance(i) = recv {
+                let target = vm.heap.instance(i).get_attr("_target");
+                if let Some(target) = target {
+                    let call_args = match vm.heap.instance(i).get_attr("_args") {
+                        Some(Value::Tuple(t)) => vm.heap.tuple(t).to_vec(),
+                        Some(Value::List(l)) => vm.heap.list(l).borrow().clone(),
                         _ => Vec::new(),
                     };
                     call_value(vm, target, call_args, vec![])?;
                 }
-                inst.set_attr("_started", Value::Bool(true));
+                vm.heap.instance(i).set_attr("_started", Value::Bool(true));
             }
             Ok(Value::None)
         }),
     ));
-    thread_class.attrs.borrow_mut().push((
+    heap.class(thread_class).attrs.borrow_mut().push((
         crate::intern::intern("join"),
-        native_value("join", |_vm, _args, _| Ok(Value::None)),
+        native_value(heap, "join", |_vm, _args, _| Ok(Value::None)),
     ));
-    thread_class.attrs.borrow_mut().push((
+    heap.class(thread_class).attrs.borrow_mut().push((
         crate::intern::intern("__init__"),
-        native_value("__init__", |_vm, args, kwargs| {
-            let recv = args.first().cloned().ok_or_else(|| arg_err("Thread"))?;
-            if let Value::Instance(inst) = &recv {
+        native_value(heap, "__init__", |vm, args, kwargs| {
+            let recv = args.first().copied().ok_or_else(|| arg_err("Thread"))?;
+            if let Value::Instance(i) = recv {
                 for (n, v) in kwargs {
                     match n.as_str() {
-                        "target" => inst.set_attr("_target", v),
-                        "args" => inst.set_attr("_args", v),
-                        "daemon" => inst.set_attr("daemon", v),
+                        "target" => vm.heap.instance(i).set_attr("_target", v),
+                        "args" => vm.heap.instance(i).set_attr("_args", v),
+                        "daemon" => vm.heap.instance(i).set_attr("daemon", v),
                         _ => {}
                     }
                 }
@@ -406,8 +430,7 @@ fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
             Ok(Value::None)
         }),
     ));
-    let _ = vm; // classes need no VM state at construction
-    m.set("Thread", Value::Class(thread_class));
+    heap.module(m).set("Thread", Value::Class(thread_class));
     m
 }
 
@@ -421,40 +444,42 @@ fn threading_module(vm: &mut Vm) -> Rc<ModuleObj> {
 /// * `profipy_rt.corrupt(v)` — `$CORRUPT` directive.
 /// * `profipy_rt.hog()` — `$HOG` directive (stale CPU-hog thread).
 /// * `profipy_rt.delay(secs)` — `$TIMEOUT` directive.
-fn profipy_rt_module() -> Rc<ModuleObj> {
-    let m = module("profipy_rt");
-    m.set(
+fn profipy_rt_module(vm: &Vm) -> u32 {
+    let heap = &vm.heap;
+    let m = heap.new_module("profipy_rt");
+    let mo = heap.module(m);
+    mo.set(
         "trigger",
-        native_value("trigger", |vm, _args, _| {
+        native_value(heap, "trigger", |vm, _args, _| {
             Ok(Value::Bool(vm.trigger.get()))
         }),
     );
-    m.set(
+    mo.set(
         "cov",
-        native_value("cov", |vm, args, _| {
+        native_value(heap, "cov", |vm, args, _| {
             let id = int_of(args.first().ok_or_else(|| arg_err("cov"))?, "cov")?;
             vm.mark_covered(id as u64);
             Ok(Value::None)
         }),
     );
-    m.set(
+    mo.set(
         "corrupt",
-        native_value("corrupt", |vm, args, _| {
-            let v = args.first().cloned().ok_or_else(|| arg_err("corrupt"))?;
+        native_value(heap, "corrupt", |vm, args, _| {
+            let v = args.first().copied().ok_or_else(|| arg_err("corrupt"))?;
             Ok(corrupt_value(vm, v))
         }),
     );
-    m.set(
+    mo.set(
         "hog",
-        native_value("hog", |vm, _args, _| {
+        native_value(heap, "hog", |vm, _args, _| {
             vm.add_hog();
             vm.host.note_hog();
             Ok(Value::None)
         }),
     );
-    m.set(
+    mo.set(
         "delay",
-        native_value("delay", |vm, args, _| {
+        native_value(heap, "delay", |vm, args, _| {
             let secs = float_of(args.first().ok_or_else(|| arg_err("delay"))?, "delay")?;
             vm.advance_clock(secs.max(0.0));
             vm.tick()?;
@@ -472,7 +497,7 @@ pub fn corrupt_value(vm: &Vm, v: Value) -> Value {
     let mut rng = vm.rng.borrow_mut();
     match v {
         Value::Str(s) => {
-            let mut chars: Vec<char> = s.chars().collect();
+            let mut chars: Vec<char> = vm.heap.str(s).chars().collect();
             if chars.is_empty() {
                 chars.push('\u{00bf}');
             }
@@ -490,7 +515,7 @@ pub fn corrupt_value(vm: &Vm, v: Value) -> Value {
                     char::from(rng.gen_range(b'a'..=b'z'))
                 };
             }
-            Value::str(chars.into_iter().collect::<String>())
+            vm.heap.new_string(chars.into_iter().collect::<String>())
         }
         Value::Int(_) => Value::Int(-(rng.gen_range(1..10_000i64))),
         Value::Float(_) => Value::Float(-rng.gen::<f64>() * 1e6),

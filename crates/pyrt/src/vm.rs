@@ -8,7 +8,7 @@ use crate::host::{HostApi, NoopHost};
 use crate::interp::Frame;
 use crate::modules;
 use crate::prepare::{self, FuncProto, PreparedModule};
-use crate::value::{ClassObj, ModuleObj, Scope, ScopeRef, Value};
+use crate::value::{ClassObj, Heap, Scope, ScopeRef, Value};
 use pysrc::ast::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -154,6 +154,10 @@ fn default_spec_version() -> SpecVersion {
 
 /// The interpreter state shared across modules of one target program.
 pub struct Vm {
+    /// The per-VM object heap (typed slabs + short-string interner).
+    /// Everything the interpreted program allocates lives here and is
+    /// reclaimed in one arena drop with the VM.
+    pub heap: Heap,
     /// Virtual clock.
     pub clock: VirtualClock,
     /// Step budget / hog accounting.
@@ -179,10 +183,11 @@ pub struct Vm {
     coverage: RefCell<BTreeSet<u64>>,
     /// Builtin namespace.
     pub(crate) builtins: ScopeRef,
-    /// Builtin + user exception classes by name.
-    pub(crate) exc_classes: RefCell<HashMap<String, Rc<ClassObj>>>,
-    /// Instantiated native/user module namespaces by import name.
-    pub(crate) modules: RefCell<HashMap<String, Rc<ModuleObj>>>,
+    /// Builtin + user exception classes by name (heap class ids).
+    pub(crate) exc_classes: RefCell<HashMap<String, u32>>,
+    /// Instantiated native/user module namespaces by import name (heap
+    /// module ids).
+    pub(crate) modules: RefCell<HashMap<String, u32>>,
     /// Parsed user modules available for `import`.
     user_sources: RefCell<HashMap<String, Rc<pysrc::Module>>>,
     /// Pre-prepared user modules available for `import` (take precedence
@@ -200,6 +205,10 @@ pub struct Vm {
     importing: RefCell<Vec<String>>,
     /// Recycled bytecode value stacks, so nested calls don't allocate.
     pub(crate) bc_stacks: RefCell<Vec<Vec<Value>>>,
+    /// Recycled frame slot vectors (bounded by the recursion limit).
+    pub(crate) slot_pool: RefCell<Vec<Vec<Option<Value>>>>,
+    /// Recycled positional-argument vectors for the call fast path.
+    pub(crate) arg_pool: RefCell<Vec<Vec<Value>>>,
     /// Execution engine for scope bodies.
     engine: Cell<Engine>,
     /// Language-semantics version.
@@ -221,6 +230,7 @@ impl Vm {
     /// Creates a VM with the given host and RNG seed.
     pub fn with_host(host: Rc<dyn HostApi>, seed: u64) -> Vm {
         let vm = Vm {
+            heap: Heap::new(),
             clock: VirtualClock::new(),
             fuel: Fuel::default(),
             deadline: Cell::new(None),
@@ -244,6 +254,8 @@ impl Vm {
             depth: Cell::new(0),
             importing: RefCell::new(Vec::new()),
             bc_stacks: RefCell::new(Vec::new()),
+            slot_pool: RefCell::new(Vec::new()),
+            arg_pool: RefCell::new(Vec::new()),
             engine: Cell::new(default_engine()),
             spec: Cell::new(default_spec_version()),
         };
@@ -276,31 +288,28 @@ impl Vm {
     fn install_exception_classes(&self) {
         let mut classes = self.exc_classes.borrow_mut();
         for (name, base) in BUILTIN_EXCEPTIONS {
-            let base_class = base.map(|b| classes.get(b).expect("bases precede subclasses").clone());
-            let class = Rc::new(ClassObj {
+            let base_class = base.map(|b| *classes.get(b).expect("bases precede subclasses"));
+            let class = self.heap.new_class(ClassObj {
                 name: name.to_string(),
                 base: base_class,
                 attrs: RefCell::new(Vec::new()),
                 is_exception: true,
             });
-            classes.insert(name.to_string(), class.clone());
-            self.builtins
-                .borrow_mut()
-                .set(name, Value::Class(class));
+            classes.insert(name.to_string(), class);
+            self.builtins.borrow_mut().set(name, Value::Class(class));
         }
     }
 
     /// Registers an additional exception class (used by native modules
     /// such as the simulated urllib, and by `class E(Exception)`).
-    pub fn register_exception_class(&self, class: Rc<ClassObj>) {
-        self.exc_classes
-            .borrow_mut()
-            .insert(class.name.clone(), class.clone());
+    pub fn register_exception_class(&self, class: u32) {
+        let name = self.heap.class(class).name.clone();
+        self.exc_classes.borrow_mut().insert(name, class);
     }
 
-    /// Looks up an exception class by name.
-    pub fn exception_class(&self, name: &str) -> Option<Rc<ClassObj>> {
-        self.exc_classes.borrow().get(name).cloned()
+    /// Looks up an exception class by name (heap class id).
+    pub fn exception_class(&self, name: &str) -> Option<u32> {
+        self.exc_classes.borrow().get(name).copied()
     }
 
     /// Registers a parsed source module so the target can `import` it.
@@ -356,14 +365,12 @@ impl Vm {
     ///
     /// Raises `ImportError` for unknown modules and propagates any
     /// exception raised while executing a user module's top level.
-    pub fn import_module(&mut self, name: &str) -> Result<Rc<ModuleObj>, PyExc> {
-        if let Some(m) = self.modules.borrow().get(name) {
-            return Ok(m.clone());
+    pub fn import_module(&mut self, name: &str) -> Result<u32, PyExc> {
+        if let Some(&m) = self.modules.borrow().get(name) {
+            return Ok(m);
         }
         if let Some(native) = modules::instantiate_native(self, name) {
-            self.modules
-                .borrow_mut()
-                .insert(name.to_string(), native.clone());
+            self.modules.borrow_mut().insert(name.to_string(), native);
             return Ok(native);
         }
         let prepared = self.user_prepared.borrow().get(name).cloned();
@@ -394,7 +401,7 @@ impl Vm {
             let namespace = result?;
             self.modules
                 .borrow_mut()
-                .insert(name.to_string(), namespace.clone());
+                .insert(name.to_string(), namespace);
             return Ok(namespace);
         }
         Err(PyExc::new(
@@ -408,7 +415,7 @@ impl Vm {
         name: &str,
         source: &pysrc::Module,
         proto: Arc<FuncProto>,
-    ) -> Result<Rc<ModuleObj>, PyExc> {
+    ) -> Result<u32, PyExc> {
         let globals = Scope::new_ref();
         let prev = std::mem::replace(&mut *self.current_component.borrow_mut(), name.to_string());
         let result = {
@@ -420,12 +427,9 @@ impl Vm {
             Ok(Flow::Return(_)) | Ok(Flow::Break) | Ok(Flow::Continue) | Ok(Flow::Normal) => {}
             Err(e) => return Err(e),
         }
-        let module = Rc::new(ModuleObj {
-            name: name.to_string(),
-            attrs: RefCell::new(Vec::new()),
-        });
-        for (n, v) in &globals.borrow().bindings_syms() {
-            module.set_sym(*n, v.clone());
+        let module = self.heap.new_module(name);
+        for &(n, v) in &globals.borrow().bindings_syms() {
+            self.heap.module(module).set_sym(n, v);
         }
         Ok(module)
     }

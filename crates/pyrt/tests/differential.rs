@@ -141,6 +141,30 @@ fn block() -> BoxedStrategy<String> {
         (small_expr(), 3usize..8).prop_map(|(e, i)| {
             format!("print('pre', {e})\nprint(c[{i}])\nprint('unreached')\n")
         }),
+        // Aliasing: mutation through a second binding must be visible
+        // through every name (pins reference semantics for the heap).
+        (small_expr(), 0u32..3).prop_map(|(e, i)| {
+            format!(
+                "al{i} = [{e}]\nbl{i} = al{i}\nbl{i}.append({e})\n\
+                 print(al{i}, al{i} is bl{i})\n"
+            )
+        }),
+        // Container self-reference: identity must survive a round-trip
+        // through the container (printing the cycle would not
+        // terminate, so only identity and leaf reads are observed).
+        (0u32..3).prop_map(|i| {
+            format!(
+                "sd{i} = {{'n': {i}}}\nsd{i}['me'] = sd{i}\n\
+                 print(sd{i}['me'] is sd{i}, sd{i}['me']['n'])\n"
+            )
+        }),
+        // Bound-method extraction: the receiver is aliased, not copied.
+        (1i64..4, 0u32..3).prop_map(|(n, i)| {
+            format!(
+                "ml{i} = []\npush{i} = ml{i}.append\nfor v in range({n}):\n    \
+                 push{i}(v)\nprint(ml{i})\n"
+            )
+        }),
     ]
     .boxed()
 }
@@ -246,6 +270,20 @@ fn engine_fixture_corpus_agrees() {
          pairs = [(1, 'a'), (2, 'b')]\nfor num, ch in pairs:\n    print(num, ch)\n",
         "print(not 0, -True, +7, ~2)\nprint(0 or '' or 'x', 1 and 2 and 3)\n",
         "while True:\n    break\nelse:\n    print('unreached')\nprint('done')\n",
+        // Aliasing/identity corners: user-class bound methods whose
+        // receiver survives rebinding, instance attributes sharing one
+        // object, and `is` across aggregate and immediate values.
+        "class C:\n    def __init__(self):\n        self.n = 0\n    def bump(self):\n        \
+         self.n += 1\n        return self.n\nc = C()\nm = c.bump\nprint(m(), m())\n\
+         c2 = c\nc = None\nprint(m(), c2.n)\n",
+        "shared = [0]\nclass B:\n    def __init__(self, v):\n        self.v = v\n\
+         x = B(shared)\ny = B(shared)\nx.v.append(1)\n\
+         print(y.v, x.v is y.v, x.v is shared)\n",
+        "a = [1]\nb = [1]\nprint(a is a, a is b, a == b, [] is [])\n\
+         s = 'ab'\nt = 'a' + 'b'\nprint(s is t, 5 is 5, None is None)\n",
+        "l = [1]\nl.append(l)\nprint(l[0], l[1] is l)\nl[0] = 2\nprint(l[1][0])\n",
+        "def push(v, acc=[]):\n    acc.append(v)\n    return acc\n\
+         print(push(1), push(2), push(1))\n",
     ];
     for src in fixtures {
         assert_engines_agree(src, None);

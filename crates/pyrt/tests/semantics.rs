@@ -507,6 +507,204 @@ fn unpack_length_mismatch_message() {
     assert!(msg.contains("cannot unpack 3 values into 2 targets"), "{msg}");
 }
 
+// ---------- aliasing & identity (pinned before the heap swap) ----------
+//
+// These tests pin the Python object-identity semantics the arena-backed
+// value representation must preserve bit-for-bit: mutation through a
+// second binding, container self-reference, `is` on aggregates vs.
+// immediates, and bound-method receiver aliasing.
+
+#[test]
+fn mutation_through_second_binding_is_visible() {
+    assert_eq!(
+        run(concat!(
+            "a = [1, 2]\n",
+            "b = a\n",
+            "b.append(3)\n",
+            "a[0] = 99\n",
+            "print(a, b, a is b)\n",
+            "d = {'k': 1}\n",
+            "e = d\n",
+            "e['k'] = 2\n",
+            "e['j'] = 3\n",
+            "print(d['k'], d['j'], d is e)\n",
+        )),
+        "[99, 2, 3] [99, 2, 3] True\n2 3 True\n"
+    );
+}
+
+#[test]
+fn aliasing_through_function_call_and_container() {
+    // An argument is the same object inside the callee, and a value
+    // stored into a container stays the same object when read back.
+    assert_eq!(
+        run(concat!(
+            "def grow(lst):\n",
+            "    lst.append(len(lst))\n",
+            "    return lst\n",
+            "xs = []\n",
+            "ys = grow(xs)\n",
+            "print(xs is ys, xs)\n",
+            "holder = {'inner': xs}\n",
+            "holder['inner'].append(9)\n",
+            "print(xs, holder['inner'] is xs)\n",
+        )),
+        "True [0]\n[0, 9] True\n"
+    );
+}
+
+#[test]
+fn list_self_reference_identity() {
+    assert_eq!(
+        run(concat!(
+            "l = [1]\n",
+            "l.append(l)\n",
+            "print(l[1] is l, l[1][0], len(l[1]))\n",
+            "l[0] = 7\n",
+            "print(l[1][0])\n",
+        )),
+        "True 1 2\n7\n"
+    );
+}
+
+#[test]
+fn dict_self_reference_identity() {
+    assert_eq!(
+        run(concat!(
+            "d = {'n': 0}\n",
+            "d['self'] = d\n",
+            "print(d['self'] is d)\n",
+            "d['self']['n'] = 5\n",
+            "print(d['n'])\n",
+            "print(d['self']['self']['self'] is d)\n",
+        )),
+        "True\n5\nTrue\n"
+    );
+}
+
+#[test]
+fn is_operator_on_aggregates_and_immediates() {
+    assert_eq!(
+        run(concat!(
+            "a = [1]\n",
+            "b = [1]\n",
+            "print(a is a, a is b, a == b)\n",
+            "print([] is [], {} is {})\n",
+            "n = None\n",
+            "print(n is None, 5 is 5, True is True)\n",
+            "s = 'hello'\n",
+            "t = s\n",
+            "print(s is t)\n",
+        )),
+        "True False True\nFalse False\nTrue True True\nTrue\n"
+    );
+}
+
+#[test]
+fn equal_strings_compare_is_true() {
+    // Pre-refactor pin: `is` on strings falls back to content equality
+    // (Rc ptr-eq OR text-eq), so even strings built at runtime satisfy
+    // `is`. Interning must not change this observable.
+    assert_eq!(
+        run(concat!(
+            "a = 'ab'\n",
+            "b = 'a' + 'b'\n",
+            "print(a is b, a == b)\n",
+        )),
+        "True True\n"
+    );
+}
+
+#[test]
+fn bound_method_receiver_aliasing() {
+    // Extracting a method binds the receiver object, not a snapshot:
+    // calls through the extracted method mutate the original, and
+    // rebinding the name does not rebind the method's receiver.
+    assert_eq!(
+        run(concat!(
+            "class Counter:\n",
+            "    def __init__(self):\n",
+            "        self.n = 0\n",
+            "    def bump(self):\n",
+            "        self.n = self.n + 1\n",
+            "        return self.n\n",
+            "c = Counter()\n",
+            "m = c.bump\n",
+            "print(m(), m())\n",
+            "print(c.n)\n",
+            "c2 = c\n",
+            "c = None\n",
+            "print(m(), c2.n)\n",
+        )),
+        "1 2\n2\n3 3\n"
+    );
+}
+
+#[test]
+fn builtin_method_receiver_aliasing() {
+    // The same holds for builtin methods on lists/dicts: the extracted
+    // method writes through to the receiver object.
+    assert_eq!(
+        run(concat!(
+            "xs = [1]\n",
+            "push = xs.append\n",
+            "push(2)\n",
+            "push(3)\n",
+            "print(xs)\n",
+            "d = {}\n",
+            "put = d.setdefault\n",
+            "put('a', 1)\n",
+            "print(d, d.get('a'))\n",
+        )),
+        "[1, 2, 3]\n{'a': 1} 1\n"
+    );
+}
+
+#[test]
+fn shared_mutable_default_is_one_object() {
+    // Python's classic shared-mutable-default gotcha depends on the
+    // default being evaluated once and aliased by every call.
+    assert_eq!(
+        run(concat!(
+            "def push(v, acc=[]):\n",
+            "    acc.append(v)\n",
+            "    return acc\n",
+            "print(push(1), push(2), push(3))\n",
+        )),
+        "[1, 2, 3] [1, 2, 3] [1, 2, 3]\n"
+    );
+}
+
+#[test]
+fn instance_attribute_aliases_stored_object() {
+    assert_eq!(
+        run(concat!(
+            "class Box:\n",
+            "    def __init__(self, v):\n",
+            "        self.v = v\n",
+            "shared = [0]\n",
+            "a = Box(shared)\n",
+            "b = Box(shared)\n",
+            "a.v.append(1)\n",
+            "print(b.v, shared is a.v, a.v is b.v)\n",
+        )),
+        "[0, 1] True True\n"
+    );
+}
+
+#[test]
+fn tuple_holds_references_not_copies() {
+    assert_eq!(
+        run(concat!(
+            "inner = [1]\n",
+            "t = (inner, inner)\n",
+            "t[0].append(2)\n",
+            "print(t[1], t[0] is t[1], t[0] is inner)\n",
+        )),
+        "[1, 2] True True\n"
+    );
+}
+
 // ---------- try/except/finally control flow ----------
 
 #[test]

@@ -229,7 +229,7 @@ impl Container {
                 return Err(e);
             }
         };
-        let run = ns.get("run").ok_or_else(|| {
+        let run = self.vm.heap.module(ns).get("run").ok_or_else(|| {
             PyExc::new("AttributeError", "workload module must define run(round)")
         })?;
         call_value(&mut self.vm, run, vec![Value::Int(round)], vec![]).map(|_| ())
