@@ -1,0 +1,95 @@
+//! Matrix throughput: cells per minute for a scenario-catalog slice,
+//! in-process versus a 2-worker fleet over loopback HTTP. A matrix run
+//! is many small campaigns, so the fleet's per-campaign coordination
+//! tax (wire serialization, lease bookkeeping, worker-side re-prepare)
+//! hits it harder than one large campaign — this measures how much.
+
+use campaign::{ApiConfig, CampaignService, EngineConfig, HostRegistry};
+use cluster::{FleetConfig, FleetServer, WorkerAgent, WorkerConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scenarios::{default_corpus, noop_catalog, Matrix};
+use std::time::Duration;
+
+const SAMPLE_PER_CELL: usize = 2;
+
+/// A representative slice: every noop target × two universal models
+/// plus each target's surface-specific model — small enough to iterate,
+/// wide enough to exercise all three simulated targets.
+fn matrix() -> Matrix {
+    let models = default_corpus()
+        .into_iter()
+        .filter(|m| {
+            matches!(
+                m.model.name.as_str(),
+                "exception-storm"
+                    | "value-corruption"
+                    | "stale-read-amplifier"
+                    | "redelivery-storm"
+                    | "retry-starvation"
+            )
+        })
+        .collect();
+    let mut matrix = Matrix::new(noop_catalog(), models);
+    matrix.sample_per_cell = SAMPLE_PER_CELL;
+    matrix
+}
+
+fn run_single_node(matrix: &Matrix) {
+    let mut service =
+        CampaignService::new(EngineConfig::default(), HostRegistry::with_noop()).unwrap();
+    let report = matrix.run_local(&mut service).unwrap();
+    assert_eq!(report.cells.len(), matrix.cells().len());
+}
+
+fn run_fleet(matrix: &Matrix, workers: usize) {
+    let service = CampaignService::new(EngineConfig::default(), HostRegistry::with_noop()).unwrap();
+    let fleet = FleetServer::serve(
+        "127.0.0.1:0",
+        service,
+        ApiConfig::default(),
+        FleetConfig {
+            lease_ttl: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(500),
+            tick_interval: Duration::from_millis(50),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = fleet.addr().to_string();
+    let agents: Vec<_> = (0..workers)
+        .map(|_| {
+            WorkerAgent::start(
+                WorkerConfig {
+                    parallelism: 2,
+                    idle_backoff: Duration::from_millis(5),
+                    idle_backoff_max: Duration::from_millis(20),
+                    ..WorkerConfig::new(addr.clone())
+                },
+                HostRegistry::with_noop(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let report = matrix.run_http(&addr, Duration::from_secs(120)).unwrap();
+    assert_eq!(report.cells.len(), matrix.cells().len());
+    for agent in agents {
+        agent.stop();
+    }
+    fleet.shutdown();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let matrix = matrix();
+    let cells = matrix.cells().len() as u64;
+    let mut group = c.benchmark_group("matrix_throughput");
+    group.sample_size(10);
+    // Throughput in cells: criterion reports elements/second; multiply
+    // by 60 for the cells-per-minute figure the README quotes.
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("single_node", |b| b.iter(|| run_single_node(&matrix)));
+    group.bench_function("fleet_2_workers", |b| b.iter(|| run_fleet(&matrix, 2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -67,6 +67,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_pattern_matches_only_empty_text() {
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+        assert!(!glob_match("a", ""));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("***", ""));
+        assert!(!glob_match("?", ""));
+    }
+
+    #[test]
+    fn adjacent_stars_collapse() {
+        assert!(glob_match("**", "anything"));
+        assert!(glob_match("a**b", "ab"));
+        assert!(glob_match("a**b", "aXXXb"));
+        assert!(glob_match("**a**", "bab"));
+        assert!(!glob_match("a**b", "a"));
+        assert!(!glob_match("**x**", "abc"));
+    }
+
+    #[test]
+    fn bracket_sets_are_literal_characters() {
+        // This glob dialect has no character classes: `[` and `]` only
+        // match themselves, so `[abc]` is a five-character literal.
+        assert!(glob_match("[abc]", "[abc]"));
+        assert!(!glob_match("[abc]", "a"));
+        assert!(!glob_match("[abc]", "b"));
+        assert!(glob_match("x[0]", "x[0]"));
+        assert!(glob_match("*[*]*", "list[0]"));
+        assert!(!glob_match("x[0]", "x0"));
+    }
+
+    #[test]
+    fn star_backtracks_past_false_anchors() {
+        // The first candidate `b` is not the right anchor; the matcher
+        // must re-expand the star instead of failing.
+        assert!(glob_match("*bc", "abbc"));
+        assert!(glob_match("*aab", "aaaab"));
+        assert!(glob_match("a*?c", "abbc"));
+        assert!(!glob_match("*bc", "abcb"));
+    }
+
+    #[test]
+    fn literal_star_in_text_does_not_shadow_wildcard() {
+        assert!(glob_match("*", "*"));
+        assert!(glob_match("a*c", "a*c"));
+        assert!(glob_match("a?c", "a*c"));
+    }
+
+    #[test]
     fn paper_examples() {
         assert!(glob_match("delete_*", "delete_port"));
         assert!(glob_match("utils.execute", "utils.execute"));

@@ -1,0 +1,157 @@
+//! Simulated replicated key-value store (mini-Python source).
+//!
+//! Failure surface: leader/follower divergence and stale reads. The
+//! leader commits every operation to an ordered log; followers apply
+//! the log asynchronously via `replicate()`. Injections that skip or
+//! corrupt replication leave followers lagging, which the workload's
+//! consistency checks observe as `inconsistent value read` (the
+//! classifier's `inconsistent-read` class) or as a `ReplicationError`
+//! when the lag guard trips.
+
+/// The replicated store, registered as importable module `kvstore`.
+pub const KVSTORE_SOURCE: &str = r#"
+import logging
+
+log = logging.getLogger('kvstore')
+
+
+class ReplicationError(Exception):
+    pass
+
+
+class Replica:
+    def __init__(self, name):
+        self.name = name
+        self.store = {}
+        self.applied = 0
+
+    def apply(self, op):
+        kind = op['kind']
+        if kind == 'set':
+            self.store[op['key']] = op['value']
+        if kind == 'delete':
+            if op['key'] in self.store:
+                self.store.pop(op['key'])
+        self.applied = self.applied + 1
+        return self.applied
+
+
+class Cluster:
+    def __init__(self, followers=2):
+        self.leader = Replica('leader')
+        self.followers = []
+        self.log_entries = []
+        self.commit_index = 0
+        self.lag_limit = 0
+        for i in range(followers):
+            member = Replica('follower-' + str(i))
+            self.followers.append(member)
+
+    def _append(self, op):
+        index = self.leader.apply(op)
+        self.log_entries.append(op)
+        self.commit_index = len(self.log_entries)
+        log.info('committed ' + op['kind'] + ' ' + op['key'])
+        return index
+
+    def replicate(self):
+        shipped = 0
+        for follower in self.followers:
+            while follower.applied < self.commit_index:
+                op = self.log_entries[follower.applied]
+                follower.apply(op)
+                shipped = shipped + 1
+        return shipped
+
+    def set(self, key, value):
+        op = {'kind': 'set', 'key': key, 'value': value}
+        index = self._append(op)
+        self.replicate()
+        return index
+
+    def delete(self, key):
+        op = {'kind': 'delete', 'key': key, 'value': None}
+        index = self._append(op)
+        self.replicate()
+        return index
+
+    def read_leader(self, key):
+        if key in self.leader.store:
+            return self.leader.store[key]
+        return None
+
+    def read_follower(self, index, key):
+        follower = self.followers[index]
+        lag = self.commit_index - follower.applied
+        if lag > self.lag_limit:
+            log.error('stale follower ' + follower.name)
+            raise ReplicationError('replica lag ' + str(lag) + ' on ' + follower.name)
+        if key in follower.store:
+            return follower.store[key]
+        return None
+
+    def quorum_read(self, key):
+        value = self.read_leader(key)
+        votes = {}
+        votes[str(value)] = 1
+        for i in range(len(self.followers)):
+            candidate = self.read_follower(i, key)
+            tally = votes.get(str(candidate), 0)
+            votes[str(candidate)] = tally + 1
+        best = None
+        best_count = 0
+        for candidate in votes.keys():
+            count = votes[candidate]
+            if count > best_count:
+                best = candidate
+                best_count = count
+        if best != str(value):
+            log.error('quorum disagrees with leader for ' + key)
+            raise ReplicationError('quorum disagrees with leader for ' + key)
+        return value
+"#;
+
+/// Deterministic workload: writes through the leader, reads back from
+/// every replica tier, and asserts agreement after each step.
+pub const KVSTORE_WORKLOAD: &str = r#"
+import kvstore
+import logging
+
+log = logging.getLogger('workload')
+cluster = kvstore.Cluster(3)
+
+
+def check(cond, label):
+    if not cond:
+        log.error('consistency check failed: ' + label)
+        raise AssertionError('inconsistent value read: ' + label)
+
+
+def run(round):
+    tag = str(round)
+    cluster.set('/users/alice', 'admin-' + tag)
+    cluster.set('/users/bob', 'viewer-' + tag)
+    check(cluster.read_leader('/users/alice') == 'admin-' + tag, 'leader read alice')
+    check(cluster.read_follower(0, '/users/alice') == 'admin-' + tag, 'follower-0 read alice')
+    check(cluster.read_follower(1, '/users/bob') == 'viewer-' + tag, 'follower-1 read bob')
+    cluster.set('/config/limit', '10')
+    value = cluster.quorum_read('/config/limit')
+    check(value == '10', 'quorum read limit')
+    cluster.delete('/users/bob')
+    check(cluster.read_leader('/users/bob') is None, 'bob deleted on leader')
+    check(cluster.read_follower(2, '/users/bob') is None, 'bob deleted on follower-2')
+    cluster.set('/epoch', tag)
+    check(cluster.quorum_read('/epoch') == tag, 'epoch quorum')
+    log.info('kvstore round ' + tag + ' ok')
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kvstore_sources_parse() {
+        pysrc::parse_module(KVSTORE_SOURCE, "kvstore").unwrap();
+        pysrc::parse_module(KVSTORE_WORKLOAD, "workload").unwrap();
+    }
+}

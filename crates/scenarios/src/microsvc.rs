@@ -1,0 +1,126 @@
+//! Simulated retrying microservice call graph (mini-Python source).
+//!
+//! Failure surface: timeout amplification and retry budgets. A
+//! four-service graph (frontend → orders → {payments, inventory})
+//! where every hop charges simulated latency against a request
+//! deadline and transient faults are retried with exponential backoff
+//! under a fixed attempt budget. Injected delays amplify down the call
+//! chain into `UpstreamTimeout`; injections that break the retry loop
+//! exhaust the budget (`RetryBudgetExhausted`) or starve the round
+//! into the `timeout` class.
+
+/// The call-graph library, registered as importable module `microsvc`.
+pub const MICROSVC_SOURCE: &str = r#"
+import logging
+
+log = logging.getLogger('microsvc')
+
+
+class UpstreamTimeout(Exception):
+    pass
+
+
+class TransientError(Exception):
+    pass
+
+
+class RetryBudgetExhausted(Exception):
+    pass
+
+
+def call_with_retry(service, request, deadline_ms, budget):
+    attempts = 0
+    backoff_ms = 5
+    while attempts < budget:
+        attempts = attempts + 1
+        try:
+            reply = service.handle(request, deadline_ms)
+            return reply
+        except TransientError:
+            log.info('retrying ' + service.name + ' attempt ' + str(attempts))
+            deadline_ms = deadline_ms - backoff_ms
+            backoff_ms = backoff_ms * 2
+    raise RetryBudgetExhausted('retry budget exhausted calling ' + service.name)
+
+
+class Service:
+    def __init__(self, name, latency_ms=10, flaky_period=0):
+        self.name = name
+        self.latency_ms = latency_ms
+        self.flaky_period = flaky_period
+        self.until_flake = flaky_period
+        self.calls = 0
+        self.deps = []
+
+    def depends_on(self, service):
+        self.deps.append(service)
+        return self
+
+    def handle(self, request, deadline_ms):
+        self.calls = self.calls + 1
+        cost = self.latency_ms
+        if deadline_ms < cost:
+            log.error(self.name + ' deadline exceeded')
+            raise UpstreamTimeout(self.name + ' timed out handling ' + request)
+        if self.flaky_period > 0:
+            self.until_flake = self.until_flake - 1
+            if self.until_flake <= 0:
+                self.until_flake = self.flaky_period
+                log.info(self.name + ' transient fault')
+                raise TransientError(self.name + ' temporarily unavailable')
+        total = cost
+        remaining = deadline_ms - cost
+        for dep in self.deps:
+            reply = call_with_retry(dep, request, remaining, 2)
+            total = total + reply
+        return total
+
+
+def build_graph():
+    frontend = Service('frontend', 5, 0)
+    orders = Service('orders', 10, 0)
+    payments = Service('payments', 15, 3)
+    inventory = Service('inventory', 10, 0)
+    frontend.depends_on(orders)
+    orders.depends_on(payments)
+    orders.depends_on(inventory)
+    return frontend
+"#;
+
+/// Deterministic workload: a burst of requests through the graph,
+/// asserting end-to-end latency stays between the no-retry floor and
+/// the request deadline.
+pub const MICROSVC_WORKLOAD: &str = r#"
+import microsvc
+import logging
+
+log = logging.getLogger('workload')
+frontend = microsvc.build_graph()
+
+
+def check(cond, label):
+    if not cond:
+        log.error('consistency check failed: ' + label)
+        raise AssertionError('inconsistent value read: ' + label)
+
+
+def run(round):
+    tag = str(round)
+    for i in range(4):
+        latency = microsvc.call_with_retry(frontend, 'req-' + tag + '-' + str(i), 200, 2)
+        check(latency >= 40, 'latency floor req ' + str(i))
+        check(latency <= 200, 'latency within deadline req ' + str(i))
+    check(frontend.calls >= 4, 'frontend served every request')
+    log.info('microsvc round ' + tag + ' ok')
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microsvc_sources_parse() {
+        pysrc::parse_module(MICROSVC_SOURCE, "microsvc").unwrap();
+        pysrc::parse_module(MICROSVC_WORKLOAD, "workload").unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! Scenario-catalog matrix walkthrough: the (target × fault model)
+//! cross-product as a benchmark suite.
+//!
+//! Builds the noop-host catalog (replicated kv-store, at-least-once
+//! broker, retrying microservice graph), crosses it with the shipped
+//! fault-model corpus, runs every applicable cell as an ordinary
+//! campaign through an in-process `CampaignService`, and prints the
+//! failure-class grid plus the Prometheus exposition the matrix
+//! exports (`campaign_failure_class_total{target,model,class}`).
+//!
+//! Run with: `cargo run --release --example matrix`
+
+use campaign::{CampaignService, EngineConfig, HostRegistry};
+use scenarios::{default_corpus, noop_catalog, Matrix};
+
+fn main() {
+    let mut matrix = Matrix::new(noop_catalog(), default_corpus());
+    matrix.sample_per_cell = 3;
+
+    let cells = matrix.cells();
+    println!(
+        "{} targets × {} models → {} applicable cells\n",
+        matrix.targets.len(),
+        matrix.models.len(),
+        cells.len()
+    );
+    for cell in &cells {
+        println!(
+            "  {:12} × {:22} expecting {}",
+            cell.target, cell.model, cell.failure_class
+        );
+    }
+
+    let mut service = CampaignService::new(EngineConfig::default(), HostRegistry::with_noop())
+        .expect("in-memory engine");
+    let report = matrix.run_local(&mut service).expect("matrix run");
+
+    println!("\n{}", report.render_text());
+
+    // The same aggregation as a /metrics exposition: this is what a
+    // monitoring stack scrapes after a matrix run against the service.
+    let registry = obs::Registry::new();
+    report.export_metrics(&registry);
+    let exposition = registry.render();
+    obs::validate_exposition(&exposition).expect("valid exposition");
+    for line in exposition.lines() {
+        if line.contains("campaign_failure_class_total") {
+            println!("{line}");
+        }
+    }
+}

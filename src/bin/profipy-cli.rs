@@ -9,6 +9,11 @@
 //! profipy-cli scan-dsl <file.dsl>          scan with a custom bug spec
 //! profipy-cli campaign <A|B|C> [--no-prune] run a §V campaign, print report
 //! profipy-cli viz <A|B|C> <point-id>       run one experiment, render timeline
+//! profipy-cli matrix [--catalog GLOBS] [--models GLOBS] [--fleet ADDR]
+//!                   [--sample N] [--seed N]
+//!                                          run the scenario-catalog campaign
+//!                                          matrix (target × fault model) and
+//!                                          print the failure-class grid
 //! profipy-cli serve [ADDR] [--data-dir D] [--workers N] [--max-conns N]
 //!                   [--fleet] [--standby-of ADDR] [--lease-ms N] [--log-file F]
 //!                                          boot the as-a-Service REST API
@@ -23,7 +28,7 @@
 //! / `PROFIPY_LOG=<path>`) enables it; `PROFIPY_LOG_LEVEL` picks the
 //! threshold (debug|info|warn|error|off).
 
-use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry};
+use campaign::{ApiConfig, ApiServer, CampaignService, EngineConfig, HostRegistry, SharedService};
 use cluster::{FleetConfig, FleetServer, StandbyConfig, StandbyServer, WorkerAgent, WorkerConfig};
 use profipy::case_study::{
     campaign_a, campaign_b, campaign_c, case_study_workflow, etcd_host_factory, Campaign,
@@ -64,6 +69,14 @@ fn usage() -> ExitCode {
          scan-dsl <file.dsl>           scan with a custom `change{{}}into{{}}` spec\n\
          campaign <A|B|C> [--no-prune] run a paper §V campaign\n\
          viz <A|B|C> <point-id>        run one experiment, render its timeline\n\
+         matrix [--catalog GLOBS]      run the scenario-catalog matrix: every\n\
+               [--models GLOBS]        catalog target × every applicable fault\n\
+               [--fleet ADDR]          model as one campaign per cell, printed\n\
+               [--sample N] [--seed N] as a failure-class grid (GLOBS filter by\n\
+                                       name, comma-separated; --fleet submits\n\
+                                       through a running coordinator instead of\n\
+                                       executing in-process; --sample caps\n\
+                                       experiments per cell, default 4)\n\
          serve [ADDR] [--data-dir D]   boot the REST API (default 127.0.0.1:8080;\n\
                [--workers N]           with --data-dir the queue/checkpoints/cache\n\
                [--max-conns N]         persist and survive restarts; --workers sizes\n\
@@ -181,6 +194,7 @@ fn main() -> ExitCode {
             println!("{}", trace::render_timeline(&result.timeline(), 72));
             ExitCode::SUCCESS
         }
+        Some("matrix") => matrix(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("worker") => worker(&args[1..]),
         _ => usage(),
@@ -199,6 +213,121 @@ fn log_to_file(path: Option<&String>) -> Option<ExitCode> {
         return Some(ExitCode::FAILURE);
     }
     None
+}
+
+/// Runs the scenario-catalog campaign matrix: every catalog target ×
+/// every applicable fault model, one campaign per cell, in-process or
+/// through a running coordinator (`--fleet ADDR`).
+fn matrix(args: &[String]) -> ExitCode {
+    let mut catalog_globs: Vec<String> = Vec::new();
+    let mut model_globs: Vec<String> = Vec::new();
+    let mut fleet_addr: Option<String> = None;
+    let mut sample: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut rest = args.iter();
+    let globs = |value: Option<&String>| -> Vec<String> {
+        value
+            .map(|v| v.split(',').filter(|g| !g.is_empty()).map(str::to_string).collect())
+            .unwrap_or_default()
+    };
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--catalog" => catalog_globs = globs(rest.next()),
+            "--models" => model_globs = globs(rest.next()),
+            "--fleet" => match rest.next() {
+                Some(addr) => {
+                    fleet_addr = Some(
+                        addr.strip_prefix("http://")
+                            .unwrap_or(addr)
+                            .trim_end_matches('/')
+                            .to_string(),
+                    );
+                }
+                None => {
+                    eprintln!("--fleet needs a coordinator address");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sample" => match rest.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => sample = Some(n),
+                _ => {
+                    eprintln!("--sample needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match rest.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => seed = Some(n),
+                _ => {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--log-file" => {
+                if let Some(code) = log_to_file(rest.next()) {
+                    return code;
+                }
+            }
+            flag => {
+                eprintln!("unknown flag '{flag}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut targets = scenarios::default_catalog();
+    if !catalog_globs.is_empty() {
+        targets = scenarios::filter_by_globs(targets, &catalog_globs);
+    }
+    let mut models = scenarios::default_corpus();
+    if !model_globs.is_empty() {
+        models.retain(|m| {
+            model_globs
+                .iter()
+                .any(|g| faultdsl::glob_match(g, &m.model.name))
+        });
+    }
+    if targets.is_empty() || models.is_empty() {
+        eprintln!(
+            "nothing to run: {} target(s), {} model(s) after filtering \
+             (try `profipy-cli matrix` with no filters)",
+            targets.len(),
+            models.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut matrix = scenarios::Matrix::new(targets, models);
+    if let Some(n) = sample {
+        matrix.sample_per_cell = n as usize;
+    }
+    if let Some(n) = seed {
+        matrix.seed = n;
+    }
+    let cells = matrix.cells();
+    println!(
+        "matrix: {} cell(s) ({} target(s) × {} model(s), applicability-filtered)",
+        cells.len(),
+        matrix.targets.len(),
+        matrix.models.len()
+    );
+    let report = if let Some(addr) = fleet_addr {
+        println!("submitting through coordinator http://{addr} ...");
+        matrix.run_http(&addr, std::time::Duration::from_secs(600))
+    } else {
+        let registry = HostRegistry::with_noop().with("etcd", etcd_host_factory());
+        match CampaignService::new(EngineConfig::default(), registry) {
+            Ok(mut service) => matrix.run_local(&mut service),
+            Err(e) => Err(format!("cannot open engine: {e}")),
+        }
+    };
+    match report {
+        Ok(report) => {
+            println!("{}", report.render_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Joins a coordinator's fleet and works until killed.
@@ -404,7 +533,10 @@ fn serve(args: &[String]) -> ExitCode {
             }
         }
     } else {
-        match ApiServer::serve(&addr, service, api_config) {
+        // The single-node server additionally mounts the scenario
+        // catalog (`GET /api/matrix`) next to the campaign surface.
+        let shared = SharedService::new(service);
+        match ApiServer::serve_with(&addr, shared, api_config, scenarios::api::mount) {
             Ok(api) => {
                 let bound = api.addr();
                 std::mem::forget(api);
@@ -425,6 +557,9 @@ fn serve(args: &[String]) -> ExitCode {
     println!("  GET  /api/campaigns/:id/trace    merged execution timeline");
     println!("  GET  /metrics                    Prometheus exposition (latency histograms)");
     println!("  GET  /healthz                    liveness (role/uptime/version JSON)");
+    if !fleet {
+        println!("  GET  /api/matrix                 scenario catalog: targets × fault models");
+    }
     if fleet {
         println!("  POST /api/workers/register       join the worker fleet");
         println!("  POST /api/workers/:id/lease      pull a batch of experiments");
